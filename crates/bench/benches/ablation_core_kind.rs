@@ -1,0 +1,57 @@
+//! Ablation D (§6.2 future work): the paper expects "additional
+//! speedups ... by a move to compiled-code simulators" — compare the
+//! tree-walking processing core against the compiled bytecode core.
+//!
+//! Two workloads: the SPAM FIR (realistic VLIW code, amply padded with
+//! nops across the 7 fields) and a *dense* straight-line TOY program
+//! where every instruction does real ALU/MAC work in both fields —
+//! the case where processing-core cost dominates scheduling overhead.
+
+use bench::{fir_program, run_cycles, spam_machine, xsim_with_fir};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gensim::{CoreKind, Xsim, XsimOptions};
+use xasm::Assembler;
+
+fn dense_toy_program(machine: &isdl::Machine) -> xasm::Program {
+    let mut src = String::from("start: clracc\n");
+    for i in 0..200u32 {
+        let (d, a, b) = (i % 8, (i + 1) % 8, (i + 3) % 8);
+        let line = match i % 5 {
+            0 => format!("add R{d}, R{a}, reg(R{b}) | mv R{b}, R{a}\n"),
+            1 => format!("sub R{d}, R{a}, ind(R{b}) | mv R{a}, R{d}\n"),
+            2 => format!("xor R{d}, R{a}, reg(R{b}) | mv R{b}, R{d}\n"),
+            3 => format!("mac R{a}, R{b}\n"),
+            _ => format!("li R{d}, {} | mv R{a}, R{b}\n", i % 256),
+        };
+        src.push_str(&line);
+    }
+    src.push_str("end: jmp end\n");
+    Assembler::new(machine).assemble(&src).expect("assembles")
+}
+
+fn bench_cores(c: &mut Criterion) {
+    let spam = spam_machine();
+    let spam_prog = fir_program(&spam);
+    let toy = isdl::load(isdl::samples::TOY).expect("loads");
+    let toy_prog = dense_toy_program(&toy);
+
+    let mut group = c.benchmark_group("ablation_core_kind");
+    group.throughput(Throughput::Elements(5_000));
+    for (name, core) in [("tree", CoreKind::Tree), ("bytecode", CoreKind::Bytecode)] {
+        let mut sim = xsim_with_fir(&spam, XsimOptions { core, offline_decode: true });
+        group.bench_function(format!("spam_fir_5k_cycles/{name}"), |b| {
+            b.iter(|| run_cycles(&mut sim, &spam_prog, 5_000));
+        });
+
+        let mut sim =
+            Xsim::generate_with(&toy, XsimOptions { core, offline_decode: true }).expect("generates");
+        sim.load_program(&toy_prog);
+        group.bench_function(format!("toy_dense_5k_cycles/{name}"), |b| {
+            b.iter(|| run_cycles(&mut sim, &toy_prog, 5_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cores);
+criterion_main!(benches);

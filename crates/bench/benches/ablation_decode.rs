@@ -1,0 +1,37 @@
+//! Ablation B (§4.2): the paper's signature-derived two-level decode
+//! versus a naive masked-comparator-per-operation decoder.
+
+use bench::spam_machine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgen::{synthesize, DecodeStyle, HgenOptions};
+
+fn bench_decode(c: &mut Criterion) {
+    let spam = spam_machine();
+    let mut group = c.benchmark_group("ablation_decode");
+    for (name, style) in [
+        ("two_level", DecodeStyle::TwoLevel),
+        ("naive_comparator", DecodeStyle::NaiveComparator),
+    ] {
+        group.bench_function(format!("synthesize_spam/{name}"), |b| {
+            b.iter(|| {
+                synthesize(&spam, HgenOptions { decode: style, ..HgenOptions::default() })
+                    .expect("synthesizes")
+            });
+        });
+    }
+    group.finish();
+
+    eprintln!("\nAblation B: decode logic style (SPAM)");
+    eprintln!("{:<20} {:>12} {:>12}", "style", "cells", "cycle ns");
+    for (name, style) in [
+        ("two-level", DecodeStyle::TwoLevel),
+        ("naive comparator", DecodeStyle::NaiveComparator),
+    ] {
+        let r = synthesize(&spam, HgenOptions { decode: style, ..HgenOptions::default() })
+            .expect("synthesizes");
+        eprintln!("{:<20} {:>12.0} {:>12.1}", name, r.report.area_cells, r.report.cycle_ns);
+    }
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation E: exploration strategy — the paper's greedy iterative
+//! improvement versus a beam search over the same mutation space.
+//! Reports final objective and evaluation cost per strategy.
+
+use archex::explore::{Explorer, Strategy};
+use archex::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_explore(c: &mut Criterion) {
+    let start = isdl::load(isdl::samples::TOY).expect("loads");
+    let kernels = vec![workloads::dot_product(4), workloads::vector_update(3)];
+
+    let mut group = c.benchmark_group("ablation_explore");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("greedy", Strategy::Greedy),
+        ("beam3", Strategy::Beam { width: 3 }),
+    ] {
+        let explorer = Explorer { max_steps: 6, strategy, ..Explorer::default() };
+        group.bench_function(name, |b| {
+            b.iter(|| explorer.run(&start, &kernels).expect("explores"));
+        });
+    }
+    group.finish();
+
+    eprintln!("\nAblation E: exploration strategy (TOY, dot+vecupd)");
+    eprintln!("{:<10} {:>12} {:>12} {:>10}", "strategy", "final score", "runtime us", "evals");
+    for (name, strategy) in [
+        ("greedy", Strategy::Greedy),
+        ("beam3", Strategy::Beam { width: 3 }),
+    ] {
+        let explorer = Explorer { max_steps: 6, strategy, ..Explorer::default() };
+        let t = explorer.run(&start, &kernels).expect("explores");
+        let last = t.steps.last().expect("steps");
+        eprintln!(
+            "{:<10} {:>12.4} {:>12.2} {:>10}",
+            name, last.score, last.metrics.runtime_us, t.candidates_evaluated
+        );
+    }
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

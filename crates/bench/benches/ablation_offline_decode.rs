@@ -1,0 +1,27 @@
+//! Ablation C (§3.3.2): XSIM "performs disassembly off-line to improve
+//! speed" — measure simulation speed with the off-line pass versus
+//! re-decoding at every fetch.
+
+use bench::{fir_program, run_cycles, spam_machine, xsim_with_fir};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gensim::{CoreKind, XsimOptions};
+
+fn bench_offline(c: &mut Criterion) {
+    let machine = spam_machine();
+    let program = fir_program(&machine);
+    let mut group = c.benchmark_group("ablation_offline_decode");
+    group.throughput(Throughput::Elements(5_000));
+    for (name, offline) in [("offline", true), ("per_fetch", false)] {
+        let mut sim = xsim_with_fir(
+            &machine,
+            XsimOptions { core: CoreKind::Bytecode, offline_decode: offline },
+        );
+        group.bench_function(format!("xsim_5k_cycles/{name}"), |b| {
+            b.iter(|| run_cycles(&mut sim, &program, 5_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

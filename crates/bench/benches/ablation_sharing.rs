@@ -1,0 +1,55 @@
+//! Ablation A (§4.1.2): how much die area the clique-based resource
+//! sharing saves, and how much more the constraints section unlocks
+//! (rule 4's refinement).
+
+use bench::{spam2_machine, spam_machine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgen::{synthesize, HgenOptions, ShareOptions};
+
+fn configs() -> Vec<(&'static str, ShareOptions)> {
+    vec![
+        ("no sharing", ShareOptions { enabled: false, use_constraints: false, use_hints: false }),
+        (
+            "rules 1-4 only",
+            ShareOptions { enabled: true, use_constraints: false, use_hints: false },
+        ),
+        (
+            "rules + constraints + hints",
+            ShareOptions { enabled: true, use_constraints: true, use_hints: true },
+        ),
+    ]
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sharing");
+    for (name, share) in configs() {
+        let spam = spam_machine();
+        group.bench_function(format!("synthesize_spam/{name}"), |b| {
+            b.iter(|| {
+                synthesize(&spam, HgenOptions { share, ..HgenOptions::default() })
+                    .expect("synthesizes")
+            });
+        });
+    }
+    group.finish();
+
+    eprintln!("\nAblation A: resource sharing (die size, grid cells)");
+    eprintln!("{:<30} {:>12} {:>12} {:>8} {:>8}", "configuration", "SPAM", "SPAM2", "units", "saved");
+    for (name, share) in configs() {
+        let spam = synthesize(&spam_machine(), HgenOptions { share, ..HgenOptions::default() })
+            .expect("synthesizes");
+        let spam2 = synthesize(&spam2_machine(), HgenOptions { share, ..HgenOptions::default() })
+            .expect("synthesizes");
+        eprintln!(
+            "{:<30} {:>12.0} {:>12.0} {:>8} {:>8}",
+            name,
+            spam.report.area_cells,
+            spam2.report.area_cells,
+            spam.stats.units,
+            spam.stats.units_saved
+        );
+    }
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the substrates: bit-true arithmetic, ISDL
+//! parsing, assembly, and signature-based disassembly.
+
+use bitv::BitVector;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xasm::{Assembler, Disassembler};
+
+fn bench_bitv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/bitv");
+    let a32 = BitVector::from_u64(0xDEAD_BEEF, 32);
+    let b32 = BitVector::from_u64(0x1234_5678, 32);
+    group.bench_function("add_32", |b| b.iter(|| a32.wrapping_add(&b32)));
+    group.bench_function("mul_32", |b| b.iter(|| a32.wrapping_mul(&b32)));
+    let a128 = BitVector::from_words(&[u64::MAX, 0x1234], 128);
+    let b128 = BitVector::from_words(&[42, 7], 128);
+    group.bench_function("add_128", |b| b.iter(|| a128.wrapping_add(&b128)));
+    group.bench_function("udiv_128", |b| b.iter(|| a128.unsigned_div(&b128)));
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/frontend");
+    let src = isdl::samples::SPAM;
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("load_spam", |b| b.iter(|| isdl::load(src).expect("loads")));
+    group.finish();
+}
+
+fn bench_asm(c: &mut Criterion) {
+    let machine = bench::spam_machine();
+    let program = bench::fir_program(&machine);
+    let asm = Assembler::new(&machine);
+    let kernel = archex::workloads::fir(4, 12);
+    let compiled = archex::compile(&machine, &kernel).expect("compiles");
+
+    let mut group = c.benchmark_group("micro/asm");
+    group.throughput(Throughput::Elements(compiled.instructions as u64));
+    group.bench_function("assemble_fir", |b| {
+        b.iter(|| asm.assemble(&compiled.asm).expect("assembles"));
+    });
+
+    let d = Disassembler::new(&machine);
+    group.throughput(Throughput::Elements(program.words.len() as u64));
+    group.bench_function("disassemble_fir", |b| {
+        b.iter(|| {
+            for (a, w) in program.words.iter().enumerate() {
+                let _ = d.decode(std::slice::from_ref(w), a as u64);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitv, bench_frontend, bench_asm);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 1: simulation speed of the generated ILS vs the generated
+//! synthesizable-Verilog model (both executing FIR on SPAM).
+//!
+//! Criterion measures per-cycle cost of each simulator; the summary
+//! printed afterwards is the paper-layout table with cycles/sec.
+
+use bench::{fir_program, hardware_with_fir, run_cycles, spam_machine, xsim_with_fir};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gensim::XsimOptions;
+
+fn bench_table1(c: &mut Criterion) {
+    let machine = spam_machine();
+    let program = fir_program(&machine);
+
+    let mut group = c.benchmark_group("table1");
+    group.throughput(Throughput::Elements(10_000));
+
+    let mut xsim = xsim_with_fir(&machine, XsimOptions::default());
+    group.bench_function("xsim_10k_cycles", |b| {
+        b.iter(|| run_cycles(&mut xsim, &program, 10_000));
+    });
+
+    let (_, mut hw) = hardware_with_fir(&machine);
+    group.throughput(Throughput::Elements(500));
+    group.bench_function("verilog_500_cycles", |b| {
+        b.iter(|| hw.clock(500).expect("clocks"));
+    });
+    group.finish();
+
+    let rows = bench::measure_table1(2_000_000, 40_000);
+    eprintln!("\n{}", bench::format_table1(&rows));
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 2: HGEN synthesis statistics for SPAM and SPAM2 — cycle
+//! length, lines of Verilog, die size, synthesis time.
+
+use bench::{format_table2, measure_table2, spam2_machine, spam_machine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgen::{synthesize, HgenOptions};
+
+fn bench_table2(c: &mut Criterion) {
+    let spam = spam_machine();
+    let spam2 = spam2_machine();
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("synthesize_spam", |b| {
+        b.iter(|| synthesize(&spam, HgenOptions::default()).expect("synthesizes"));
+    });
+    group.bench_function("synthesize_spam2", |b| {
+        b.iter(|| synthesize(&spam2, HgenOptions::default()).expect("synthesizes"));
+    });
+    group.finish();
+
+    eprintln!("\n{}", format_table2(&measure_table2()));
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

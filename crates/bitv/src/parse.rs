@@ -1,0 +1,140 @@
+//! Parsing bit vectors from Verilog-style sized literals.
+
+use crate::BitVector;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when a string is not a valid sized bit-vector literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitVectorError {
+    msg: String,
+}
+
+impl ParseBitVectorError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseBitVectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bit-vector literal: {}", self.msg)
+    }
+}
+
+impl Error for ParseBitVectorError {}
+
+impl FromStr for BitVector {
+    type Err = ParseBitVectorError;
+
+    /// Parses Verilog-style sized literals: `8'hFF`, `4'b1010`, `16'd42`.
+    /// Underscores in the digit string are ignored.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (width_str, rest) = s
+            .split_once('\'')
+            .ok_or_else(|| ParseBitVectorError::new(format!("missing `'` in {s:?}")))?;
+        let width: u32 = width_str
+            .trim()
+            .parse()
+            .map_err(|_| ParseBitVectorError::new(format!("bad width in {s:?}")))?;
+        if width == 0 {
+            return Err(ParseBitVectorError::new("width must be non-zero"));
+        }
+        let mut chars = rest.chars();
+        let base = match chars.next() {
+            Some('h' | 'H') => 16,
+            Some('b' | 'B') => 2,
+            Some('d' | 'D') => 10,
+            Some('o' | 'O') => 8,
+            other => {
+                return Err(ParseBitVectorError::new(format!(
+                    "unknown base specifier {other:?}"
+                )))
+            }
+        };
+        let digits: String = chars.filter(|&c| c != '_').collect();
+        if digits.is_empty() {
+            return Err(ParseBitVectorError::new("empty digit string"));
+        }
+        let bits_per_digit = match base {
+            16 => 4,
+            8 => 3,
+            2 => 1,
+            _ => 0,
+        };
+        let mut acc = BitVector::zero(width);
+        if base == 10 {
+            let ten = BitVector::from_u64(10, width);
+            for c in digits.chars() {
+                let d = c
+                    .to_digit(10)
+                    .ok_or_else(|| ParseBitVectorError::new(format!("bad digit {c:?}")))?;
+                acc = acc
+                    .wrapping_mul(&ten)
+                    .wrapping_add(&BitVector::from_u64(u64::from(d), width));
+            }
+        } else {
+            for c in digits.chars() {
+                let d = c
+                    .to_digit(base)
+                    .ok_or_else(|| ParseBitVectorError::new(format!("bad digit {c:?}")))?;
+                acc = acc
+                    .shl(bits_per_digit)
+                    .or(&BitVector::from_u64(u64::from(d), width));
+            }
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BitVector;
+
+    #[test]
+    fn parse_hex() {
+        let v: BitVector = "8'hFF".parse().expect("valid literal");
+        assert_eq!(v, BitVector::from_u64(0xFF, 8));
+    }
+
+    #[test]
+    fn parse_binary_with_underscores() {
+        let v: BitVector = "8'b1010_0101".parse().expect("valid literal");
+        assert_eq!(v, BitVector::from_u64(0xA5, 8));
+    }
+
+    #[test]
+    fn parse_decimal() {
+        let v: BitVector = "16'd1234".parse().expect("valid literal");
+        assert_eq!(v, BitVector::from_u64(1234, 16));
+    }
+
+    #[test]
+    fn parse_octal() {
+        let v: BitVector = "9'o777".parse().expect("valid literal");
+        assert_eq!(v, BitVector::from_u64(0o777, 9));
+    }
+
+    #[test]
+    fn parse_truncates_to_width() {
+        let v: BitVector = "4'hFF".parse().expect("valid literal");
+        assert_eq!(v, BitVector::from_u64(0xF, 4));
+    }
+
+    #[test]
+    fn parse_roundtrip_display() {
+        let v = BitVector::from_u64(0x3c, 8);
+        let back: BitVector = format!("{v}").parse().expect("display output parses");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("8hFF".parse::<BitVector>().is_err());
+        assert!("0'h0".parse::<BitVector>().is_err());
+        assert!("8'q12".parse::<BitVector>().is_err());
+        assert!("8'h".parse::<BitVector>().is_err());
+        assert!("8'b12".parse::<BitVector>().is_err());
+    }
+}

@@ -1,0 +1,752 @@
+//! A small retargetable code generator.
+//!
+//! The paper's full retargetable compiler (AVIV, reference \[2\]) is
+//! explicitly out of scope; the exploration loop still needs *some*
+//! way to turn one workload into code for every candidate machine.
+//! This module provides it: workloads are written against an abstract
+//! accumulator/register machine ([`AOp`]), and each abstract operation
+//! is matched to a concrete ISDL operation by *semantic
+//! fingerprinting* — inspecting the resolved RTL action, not the
+//! mnemonic. Remove an operation from a candidate and compilation
+//! fails (or picks an alternative), exactly the feedback the
+//! exploration loop needs.
+//!
+//! Kernels are emitted fully unrolled, which keeps the abstraction
+//! honest across machines with different branching idioms.
+
+use isdl::model::{Machine, OpRef, Operation, ParamType, TokenKind};
+use isdl::model::StorageKind;
+use isdl::rtl::{BinOp, RExpr, RExprKind, RLvalue, RStmt};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A virtual register of the abstract machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One abstract operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AOp {
+    /// `d = imm`
+    LoadImm {
+        /// Destination.
+        d: VReg,
+        /// The immediate (must fit the target's widest load-immediate).
+        v: u64,
+    },
+    /// `d = mem[addr]`
+    Load {
+        /// Destination.
+        d: VReg,
+        /// Absolute data address.
+        addr: u64,
+    },
+    /// `mem[addr] = s`
+    Store {
+        /// Data address.
+        addr: u64,
+        /// Source register.
+        s: VReg,
+    },
+    /// `d = a + b`
+    Add {
+        /// Destination.
+        d: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `d = a - b`
+    Sub {
+        /// Destination.
+        d: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `acc = 0`
+    ClearAcc,
+    /// `acc += a * b`
+    MulAcc {
+        /// Left factor.
+        a: VReg,
+        /// Right factor.
+        b: VReg,
+    },
+    /// `d = acc`
+    ReadAcc {
+        /// Destination.
+        d: VReg,
+    },
+    /// Self-loop program end.
+    End,
+}
+
+/// An abstract workload: a name and its operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Human-readable kernel name.
+    pub name: String,
+    /// The abstract program.
+    pub ops: Vec<AOp>,
+    /// Initial data-memory contents `(address, value)`.
+    pub data: Vec<(u64, i64)>,
+}
+
+/// Why a kernel could not be compiled for a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// No operation with the required semantics exists.
+    MissingCapability(&'static str),
+    /// More live virtual registers than machine registers.
+    OutOfRegisters,
+    /// The generated assembly failed to assemble (internal error or
+    /// an immediate out of range for the target).
+    Assemble(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingCapability(c) => write!(f, "machine lacks a `{c}` operation"),
+            Self::OutOfRegisters => write!(f, "not enough registers for the kernel"),
+            Self::Assemble(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The discovered capabilities of a machine — which concrete
+/// operations implement each abstract one.
+#[derive(Debug, Clone)]
+pub struct Capabilities {
+    /// Register-file storage and register token prefix/count.
+    reg_prefix: String,
+    reg_count: u64,
+    load_imm: Option<(OpRef, SlotShape)>,
+    load: Option<(OpRef, SlotShape)>,
+    store: Option<(OpRef, SlotShape)>,
+    add: Option<(OpRef, SlotShape)>,
+    sub: Option<(OpRef, SlotShape)>,
+    clear_acc: Option<OpRef>,
+    mul_acc: Option<(OpRef, SlotShape)>,
+    read_acc: Option<(OpRef, SlotShape)>,
+    jump: Option<OpRef>,
+}
+
+/// How a matched operation's parameters map to abstract operands.
+///
+/// `args[i]` tells how to print the `i`-th assembly operand:
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SlotShape {
+    args: Vec<ArgRole>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ArgRole {
+    /// Destination register.
+    Dest,
+    /// First source register; if the parameter is a non-terminal, the
+    /// named option wraps the register.
+    SrcA(Option<String>),
+    /// Second source register (same wrapping rule).
+    SrcB(Option<String>),
+    /// The immediate / address value.
+    Value,
+}
+
+impl Capabilities {
+    /// Fingerprints every operation of `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the machine has no register file / register
+    /// token at all.
+    pub fn discover(machine: &Machine) -> Result<Self, CompileError> {
+        let rf = machine
+            .storages
+            .iter()
+            .position(|s| s.kind == StorageKind::RegisterFile)
+            .ok_or(CompileError::MissingCapability("register file"))?;
+        let (reg_prefix, reg_count) = machine
+            .tokens
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokenKind::Register { prefix, count } => Some((prefix.clone(), *count)),
+                _ => None,
+            })
+            .ok_or(CompileError::MissingCapability("register token"))?;
+        let mut caps = Self {
+            reg_prefix,
+            reg_count,
+            load_imm: None,
+            load: None,
+            store: None,
+            add: None,
+            sub: None,
+            clear_acc: None,
+            mul_acc: None,
+            read_acc: None,
+            jump: None,
+        };
+        for (r, op) in machine.all_ops() {
+            caps.classify(machine, r, op, rf);
+        }
+        Ok(caps)
+    }
+
+    fn classify(&mut self, machine: &Machine, r: OpRef, op: &Operation, rf: usize) {
+        // Only single-assignment actions are fingerprinted (plus an
+        // optional side-effect, which is ignored for matching).
+        let [RStmt::Assign { lv, rhs }] = op.action.as_slice() else {
+            // A PC write inside any shape is a jump candidate.
+            if writes_pc(machine, op) && op.params.len() == 1 {
+                self.jump.get_or_insert(r);
+            }
+            return;
+        };
+        if writes_pc(machine, op) {
+            if op.params.len() == 1 {
+                self.jump.get_or_insert(r);
+            }
+            return;
+        }
+        let dest = classify_dest(machine, lv, rf, op);
+        match dest {
+            Some(Dest::Reg(dp)) => {
+                // d <- imm (possibly extended)?
+                if let Some(vp) = match_imm_value(rhs) {
+                    if self.load_imm.is_none() {
+                        self.load_imm =
+                            shape_for(op, &[(dp, ArgRole::Dest), (vp, ArgRole::Value)])
+                                .map(|s| (r, s));
+                    }
+                    return;
+                }
+                // d <- DM[addr-token]?
+                if let Some(vp) = match_mem_read(machine, rhs) {
+                    if self.load.is_none() {
+                        self.load = shape_for(op, &[(dp, ArgRole::Dest), (vp, ArgRole::Value)])
+                            .map(|s| (r, s));
+                    }
+                    return;
+                }
+                // d <- a (+|-) b?
+                if let Some((kind, ap, bp)) = match_reg_binop(machine, rhs, rf, op) {
+                    let wrap_a = nt_reg_option(machine, op, ap);
+                    let wrap_b = nt_reg_option(machine, op, bp);
+                    let shape = shape_for(
+                        op,
+                        &[(dp, ArgRole::Dest), (ap, ArgRole::SrcA(wrap_a)), (bp, ArgRole::SrcB(wrap_b))],
+                    );
+                    match kind {
+                        BinOp::Add
+                            if self.add.is_none() => {
+                                self.add = shape.map(|s| (r, s));
+                            }
+                        BinOp::Sub
+                            if self.sub.is_none() => {
+                                self.sub = shape.map(|s| (r, s));
+                            }
+                        _ => {}
+                    }
+                    return;
+                }
+                // d <- ACC?
+                if is_acc_read(machine, rhs) && op.params.len() == 1
+                    && self.read_acc.is_none() {
+                        self.read_acc = shape_for(op, &[(dp, ArgRole::Dest)]).map(|s| (r, s));
+                    }
+            }
+            Some(Dest::Mem(vp)) => {
+                // DM[addr] <- RF[s]?
+                if let Some(sp) = match_reg_read(machine, rhs, rf, op) {
+                    if self.store.is_none() {
+                        let wrap = nt_reg_option(machine, op, sp);
+                        self.store =
+                            shape_for(op, &[(vp, ArgRole::Value), (sp, ArgRole::SrcA(wrap))])
+                                .map(|s| (r, s));
+                    }
+                }
+            }
+            Some(Dest::Acc) => {
+                // ACC <- const 0?
+                if matches!(&rhs.kind, RExprKind::Lit(v) if v.is_zero()) && op.params.is_empty() {
+                    self.clear_acc.get_or_insert(r);
+                    return;
+                }
+                // ACC <- ACC + RF[a] * RF[b]?
+                if let Some((ap, bp)) = match_mac(machine, rhs, rf, op) {
+                    if self.mul_acc.is_none() {
+                        let wrap_a = nt_reg_option(machine, op, ap);
+                        let wrap_b = nt_reg_option(machine, op, bp);
+                        self.mul_acc = shape_for(
+                            op,
+                            &[(ap, ArgRole::SrcA(wrap_a)), (bp, ArgRole::SrcB(wrap_b))],
+                        )
+                        .map(|s| (r, s));
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Which abstract operations this machine supports.
+    #[must_use]
+    pub fn summary(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.load_imm.is_some() {
+            out.push("load-imm");
+        }
+        if self.load.is_some() {
+            out.push("load");
+        }
+        if self.store.is_some() {
+            out.push("store");
+        }
+        if self.add.is_some() {
+            out.push("add");
+        }
+        if self.sub.is_some() {
+            out.push("sub");
+        }
+        if self.clear_acc.is_some() {
+            out.push("clear-acc");
+        }
+        if self.mul_acc.is_some() {
+            out.push("mul-acc");
+        }
+        if self.read_acc.is_some() {
+            out.push("read-acc");
+        }
+        if self.jump.is_some() {
+            out.push("jump");
+        }
+        out
+    }
+}
+
+enum Dest {
+    Reg(usize),
+    Mem(usize),
+    Acc,
+}
+
+fn writes_pc(machine: &Machine, op: &Operation) -> bool {
+    fn stmt_writes_pc(machine: &Machine, s: &RStmt) -> bool {
+        match s {
+            RStmt::Assign { lv, .. } => lv
+                .root_storage()
+                .is_some_and(|sid| machine.storage(sid).kind == StorageKind::ProgramCounter),
+            RStmt::If { then_body, else_body, .. } => then_body
+                .iter()
+                .chain(else_body)
+                .any(|s| stmt_writes_pc(machine, s)),
+        }
+    }
+    op.action.iter().any(|s| stmt_writes_pc(machine, s))
+}
+
+fn classify_dest(machine: &Machine, lv: &RLvalue, rf: usize, op: &Operation) -> Option<Dest> {
+    match lv {
+        RLvalue::StorageIndexed(sid, idx) => {
+            let st = machine.storage(*sid);
+            if sid.0 == rf {
+                if let RExprKind::Param(p) = idx.kind {
+                    return Some(Dest::Reg(p));
+                }
+                None
+            } else if st.kind == StorageKind::DataMemory {
+                if let RExprKind::Param(p) = idx.kind {
+                    return Some(Dest::Mem(p));
+                }
+                None
+            } else {
+                None
+            }
+        }
+        RLvalue::Storage(sid) => {
+            let st = machine.storage(*sid);
+            (st.kind == StorageKind::Register && op.params.len() <= 2).then_some(Dest::Acc)
+        }
+        _ => None,
+    }
+}
+
+/// `zext(v, _)`, `sext(v, _)`, or plain `v` where `v` is a parameter.
+fn match_imm_value(e: &RExpr) -> Option<usize> {
+    match &e.kind {
+        RExprKind::Param(p) => Some(*p),
+        RExprKind::Ext(_, inner) => match inner.kind {
+            RExprKind::Param(p) => Some(p),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// `DM[addr-param]`.
+fn match_mem_read(machine: &Machine, e: &RExpr) -> Option<usize> {
+    if let RExprKind::StorageIndexed(sid, idx) = &e.kind {
+        if machine.storage(*sid).kind == StorageKind::DataMemory {
+            if let RExprKind::Param(p) = idx.kind {
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// `RF[reg-param]` or a non-terminal parameter with a register-direct
+/// option.
+fn match_reg_read(machine: &Machine, e: &RExpr, rf: usize, op: &Operation) -> Option<usize> {
+    match &e.kind {
+        RExprKind::StorageIndexed(sid, idx) if sid.0 == rf => match idx.kind {
+            RExprKind::Param(p) => Some(p),
+            _ => None,
+        },
+        RExprKind::Param(p) => {
+            // A non-terminal works if one of its options reads RF.
+            nt_reg_option(machine, op, *p).map(|_| *p)
+        }
+        _ => None,
+    }
+}
+
+/// `RF[a] OP source` for add/sub.
+fn match_reg_binop(
+    machine: &Machine,
+    e: &RExpr,
+    rf: usize,
+    op: &Operation,
+) -> Option<(BinOp, usize, usize)> {
+    if let RExprKind::Binary(kind @ (BinOp::Add | BinOp::Sub), a, b) = &e.kind {
+        let ap = match_reg_read(machine, a, rf, op)?;
+        let bp = match_reg_read(machine, b, rf, op)?;
+        return Some((*kind, ap, bp));
+    }
+    None
+}
+
+/// `ACC + RF[a] * RF[b]` (either operand order).
+fn match_mac(machine: &Machine, e: &RExpr, rf: usize, op: &Operation) -> Option<(usize, usize)> {
+    if let RExprKind::Binary(BinOp::Add, x, y) = &e.kind {
+        for (acc_side, mul_side) in [(x, y), (y, x)] {
+            if matches!(acc_side.kind, RExprKind::Storage(_)) {
+                if let RExprKind::Binary(BinOp::Mul, a, b) = &mul_side.kind {
+                    let ap = match_reg_read(machine, a, rf, op)?;
+                    let bp = match_reg_read(machine, b, rf, op)?;
+                    return Some((ap, bp));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// A read of a plain (non-addressed) register — the accumulator.
+fn is_acc_read(machine: &Machine, e: &RExpr) -> bool {
+    matches!(&e.kind, RExprKind::Storage(sid)
+        if machine.storage(*sid).kind == StorageKind::Register)
+}
+
+/// If parameter `p` is a non-terminal, the name of an option that is a
+/// plain register read (to wrap operands as `option(Rk)`).
+fn nt_reg_option(machine: &Machine, op: &Operation, p: usize) -> Option<String> {
+    match op.params.get(p)?.ty {
+        ParamType::Token(_) => None,
+        ParamType::NonTerminal(nt) => {
+            let ntd = &machine.nonterminals[nt.0];
+            ntd.options
+                .iter()
+                .find(|o|
+
+                    matches!(
+                        o.value.as_ref().map(|v| &v.kind),
+                        Some(RExprKind::StorageIndexed(sid, idx))
+                            if machine.storage(*sid).kind == StorageKind::RegisterFile
+                                && matches!(idx.kind, RExprKind::Param(0))
+                    ) && o.params.len() == 1
+                )
+                .map(|o| o.name.clone())
+        }
+    }
+}
+
+/// Builds the operand printing shape if the roles cover all parameters.
+fn shape_for(op: &Operation, roles: &[(usize, ArgRole)]) -> Option<SlotShape> {
+    let mut args = vec![None; op.params.len()];
+    for (p, role) in roles {
+        if *p >= args.len() || args[*p].is_some() {
+            return None;
+        }
+        args[*p] = Some(role.clone());
+    }
+    let args: Option<Vec<ArgRole>> = args.into_iter().collect();
+    args.map(|args| SlotShape { args })
+}
+
+/// A compiled kernel: target assembly plus statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compiled {
+    /// The generated assembly text.
+    pub asm: String,
+    /// Number of target instructions emitted.
+    pub instructions: usize,
+}
+
+/// Compiles `kernel` for `machine`.
+///
+/// # Errors
+///
+/// [`CompileError::MissingCapability`] when no fingerprinted operation
+/// implements an abstract one, [`CompileError::OutOfRegisters`] when
+/// the kernel needs more registers than the machine has.
+pub fn compile(machine: &Machine, kernel: &Kernel) -> Result<Compiled, CompileError> {
+    let caps = Capabilities::discover(machine)?;
+    let mut regs: HashMap<VReg, u64> = HashMap::new();
+    let alloc = |v: VReg, regs: &mut HashMap<VReg, u64>| -> Result<u64, CompileError> {
+        if let Some(&r) = regs.get(&v) {
+            return Ok(r);
+        }
+        let next = regs.len() as u64;
+        if next >= caps.reg_count {
+            return Err(CompileError::OutOfRegisters);
+        }
+        regs.insert(v, next);
+        Ok(next)
+    };
+    let mut lines: Vec<String> = Vec::new();
+    for aop in &kernel.ops {
+        match aop {
+            AOp::LoadImm { d, v } => {
+                let (r, shape) = caps
+                    .load_imm
+                    .as_ref()
+                    .ok_or(CompileError::MissingCapability("load-imm"))?;
+                let d = alloc(*d, &mut regs)?;
+                lines.push(render(machine, *r, shape, &caps, Some(d), None, None, Some(*v)));
+            }
+            AOp::Load { d, addr } => {
+                let (r, shape) =
+                    caps.load.as_ref().ok_or(CompileError::MissingCapability("load"))?;
+                let d = alloc(*d, &mut regs)?;
+                lines.push(render(machine, *r, shape, &caps, Some(d), None, None, Some(*addr)));
+            }
+            AOp::Store { addr, s } => {
+                let (r, shape) =
+                    caps.store.as_ref().ok_or(CompileError::MissingCapability("store"))?;
+                let s = alloc(*s, &mut regs)?;
+                lines.push(render(machine, *r, shape, &caps, None, Some(s), None, Some(*addr)));
+            }
+            AOp::Add { d, a, b } => {
+                let (r, shape) =
+                    caps.add.as_ref().ok_or(CompileError::MissingCapability("add"))?;
+                let (a, b) = (alloc(*a, &mut regs)?, alloc(*b, &mut regs)?);
+                let d = alloc(*d, &mut regs)?;
+                lines.push(render(machine, *r, shape, &caps, Some(d), Some(a), Some(b), None));
+            }
+            AOp::Sub { d, a, b } => {
+                let (r, shape) =
+                    caps.sub.as_ref().ok_or(CompileError::MissingCapability("sub"))?;
+                let (a, b) = (alloc(*a, &mut regs)?, alloc(*b, &mut regs)?);
+                let d = alloc(*d, &mut regs)?;
+                lines.push(render(machine, *r, shape, &caps, Some(d), Some(a), Some(b), None));
+            }
+            AOp::ClearAcc => {
+                let r = caps
+                    .clear_acc
+                    .ok_or(CompileError::MissingCapability("clear-acc"))?;
+                lines.push(machine.op_name(r));
+            }
+            AOp::MulAcc { a, b } => {
+                let (r, shape) = caps
+                    .mul_acc
+                    .as_ref()
+                    .ok_or(CompileError::MissingCapability("mul-acc"))?;
+                let (a, b) = (alloc(*a, &mut regs)?, alloc(*b, &mut regs)?);
+                lines.push(render(machine, *r, shape, &caps, None, Some(a), Some(b), None));
+            }
+            AOp::ReadAcc { d } => {
+                let (r, shape) = caps
+                    .read_acc
+                    .as_ref()
+                    .ok_or(CompileError::MissingCapability("read-acc"))?;
+                let d = alloc(*d, &mut regs)?;
+                lines.push(render(machine, *r, shape, &caps, Some(d), None, None, None));
+            }
+            AOp::End => {
+                let r = caps.jump.ok_or(CompileError::MissingCapability("jump"))?;
+                lines.push(format!("__end: {} __end", machine.op_name(r)));
+            }
+        }
+    }
+    let mut asm = lines.join("\n");
+    asm.push('\n');
+    if !kernel.data.is_empty() {
+        asm.push_str(".data\n");
+        let mut sorted = kernel.data.clone();
+        sorted.sort_by_key(|&(a, _)| a);
+        for (addr, v) in sorted {
+            asm.push_str(&format!(".org {addr}\n.word {v}\n"));
+        }
+    }
+    Ok(Compiled { instructions: lines.len(), asm })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render(
+    machine: &Machine,
+    r: OpRef,
+    shape: &SlotShape,
+    caps: &Capabilities,
+    d: Option<u64>,
+    a: Option<u64>,
+    b: Option<u64>,
+    value: Option<u64>,
+) -> String {
+    // Qualified names survive mnemonic collisions across VLIW fields.
+    let mut s = machine.op_name(r);
+    for (i, role) in shape.args.iter().enumerate() {
+        s.push_str(if i == 0 { " " } else { ", " });
+        let reg = |n: u64| format!("{}{n}", caps.reg_prefix);
+        match role {
+            ArgRole::Dest => s.push_str(&reg(d.expect("dest provided"))),
+            ArgRole::SrcA(wrap) => {
+                let r = reg(a.expect("src a provided"));
+                match wrap {
+                    Some(opt) => s.push_str(&format!("{opt}({r})")),
+                    None => s.push_str(&r),
+                }
+            }
+            ArgRole::SrcB(wrap) => {
+                let r = reg(b.expect("src b provided"));
+                match wrap {
+                    Some(opt) => s.push_str(&format!("{opt}({r})")),
+                    None => s.push_str(&r),
+                }
+            }
+            ArgRole::Value => s.push_str(&value.expect("value provided").to_string()),
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isdl::samples::TOY;
+
+    fn toy() -> Machine {
+        isdl::load(TOY).expect("loads")
+    }
+
+    #[test]
+    fn discovers_toy_capabilities() {
+        let m = toy();
+        let caps = Capabilities::discover(&m).expect("discovers");
+        let summary = caps.summary();
+        for need in ["load-imm", "load", "store", "add", "sub", "clear-acc", "mul-acc", "read-acc", "jump"] {
+            assert!(summary.contains(&need), "toy should support {need}: {summary:?}");
+        }
+    }
+
+    #[test]
+    fn compiles_and_runs_dot_product() {
+        let m = toy();
+        let kernel = Kernel {
+            name: "dot2".into(),
+            ops: vec![
+                AOp::Load { d: VReg(0), addr: 0 },
+                AOp::Load { d: VReg(1), addr: 1 },
+                AOp::Load { d: VReg(2), addr: 2 },
+                AOp::Load { d: VReg(3), addr: 3 },
+                AOp::ClearAcc,
+                AOp::MulAcc { a: VReg(0), b: VReg(2) },
+                AOp::MulAcc { a: VReg(1), b: VReg(3) },
+                AOp::ReadAcc { d: VReg(4) },
+                AOp::Store { addr: 16, s: VReg(4) },
+                AOp::End,
+            ],
+            data: vec![(0, 2), (1, 3), (2, 10), (3, 100)],
+        };
+        let compiled = compile(&m, &kernel).expect("compiles");
+        assert!(compiled.asm.contains("mac"), "mac fingerprinted:\n{}", compiled.asm);
+        // Execute on XSIM to prove the generated code is correct.
+        let program = xasm::Assembler::new(&m).assemble(&compiled.asm).expect("assembles");
+        let mut sim = gensim::Xsim::generate(&m).expect("generates");
+        sim.load_program(&program);
+        assert_eq!(sim.run(10_000), gensim::StopReason::Halted);
+        let dm = m.storage_by_name("DM").expect("DM").0;
+        assert_eq!(sim.state().read_u64(dm, 16), 2 * 10 + 3 * 100);
+    }
+
+    #[test]
+    fn add_uses_nt_wrapped_operand() {
+        let m = toy();
+        let kernel = Kernel {
+            name: "add".into(),
+            ops: vec![
+                AOp::LoadImm { d: VReg(0), v: 20 },
+                AOp::LoadImm { d: VReg(1), v: 22 },
+                AOp::Add { d: VReg(2), a: VReg(0), b: VReg(1) },
+                AOp::Store { addr: 0, s: VReg(2) },
+                AOp::End,
+            ],
+            data: vec![],
+        };
+        let compiled = compile(&m, &kernel).expect("compiles");
+        assert!(compiled.asm.contains("reg(R"), "toy add's third operand is an NT:\n{}", compiled.asm);
+        let program = xasm::Assembler::new(&m).assemble(&compiled.asm).expect("assembles");
+        let mut sim = gensim::Xsim::generate(&m).expect("generates");
+        sim.load_program(&program);
+        assert_eq!(sim.run(10_000), gensim::StopReason::Halted);
+        let dm = m.storage_by_name("DM").expect("DM").0;
+        assert_eq!(sim.state().read_u64(dm, 0), 42);
+    }
+
+    #[test]
+    fn missing_capability_detected() {
+        // A machine without any multiply-accumulate.
+        let m = isdl::load(
+            r#"
+            machine "nomac" { format { word 16; } }
+            storage { imem IM 16 x 64; pc PC 6; regfile RF 16 x 4; dmem DM 16 x 16; }
+            tokens { token REG reg("R", 4); token U8 imm(8, unsigned); }
+            field F {
+                op li(d: REG, v: U8) { encode { word[15:12] = 1; word[11:10] = d; word[7:0] = v; } action { RF[d] <- zext(v, 16); } }
+                op jmp(t: U8) { encode { word[15:12] = 2; word[7:0] = t; } action { PC <- trunc(t, 6); } }
+                op nop() { encode { word[15:12] = 0; } }
+            }
+            "#,
+        )
+        .expect("loads");
+        let kernel = Kernel {
+            name: "mac".into(),
+            ops: vec![AOp::ClearAcc],
+            data: vec![],
+        };
+        let e = compile(&m, &kernel).expect_err("should fail");
+        assert_eq!(e, CompileError::MissingCapability("clear-acc"));
+    }
+
+    #[test]
+    fn out_of_registers_detected() {
+        let m = toy(); // 8 registers
+        let ops: Vec<AOp> = (0..9)
+            .map(|i| AOp::LoadImm { d: VReg(i), v: u64::from(i) })
+            .collect();
+        let kernel = Kernel { name: "many".into(), ops, data: vec![] };
+        assert_eq!(compile(&m, &kernel).expect_err("too many"), CompileError::OutOfRegisters);
+    }
+}

@@ -1,0 +1,235 @@
+//! Candidate evaluation: one pass around the Figure 1 loop.
+//!
+//! A candidate architecture is evaluated by (1) compiling the workload
+//! with the retargetable code generator, (2) running it on the
+//! generated XSIM simulator for the cycle count and utilization
+//! statistics, and (3) synthesizing the hardware model for the cycle
+//! length and physical costs. Runtime = cycles × cycle length; die
+//! size and power come from the technology report — exactly the
+//! "Evaluation Statistics & Measurements" box of the paper's Figure 1.
+
+use crate::compiler::{compile, Compiled, CompileError, Kernel};
+use gensim::{Stats, StopReason, Xsim};
+use hgen::{synthesize, HgenOptions};
+use isdl::model::{NtId, OpRef};
+use isdl::Machine;
+use std::collections::HashMap;
+use std::fmt;
+use xasm::{Assembler, Disassembler, Operand};
+
+/// The merged measurements for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Total cycles over all kernels (including stalls).
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Stall cycles included in `cycles`.
+    pub stall_cycles: u64,
+    /// Achievable cycle length from the hardware model, ns.
+    pub cycle_ns: f64,
+    /// Workload runtime: `cycles × cycle_ns`, in µs.
+    pub runtime_us: f64,
+    /// Die size estimate, grid cells.
+    pub area_cells: f64,
+    /// Dynamic power estimate at the achievable frequency, mW.
+    pub power_mw: f64,
+    /// Lines of generated Verilog.
+    pub lines_of_verilog: usize,
+    /// HGEN wall-clock time, seconds.
+    pub synthesis_time_s: f64,
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles ({} stalls) x {:.1} ns = {:.2} us | {} cells | {:.1} mW",
+            self.cycles,
+            self.stall_cycles,
+            self.cycle_ns,
+            self.runtime_us,
+            self.area_cells as u64,
+            self.power_mw
+        )
+    }
+}
+
+/// One kernel's measured run.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub name: String,
+    /// Cycle/instruction/stall counters and field utilization.
+    pub stats: Stats,
+    /// Per-operation execution counts.
+    pub op_counts: HashMap<OpRef, u64>,
+    /// Static occurrence count of each non-terminal option in the
+    /// compiled program (feeds the remove-unused-addressing-mode
+    /// mutation).
+    pub nt_option_counts: HashMap<(NtId, usize), u64>,
+}
+
+/// Counts non-terminal option occurrences in an assembled program.
+fn count_nt_options(machine: &Machine, program: &xasm::Program) -> HashMap<(NtId, usize), u64> {
+    let d = Disassembler::new(machine);
+    let mut out = HashMap::new();
+    let mut addr = 0u64;
+    while (addr as usize) < program.words.len() {
+        let end = (addr as usize + d.max_size() as usize).min(program.words.len());
+        let Ok(instr) = d.decode(&program.words[addr as usize..end], addr) else {
+            addr += 1;
+            continue;
+        };
+        for op in &instr.ops {
+            for arg in &op.args {
+                count_operand(arg, &mut out);
+            }
+        }
+        addr += u64::from(instr.size);
+    }
+    out
+}
+
+fn count_operand(arg: &Operand, out: &mut HashMap<(NtId, usize), u64>) {
+    if let Operand::NonTerminal { nt, option, args } = arg {
+        *out.entry((*nt, *option)).or_insert(0) += 1;
+        for a in args {
+            count_operand(a, out);
+        }
+    }
+}
+
+/// A full evaluation: metrics plus the raw per-kernel outputs.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The merged measurements.
+    pub metrics: Metrics,
+    /// Per-kernel simulator statistics (utilization feeds mutations).
+    pub kernel_stats: Vec<KernelRun>,
+    /// The compiled kernels (for inspection / listings).
+    pub compiled: Vec<Compiled>,
+}
+
+/// Why a candidate failed evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The workload does not compile for this candidate.
+    Compile(String, CompileError),
+    /// Generated assembly failed to assemble (an internal error).
+    Assemble(String),
+    /// The simulation did not halt within the cycle budget.
+    SimulationDiverged(String),
+    /// Simulator generation failed (missing PC / instruction memory).
+    Gensim(String),
+    /// Hardware synthesis failed.
+    Synthesis(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Compile(k, e) => write!(f, "kernel `{k}` does not compile: {e}"),
+            Self::Assemble(e) => write!(f, "assembly failed: {e}"),
+            Self::SimulationDiverged(k) => write!(f, "kernel `{k}` did not halt"),
+            Self::Gensim(e) => write!(f, "simulator generation failed: {e}"),
+            Self::Synthesis(e) => write!(f, "hardware synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates `machine` on the given kernels.
+///
+/// # Errors
+///
+/// See [`EvalError`]; exploration treats any error as "candidate
+/// infeasible".
+pub fn evaluate(
+    machine: &Machine,
+    kernels: &[Kernel],
+    hgen_options: HgenOptions,
+) -> Result<Evaluation, EvalError> {
+    let assembler = Assembler::new(machine);
+    let mut total = Stats::default();
+    let mut kernel_stats = Vec::new();
+    let mut compiled_all = Vec::new();
+    for kernel in kernels {
+        let compiled =
+            compile(machine, kernel).map_err(|e| EvalError::Compile(kernel.name.clone(), e))?;
+        let program = assembler
+            .assemble(&compiled.asm)
+            .map_err(|e| EvalError::Assemble(e.to_string()))?;
+        let mut sim =
+            Xsim::generate(machine).map_err(|e| EvalError::Gensim(e.to_string()))?;
+        sim.load_program(&program);
+        match sim.run(10_000_000) {
+            StopReason::Halted => {}
+            _ => return Err(EvalError::SimulationDiverged(kernel.name.clone())),
+        }
+        let stats = sim.stats().clone();
+        total.cycles += stats.cycles;
+        total.instructions += stats.instructions;
+        total.stall_cycles += stats.stall_cycles;
+        if total.field_busy.len() < stats.field_busy.len() {
+            total.field_busy.resize(stats.field_busy.len(), 0);
+        }
+        for (i, &b) in stats.field_busy.iter().enumerate() {
+            total.field_busy[i] += b;
+        }
+        kernel_stats.push(KernelRun {
+            name: kernel.name.clone(),
+            op_counts: sim.op_counts(),
+            nt_option_counts: count_nt_options(machine, &program),
+            stats,
+        });
+        compiled_all.push(compiled);
+    }
+
+    let hw = synthesize(machine, hgen_options).map_err(|e| EvalError::Synthesis(e.to_string()))?;
+    let runtime_us = total.cycles as f64 * hw.report.cycle_ns / 1_000.0;
+    Ok(Evaluation {
+        metrics: Metrics {
+            cycles: total.cycles,
+            instructions: total.instructions,
+            stall_cycles: total.stall_cycles,
+            cycle_ns: hw.report.cycle_ns,
+            runtime_us,
+            area_cells: hw.report.area_cells,
+            power_mw: hw.report.power_mw,
+            lines_of_verilog: hw.lines_of_verilog,
+            synthesis_time_s: hw.synthesis_time_s,
+        },
+        kernel_stats,
+        compiled: compiled_all,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn evaluates_toy_on_dot_product() {
+        let m = isdl::load(isdl::samples::TOY).expect("loads");
+        let kernels = vec![workloads::dot_product(4)];
+        let ev = evaluate(&m, &kernels, HgenOptions::default()).expect("evaluates");
+        assert!(ev.metrics.cycles > 10);
+        assert!(ev.metrics.cycle_ns > 0.0);
+        assert!(ev.metrics.runtime_us > 0.0);
+        assert!(ev.metrics.area_cells > 0.0);
+        assert_eq!(ev.kernel_stats.len(), 1);
+        assert_eq!(ev.compiled.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_candidate_reports_compile_error() {
+        // acc16 has no register file, so the workload cannot compile.
+        let m = isdl::load(isdl::samples::ACC16).expect("loads");
+        let e = evaluate(&m, &[workloads::dot_product(2)], HgenOptions::default())
+            .expect_err("should fail");
+        assert!(matches!(e, EvalError::Compile(_, _)));
+    }
+}

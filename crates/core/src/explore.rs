@@ -1,0 +1,598 @@
+//! Architecture exploration by iterative improvement (Figure 1).
+//!
+//! Starting from a candidate description, the explorer evaluates it,
+//! derives improvement *mutations* from the measured utilization
+//! statistics, evaluates every feasible neighbour, keeps the best
+//! improving one, and repeats until no mutation helps — the paper's
+//! "process repeated until no further improvements can be made".
+//!
+//! The mutation set reflects what the single-description methodology
+//! makes cheap (§4.1: "the granularity at which changes can be made is
+//! much finer"):
+//!
+//! * **remove an unused operation** — decode logic and its datapath
+//!   nodes disappear;
+//! * **remove an idle field** — a whole issue slot and its units go;
+//! * **add a `forbid` constraint** between operations the workload
+//!   never issues together — the constraint *proves* exclusivity to
+//!   the resource-sharing pass, shrinking the datapath at zero
+//!   performance cost (§4.1.2's rule-4 refinement in action).
+
+use crate::compiler::Kernel;
+use crate::eval::{evaluate, EvalError, Evaluation, Metrics};
+use hgen::HgenOptions;
+use isdl::model::{Constraint, FieldId, Machine, NtId, OpRef};
+
+/// Relative weights of the objective (log-space weighted sum, lower is
+/// better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    /// Weight of workload runtime.
+    pub runtime: f64,
+    /// Weight of die size.
+    pub area: f64,
+    /// Weight of power.
+    pub power: f64,
+}
+
+impl Default for Objective {
+    fn default() -> Self {
+        Self { runtime: 1.0, area: 1.0, power: 0.25 }
+    }
+}
+
+impl Objective {
+    /// The candidate's score — a weighted geometric mean in log space,
+    /// so a 10% runtime win trades transparently against a 10% area
+    /// win.
+    #[must_use]
+    pub fn score(&self, m: &Metrics) -> f64 {
+        self.runtime * m.runtime_us.max(1e-9).ln()
+            + self.area * m.area_cells.max(1e-9).ln()
+            + self.power * m.power_mw.max(1e-9).ln()
+    }
+}
+
+/// A candidate-to-candidate edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Drop one operation from its field.
+    RemoveOp(OpRef),
+    /// Drop a whole field.
+    RemoveField(FieldId),
+    /// Add `forbid a, b` so the sharing pass may merge their hardware.
+    ForbidPair(OpRef, OpRef),
+    /// Drop an unused addressing-mode option from a non-terminal —
+    /// its decode lines, value mux arm, and memory port disappear.
+    RemoveNtOption(NtId, usize),
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RemoveOp(r) => write!(f, "remove op {r}"),
+            Self::RemoveField(fid) => write!(f, "remove field #{}", fid.0),
+            Self::ForbidPair(a, b) => write!(f, "forbid {a} with {b}"),
+            Self::RemoveNtOption(nt, o) => write!(f, "remove option #{o} of nt#{}", nt.0),
+        }
+    }
+}
+
+/// Applies a mutation, returning the edited machine (or `None` when
+/// the edit is structurally impossible).
+#[must_use]
+pub fn apply_mutation(machine: &Machine, m: &Mutation) -> Option<Machine> {
+    let mut out = machine.clone();
+    match m {
+        Mutation::RemoveOp(r) => {
+            let field = out.fields.get_mut(r.field.0)?;
+            if r.op >= field.ops.len() || field.ops.len() == 1 {
+                return None;
+            }
+            // Never remove the nop — the assembler default needs it.
+            if field.nop == Some(r.op) {
+                return None;
+            }
+            field.ops.remove(r.op);
+            if let Some(n) = field.nop {
+                if n > r.op {
+                    field.nop = Some(n - 1);
+                }
+            }
+            remap_op_refs(&mut out, |x| {
+                if x.field == r.field {
+                    match x.op.cmp(&r.op) {
+                        std::cmp::Ordering::Less => Some(x),
+                        std::cmp::Ordering::Equal => None,
+                        std::cmp::Ordering::Greater => Some(OpRef { field: x.field, op: x.op - 1 }),
+                    }
+                } else {
+                    Some(x)
+                }
+            });
+            Some(out)
+        }
+        Mutation::RemoveField(fid) => {
+            if out.fields.len() <= 1 || fid.0 >= out.fields.len() {
+                return None;
+            }
+            out.fields.remove(fid.0);
+            remap_op_refs(&mut out, |x| {
+                use std::cmp::Ordering::*;
+                match x.field.0.cmp(&fid.0) {
+                    Less => Some(x),
+                    Equal => None,
+                    Greater => Some(OpRef { field: FieldId(x.field.0 - 1), op: x.op }),
+                }
+            });
+            Some(out)
+        }
+        Mutation::ForbidPair(a, b) => {
+            if a.field == b.field {
+                return None; // already exclusive
+            }
+            let c = Constraint::Forbid(vec![*a, *b]);
+            if out.constraints.contains(&c) {
+                return None;
+            }
+            out.constraints.push(c);
+            Some(out)
+        }
+        Mutation::RemoveNtOption(nt, option) => {
+            let ntd = out.nonterminals.get_mut(nt.0)?;
+            if *option >= ntd.options.len() || ntd.options.len() <= 1 {
+                return None;
+            }
+            ntd.options.remove(*option);
+            Some(out)
+        }
+    }
+}
+
+/// Rewrites every [`OpRef`] in constraints and share hints; entries
+/// whose mapping returns `None` are dropped.
+fn remap_op_refs(machine: &mut Machine, f: impl Fn(OpRef) -> Option<OpRef>) {
+    machine.constraints.retain_mut(|c| match c {
+        Constraint::Forbid(ops) => {
+            let mapped: Option<Vec<OpRef>> = ops.iter().map(|&r| f(r)).collect();
+            match mapped {
+                Some(v) => {
+                    *ops = v;
+                    true
+                }
+                None => false,
+            }
+        }
+        // General assertions over a removed op become stale; drop them.
+        Constraint::Assert(e) => cexpr_ops(e).iter().all(|&r| f(r).is_some()),
+    });
+    // Remap the surviving assert expressions and hints.
+    for c in &mut machine.constraints {
+        if let Constraint::Assert(e) = c {
+            remap_cexpr(e, &f);
+        }
+    }
+    machine.share_hints.retain_mut(|h| {
+        let mapped: Option<Vec<OpRef>> = h.ops.iter().map(|&r| f(r)).collect();
+        match mapped {
+            Some(v) if v.len() >= 2 => {
+                h.ops = v;
+                true
+            }
+            _ => false,
+        }
+    });
+}
+
+fn cexpr_ops(e: &isdl::model::CExpr) -> Vec<OpRef> {
+    use isdl::model::CExpr::*;
+    match e {
+        Op(r) => vec![*r],
+        Not(x) => cexpr_ops(x),
+        And(a, b) | Or(a, b) => {
+            let mut v = cexpr_ops(a);
+            v.extend(cexpr_ops(b));
+            v
+        }
+    }
+}
+
+fn remap_cexpr(e: &mut isdl::model::CExpr, f: &impl Fn(OpRef) -> Option<OpRef>) {
+    use isdl::model::CExpr::*;
+    match e {
+        Op(r) => {
+            if let Some(n) = f(*r) {
+                *r = n;
+            }
+        }
+        Not(x) => remap_cexpr(x, f),
+        And(a, b) | Or(a, b) => {
+            remap_cexpr(a, f);
+            remap_cexpr(b, f);
+        }
+    }
+}
+
+/// One accepted step of the exploration.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// What was changed ("initial" for the starting point).
+    pub action: String,
+    /// The measurements after the change.
+    pub metrics: Metrics,
+    /// The objective score (lower is better).
+    pub score: f64,
+}
+
+/// The exploration result.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Accepted steps, starting with the initial evaluation.
+    pub steps: Vec<Step>,
+    /// The best machine found.
+    pub machine: Machine,
+    /// Total candidates evaluated (accepted + rejected).
+    pub candidates_evaluated: usize,
+}
+
+/// How the candidate space is searched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Steepest-descent hill climbing: evaluate every neighbour, take
+    /// the best improving one (the paper's "iterative improvement").
+    Greedy,
+    /// Beam search: carry the `width` best candidates forward each
+    /// round, which can climb out of single-mutation dead ends at the
+    /// cost of proportionally more evaluations.
+    Beam {
+        /// Number of candidates kept per round (≥ 1).
+        width: usize,
+    },
+}
+
+/// The exploration driver.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Objective weights.
+    pub objective: Objective,
+    /// HGEN configuration used for every evaluation.
+    pub hgen: HgenOptions,
+    /// Maximum accepted improvement steps (rounds, for beam search).
+    pub max_steps: usize,
+    /// Search strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self {
+            objective: Objective::default(),
+            hgen: HgenOptions::default(),
+            max_steps: 16,
+            strategy: Strategy::Greedy,
+        }
+    }
+}
+
+impl Explorer {
+    /// Runs exploration from `start` over `kernels`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the *starting* candidate cannot be evaluated;
+    /// infeasible neighbours are skipped silently.
+    pub fn run(&self, start: &Machine, kernels: &[Kernel]) -> Result<Trace, EvalError> {
+        match self.strategy {
+            Strategy::Greedy => self.run_greedy(start, kernels),
+            Strategy::Beam { width } => self.run_beam(start, kernels, width.max(1)),
+        }
+    }
+
+    fn run_greedy(&self, start: &Machine, kernels: &[Kernel]) -> Result<Trace, EvalError> {
+        let mut current = start.clone();
+        let mut current_eval = evaluate(&current, kernels, self.hgen)?;
+        let mut score = self.objective.score(&current_eval.metrics);
+        let mut steps = vec![Step {
+            action: "initial".to_owned(),
+            metrics: current_eval.metrics.clone(),
+            score,
+        }];
+        let mut evaluated = 1;
+
+        for _ in 0..self.max_steps {
+            let mutations = self.propose(&current, &current_eval);
+            let mut best: Option<(Mutation, Machine, Evaluation, f64)> = None;
+            for m in mutations {
+                let Some(candidate) = apply_mutation(&current, &m) else {
+                    continue;
+                };
+                let Ok(ev) = evaluate(&candidate, kernels, self.hgen) else {
+                    continue;
+                };
+                evaluated += 1;
+                let s = self.objective.score(&ev.metrics);
+                if s < score - 1e-9 && best.as_ref().is_none_or(|(_, _, _, bs)| s < *bs) {
+                    best = Some((m, candidate, ev, s));
+                }
+            }
+            match best {
+                Some((m, machine, ev, s)) => {
+                    steps.push(Step { action: m.to_string(), metrics: ev.metrics.clone(), score: s });
+                    current = machine;
+                    current_eval = ev;
+                    score = s;
+                }
+                None => break,
+            }
+        }
+        Ok(Trace { steps, machine: current, candidates_evaluated: evaluated })
+    }
+
+    fn run_beam(
+        &self,
+        start: &Machine,
+        kernels: &[Kernel],
+        width: usize,
+    ) -> Result<Trace, EvalError> {
+        let initial_eval = evaluate(start, kernels, self.hgen)?;
+        let initial_score = self.objective.score(&initial_eval.metrics);
+        let mut steps = vec![Step {
+            action: "initial".to_owned(),
+            metrics: initial_eval.metrics.clone(),
+            score: initial_score,
+        }];
+        let mut evaluated = 1usize;
+        // (machine, eval, score, action that produced it)
+        let mut beam = vec![(start.clone(), initial_eval, initial_score, String::new())];
+        let mut best = 0usize; // index into beam of the overall best
+
+        for _ in 0..self.max_steps {
+            let mut frontier: Vec<(Machine, Evaluation, f64, String)> = Vec::new();
+            for (machine, ev, _, _) in &beam {
+                for m in self.propose(machine, ev) {
+                    let Some(candidate) = apply_mutation(machine, &m) else {
+                        continue;
+                    };
+                    let Ok(cev) = evaluate(&candidate, kernels, self.hgen) else {
+                        continue;
+                    };
+                    evaluated += 1;
+                    let s = self.objective.score(&cev.metrics);
+                    frontier.push((candidate, cev, s, m.to_string()));
+                }
+            }
+            if frontier.is_empty() {
+                break;
+            }
+            frontier.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+            frontier.truncate(width);
+            let round_best = frontier[0].2;
+            let current_best = beam[best].2;
+            beam = frontier;
+            best = 0;
+            if round_best < current_best - 1e-9 {
+                steps.push(Step {
+                    action: beam[0].3.clone(),
+                    metrics: beam[0].1.metrics.clone(),
+                    score: round_best,
+                });
+            } else {
+                break;
+            }
+        }
+        let (machine, _, _, _) = beam.swap_remove(best);
+        Ok(Trace { steps, machine, candidates_evaluated: evaluated })
+    }
+
+    /// Proposes mutations guided by the utilization statistics.
+    fn propose(&self, machine: &Machine, ev: &Evaluation) -> Vec<Mutation> {
+        let mut out = Vec::new();
+        // Aggregate dynamic counts.
+        let mut counts = std::collections::HashMap::new();
+        let mut instructions = 0u64;
+        let mut field_busy = vec![0u64; machine.fields.len()];
+        for run in &ev.kernel_stats {
+            instructions += run.stats.instructions;
+            for (&r, &n) in &run.op_counts {
+                *counts.entry(r).or_insert(0u64) += n;
+            }
+            for (i, &b) in run.stats.field_busy.iter().enumerate() {
+                if i < field_busy.len() {
+                    field_busy[i] += b;
+                }
+            }
+        }
+        // Unused operations (never selected, or only as implicit nops).
+        for (r, op) in machine.all_ops() {
+            let used = counts.get(&r).copied().unwrap_or(0);
+            let is_nop = machine.fields[r.field.0].nop == Some(r.op);
+            if used == 0 && !is_nop {
+                let _ = op;
+                out.push(Mutation::RemoveOp(r));
+            }
+        }
+        // Idle fields.
+        for (fi, &busy) in field_busy.iter().enumerate() {
+            if busy == 0 && machine.fields.len() > 1 {
+                out.push(Mutation::RemoveField(FieldId(fi)));
+            }
+        }
+        // Unused non-terminal options (addressing modes the workload
+        // never exercises).
+        let mut nt_used = std::collections::HashMap::new();
+        for run in &ev.kernel_stats {
+            for (&k, &n) in &run.nt_option_counts {
+                *nt_used.entry(k).or_insert(0u64) += n;
+            }
+        }
+        for (ni, nt) in machine.nonterminals.iter().enumerate() {
+            if nt.options.len() < 2 {
+                continue;
+            }
+            for oi in 0..nt.options.len() {
+                if nt_used.get(&(NtId(ni), oi)).copied().unwrap_or(0) == 0 {
+                    out.push(Mutation::RemoveNtOption(NtId(ni), oi));
+                }
+            }
+        }
+        // Forbid pairs of *used* cross-field operations that the
+        // workload never co-issues (our code generator never co-issues
+        // anything, so any used pair qualifies; keep the list small by
+        // pairing the busiest ops first).
+        let mut used: Vec<(OpRef, u64)> = counts
+            .iter()
+            .filter(|(r, &n)| n > 0 && machine.fields[r.field.0].nop != Some(r.op))
+            .map(|(&r, &n)| (r, n))
+            .collect();
+        used.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        used.truncate(6);
+        for (i, &(a, _)) in used.iter().enumerate() {
+            for &(b, _) in &used[i + 1..] {
+                if a.field != b.field {
+                    out.push(Mutation::ForbidPair(a, b));
+                }
+            }
+        }
+        let _ = instructions;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    fn toy() -> Machine {
+        isdl::load(isdl::samples::TOY).expect("loads")
+    }
+
+    #[test]
+    fn remove_op_remaps_references() {
+        let m = toy();
+        let ld = m.op_by_name("ALU", "ld").expect("ld");
+        let out = apply_mutation(&m, &Mutation::RemoveOp(ld)).expect("applies");
+        assert_eq!(out.fields[0].ops.len(), m.fields[0].ops.len() - 1);
+        // The mac/mvacc constraint survives with shifted indices.
+        assert_eq!(out.constraints.len(), 1);
+        let mac = out.op_by_name("ALU", "mac").expect("mac survives");
+        match &out.constraints[0] {
+            Constraint::Forbid(ops) => assert!(ops.contains(&mac)),
+            other => panic!("unexpected constraint {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removing_referenced_op_drops_constraint() {
+        let m = toy();
+        let mac = m.op_by_name("ALU", "mac").expect("mac");
+        let out = apply_mutation(&m, &Mutation::RemoveOp(mac)).expect("applies");
+        assert!(out.constraints.is_empty(), "constraint on removed op dropped");
+        assert!(out.share_hints.is_empty(), "hint on removed op dropped");
+    }
+
+    #[test]
+    fn cannot_remove_nop_or_last_field() {
+        let m = toy();
+        let nop = m.op_by_name("ALU", "nop").expect("nop");
+        assert!(apply_mutation(&m, &Mutation::RemoveOp(nop)).is_none());
+        let mut single = m.clone();
+        single.fields.truncate(1);
+        assert!(apply_mutation(&single, &Mutation::RemoveField(FieldId(0))).is_none());
+    }
+
+    #[test]
+    fn forbid_pair_added_once() {
+        let m = toy();
+        let add = m.op_by_name("ALU", "add").expect("add");
+        let mv = m.op_by_name("MOVE", "mv").expect("mv");
+        let out = apply_mutation(&m, &Mutation::ForbidPair(add, mv)).expect("applies");
+        assert_eq!(out.constraints.len(), 2);
+        assert!(apply_mutation(&out, &Mutation::ForbidPair(add, mv)).is_none());
+    }
+
+    #[test]
+    fn exploration_improves_toy_on_dot_product() {
+        let kernels = vec![workloads::dot_product(3)];
+        let explorer = Explorer { max_steps: 6, ..Explorer::default() };
+        let trace = explorer.run(&toy(), &kernels).expect("explores");
+        assert!(trace.steps.len() > 1, "at least one improvement found");
+        let first = trace.steps.first().expect("initial");
+        let last = trace.steps.last().expect("final");
+        assert!(last.score < first.score, "objective improved");
+        assert!(
+            last.metrics.area_cells < first.metrics.area_cells,
+            "removing unused ops shrinks the die"
+        );
+        // The improved machine still computes the right answer (the
+        // evaluator re-ran the workload at every step).
+        assert!(trace.candidates_evaluated > trace.steps.len());
+    }
+}
+
+#[cfg(test)]
+mod nt_option_tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn unused_addressing_mode_is_removed() {
+        // The code generator only ever emits register-direct operands,
+        // so the `ind` option of TOY's SRC non-terminal is dead weight
+        // the explorer should find and remove.
+        let start = isdl::load(isdl::samples::TOY).expect("loads");
+        assert_eq!(start.nonterminals[0].options.len(), 2);
+        let kernels = vec![workloads::vector_update(3)];
+        let explorer = Explorer { max_steps: 10, ..Explorer::default() };
+        let trace = explorer.run(&start, &kernels).expect("explores");
+        assert!(
+            trace
+                .steps
+                .iter()
+                .any(|s| s.action.contains("remove option")),
+            "steps: {:?}",
+            trace.steps.iter().map(|s| s.action.clone()).collect::<Vec<_>>()
+        );
+        assert_eq!(trace.machine.nonterminals[0].options.len(), 1);
+    }
+
+    #[test]
+    fn remove_nt_option_respects_minimum() {
+        let m = isdl::load(isdl::samples::TOY).expect("loads");
+        let one = apply_mutation(&m, &Mutation::RemoveNtOption(NtId(0), 1)).expect("applies");
+        assert!(
+            apply_mutation(&one, &Mutation::RemoveNtOption(NtId(0), 0)).is_none(),
+            "the last option must stay"
+        );
+        assert!(apply_mutation(&m, &Mutation::RemoveNtOption(NtId(0), 9)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod beam_tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn beam_search_matches_or_beats_greedy() {
+        let start = isdl::load(isdl::samples::TOY).expect("loads");
+        let kernels = vec![workloads::dot_product(2)];
+        let greedy = Explorer { max_steps: 4, ..Explorer::default() }
+            .run(&start, &kernels)
+            .expect("greedy explores");
+        let beam = Explorer {
+            max_steps: 4,
+            strategy: Strategy::Beam { width: 3 },
+            ..Explorer::default()
+        }
+        .run(&start, &kernels)
+        .expect("beam explores");
+        let g = greedy.steps.last().expect("steps").score;
+        let b = beam.steps.last().expect("steps").score;
+        assert!(b <= g + 1e-9, "beam ({b}) must not lose to greedy ({g})");
+        assert!(
+            beam.candidates_evaluated >= greedy.candidates_evaluated,
+            "the wider search costs more evaluations"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Workload kernels for the exploration loop and the benchmark
+//! harness — the DSP-flavoured programs the paper's embedded-systems
+//! motivation implies (dot products, FIR filters, vector updates).
+//!
+//! Kernels are emitted fully unrolled over a small rotating set of
+//! virtual registers, so they compile for any machine with a handful
+//! of registers.
+
+use crate::compiler::{AOp, Kernel, VReg};
+
+/// Dot product of two `n`-element vectors: `out[16+?] = Σ x[i] · y[i]`.
+///
+/// Data layout: `x` at addresses `0..n`, `y` at `n..2n`, result stored
+/// at `2n`.
+#[must_use]
+pub fn dot_product(n: u64) -> Kernel {
+    let mut ops = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..n {
+        data.push((i, (i + 1) as i64)); // x[i] = i+1
+        data.push((n + i, 2 * (i + 1) as i64)); // y[i] = 2(i+1)
+    }
+    ops.push(AOp::ClearAcc);
+    for i in 0..n {
+        ops.push(AOp::Load { d: VReg(0), addr: i });
+        ops.push(AOp::Load { d: VReg(1), addr: n + i });
+        ops.push(AOp::MulAcc { a: VReg(0), b: VReg(1) });
+    }
+    ops.push(AOp::ReadAcc { d: VReg(2) });
+    ops.push(AOp::Store { addr: 2 * n, s: VReg(2) });
+    ops.push(AOp::End);
+    Kernel { name: format!("dot{n}"), ops, data }
+}
+
+/// The closed-form expected result of [`dot_product`].
+#[must_use]
+pub fn dot_product_expected(n: u64) -> u64 {
+    (1..=n).map(|i| i * 2 * i).sum()
+}
+
+/// `taps`-tap FIR filter over `samples` input samples (valid region
+/// only). Coefficients at `0..taps`, input at `taps..taps+samples`,
+/// outputs at `taps+samples..`.
+#[must_use]
+pub fn fir(taps: u64, samples: u64) -> Kernel {
+    let mut ops = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..taps {
+        data.push((i, 1 + i as i64)); // simple ramp coefficients
+    }
+    for i in 0..samples {
+        data.push((taps + i, ((i * 3 + 1) % 17) as i64));
+    }
+    let out_base = taps + samples;
+    let outputs = samples.saturating_sub(taps - 1);
+    for o in 0..outputs {
+        ops.push(AOp::ClearAcc);
+        for t in 0..taps {
+            ops.push(AOp::Load { d: VReg(0), addr: t });
+            ops.push(AOp::Load { d: VReg(1), addr: taps + o + (taps - 1 - t) });
+            ops.push(AOp::MulAcc { a: VReg(0), b: VReg(1) });
+        }
+        ops.push(AOp::ReadAcc { d: VReg(2) });
+        ops.push(AOp::Store { addr: out_base + o, s: VReg(2) });
+    }
+    ops.push(AOp::End);
+    Kernel { name: format!("fir{taps}x{samples}"), ops, data }
+}
+
+/// Element-wise vector update `z[i] = x[i] + y[i] - c` over `n`
+/// elements — exercises add/sub and load-immediate, no multiplier.
+#[must_use]
+pub fn vector_update(n: u64) -> Kernel {
+    let mut ops = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..n {
+        data.push((i, (10 + i) as i64));
+        data.push((n + i, (5 + 2 * i) as i64));
+    }
+    ops.push(AOp::LoadImm { d: VReg(3), v: 4 }); // c
+    for i in 0..n {
+        ops.push(AOp::Load { d: VReg(0), addr: i });
+        ops.push(AOp::Load { d: VReg(1), addr: n + i });
+        ops.push(AOp::Add { d: VReg(2), a: VReg(0), b: VReg(1) });
+        ops.push(AOp::Sub { d: VReg(2), a: VReg(2), b: VReg(3) });
+        ops.push(AOp::Store { addr: 2 * n + i, s: VReg(2) });
+    }
+    ops.push(AOp::End);
+    Kernel { name: format!("vecupd{n}"), ops, data }
+}
+
+/// Fully unrolled `n × n` matrix multiply: `C = A · B` with row-major
+/// matrices. `A` at `0..n²`, `B` at `n²..2n²`, `C` at `2n²..3n²`.
+/// Needs only three data registers, so it compiles for any machine
+/// with a MAC unit.
+#[must_use]
+pub fn matmul(n: u64) -> Kernel {
+    let mut ops = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..n * n {
+        data.push((i, (i % 7 + 1) as i64)); // A
+        data.push((n * n + i, (i % 5 + 1) as i64)); // B
+    }
+    for r in 0..n {
+        for c in 0..n {
+            ops.push(AOp::ClearAcc);
+            for k in 0..n {
+                ops.push(AOp::Load { d: VReg(0), addr: r * n + k });
+                ops.push(AOp::Load { d: VReg(1), addr: n * n + (k * n + c) });
+                ops.push(AOp::MulAcc { a: VReg(0), b: VReg(1) });
+            }
+            ops.push(AOp::ReadAcc { d: VReg(2) });
+            ops.push(AOp::Store { addr: 2 * n * n + (r * n + c), s: VReg(2) });
+        }
+    }
+    ops.push(AOp::End);
+    Kernel { name: format!("matmul{n}"), ops, data }
+}
+
+/// Reference result of [`matmul`] for checking simulator output.
+#[must_use]
+pub fn matmul_expected(n: u64) -> Vec<u64> {
+    let a = |i: u64| i % 7 + 1;
+    let b = |i: u64| i % 5 + 1;
+    let mut out = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            out.push((0..n).map(|k| a(r * n + k) * b(k * n + c)).sum());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gensim::{StopReason, Xsim};
+    use xasm::Assembler;
+
+    fn run_on_toy(kernel: &Kernel) -> (isdl::Machine, Vec<u64>) {
+        let m = isdl::load(isdl::samples::TOY).expect("loads");
+        let compiled = crate::compiler::compile(&m, kernel).expect("compiles");
+        let program = Assembler::new(&m).assemble(&compiled.asm).expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&program);
+        assert_eq!(sim.run(1_000_000), StopReason::Halted);
+        let dm = m.storage_by_name("DM").expect("DM").0;
+        let dump = (0..sim.state().depth(dm)).map(|a| sim.state().read_u64(dm, a)).collect();
+        (m, dump)
+    }
+
+    #[test]
+    fn dot_product_computes_correctly() {
+        let k = dot_product(4);
+        let (_, dump) = run_on_toy(&k);
+        assert_eq!(dump[8], dot_product_expected(4)); // 2*(1+4+9+16) = 60
+    }
+
+    #[test]
+    fn fir_produces_valid_outputs() {
+        let k = fir(3, 6);
+        let (_, dump) = run_on_toy(&k);
+        // Reference computation.
+        let coeff: Vec<u64> = (0..3).map(|i| 1 + i).collect();
+        let input: Vec<u64> = (0..6).map(|i| (i * 3 + 1) % 17).collect();
+        for o in 0..4 {
+            let expect: u64 = (0..3).map(|t| coeff[t] * input[o + 2 - t]).sum();
+            assert_eq!(dump[9 + o], expect, "output {o}");
+        }
+    }
+
+    #[test]
+    fn matmul_computes_correctly() {
+        let k = matmul(3);
+        let (_, dump) = run_on_toy(&k);
+        let expect = matmul_expected(3);
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(dump[18 + i], e, "C[{i}]");
+        }
+    }
+
+    #[test]
+    fn vector_update_computes_correctly() {
+        let k = vector_update(3);
+        let (_, dump) = run_on_toy(&k);
+        for i in 0..3u64 {
+            let expect = (10 + i) + (5 + 2 * i) - 4;
+            assert_eq!(dump[(6 + i) as usize], expect, "element {i}");
+        }
+    }
+}

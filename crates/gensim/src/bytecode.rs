@@ -1,0 +1,679 @@
+//! The compiled processing core.
+//!
+//! GENSIM emits the processing core as C source compiled into the
+//! simulator binary (§3.3.3). The Rust analogue: RTL is compiled once
+//! per (operation, non-terminal-option choice) into a flat register
+//! bytecode over `u64` lanes, then executed by a tight loop — no tree
+//! walking, no `BitVector` allocation on the hot path.
+//!
+//! Operations whose RTL involves values wider than 64 bits fall back to
+//! the tree-walking core transparently; results are bit-identical by
+//! construction (and cross-checked in the test suite).
+
+use crate::exec::{self, Binding, Frame, OverlayView, StagedWrite};
+use crate::state::State;
+use bitv::BitVector;
+use isdl::model::{Machine, OpRef};
+use isdl::rtl::{BinOp, ExtKind, RExpr, RExprKind, RLvalue, RStmt, StorageId, UnOp};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Cache of compiled operation phases.
+#[derive(Debug, Default)]
+pub(crate) struct Cache {
+    map: HashMap<Key, Rc<Compiled>>,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash, Clone)]
+struct Key {
+    op: OpRef,
+    phase: Phase,
+    /// Non-terminal option choices, flattened in traversal order.
+    options: Vec<usize>,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
+pub(crate) enum Phase {
+    Action,
+    SideEffects,
+}
+
+/// A parameter slot tree mirroring the bindings, mapping token leaves
+/// to flattened runtime slots.
+#[derive(Debug, Clone)]
+enum PSlot {
+    Token(u16),
+    Nt { nt: usize, option: usize, args: Vec<PSlot> },
+}
+
+#[derive(Debug)]
+pub(crate) enum Compiled {
+    /// Flat bytecode over u64 lanes.
+    Code(Program),
+    /// RTL too wide for u64 lanes — interpret the tree instead.
+    Wide,
+}
+
+#[derive(Debug)]
+pub(crate) struct Program {
+    code: Vec<BOp>,
+    n_regs: usize,
+}
+
+type Reg = u16;
+
+#[derive(Debug, Clone)]
+enum BOp {
+    Const { dst: Reg, val: u64 },
+    ReadParam { dst: Reg, slot: u16 },
+    ReadSt { dst: Reg, sid: StorageId },
+    ReadIdx { dst: Reg, sid: StorageId, idx: Reg, depth: u64 },
+    Bin { op: BinOp, w: u32, dst: Reg, a: Reg, b: Reg },
+    Un { op: UnOp, w: u32, dst: Reg, a: Reg },
+    Slice { dst: Reg, src: Reg, hi: u32, lo: u32 },
+    Sext { dst: Reg, src: Reg, from_w: u32, to_w: u32 },
+    /// Zext and trunc are pure masks on u64 lanes.
+    Mask { dst: Reg, src: Reg, w: u32 },
+    /// `dst = (a << b_width) | b` — lowered concat.
+    Cat { dst: Reg, a: Reg, b: Reg, b_width: u32 },
+    JmpIfZero { cond: Reg, target: usize },
+    Jmp { target: usize },
+    Write { sid: StorageId, idx: Option<Reg>, depth: u64, hi: u32, lo: u32, src: Reg },
+}
+
+impl Cache {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up (or compiles) the given phase of `op_ref` for the
+    /// non-terminal option choices of `bindings`. The result is cached
+    /// and shared, so per-instruction preparation is one hash lookup.
+    pub(crate) fn prepare(
+        &mut self,
+        machine: &Machine,
+        op_ref: OpRef,
+        phase: Phase,
+        bindings: &[Binding],
+    ) -> Rc<Compiled> {
+        let key = Key { op: op_ref, phase, options: option_path(bindings) };
+        if let Some(c) = self.map.get(&key) {
+            return Rc::clone(c);
+        }
+        let c = Rc::new(compile(machine, op_ref, phase, bindings));
+        self.map.insert(key, Rc::clone(&c));
+        c
+    }
+}
+
+/// Token leaf values of a binding tree, flattened for the prepared
+/// plans.
+pub(crate) fn flatten_params(bindings: &[Binding]) -> Vec<u64> {
+    flatten_tokens(bindings)
+}
+
+/// Executes a prepared phase. `regs` is caller-owned scratch reused
+/// across invocations (sized on demand). The tree-walking fallback for
+/// wide RTL uses `op`/`bindings`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_compiled(
+    compiled: &Compiled,
+    machine: &Machine,
+    op: &isdl::model::Operation,
+    phase: Phase,
+    bindings: &[Binding],
+    params: &[u64],
+    state: &State,
+    overlay: &[StagedWrite],
+    latency: u32,
+    out: &mut Vec<StagedWrite>,
+    regs: &mut Vec<u64>,
+) {
+    match compiled {
+        Compiled::Wide => {
+            let stmts = match phase {
+                Phase::Action => &op.action,
+                Phase::SideEffects => &op.side_effects,
+            };
+            let frame = Frame { op, bindings };
+            if overlay.is_empty() {
+                exec::exec_stmts(machine, stmts, frame, state, latency, out);
+            } else {
+                let view = OverlayView::new(state, overlay);
+                exec::exec_stmts(machine, stmts, frame, &view, latency, out);
+            }
+        }
+        Compiled::Code(p) => {
+            run(p, params, state, overlay, latency, out, regs);
+        }
+    }
+}
+
+/// Flattened non-terminal option choices (the compile key).
+fn option_path(bindings: &[Binding]) -> Vec<usize> {
+    let mut out = Vec::new();
+    fn go(b: &Binding, out: &mut Vec<usize>) {
+        if let Binding::Nt { option, args, .. } = b {
+            out.push(*option);
+            for a in args {
+                go(a, out);
+            }
+        }
+    }
+    for b in bindings {
+        go(b, &mut out);
+    }
+    out
+}
+
+/// Token leaf values in traversal order, as u64.
+fn flatten_tokens(bindings: &[Binding]) -> Vec<u64> {
+    let mut out = Vec::new();
+    fn go(b: &Binding, out: &mut Vec<u64>) {
+        match b {
+            Binding::Token(v) => out.push(v.to_u64_lossy()),
+            Binding::Nt { args, .. } => {
+                for a in args {
+                    go(a, out);
+                }
+            }
+        }
+    }
+    for b in bindings {
+        go(b, &mut out);
+    }
+    out
+}
+
+fn build_slots(bindings: &[Binding], next: &mut u16) -> Vec<PSlot> {
+    bindings
+        .iter()
+        .map(|b| match b {
+            Binding::Token(_) => {
+                let s = PSlot::Token(*next);
+                *next += 1;
+                s
+            }
+            Binding::Nt { nt, option, args } => PSlot::Nt {
+                nt: *nt,
+                option: *option,
+                args: build_slots(args, next),
+            },
+        })
+        .collect()
+}
+
+// ---------- compilation ----------
+
+struct Compiler<'m> {
+    machine: &'m Machine,
+    code: Vec<BOp>,
+    next_reg: Reg,
+}
+
+struct WideRtl;
+
+fn compile(machine: &Machine, op_ref: OpRef, phase: Phase, bindings: &[Binding]) -> Compiled {
+    let op = machine.op(op_ref);
+    let stmts = match phase {
+        Phase::Action => &op.action,
+        Phase::SideEffects => &op.side_effects,
+    };
+    let mut next = 0u16;
+    let slots = build_slots(bindings, &mut next);
+    let mut c = Compiler { machine, code: Vec::new(), next_reg: 0 };
+    let _ = op;
+    match c.compile_stmts(stmts, &slots) {
+        Ok(()) => Compiled::Code(Program { code: c.code, n_regs: c.next_reg as usize }),
+        Err(WideRtl) => Compiled::Wide,
+    }
+}
+
+impl Compiler<'_> {
+    fn fresh(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn compile_stmts(&mut self, stmts: &[RStmt], slots: &[PSlot]) -> Result<(), WideRtl> {
+        for s in stmts {
+            self.compile_stmt(s, slots)?;
+        }
+        Ok(())
+    }
+
+    fn compile_stmt(&mut self, s: &RStmt, slots: &[PSlot]) -> Result<(), WideRtl> {
+        match s {
+            RStmt::Assign { lv, rhs } => {
+                let src = self.compile_expr(rhs, slots)?;
+                let (sid, idx, hi, lo) = self.compile_lvalue(lv, slots)?;
+                let depth = self.machine.storage(sid).cells();
+                self.code.push(BOp::Write { sid, idx, depth, hi, lo, src });
+                Ok(())
+            }
+            RStmt::If { cond, then_body, else_body } => {
+                let c = self.compile_expr(cond, slots)?;
+                let jz_at = self.code.len();
+                self.code.push(BOp::JmpIfZero { cond: c, target: usize::MAX });
+                self.compile_stmts(then_body, slots)?;
+                if else_body.is_empty() {
+                    let end = self.code.len();
+                    self.patch(jz_at, end);
+                } else {
+                    let jmp_at = self.code.len();
+                    self.code.push(BOp::Jmp { target: usize::MAX });
+                    let else_start = self.code.len();
+                    self.patch(jz_at, else_start);
+                    self.compile_stmts(else_body, slots)?;
+                    let end = self.code.len();
+                    self.patch(jmp_at, end);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        match &mut self.code[at] {
+            BOp::JmpIfZero { target: t, .. } | BOp::Jmp { target: t } => *t = target,
+            _ => unreachable!("patched instruction is a jump"),
+        }
+    }
+
+    fn compile_lvalue(
+        &mut self,
+        lv: &RLvalue,
+        slots: &[PSlot],
+    ) -> Result<(StorageId, Option<Reg>, u32, u32), WideRtl> {
+        match lv {
+            RLvalue::Storage(id) => {
+                let w = self.machine.storage(*id).width;
+                if w > 64 {
+                    return Err(WideRtl);
+                }
+                Ok((*id, None, w - 1, 0))
+            }
+            RLvalue::StorageIndexed(id, idx) => {
+                let w = self.machine.storage(*id).width;
+                if w > 64 {
+                    return Err(WideRtl);
+                }
+                let r = self.compile_expr(idx, slots)?;
+                Ok((*id, Some(r), w - 1, 0))
+            }
+            RLvalue::Slice { base, hi, lo } => {
+                let (sid, idx, _bhi, blo) = self.compile_lvalue(base, slots)?;
+                Ok((sid, idx, blo + hi, blo + lo))
+            }
+            RLvalue::Param(p) => {
+                let PSlot::Nt { nt, option, args } = &slots[*p] else {
+                    unreachable!("sema guarantees destination params are non-terminals")
+                };
+                // `machine` is a shared reference independent of the
+                // `&mut self` borrow, so the option outlives the call.
+                let machine = self.machine;
+                let opt = &machine.nonterminals[*nt].options[*option];
+                let inner = opt
+                    .value_lvalue
+                    .as_ref()
+                    .expect("sema checked the option is assignable");
+                let args = args.clone();
+                self.compile_lvalue(inner, &args)
+            }
+        }
+    }
+
+    fn compile_expr(&mut self, e: &RExpr, slots: &[PSlot]) -> Result<Reg, WideRtl> {
+        if e.width > 64 {
+            return Err(WideRtl);
+        }
+        match &e.kind {
+            RExprKind::Lit(v) => {
+                let dst = self.fresh();
+                let val = v.to_u64().ok_or(WideRtl)?;
+                self.code.push(BOp::Const { dst, val });
+                Ok(dst)
+            }
+            RExprKind::Storage(id) => {
+                if self.machine.storage(*id).width > 64 {
+                    return Err(WideRtl);
+                }
+                let dst = self.fresh();
+                self.code.push(BOp::ReadSt { dst, sid: *id });
+                Ok(dst)
+            }
+            RExprKind::StorageIndexed(id, idx) => {
+                if self.machine.storage(*id).width > 64 {
+                    return Err(WideRtl);
+                }
+                let r = self.compile_expr(idx, slots)?;
+                let dst = self.fresh();
+                let depth = self.machine.storage(*id).cells();
+                self.code.push(BOp::ReadIdx { dst, sid: *id, idx: r, depth });
+                Ok(dst)
+            }
+            RExprKind::Param(p) => match &slots[*p] {
+                PSlot::Token(slot) => {
+                    let dst = self.fresh();
+                    self.code.push(BOp::ReadParam { dst, slot: *slot });
+                    Ok(dst)
+                }
+                PSlot::Nt { nt, option, args } => {
+                    let machine = self.machine;
+                    let opt = &machine.nonterminals[*nt].options[*option];
+                    let value = opt.value.as_ref().expect("sema checked value exists");
+                    let args = args.clone();
+                    self.compile_expr(value, &args)
+                }
+            },
+            RExprKind::Slice(inner, hi, lo) => {
+                let src = self.compile_expr(inner, slots)?;
+                let dst = self.fresh();
+                self.code.push(BOp::Slice { dst, src, hi: *hi, lo: *lo });
+                Ok(dst)
+            }
+            RExprKind::Unary(u, inner) => {
+                let a = self.compile_expr(inner, slots)?;
+                let dst = self.fresh();
+                let w = match u {
+                    UnOp::LNot => inner.width,
+                    _ => e.width,
+                };
+                self.code.push(BOp::Un { op: *u, w, dst, a });
+                Ok(dst)
+            }
+            RExprKind::Binary(b, x, y) => {
+                let a = self.compile_expr(x, slots)?;
+                let bb = self.compile_expr(y, slots)?;
+                let dst = self.fresh();
+                // Comparisons need the operand width, not the 1-bit
+                // result width.
+                let w = match b {
+                    BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Ult
+                    | BinOp::Ule
+                    | BinOp::Slt
+                    | BinOp::Sle => x.width,
+                    _ => e.width,
+                };
+                self.code.push(BOp::Bin { op: *b, w, dst, a, b: bb });
+                Ok(dst)
+            }
+            RExprKind::Cond(c, t, f) => {
+                // Lower to control flow so only one arm evaluates
+                // (matching the tree core exactly).
+                let cr = self.compile_expr(c, slots)?;
+                let dst = self.fresh();
+                let jz_at = self.code.len();
+                self.code.push(BOp::JmpIfZero { cond: cr, target: usize::MAX });
+                let tv = self.compile_expr(t, slots)?;
+                self.code.push(BOp::Mask { dst, src: tv, w: e.width });
+                let jmp_at = self.code.len();
+                self.code.push(BOp::Jmp { target: usize::MAX });
+                let else_start = self.code.len();
+                self.patch(jz_at, else_start);
+                let fv = self.compile_expr(f, slots)?;
+                self.code.push(BOp::Mask { dst, src: fv, w: e.width });
+                let end = self.code.len();
+                self.patch(jmp_at, end);
+                Ok(dst)
+            }
+            RExprKind::Ext(kind, inner) => {
+                let src = self.compile_expr(inner, slots)?;
+                let dst = self.fresh();
+                match kind {
+                    ExtKind::Sext => self.code.push(BOp::Sext {
+                        dst,
+                        src,
+                        from_w: inner.width,
+                        to_w: e.width,
+                    }),
+                    ExtKind::Zext | ExtKind::Trunc => {
+                        self.code.push(BOp::Mask { dst, src, w: e.width.min(inner.width) })
+                    }
+                }
+                Ok(dst)
+            }
+            RExprKind::Concat(parts) => {
+                let mut it = parts.iter();
+                let first = it.next().expect("concat is non-empty");
+                let mut acc = self.compile_expr(first, slots)?;
+                for p in it {
+                    let b = self.compile_expr(p, slots)?;
+                    let dst = self.fresh();
+                    self.code.push(BOp::Cat { dst, a: acc, b, b_width: p.width });
+                    acc = dst;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+// ---------- execution ----------
+
+#[inline]
+fn mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+#[inline]
+fn sext64(v: u64, w: u32) -> i64 {
+    if w >= 64 {
+        v as i64
+    } else {
+        ((v << (64 - w)) as i64) >> (64 - w)
+    }
+}
+
+fn read_cell_u64(state: &State, overlay: &[StagedWrite], sid: StorageId, idx: u64) -> u64 {
+    let mut v = state.read_u64(sid, idx);
+    for w in overlay {
+        if w.storage == sid && w.index == idx {
+            let m = mask(w.hi - w.lo + 1);
+            let val = w.value.to_u64_lossy() & m;
+            v = (v & !(m << w.lo)) | (val << w.lo);
+        }
+    }
+    v
+}
+
+fn run(
+    p: &Program,
+    params: &[u64],
+    state: &State,
+    overlay: &[StagedWrite],
+    latency: u32,
+    out: &mut Vec<StagedWrite>,
+    regs: &mut Vec<u64>,
+) {
+    regs.clear();
+    regs.resize(p.n_regs, 0);
+    let mut pc = 0usize;
+    while pc < p.code.len() {
+        match &p.code[pc] {
+            BOp::Const { dst, val } => regs[*dst as usize] = *val,
+            BOp::ReadParam { dst, slot } => regs[*dst as usize] = params[*slot as usize],
+            BOp::ReadSt { dst, sid } => {
+                regs[*dst as usize] = read_cell_u64(state, overlay, *sid, 0);
+            }
+            BOp::ReadIdx { dst, sid, idx, depth } => {
+                let i = regs[*idx as usize] % *depth;
+                regs[*dst as usize] = read_cell_u64(state, overlay, *sid, i);
+            }
+            BOp::Bin { op, w, dst, a, b } => {
+                regs[*dst as usize] = bin_u64(*op, *w, regs[*a as usize], regs[*b as usize]);
+            }
+            BOp::Un { op, w, dst, a } => {
+                let v = regs[*a as usize];
+                regs[*dst as usize] = match op {
+                    UnOp::Neg => v.wrapping_neg() & mask(*w),
+                    UnOp::Not => !v & mask(*w),
+                    UnOp::LNot => u64::from(v == 0),
+                };
+            }
+            BOp::Slice { dst, src, hi, lo } => {
+                regs[*dst as usize] = (regs[*src as usize] >> lo) & mask(hi - lo + 1);
+            }
+            BOp::Sext { dst, src, from_w, to_w } => {
+                regs[*dst as usize] = (sext64(regs[*src as usize], *from_w) as u64) & mask(*to_w);
+            }
+            BOp::Mask { dst, src, w } => {
+                regs[*dst as usize] = regs[*src as usize] & mask(*w);
+            }
+            BOp::Cat { dst, a, b, b_width } => {
+                regs[*dst as usize] = (regs[*a as usize] << b_width) | regs[*b as usize];
+            }
+            BOp::JmpIfZero { cond, target } => {
+                if regs[*cond as usize] == 0 {
+                    pc = *target;
+                    continue;
+                }
+            }
+            BOp::Jmp { target } => {
+                pc = *target;
+                continue;
+            }
+            BOp::Write { sid, idx, depth, hi, lo, src } => {
+                let i = match idx {
+                    Some(r) => regs[*r as usize] % *depth,
+                    None => 0,
+                };
+                let w = hi - lo + 1;
+                let value = BitVector::from_u64(regs[*src as usize] & mask(w), w);
+                out.push(StagedWrite { storage: *sid, index: i, hi: *hi, lo: *lo, value, latency });
+            }
+        }
+        pc += 1;
+    }
+}
+
+// The division arms implement the hardware div-by-zero convention
+// (quotient all-ones, remainder = dividend), not an error path, so
+// `checked_div` would obscure intent.
+#[allow(clippy::manual_checked_ops)]
+fn bin_u64(op: BinOp, w: u32, a: u64, b: u64) -> u64 {
+    let m = mask(w);
+    match op {
+        BinOp::Add => a.wrapping_add(b) & m,
+        BinOp::Sub => a.wrapping_sub(b) & m,
+        BinOp::Mul => a.wrapping_mul(b) & m,
+        BinOp::UDiv => {
+            if b == 0 {
+                m
+            } else {
+                (a / b) & m
+            }
+        }
+        BinOp::URem => {
+            if b == 0 {
+                a
+            } else {
+                (a % b) & m
+            }
+        }
+        BinOp::SDiv => {
+            if b == 0 {
+                m
+            } else {
+                let (x, y) = (sext64(a, w), sext64(b, w));
+                (x.wrapping_div(y) as u64) & m
+            }
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                a
+            } else {
+                let (x, y) = (sext64(a, w), sext64(b, w));
+                (x.wrapping_rem(y) as u64) & m
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if b >= u64::from(w) {
+                0
+            } else {
+                (a << b) & m
+            }
+        }
+        BinOp::Lshr => {
+            if b >= u64::from(w) {
+                0
+            } else {
+                a >> b
+            }
+        }
+        BinOp::Ashr => {
+            if b >= u64::from(w) {
+                if sext64(a, w) < 0 {
+                    m
+                } else {
+                    0
+                }
+            } else {
+                (sext64(a, w) >> b) as u64 & m
+            }
+        }
+        BinOp::Eq => u64::from(a == b),
+        BinOp::Ne => u64::from(a != b),
+        BinOp::Ult => u64::from(a < b),
+        BinOp::Ule => u64::from(a <= b),
+        BinOp::Slt => u64::from(sext64(a, w) < sext64(b, w)),
+        BinOp::Sle => u64::from(sext64(a, w) <= sext64(b, w)),
+        BinOp::LAnd => u64::from(a != 0 && b != 0),
+        BinOp::LOr => u64::from(a != 0 || b != 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_and_sext_helpers() {
+        assert_eq!(mask(8), 0xFF);
+        assert_eq!(mask(64), u64::MAX);
+        assert_eq!(sext64(0x80, 8), -128);
+        assert_eq!(sext64(0x7F, 8), 127);
+    }
+
+    #[test]
+    fn bin_u64_matches_bitvector_semantics() {
+        use isdl::rtl::BinOp::*;
+        for w in [1u32, 5, 8, 16, 31, 32, 63, 64] {
+            // Operands must fit the lane width, as they do in real
+            // execution (every producer masks its result).
+            let samples: Vec<u64> =
+                vec![0, 1 & mask(w), 2 & mask(w), 3 & mask(w), mask(w), mask(w) >> 1, 0xAB & mask(w)];
+            for &a in &samples {
+                for &b in &samples {
+                    for op in [Add, Sub, Mul, UDiv, URem, SDiv, SRem, And, Or, Xor, Eq, Ne, Ult,
+                        Ule, Slt, Sle, LAnd, LOr]
+                    {
+                        let x = BitVector::from_u64(a, w);
+                        let y = BitVector::from_u64(b, w);
+                        let expect = crate::exec::eval_binop(op, &x, &y).to_u64_lossy();
+                        let got = bin_u64(op, w, a, b);
+                        assert_eq!(got, expect, "op {op:?} w {w} a {a:#x} b {b:#x}");
+                    }
+                    // Shifts use b as an amount.
+                    for op in [Shl, Lshr, Ashr] {
+                        let x = BitVector::from_u64(a, w);
+                        let y = BitVector::from_u64(b, w);
+                        let expect = crate::exec::eval_binop(op, &x, &y).to_u64_lossy();
+                        let got = bin_u64(op, w, a, b & mask(w));
+                        assert_eq!(got, expect, "op {op:?} w {w} a {a:#x} b {b:#x}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! The processing core: executes operation RTL against simulator state.
+//!
+//! This is the tree-walking core — the direct interpretation of the
+//! resolved RTL. The bytecode core (`crate::bytecode`) compiles the
+//! same semantics into a flat program (the Rust analogue of GENSIM
+//! emitting C); both must agree bit-for-bit, which the test suite
+//! checks by running programs on each.
+//!
+//! Execution of one operation produces a list of [`StagedWrite`]s; the
+//! scheduler merges the per-phase lists, implements the
+//! read-before-write discipline and the latency-delayed commit.
+
+use bitv::BitVector;
+use isdl::model::{Machine, Operation};
+use isdl::rtl::{BinOp, ExtKind, RExpr, RExprKind, RLvalue, RStmt, StorageId, UnOp};
+use xasm::Operand;
+
+/// A runtime operand binding for one parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Binding {
+    /// Token parameter: the decoded value.
+    Token(BitVector),
+    /// Non-terminal parameter: which option was decoded and its own
+    /// bindings.
+    Nt {
+        /// Index of the option within the non-terminal.
+        option: usize,
+        /// The option's operation definition (borrowed from the machine).
+        /// Stored by index to keep the binding `'static`-free: the
+        /// non-terminal id.
+        nt: usize,
+        /// Bindings for the option's parameters.
+        args: Vec<Binding>,
+    },
+}
+
+/// Converts a decoded operand (from the disassembler) into a binding.
+#[must_use]
+pub fn binding_from_operand(op: &Operand) -> Binding {
+    match op {
+        Operand::Token(v) => Binding::Token(v.clone()),
+        Operand::NonTerminal { nt, option, args } => Binding::Nt {
+            option: *option,
+            nt: nt.0,
+            args: args.iter().map(binding_from_operand).collect(),
+        },
+    }
+}
+
+/// A write staged by RTL execution, not yet visible to reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedWrite {
+    /// Target storage.
+    pub storage: StorageId,
+    /// Cell index (0 for non-addressed storage).
+    pub index: u64,
+    /// High bit written (inclusive).
+    pub hi: u32,
+    /// Low bit written (inclusive).
+    pub lo: u32,
+    /// The bits.
+    pub value: BitVector,
+    /// Cycles until visible (from the operation's `latency`).
+    pub latency: u32,
+}
+
+/// Read access to state during a phase.
+pub trait StateView {
+    /// Reads a whole cell.
+    fn read_cell(&self, storage: StorageId, index: u64) -> BitVector;
+}
+
+impl StateView for crate::state::State {
+    fn read_cell(&self, storage: StorageId, index: u64) -> BitVector {
+        self.read(storage, index).clone()
+    }
+}
+
+/// A view of base state with a list of staged writes applied — what the
+/// side-effect phase reads (cycle-start state plus the action phase's
+/// writes), per the documented cycle model.
+#[derive(Debug)]
+pub struct OverlayView<'a, V: StateView> {
+    base: &'a V,
+    writes: &'a [StagedWrite],
+}
+
+impl<'a, V: StateView> OverlayView<'a, V> {
+    /// Creates a view of `base` with `writes` applied in order.
+    #[must_use]
+    pub fn new(base: &'a V, writes: &'a [StagedWrite]) -> Self {
+        Self { base, writes }
+    }
+}
+
+impl<V: StateView> StateView for OverlayView<'_, V> {
+    fn read_cell(&self, storage: StorageId, index: u64) -> BitVector {
+        let mut v = self.base.read_cell(storage, index);
+        for w in self.writes {
+            if w.storage == storage && w.index == index {
+                v = if w.lo == 0 && w.hi == v.width() - 1 {
+                    w.value.clone()
+                } else {
+                    v.with_slice(w.hi, w.lo, &w.value)
+                };
+            }
+        }
+        v
+    }
+}
+
+/// An execution frame: one operation plus its operand bindings.
+#[derive(Debug, Clone, Copy)]
+pub struct Frame<'a> {
+    /// The operation being executed (an op of a field, or a
+    /// non-terminal option during recursion).
+    pub op: &'a Operation,
+    /// One binding per parameter.
+    pub bindings: &'a [Binding],
+}
+
+/// Executes a statement list, appending staged writes to `out`.
+///
+/// Reads go through `view`; writes do not become visible within the
+/// same phase (read-before-write).
+pub fn exec_stmts<V: StateView>(
+    machine: &Machine,
+    stmts: &[RStmt],
+    frame: Frame<'_>,
+    view: &V,
+    latency: u32,
+    out: &mut Vec<StagedWrite>,
+) {
+    for s in stmts {
+        exec_stmt(machine, s, frame, view, latency, out);
+    }
+}
+
+fn exec_stmt<V: StateView>(
+    machine: &Machine,
+    s: &RStmt,
+    frame: Frame<'_>,
+    view: &V,
+    latency: u32,
+    out: &mut Vec<StagedWrite>,
+) {
+    match s {
+        RStmt::Assign { lv, rhs } => {
+            let value = eval(machine, rhs, frame, view);
+            let (storage, index, hi, lo) = resolve_lvalue(machine, lv, frame, view);
+            debug_assert_eq!(value.width(), hi - lo + 1, "sema guarantees assignment widths");
+            out.push(StagedWrite { storage, index, hi, lo, value, latency });
+        }
+        RStmt::If { cond, then_body, else_body } => {
+            let c = eval(machine, cond, frame, view);
+            let body = if c.is_zero() { else_body } else { then_body };
+            exec_stmts(machine, body, frame, view, latency, out);
+        }
+    }
+}
+
+/// Resolves an l-value to `(storage, cell index, hi, lo)`.
+fn resolve_lvalue<V: StateView>(
+    machine: &Machine,
+    lv: &RLvalue,
+    frame: Frame<'_>,
+    view: &V,
+) -> (StorageId, u64, u32, u32) {
+    match lv {
+        RLvalue::Storage(id) => {
+            let w = machine.storage(*id).width;
+            (*id, 0, w - 1, 0)
+        }
+        RLvalue::StorageIndexed(id, idx) => {
+            let i = eval(machine, idx, frame, view).to_u64_lossy();
+            let w = machine.storage(*id).width;
+            (*id, i, w - 1, 0)
+        }
+        RLvalue::Slice { base, hi, lo } => {
+            let (id, idx, _bhi, blo) = resolve_lvalue(machine, base, frame, view);
+            (id, idx, blo + hi, blo + lo)
+        }
+        RLvalue::Param(p) => {
+            let Binding::Nt { option, nt, args } = &frame.bindings[*p] else {
+                unreachable!("sema only allows non-terminal parameters as destinations")
+            };
+            let opt = &machine.nonterminals[*nt].options[*option];
+            let inner = opt
+                .value_lvalue
+                .as_ref()
+                .expect("sema checked destination options are assignable");
+            let sub = Frame { op: opt, bindings: args };
+            resolve_lvalue(machine, inner, sub, view)
+        }
+    }
+}
+
+/// Evaluates an expression to a bit-true value.
+#[must_use]
+pub fn eval<V: StateView>(machine: &Machine, e: &RExpr, frame: Frame<'_>, view: &V) -> BitVector {
+    match &e.kind {
+        RExprKind::Lit(v) => v.clone(),
+        RExprKind::Storage(id) => view.read_cell(*id, 0),
+        RExprKind::StorageIndexed(id, idx) => {
+            let i = eval(machine, idx, frame, view).to_u64_lossy();
+            view.read_cell(*id, i)
+        }
+        RExprKind::Param(p) => match &frame.bindings[*p] {
+            Binding::Token(v) => v.clone(),
+            Binding::Nt { option, nt, args } => {
+                let opt = &machine.nonterminals[*nt].options[*option];
+                let value = opt.value.as_ref().expect("sema checked value exists");
+                let sub = Frame { op: opt, bindings: args };
+                eval(machine, value, sub, view)
+            }
+        },
+        RExprKind::Slice(inner, hi, lo) => eval(machine, inner, frame, view).slice(*hi, *lo),
+        RExprKind::Unary(op, inner) => {
+            let v = eval(machine, inner, frame, view);
+            match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Not => v.not(),
+                UnOp::LNot => BitVector::from_bool(v.is_zero()),
+            }
+        }
+        RExprKind::Binary(op, a, b) => {
+            let x = eval(machine, a, frame, view);
+            let y = eval(machine, b, frame, view);
+            eval_binop(*op, &x, &y)
+        }
+        RExprKind::Cond(c, t, f) => {
+            if eval(machine, c, frame, view).is_zero() {
+                eval(machine, f, frame, view)
+            } else {
+                eval(machine, t, frame, view)
+            }
+        }
+        RExprKind::Ext(kind, inner) => {
+            let v = eval(machine, inner, frame, view);
+            match kind {
+                ExtKind::Zext => v.zext(e.width),
+                ExtKind::Sext => v.sext(e.width),
+                ExtKind::Trunc => v.trunc(e.width),
+            }
+        }
+        RExprKind::Concat(parts) => {
+            let mut it = parts.iter();
+            let first = it.next().expect("concat has at least one part");
+            let mut acc = eval(machine, first, frame, view);
+            for p in it {
+                acc = acc.concat(&eval(machine, p, frame, view));
+            }
+            acc
+        }
+    }
+}
+
+/// Applies a binary RTL operator to two values of equal width
+/// (except shifts, where `b` supplies only the amount).
+#[must_use]
+pub fn eval_binop(op: BinOp, a: &BitVector, b: &BitVector) -> BitVector {
+    use BinOp::*;
+    match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        UDiv => a.unsigned_div(b),
+        URem => a.unsigned_rem(b),
+        SDiv => a.signed_div(b),
+        SRem => a.signed_rem(b),
+        And => a.and(b),
+        Or => a.or(b),
+        Xor => a.xor(b),
+        Shl => a.shl(shift_amount(b)),
+        Lshr => a.lshr(shift_amount(b)),
+        Ashr => a.ashr(shift_amount(b)),
+        Eq => BitVector::from_bool(a == b),
+        Ne => BitVector::from_bool(a != b),
+        Ult => BitVector::from_bool(a.cmp_unsigned(b).is_lt()),
+        Ule => BitVector::from_bool(a.cmp_unsigned(b).is_le()),
+        Slt => BitVector::from_bool(a.cmp_signed(b).is_lt()),
+        Sle => BitVector::from_bool(a.cmp_signed(b).is_le()),
+        LAnd => BitVector::from_bool(!a.is_zero() && !b.is_zero()),
+        LOr => BitVector::from_bool(!a.is_zero() || !b.is_zero()),
+    }
+}
+
+fn shift_amount(b: &BitVector) -> u32 {
+    b.to_u64().map_or(u32::MAX, |v| u32::try_from(v).unwrap_or(u32::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::State;
+    use isdl::samples::TOY;
+    use xasm::Disassembler;
+
+    struct Setup {
+        machine: Machine,
+        state: State,
+    }
+
+    fn setup() -> Setup {
+        let machine = isdl::load(TOY).expect("loads");
+        let state = State::new(&machine);
+        Setup { machine, state }
+    }
+
+    /// Decodes a word and executes field `fi`'s action.
+    fn run_action(s: &mut Setup, word: u64, fi: usize) -> Vec<StagedWrite> {
+        let d = Disassembler::new(&s.machine);
+        let instr = d
+            .decode(&[BitVector::from_u64(word, 32)], 0)
+            .expect("decodes");
+        let dop = &instr.ops[fi];
+        let op = s.machine.op(dop.op);
+        let bindings: Vec<Binding> = dop.args.iter().map(binding_from_operand).collect();
+        let frame = Frame { op, bindings: &bindings };
+        let mut out = Vec::new();
+        exec_stmts(&s.machine, &op.action, frame, &s.state, op.timing.latency, &mut out);
+        out
+    }
+
+    #[test]
+    fn add_reads_and_stages() {
+        let mut s = setup();
+        let rf = s.machine.storage_by_name("RF").expect("RF").0;
+        s.state.poke(rf, 1, BitVector::from_u64(10, 16));
+        s.state.poke(rf, 3, BitVector::from_u64(32, 16));
+        // add R2, R1, reg(R3)
+        let word = (0b00001u64 << 27) | (2 << 24) | (1 << 21) | (0b0011 << 17);
+        let writes = run_action(&mut s, word, 0);
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].storage, rf);
+        assert_eq!(writes[0].index, 2);
+        assert_eq!(writes[0].value.to_u64_lossy(), 42);
+        assert_eq!(writes[0].latency, 1);
+        // Nothing visible yet.
+        assert!(s.state.read(rf, 2).is_zero());
+    }
+
+    #[test]
+    fn indirect_source_reads_memory() {
+        let mut s = setup();
+        let rf = s.machine.storage_by_name("RF").expect("RF").0;
+        let dm = s.machine.storage_by_name("DM").expect("DM").0;
+        s.state.poke(rf, 2, BitVector::from_u64(0x30, 16));
+        s.state.poke(dm, 0x30, BitVector::from_u64(99, 16));
+        // add R0, R0, ind(R2): RF[0] = RF[0] + DM[RF[2] mod 256]
+        let word = (0b00001u64 << 27) | (0b1010 << 17);
+        let writes = run_action(&mut s, word, 0);
+        assert_eq!(writes[0].value.to_u64_lossy(), 99);
+    }
+
+    #[test]
+    fn conditional_branch_taken_and_not() {
+        let mut s = setup();
+        let pc = s.machine.pc.expect("pc");
+        let acc = s.machine.storage_by_name("ACC").expect("ACC").0;
+        // jz 7 with ACC == 0: takes branch.
+        let word = (0b01001u64 << 27) | (7 << 16);
+        let writes = run_action(&mut s, word, 0);
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].storage, pc);
+        assert_eq!(writes[0].value.to_u64_lossy(), 7);
+        // With ACC != 0: no write.
+        s.state.poke(acc, 0, BitVector::from_u64(1, 16));
+        let writes = run_action(&mut s, word, 0);
+        assert!(writes.is_empty());
+    }
+
+    #[test]
+    fn mac_has_latency_two() {
+        let mut s = setup();
+        let rf = s.machine.storage_by_name("RF").expect("RF").0;
+        s.state.poke(rf, 6, BitVector::from_u64(6, 16));
+        s.state.poke(rf, 7, BitVector::from_u64(7, 16));
+        let word = (0b01010u64 << 27) | (6 << 24) | (7 << 21);
+        let writes = run_action(&mut s, word, 0);
+        assert_eq!(writes[0].value.to_u64_lossy(), 42);
+        assert_eq!(writes[0].latency, 2);
+    }
+
+    #[test]
+    fn side_effects_recompute_from_cycle_start_state() {
+        let mut s = setup();
+        let rf = s.machine.storage_by_name("RF").expect("RF").0;
+        s.state.poke(rf, 1, BitVector::from_u64(5, 16));
+        // sub R2, R1, reg(R1): result 0, so the side effect sets Z by
+        // recomputing the subtraction against cycle-start state.
+        let word = (0b00010u64 << 27) | (2 << 24) | (1 << 21) | (0b0001 << 17);
+        let d = Disassembler::new(&s.machine);
+        let instr = d
+            .decode(&[BitVector::from_u64(word, 32)], 0)
+            .expect("decodes");
+        let dop = &instr.ops[0];
+        let op = s.machine.op(dop.op);
+        let bindings: Vec<Binding> = dop.args.iter().map(binding_from_operand).collect();
+        let frame = Frame { op, bindings: &bindings };
+        let mut se_writes = Vec::new();
+        exec_stmts(&s.machine, &op.side_effects, frame, &s.state, 1, &mut se_writes);
+        let z = s.machine.storage_by_name("Z").expect("Z").0;
+        assert_eq!(se_writes.len(), 1);
+        assert_eq!(se_writes[0].storage, z);
+        assert_eq!(se_writes[0].value.to_u64_lossy(), 1);
+    }
+
+    #[test]
+    fn overlay_view_merges_partial_writes() {
+        let s = setup();
+        let acc = s.machine.storage_by_name("ACC").expect("ACC").0;
+        let writes = vec![StagedWrite {
+            storage: acc,
+            index: 0,
+            hi: 7,
+            lo: 0,
+            value: BitVector::from_u64(0xCD, 8),
+            latency: 1,
+        }];
+        let view = OverlayView::new(&s.state, &writes);
+        assert_eq!(view.read_cell(acc, 0).to_u64_lossy(), 0x00CD);
+    }
+
+    #[test]
+    fn binop_semantics() {
+        let a = BitVector::from_u64(0xF0, 8);
+        let b = BitVector::from_u64(0x11, 8);
+        assert_eq!(eval_binop(BinOp::Add, &a, &b).to_u64_lossy(), 0x01);
+        assert_eq!(eval_binop(BinOp::Ult, &b, &a).to_u64_lossy(), 1);
+        assert_eq!(eval_binop(BinOp::Slt, &a, &b).to_u64_lossy(), 1); // 0xF0 is negative
+        assert_eq!(
+            eval_binop(BinOp::Shl, &b, &BitVector::from_u64(200, 8)).to_u64_lossy(),
+            0
+        );
+        assert_eq!(eval_binop(BinOp::LAnd, &a, &BitVector::zero(8)).to_u64_lossy(), 0);
+        assert_eq!(eval_binop(BinOp::LOr, &a, &BitVector::zero(8)).to_u64_lossy(), 1);
+    }
+}

@@ -1,0 +1,1024 @@
+//! The XSIM scheduler: sequences instructions, manages breakpoints,
+//! dumps execution traces, and accounts cycles (§3.2 item 2).
+//!
+//! # Cycle model
+//!
+//! For each executed instruction at cycle *T*:
+//!
+//! 1. the statically computed stall for its address is charged
+//!    (*T += stall*) — ISDL has no explicit pipeline, so stalls are
+//!    derived from the static instruction stream (§3.3.3);
+//! 2. staged writes whose latency has expired are committed;
+//! 3. the *action* RTL of every selected operation executes against
+//!    the committed state (reads see cycle-start state);
+//! 4. the *side-effect* RTL executes in the same cycle, also against
+//!    cycle-start state (descriptions recompute any value they need,
+//!    which keeps the simulator bit-identical to the generated
+//!    hardware); the paper's "side effects take place after actions"
+//!    is honoured in the *write* order — a side-effect write to a cell
+//!    an action also wrote wins;
+//! 5. all writes are staged with visibility *T + latency*;
+//! 6. *T* advances by the instruction's cycle cost (the maximum over
+//!    the selected operations);
+//! 7. the PC advances by the instruction size unless some operation
+//!    wrote it.
+//!
+//! # Halting
+//!
+//! Execution stops on: an operation named `halt`; a taken branch to the
+//! instruction's own address (the `end: jmp end` idiom); the PC leaving
+//! instruction memory; an illegal instruction; a breakpoint; or the
+//! caller's cycle budget.
+
+use crate::bytecode::{self, Compiled, Phase};
+use crate::exec::{binding_from_operand, exec_stmts, Binding, Frame, StagedWrite};
+use crate::hazard;
+use crate::state::State;
+use bitv::BitVector;
+use isdl::model::{Machine, OpRef};
+use isdl::rtl::StorageId;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+use xasm::{DecodedInstr, Disassembler, Program};
+
+/// Which processing core executes the RTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoreKind {
+    /// Direct tree-walking interpretation of the resolved RTL.
+    Tree,
+    /// Compiled flat bytecode (the analogue of GENSIM's generated C) —
+    /// substantially faster; produced lazily per operation.
+    #[default]
+    Bytecode,
+}
+
+/// Options controlling simulator generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XsimOptions {
+    /// Processing-core implementation.
+    pub core: CoreKind,
+    /// Disassemble the whole program off-line at load time (§3.3.2).
+    /// When false, each instruction is re-decoded at every fetch — the
+    /// ablation for the paper's "off-line to improve speed" claim.
+    pub offline_decode: bool,
+}
+
+impl Default for XsimOptions {
+    fn default() -> Self {
+        Self { core: CoreKind::Bytecode, offline_decode: true }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// An operation named `halt` executed, or a branch jumped to its
+    /// own instruction.
+    Halted,
+    /// The PC reached a breakpoint.
+    Breakpoint(u64),
+    /// The cycle budget was exhausted.
+    CycleLimit,
+    /// No operation signature matched the fetched word(s).
+    IllegalInstruction(u64),
+    /// The PC left instruction memory.
+    PcOutOfRange(u64),
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Halted => write!(f, "halted"),
+            Self::Breakpoint(a) => write!(f, "breakpoint at {a:#x}"),
+            Self::CycleLimit => write!(f, "cycle limit reached"),
+            Self::IllegalInstruction(a) => write!(f, "illegal instruction at {a:#x}"),
+            Self::PcOutOfRange(a) => write!(f, "PC out of range at {a:#x}"),
+        }
+    }
+}
+
+/// Error generating a simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GensimError {
+    /// The machine declares no program counter.
+    MissingPc,
+    /// The machine declares no instruction memory.
+    MissingImem,
+}
+
+impl fmt::Display for GensimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingPc => write!(f, "machine has no program-counter storage"),
+            Self::MissingImem => write!(f, "machine has no instruction memory"),
+        }
+    }
+}
+
+impl std::error::Error for GensimError {}
+
+/// Execution statistics and utilization measurements.
+///
+/// Per-operation execution counts live on [`Xsim::op_counts`] (they
+/// are kept in flat arrays on the simulator's hot path).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total cycles, including stalls.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Stall cycles included in `cycles`.
+    pub stall_cycles: u64,
+    /// Per field: instructions in which the field executed a non-nop.
+    pub field_busy: Vec<u64>,
+}
+
+impl Stats {
+    /// Fraction of instructions in which field `f` did useful work.
+    #[must_use]
+    pub fn field_utilization(&self, f: usize) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.field_busy.get(f).copied().unwrap_or(0) as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// A prepared execution plan for one field slot of an instruction:
+/// compiled phases plus the flattened token operands.
+#[derive(Debug)]
+pub(crate) struct Plan {
+    action: Rc<Compiled>,
+    /// `None` when the operation has no side effects.
+    side_effects: Option<Rc<Compiled>>,
+    params: Vec<u64>,
+    latency: u32,
+}
+
+/// One pre-decoded instruction, ready to execute.
+#[derive(Debug)]
+pub(crate) struct DecodedEntry {
+    pub instr: DecodedInstr,
+    pub bindings: Vec<Vec<Binding>>,
+    /// Bytecode-core plans, parallel to `instr.ops` (empty for the
+    /// tree core).
+    plans: Vec<Plan>,
+    pub cycle_cost: u32,
+    pub stall: u32,
+    /// Whether any selected operation is named `halt`.
+    pub halts: bool,
+}
+
+/// A generated cycle-accurate, bit-true instruction-level simulator.
+///
+/// Created by [`Xsim::generate`] from a validated machine — the Rust
+/// analogue of GENSIM emitting, compiling, and linking the C simulator
+/// sources.
+pub struct Xsim<'m> {
+    machine: &'m Machine,
+    disasm: Disassembler<'m>,
+    options: XsimOptions,
+    state: State,
+    pc_id: StorageId,
+    imem_id: StorageId,
+    decoded: Vec<Option<Rc<DecodedEntry>>>,
+    bytecode: crate::bytecode::Cache,
+    /// Reused scratch buffers for the hot execute loop.
+    scratch_regs: Vec<u64>,
+    action_buf: Vec<StagedWrite>,
+    se_buf: Vec<StagedWrite>,
+    /// Flat per-(field, op) execution counters; folded into
+    /// `stats.op_counts` lazily by [`Xsim::stats`].
+    op_counts: Vec<Vec<u64>>,
+    stats: Stats,
+    breakpoints: HashSet<u64>,
+    trace: Option<Box<dyn Write + Send>>,
+    halted: bool,
+}
+
+impl fmt::Debug for Xsim<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Xsim")
+            .field("machine", &self.machine.name)
+            .field("options", &self.options)
+            .field("cycles", &self.stats.cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m> Xsim<'m> {
+    /// Generates a simulator for `machine` with default options.
+    ///
+    /// # Errors
+    ///
+    /// [`GensimError::MissingPc`] / [`GensimError::MissingImem`] if the
+    /// description lacks the storages simulation needs.
+    pub fn generate(machine: &'m Machine) -> Result<Self, GensimError> {
+        Self::generate_with(machine, XsimOptions::default())
+    }
+
+    /// Generates a simulator with explicit [`XsimOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Xsim::generate`].
+    pub fn generate_with(machine: &'m Machine, options: XsimOptions) -> Result<Self, GensimError> {
+        let pc_id = machine.pc.ok_or(GensimError::MissingPc)?;
+        let imem_id = machine.imem.ok_or(GensimError::MissingImem)?;
+        let depth = machine.storage(imem_id).cells() as usize;
+        Ok(Self {
+            machine,
+            disasm: Disassembler::new(machine),
+            options,
+            state: State::new(machine),
+            pc_id,
+            imem_id,
+            decoded: vec![None; depth],
+            bytecode: crate::bytecode::Cache::new(),
+            scratch_regs: Vec::new(),
+            action_buf: Vec::new(),
+            se_buf: Vec::new(),
+            op_counts: machine.fields.iter().map(|f| vec![0; f.ops.len()]).collect(),
+            stats: Stats { field_busy: vec![0; machine.fields.len()], ..Stats::default() },
+            breakpoints: HashSet::new(),
+            trace: None,
+            halted: false,
+        })
+    }
+
+    /// The machine this simulator was generated from.
+    #[must_use]
+    pub fn machine(&self) -> &'m Machine {
+        self.machine
+    }
+
+    /// Read access to the architectural state.
+    #[must_use]
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Mutable access to the architectural state (for test setup and
+    /// the interactive `set` command).
+    pub fn state_mut(&mut self) -> &mut State {
+        &mut self.state
+    }
+
+    /// Execution statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Execution count per operation — the utilization statistics the
+    /// exploration loop feeds on.
+    #[must_use]
+    pub fn op_counts(&self) -> HashMap<OpRef, u64> {
+        let mut out = HashMap::new();
+        for (fi, field) in self.op_counts.iter().enumerate() {
+            for (oi, &n) in field.iter().enumerate() {
+                if n > 0 {
+                    out.insert(OpRef { field: isdl::model::FieldId(fi), op: oi }, n);
+                }
+            }
+        }
+        out
+    }
+
+    /// The current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.state.read(self.pc_id, 0).to_u64_lossy()
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u64) {
+        let w = self.machine.storage(self.pc_id).width;
+        self.state.poke(self.pc_id, 0, BitVector::from_u64(pc, w));
+    }
+
+    /// Adds a breakpoint at a word address. Returns whether it was new.
+    pub fn add_breakpoint(&mut self, addr: u64) -> bool {
+        self.breakpoints.insert(addr)
+    }
+
+    /// Removes a breakpoint. Returns whether it existed.
+    pub fn remove_breakpoint(&mut self, addr: u64) -> bool {
+        self.breakpoints.remove(&addr)
+    }
+
+    /// Streams executed instruction addresses to `sink` (the paper's
+    /// execution address trace, §3.1).
+    pub fn set_trace(&mut self, sink: Box<dyn Write + Send>) {
+        self.trace = Some(sink);
+    }
+
+    /// Stops tracing and returns the sink.
+    pub fn take_trace(&mut self) -> Option<Box<dyn Write + Send>> {
+        self.trace.take()
+    }
+
+    /// Loads an assembled program: writes its words into instruction
+    /// memory and its `.data` image into data memory, runs the off-line
+    /// disassembly pass, computes static stalls, and sets the PC to the
+    /// program entry.
+    pub fn load_program(&mut self, program: &Program) {
+        self.load_words(&program.words);
+        if let Some((dm, st)) = self
+            .machine
+            .storages
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.kind == isdl::model::StorageKind::DataMemory)
+        {
+            let width = st.width;
+            for &(addr, v) in &program.data {
+                self.state
+                    .poke(StorageId(dm), addr, BitVector::from_i64(v, width));
+            }
+        }
+        self.set_pc(program.entry);
+    }
+
+    /// Loads raw instruction words starting at address 0.
+    pub fn load_words(&mut self, words: &[BitVector]) {
+        let w = self.machine.word_width;
+        let depth = self.state.depth(self.imem_id);
+        for (a, word) in words.iter().enumerate().take(depth as usize) {
+            self.state.poke(self.imem_id, a as u64, word.trunc(w).zext(w));
+        }
+        self.decoded = vec![None; depth as usize];
+        if self.options.offline_decode {
+            self.offline_decode_pass(words.len() as u64);
+        }
+        self.set_pc(0);
+        self.halted = false;
+    }
+
+    /// Decodes every address reachable by sequential layout, then
+    /// computes static stalls (illegal words — e.g. data — stay
+    /// undecoded and are skipped for stall purposes).
+    fn offline_decode_pass(&mut self, len: u64) {
+        let mut addr = 0u64;
+        while addr < len {
+            match self.decode_at(addr) {
+                Some(entry) => {
+                    let size = u64::from(entry.instr.size);
+                    self.decoded[addr as usize] = Some(entry);
+                    addr += size;
+                }
+                None => {
+                    addr += 1;
+                }
+            }
+        }
+        let stalls = hazard::compute_static_stalls(self.machine, &self.decoded);
+        for (addr, stall) in stalls {
+            if let Some(e) = &mut self.decoded[addr as usize] {
+                Rc::get_mut(e).expect("entry not yet shared").stall = stall;
+            }
+        }
+    }
+
+    /// Decodes the raw instruction at `addr` (no execution plans).
+    fn decode_instr(&self, addr: u64) -> Option<DecodedInstr> {
+        let depth = self.state.depth(self.imem_id);
+        if addr >= depth {
+            return None;
+        }
+        let max = u64::from(self.disasm.max_size());
+        let mut words = Vec::with_capacity(max as usize);
+        for k in 0..max {
+            if addr + k < depth {
+                words.push(self.state.read(self.imem_id, addr + k).clone());
+            }
+        }
+        self.disasm.decode(&words, addr).ok()
+    }
+
+    /// Decodes the instruction at `addr` and prepares its execution
+    /// plans.
+    fn decode_at(&mut self, addr: u64) -> Option<Rc<DecodedEntry>> {
+        let instr = self.decode_instr(addr)?;
+        Some(Rc::new(self.build_entry(instr)))
+    }
+
+    fn build_entry(&mut self, instr: DecodedInstr) -> DecodedEntry {
+        let bindings: Vec<Vec<Binding>> = instr
+            .ops
+            .iter()
+            .map(|d| d.args.iter().map(binding_from_operand).collect())
+            .collect();
+        let cycle_cost = instr
+            .ops
+            .iter()
+            .map(|d| self.machine.op(d.op).costs.cycle)
+            .max()
+            .unwrap_or(1);
+        let halts = instr
+            .ops
+            .iter()
+            .any(|d| self.machine.op(d.op).name == "halt");
+        let plans = if self.options.core == CoreKind::Bytecode {
+            instr
+                .ops
+                .iter()
+                .zip(&bindings)
+                .map(|(d, b)| {
+                    let op = self.machine.op(d.op);
+                    let action = self.bytecode.prepare(self.machine, d.op, Phase::Action, b);
+                    let side_effects = (!op.side_effects.is_empty()).then(|| {
+                        self.bytecode.prepare(self.machine, d.op, Phase::SideEffects, b)
+                    });
+                    Plan {
+                        action,
+                        side_effects,
+                        params: bytecode::flatten_params(b),
+                        latency: op.timing.latency,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        DecodedEntry { instr, bindings, plans, cycle_cost, stall: 0, halts }
+    }
+
+    /// Runs until a stop condition, executing at most `max_cycles`
+    /// additional cycles.
+    pub fn run(&mut self, max_cycles: u64) -> StopReason {
+        let budget_end = self.stats.cycles.saturating_add(max_cycles);
+        let mut first = true;
+        loop {
+            if self.halted {
+                return StopReason::Halted;
+            }
+            if self.stats.cycles >= budget_end {
+                return StopReason::CycleLimit;
+            }
+            if !self.breakpoints.is_empty() {
+                let pc = self.pc();
+                if !first && self.breakpoints.contains(&pc) {
+                    return StopReason::Breakpoint(pc);
+                }
+            }
+            first = false;
+            if let Some(stop) = self.step() {
+                return stop;
+            }
+        }
+    }
+
+    /// Executes one instruction. Returns a stop reason if execution
+    /// cannot continue.
+    #[allow(clippy::missing_panics_doc)]
+    pub fn step(&mut self) -> Option<StopReason> {
+        if self.halted {
+            return Some(StopReason::Halted);
+        }
+        let pc = self.pc();
+        let depth = self.state.depth(self.imem_id);
+        if pc >= depth {
+            return Some(StopReason::PcOutOfRange(pc));
+        }
+
+        // Fetch/decode (off-line cache, or per-fetch decode).
+        let entry: Rc<DecodedEntry> = if self.options.offline_decode {
+            match &self.decoded[pc as usize] {
+                Some(e) => Rc::clone(e),
+                None => match self.decode_at(pc) {
+                    Some(e) => {
+                        self.decoded[pc as usize] = Some(Rc::clone(&e));
+                        e
+                    }
+                    None => return Some(StopReason::IllegalInstruction(pc)),
+                },
+            }
+        } else {
+            match self.decode_at(pc) {
+                Some(e) => e,
+                None => return Some(StopReason::IllegalInstruction(pc)),
+            }
+        };
+
+        // 1. Charge static stalls.
+        self.stats.cycles += u64::from(entry.stall);
+        self.stats.stall_cycles += u64::from(entry.stall);
+        let t = self.stats.cycles;
+
+        // 2. Commit writes whose latency has expired.
+        if self.state.commit_due_watching(t, self.imem_id) {
+            // Self-modifying code: conservatively drop the decode cache.
+            self.decoded.iter_mut().for_each(|e| *e = None);
+        }
+
+        // 3-5. Execute both phases and stage writes.
+        let mut action_writes = std::mem::take(&mut self.action_buf);
+        action_writes.clear();
+        match self.options.core {
+            CoreKind::Bytecode => {
+                for (i, plan) in entry.plans.iter().enumerate() {
+                    let d = &entry.instr.ops[i];
+                    bytecode::exec_compiled(
+                        &plan.action,
+                        self.machine,
+                        self.machine.op(d.op),
+                        Phase::Action,
+                        &entry.bindings[i],
+                        &plan.params,
+                        &self.state,
+                        &[],
+                        plan.latency,
+                        &mut action_writes,
+                        &mut self.scratch_regs,
+                    );
+                }
+            }
+            CoreKind::Tree => {
+                for (d, b) in entry.instr.ops.iter().zip(&entry.bindings) {
+                    let op = self.machine.op(d.op);
+                    let frame = Frame { op, bindings: b };
+                    exec_stmts(
+                        self.machine,
+                        &op.action,
+                        frame,
+                        &self.state,
+                        op.timing.latency,
+                        &mut action_writes,
+                    );
+                }
+            }
+        }
+        let mut se_writes = std::mem::take(&mut self.se_buf);
+        se_writes.clear();
+        match self.options.core {
+            CoreKind::Bytecode => {
+                for (i, plan) in entry.plans.iter().enumerate() {
+                    let Some(side) = &plan.side_effects else { continue };
+                    let d = &entry.instr.ops[i];
+                    bytecode::exec_compiled(
+                        side,
+                        self.machine,
+                        self.machine.op(d.op),
+                        Phase::SideEffects,
+                        &entry.bindings[i],
+                        &plan.params,
+                        &self.state,
+                        &[],
+                        plan.latency,
+                        &mut se_writes,
+                        &mut self.scratch_regs,
+                    );
+                }
+            }
+            CoreKind::Tree => {
+                for (d, b) in entry.instr.ops.iter().zip(&entry.bindings) {
+                    let op = self.machine.op(d.op);
+                    if op.side_effects.is_empty() {
+                        continue;
+                    }
+                    let frame = Frame { op, bindings: b };
+                    exec_stmts(
+                        self.machine,
+                        &op.side_effects,
+                        frame,
+                        &self.state,
+                        op.timing.latency,
+                        &mut se_writes,
+                    );
+                }
+            }
+        }
+        let mut pc_written = false;
+        for w in action_writes.drain(..).chain(se_writes.drain(..)) {
+            if w.storage == self.pc_id {
+                pc_written = true;
+            }
+            self.state
+                .stage_write(w.storage, w.index, w.hi, w.lo, w.value, t + u64::from(w.latency));
+        }
+        self.action_buf = action_writes;
+        self.se_buf = se_writes;
+
+        // Bookkeeping (flat counters; folded into Stats lazily).
+        for (fi, d) in entry.instr.ops.iter().enumerate() {
+            self.op_counts[fi][d.op.op] += 1;
+            if Some(d.op.op) != self.machine.fields[fi].nop {
+                self.stats.field_busy[fi] += 1;
+            }
+        }
+        self.stats.instructions += 1;
+        if let Some(tr) = &mut self.trace {
+            let _ = writeln!(tr, "{pc:#x}");
+        }
+
+        // 6. Advance time.
+        self.stats.cycles += u64::from(entry.cycle_cost);
+
+        // 7. Advance or redirect the PC.
+        if pc_written {
+            // Make the branch visible now so `pc()` is coherent; its
+            // visibility cycle has been charged via the cycle cost.
+            self.state.commit_due(self.stats.cycles);
+            if self.pc() == pc {
+                // `end: jmp end` idiom. Hardware would keep spinning
+                // here while in-flight (latency > 1) results land, so
+                // retire everything still pending.
+                self.state.commit_due(u64::MAX);
+                self.halted = true;
+                return Some(StopReason::Halted);
+            }
+        } else {
+            self.set_pc(pc + u64::from(entry.instr.size));
+        }
+
+        if entry.halts {
+            self.state.commit_due(u64::MAX);
+            self.halted = true;
+            return Some(StopReason::Halted);
+        }
+        None
+    }
+
+    /// Clears the halted flag and jumps to `pc`, keeping the decoded
+    /// program, state, and statistics — the cheap way to re-enter a
+    /// program after a halt (used by benchmarking loops).
+    pub fn restart_at(&mut self, pc: u64) {
+        self.halted = false;
+        self.state.clear_pending();
+        self.set_pc(pc);
+    }
+
+    /// Resets state, statistics, and the halted flag; keeps the loaded
+    /// program, breakpoints, and monitors. The program must be
+    /// reloaded via [`Self::load_program`] to restore instruction
+    /// memory contents if the run modified them.
+    pub fn reset(&mut self) {
+        self.state.reset();
+        self.stats = Stats { field_busy: vec![0; self.machine.fields.len()], ..Stats::default() };
+        for f in &mut self.op_counts {
+            f.iter_mut().for_each(|n| *n = 0);
+        }
+        self.halted = false;
+    }
+
+    /// Formats the instruction at `addr` as assembly text, if it
+    /// decodes.
+    #[must_use]
+    pub fn disassemble_at(&self, addr: u64) -> Option<String> {
+        let i = self.decode_instr(addr)?;
+        Some(self.disasm.format_instr(&i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xasm::Assembler;
+
+    fn acc16() -> Machine {
+        isdl::load(isdl::samples::ACC16).expect("loads")
+    }
+
+    fn toy() -> Machine {
+        isdl::load(isdl::samples::TOY).expect("loads")
+    }
+
+    fn run_acc16(src: &str, opts: XsimOptions) -> (Machine, Stats, Vec<u64>) {
+        let m = acc16();
+        let p = Assembler::new(&m).assemble(src).expect("assembles");
+        let mut sim = Xsim::generate_with(&m, opts).expect("generates");
+        sim.load_program(&p);
+        let stop = sim.run(100_000);
+        assert_eq!(stop, StopReason::Halted, "program should halt");
+        let dm = m.storage_by_name("DM").expect("DM").0;
+        let dump: Vec<u64> = (0..sim.state().depth(dm))
+            .map(|i| sim.state().read_u64(dm, i))
+            .collect();
+        let stats = sim.stats().clone();
+        (m, stats, dump)
+    }
+
+    const SUM_LOOP: &str = "\
+start: ldi 10
+       sta 1          ; counter = 10
+loop:  lda 0
+       addm 1         ; acc = sum + counter
+       sta 0
+       lda 1
+       subm one
+       sta 1
+       jnz loop
+       halt
+.data
+.org 60
+one:   .word 1
+";
+
+    #[test]
+    fn loop_program_computes_sum() {
+        let (_, stats, dump) = run_acc16(SUM_LOOP, XsimOptions::default());
+        assert_eq!(dump[0], 55, "sum of 10..1");
+        assert_eq!(dump[1], 0, "counter exhausted");
+        assert!(stats.instructions > 50);
+        assert_eq!(stats.cycles, stats.instructions, "acc16 has no stalls");
+    }
+
+    #[test]
+    fn tree_and_bytecode_cores_agree() {
+        let opts_tree = XsimOptions { core: CoreKind::Tree, offline_decode: true };
+        let opts_byte = XsimOptions { core: CoreKind::Bytecode, offline_decode: true };
+        let (_, s1, d1) = run_acc16(SUM_LOOP, opts_tree);
+        let (_, s2, d2) = run_acc16(SUM_LOOP, opts_byte);
+        assert_eq!(d1, d2, "state must be bit-identical");
+        assert_eq!(s1.cycles, s2.cycles);
+        assert_eq!(s1.instructions, s2.instructions);
+    }
+
+    #[test]
+    fn online_decode_matches_offline() {
+        let off = XsimOptions { core: CoreKind::Bytecode, offline_decode: true };
+        let on = XsimOptions { core: CoreKind::Bytecode, offline_decode: false };
+        let (_, s1, d1) = run_acc16(SUM_LOOP, off);
+        let (_, s2, d2) = run_acc16(SUM_LOOP, on);
+        assert_eq!(d1, d2);
+        // Off-line decode also feeds the static stall pass; acc16 ops all
+        // have latency 1 so cycle counts agree either way.
+        assert_eq!(s1.cycles, s2.cycles);
+    }
+
+    #[test]
+    fn toy_vliw_parallel_execution() {
+        let m = toy();
+        // li loads 5 into R1; next instruction does an ALU add and a
+        // parallel move of the OLD R2 (0) into R4.
+        let src = "li R1, 5\nli R2, 7\nadd R3, R1, reg(R2) | mv R4, R2\nToyEnd: jmp ToyEnd\n";
+        let p = Assembler::new(&m).assemble(src).expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&p);
+        assert_eq!(sim.run(1000), StopReason::Halted, "self-jump halts");
+        let rf = m.storage_by_name("RF").expect("RF").0;
+        assert_eq!(sim.state().read_u64(rf, 3), 12);
+        assert_eq!(sim.state().read_u64(rf, 4), 7);
+        assert_eq!(sim.stats().field_busy[1], 1, "MOVE field busy once");
+    }
+
+    #[test]
+    fn load_use_stall_is_charged() {
+        let m = toy();
+        // ld has latency 2 / stall 1: using the result immediately costs
+        // one stall cycle.
+        let with_hazard = "ld R1, 0\nadd R2, R1, reg(R1)\nE: jmp E\n";
+        let without = "ld R1, 0\nnop\nadd R2, R1, reg(R1)\nE: jmp E\n";
+        let run = |src: &str| {
+            let p = Assembler::new(&m).assemble(src).expect("assembles");
+            let mut sim = Xsim::generate(&m).expect("generates");
+            let dm = m.storage_by_name("DM").expect("DM").0;
+            sim.load_program(&p);
+            sim.state_mut().poke(dm, 0, bitv::BitVector::from_u64(21, 16));
+            assert_eq!(sim.run(1000), StopReason::Halted);
+            let rf = m.storage_by_name("RF").expect("RF").0;
+            (sim.stats().clone(), sim.state().read_u64(rf, 2))
+        };
+        let (s1, r2_hazard) = run(with_hazard);
+        let (s2, r2_clean) = run(without);
+        assert_eq!(r2_hazard, 42, "stall makes the loaded value visible");
+        assert_eq!(r2_clean, 42);
+        assert_eq!(s1.stall_cycles, 1, "one load-use stall");
+        assert_eq!(s2.stall_cycles, 0, "nop fills the delay slot");
+    }
+
+    #[test]
+    fn mac_accumulates_with_latency() {
+        let m = toy();
+        let src = "\
+li R1, 3
+li R2, 4
+clracc
+mac R1, R2
+mac R1, R2
+nop
+mvacc R5
+E: jmp E
+";
+        let p = Assembler::new(&m).assemble(src).expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&p);
+        assert_eq!(sim.run(1000), StopReason::Halted);
+        let rf = m.storage_by_name("RF").expect("RF").0;
+        assert_eq!(sim.state().read_u64(rf, 5), 24, "two MACs of 3*4");
+        assert!(sim.stats().stall_cycles >= 1, "back-to-back MAC stalls");
+    }
+
+    #[test]
+    fn nt_destination_store() {
+        let m = isdl::load(
+            r#"
+            machine "m" { format { word 8; } }
+            storage { imem IM 8 x 32; pc PC 5; register A 8; regfile RF 8 x 4; dmem DM 8 x 16; }
+            tokens { token REG reg("R", 4); }
+            nonterminals {
+                nonterminal DST width 3 {
+                    option reg(r: REG) { encode { val[2] = 0; val[1:0] = r; } value { RF[r] } }
+                    option mem(r: REG) { encode { val[2] = 1; val[1:0] = r; } value { DM[trunc(RF[r], 4)] } }
+                }
+            }
+            field F {
+                op st(d: DST) { encode { word[7:4] = 0b1000; word[2:0] = d; } action { d <- A; } }
+                op seta() { encode { word[7:4] = 0b0001; } action { A <- 8'd99; } }
+                op halt() { encode { word[7:4] = 0b1111; } }
+                op nop() { encode { word[7:4] = 0b0000; } }
+            }
+            "#,
+        )
+        .expect("loads");
+        let p = Assembler::new(&m)
+            .assemble("seta\nst reg(R2)\nst mem(R0)\nhalt\n")
+            .expect("assembles");
+        for core in [CoreKind::Tree, CoreKind::Bytecode] {
+            let mut sim =
+                Xsim::generate_with(&m, XsimOptions { core, offline_decode: true }).expect("generates");
+            sim.load_program(&p);
+            assert_eq!(sim.run(100), StopReason::Halted);
+            let rf = m.storage_by_name("RF").expect("RF").0;
+            let dm = m.storage_by_name("DM").expect("DM").0;
+            assert_eq!(sim.state().read_u64(rf, 2), 99, "core {core:?}");
+            assert_eq!(sim.state().read_u64(dm, 0), 99, "core {core:?}");
+        }
+    }
+
+    #[test]
+    fn trace_records_addresses() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("sink lock").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let m = acc16();
+        let p = Assembler::new(&m).assemble("ldi 1\nldi 2\nhalt\n").expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&p);
+        let sink = SharedSink::default();
+        sim.set_trace(Box::new(sink.clone()));
+        assert_eq!(sim.run(100), StopReason::Halted);
+        let text = String::from_utf8(sink.0.lock().expect("sink lock").clone()).expect("utf8");
+        assert_eq!(text, "0x0\n0x1\n0x2\n");
+    }
+
+    #[test]
+    fn breakpoint_stops_and_resumes() {
+        let m = acc16();
+        let p = Assembler::new(&m).assemble("ldi 1\nldi 2\nldi 3\nhalt\n").expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&p);
+        sim.add_breakpoint(1);
+        assert_eq!(sim.run(100), StopReason::Breakpoint(1));
+        assert_eq!(sim.pc(), 1);
+        assert_eq!(sim.run(100), StopReason::Halted, "resume past breakpoint");
+    }
+
+    #[test]
+    fn cycle_limit() {
+        let m = acc16();
+        let p = Assembler::new(&m).assemble("loop: jmp loop2\nloop2: jmp loop\n").expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&p);
+        assert_eq!(sim.run(50), StopReason::CycleLimit);
+        assert!(sim.stats().cycles >= 50);
+    }
+
+    #[test]
+    fn illegal_instruction_stops() {
+        let m = acc16();
+        // 0b1001 is an undefined opcode in acc16.
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_words(&[bitv::BitVector::from_u64(0b1001 << 12, 16)]);
+        assert_eq!(sim.run(10), StopReason::IllegalInstruction(0));
+    }
+
+    #[test]
+    fn pc_wraps_when_it_cannot_leave_imem() {
+        // acc16 has an 8-bit PC over a 256-word imem: the PC wraps and
+        // execution re-enters address 0 — architecturally accurate.
+        let m = acc16();
+        let p = Assembler::new(&m).assemble("ldi 1\n").expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&p);
+        assert_eq!(sim.run(1000), StopReason::CycleLimit);
+        assert!(sim.pc() < 256);
+    }
+
+    #[test]
+    fn pc_out_of_range_stops() {
+        // A PC wider than instruction memory can walk off the end.
+        let m = isdl::load(
+            r#"machine "m" { format { word 8; } }
+               storage { imem IM 8 x 16; pc PC 8; register A 8; }
+               field F {
+                   op inc() { encode { word[7:4] = 0b0001; } action { A <- A + 8'd1; } }
+                   op nop() { encode { word[7:4] = 0b0000; } }
+               }"#,
+        )
+        .expect("loads");
+        let p = Assembler::new(&m).assemble("inc\n").expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&p);
+        assert_eq!(sim.run(1000), StopReason::PcOutOfRange(16));
+    }
+
+    #[test]
+    fn reset_preserves_program() {
+        let m = acc16();
+        let p = Assembler::new(&m).assemble("ldi 5\nhalt\n").expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&p);
+        assert_eq!(sim.run(100), StopReason::Halted);
+        sim.reset();
+        assert_eq!(sim.stats().cycles, 0);
+        // Instruction memory was cleared by reset; reload to run again.
+        sim.load_program(&p);
+        assert_eq!(sim.run(100), StopReason::Halted);
+        let acc = m.storage_by_name("ACC").expect("ACC").0;
+        assert_eq!(sim.state().read_u64(acc, 0), 5);
+    }
+
+    #[test]
+    fn missing_pc_reported() {
+        let m = isdl::load(
+            r#"machine "m" { format { word 8; } }
+               storage { imem IM 8 x 8; }
+               field F { op nop() { encode { word[0] = 1; } } }"#,
+        )
+        .expect("loads");
+        assert_eq!(Xsim::generate(&m).err(), Some(GensimError::MissingPc));
+    }
+}
+
+#[cfg(test)]
+mod usage_tests {
+    use super::*;
+    use xasm::Assembler;
+
+    /// A machine whose `div` occupies its unit for 3 cycles
+    /// (`usage 3`), exposing the structural-hazard path of the static
+    /// stall analysis.
+    const USAGE_MACHINE: &str = r#"
+        machine "usage" { format { word 16; } }
+        storage { imem IM 16 x 32; pc PC 5; regfile RF 16 x 4; }
+        tokens { token REG reg("R", 4); }
+        field F {
+            op div(d: REG, a: REG, b: REG) {
+                encode { word[15:12] = 0b0001; word[11:10] = d; word[9:8] = a; word[7:6] = b; }
+                action { RF[d] <- RF[a] / RF[b]; }
+                cost { cycle 1; stall 2; }
+                timing { latency 1; usage 3; }
+            }
+            op li(d: REG, v: REG) {
+                encode { word[15:12] = 0b0010; word[11:10] = d; word[9:8] = v; }
+                action { RF[d] <- zext(v, 16); }
+            }
+            op nop() { encode { word[15:12] = 0b0000; } }
+        }
+        // Halt lives in its own field so it never competes for F's
+        // functional unit (usage hazards are per field).
+        field CTRL {
+            op halt() { encode { word[5:4] = 0b01; } }
+            op nop() { encode { word[5:4] = 0b00; } }
+        }
+    "#;
+
+    #[test]
+    fn usage_serialises_back_to_back_unit_uses() {
+        let m = isdl::load(USAGE_MACHINE).expect("loads");
+        let run = |src: &str| {
+            let p = Assembler::new(&m).assemble(src).expect("assembles");
+            let mut sim = Xsim::generate(&m).expect("generates");
+            sim.load_program(&p);
+            assert_eq!(sim.run(1_000), StopReason::Halted);
+            sim.stats().clone()
+        };
+        // Back-to-back divides on a usage-3 unit: the second stalls
+        // (clamped by the declared stall cost of 2).
+        // (`li d, s` loads the numeric index of register `s`.)
+        let busy = run("li R1, R3\nli R2, R1\ndiv R3, R1, R2\ndiv R0, R1, R2\nhalt\n");
+        assert_eq!(busy.stall_cycles, 2, "usage hazard charged");
+        // A nop between them reduces the stall by one cycle.
+        let spaced = run("li R1, R3\nli R2, R1\ndiv R3, R1, R2\nnop\ndiv R0, R1, R2\nhalt\n");
+        assert_eq!(spaced.stall_cycles, 1);
+        // Two intervening instructions clear the hazard entirely.
+        let clear = run("li R1, R3\nli R2, R1\ndiv R3, R1, R2\nnop\nnop\ndiv R0, R1, R2\nhalt\n");
+        assert_eq!(clear.stall_cycles, 0);
+    }
+}

@@ -1,0 +1,502 @@
+//! The resource-sharing problem and its clique-based solution
+//! (§4.1.1–§4.1.2, Figure 5 of the paper).
+//!
+//! Each expensive RTL operator instance (and each memory port) is a
+//! *node*. The compatibility matrix `A` has `A[i][j] = 1` when nodes
+//! `i` and `j` can share one piece of hardware — they never operate at
+//! the same time. The rules:
+//!
+//! 1. nodes in the same operation cannot share (all of an operation's
+//!    RTL evaluates in the same cycle; this subsumes the paper's
+//!    "same RTL statement" rule for a single-issue-per-cycle datapath),
+//!    *except* nodes belonging to different options of the same
+//!    non-terminal parameter, which are mutually exclusive by decode;
+//! 2. nodes performing different tasks cannot share; `add` and `sub`
+//!    are subset-compatible and merge into one adder/subtractor;
+//! 3. nodes of operations in the same field (or options of one
+//!    non-terminal) can share — one field issues one operation;
+//! 4. nodes of operations in different fields cannot share, unless the
+//!    constraints (or an `archinfo` share hint) prove the operations
+//!    never co-occur.
+//!
+//! Maximal cliques of the compatibility graph are found with
+//! Bron–Kerbosch (with pivoting); a greedy cover then assigns each
+//! node to one clique, and the datapath instantiates one functional
+//! unit per clique.
+
+use isdl::model::{CExpr, Constraint, Machine, OpRef};
+use isdl::rtl::StorageId;
+use vlog::ast::VBinOp;
+
+/// The task class of a shareable node (rule 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShareClass {
+    /// Adders and subtractors (subset-compatible).
+    AddSub,
+    /// Any other binary operator, shareable only with its own kind.
+    Bin(VBinOp),
+    /// A read port on an addressed storage.
+    MemRead(StorageId),
+    /// A write port on an addressed storage.
+    MemWrite(StorageId),
+}
+
+/// Where a node comes from, for the exclusivity rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeOwner {
+    /// The operation whose RTL contains the node.
+    pub op: OpRef,
+    /// Non-terminal option context: `(param_path_key, option_index)`
+    /// per non-terminal level the node sits under. Two nodes of the
+    /// same operation are mutually exclusive iff they disagree on the
+    /// option of a common key.
+    pub nt_context: Vec<(u32, usize)>,
+}
+
+impl NodeOwner {
+    /// An owner with no non-terminal context.
+    #[must_use]
+    pub fn plain(op: OpRef) -> Self {
+        Self { op, nt_context: Vec::new() }
+    }
+
+    fn exclusive_within_op(&self, other: &Self) -> bool {
+        self.nt_context.iter().any(|(k, o)| {
+            other
+                .nt_context
+                .iter()
+                .any(|(k2, o2)| k == k2 && o != o2)
+        })
+    }
+}
+
+/// One shareable hardware node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareNode {
+    /// The task class.
+    pub class: ShareClass,
+    /// Operand width in bits (units only merge at equal widths).
+    pub width: u32,
+    /// Origin.
+    pub owner: NodeOwner,
+}
+
+/// Sharing configuration (the ablation knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareOptions {
+    /// Master switch; off instantiates one unit per node.
+    pub enabled: bool,
+    /// Use the constraints section to prove cross-field exclusivity
+    /// (rule 4's refinement).
+    pub use_constraints: bool,
+    /// Use `archinfo` share hints.
+    pub use_hints: bool,
+}
+
+impl Default for ShareOptions {
+    fn default() -> Self {
+        Self { enabled: true, use_constraints: true, use_hints: true }
+    }
+}
+
+/// The sharing result: a partition of the nodes into hardware units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharePlan {
+    /// `groups[u]` = node indices implemented by unit `u`.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl SharePlan {
+    /// Number of hardware units instantiated.
+    #[must_use]
+    pub fn unit_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of units saved versus no sharing.
+    #[must_use]
+    pub fn units_saved(&self) -> usize {
+        let nodes: usize = self.groups.iter().map(Vec::len).sum();
+        nodes - self.groups.len()
+    }
+}
+
+/// Computes the sharing plan for a set of nodes (Figure 5).
+#[must_use]
+pub fn plan(machine: &Machine, nodes: &[ShareNode], opts: ShareOptions) -> SharePlan {
+    if !opts.enabled || nodes.is_empty() {
+        return SharePlan { groups: (0..nodes.len()).map(|i| vec![i]).collect() };
+    }
+    let matrix = compatibility_matrix(machine, nodes, opts);
+    let cliques = maximal_cliques(&matrix);
+    SharePlan { groups: clique_cover(nodes.len(), cliques, &matrix) }
+}
+
+/// Builds the `n × n` compatibility matrix.
+#[must_use]
+pub fn compatibility_matrix(
+    machine: &Machine,
+    nodes: &[ShareNode],
+    opts: ShareOptions,
+) -> Vec<Vec<bool>> {
+    let n = nodes.len();
+    let mut m = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let ok = compatible(machine, &nodes[i], &nodes[j], opts);
+            m[i][j] = ok;
+            m[j][i] = ok;
+        }
+    }
+    m
+}
+
+fn compatible(machine: &Machine, a: &ShareNode, b: &ShareNode, opts: ShareOptions) -> bool {
+    // Rule 2: same task class and width.
+    if a.class != b.class || a.width != b.width {
+        return false;
+    }
+    if a.owner.op == b.owner.op {
+        // Rule 1 (+ non-terminal refinement).
+        return a.owner.exclusive_within_op(&b.owner);
+    }
+    // Rule 3: same field.
+    if a.owner.op.field == b.owner.op.field {
+        return true;
+    }
+    // Rule 4: different fields — only with proof of exclusivity.
+    if opts.use_hints && hinted_together(machine, a.owner.op, b.owner.op) {
+        return true;
+    }
+    if opts.use_constraints && constraints_exclude(machine, a.owner.op, b.owner.op) {
+        return true;
+    }
+    false
+}
+
+/// Whether an `archinfo` share hint names both operations.
+fn hinted_together(machine: &Machine, a: OpRef, b: OpRef) -> bool {
+    machine
+        .share_hints
+        .iter()
+        .any(|h| h.ops.contains(&a) && h.ops.contains(&b))
+}
+
+/// Whether the constraints prove operations `a` and `b` can never be
+/// selected in the same instruction.
+#[must_use]
+pub fn constraints_exclude(machine: &Machine, a: OpRef, b: OpRef) -> bool {
+    // Fast path: a two-operation forbid naming exactly this pair.
+    for c in &machine.constraints {
+        if let Constraint::Forbid(ops) = c {
+            if ops.len() == 2 && ops.contains(&a) && ops.contains(&b) {
+                return true;
+            }
+        }
+    }
+    // General path: brute-force satisfiability over the fields any
+    // constraint mentions (others pinned to an arbitrary op — their
+    // value cannot matter to the mentioned constraints).
+    let mut mentioned: Vec<usize> = vec![a.field.0, b.field.0];
+    for c in &machine.constraints {
+        collect_fields(c, &mut mentioned);
+    }
+    mentioned.sort_unstable();
+    mentioned.dedup();
+    let combos: u64 = mentioned
+        .iter()
+        .map(|&f| machine.fields[f].ops.len() as u64)
+        .product();
+    if combos > 65_536 {
+        return false; // too large to prove; assume co-occurrence possible
+    }
+    let mut selection: Vec<usize> = machine.fields.iter().map(|_| 0).collect();
+    !any_valid_selection(machine, &mentioned, 0, &mut selection, a, b)
+}
+
+fn collect_fields(c: &Constraint, out: &mut Vec<usize>) {
+    match c {
+        Constraint::Forbid(ops) => out.extend(ops.iter().map(|r| r.field.0)),
+        Constraint::Assert(e) => collect_cexpr_fields(e, out),
+    }
+}
+
+fn collect_cexpr_fields(e: &CExpr, out: &mut Vec<usize>) {
+    match e {
+        CExpr::Op(r) => out.push(r.field.0),
+        CExpr::Not(x) => collect_cexpr_fields(x, out),
+        CExpr::And(x, y) | CExpr::Or(x, y) => {
+            collect_cexpr_fields(x, out);
+            collect_cexpr_fields(y, out);
+        }
+    }
+}
+
+/// Depth-first search for a constraint-satisfying selection containing
+/// both `a` and `b`.
+fn any_valid_selection(
+    machine: &Machine,
+    mentioned: &[usize],
+    depth: usize,
+    selection: &mut Vec<usize>,
+    a: OpRef,
+    b: OpRef,
+) -> bool {
+    if depth == mentioned.len() {
+        return machine.check_constraints(selection).is_none();
+    }
+    let f = mentioned[depth];
+    if f == a.field.0 {
+        selection[f] = a.op;
+        return any_valid_selection(machine, mentioned, depth + 1, selection, a, b);
+    }
+    if f == b.field.0 {
+        selection[f] = b.op;
+        return any_valid_selection(machine, mentioned, depth + 1, selection, a, b);
+    }
+    for o in 0..machine.fields[f].ops.len() {
+        selection[f] = o;
+        if any_valid_selection(machine, mentioned, depth + 1, selection, a, b) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Enumerates all maximal cliques with Bron–Kerbosch (pivoting on the
+/// highest-degree vertex of `P ∪ X`).
+#[must_use]
+pub fn maximal_cliques(matrix: &[Vec<bool>]) -> Vec<Vec<usize>> {
+    let n = matrix.len();
+    let mut cliques = Vec::new();
+    let mut r = Vec::new();
+    let p: Vec<usize> = (0..n).collect();
+    let x = Vec::new();
+    bron_kerbosch(matrix, &mut r, p, x, &mut cliques);
+    cliques
+}
+
+fn bron_kerbosch(
+    m: &[Vec<bool>],
+    r: &mut Vec<usize>,
+    p: Vec<usize>,
+    mut x: Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if p.is_empty() && x.is_empty() {
+        out.push(r.clone());
+        return;
+    }
+    // Pivot: vertex of P ∪ X with most neighbours in P.
+    let pivot = p
+        .iter()
+        .chain(&x)
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&v| m[u][v]).count())
+        .expect("P or X non-empty");
+    let candidates: Vec<usize> = p.iter().copied().filter(|&v| !m[pivot][v]).collect();
+    let mut p = p;
+    for v in candidates {
+        let p2: Vec<usize> = p.iter().copied().filter(|&u| m[v][u]).collect();
+        let x2: Vec<usize> = x.iter().copied().filter(|&u| m[v][u]).collect();
+        r.push(v);
+        bron_kerbosch(m, r, p2, x2, out);
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+}
+
+/// Greedy clique cover: repeatedly take the largest clique restricted
+/// to still-uncovered nodes.
+fn clique_cover(n: usize, cliques: Vec<Vec<usize>>, matrix: &[Vec<bool>]) -> Vec<Vec<usize>> {
+    let mut covered = vec![false; n];
+    let mut groups = Vec::new();
+    let remaining = cliques;
+    loop {
+        // Restrict cliques to uncovered nodes; keep them cliques (a
+        // subset of a clique is a clique).
+        let best = remaining
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .copied()
+                    .filter(|&v| !covered[v])
+                    .collect::<Vec<_>>()
+            })
+            .max_by_key(Vec::len)
+            .unwrap_or_default();
+        if best.is_empty() {
+            break;
+        }
+        for &v in &best {
+            covered[v] = true;
+        }
+        groups.push(best);
+        if covered.iter().all(|&c| c) {
+            break;
+        }
+    }
+    // Any isolated leftovers (no cliques at all for them).
+    for (v, &c) in covered.iter().enumerate() {
+        if !c {
+            groups.push(vec![v]);
+        }
+    }
+    let _ = matrix;
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isdl::model::FieldId;
+
+    fn opref(f: usize, o: usize) -> OpRef {
+        OpRef { field: FieldId(f), op: o }
+    }
+
+    fn node(class: ShareClass, width: u32, f: usize, o: usize) -> ShareNode {
+        ShareNode { class, width, owner: NodeOwner::plain(opref(f, o)) }
+    }
+
+    fn toy() -> Machine {
+        isdl::load(isdl::samples::TOY).expect("loads")
+    }
+
+    #[test]
+    fn same_field_different_ops_share() {
+        let m = toy();
+        let nodes = vec![
+            node(ShareClass::AddSub, 16, 0, 0), // ALU.add
+            node(ShareClass::AddSub, 16, 0, 1), // ALU.sub
+        ];
+        let p = plan(&m, &nodes, ShareOptions::default());
+        assert_eq!(p.unit_count(), 1, "add and sub merge into one adder");
+        assert_eq!(p.units_saved(), 1);
+    }
+
+    #[test]
+    fn same_op_nodes_do_not_share() {
+        let m = toy();
+        let nodes = vec![
+            node(ShareClass::AddSub, 16, 0, 0),
+            node(ShareClass::AddSub, 16, 0, 0),
+        ];
+        let p = plan(&m, &nodes, ShareOptions::default());
+        assert_eq!(p.unit_count(), 2);
+    }
+
+    #[test]
+    fn different_class_or_width_do_not_share() {
+        let m = toy();
+        let nodes = vec![
+            node(ShareClass::AddSub, 16, 0, 0),
+            node(ShareClass::Bin(VBinOp::Mul), 16, 0, 1),
+            node(ShareClass::AddSub, 8, 0, 2),
+        ];
+        let p = plan(&m, &nodes, ShareOptions::default());
+        assert_eq!(p.unit_count(), 3);
+    }
+
+    #[test]
+    fn cross_field_needs_constraint_proof() {
+        let m = toy();
+        // TOY forbids ALU.mac (field 0, op 9) with MOVE.mvacc (field 1,
+        // op 1): their nodes may share.
+        let mac = m.op_by_name("ALU", "mac").expect("mac");
+        let mvacc = m.op_by_name("MOVE", "mvacc").expect("mvacc");
+        let nodes = vec![
+            ShareNode { class: ShareClass::AddSub, width: 16, owner: NodeOwner::plain(mac) },
+            ShareNode { class: ShareClass::AddSub, width: 16, owner: NodeOwner::plain(mvacc) },
+        ];
+        let with = plan(&m, &nodes, ShareOptions::default());
+        assert_eq!(with.unit_count(), 1, "constraint proves exclusivity");
+        let without = plan(
+            &m,
+            &nodes,
+            ShareOptions { use_constraints: false, use_hints: false, enabled: true },
+        );
+        assert_eq!(without.unit_count(), 2, "rule 4 alone forbids sharing");
+    }
+
+    #[test]
+    fn cross_field_without_constraint_does_not_share() {
+        let m = toy();
+        let add = m.op_by_name("ALU", "add").expect("add");
+        let mv = m.op_by_name("MOVE", "mv").expect("mv");
+        let nodes = vec![
+            ShareNode { class: ShareClass::AddSub, width: 16, owner: NodeOwner::plain(add) },
+            ShareNode { class: ShareClass::AddSub, width: 16, owner: NodeOwner::plain(mv) },
+        ];
+        let p = plan(&m, &nodes, ShareOptions::default());
+        assert_eq!(p.unit_count(), 2, "add and mv can co-occur");
+    }
+
+    #[test]
+    fn nt_options_within_one_op_share() {
+        let m = toy();
+        let add = m.op_by_name("ALU", "add").expect("add");
+        let mk = |option| ShareNode {
+            class: ShareClass::MemRead(StorageId(1)),
+            width: 16,
+            owner: NodeOwner { op: add, nt_context: vec![(2, option)] },
+        };
+        let nodes = vec![mk(0), mk(1)];
+        let p = plan(&m, &nodes, ShareOptions::default());
+        assert_eq!(p.unit_count(), 1, "exclusive addressing modes share a port");
+    }
+
+    #[test]
+    fn sharing_disabled_gives_one_unit_per_node() {
+        let m = toy();
+        let nodes = vec![
+            node(ShareClass::AddSub, 16, 0, 0),
+            node(ShareClass::AddSub, 16, 0, 1),
+            node(ShareClass::AddSub, 16, 0, 2),
+        ];
+        let p = plan(&m, &nodes, ShareOptions { enabled: false, ..ShareOptions::default() });
+        assert_eq!(p.unit_count(), 3);
+        assert_eq!(p.units_saved(), 0);
+    }
+
+    #[test]
+    fn bron_kerbosch_finds_triangle_and_edge() {
+        // Graph: 0-1, 1-2, 0-2 (triangle), 3-4 (edge), 5 isolated.
+        let n = 6;
+        let mut m = vec![vec![false; n]; n];
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4)] {
+            m[a][b] = true;
+            m[b][a] = true;
+        }
+        let mut cliques = maximal_cliques(&m);
+        for c in &mut cliques {
+            c.sort_unstable();
+        }
+        cliques.sort();
+        assert!(cliques.contains(&vec![0, 1, 2]));
+        assert!(cliques.contains(&vec![3, 4]));
+        assert!(cliques.contains(&vec![5]));
+    }
+
+    #[test]
+    fn clique_cover_partitions_all_nodes() {
+        let m = toy();
+        // Seven nodes: 3 shareable ALU adders + mul + 2 cross-field.
+        let nodes = vec![
+            node(ShareClass::AddSub, 16, 0, 0),
+            node(ShareClass::AddSub, 16, 0, 1),
+            node(ShareClass::AddSub, 16, 0, 4),
+            node(ShareClass::Bin(VBinOp::Mul), 16, 0, 9),
+            node(ShareClass::AddSub, 16, 1, 0),
+            node(ShareClass::AddSub, 16, 1, 1),
+            node(ShareClass::Bin(VBinOp::Xor), 16, 0, 3),
+        ];
+        let p = plan(&m, &nodes, ShareOptions::default());
+        let mut all: Vec<usize> = p.groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..nodes.len()).collect::<Vec<_>>(), "exact partition");
+        // The three field-0 adders share; the two MOVE-field adders share.
+        assert!(p.unit_count() <= 4);
+    }
+}

@@ -1,0 +1,436 @@
+//! Raw (unresolved) abstract syntax tree for ISDL descriptions.
+//!
+//! The parser produces these types; [`crate::sema`] resolves names and
+//! widths into the [`crate::model`] types every downstream tool uses.
+//! All names here are plain strings with source positions so that
+//! diagnostics can point at the offending definition.
+
+use crate::error::Pos;
+use bitv::BitVector;
+
+/// A complete parsed description (the six ISDL sections, merged).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Description {
+    /// Architecture name from the `machine "name" { ... }` header.
+    pub name: String,
+    /// Instruction word width in bits (format section).
+    pub word_width: Option<u32>,
+    /// Storage definitions in declaration order.
+    pub storages: Vec<StorageDef>,
+    /// Alias definitions.
+    pub aliases: Vec<AliasDef>,
+    /// Token definitions (global definitions section).
+    pub tokens: Vec<TokenDef>,
+    /// Non-terminal definitions (global definitions section).
+    pub nonterminals: Vec<NonTerminalDef>,
+    /// Instruction-set fields in declaration order.
+    pub fields: Vec<FieldDef>,
+    /// Constraints.
+    pub constraints: Vec<ConstraintDef>,
+    /// Optional architectural information.
+    pub archinfo: ArchInfoDef,
+}
+
+/// One storage element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageDef {
+    /// Declared name.
+    pub name: String,
+    /// Storage class keyword.
+    pub kind: StorageKindAst,
+    /// Element width in bits.
+    pub width: u32,
+    /// Number of addressable locations (for addressed kinds).
+    pub depth: Option<u64>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// The ISDL storage classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageKindAst {
+    /// Instruction memory.
+    InstructionMemory,
+    /// Data memory.
+    DataMemory,
+    /// Register file.
+    RegisterFile,
+    /// Single register.
+    Register,
+    /// Control register.
+    ControlRegister,
+    /// Memory-mapped I/O region.
+    MemoryMappedIo,
+    /// Program counter.
+    ProgramCounter,
+    /// Hardware stack.
+    Stack,
+}
+
+/// An alias: an alternative name for a sub-part of the state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AliasDef {
+    /// The alias name.
+    pub name: String,
+    /// The storage it aliases.
+    pub target: String,
+    /// Cell index within an addressed storage.
+    pub index: Option<u64>,
+    /// Optional bit range `hi:lo` within the cell.
+    pub range: Option<(u32, u32)>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A token definition (assembly-syntax element).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenDef {
+    /// Token name (conventionally upper-case).
+    pub name: String,
+    /// Kind of token.
+    pub kind: TokenKindAst,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// The supported token classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKindAst {
+    /// Register-style tokens: `prefix` followed by an index `0..count`.
+    /// The return value is the index.
+    Register {
+        /// Assembly prefix, e.g. `"R"`.
+        prefix: String,
+        /// Number of registers.
+        count: u64,
+    },
+    /// Immediate value of the given width and signedness.
+    Immediate {
+        /// Bit width of the encoded immediate.
+        width: u32,
+        /// Whether assembly accepts negative values (two's complement).
+        signed: bool,
+    },
+    /// Enumerated symbols; the return value is the list position.
+    Enum {
+        /// The accepted spellings.
+        names: Vec<String>,
+    },
+}
+
+/// A non-terminal definition (abstracts a common operation pattern,
+/// e.g. an addressing mode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonTerminalDef {
+    /// Non-terminal name.
+    pub name: String,
+    /// Width in bits of the return value (the varying-width binary
+    /// sub-word options encode into).
+    pub width: u32,
+    /// The options.
+    pub options: Vec<OperationDef>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// An instruction-set field: a set of mutually exclusive operations
+/// (roughly one functional unit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// The operations of this field.
+    pub ops: Vec<OperationDef>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One operation (or non-terminal option) with its six definition parts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationDef {
+    /// Operation name (empty for anonymous use; non-terminal options are
+    /// named too in this dialect, which also names the addressing mode).
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<ParamDef>,
+    /// Bitfield assignments (part 2).
+    pub encode: Vec<BitAssignDef>,
+    /// For non-terminal options: the value expression (reads) which must
+    /// have l-value shape if the option is ever used as a destination.
+    pub value: Option<Expr>,
+    /// Action RTL (part 3).
+    pub action: Vec<Stmt>,
+    /// Side-effect RTL (part 4).
+    pub side_effects: Vec<Stmt>,
+    /// Costs (part 5).
+    pub costs: CostsDef,
+    /// Timing (part 6).
+    pub timing: TimingDef,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A formal parameter: name and the token / non-terminal it ranges over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDef {
+    /// Parameter name as used in RTL and encode blocks.
+    pub name: String,
+    /// The token or non-terminal name.
+    pub ty: String,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One bitfield assignment `word[h:l] = rhs;` (or `val[h:l]` inside a
+/// non-terminal option).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitAssignDef {
+    /// High bit (inclusive).
+    pub hi: u32,
+    /// Low bit (inclusive).
+    pub lo: u32,
+    /// Right-hand side.
+    pub rhs: BitRhsDef,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Right-hand side of a bitfield assignment. Restricted so the encoding
+/// is symbolically reversible (Axiom 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitRhsDef {
+    /// A constant.
+    Const(BitVector),
+    /// A parameter's full encoded value.
+    Param(String),
+    /// A bit range of a parameter's encoded value.
+    ParamSlice {
+        /// Parameter name.
+        name: String,
+        /// High bit of the parameter value (inclusive).
+        hi: u32,
+        /// Low bit of the parameter value (inclusive).
+        lo: u32,
+    },
+}
+
+/// Operation costs (paper part 5). Unspecified entries default to
+/// `cycle 1; stall 0; size 1;`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostsDef {
+    /// Cycles taken in the absence of stalls.
+    pub cycle: u32,
+    /// Additional cycles possible during a pipeline stall.
+    pub stall: u32,
+    /// Instruction words occupied.
+    pub size: u32,
+}
+
+impl Default for CostsDef {
+    fn default() -> Self {
+        Self { cycle: 1, stall: 0, size: 1 }
+    }
+}
+
+/// Operation timing (paper part 6). Unspecified entries default to
+/// `latency 1; usage 1;`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingDef {
+    /// Cycles until results become visible (1 = next cycle).
+    pub latency: u32,
+    /// Cycles until the functional unit is free again.
+    pub usage: u32,
+}
+
+impl Default for TimingDef {
+    fn default() -> Self {
+        Self { latency: 1, usage: 1 }
+    }
+}
+
+/// A constraint definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintDef {
+    /// `forbid F.op, G.op2;` — the listed operations may not all be
+    /// present in one instruction.
+    Forbid {
+        /// The operations (as `field.op` references).
+        ops: Vec<OpRefDef>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `assert <boolexpr>;` — a general boolean combination that every
+    /// valid instruction must satisfy.
+    Assert {
+        /// The boolean expression over operation presence.
+        expr: ConstraintExpr,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// Reference to an operation as `field.op`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpRefDef {
+    /// Field name.
+    pub field: String,
+    /// Operation name within the field.
+    pub op: String,
+}
+
+/// Boolean expression over operation presence in an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintExpr {
+    /// The named operation is selected in its field.
+    Op(OpRefDef),
+    /// Logical negation.
+    Not(Box<ConstraintExpr>),
+    /// Logical conjunction.
+    And(Box<ConstraintExpr>, Box<ConstraintExpr>),
+    /// Logical disjunction.
+    Or(Box<ConstraintExpr>, Box<ConstraintExpr>),
+}
+
+/// Optional architectural information.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArchInfoDef {
+    /// Resource-sharing hints: named shared resources and the operations
+    /// that use them (so HGEN can put them on one bus / unit).
+    pub shares: Vec<ShareHintDef>,
+    /// Target clock period hint in nanoseconds.
+    pub cycle_ns: Option<f64>,
+}
+
+/// One `share name: F.op, G.op;` hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareHintDef {
+    /// Resource name.
+    pub name: String,
+    /// Operations sharing it.
+    pub ops: Vec<OpRefDef>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+// ----- RTL expressions and statements (shared with the model) -----
+
+/// Binary RTL operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division.
+    UDiv,
+    /// Unsigned remainder.
+    URem,
+    /// Signed division.
+    SDiv,
+    /// Signed remainder.
+    SRem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Lshr,
+    /// Arithmetic shift right.
+    Ashr,
+    /// Equality (produces 1 bit).
+    Eq,
+    /// Inequality (produces 1 bit).
+    Ne,
+    /// Unsigned less-than (1 bit).
+    Ult,
+    /// Unsigned less-or-equal (1 bit).
+    Ule,
+    /// Signed less-than (1 bit).
+    Slt,
+    /// Signed less-or-equal (1 bit).
+    Sle,
+    /// Short-circuit logical AND (operands reduced to booleans, 1 bit).
+    LAnd,
+    /// Short-circuit logical OR (1 bit).
+    LOr,
+}
+
+/// Unary RTL operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise NOT.
+    Not,
+    /// Logical NOT (1 bit: 1 iff operand is zero).
+    LNot,
+}
+
+/// Width-changing conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtKind {
+    /// Zero extension.
+    Zext,
+    /// Sign extension.
+    Sext,
+    /// Truncation.
+    Trunc,
+}
+
+/// An RTL expression (unresolved: names are strings).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A sized literal.
+    Lit(BitVector),
+    /// An unsized integer literal; its width is inferred during
+    /// semantic analysis.
+    IntLit(u64),
+    /// A name: storage, alias, or parameter (resolved later).
+    Name(String, Pos),
+    /// Indexing an addressed storage: `DM[addr]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Bit slice `e[h:l]`.
+    Slice(Box<Expr>, u32, u32),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Ternary conditional `c ? t : f`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Width conversion: `zext(e, w)`, `sext(e, w)`, `trunc(e, w)`.
+    Ext(ExtKind, Box<Expr>, u32),
+    /// Concatenation `concat(a, b, ...)` — first argument is most
+    /// significant.
+    Concat(Vec<Expr>),
+}
+
+/// An RTL statement (unresolved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Assignment `lvalue <- expr;`.
+    Assign {
+        /// Destination.
+        lv: Expr,
+        /// Source value.
+        rhs: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Conditional.
+    If {
+        /// Condition (true iff non-zero).
+        cond: Expr,
+        /// Statements when true.
+        then_body: Vec<Stmt>,
+        /// Statements when false.
+        else_body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+}

@@ -1,0 +1,139 @@
+//! Diagnostics for the ISDL front-end.
+
+use std::error::Error;
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number (0 means "unknown").
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position.
+    #[must_use]
+    pub fn new(line: u32, col: u32) -> Self {
+        Self { line, col }
+    }
+
+    /// The "unknown" position used by synthesized nodes.
+    #[must_use]
+    pub fn unknown() -> Self {
+        Self { line: 0, col: 0 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// The error type for every fallible ISDL front-end operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsdlError {
+    kind: ErrorKind,
+    pos: Pos,
+    msg: String,
+}
+
+/// Broad classification of an [`IsdlError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Malformed character stream (bad literal, stray character, …).
+    Lex,
+    /// Token stream does not match the grammar.
+    Syntax,
+    /// Reference to an undefined name.
+    Undefined,
+    /// Same name defined twice in one namespace.
+    Duplicate,
+    /// RTL or encoding width mismatch.
+    Width,
+    /// Violation of the single-parameter encoding axiom or an
+    /// unreversible encoding.
+    Encoding,
+    /// Two operations of one field cannot be distinguished, or two
+    /// fields assign the same instruction bit.
+    Decode,
+    /// Any other semantic rule violation.
+    Semantic,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Lex => "lexical error",
+            Self::Syntax => "syntax error",
+            Self::Undefined => "undefined name",
+            Self::Duplicate => "duplicate definition",
+            Self::Width => "width error",
+            Self::Encoding => "encoding error",
+            Self::Decode => "decode error",
+            Self::Semantic => "semantic error",
+        };
+        f.write_str(s)
+    }
+}
+
+impl IsdlError {
+    /// Creates an error of the given kind at the given position.
+    #[must_use]
+    pub fn new(kind: ErrorKind, pos: Pos, msg: impl Into<String>) -> Self {
+        Self { kind, pos, msg: msg.into() }
+    }
+
+    /// The error classification.
+    #[must_use]
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// Where the error was detected.
+    #[must_use]
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+
+    /// The human-readable detail message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for IsdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.pos, self.msg)
+    }
+}
+
+impl Error for IsdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_kind() {
+        let e = IsdlError::new(ErrorKind::Width, Pos::new(3, 7), "expected 8 bits, found 16");
+        let s = e.to_string();
+        assert!(s.contains("width error"));
+        assert!(s.contains("3:7"));
+        assert!(s.contains("expected 8 bits"));
+    }
+
+    #[test]
+    fn unknown_position_displays_placeholder() {
+        let e = IsdlError::new(ErrorKind::Semantic, Pos::unknown(), "x");
+        assert!(e.to_string().contains("<unknown>"));
+    }
+}

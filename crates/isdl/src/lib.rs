@@ -1,0 +1,109 @@
+#![warn(missing_docs)]
+
+//! The ISDL machine-description language.
+//!
+//! ISDL (Instruction Set Description Language, Hadjiyiannis/Hanono/
+//! Devadas, DAC 1997) is a *behavioral* machine-description language that
+//! explicitly lists the instruction set of a target architecture, with
+//! special emphasis on VLIW machines. This crate implements the language
+//! front-end used by every generated tool in the suite: the assembler /
+//! disassembler (`xasm`), the XSIM simulator generator (`gensim`), and
+//! the HGEN hardware synthesizer (`hgen`).
+//!
+//! A description consists of the six ISDL sections:
+//!
+//! 1. **format** — the instruction word width,
+//! 2. **global definitions** — `tokens` (assembly syntax elements) and
+//!    `nonterminals` (shared patterns such as addressing modes),
+//! 3. **storage** — every visible state element (memories, register
+//!    files, registers, PC, stack, …),
+//! 4. **instruction set** — a list of *fields*, each a list of mutually
+//!    exclusive *operations*; a VLIW instruction picks one operation per
+//!    field,
+//! 5. **constraints** — boolean restrictions on which operation
+//!    combinations form valid instructions,
+//! 6. **optional architectural information** — resource-sharing hints
+//!    and physical parameters.
+//!
+//! Each operation carries the six parts the paper lists: assembly
+//! syntax, bitfield assignments, action RTL, side-effect RTL, costs
+//! (`cycle`, `stall`, `size`) and timing (`latency`, `usage`).
+//!
+//! # Pipeline
+//!
+//! [`parse`] turns source text into a raw AST; [`analyze`] resolves
+//! names, checks widths and the decodability axiom, and produces the
+//! [`model::Machine`] every downstream tool consumes. [`load`] does both.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! machine "tiny" { format { word 16; } }
+//! storage {
+//!     regfile RF 8 x 4;
+//!     pc PC 8;
+//!     imem IM 16 x 256;
+//! }
+//! tokens { token REG reg("R", 4); }
+//! field ALU {
+//!     op add(d: REG, a: REG, b: REG) {
+//!         encode { word[15:12] = 0b0001; word[11:10] = d; word[9:8] = a; word[7:6] = b; }
+//!         action { RF[d] <- RF[a] + RF[b]; }
+//!         cost { cycle 1; }
+//!         timing { latency 1; }
+//!     }
+//!     op nop() { encode { word[15:12] = 0b0000; } }
+//! }
+//! "#;
+//! let machine = isdl::load(src)?;
+//! assert_eq!(machine.word_width, 16);
+//! assert_eq!(machine.fields.len(), 1);
+//! # Ok::<(), isdl::IsdlError>(())
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lint;
+pub mod model;
+pub mod parser;
+pub mod printer;
+pub mod rtl;
+pub mod samples;
+pub mod sema;
+pub mod signature;
+
+pub use error::IsdlError;
+pub use model::Machine;
+
+/// Parses ISDL source text into a raw (unresolved) AST.
+///
+/// # Errors
+///
+/// Returns an [`IsdlError`] describing the first lexical or syntactic
+/// problem, with line/column information.
+pub fn parse(src: &str) -> Result<ast::Description, IsdlError> {
+    parser::Parser::new(src)?.parse_description()
+}
+
+/// Resolves and validates a parsed description into a [`Machine`].
+///
+/// # Errors
+///
+/// Returns an [`IsdlError`] for name-resolution failures, width
+/// mismatches, overlapping field encodings, undecodable operation pairs,
+/// or violations of the single-parameter encoding axiom (Axiom 1 of the
+/// paper).
+pub fn analyze(desc: &ast::Description) -> Result<Machine, IsdlError> {
+    sema::analyze(desc)
+}
+
+/// Parses and validates ISDL source in one step.
+///
+/// # Errors
+///
+/// Any error [`parse`] or [`analyze`] can produce.
+pub fn load(src: &str) -> Result<Machine, IsdlError> {
+    analyze(&parse(src)?)
+}

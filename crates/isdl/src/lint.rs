@@ -1,0 +1,257 @@
+//! Description lints: valid-but-suspect patterns worth surfacing.
+//!
+//! Semantic analysis rejects *incorrect* descriptions; lints flag
+//! *wasteful* ones — exactly the dead weight the exploration loop ends
+//! up paying for in decode logic and datapath area. `isdlc check`
+//! prints these.
+
+use crate::model::{Machine, ParamType, StorageKind};
+use crate::rtl::{RExprKind, RLvalue, RStmt};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A token no operation or option uses.
+    UnusedToken {
+        /// Token name.
+        name: String,
+    },
+    /// A non-terminal no operation references.
+    UnusedNonTerminal {
+        /// Non-terminal name.
+        name: String,
+    },
+    /// A field without an operation named `nop` — the assembler cannot
+    /// default it, so every instruction must name the field.
+    FieldWithoutNop {
+        /// Field name.
+        name: String,
+    },
+    /// A storage element no RTL reads or writes (and which is not the
+    /// PC / instruction memory the tools themselves use).
+    UnusedStorage {
+        /// Storage name.
+        name: String,
+    },
+    /// An operation with neither action nor side effects that is not
+    /// named `nop`.
+    EffectlessOperation {
+        /// `FIELD.op` name.
+        name: String,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnusedToken { name } => write!(f, "token `{name}` is never used"),
+            Self::UnusedNonTerminal { name } => {
+                write!(f, "non-terminal `{name}` is never used")
+            }
+            Self::FieldWithoutNop { name } => write!(
+                f,
+                "field `{name}` has no `nop`: the assembler cannot default it"
+            ),
+            Self::UnusedStorage { name } => {
+                write!(f, "storage `{name}` is never read or written")
+            }
+            Self::EffectlessOperation { name } => {
+                write!(f, "operation `{name}` has no action or side effects")
+            }
+        }
+    }
+}
+
+/// Runs every lint over a validated machine.
+#[must_use]
+pub fn lint(machine: &Machine) -> Vec<Lint> {
+    let mut out = Vec::new();
+
+    // Token / non-terminal usage.
+    let mut used_tokens = HashSet::new();
+    let mut used_nts = HashSet::new();
+    let all_operations = machine
+        .fields
+        .iter()
+        .flat_map(|f| f.ops.iter())
+        .chain(machine.nonterminals.iter().flat_map(|n| n.options.iter()));
+    for op in all_operations {
+        for p in &op.params {
+            match p.ty {
+                ParamType::Token(t) => {
+                    used_tokens.insert(t.0);
+                }
+                ParamType::NonTerminal(n) => {
+                    used_nts.insert(n.0);
+                }
+            }
+        }
+    }
+    for (i, t) in machine.tokens.iter().enumerate() {
+        if !used_tokens.contains(&i) {
+            out.push(Lint::UnusedToken { name: t.name.clone() });
+        }
+    }
+    for (i, nt) in machine.nonterminals.iter().enumerate() {
+        if !used_nts.contains(&i) {
+            out.push(Lint::UnusedNonTerminal { name: nt.name.clone() });
+        }
+    }
+
+    // nop defaults.
+    for f in &machine.fields {
+        if f.nop.is_none() {
+            out.push(Lint::FieldWithoutNop { name: f.name.clone() });
+        }
+    }
+
+    // Storage usage across all RTL (including non-terminal values).
+    let mut touched = HashSet::new();
+    let touch_stmt = |s: &RStmt, touched: &mut HashSet<usize>| {
+        s.walk_exprs(&mut |e| {
+            if let RExprKind::Storage(id) | RExprKind::StorageIndexed(id, _) = &e.kind {
+                touched.insert(id.0);
+            }
+        });
+        collect_lv_storages(s, touched);
+    };
+    for (_, op) in machine.all_ops() {
+        for s in op.action.iter().chain(&op.side_effects) {
+            touch_stmt(s, &mut touched);
+        }
+    }
+    for nt in &machine.nonterminals {
+        for o in &nt.options {
+            if let Some(v) = &o.value {
+                v.walk(&mut |e| {
+                    if let RExprKind::Storage(id) | RExprKind::StorageIndexed(id, _) = &e.kind {
+                        touched.insert(id.0);
+                    }
+                });
+            }
+            for s in o.action.iter().chain(&o.side_effects) {
+                touch_stmt(s, &mut touched);
+            }
+        }
+    }
+    for (i, s) in machine.storages.iter().enumerate() {
+        let infrastructural =
+            matches!(s.kind, StorageKind::ProgramCounter | StorageKind::InstructionMemory);
+        if !infrastructural && !touched.contains(&i) {
+            out.push(Lint::UnusedStorage { name: s.name.clone() });
+        }
+    }
+
+    // Effectless non-nop operations.
+    for (r, op) in machine.all_ops() {
+        if op.is_nop() && op.name != "nop" {
+            out.push(Lint::EffectlessOperation { name: machine.op_name(r) });
+        }
+    }
+
+    out
+}
+
+fn collect_lv_storages(s: &RStmt, touched: &mut HashSet<usize>) {
+    match s {
+        RStmt::Assign { lv, .. } => {
+            let mut cur = lv;
+            loop {
+                match cur {
+                    RLvalue::Storage(id) | RLvalue::StorageIndexed(id, _) => {
+                        touched.insert(id.0);
+                        break;
+                    }
+                    RLvalue::Slice { base, .. } => cur = base,
+                    RLvalue::Param(_) => break,
+                }
+            }
+        }
+        RStmt::If { then_body, else_body, .. } => {
+            for s in then_body.iter().chain(else_body) {
+                collect_lv_storages(s, touched);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_fixtures_have_no_lints() {
+        for src in [
+            crate::samples::TOY,
+            crate::samples::SPAM,
+            crate::samples::SPAM2,
+        ] {
+            let m = crate::load(src).expect("loads");
+            let lints = lint(&m);
+            assert!(lints.is_empty(), "unexpected lints: {lints:?}");
+        }
+    }
+
+    #[test]
+    fn acc16_halt_is_effectless_by_design() {
+        let m = crate::load(crate::samples::ACC16).expect("loads");
+        let lints = lint(&m);
+        assert_eq!(
+            lints,
+            vec![Lint::EffectlessOperation { name: "MAIN.halt".into() }],
+            "halt is intentionally effectless; everything else is clean"
+        );
+    }
+
+    #[test]
+    fn detects_every_lint_kind() {
+        let m = crate::load(
+            r#"
+            machine "lints" { format { word 16; } }
+            storage {
+                imem IM 16 x 16;
+                pc PC 4;
+                register A 16;
+                register GHOST 8;
+            }
+            tokens {
+                token U4 imm(4, unsigned);
+                token DEAD imm(2, unsigned);
+            }
+            nonterminals {
+                nonterminal ORPHAN width 1 {
+                    option only() { encode { val[0] = 1; } value { trunc(A, 1) } }
+                }
+            }
+            field NONOP {
+                op inc(v: U4) { encode { word[15:12] = 0b0001; word[3:0] = v; } action { A <- A + zext(v, 16); } }
+                op idle() { encode { word[15:12] = 0b0000; } }
+            }
+            "#,
+        )
+        .expect("loads");
+        let lints = lint(&m);
+        assert!(lints.contains(&Lint::UnusedToken { name: "DEAD".into() }), "{lints:?}");
+        assert!(
+            lints.contains(&Lint::UnusedNonTerminal { name: "ORPHAN".into() }),
+            "{lints:?}"
+        );
+        assert!(
+            lints.contains(&Lint::FieldWithoutNop { name: "NONOP".into() }),
+            "{lints:?}"
+        );
+        assert!(lints.contains(&Lint::UnusedStorage { name: "GHOST".into() }), "{lints:?}");
+        assert!(
+            lints.contains(&Lint::EffectlessOperation { name: "NONOP.idle".into() }),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let l = Lint::FieldWithoutNop { name: "ALU".into() };
+        assert!(l.to_string().contains("cannot default"));
+    }
+}

@@ -1,0 +1,491 @@
+//! The resolved machine model — what every generated tool consumes.
+//!
+//! A [`Machine`] is produced by [`crate::sema::analyze`] from a parsed
+//! description. All names are resolved to indices, all RTL is
+//! width-annotated ([`crate::rtl`]), and the decodability checks of the
+//! paper's Axiom 1 have already passed.
+
+use crate::ast::{CostsDef, TimingDef};
+use crate::rtl::{RExpr, RLvalue, RStmt, StorageId};
+use bitv::BitVector;
+use std::fmt;
+
+/// Identifier of a token definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub usize);
+
+/// Identifier of a non-terminal definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NtId(pub usize);
+
+/// Identifier of an instruction-set field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub usize);
+
+/// Reference to an operation: field index + operation index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpRef {
+    /// The field.
+    pub field: FieldId,
+    /// Index of the operation within the field.
+    pub op: usize,
+}
+
+impl fmt::Display for OpRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "field#{}.op#{}", self.field.0, self.op)
+    }
+}
+
+/// The ISDL storage classes (resolved form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageKind {
+    /// Instruction memory.
+    InstructionMemory,
+    /// Data memory.
+    DataMemory,
+    /// Register file.
+    RegisterFile,
+    /// Single register.
+    Register,
+    /// Control register.
+    ControlRegister,
+    /// Memory-mapped I/O region.
+    MemoryMappedIo,
+    /// Program counter.
+    ProgramCounter,
+    /// Hardware stack.
+    Stack,
+}
+
+impl StorageKind {
+    /// Whether this storage class has addressable locations.
+    #[must_use]
+    pub fn is_addressed(self) -> bool {
+        matches!(
+            self,
+            Self::InstructionMemory
+                | Self::DataMemory
+                | Self::RegisterFile
+                | Self::MemoryMappedIo
+                | Self::Stack
+        )
+    }
+}
+
+impl fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::InstructionMemory => "imem",
+            Self::DataMemory => "dmem",
+            Self::RegisterFile => "regfile",
+            Self::Register => "register",
+            Self::ControlRegister => "creg",
+            Self::MemoryMappedIo => "mmio",
+            Self::ProgramCounter => "pc",
+            Self::Stack => "stack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One storage element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Storage {
+    /// Name.
+    pub name: String,
+    /// Storage class.
+    pub kind: StorageKind,
+    /// Width of one cell in bits.
+    pub width: u32,
+    /// Number of cells for addressed kinds; `None` for plain registers.
+    pub depth: Option<u64>,
+}
+
+impl Storage {
+    /// Number of cells (1 for non-addressed storage).
+    #[must_use]
+    pub fn cells(&self) -> u64 {
+        self.depth.unwrap_or(1)
+    }
+}
+
+/// An alias: alternative name for a sub-part of the state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alias {
+    /// Alias name.
+    pub name: String,
+    /// Aliased storage.
+    pub target: StorageId,
+    /// Cell index within an addressed storage.
+    pub index: Option<u64>,
+    /// Bit range within the cell.
+    pub range: Option<(u32, u32)>,
+}
+
+/// A resolved token definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token name.
+    pub name: String,
+    /// Token class.
+    pub kind: TokenKind,
+    /// Width in bits of the token's return (encoded) value.
+    pub width: u32,
+}
+
+/// Resolved token classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `prefix0 .. prefix{count-1}`; value = index.
+    Register {
+        /// Assembly prefix.
+        prefix: String,
+        /// Number of registers.
+        count: u64,
+    },
+    /// Immediate of the given signedness.
+    Immediate {
+        /// Whether assembly accepts negative literals.
+        signed: bool,
+    },
+    /// Enumerated spellings; value = position.
+    Enum {
+        /// Accepted spellings.
+        names: Vec<String>,
+    },
+}
+
+/// A resolved non-terminal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonTerminal {
+    /// Name.
+    pub name: String,
+    /// Width in bits of the return value the options encode into.
+    pub width: u32,
+    /// Width of the datapath value produced by `value` clauses
+    /// (`None` if no option has a value clause).
+    pub value_width: Option<u32>,
+    /// The options (operations without field membership).
+    pub options: Vec<Operation>,
+}
+
+/// A parameter type: token or non-terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamType {
+    /// A token parameter.
+    Token(TokenId),
+    /// A non-terminal parameter.
+    NonTerminal(NtId),
+}
+
+/// A resolved formal parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Name (used in diagnostics and assembly listings).
+    pub name: String,
+    /// Its type.
+    pub ty: ParamType,
+}
+
+/// Right-hand side of a resolved bitfield assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitRhs {
+    /// Constant bits.
+    Const(BitVector),
+    /// Bits `hi..=lo` of parameter `index`'s encoded value.
+    Param {
+        /// Parameter index.
+        index: usize,
+        /// High bit of the parameter value (inclusive).
+        hi: u32,
+        /// Low bit of the parameter value (inclusive).
+        lo: u32,
+    },
+}
+
+/// A resolved bitfield assignment: instruction-word bits `hi..=lo`
+/// receive `rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitAssign {
+    /// High instruction-word bit (inclusive).
+    pub hi: u32,
+    /// Low instruction-word bit (inclusive).
+    pub lo: u32,
+    /// Value placed there.
+    pub rhs: BitRhs,
+}
+
+/// Operation costs (re-exported from the AST; defaults
+/// `cycle 1; stall 0; size 1;`).
+pub type Costs = CostsDef;
+
+/// Operation timing (defaults `latency 1; usage 1;`).
+pub type Timing = TimingDef;
+
+/// A resolved operation (or non-terminal option) with the six
+/// definition parts of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operation {
+    /// Name (part 1, with `params`).
+    pub name: String,
+    /// Formal parameters (part 1).
+    pub params: Vec<Param>,
+    /// Bitfield assignments (part 2).
+    pub encode: Vec<BitAssign>,
+    /// For non-terminal options: the value expression.
+    pub value: Option<RExpr>,
+    /// For non-terminal options whose value has l-value shape: the
+    /// destination form, enabling use as an assignment target.
+    pub value_lvalue: Option<RLvalue>,
+    /// Action RTL (part 3).
+    pub action: Vec<RStmt>,
+    /// Side-effect RTL (part 4).
+    pub side_effects: Vec<RStmt>,
+    /// Costs (part 5).
+    pub costs: Costs,
+    /// Timing (part 6).
+    pub timing: Timing,
+}
+
+impl Operation {
+    /// Whether this operation performs no state change.
+    #[must_use]
+    pub fn is_nop(&self) -> bool {
+        self.action.is_empty() && self.side_effects.is_empty()
+    }
+}
+
+/// An instruction-set field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// The mutually exclusive operations of this field.
+    pub ops: Vec<Operation>,
+    /// Index of an operation named `nop`, used as the assembler default
+    /// when the field is omitted.
+    pub nop: Option<usize>,
+}
+
+/// A resolved constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// The listed operations may not all appear in one instruction.
+    Forbid(Vec<OpRef>),
+    /// General boolean expression every instruction must satisfy.
+    Assert(CExpr),
+}
+
+/// Resolved boolean constraint expression over operation presence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CExpr {
+    /// The operation is the one selected in its field.
+    Op(OpRef),
+    /// Negation.
+    Not(Box<CExpr>),
+    /// Conjunction.
+    And(Box<CExpr>, Box<CExpr>),
+    /// Disjunction.
+    Or(Box<CExpr>, Box<CExpr>),
+}
+
+impl CExpr {
+    /// Evaluates against a selection of one operation per field.
+    /// `selected[f]` is the op index chosen in field `f`.
+    #[must_use]
+    pub fn eval(&self, selected: &[usize]) -> bool {
+        match self {
+            Self::Op(r) => selected.get(r.field.0).is_some_and(|&o| o == r.op),
+            Self::Not(e) => !e.eval(selected),
+            Self::And(a, b) => a.eval(selected) && b.eval(selected),
+            Self::Or(a, b) => a.eval(selected) || b.eval(selected),
+        }
+    }
+}
+
+impl Constraint {
+    /// Whether the selection (one op index per field) satisfies this
+    /// constraint.
+    #[must_use]
+    pub fn check(&self, selected: &[usize]) -> bool {
+        match self {
+            Self::Forbid(ops) => !ops
+                .iter()
+                .all(|r| selected.get(r.field.0).is_some_and(|&o| o == r.op)),
+            Self::Assert(e) => e.eval(selected),
+        }
+    }
+}
+
+/// A resource-sharing hint from the `archinfo` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareHint {
+    /// Resource name.
+    pub name: String,
+    /// Operations sharing it.
+    pub ops: Vec<OpRef>,
+}
+
+/// A fully resolved, validated machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Architecture name.
+    pub name: String,
+    /// Instruction word width in bits.
+    pub word_width: u32,
+    /// Storage elements.
+    pub storages: Vec<Storage>,
+    /// Aliases.
+    pub aliases: Vec<Alias>,
+    /// Tokens.
+    pub tokens: Vec<Token>,
+    /// Non-terminals.
+    pub nonterminals: Vec<NonTerminal>,
+    /// Instruction-set fields.
+    pub fields: Vec<Field>,
+    /// Constraints.
+    pub constraints: Vec<Constraint>,
+    /// Resource-sharing hints.
+    pub share_hints: Vec<ShareHint>,
+    /// Target clock period hint in nanoseconds.
+    pub cycle_ns_hint: Option<f64>,
+    /// The program counter storage, if declared.
+    pub pc: Option<StorageId>,
+    /// The instruction memory, if declared.
+    pub imem: Option<StorageId>,
+}
+
+impl Machine {
+    /// The storage with the given id.
+    #[must_use]
+    pub fn storage(&self, id: StorageId) -> &Storage {
+        &self.storages[id.0]
+    }
+
+    /// Looks up a storage by name.
+    #[must_use]
+    pub fn storage_by_name(&self, name: &str) -> Option<(StorageId, &Storage)> {
+        self.storages
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.name == name)
+            .map(|(i, s)| (StorageId(i), s))
+    }
+
+    /// The operation referenced by `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range (resolved refs never are).
+    #[must_use]
+    pub fn op(&self, r: OpRef) -> &Operation {
+        &self.fields[r.field.0].ops[r.op]
+    }
+
+    /// Human-readable `FIELD.op` name for diagnostics.
+    #[must_use]
+    pub fn op_name(&self, r: OpRef) -> String {
+        format!("{}.{}", self.fields[r.field.0].name, self.fields[r.field.0].ops[r.op].name)
+    }
+
+    /// Looks up an operation by `field` and `op` name.
+    #[must_use]
+    pub fn op_by_name(&self, field: &str, op: &str) -> Option<OpRef> {
+        let (fi, f) = self
+            .fields
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == field)?;
+        let oi = f.ops.iter().position(|o| o.name == op)?;
+        Some(OpRef { field: FieldId(fi), op: oi })
+    }
+
+    /// Width in bits of a parameter's *encoded* form (what the bitfield
+    /// assignments place into the word).
+    #[must_use]
+    pub fn param_encoding_width(&self, ty: ParamType) -> u32 {
+        match ty {
+            ParamType::Token(t) => self.tokens[t.0].width,
+            ParamType::NonTerminal(n) => self.nonterminals[n.0].width,
+        }
+    }
+
+    /// Width in bits of a parameter's *datapath value* (what `Param(i)`
+    /// evaluates to in RTL): the token return value, or the
+    /// non-terminal's common value width.
+    ///
+    /// Returns `None` for a non-terminal with no value clauses.
+    #[must_use]
+    pub fn param_value_width(&self, ty: ParamType) -> Option<u32> {
+        match ty {
+            ParamType::Token(t) => Some(self.tokens[t.0].width),
+            ParamType::NonTerminal(n) => self.nonterminals[n.0].value_width,
+        }
+    }
+
+    /// The maximum operation size (in instruction words) over all
+    /// fields — the number of words a fetch may need.
+    #[must_use]
+    pub fn max_op_size(&self) -> u32 {
+        self.fields
+            .iter()
+            .flat_map(|f| f.ops.iter())
+            .map(|o| o.costs.size)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Iterates over all `(OpRef, &Operation)` pairs in field order.
+    pub fn all_ops(&self) -> impl Iterator<Item = (OpRef, &Operation)> {
+        self.fields.iter().enumerate().flat_map(|(fi, f)| {
+            f.ops
+                .iter()
+                .enumerate()
+                .map(move |(oi, o)| (OpRef { field: FieldId(fi), op: oi }, o))
+        })
+    }
+
+    /// Checks a full selection (one op per field) against every
+    /// constraint; returns the first violated constraint's index.
+    #[must_use]
+    pub fn check_constraints(&self, selected: &[usize]) -> Option<usize> {
+        self.constraints
+            .iter()
+            .position(|c| !c.check(selected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_kind_addressing() {
+        assert!(StorageKind::DataMemory.is_addressed());
+        assert!(StorageKind::RegisterFile.is_addressed());
+        assert!(!StorageKind::Register.is_addressed());
+        assert!(!StorageKind::ProgramCounter.is_addressed());
+    }
+
+    #[test]
+    fn cexpr_eval() {
+        let a = CExpr::Op(OpRef { field: FieldId(0), op: 1 });
+        let b = CExpr::Op(OpRef { field: FieldId(1), op: 0 });
+        let e = CExpr::Not(Box::new(CExpr::And(Box::new(a), Box::new(b))));
+        assert!(!e.eval(&[1, 0]));
+        assert!(e.eval(&[1, 1]));
+        assert!(e.eval(&[0, 0]));
+    }
+
+    #[test]
+    fn forbid_constraint() {
+        let c = Constraint::Forbid(vec![
+            OpRef { field: FieldId(0), op: 0 },
+            OpRef { field: FieldId(1), op: 2 },
+        ]);
+        assert!(!c.check(&[0, 2]));
+        assert!(c.check(&[0, 1]));
+        assert!(c.check(&[1, 2]));
+    }
+}

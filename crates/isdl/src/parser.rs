@@ -1,0 +1,1120 @@
+//! Recursive-descent parser for ISDL descriptions.
+//!
+//! Grammar sketch (see the crate docs for a complete example):
+//!
+//! ```text
+//! description  := section*
+//! section      := machine | storage | tokens | nonterminals | field
+//!               | constraints | archinfo
+//! machine      := "machine" STRING "{" "format" "{" "word" INT ";" "}" "}"
+//! storage      := "storage" "{" (storage_def | alias_def)* "}"
+//! storage_def  := KIND IDENT INT ("x" INT)? ";"
+//! alias_def    := "alias" IDENT "=" IDENT ("[" INT "]")? ("[" INT ":" INT "]")? ";"
+//! tokens       := "tokens" "{" token_def* "}"
+//! token_def    := "token" IDENT ( "reg" "(" STRING "," INT ")"
+//!               | "imm" "(" INT "," ("signed"|"unsigned") ")"
+//!               | "enum" "(" STRING ("," STRING)* ")" ) ";"
+//! nonterminals := "nonterminals" "{" nt_def* "}"
+//! nt_def       := "nonterminal" IDENT "width" INT "{" option* "}"
+//! option       := "option" IDENT "(" params? ")" "{" parts "}"
+//! field        := "field" IDENT "{" op* "}"
+//! op           := "op" IDENT "(" params? ")" "{" parts "}"
+//! parts        := (encode | value | action | sideeffect | cost | timing)*
+//! constraints  := "constraints" "{" ( "forbid" opref ("," opref)+ ";"
+//!               | "assert" cexpr ";" )* "}"
+//! archinfo     := "archinfo" "{" ( "share" IDENT ":" opref ("," opref)* ";"
+//!               | "cycle_ns" NUMBER ";" )* "}"
+//! ```
+//!
+//! RTL statements are `lvalue <- expr ;` and
+//! `if (expr) { ... } else { ... }`; the expression grammar uses
+//! C-like precedence with explicit signed variants (`<s`, `/s`, …).
+
+use crate::ast::*;
+use crate::error::{ErrorKind, IsdlError, Pos};
+use crate::lexer::{lex, SpannedTok, Tok};
+use bitv::BitVector;
+
+/// The ISDL parser. Create one with [`Parser::new`] and call
+/// [`Parser::parse_description`].
+#[derive(Debug)]
+pub struct Parser {
+    toks: Vec<SpannedTok>,
+    i: usize,
+}
+
+impl Parser {
+    /// Lexes `src` and prepares a parser over the token stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns lexical errors.
+    pub fn new(src: &str) -> Result<Self, IsdlError> {
+        Ok(Self { toks: lex(src)?, i: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> IsdlError {
+        IsdlError::new(ErrorKind::Syntax, self.pos(), msg)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), IsdlError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{p}`, found {other}"))),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(q) if *q == p)
+    }
+
+    fn eat_if_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), IsdlError> {
+        if self.at_kw(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat_if_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, IsdlError> {
+        match self.peek() {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, IsdlError> {
+        match self.peek() {
+            Tok::Int(v) => {
+                let v = *v;
+                self.bump();
+                Ok(v)
+            }
+            other => Err(self.err(format!("expected integer, found {other}"))),
+        }
+    }
+
+    fn int_u32(&mut self) -> Result<u32, IsdlError> {
+        let v = self.int()?;
+        u32::try_from(v).map_err(|_| self.err(format!("integer {v} too large")))
+    }
+
+    fn string(&mut self) -> Result<String, IsdlError> {
+        match self.peek() {
+            Tok::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected string, found {other}"))),
+        }
+    }
+
+    /// Parses a complete description (all sections, any order, sections
+    /// may repeat and accumulate).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error encountered.
+    pub fn parse_description(&mut self) -> Result<Description, IsdlError> {
+        let mut d = Description::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(kw) => match kw.as_str() {
+                    "machine" => self.parse_machine(&mut d)?,
+                    "storage" => self.parse_storage(&mut d)?,
+                    "tokens" => self.parse_tokens(&mut d)?,
+                    "nonterminals" => self.parse_nonterminals(&mut d)?,
+                    "field" => self.parse_field(&mut d)?,
+                    "constraints" => self.parse_constraints(&mut d)?,
+                    "archinfo" => self.parse_archinfo(&mut d)?,
+                    other => {
+                        return Err(self.err(format!(
+                            "expected a section keyword (machine/storage/tokens/nonterminals/field/constraints/archinfo), found `{other}`"
+                        )))
+                    }
+                },
+                other => return Err(self.err(format!("expected a section, found {other}"))),
+            }
+        }
+        Ok(d)
+    }
+
+    fn parse_machine(&mut self, d: &mut Description) -> Result<(), IsdlError> {
+        self.eat_kw("machine")?;
+        d.name = self.string()?;
+        self.eat_punct("{")?;
+        while !self.eat_if_punct("}") {
+            self.eat_kw("format")?;
+            self.eat_punct("{")?;
+            while !self.eat_if_punct("}") {
+                self.eat_kw("word")?;
+                d.word_width = Some(self.int_u32()?);
+                self.eat_punct(";")?;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_storage(&mut self, d: &mut Description) -> Result<(), IsdlError> {
+        self.eat_kw("storage")?;
+        self.eat_punct("{")?;
+        while !self.eat_if_punct("}") {
+            let pos = self.pos();
+            if self.eat_if_kw("alias") {
+                let name = self.ident()?;
+                self.eat_punct("=")?;
+                let target = self.ident()?;
+                let mut index = None;
+                let mut range = None;
+                if self.eat_if_punct("[") {
+                    let a = self.int()?;
+                    if self.eat_if_punct(":") {
+                        let b = self.int_u32()?;
+                        range = Some((u32::try_from(a).map_err(|_| self.err("range too large"))?, b));
+                    } else {
+                        index = Some(a);
+                    }
+                    self.eat_punct("]")?;
+                    if range.is_none() && self.eat_if_punct("[") {
+                        let hi = self.int_u32()?;
+                        self.eat_punct(":")?;
+                        let lo = self.int_u32()?;
+                        self.eat_punct("]")?;
+                        range = Some((hi, lo));
+                    }
+                }
+                self.eat_punct(";")?;
+                d.aliases.push(AliasDef { name, target, index, range, pos });
+                continue;
+            }
+            let kind = match self.ident()?.as_str() {
+                "imem" => StorageKindAst::InstructionMemory,
+                "dmem" => StorageKindAst::DataMemory,
+                "regfile" => StorageKindAst::RegisterFile,
+                "register" => StorageKindAst::Register,
+                "creg" => StorageKindAst::ControlRegister,
+                "mmio" => StorageKindAst::MemoryMappedIo,
+                "pc" => StorageKindAst::ProgramCounter,
+                "stack" => StorageKindAst::Stack,
+                other => {
+                    return Err(IsdlError::new(
+                        ErrorKind::Syntax,
+                        pos,
+                        format!("unknown storage kind `{other}`"),
+                    ))
+                }
+            };
+            let name = self.ident()?;
+            let width = self.int_u32()?;
+            let depth = if self.eat_if_kw("x") { Some(self.int()?) } else { None };
+            self.eat_punct(";")?;
+            d.storages.push(StorageDef { name, kind, width, depth, pos });
+        }
+        Ok(())
+    }
+
+    fn parse_tokens(&mut self, d: &mut Description) -> Result<(), IsdlError> {
+        self.eat_kw("tokens")?;
+        self.eat_punct("{")?;
+        while !self.eat_if_punct("}") {
+            let pos = self.pos();
+            self.eat_kw("token")?;
+            let name = self.ident()?;
+            let kind = match self.ident()?.as_str() {
+                "reg" => {
+                    self.eat_punct("(")?;
+                    let prefix = self.string()?;
+                    self.eat_punct(",")?;
+                    let count = self.int()?;
+                    self.eat_punct(")")?;
+                    TokenKindAst::Register { prefix, count }
+                }
+                "imm" => {
+                    self.eat_punct("(")?;
+                    let width = self.int_u32()?;
+                    self.eat_punct(",")?;
+                    let signed = match self.ident()?.as_str() {
+                        "signed" => true,
+                        "unsigned" => false,
+                        other => {
+                            return Err(self.err(format!(
+                                "expected `signed` or `unsigned`, found `{other}`"
+                            )))
+                        }
+                    };
+                    self.eat_punct(")")?;
+                    TokenKindAst::Immediate { width, signed }
+                }
+                "enum" => {
+                    self.eat_punct("(")?;
+                    let mut names = vec![self.string()?];
+                    while self.eat_if_punct(",") {
+                        names.push(self.string()?);
+                    }
+                    self.eat_punct(")")?;
+                    TokenKindAst::Enum { names }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected token kind (reg/imm/enum), found `{other}`"
+                    )))
+                }
+            };
+            self.eat_punct(";")?;
+            d.tokens.push(TokenDef { name, kind, pos });
+        }
+        Ok(())
+    }
+
+    fn parse_nonterminals(&mut self, d: &mut Description) -> Result<(), IsdlError> {
+        self.eat_kw("nonterminals")?;
+        self.eat_punct("{")?;
+        while !self.eat_if_punct("}") {
+            let pos = self.pos();
+            self.eat_kw("nonterminal")?;
+            let name = self.ident()?;
+            self.eat_kw("width")?;
+            let width = self.int_u32()?;
+            self.eat_punct("{")?;
+            let mut options = Vec::new();
+            while !self.eat_if_punct("}") {
+                options.push(self.parse_operation("option")?);
+            }
+            d.nonterminals.push(NonTerminalDef { name, width, options, pos });
+        }
+        Ok(())
+    }
+
+    fn parse_field(&mut self, d: &mut Description) -> Result<(), IsdlError> {
+        let pos = self.pos();
+        self.eat_kw("field")?;
+        let name = self.ident()?;
+        self.eat_punct("{")?;
+        let mut ops = Vec::new();
+        while !self.eat_if_punct("}") {
+            ops.push(self.parse_operation("op")?);
+        }
+        d.fields.push(FieldDef { name, ops, pos });
+        Ok(())
+    }
+
+    fn parse_operation(&mut self, intro_kw: &str) -> Result<OperationDef, IsdlError> {
+        let pos = self.pos();
+        self.eat_kw(intro_kw)?;
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                let ppos = self.pos();
+                let pname = self.ident()?;
+                self.eat_punct(":")?;
+                let ty = self.ident()?;
+                params.push(ParamDef { name: pname, ty, pos: ppos });
+                if !self.eat_if_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        self.eat_punct("{")?;
+        let mut op = OperationDef {
+            name,
+            params,
+            encode: Vec::new(),
+            value: None,
+            action: Vec::new(),
+            side_effects: Vec::new(),
+            costs: CostsDef::default(),
+            timing: TimingDef::default(),
+            pos,
+        };
+        while !self.eat_if_punct("}") {
+            match self.peek() {
+                Tok::Ident(kw) => match kw.as_str() {
+                    "encode" => {
+                        self.bump();
+                        self.eat_punct("{")?;
+                        while !self.eat_if_punct("}") {
+                            op.encode.push(self.parse_bit_assign()?);
+                        }
+                    }
+                    "value" => {
+                        self.bump();
+                        self.eat_punct("{")?;
+                        op.value = Some(self.parse_expr()?);
+                        self.eat_punct("}")?;
+                    }
+                    "action" => {
+                        self.bump();
+                        self.eat_punct("{")?;
+                        while !self.eat_if_punct("}") {
+                            op.action.push(self.parse_stmt()?);
+                        }
+                    }
+                    "sideeffect" => {
+                        self.bump();
+                        self.eat_punct("{")?;
+                        while !self.eat_if_punct("}") {
+                            op.side_effects.push(self.parse_stmt()?);
+                        }
+                    }
+                    "cost" => {
+                        self.bump();
+                        self.eat_punct("{")?;
+                        while !self.eat_if_punct("}") {
+                            match self.ident()?.as_str() {
+                                "cycle" => op.costs.cycle = self.int_u32()?,
+                                "stall" => op.costs.stall = self.int_u32()?,
+                                "size" => op.costs.size = self.int_u32()?,
+                                other => {
+                                    return Err(self.err(format!(
+                                        "expected cycle/stall/size, found `{other}`"
+                                    )))
+                                }
+                            }
+                            self.eat_punct(";")?;
+                        }
+                    }
+                    "timing" => {
+                        self.bump();
+                        self.eat_punct("{")?;
+                        while !self.eat_if_punct("}") {
+                            match self.ident()?.as_str() {
+                                "latency" => op.timing.latency = self.int_u32()?,
+                                "usage" => op.timing.usage = self.int_u32()?,
+                                other => {
+                                    return Err(self.err(format!(
+                                        "expected latency/usage, found `{other}`"
+                                    )))
+                                }
+                            }
+                            self.eat_punct(";")?;
+                        }
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "expected an operation part (encode/value/action/sideeffect/cost/timing), found `{other}`"
+                        )))
+                    }
+                },
+                other => return Err(self.err(format!("expected an operation part, found {other}"))),
+            }
+        }
+        Ok(op)
+    }
+
+    fn parse_bit_assign(&mut self) -> Result<BitAssignDef, IsdlError> {
+        let pos = self.pos();
+        // Accept `word[...]` or `val[...]` — semantically identical; the
+        // keyword documents whether an op or a non-terminal is encoding.
+        match self.peek() {
+            Tok::Ident(s) if s == "word" || s == "val" => {
+                self.bump();
+            }
+            other => return Err(self.err(format!("expected `word` or `val`, found {other}"))),
+        }
+        self.eat_punct("[")?;
+        let hi = self.int_u32()?;
+        let lo = if self.eat_if_punct(":") { self.int_u32()? } else { hi };
+        self.eat_punct("]")?;
+        self.eat_punct("=")?;
+        let rhs = match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                if hi < lo {
+                    return Err(self.err("bit range high below low"));
+                }
+                BitRhsDef::Const(BitVector::from_u64(v, hi - lo + 1))
+            }
+            Tok::Sized(bv) => {
+                self.bump();
+                BitRhsDef::Const(bv)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat_if_punct("[") {
+                    let phi = self.int_u32()?;
+                    let plo = if self.eat_if_punct(":") { self.int_u32()? } else { phi };
+                    self.eat_punct("]")?;
+                    BitRhsDef::ParamSlice { name, hi: phi, lo: plo }
+                } else {
+                    BitRhsDef::Param(name)
+                }
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected constant or parameter on bitfield right-hand side, found {other}"
+                )))
+            }
+        };
+        self.eat_punct(";")?;
+        Ok(BitAssignDef { hi, lo, rhs, pos })
+    }
+
+    fn parse_constraints(&mut self, d: &mut Description) -> Result<(), IsdlError> {
+        self.eat_kw("constraints")?;
+        self.eat_punct("{")?;
+        while !self.eat_if_punct("}") {
+            let pos = self.pos();
+            if self.eat_if_kw("forbid") {
+                let mut ops = vec![self.parse_op_ref()?];
+                while self.eat_if_punct(",") {
+                    ops.push(self.parse_op_ref()?);
+                }
+                self.eat_punct(";")?;
+                d.constraints.push(ConstraintDef::Forbid { ops, pos });
+            } else if self.eat_if_kw("assert") {
+                let expr = self.parse_cexpr()?;
+                self.eat_punct(";")?;
+                d.constraints.push(ConstraintDef::Assert { expr, pos });
+            } else {
+                return Err(self.err(format!(
+                    "expected `forbid` or `assert`, found {}",
+                    self.peek()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_op_ref(&mut self) -> Result<OpRefDef, IsdlError> {
+        let field = self.ident()?;
+        self.eat_punct(".")?;
+        let op = self.ident()?;
+        Ok(OpRefDef { field, op })
+    }
+
+    fn parse_cexpr(&mut self) -> Result<ConstraintExpr, IsdlError> {
+        let mut lhs = self.parse_cterm()?;
+        while self.eat_if_punct("|") || self.eat_if_punct("||") {
+            let rhs = self.parse_cterm()?;
+            lhs = ConstraintExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cterm(&mut self) -> Result<ConstraintExpr, IsdlError> {
+        let mut lhs = self.parse_cfactor()?;
+        while self.eat_if_punct("&") || self.eat_if_punct("&&") {
+            let rhs = self.parse_cfactor()?;
+            lhs = ConstraintExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cfactor(&mut self) -> Result<ConstraintExpr, IsdlError> {
+        if self.eat_if_punct("!") || self.eat_if_punct("~") {
+            return Ok(ConstraintExpr::Not(Box::new(self.parse_cfactor()?)));
+        }
+        if self.eat_if_punct("(") {
+            let e = self.parse_cexpr()?;
+            self.eat_punct(")")?;
+            return Ok(e);
+        }
+        Ok(ConstraintExpr::Op(self.parse_op_ref()?))
+    }
+
+    fn parse_archinfo(&mut self, d: &mut Description) -> Result<(), IsdlError> {
+        self.eat_kw("archinfo")?;
+        self.eat_punct("{")?;
+        while !self.eat_if_punct("}") {
+            let pos = self.pos();
+            if self.eat_if_kw("share") {
+                let name = self.ident()?;
+                self.eat_punct(":")?;
+                let mut ops = vec![self.parse_op_ref()?];
+                while self.eat_if_punct(",") {
+                    ops.push(self.parse_op_ref()?);
+                }
+                self.eat_punct(";")?;
+                d.archinfo.shares.push(ShareHintDef { name, ops, pos });
+            } else if self.eat_if_kw("cycle_ns") {
+                // number: INT ('.' INT)?
+                let whole = self.int()?;
+                let mut v = whole as f64;
+                if self.eat_if_punct(".") {
+                    let frac_pos = self.i;
+                    let frac = self.int()?;
+                    let digits = match &self.toks[frac_pos].tok {
+                        Tok::Int(_) => {
+                            // Count decimal digits of the fractional literal.
+                            if frac == 0 {
+                                1
+                            } else {
+                                (frac as f64).log10().floor() as u32 + 1
+                            }
+                        }
+                        _ => 1,
+                    };
+                    v += frac as f64 / 10f64.powi(digits as i32);
+                }
+                d.archinfo.cycle_ns = Some(v);
+                self.eat_punct(";")?;
+            } else {
+                return Err(self.err(format!(
+                    "expected `share` or `cycle_ns`, found {}",
+                    self.peek()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    // ----- RTL statements & expressions -----
+
+    fn parse_stmt(&mut self) -> Result<Stmt, IsdlError> {
+        let pos = self.pos();
+        if self.at_kw("if") {
+            self.bump();
+            self.eat_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.eat_punct(")")?;
+            self.eat_punct("{")?;
+            let mut then_body = Vec::new();
+            while !self.eat_if_punct("}") {
+                then_body.push(self.parse_stmt()?);
+            }
+            let mut else_body = Vec::new();
+            if self.eat_if_kw("else") {
+                if self.at_kw("if") {
+                    else_body.push(self.parse_stmt()?);
+                } else {
+                    self.eat_punct("{")?;
+                    while !self.eat_if_punct("}") {
+                        else_body.push(self.parse_stmt()?);
+                    }
+                }
+            }
+            return Ok(Stmt::If { cond, then_body, else_body, pos });
+        }
+        let lv = self.parse_expr()?;
+        self.eat_punct("<-")?;
+        let rhs = self.parse_expr()?;
+        self.eat_punct(";")?;
+        Ok(Stmt::Assign { lv, rhs, pos })
+    }
+
+    /// Parses one RTL expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns a syntax error if the token stream is not an expression.
+    pub fn parse_expr(&mut self) -> Result<Expr, IsdlError> {
+        let c = self.parse_lor()?;
+        if self.eat_if_punct("?") {
+            let t = self.parse_expr()?;
+            self.eat_punct(":")?;
+            let f = self.parse_expr()?;
+            return Ok(Expr::Cond(Box::new(c), Box::new(t), Box::new(f)));
+        }
+        Ok(c)
+    }
+
+    fn parse_lor(&mut self) -> Result<Expr, IsdlError> {
+        let mut lhs = self.parse_land()?;
+        while self.eat_if_punct("||") {
+            let rhs = self.parse_land()?;
+            lhs = Expr::Binary(BinOp::LOr, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_land(&mut self) -> Result<Expr, IsdlError> {
+        let mut lhs = self.parse_bor()?;
+        while self.eat_if_punct("&&") {
+            let rhs = self.parse_bor()?;
+            lhs = Expr::Binary(BinOp::LAnd, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bor(&mut self) -> Result<Expr, IsdlError> {
+        let mut lhs = self.parse_bxor()?;
+        while self.at_punct("|") {
+            self.bump();
+            let rhs = self.parse_bxor()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bxor(&mut self) -> Result<Expr, IsdlError> {
+        let mut lhs = self.parse_band()?;
+        while self.at_punct("^") {
+            self.bump();
+            let rhs = self.parse_band()?;
+            lhs = Expr::Binary(BinOp::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_band(&mut self) -> Result<Expr, IsdlError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.at_punct("&") {
+            self.bump();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, IsdlError> {
+        let lhs = self.parse_shift()?;
+        // (op, swap_operands)
+        let table: &[(&str, BinOp, bool)] = &[
+            ("==", BinOp::Eq, false),
+            ("!=", BinOp::Ne, false),
+            ("<=s", BinOp::Sle, false),
+            ("<s", BinOp::Slt, false),
+            (">=s", BinOp::Sle, true),
+            (">s", BinOp::Slt, true),
+            ("<=", BinOp::Ule, false),
+            ("<", BinOp::Ult, false),
+            (">=", BinOp::Ule, true),
+            (">", BinOp::Ult, true),
+        ];
+        for (p, op, swap) in table {
+            if self.at_punct(p) {
+                self.bump();
+                let rhs = self.parse_shift()?;
+                let (a, b) = if *swap { (rhs, lhs) } else { (lhs, rhs) };
+                return Ok(Expr::Binary(*op, Box::new(a), Box::new(b)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_shift(&mut self) -> Result<Expr, IsdlError> {
+        let mut lhs = self.parse_add()?;
+        loop {
+            let op = if self.at_punct("<<") {
+                BinOp::Shl
+            } else if self.at_punct(">>>") {
+                BinOp::Ashr
+            } else if self.at_punct(">>") {
+                BinOp::Lshr
+            } else {
+                break;
+            };
+            self.bump();
+            let rhs = self.parse_add()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, IsdlError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = if self.at_punct("+") {
+                BinOp::Add
+            } else if self.at_punct("-") {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            self.bump();
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, IsdlError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = if self.at_punct("*") {
+                BinOp::Mul
+            } else if self.at_punct("/s") {
+                BinOp::SDiv
+            } else if self.at_punct("%s") {
+                BinOp::SRem
+            } else if self.at_punct("/") {
+                BinOp::UDiv
+            } else if self.at_punct("%") {
+                BinOp::URem
+            } else {
+                break;
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, IsdlError> {
+        if self.eat_if_punct("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)));
+        }
+        if self.eat_if_punct("~") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?)));
+        }
+        if self.eat_if_punct("!") {
+            return Ok(Expr::Unary(UnOp::LNot, Box::new(self.parse_unary()?)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, IsdlError> {
+        let mut e = self.parse_primary()?;
+        while self.at_punct("[") {
+            self.bump();
+            // Lookahead: `INT : INT ]` is a slice; anything else an index.
+            let save = self.i;
+            if let Tok::Int(hi) = self.peek().clone() {
+                self.bump();
+                if self.eat_if_punct(":") {
+                    let lo = self.int_u32()?;
+                    self.eat_punct("]")?;
+                    let hi = u32::try_from(hi).map_err(|_| self.err("slice bound too large"))?;
+                    e = Expr::Slice(Box::new(e), hi, lo);
+                    continue;
+                }
+                self.i = save;
+            }
+            let idx = self.parse_expr()?;
+            self.eat_punct("]")?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, IsdlError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            Tok::Sized(bv) => {
+                self.bump();
+                Ok(Expr::Lit(bv))
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                let ext = match name.as_str() {
+                    "zext" => Some(ExtKind::Zext),
+                    "sext" => Some(ExtKind::Sext),
+                    "trunc" => Some(ExtKind::Trunc),
+                    _ => None,
+                };
+                if let Some(kind) = ext {
+                    self.bump();
+                    self.eat_punct("(")?;
+                    let e = self.parse_expr()?;
+                    self.eat_punct(",")?;
+                    let w = self.int_u32()?;
+                    self.eat_punct(")")?;
+                    return Ok(Expr::Ext(kind, Box::new(e), w));
+                }
+                if name == "concat" {
+                    self.bump();
+                    self.eat_punct("(")?;
+                    let mut parts = vec![self.parse_expr()?];
+                    while self.eat_if_punct(",") {
+                        parts.push(self.parse_expr()?);
+                    }
+                    self.eat_punct(")")?;
+                    return Ok(Expr::Concat(parts));
+                }
+                self.bump();
+                Ok(Expr::Name(name, pos))
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_desc(src: &str) -> Description {
+        Parser::new(src).expect("lexes").parse_description().expect("parses")
+    }
+
+    fn parse_one_expr(src: &str) -> Expr {
+        Parser::new(src).expect("lexes").parse_expr().expect("parses")
+    }
+
+    #[test]
+    fn machine_and_format() {
+        let d = parse_desc(r#"machine "m" { format { word 32; } }"#);
+        assert_eq!(d.name, "m");
+        assert_eq!(d.word_width, Some(32));
+    }
+
+    #[test]
+    fn storage_section() {
+        let d = parse_desc(
+            "storage { regfile RF 32 x 16; register ACC 40; pc PC 16; imem IM 32 x 1024;
+                       dmem DM 32 x 4096; alias LO = ACC[15:0]; }",
+        );
+        assert_eq!(d.storages.len(), 5);
+        assert_eq!(d.storages[0].kind, StorageKindAst::RegisterFile);
+        assert_eq!(d.storages[0].depth, Some(16));
+        assert_eq!(d.storages[1].depth, None);
+        assert_eq!(d.aliases.len(), 1);
+        assert_eq!(d.aliases[0].range, Some((15, 0)));
+    }
+
+    #[test]
+    fn alias_with_index_and_range() {
+        let d = parse_desc("storage { regfile RF 32 x 16; alias SP = RF[15]; alias SPL = RF[15][15:0]; }");
+        assert_eq!(d.aliases[0].index, Some(15));
+        assert_eq!(d.aliases[0].range, None);
+        assert_eq!(d.aliases[1].index, Some(15));
+        assert_eq!(d.aliases[1].range, Some((15, 0)));
+    }
+
+    #[test]
+    fn tokens_section() {
+        let d = parse_desc(
+            r#"tokens { token REG reg("R", 16); token IMM imm(8, signed);
+                        token CC enum("eq", "ne", "lt"); }"#,
+        );
+        assert_eq!(d.tokens.len(), 3);
+        assert_eq!(
+            d.tokens[0].kind,
+            TokenKindAst::Register { prefix: "R".into(), count: 16 }
+        );
+        assert_eq!(d.tokens[1].kind, TokenKindAst::Immediate { width: 8, signed: true });
+    }
+
+    #[test]
+    fn field_with_op_parts() {
+        let d = parse_desc(
+            r#"
+            field ALU {
+                op add(d: REG, a: REG, b: REG) {
+                    encode { word[31:28] = 0b0001; word[27:24] = d; word[23:20] = a; word[19:16] = b; }
+                    action { RF[d] <- RF[a] + RF[b]; }
+                    sideeffect { Z <- (RF[a] + RF[b]) == 0; }
+                    cost { cycle 1; stall 2; size 1; }
+                    timing { latency 3; usage 1; }
+                }
+            }
+            "#,
+        );
+        let op = &d.fields[0].ops[0];
+        assert_eq!(op.name, "add");
+        assert_eq!(op.params.len(), 3);
+        assert_eq!(op.encode.len(), 4);
+        assert_eq!(op.action.len(), 1);
+        assert_eq!(op.side_effects.len(), 1);
+        assert_eq!(op.costs, CostsDef { cycle: 1, stall: 2, size: 1 });
+        assert_eq!(op.timing, TimingDef { latency: 3, usage: 1 });
+    }
+
+    #[test]
+    fn nonterminal_with_value() {
+        let d = parse_desc(
+            r#"
+            nonterminals {
+                nonterminal SRC width 5 {
+                    option reg(r: REG) {
+                        encode { val[4] = 0; val[3:0] = r; }
+                        value { RF[r] }
+                    }
+                    option indirect(a: REG) {
+                        encode { val[4] = 1; val[3:0] = a; }
+                        value { DM[RF[a]] }
+                    }
+                }
+            }
+            "#,
+        );
+        let nt = &d.nonterminals[0];
+        assert_eq!(nt.width, 5);
+        assert_eq!(nt.options.len(), 2);
+        assert!(nt.options[0].value.is_some());
+    }
+
+    #[test]
+    fn constraints_section() {
+        let d = parse_desc(
+            "constraints { forbid MOVE.mv2, MEM.load; assert !(A.x & B.y) | C.z; }",
+        );
+        assert_eq!(d.constraints.len(), 2);
+        match &d.constraints[1] {
+            ConstraintDef::Assert { expr, .. } => {
+                assert!(matches!(expr, ConstraintExpr::Or(_, _)));
+            }
+            _ => panic!("expected assert"),
+        }
+    }
+
+    #[test]
+    fn archinfo_section() {
+        let d = parse_desc("archinfo { share bus1: MOVE.mv, MEM.load; cycle_ns 12.5; }");
+        assert_eq!(d.archinfo.shares.len(), 1);
+        assert_eq!(d.archinfo.shares[0].ops.len(), 2);
+        assert!((d.archinfo.cycle_ns.expect("set") - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expr_precedence() {
+        // a + b * c parses as a + (b * c)
+        let e = parse_one_expr("a + b * c");
+        match e {
+            Expr::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_comparison_swap() {
+        // a > b becomes Ult(b, a)
+        let e = parse_one_expr("a > b");
+        match e {
+            Expr::Binary(BinOp::Ult, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Name(ref n, _) if n == "b"));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_slice_vs_index() {
+        let e = parse_one_expr("RF[a][7:0]");
+        match e {
+            Expr::Slice(inner, 7, 0) => {
+                assert!(matches!(*inner, Expr::Index(_, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_ext_and_concat() {
+        assert!(matches!(
+            parse_one_expr("sext(a, 16)"),
+            Expr::Ext(ExtKind::Sext, _, 16)
+        ));
+        assert!(matches!(parse_one_expr("concat(a, b, c)"), Expr::Concat(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn expr_ternary() {
+        assert!(matches!(parse_one_expr("a == b ? c : d"), Expr::Cond(_, _, _)));
+    }
+
+    #[test]
+    fn if_else_stmt() {
+        let d = parse_desc(
+            r#"
+            field F {
+                op jz(t: IMM) {
+                    encode { word[7:4] = 9; word[3:0] = t; }
+                    action { if (ACC == 0) { PC <- zext(t, 16); } else { PC <- PC + 1; } }
+                }
+            }
+            "#,
+        );
+        assert!(matches!(d.fields[0].ops[0].action[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn signed_ops_parse() {
+        assert!(matches!(
+            parse_one_expr("a <s b"),
+            Expr::Binary(BinOp::Slt, _, _)
+        ));
+        assert!(matches!(
+            parse_one_expr("a /s b"),
+            Expr::Binary(BinOp::SDiv, _, _)
+        ));
+        assert!(matches!(
+            parse_one_expr("a >s b"),
+            Expr::Binary(BinOp::Slt, _, _)
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(Parser::new("field F { op x() { bogus { } } }")
+            .expect("lexes")
+            .parse_description()
+            .is_err());
+        assert!(Parser::new("storage { weird X 8; }")
+            .expect("lexes")
+            .parse_description()
+            .is_err());
+        assert!(Parser::new("field F { op x(] }")
+            .expect("lexes")
+            .parse_description()
+            .is_err());
+    }
+
+    #[test]
+    fn encode_single_bit_and_sized_const() {
+        let d = parse_desc(
+            r#"field F { op x(p: T) { encode { word[5] = 1; word[4:1] = 4'b1010; word[0] = p[3]; } } }"#,
+        );
+        let enc = &d.fields[0].ops[0].encode;
+        assert_eq!(enc[0].hi, 5);
+        assert_eq!(enc[0].lo, 5);
+        assert_eq!(enc[1].rhs, BitRhsDef::Const(BitVector::from_u64(0b1010, 4)));
+        assert_eq!(
+            enc[2].rhs,
+            BitRhsDef::ParamSlice { name: "p".into(), hi: 3, lo: 3 }
+        );
+    }
+}

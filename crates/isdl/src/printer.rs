@@ -1,0 +1,424 @@
+//! Pretty-printing a resolved [`Machine`] back to ISDL source.
+//!
+//! The paper's architecture-synthesis flow passes *descriptions*
+//! between tools ("the output of the architecture synthesis system is
+//! an ISDL description"); the exploration loop in `archex` mutates
+//! resolved machines, and this printer turns any of them back into
+//! loadable ISDL text. The round trip is exact:
+//! `load(print(m)) == m` for every valid machine (property-tested).
+//!
+//! Aliases are printed for documentation but RTL is emitted in its
+//! resolved (alias-expanded) form, which is what the machine model
+//! stores.
+
+use crate::model::*;
+use crate::rtl::{BinOp, ExtKind, RExpr, RExprKind, RLvalue, RStmt, UnOp};
+use std::fmt::Write as _;
+
+/// Renders `machine` as ISDL source that [`crate::load`] accepts and
+/// resolves to an equal machine.
+#[must_use]
+pub fn print(machine: &Machine) -> String {
+    let mut out = String::new();
+    let p = Printer { m: machine };
+    let _ = write!(out, "machine \"{}\" {{ format {{ word {}; }} }}\n\n", machine.name, machine.word_width);
+
+    // storage
+    out.push_str("storage {\n");
+    for s in &machine.storages {
+        match s.depth {
+            Some(d) => {
+                let _ = writeln!(out, "    {} {} {} x {};", kind_kw(s.kind), s.name, s.width, d);
+            }
+            None => {
+                let _ = writeln!(out, "    {} {} {};", kind_kw(s.kind), s.name, s.width);
+            }
+        }
+    }
+    for a in &machine.aliases {
+        let target = &machine.storage(a.target).name;
+        let mut rhs = target.clone();
+        if let Some(i) = a.index {
+            let _ = write!(rhs, "[{i}]");
+        }
+        if let Some((hi, lo)) = a.range {
+            let _ = write!(rhs, "[{hi}:{lo}]");
+        }
+        let _ = writeln!(out, "    alias {} = {rhs};", a.name);
+    }
+    out.push_str("}\n\n");
+
+    // tokens
+    if !machine.tokens.is_empty() {
+        out.push_str("tokens {\n");
+        for t in &machine.tokens {
+            match &t.kind {
+                TokenKind::Register { prefix, count } => {
+                    let _ = writeln!(out, "    token {} reg(\"{prefix}\", {count});", t.name);
+                }
+                TokenKind::Immediate { signed } => {
+                    let sgn = if *signed { "signed" } else { "unsigned" };
+                    let _ = writeln!(out, "    token {} imm({}, {sgn});", t.name, t.width);
+                }
+                TokenKind::Enum { names } => {
+                    let list = names
+                        .iter()
+                        .map(|n| format!("\"{n}\""))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let _ = writeln!(out, "    token {} enum({list});", t.name);
+                }
+            }
+        }
+        out.push_str("}\n\n");
+    }
+
+    // non-terminals
+    if !machine.nonterminals.is_empty() {
+        out.push_str("nonterminals {\n");
+        for nt in &machine.nonterminals {
+            let _ = writeln!(out, "    nonterminal {} width {} {{", nt.name, nt.width);
+            for o in &nt.options {
+                p.print_operation(&mut out, o, "option", "val", 2);
+            }
+            out.push_str("    }\n");
+        }
+        out.push_str("}\n\n");
+    }
+
+    // fields
+    for f in &machine.fields {
+        let _ = writeln!(out, "field {} {{", f.name);
+        for o in &f.ops {
+            p.print_operation(&mut out, o, "op", "word", 1);
+        }
+        out.push_str("}\n\n");
+    }
+
+    // constraints
+    if !machine.constraints.is_empty() {
+        out.push_str("constraints {\n");
+        for c in &machine.constraints {
+            match c {
+                Constraint::Forbid(ops) => {
+                    let list = ops
+                        .iter()
+                        .map(|r| machine.op_name(*r))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let _ = writeln!(out, "    forbid {list};");
+                }
+                Constraint::Assert(e) => {
+                    let _ = writeln!(out, "    assert {};", p.cexpr(e));
+                }
+            }
+        }
+        out.push_str("}\n\n");
+    }
+
+    // archinfo
+    if !machine.share_hints.is_empty() || machine.cycle_ns_hint.is_some() {
+        out.push_str("archinfo {\n");
+        for h in &machine.share_hints {
+            let list = h
+                .ops
+                .iter()
+                .map(|r| machine.op_name(*r))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "    share {}: {list};", h.name);
+        }
+        if let Some(ns) = machine.cycle_ns_hint {
+            // The grammar reads `INT ('.' INT)?`; print with enough
+            // digits to round-trip typical hint values.
+            if (ns.fract()).abs() < 1e-9 {
+                let _ = writeln!(out, "    cycle_ns {};", ns as u64);
+            } else {
+                let _ = writeln!(out, "    cycle_ns {ns};");
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn kind_kw(k: StorageKind) -> &'static str {
+    match k {
+        StorageKind::InstructionMemory => "imem",
+        StorageKind::DataMemory => "dmem",
+        StorageKind::RegisterFile => "regfile",
+        StorageKind::Register => "register",
+        StorageKind::ControlRegister => "creg",
+        StorageKind::MemoryMappedIo => "mmio",
+        StorageKind::ProgramCounter => "pc",
+        StorageKind::Stack => "stack",
+    }
+}
+
+struct Printer<'m> {
+    m: &'m Machine,
+}
+
+impl Printer<'_> {
+    fn print_operation(
+        &self,
+        out: &mut String,
+        o: &Operation,
+        intro: &str,
+        word_kw: &str,
+        depth: usize,
+    ) {
+        let pad = "    ".repeat(depth);
+        let params = o
+            .params
+            .iter()
+            .map(|p| {
+                let ty = match p.ty {
+                    ParamType::Token(t) => self.m.tokens[t.0].name.clone(),
+                    ParamType::NonTerminal(n) => self.m.nonterminals[n.0].name.clone(),
+                };
+                format!("{}: {ty}", p.name)
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "{pad}{intro} {}({params}) {{", o.name);
+        let inner = "    ".repeat(depth + 1);
+
+        if !o.encode.is_empty() {
+            let _ = write!(out, "{inner}encode {{ ");
+            for a in &o.encode {
+                let range = if a.hi == a.lo {
+                    format!("[{}]", a.hi)
+                } else {
+                    format!("[{}:{}]", a.hi, a.lo)
+                };
+                let rhs = match &a.rhs {
+                    BitRhs::Const(c) => format!("{}'h{c:x}", c.width()),
+                    BitRhs::Param { index, hi, lo } => {
+                        let name = &o.params[*index].name;
+                        let full = self.m.param_encoding_width(o.params[*index].ty);
+                        if *lo == 0 && *hi + 1 == full {
+                            name.clone()
+                        } else if hi == lo {
+                            format!("{name}[{hi}]")
+                        } else {
+                            format!("{name}[{hi}:{lo}]")
+                        }
+                    }
+                };
+                let _ = write!(out, "{word_kw}{range} = {rhs}; ");
+            }
+            out.push_str("}\n");
+        }
+        if let Some(v) = &o.value {
+            let _ = writeln!(out, "{inner}value {{ {} }}", self.expr(v, o));
+        }
+        if !o.action.is_empty() {
+            let _ = writeln!(out, "{inner}action {{");
+            for s in &o.action {
+                self.stmt(out, s, o, depth + 2);
+            }
+            let _ = writeln!(out, "{inner}}}");
+        }
+        if !o.side_effects.is_empty() {
+            let _ = writeln!(out, "{inner}sideeffect {{");
+            for s in &o.side_effects {
+                self.stmt(out, s, o, depth + 2);
+            }
+            let _ = writeln!(out, "{inner}}}");
+        }
+        let _ = writeln!(
+            out,
+            "{inner}cost {{ cycle {}; stall {}; size {}; }}",
+            o.costs.cycle, o.costs.stall, o.costs.size
+        );
+        let _ = writeln!(
+            out,
+            "{inner}timing {{ latency {}; usage {}; }}",
+            o.timing.latency, o.timing.usage
+        );
+        let _ = writeln!(out, "{pad}}}");
+    }
+
+    fn stmt(&self, out: &mut String, s: &RStmt, o: &Operation, depth: usize) {
+        let pad = "    ".repeat(depth);
+        match s {
+            RStmt::Assign { lv, rhs } => {
+                let _ = writeln!(out, "{pad}{} <- {};", self.lvalue(lv, o), self.expr(rhs, o));
+            }
+            RStmt::If { cond, then_body, else_body } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", self.expr(cond, o));
+                for t in then_body {
+                    self.stmt(out, t, o, depth + 1);
+                }
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    for e in else_body {
+                        self.stmt(out, e, o, depth + 1);
+                    }
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+        }
+    }
+
+    fn lvalue(&self, lv: &RLvalue, o: &Operation) -> String {
+        match lv {
+            RLvalue::Storage(id) => self.m.storage(*id).name.clone(),
+            RLvalue::StorageIndexed(id, idx) => {
+                format!("{}[{}]", self.m.storage(*id).name, self.expr(idx, o))
+            }
+            RLvalue::Slice { base, hi, lo } => {
+                format!("{}[{hi}:{lo}]", self.lvalue(base, o))
+            }
+            RLvalue::Param(i) => o.params[*i].name.clone(),
+        }
+    }
+
+    fn expr(&self, e: &RExpr, o: &Operation) -> String {
+        match &e.kind {
+            RExprKind::Lit(v) => format!("{}'h{v:x}", v.width()),
+            RExprKind::Storage(id) => self.m.storage(*id).name.clone(),
+            RExprKind::StorageIndexed(id, idx) => {
+                format!("{}[{}]", self.m.storage(*id).name, self.expr(idx, o))
+            }
+            RExprKind::Param(i) => o.params[*i].name.clone(),
+            RExprKind::Slice(inner, hi, lo) => {
+                // Slices attach to postfix position; parenthesize the
+                // operand to stay parseable for any shape.
+                format!("({})[{hi}:{lo}]", self.expr(inner, o))
+            }
+            RExprKind::Unary(op, inner) => {
+                let sym = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "~",
+                    UnOp::LNot => "!",
+                };
+                format!("{sym}({})", self.expr(inner, o))
+            }
+            RExprKind::Binary(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::UDiv => "/",
+                    BinOp::URem => "%",
+                    BinOp::SDiv => "/s",
+                    BinOp::SRem => "%s",
+                    BinOp::And => "&",
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::Shl => "<<",
+                    BinOp::Lshr => ">>",
+                    BinOp::Ashr => ">>>",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Ult => "<",
+                    BinOp::Ule => "<=",
+                    BinOp::Slt => "<s",
+                    BinOp::Sle => "<=s",
+                    BinOp::LAnd => "&&",
+                    BinOp::LOr => "||",
+                };
+                format!("({} {sym} {})", self.expr(a, o), self.expr(b, o))
+            }
+            RExprKind::Cond(c, t, f) => format!(
+                "({} ? {} : {})",
+                self.expr(c, o),
+                self.expr(t, o),
+                self.expr(f, o)
+            ),
+            RExprKind::Ext(kind, inner) => {
+                let f = match kind {
+                    ExtKind::Zext => "zext",
+                    ExtKind::Sext => "sext",
+                    ExtKind::Trunc => "trunc",
+                };
+                format!("{f}({}, {})", self.expr(inner, o), e.width)
+            }
+            RExprKind::Concat(parts) => {
+                let list = parts
+                    .iter()
+                    .map(|p| self.expr(p, o))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("concat({list})")
+            }
+        }
+    }
+
+    fn cexpr(&self, e: &CExpr) -> String {
+        match e {
+            CExpr::Op(r) => self.m.op_name(*r),
+            CExpr::Not(x) => format!("!({})", self.cexpr(x)),
+            CExpr::And(a, b) => format!("({} & {})", self.cexpr(a), self.cexpr(b)),
+            CExpr::Or(a, b) => format!("({} | {})", self.cexpr(a), self.cexpr(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::{ACC16, SPAM, SPAM2, TOY};
+
+    fn roundtrip(src: &str) {
+        let m1 = crate::load(src).expect("original loads");
+        let text = print(&m1);
+        let m2 = crate::load(&text).unwrap_or_else(|e| panic!("printed ISDL loads: {e}\n{text}"));
+        assert_eq!(m1, m2, "round-trip must be exact");
+    }
+
+    #[test]
+    fn toy_round_trips() {
+        roundtrip(TOY);
+    }
+
+    #[test]
+    fn acc16_round_trips() {
+        roundtrip(ACC16);
+    }
+
+    #[test]
+    fn spam_round_trips() {
+        roundtrip(SPAM);
+    }
+
+    #[test]
+    fn spam2_round_trips() {
+        roundtrip(SPAM2);
+    }
+
+    #[test]
+    fn aliases_and_multiword_round_trip() {
+        roundtrip(
+            r#"
+            machine "rt" { format { word 16; } }
+            storage {
+                imem IM 16 x 64; pc PC 8; register A 16; regfile RF 16 x 4;
+                alias LO = A[7:0];
+                alias SP = RF[3];
+            }
+            tokens { token REG reg("R", 4); token IMM16 imm(16, signed); token CC enum("eq", "ne"); }
+            field F {
+                op limm(d: REG, v: IMM16) {
+                    encode { word[15:12] = 0b0001; word[11:10] = d; word[31:16] = v; }
+                    action { RF[d] <- v; }
+                    cost { size 2; }
+                }
+                op swap() {
+                    encode { word[15:12] = 0b0010; }
+                    action { A <- concat(trunc(A, 8), (A)[15:8]); }
+                }
+                op csel(d: REG, c: CC) {
+                    encode { word[15:12] = 0b0011; word[11:10] = d; word[0] = c; }
+                    action { RF[d] <- (c == 1'h0 ? A : ~(A)); }
+                }
+                op nop() { encode { word[15:12] = 0b0000; } }
+            }
+            "#,
+        );
+    }
+}

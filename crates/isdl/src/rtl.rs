@@ -1,0 +1,222 @@
+//! Resolved, width-annotated RTL intermediate representation.
+//!
+//! [`crate::sema`] lowers the raw AST expressions into these types:
+//! every name is resolved to a storage or parameter index and every node
+//! carries its bit width, so the simulator ([`gensim`](https://docs.rs))
+//! and the hardware synthesizer can consume them without re-checking.
+
+pub use crate::ast::{BinOp, ExtKind, UnOp};
+use bitv::BitVector;
+
+/// Identifier of a storage element (index into [`crate::model::Machine::storages`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StorageId(pub usize);
+
+/// A width-annotated RTL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RExpr {
+    /// The node.
+    pub kind: RExprKind,
+    /// Width of the produced value in bits.
+    pub width: u32,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RExprKind {
+    /// A constant.
+    Lit(BitVector),
+    /// Read of a non-addressed storage element (register, PC, …).
+    Storage(StorageId),
+    /// Read of one cell of an addressed storage (`DM[addr]`).
+    StorageIndexed(StorageId, Box<RExpr>),
+    /// Value of the `i`-th operation parameter: for a token parameter,
+    /// its return value; for a non-terminal parameter, the selected
+    /// option's `value` expression.
+    Param(usize),
+    /// Bit slice `e[hi:lo]`.
+    Slice(Box<RExpr>, u32, u32),
+    /// Unary operation.
+    Unary(UnOp, Box<RExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<RExpr>, Box<RExpr>),
+    /// Conditional `c ? t : f` (condition true iff non-zero).
+    Cond(Box<RExpr>, Box<RExpr>, Box<RExpr>),
+    /// Width conversion.
+    Ext(ExtKind, Box<RExpr>),
+    /// Concatenation, first element most significant.
+    Concat(Vec<RExpr>),
+}
+
+impl RExpr {
+    /// Convenience constructor for a literal expression.
+    #[must_use]
+    pub fn lit(v: BitVector) -> Self {
+        let width = v.width();
+        Self { kind: RExprKind::Lit(v), width }
+    }
+
+    /// Iterates over the direct children of this expression.
+    pub fn children(&self) -> Vec<&RExpr> {
+        match &self.kind {
+            RExprKind::Lit(_) | RExprKind::Storage(_) | RExprKind::Param(_) => Vec::new(),
+            RExprKind::StorageIndexed(_, e)
+            | RExprKind::Slice(e, _, _)
+            | RExprKind::Unary(_, e)
+            | RExprKind::Ext(_, e) => vec![e],
+            RExprKind::Binary(_, a, b) => vec![a, b],
+            RExprKind::Cond(c, t, f) => vec![c, t, f],
+            RExprKind::Concat(es) => es.iter().collect(),
+        }
+    }
+
+    /// Visits this expression and all descendants, pre-order.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a RExpr)) {
+        f(self);
+        for c in self.children() {
+            c.walk(f);
+        }
+    }
+}
+
+/// A resolved assignment destination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RLvalue {
+    /// Whole non-addressed storage element.
+    Storage(StorageId),
+    /// One cell of an addressed storage.
+    StorageIndexed(StorageId, RExpr),
+    /// Bit range `hi..=lo` of another l-value.
+    Slice {
+        /// The underlying destination.
+        base: Box<RLvalue>,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+    },
+    /// A non-terminal parameter used as a destination; the selected
+    /// option's `value` clause supplies the concrete l-value.
+    Param(usize),
+}
+
+impl RLvalue {
+    /// Width in bits of the destination, given a resolver for storage
+    /// and parameter widths.
+    pub fn width_with(
+        &self,
+        storage_width: &impl Fn(StorageId) -> u32,
+        param_width: &impl Fn(usize) -> u32,
+    ) -> u32 {
+        match self {
+            Self::Storage(id) | Self::StorageIndexed(id, _) => storage_width(*id),
+            Self::Slice { hi, lo, .. } => hi - lo + 1,
+            Self::Param(i) => param_width(*i),
+        }
+    }
+}
+
+/// A resolved RTL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RStmt {
+    /// `lv <- rhs`.
+    Assign {
+        /// Destination.
+        lv: RLvalue,
+        /// Value; its width equals the destination width (checked by
+        /// semantic analysis).
+        rhs: RExpr,
+    },
+    /// Conditional execution.
+    If {
+        /// Condition; true iff non-zero.
+        cond: RExpr,
+        /// Statements executed when true.
+        then_body: Vec<RStmt>,
+        /// Statements executed when false.
+        else_body: Vec<RStmt>,
+    },
+}
+
+impl RStmt {
+    /// Visits every expression in this statement tree (conditions,
+    /// right-hand sides, and index expressions of destinations).
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a RExpr)) {
+        match self {
+            Self::Assign { lv, rhs } => {
+                rhs.walk(f);
+                lv.walk_index_exprs(f);
+            }
+            Self::If { cond, then_body, else_body } => {
+                cond.walk(f);
+                for s in then_body.iter().chain(else_body) {
+                    s.walk_exprs(f);
+                }
+            }
+        }
+    }
+}
+
+impl RLvalue {
+    /// Visits index expressions inside this l-value.
+    pub fn walk_index_exprs<'a>(&'a self, f: &mut impl FnMut(&'a RExpr)) {
+        match self {
+            Self::StorageIndexed(_, idx) => idx.walk(f),
+            Self::Slice { base, .. } => base.walk_index_exprs(f),
+            Self::Storage(_) | Self::Param(_) => {}
+        }
+    }
+
+    /// The storage ultimately written, unless the destination is a
+    /// non-terminal parameter (which depends on the selected option).
+    #[must_use]
+    pub fn root_storage(&self) -> Option<StorageId> {
+        match self {
+            Self::Storage(id) | Self::StorageIndexed(id, _) => Some(*id),
+            Self::Slice { base, .. } => base.root_storage(),
+            Self::Param(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u64, w: u32) -> RExpr {
+        RExpr::lit(BitVector::from_u64(v, w))
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = RExpr {
+            kind: RExprKind::Binary(BinOp::Add, Box::new(lit(1, 8)), Box::new(lit(2, 8))),
+            width: 8,
+        };
+        let mut n = 0;
+        e.walk(&mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn lvalue_width() {
+        let lv = RLvalue::Slice {
+            base: Box::new(RLvalue::Storage(StorageId(0))),
+            hi: 7,
+            lo: 4,
+        };
+        assert_eq!(lv.width_with(&|_| 32, &|_| 0), 4);
+        assert_eq!(RLvalue::Storage(StorageId(0)).width_with(&|_| 32, &|_| 0), 32);
+    }
+
+    #[test]
+    fn root_storage_through_slices() {
+        let lv = RLvalue::Slice {
+            base: Box::new(RLvalue::StorageIndexed(StorageId(3), lit(0, 4))),
+            hi: 3,
+            lo: 0,
+        };
+        assert_eq!(lv.root_storage(), Some(StorageId(3)));
+        assert_eq!(RLvalue::Param(0).root_storage(), None);
+    }
+}

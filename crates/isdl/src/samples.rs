@@ -1,0 +1,227 @@
+//! Small, self-contained sample machine descriptions used across the
+//! suite's tests and documentation.
+//!
+//! The flagship SPAM / SPAM2 VLIW fixtures used by the paper's
+//! evaluation live in the repository's `fixtures/` directory; the
+//! machines here are deliberately small so unit tests stay readable.
+
+/// A 2-way VLIW toy machine: a 16-bit datapath with an ALU field
+/// (bits 31:16) and a parallel MOVE field (bits 15:0), one
+/// addressing-mode non-terminal, a constraint, and a share hint.
+///
+/// # Examples
+///
+/// ```
+/// let m = isdl::load(isdl::samples::TOY)?;
+/// assert_eq!(m.name, "toy");
+/// assert_eq!(m.fields.len(), 2);
+/// # Ok::<(), isdl::IsdlError>(())
+/// ```
+pub const TOY: &str = r#"
+machine "toy" { format { word 32; } }
+
+storage {
+    imem IM 32 x 1024;
+    dmem DM 16 x 256;
+    regfile RF 16 x 8;
+    register ACC 16;
+    creg Z 1;
+    pc PC 10;
+}
+
+tokens {
+    token REG reg("R", 8);
+    token UIMM8 imm(8, unsigned);
+    token A8 imm(8, unsigned);
+    token A10 imm(10, unsigned);
+}
+
+nonterminals {
+    // Source operand: register direct or register indirect into DM.
+    nonterminal SRC width 4 {
+        option reg(r: REG) {
+            encode { val[3] = 0; val[2:0] = r; }
+            value { RF[r] }
+        }
+        option ind(r: REG) {
+            encode { val[3] = 1; val[2:0] = r; }
+            value { DM[trunc(RF[r], 8)] }
+        }
+    }
+}
+
+// ALU field: instruction bits 31:16.
+field ALU {
+    op add(d: REG, a: REG, s: SRC) {
+        encode { word[31:27] = 0b00001; word[26:24] = d; word[23:21] = a; word[20:17] = s; }
+        action { RF[d] <- RF[a] + s; }
+        sideeffect { Z <- (RF[a] + s) == 0; }
+        cost { cycle 1; }
+        timing { latency 1; }
+    }
+    op sub(d: REG, a: REG, s: SRC) {
+        encode { word[31:27] = 0b00010; word[26:24] = d; word[23:21] = a; word[20:17] = s; }
+        action { RF[d] <- RF[a] - s; }
+        sideeffect { Z <- (RF[a] - s) == 0; }
+    }
+    op and(d: REG, a: REG, s: SRC) {
+        encode { word[31:27] = 0b00011; word[26:24] = d; word[23:21] = a; word[20:17] = s; }
+        action { RF[d] <- RF[a] & s; }
+    }
+    op xor(d: REG, a: REG, s: SRC) {
+        encode { word[31:27] = 0b00100; word[26:24] = d; word[23:21] = a; word[20:17] = s; }
+        action { RF[d] <- RF[a] ^ s; }
+    }
+    op li(d: REG, v: UIMM8) {
+        encode { word[31:27] = 0b00101; word[26:24] = d; word[23:16] = v; }
+        action { RF[d] <- zext(v, 16); }
+    }
+    op ld(d: REG, a: A8) {
+        encode { word[31:27] = 0b00110; word[26:24] = d; word[23:16] = a; }
+        action { RF[d] <- DM[a]; }
+        cost { cycle 1; stall 1; }
+        timing { latency 2; }
+    }
+    op st(a: A8, s: REG) {
+        encode { word[31:27] = 0b00111; word[26:24] = s; word[23:16] = a; }
+        action { DM[a] <- RF[s]; }
+    }
+    op jmp(t: A10) {
+        encode { word[31:27] = 0b01000; word[25:16] = t; }
+        action { PC <- t; }
+        cost { cycle 1; stall 1; }
+    }
+    op jz(t: A10) {
+        encode { word[31:27] = 0b01001; word[25:16] = t; }
+        action { if (ACC == 0) { PC <- t; } }
+        cost { cycle 1; stall 1; }
+    }
+    op mac(a: REG, b: REG) {
+        encode { word[31:27] = 0b01010; word[26:24] = a; word[23:21] = b; }
+        action { ACC <- ACC + RF[a] * RF[b]; }
+        cost { cycle 1; stall 1; }
+        timing { latency 2; }
+    }
+    op clracc() {
+        encode { word[31:27] = 0b01011; }
+        action { ACC <- 16'd0; }
+    }
+    op nop() {
+        encode { word[31:27] = 0b00000; }
+    }
+}
+
+// MOVE field: instruction bits 15:0, executes in parallel with ALU.
+field MOVE {
+    op mv(d: REG, s: REG) {
+        encode { word[15:13] = 0b001; word[12:10] = d; word[9:7] = s; }
+        action { RF[d] <- RF[s]; }
+    }
+    op mvacc(d: REG) {
+        encode { word[15:13] = 0b010; word[12:10] = d; }
+        action { RF[d] <- ACC; }
+    }
+    op nop() {
+        encode { word[15:13] = 0b000; }
+    }
+}
+
+constraints {
+    // The accumulator write port is shared: MAC may not retire in the
+    // same instruction that reads ACC into the register file.
+    forbid ALU.mac, MOVE.mvacc;
+}
+
+archinfo {
+    share accbus: ALU.mac, MOVE.mvacc;
+    cycle_ns 10;
+}
+"#;
+
+/// A single-field 16-bit accumulator machine, handy when a test only
+/// needs sequential (non-VLIW) behaviour.
+///
+/// # Examples
+///
+/// ```
+/// let m = isdl::load(isdl::samples::ACC16)?;
+/// assert_eq!(m.fields.len(), 1);
+/// # Ok::<(), isdl::IsdlError>(())
+/// ```
+pub const ACC16: &str = r#"
+machine "acc16" { format { word 16; } }
+
+storage {
+    imem IM 16 x 256;
+    dmem DM 16 x 64;
+    register ACC 16;
+    pc PC 8;
+}
+
+tokens {
+    token A6 imm(6, unsigned);
+    token U8 imm(8, unsigned);
+    token T8 imm(8, unsigned);
+}
+
+field MAIN {
+    op lda(a: A6)  { encode { word[15:12] = 0b0001; word[5:0] = a; } action { ACC <- DM[a]; } }
+    op sta(a: A6)  { encode { word[15:12] = 0b0010; word[5:0] = a; } action { DM[a] <- ACC; } }
+    op addm(a: A6) { encode { word[15:12] = 0b0011; word[5:0] = a; } action { ACC <- ACC + DM[a]; } }
+    op subm(a: A6) { encode { word[15:12] = 0b0100; word[5:0] = a; } action { ACC <- ACC - DM[a]; } }
+    op ldi(v: U8)  { encode { word[15:12] = 0b0101; word[7:0] = v; } action { ACC <- zext(v, 16); } }
+    op jmp(t: T8)  { encode { word[15:12] = 0b0110; word[7:0] = t; } action { PC <- t; } }
+    op jnz(t: T8)  { encode { word[15:12] = 0b0111; word[7:0] = t; } action { if (ACC != 0) { PC <- t; } } }
+    op shl1()      { encode { word[15:12] = 0b1000; } action { ACC <- ACC << 16'd1; } }
+    op halt()      { encode { word[15:12] = 0b1111; } }
+    op nop()       { encode { word[15:12] = 0b0000; } }
+}
+"#;
+
+/// The paper's 4-way VLIW evaluation target (Table 1 and Table 2's
+/// first row): four operation fields plus three parallel move fields
+/// in a 128-bit instruction word. See `fixtures/spam.isdl`.
+pub const SPAM: &str = include_str!("../../../fixtures/spam.isdl");
+
+/// The paper's simpler 3-way VLIW (Table 2's second row). See
+/// `fixtures/spam2.isdl`.
+pub const SPAM2: &str = include_str!("../../../fixtures/spam2.isdl");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_loads() {
+        let m = crate::load(TOY).expect("toy sample loads");
+        assert_eq!(m.name, "toy");
+        assert_eq!(m.fields.len(), 2);
+        assert_eq!(m.nonterminals.len(), 1);
+        assert_eq!(m.constraints.len(), 1);
+        assert_eq!(m.share_hints.len(), 1);
+        assert_eq!(m.fields[0].ops.len(), 12);
+    }
+
+    #[test]
+    fn spam_loads() {
+        let m = crate::load(SPAM).expect("spam fixture loads");
+        assert_eq!(m.word_width, 128);
+        assert_eq!(m.fields.len(), 7, "4 operation fields + 3 move fields");
+        assert_eq!(m.constraints.len(), 10);
+        assert_eq!(m.share_hints.len(), 2);
+    }
+
+    #[test]
+    fn spam2_loads() {
+        let m = crate::load(SPAM2).expect("spam2 fixture loads");
+        assert_eq!(m.word_width, 48);
+        assert_eq!(m.fields.len(), 3);
+    }
+
+    #[test]
+    fn acc16_loads() {
+        let m = crate::load(ACC16).expect("acc16 sample loads");
+        assert_eq!(m.fields[0].ops.len(), 10);
+        assert!(m.pc.is_some());
+    }
+}

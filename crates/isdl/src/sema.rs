@@ -1,0 +1,1449 @@
+//! Semantic analysis: resolves a parsed [`crate::ast::Description`]
+//! into a validated [`Machine`].
+//!
+//! Responsibilities:
+//!
+//! * name resolution (storages, aliases, tokens, non-terminals,
+//!   parameters, constraint operation references),
+//! * width checking and unsized-literal inference for all RTL,
+//! * encoding validation — range checks, the single-parameter axiom
+//!   (enforced structurally), full coverage of every parameter's bits,
+//!   and no double assignment,
+//! * decodability — every pair of operations in one field (and every
+//!   pair of options in one non-terminal) must be distinguishable by
+//!   constant signature bits, and different fields must assign disjoint
+//!   instruction-word bits,
+//! * structural sanity — at most one program counter and one
+//!   instruction memory, addressed storages have depths, etc.
+
+use crate::ast::{self, BinOp, ExtKind, UnOp};
+use crate::error::{ErrorKind, IsdlError, Pos};
+use crate::model::*;
+use crate::rtl::{RExpr, RExprKind, RLvalue, RStmt, StorageId};
+use crate::signature::Signature;
+use bitv::BitVector;
+use std::collections::HashMap;
+
+/// Number of bits needed to address `n` items (at least 1).
+#[must_use]
+pub fn ceil_log2(n: u64) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Runs semantic analysis. See the module docs for what is checked.
+///
+/// # Errors
+///
+/// Returns the first rule violation found, with a position where
+/// available.
+pub fn analyze(desc: &ast::Description) -> Result<Machine, IsdlError> {
+    Analyzer::new(desc)?.run()
+}
+
+struct Analyzer<'a> {
+    desc: &'a ast::Description,
+    word_width: u32,
+    storages: Vec<Storage>,
+    storage_ids: HashMap<String, StorageId>,
+    aliases: Vec<Alias>,
+    alias_ids: HashMap<String, usize>,
+    tokens: Vec<Token>,
+    token_ids: HashMap<String, TokenId>,
+    nonterminals: Vec<NonTerminal>,
+    nt_ids: HashMap<String, NtId>,
+}
+
+fn err(kind: ErrorKind, pos: Pos, msg: impl Into<String>) -> IsdlError {
+    IsdlError::new(kind, pos, msg)
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(desc: &'a ast::Description) -> Result<Self, IsdlError> {
+        let word_width = desc.word_width.ok_or_else(|| {
+            err(
+                ErrorKind::Semantic,
+                Pos::unknown(),
+                "missing format section: instruction word width not declared",
+            )
+        })?;
+        if word_width == 0 {
+            return Err(err(ErrorKind::Semantic, Pos::unknown(), "word width must be non-zero"));
+        }
+        Ok(Self {
+            desc,
+            word_width,
+            storages: Vec::new(),
+            storage_ids: HashMap::new(),
+            aliases: Vec::new(),
+            alias_ids: HashMap::new(),
+            tokens: Vec::new(),
+            token_ids: HashMap::new(),
+            nonterminals: Vec::new(),
+            nt_ids: HashMap::new(),
+        })
+    }
+
+    fn run(mut self) -> Result<Machine, IsdlError> {
+        self.resolve_storages()?;
+        self.resolve_aliases()?;
+        self.resolve_tokens()?;
+        self.resolve_nonterminals()?;
+        let fields = self.resolve_fields()?;
+        self.check_cross_field_overlap(&fields)?;
+        let constraints = self.resolve_constraints(&fields)?;
+        let share_hints = self.resolve_share_hints(&fields)?;
+
+        let pc = self.single_storage_of(StorageKind::ProgramCounter)?;
+        let imem = self.single_storage_of(StorageKind::InstructionMemory)?;
+
+        Ok(Machine {
+            name: self.desc.name.clone(),
+            word_width: self.word_width,
+            storages: self.storages,
+            aliases: self.aliases,
+            tokens: self.tokens,
+            nonterminals: self.nonterminals,
+            fields,
+            constraints,
+            share_hints,
+            cycle_ns_hint: self.desc.archinfo.cycle_ns,
+            pc,
+            imem,
+        })
+    }
+
+    fn single_storage_of(&self, kind: StorageKind) -> Result<Option<StorageId>, IsdlError> {
+        let mut found = None;
+        for (i, s) in self.storages.iter().enumerate() {
+            if s.kind == kind {
+                if found.is_some() {
+                    return Err(err(
+                        ErrorKind::Semantic,
+                        Pos::unknown(),
+                        format!("more than one `{kind}` storage declared"),
+                    ));
+                }
+                found = Some(StorageId(i));
+            }
+        }
+        Ok(found)
+    }
+
+    fn resolve_storages(&mut self) -> Result<(), IsdlError> {
+        for s in &self.desc.storages {
+            if self.storage_ids.contains_key(&s.name) {
+                return Err(err(
+                    ErrorKind::Duplicate,
+                    s.pos,
+                    format!("storage `{}` defined twice", s.name),
+                ));
+            }
+            if s.width == 0 {
+                return Err(err(ErrorKind::Width, s.pos, "storage width must be non-zero"));
+            }
+            let kind = match s.kind {
+                ast::StorageKindAst::InstructionMemory => StorageKind::InstructionMemory,
+                ast::StorageKindAst::DataMemory => StorageKind::DataMemory,
+                ast::StorageKindAst::RegisterFile => StorageKind::RegisterFile,
+                ast::StorageKindAst::Register => StorageKind::Register,
+                ast::StorageKindAst::ControlRegister => StorageKind::ControlRegister,
+                ast::StorageKindAst::MemoryMappedIo => StorageKind::MemoryMappedIo,
+                ast::StorageKindAst::ProgramCounter => StorageKind::ProgramCounter,
+                ast::StorageKindAst::Stack => StorageKind::Stack,
+            };
+            if kind.is_addressed() {
+                match s.depth {
+                    Some(0) | None => {
+                        return Err(err(
+                            ErrorKind::Semantic,
+                            s.pos,
+                            format!("storage `{}` of kind `{kind}` needs a non-zero depth", s.name),
+                        ))
+                    }
+                    Some(_) => {}
+                }
+            } else if s.depth.is_some() {
+                return Err(err(
+                    ErrorKind::Semantic,
+                    s.pos,
+                    format!("storage `{}` of kind `{kind}` cannot have a depth", s.name),
+                ));
+            }
+            self.storage_ids
+                .insert(s.name.clone(), StorageId(self.storages.len()));
+            self.storages.push(Storage {
+                name: s.name.clone(),
+                kind,
+                width: s.width,
+                depth: s.depth,
+            });
+        }
+        Ok(())
+    }
+
+    fn resolve_aliases(&mut self) -> Result<(), IsdlError> {
+        for a in &self.desc.aliases {
+            if self.alias_ids.contains_key(&a.name) || self.storage_ids.contains_key(&a.name) {
+                return Err(err(
+                    ErrorKind::Duplicate,
+                    a.pos,
+                    format!("alias `{}` collides with an existing name", a.name),
+                ));
+            }
+            let target = *self.storage_ids.get(&a.target).ok_or_else(|| {
+                err(ErrorKind::Undefined, a.pos, format!("alias target `{}` not found", a.target))
+            })?;
+            let st = &self.storages[target.0];
+            if st.kind.is_addressed() {
+                let Some(index) = a.index else {
+                    return Err(err(
+                        ErrorKind::Semantic,
+                        a.pos,
+                        format!("alias of addressed storage `{}` needs a cell index", a.target),
+                    ));
+                };
+                if index >= st.cells() {
+                    return Err(err(
+                        ErrorKind::Semantic,
+                        a.pos,
+                        format!("alias index {index} out of range for `{}`", a.target),
+                    ));
+                }
+            } else if a.index.is_some() {
+                return Err(err(
+                    ErrorKind::Semantic,
+                    a.pos,
+                    format!("alias of register `{}` cannot have a cell index", a.target),
+                ));
+            }
+            if let Some((hi, lo)) = a.range {
+                if hi < lo || hi >= st.width {
+                    return Err(err(
+                        ErrorKind::Width,
+                        a.pos,
+                        format!("alias bit range {hi}:{lo} out of range for `{}`", a.target),
+                    ));
+                }
+            }
+            self.alias_ids.insert(a.name.clone(), self.aliases.len());
+            self.aliases.push(Alias {
+                name: a.name.clone(),
+                target,
+                index: a.index,
+                range: a.range,
+            });
+        }
+        Ok(())
+    }
+
+    fn resolve_tokens(&mut self) -> Result<(), IsdlError> {
+        for t in &self.desc.tokens {
+            if self.token_ids.contains_key(&t.name) {
+                return Err(err(
+                    ErrorKind::Duplicate,
+                    t.pos,
+                    format!("token `{}` defined twice", t.name),
+                ));
+            }
+            let (kind, width) = match &t.kind {
+                ast::TokenKindAst::Register { prefix, count } => {
+                    if *count == 0 {
+                        return Err(err(ErrorKind::Semantic, t.pos, "register token count is zero"));
+                    }
+                    (
+                        TokenKind::Register { prefix: prefix.clone(), count: *count },
+                        ceil_log2(*count),
+                    )
+                }
+                ast::TokenKindAst::Immediate { width, signed } => {
+                    if *width == 0 {
+                        return Err(err(ErrorKind::Width, t.pos, "immediate token width is zero"));
+                    }
+                    (TokenKind::Immediate { signed: *signed }, *width)
+                }
+                ast::TokenKindAst::Enum { names } => {
+                    if names.is_empty() {
+                        return Err(err(ErrorKind::Semantic, t.pos, "enum token has no names"));
+                    }
+                    (TokenKind::Enum { names: names.clone() }, ceil_log2(names.len() as u64))
+                }
+            };
+            self.token_ids.insert(t.name.clone(), TokenId(self.tokens.len()));
+            self.tokens.push(Token { name: t.name.clone(), kind, width });
+        }
+        Ok(())
+    }
+
+    fn resolve_nonterminals(&mut self) -> Result<(), IsdlError> {
+        for nt in &self.desc.nonterminals {
+            if self.nt_ids.contains_key(&nt.name) || self.token_ids.contains_key(&nt.name) {
+                return Err(err(
+                    ErrorKind::Duplicate,
+                    nt.pos,
+                    format!("non-terminal `{}` collides with an existing name", nt.name),
+                ));
+            }
+            if nt.width == 0 {
+                return Err(err(ErrorKind::Width, nt.pos, "non-terminal width must be non-zero"));
+            }
+            if nt.options.is_empty() {
+                return Err(err(
+                    ErrorKind::Semantic,
+                    nt.pos,
+                    format!("non-terminal `{}` has no options", nt.name),
+                ));
+            }
+            let mut options = Vec::new();
+            let mut value_width: Option<u32> = None;
+            for o in &nt.options {
+                let op = self.resolve_operation(o, nt.width, true)?;
+                if let Some(v) = &op.value {
+                    match value_width {
+                        None => value_width = Some(v.width),
+                        Some(w) if w == v.width => {}
+                        Some(w) => {
+                            return Err(err(
+                                ErrorKind::Width,
+                                o.pos,
+                                format!(
+                                    "option `{}` value width {} disagrees with earlier options ({w}) of `{}`",
+                                    o.name, v.width, nt.name
+                                ),
+                            ))
+                        }
+                    }
+                }
+                options.push(op);
+            }
+            self.check_pairwise_decodable(&options, nt.width, &format!("non-terminal `{}`", nt.name))?;
+            self.nt_ids.insert(nt.name.clone(), NtId(self.nonterminals.len()));
+            self.nonterminals.push(NonTerminal {
+                name: nt.name.clone(),
+                width: nt.width,
+                value_width,
+                options,
+            });
+        }
+        Ok(())
+    }
+
+    fn resolve_fields(&mut self) -> Result<Vec<Field>, IsdlError> {
+        let mut fields = Vec::new();
+        let mut seen = HashMap::new();
+        for f in &self.desc.fields {
+            if seen.insert(f.name.clone(), ()).is_some() {
+                return Err(err(
+                    ErrorKind::Duplicate,
+                    f.pos,
+                    format!("field `{}` defined twice", f.name),
+                ));
+            }
+            if f.ops.is_empty() {
+                return Err(err(
+                    ErrorKind::Semantic,
+                    f.pos,
+                    format!("field `{}` has no operations", f.name),
+                ));
+            }
+            let mut ops = Vec::new();
+            let mut op_names = HashMap::new();
+            for o in &f.ops {
+                if op_names.insert(o.name.clone(), ()).is_some() {
+                    return Err(err(
+                        ErrorKind::Duplicate,
+                        o.pos,
+                        format!("operation `{}` defined twice in field `{}`", o.name, f.name),
+                    ));
+                }
+                let enc_width = o.costs.size * self.word_width;
+                let op = self.resolve_operation(o, enc_width, false)?;
+                ops.push(op);
+            }
+            // Decodability uses each op's own encoding width; compare on
+            // the overlap (min width), which Signature handles.
+            self.check_pairwise_decodable_ops(&ops, &format!("field `{}`", f.name))?;
+            let nop = ops.iter().position(|o| o.name == "nop");
+            fields.push(Field { name: f.name.clone(), ops, nop });
+        }
+        if fields.is_empty() {
+            return Err(err(ErrorKind::Semantic, Pos::unknown(), "no instruction-set fields defined"));
+        }
+        Ok(fields)
+    }
+
+    fn op_signature(&self, op: &Operation, enc_width: u32) -> Result<Signature, IsdlError> {
+        Signature::from_encoding(&op.encode, enc_width)
+    }
+
+    fn check_pairwise_decodable(
+        &self,
+        ops: &[Operation],
+        enc_width: u32,
+        what: &str,
+    ) -> Result<(), IsdlError> {
+        let sigs: Vec<Signature> = ops
+            .iter()
+            .map(|o| self.op_signature(o, enc_width))
+            .collect::<Result<_, _>>()?;
+        for i in 0..sigs.len() {
+            for j in (i + 1)..sigs.len() {
+                if !sigs[i].distinguishable_from(&sigs[j]) {
+                    return Err(err(
+                        ErrorKind::Decode,
+                        Pos::unknown(),
+                        format!(
+                            "{what}: `{}` and `{}` cannot be distinguished by constant bits",
+                            ops[i].name, ops[j].name
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_pairwise_decodable_ops(&self, ops: &[Operation], what: &str) -> Result<(), IsdlError> {
+        let sigs: Vec<Signature> = ops
+            .iter()
+            .map(|o| self.op_signature(o, o.costs.size * self.word_width))
+            .collect::<Result<_, _>>()?;
+        for i in 0..sigs.len() {
+            for j in (i + 1)..sigs.len() {
+                if !sigs[i].distinguishable_from(&sigs[j]) {
+                    return Err(err(
+                        ErrorKind::Decode,
+                        Pos::unknown(),
+                        format!(
+                            "{what}: `{}` and `{}` cannot be distinguished by constant bits",
+                            ops[i].name, ops[j].name
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_cross_field_overlap(&self, fields: &[Field]) -> Result<(), IsdlError> {
+        let max_w = fields
+            .iter()
+            .flat_map(|f| f.ops.iter())
+            .map(|o| o.costs.size * self.word_width)
+            .max()
+            .unwrap_or(self.word_width);
+        let mut masks: Vec<BitVector> = Vec::new();
+        for f in fields {
+            let mut m = BitVector::zero(max_w);
+            for o in &f.ops {
+                let w = o.costs.size * self.word_width;
+                let sig = self.op_signature(o, w)?;
+                m = m.or(&sig.assigned_mask().zext(max_w));
+            }
+            masks.push(m);
+        }
+        for i in 0..fields.len() {
+            for j in (i + 1)..fields.len() {
+                let both = masks[i].and(&masks[j]);
+                if !both.is_zero() {
+                    return Err(err(
+                        ErrorKind::Decode,
+                        Pos::unknown(),
+                        format!(
+                            "fields `{}` and `{}` assign overlapping instruction bits",
+                            fields[i].name, fields[j].name
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_constraints(&self, fields: &[Field]) -> Result<Vec<Constraint>, IsdlError> {
+        let mut out = Vec::new();
+        for c in &self.desc.constraints {
+            match c {
+                ast::ConstraintDef::Forbid { ops, pos } => {
+                    if ops.len() < 2 {
+                        return Err(err(
+                            ErrorKind::Semantic,
+                            *pos,
+                            "`forbid` needs at least two operations",
+                        ));
+                    }
+                    let ops = ops
+                        .iter()
+                        .map(|r| self.resolve_op_ref(r, fields, *pos))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    out.push(Constraint::Forbid(ops));
+                }
+                ast::ConstraintDef::Assert { expr, pos } => {
+                    out.push(Constraint::Assert(self.resolve_cexpr(expr, fields, *pos)?));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn resolve_cexpr(
+        &self,
+        e: &ast::ConstraintExpr,
+        fields: &[Field],
+        pos: Pos,
+    ) -> Result<CExpr, IsdlError> {
+        Ok(match e {
+            ast::ConstraintExpr::Op(r) => CExpr::Op(self.resolve_op_ref(r, fields, pos)?),
+            ast::ConstraintExpr::Not(x) => CExpr::Not(Box::new(self.resolve_cexpr(x, fields, pos)?)),
+            ast::ConstraintExpr::And(a, b) => CExpr::And(
+                Box::new(self.resolve_cexpr(a, fields, pos)?),
+                Box::new(self.resolve_cexpr(b, fields, pos)?),
+            ),
+            ast::ConstraintExpr::Or(a, b) => CExpr::Or(
+                Box::new(self.resolve_cexpr(a, fields, pos)?),
+                Box::new(self.resolve_cexpr(b, fields, pos)?),
+            ),
+        })
+    }
+
+    fn resolve_op_ref(
+        &self,
+        r: &ast::OpRefDef,
+        fields: &[Field],
+        pos: Pos,
+    ) -> Result<OpRef, IsdlError> {
+        let (fi, f) = fields
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == r.field)
+            .ok_or_else(|| err(ErrorKind::Undefined, pos, format!("field `{}` not found", r.field)))?;
+        let oi = f
+            .ops
+            .iter()
+            .position(|o| o.name == r.op)
+            .ok_or_else(|| {
+                err(
+                    ErrorKind::Undefined,
+                    pos,
+                    format!("operation `{}` not found in field `{}`", r.op, r.field),
+                )
+            })?;
+        Ok(OpRef { field: FieldId(fi), op: oi })
+    }
+
+    fn resolve_share_hints(&self, fields: &[Field]) -> Result<Vec<ShareHint>, IsdlError> {
+        self.desc
+            .archinfo
+            .shares
+            .iter()
+            .map(|h| {
+                let ops = h
+                    .ops
+                    .iter()
+                    .map(|r| self.resolve_op_ref(r, fields, h.pos))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ShareHint { name: h.name.clone(), ops })
+            })
+            .collect()
+    }
+
+    // ----- operations -----
+
+    fn resolve_operation(
+        &self,
+        o: &ast::OperationDef,
+        enc_width: u32,
+        is_nt_option: bool,
+    ) -> Result<Operation, IsdlError> {
+        if o.costs.cycle == 0 || o.costs.size == 0 {
+            return Err(err(
+                ErrorKind::Semantic,
+                o.pos,
+                format!("operation `{}`: cycle and size costs must be non-zero", o.name),
+            ));
+        }
+        if o.timing.latency == 0 || o.timing.usage == 0 {
+            return Err(err(
+                ErrorKind::Semantic,
+                o.pos,
+                format!("operation `{}`: latency and usage must be non-zero", o.name),
+            ));
+        }
+
+        // Parameters.
+        let mut params = Vec::new();
+        let mut scope = HashMap::new();
+        for p in &o.params {
+            let ty = if let Some(&t) = self.token_ids.get(&p.ty) {
+                ParamType::Token(t)
+            } else if let Some(&n) = self.nt_ids.get(&p.ty) {
+                ParamType::NonTerminal(n)
+            } else {
+                return Err(err(
+                    ErrorKind::Undefined,
+                    p.pos,
+                    format!("parameter type `{}` is not a token or non-terminal", p.ty),
+                ));
+            };
+            if scope.insert(p.name.clone(), params.len()).is_some() {
+                return Err(err(
+                    ErrorKind::Duplicate,
+                    p.pos,
+                    format!("parameter `{}` defined twice", p.name),
+                ));
+            }
+            params.push(Param { name: p.name.clone(), ty });
+        }
+
+        // Encoding.
+        let mut encode = Vec::new();
+        let mut param_cover: Vec<Vec<bool>> = params
+            .iter()
+            .map(|p| vec![false; self.param_enc_width(p.ty) as usize])
+            .collect();
+        for a in &o.encode {
+            let span = a
+                .hi
+                .checked_sub(a.lo)
+                .map(|d| d + 1)
+                .ok_or_else(|| err(ErrorKind::Encoding, a.pos, "bit range high below low"))?;
+            if a.hi >= enc_width {
+                return Err(err(
+                    ErrorKind::Encoding,
+                    a.pos,
+                    format!(
+                        "bit {} out of range: operation `{}` encodes into {enc_width} bits",
+                        a.hi, o.name
+                    ),
+                ));
+            }
+            let rhs = match &a.rhs {
+                ast::BitRhsDef::Const(c) => {
+                    if c.width() != span {
+                        return Err(err(
+                            ErrorKind::Width,
+                            a.pos,
+                            format!("constant width {} does not match range width {span}", c.width()),
+                        ));
+                    }
+                    BitRhs::Const(c.clone())
+                }
+                ast::BitRhsDef::Param(name) => {
+                    let &index = scope.get(name).ok_or_else(|| {
+                        err(ErrorKind::Undefined, a.pos, format!("parameter `{name}` not found"))
+                    })?;
+                    let pw = self.param_enc_width(params[index].ty);
+                    if pw != span {
+                        return Err(err(
+                            ErrorKind::Width,
+                            a.pos,
+                            format!(
+                                "parameter `{name}` is {pw} bits but the bit range is {span} bits; \
+                                 use an explicit slice"
+                            ),
+                        ));
+                    }
+                    mark_cover(&mut param_cover[index], pw - 1, 0, a.pos)?;
+                    BitRhs::Param { index, hi: pw - 1, lo: 0 }
+                }
+                ast::BitRhsDef::ParamSlice { name, hi, lo } => {
+                    let &index = scope.get(name).ok_or_else(|| {
+                        err(ErrorKind::Undefined, a.pos, format!("parameter `{name}` not found"))
+                    })?;
+                    let pw = self.param_enc_width(params[index].ty);
+                    if *hi < *lo || *hi >= pw {
+                        return Err(err(
+                            ErrorKind::Encoding,
+                            a.pos,
+                            format!("slice {hi}:{lo} out of range for {pw}-bit parameter `{name}`"),
+                        ));
+                    }
+                    if hi - lo + 1 != span {
+                        return Err(err(
+                            ErrorKind::Width,
+                            a.pos,
+                            format!("parameter slice {hi}:{lo} does not match range width {span}"),
+                        ));
+                    }
+                    mark_cover(&mut param_cover[index], *hi, *lo, a.pos)?;
+                    BitRhs::Param { index, hi: *hi, lo: *lo }
+                }
+            };
+            encode.push(BitAssign { hi: a.hi, lo: a.lo, rhs });
+        }
+        // Every bit of every parameter must be encoded somewhere, or the
+        // disassembler could not reverse the assembly function.
+        for (pi, cover) in param_cover.iter().enumerate() {
+            if let Some(bit) = cover.iter().position(|&c| !c) {
+                return Err(err(
+                    ErrorKind::Encoding,
+                    o.pos,
+                    format!(
+                        "operation `{}`: bit {bit} of parameter `{}` is never encoded, so the \
+                         encoding is not reversible",
+                        o.name, params[pi].name
+                    ),
+                ));
+            }
+        }
+        // Validate overall signature construction (overlaps, etc).
+        Signature::from_encoding(&encode, enc_width).map_err(|e| {
+            err(e.kind(), o.pos, format!("operation `{}`: {}", o.name, e.message()))
+        })?;
+
+        // Value clause.
+        let mut value = None;
+        let mut value_lvalue = None;
+        if let Some(v) = &o.value {
+            if !is_nt_option {
+                return Err(err(
+                    ErrorKind::Semantic,
+                    o.pos,
+                    format!("operation `{}`: only non-terminal options may have a value clause", o.name),
+                ));
+            }
+            let rexpr = self.resolve_expr(v, None, &params, &scope)?;
+            // Try to derive an l-value form for destination use.
+            value_lvalue = self.try_resolve_lvalue(v, &params, &scope).ok();
+            value = Some(rexpr);
+        }
+
+        // RTL bodies.
+        let action = o
+            .action
+            .iter()
+            .map(|s| self.resolve_stmt(s, &params, &scope))
+            .collect::<Result<Vec<_>, _>>()?;
+        let side_effects = o
+            .side_effects
+            .iter()
+            .map(|s| self.resolve_stmt(s, &params, &scope))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(Operation {
+            name: o.name.clone(),
+            params,
+            encode,
+            value,
+            value_lvalue,
+            action,
+            side_effects,
+            costs: o.costs,
+            timing: o.timing,
+        })
+    }
+
+    fn param_enc_width(&self, ty: ParamType) -> u32 {
+        match ty {
+            ParamType::Token(t) => self.tokens[t.0].width,
+            ParamType::NonTerminal(n) => self.nonterminals[n.0].width,
+        }
+    }
+
+    fn param_value_width(&self, ty: ParamType) -> Option<u32> {
+        match ty {
+            ParamType::Token(t) => Some(self.tokens[t.0].width),
+            ParamType::NonTerminal(n) => self.nonterminals[n.0].value_width,
+        }
+    }
+
+    // ----- RTL resolution -----
+
+    fn resolve_stmt(
+        &self,
+        s: &ast::Stmt,
+        params: &[Param],
+        scope: &HashMap<String, usize>,
+    ) -> Result<RStmt, IsdlError> {
+        match s {
+            ast::Stmt::Assign { lv, rhs, pos } => {
+                let lv = self.resolve_lvalue(lv, params, scope, *pos)?;
+                let lw = lv.width_with(
+                    &|id| self.storages[id.0].width,
+                    &|i| self.param_value_width(params[i].ty).unwrap_or(0),
+                );
+                let rhs = self.resolve_expr(rhs, Some(lw), params, scope)?;
+                if rhs.width != lw {
+                    return Err(err(
+                        ErrorKind::Width,
+                        *pos,
+                        format!(
+                            "assignment width mismatch: destination is {lw} bits, value is {} bits",
+                            rhs.width
+                        ),
+                    ));
+                }
+                Ok(RStmt::Assign { lv, rhs })
+            }
+            ast::Stmt::If { cond, then_body, else_body, pos } => {
+                let cond = self.resolve_expr(cond, Some(1), params, scope).map_err(|e| {
+                    err(e.kind(), *pos, format!("in if condition: {}", e.message()))
+                })?;
+                let then_body = then_body
+                    .iter()
+                    .map(|s| self.resolve_stmt(s, params, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let else_body = else_body
+                    .iter()
+                    .map(|s| self.resolve_stmt(s, params, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(RStmt::If { cond, then_body, else_body })
+            }
+        }
+    }
+
+    fn resolve_lvalue(
+        &self,
+        e: &ast::Expr,
+        params: &[Param],
+        scope: &HashMap<String, usize>,
+        pos: Pos,
+    ) -> Result<RLvalue, IsdlError> {
+        self.try_resolve_lvalue(e, params, scope)
+            .map_err(|m| err(ErrorKind::Semantic, pos, m))
+    }
+
+    fn try_resolve_lvalue(
+        &self,
+        e: &ast::Expr,
+        params: &[Param],
+        scope: &HashMap<String, usize>,
+    ) -> Result<RLvalue, String> {
+        match e {
+            ast::Expr::Name(name, _) => {
+                if let Some(&pi) = scope.get(name) {
+                    return match params[pi].ty {
+                        ParamType::NonTerminal(n) => {
+                            let nt = &self.nonterminals[n.0];
+                            if nt.options.iter().any(|o| o.value.is_some() && o.value_lvalue.is_none()) {
+                                Err(format!(
+                                    "non-terminal `{}` has options whose value is not assignable",
+                                    nt.name
+                                ))
+                            } else if nt.value_width.is_none() {
+                                Err(format!("non-terminal `{}` has no value clauses", nt.name))
+                            } else {
+                                Ok(RLvalue::Param(pi))
+                            }
+                        }
+                        ParamType::Token(_) => {
+                            Err(format!("cannot assign to token parameter `{name}`"))
+                        }
+                    };
+                }
+                if let Some(&sid) = self.storage_ids.get(name) {
+                    let st = &self.storages[sid.0];
+                    if st.kind.is_addressed() {
+                        return Err(format!("addressed storage `{name}` needs an index to be written"));
+                    }
+                    return Ok(RLvalue::Storage(sid));
+                }
+                if let Some(&ai) = self.alias_ids.get(name) {
+                    return Ok(self.alias_lvalue(&self.aliases[ai]));
+                }
+                Err(format!("`{name}` is not assignable"))
+            }
+            ast::Expr::Index(base, idx) => {
+                let ast::Expr::Name(name, pos) = base.as_ref() else {
+                    return Err("only storages can be indexed in a destination".to_owned());
+                };
+                let Some(&sid) = self.storage_ids.get(name) else {
+                    return Err(format!("`{name}` is not an addressed storage"));
+                };
+                let st = &self.storages[sid.0];
+                let Some(depth) = st.depth else {
+                    return Err(format!("storage `{name}` is not addressed"));
+                };
+                let idx = self
+                    .resolve_expr(idx, Some(ceil_log2(depth)), params, scope)
+                    .map_err(|e| format!("bad index at {pos}: {e}"))?;
+                Ok(RLvalue::StorageIndexed(sid, idx))
+            }
+            ast::Expr::Slice(inner, hi, lo) => {
+                let base = self.try_resolve_lvalue(inner, params, scope)?;
+                let bw = base.width_with(
+                    &|id| self.storages[id.0].width,
+                    &|i| self.param_value_width(params[i].ty).unwrap_or(0),
+                );
+                if hi < lo || *hi >= bw {
+                    return Err(format!("slice {hi}:{lo} out of range for {bw}-bit destination"));
+                }
+                Ok(RLvalue::Slice { base: Box::new(base), hi: *hi, lo: *lo })
+            }
+            _ => Err("expression is not assignable".to_owned()),
+        }
+    }
+
+    fn alias_lvalue(&self, a: &Alias) -> RLvalue {
+        let base = match a.index {
+            Some(i) => {
+                let st = &self.storages[a.target.0];
+                let iw = ceil_log2(st.cells());
+                RLvalue::StorageIndexed(a.target, RExpr::lit(BitVector::from_u64(i, iw)))
+            }
+            None => RLvalue::Storage(a.target),
+        };
+        match a.range {
+            Some((hi, lo)) => RLvalue::Slice { base: Box::new(base), hi, lo },
+            None => base,
+        }
+    }
+
+    fn alias_expr(&self, a: &Alias) -> RExpr {
+        let st = &self.storages[a.target.0];
+        let base = match a.index {
+            Some(i) => {
+                let iw = ceil_log2(st.cells());
+                RExpr {
+                    kind: RExprKind::StorageIndexed(
+                        a.target,
+                        Box::new(RExpr::lit(BitVector::from_u64(i, iw))),
+                    ),
+                    width: st.width,
+                }
+            }
+            None => RExpr { kind: RExprKind::Storage(a.target), width: st.width },
+        };
+        match a.range {
+            Some((hi, lo)) => RExpr {
+                width: hi - lo + 1,
+                kind: RExprKind::Slice(Box::new(base), hi, lo),
+            },
+            None => base,
+        }
+    }
+
+    /// Resolves an expression. `expected` supplies the width for
+    /// unsized integer literals.
+    fn resolve_expr(
+        &self,
+        e: &ast::Expr,
+        expected: Option<u32>,
+        params: &[Param],
+        scope: &HashMap<String, usize>,
+    ) -> Result<RExpr, IsdlError> {
+        match e {
+            ast::Expr::Lit(bv) => Ok(RExpr::lit(bv.clone())),
+            ast::Expr::IntLit(v) => {
+                let w = expected.ok_or_else(|| {
+                    err(
+                        ErrorKind::Width,
+                        Pos::unknown(),
+                        format!("cannot infer width of literal {v}; use a sized literal like 8'd{v}"),
+                    )
+                })?;
+                Ok(RExpr::lit(BitVector::from_u64(*v, w)))
+            }
+            ast::Expr::Name(name, pos) => {
+                if let Some(&pi) = scope.get(name) {
+                    let w = self.param_value_width(params[pi].ty).ok_or_else(|| {
+                        err(
+                            ErrorKind::Semantic,
+                            *pos,
+                            format!("parameter `{name}`'s non-terminal has no value clause"),
+                        )
+                    })?;
+                    return Ok(RExpr { kind: RExprKind::Param(pi), width: w });
+                }
+                if let Some(&sid) = self.storage_ids.get(name) {
+                    let st = &self.storages[sid.0];
+                    if st.kind.is_addressed() {
+                        return Err(err(
+                            ErrorKind::Semantic,
+                            *pos,
+                            format!("addressed storage `{name}` needs an index"),
+                        ));
+                    }
+                    return Ok(RExpr { kind: RExprKind::Storage(sid), width: st.width });
+                }
+                if let Some(&ai) = self.alias_ids.get(name) {
+                    return Ok(self.alias_expr(&self.aliases[ai]));
+                }
+                Err(err(ErrorKind::Undefined, *pos, format!("`{name}` is not defined")))
+            }
+            ast::Expr::Index(base, idx) => {
+                let ast::Expr::Name(name, pos) = base.as_ref() else {
+                    return Err(err(
+                        ErrorKind::Semantic,
+                        Pos::unknown(),
+                        "only storages can be indexed",
+                    ));
+                };
+                let Some(&sid) = self.storage_ids.get(name) else {
+                    return Err(err(
+                        ErrorKind::Undefined,
+                        *pos,
+                        format!("`{name}` is not an addressed storage"),
+                    ));
+                };
+                let st = &self.storages[sid.0];
+                let Some(depth) = st.depth else {
+                    return Err(err(
+                        ErrorKind::Semantic,
+                        *pos,
+                        format!("storage `{name}` is not addressed"),
+                    ));
+                };
+                let idx = self.resolve_expr(idx, Some(ceil_log2(depth)), params, scope)?;
+                Ok(RExpr {
+                    width: st.width,
+                    kind: RExprKind::StorageIndexed(sid, Box::new(idx)),
+                })
+            }
+            ast::Expr::Slice(inner, hi, lo) => {
+                let inner = self.resolve_expr(inner, None, params, scope)?;
+                if hi < lo || *hi >= inner.width {
+                    return Err(err(
+                        ErrorKind::Width,
+                        Pos::unknown(),
+                        format!("slice {hi}:{lo} out of range for {}-bit value", inner.width),
+                    ));
+                }
+                Ok(RExpr {
+                    width: hi - lo + 1,
+                    kind: RExprKind::Slice(Box::new(inner), *hi, *lo),
+                })
+            }
+            ast::Expr::Unary(op, inner) => {
+                let (exp, rw) = match op {
+                    UnOp::Neg | UnOp::Not => (expected, None),
+                    UnOp::LNot => (None, Some(1)),
+                };
+                let inner = self.resolve_expr(inner, exp, params, scope)?;
+                let width = rw.unwrap_or(inner.width);
+                Ok(RExpr { width, kind: RExprKind::Unary(*op, Box::new(inner)) })
+            }
+            ast::Expr::Binary(op, a, b) => self.resolve_binary(*op, a, b, expected, params, scope),
+            ast::Expr::Cond(c, t, f) => {
+                let c = self.resolve_expr(c, Some(1), params, scope)?;
+                let (t, f) = self.resolve_same_width(t, f, expected, params, scope)?;
+                let width = t.width;
+                Ok(RExpr {
+                    width,
+                    kind: RExprKind::Cond(Box::new(c), Box::new(t), Box::new(f)),
+                })
+            }
+            ast::Expr::Ext(kind, inner, w) => {
+                let inner = self.resolve_expr(inner, None, params, scope)?;
+                if *w == 0 {
+                    return Err(err(ErrorKind::Width, Pos::unknown(), "extension width is zero"));
+                }
+                match kind {
+                    ExtKind::Trunc if *w > inner.width => {
+                        return Err(err(
+                            ErrorKind::Width,
+                            Pos::unknown(),
+                            format!("cannot truncate {}-bit value to {w} bits", inner.width),
+                        ))
+                    }
+                    ExtKind::Zext | ExtKind::Sext if *w < inner.width => {
+                        return Err(err(
+                            ErrorKind::Width,
+                            Pos::unknown(),
+                            format!("cannot extend {}-bit value down to {w} bits", inner.width),
+                        ))
+                    }
+                    _ => {}
+                }
+                Ok(RExpr { width: *w, kind: RExprKind::Ext(*kind, Box::new(inner)) })
+            }
+            ast::Expr::Concat(parts) => {
+                let parts = parts
+                    .iter()
+                    .map(|p| self.resolve_expr(p, None, params, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let width = parts.iter().map(|p| p.width).sum();
+                Ok(RExpr { width, kind: RExprKind::Concat(parts) })
+            }
+        }
+    }
+
+    fn resolve_same_width(
+        &self,
+        a: &ast::Expr,
+        b: &ast::Expr,
+        expected: Option<u32>,
+        params: &[Param],
+        scope: &HashMap<String, usize>,
+    ) -> Result<(RExpr, RExpr), IsdlError> {
+        let a_unsized = matches!(a, ast::Expr::IntLit(_));
+        let b_unsized = matches!(b, ast::Expr::IntLit(_));
+        let (ra, rb) = if a_unsized && !b_unsized {
+            let rb = self.resolve_expr(b, expected, params, scope)?;
+            let ra = self.resolve_expr(a, Some(rb.width), params, scope)?;
+            (ra, rb)
+        } else {
+            let ra = self.resolve_expr(a, expected, params, scope)?;
+            let rb = self.resolve_expr(b, Some(ra.width), params, scope)?;
+            (ra, rb)
+        };
+        if ra.width != rb.width {
+            return Err(err(
+                ErrorKind::Width,
+                Pos::unknown(),
+                format!("operand widths differ: {} vs {} bits", ra.width, rb.width),
+            ));
+        }
+        Ok((ra, rb))
+    }
+
+    fn resolve_binary(
+        &self,
+        op: BinOp,
+        a: &ast::Expr,
+        b: &ast::Expr,
+        expected: Option<u32>,
+        params: &[Param],
+        scope: &HashMap<String, usize>,
+    ) -> Result<RExpr, IsdlError> {
+        use BinOp::*;
+        match op {
+            Add | Sub | Mul | UDiv | URem | SDiv | SRem | And | Or | Xor => {
+                let (ra, rb) = self.resolve_same_width(a, b, expected, params, scope)?;
+                let width = ra.width;
+                Ok(RExpr { width, kind: RExprKind::Binary(op, Box::new(ra), Box::new(rb)) })
+            }
+            Eq | Ne | Ult | Ule | Slt | Sle => {
+                let (ra, rb) = self.resolve_same_width(a, b, None, params, scope)?;
+                Ok(RExpr { width: 1, kind: RExprKind::Binary(op, Box::new(ra), Box::new(rb)) })
+            }
+            LAnd | LOr => {
+                let ra = self.resolve_expr(a, Some(1), params, scope)?;
+                let rb = self.resolve_expr(b, Some(1), params, scope)?;
+                Ok(RExpr { width: 1, kind: RExprKind::Binary(op, Box::new(ra), Box::new(rb)) })
+            }
+            Shl | Lshr | Ashr => {
+                let ra = self.resolve_expr(a, expected, params, scope)?;
+                let rb = self.resolve_expr(b, Some(32), params, scope)?;
+                let width = ra.width;
+                Ok(RExpr { width, kind: RExprKind::Binary(op, Box::new(ra), Box::new(rb)) })
+            }
+        }
+    }
+}
+
+fn mark_cover(cover: &mut [bool], hi: u32, lo: u32, pos: Pos) -> Result<(), IsdlError> {
+    for b in lo..=hi {
+        let slot = &mut cover[b as usize];
+        if *slot {
+            return Err(err(
+                ErrorKind::Encoding,
+                pos,
+                format!("parameter bit {b} encoded twice"),
+            ));
+        }
+        *slot = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn machine(src: &str) -> Machine {
+        analyze(&parse(src).expect("parses")).expect("analyzes")
+    }
+
+    fn analyze_err(src: &str) -> IsdlError {
+        analyze(&parse(src).expect("parses")).expect_err("should fail analysis")
+    }
+
+    const TINY: &str = r#"
+        machine "tiny" { format { word 16; } }
+        storage {
+            regfile RF 8 x 4;
+            register ACC 8;
+            pc PC 8;
+            imem IM 16 x 256;
+            dmem DM 8 x 256;
+        }
+        tokens {
+            token REG reg("R", 4);
+            token IMM8 imm(8, unsigned);
+        }
+        field ALU {
+            op add(d: REG, a: REG, b: REG) {
+                encode { word[15:13] = 0b001; word[12:11] = d; word[10:9] = a; word[8:7] = b; }
+                action { RF[d] <- RF[a] + RF[b]; }
+            }
+            op li(d: REG, v: IMM8) {
+                encode { word[15:13] = 0b010; word[12:11] = d; word[7:0] = v; }
+                action { RF[d] <- v; }
+            }
+            op nop() { encode { word[15:13] = 0b000; } }
+        }
+    "#;
+
+    #[test]
+    fn tiny_machine_resolves() {
+        let m = machine(TINY);
+        assert_eq!(m.word_width, 16);
+        assert_eq!(m.storages.len(), 5);
+        assert_eq!(m.tokens.len(), 2);
+        assert_eq!(m.fields[0].ops.len(), 3);
+        assert_eq!(m.fields[0].nop, Some(2));
+        assert!(m.pc.is_some());
+        assert!(m.imem.is_some());
+        let add = &m.fields[0].ops[0];
+        assert_eq!(add.params.len(), 3);
+        assert_eq!(add.action.len(), 1);
+    }
+
+    #[test]
+    fn token_widths() {
+        let m = machine(TINY);
+        assert_eq!(m.tokens[0].width, 2); // 4 registers -> 2 bits
+        assert_eq!(m.tokens[1].width, 8);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 1);
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+    }
+
+    #[test]
+    fn missing_format_rejected() {
+        let e = analyze_err("storage { register A 8; } field F { op nop() { encode { } } }");
+        assert_eq!(e.kind(), ErrorKind::Semantic);
+    }
+
+    #[test]
+    fn undecodable_pair_rejected() {
+        let e = analyze_err(
+            r#"
+            machine "m" { format { word 8; } }
+            tokens { token T imm(4, unsigned); }
+            field F {
+                op a(p: T) { encode { word[7:6] = 0b01; word[3:0] = p; } }
+                op b(p: T) { encode { word[5:4] = 0b10; word[3:0] = p; } }
+            }
+            "#,
+        );
+        assert_eq!(e.kind(), ErrorKind::Decode);
+    }
+
+    #[test]
+    fn cross_field_overlap_rejected() {
+        let e = analyze_err(
+            r#"
+            machine "m" { format { word 8; } }
+            field A { op x() { encode { word[7:4] = 0b0001; } } }
+            field B { op y() { encode { word[4:1] = 0b0001; } } }
+            "#,
+        );
+        assert_eq!(e.kind(), ErrorKind::Decode);
+    }
+
+    #[test]
+    fn uncovered_param_rejected() {
+        let e = analyze_err(
+            r#"
+            machine "m" { format { word 8; } }
+            tokens { token T imm(4, unsigned); }
+            field F { op x(p: T) { encode { word[7:5] = 0b001; word[1:0] = p[1:0]; } } }
+            "#,
+        );
+        assert_eq!(e.kind(), ErrorKind::Encoding);
+        assert!(e.message().contains("never encoded"));
+    }
+
+    #[test]
+    fn width_mismatch_in_action_rejected() {
+        let e = analyze_err(
+            r#"
+            machine "m" { format { word 8; } }
+            storage { register A 8; register B 16; }
+            field F { op x() { encode { word[7:0] = 8'h01; } action { A <- B; } } }
+            "#,
+        );
+        assert_eq!(e.kind(), ErrorKind::Width);
+    }
+
+    #[test]
+    fn unsized_literal_infers_from_destination() {
+        let m = machine(
+            r#"
+            machine "m" { format { word 8; } }
+            storage { register A 12; }
+            field F { op x() { encode { word[7:0] = 8'h01; } action { A <- A + 3; } } }
+            "#,
+        );
+        let RStmt::Assign { rhs, .. } = &m.fields[0].ops[0].action[0] else {
+            panic!("expected assignment")
+        };
+        assert_eq!(rhs.width, 12);
+    }
+
+    #[test]
+    fn nonterminal_value_widths_must_agree() {
+        let e = analyze_err(
+            r#"
+            machine "m" { format { word 8; } }
+            storage { register A 8; register B 16; }
+            nonterminals {
+                nonterminal SRC width 1 {
+                    option a() { encode { val[0] = 0; } value { A } }
+                    option b() { encode { val[0] = 1; } value { B } }
+                }
+            }
+            field F { op x(s: SRC) { encode { word[7] = 1; word[0] = s; } action { A <- s; } } }
+            "#,
+        );
+        assert_eq!(e.kind(), ErrorKind::Width);
+    }
+
+    #[test]
+    fn nonterminal_as_destination() {
+        let m = machine(
+            r#"
+            machine "m" { format { word 8; } }
+            storage { register A 8; regfile RF 8 x 4; dmem DM 8 x 16; }
+            tokens { token REG reg("R", 4); }
+            nonterminals {
+                nonterminal DST width 3 {
+                    option reg(r: REG) { encode { val[2] = 0; val[1:0] = r; } value { RF[r] } }
+                    option mem(r: REG) { encode { val[2] = 1; val[1:0] = r; } value { DM[trunc(RF[r], 4)] } }
+                }
+            }
+            field F {
+                op st(d: DST) { encode { word[7:4] = 0b1000; word[2:0] = d; } action { d <- A; } }
+                op nop() { encode { word[7:4] = 0b0000; } }
+            }
+            "#,
+        );
+        let st = &m.fields[0].ops[0];
+        assert!(matches!(
+            st.action[0],
+            RStmt::Assign { lv: RLvalue::Param(0), .. }
+        ));
+        let nt = &m.nonterminals[0];
+        assert!(nt.options[0].value_lvalue.is_some());
+        assert!(nt.options[1].value_lvalue.is_some());
+    }
+
+    #[test]
+    fn alias_expands_in_rtl() {
+        let m = machine(
+            r#"
+            machine "m" { format { word 8; } }
+            storage { register ACC 16; alias LO = ACC[7:0]; }
+            field F { op x() { encode { word[7:0] = 8'h01; } action { LO <- LO + 1; } } }
+            "#,
+        );
+        let RStmt::Assign { lv, .. } = &m.fields[0].ops[0].action[0] else {
+            panic!("expected assignment")
+        };
+        assert!(matches!(lv, RLvalue::Slice { hi: 7, lo: 0, .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert_eq!(
+            analyze_err(
+                r#"machine "m" { format { word 8; } }
+                   storage { register A 8; register A 8; }
+                   field F { op nop() { encode { word[0] = 1; } } }"#
+            )
+            .kind(),
+            ErrorKind::Duplicate
+        );
+        assert_eq!(
+            analyze_err(
+                r#"machine "m" { format { word 8; } }
+                   tokens { token T imm(4, signed); token T imm(4, signed); }
+                   field F { op nop() { encode { word[0] = 1; } } }"#
+            )
+            .kind(),
+            ErrorKind::Duplicate
+        );
+    }
+
+    #[test]
+    fn two_pcs_rejected() {
+        let e = analyze_err(
+            r#"machine "m" { format { word 8; } }
+               storage { pc P1 8; pc P2 8; }
+               field F { op nop() { encode { word[0] = 1; } } }"#,
+        );
+        assert!(e.message().contains("more than one"));
+    }
+
+    #[test]
+    fn constraints_resolve() {
+        let m = machine(
+            r#"
+            machine "m" { format { word 8; } }
+            field A { op x() { encode { word[7] = 1; } } op nop() { encode { word[7] = 0; } } }
+            field B { op y() { encode { word[6] = 1; } } op nop() { encode { word[6] = 0; } } }
+            constraints { forbid A.x, B.y; }
+            "#,
+        );
+        assert_eq!(m.constraints.len(), 1);
+        // Selecting x (index 0 in A) and y (index 0 in B) violates it.
+        assert_eq!(m.check_constraints(&[0, 0]), Some(0));
+        assert_eq!(m.check_constraints(&[0, 1]), None);
+    }
+
+    #[test]
+    fn undefined_constraint_ref_rejected() {
+        let e = analyze_err(
+            r#"machine "m" { format { word 8; } }
+               field A { op nop() { encode { word[0] = 1; } } }
+               constraints { forbid A.nope, A.nop; }"#,
+        );
+        assert_eq!(e.kind(), ErrorKind::Undefined);
+    }
+
+    #[test]
+    fn multiword_op_encodes_past_first_word() {
+        let m = machine(
+            r#"
+            machine "m" { format { word 16; } }
+            storage { register A 16; }
+            tokens { token IMM16 imm(16, unsigned); }
+            field F {
+                op limm(v: IMM16) {
+                    encode { word[15:12] = 0b1111; word[31:16] = v; }
+                    action { A <- v; }
+                    cost { size 2; }
+                }
+                op nop() { encode { word[15:12] = 0b0000; } }
+            }
+            "#,
+        );
+        assert_eq!(m.max_op_size(), 2);
+    }
+
+    #[test]
+    fn size_zero_rejected() {
+        let e = analyze_err(
+            r#"machine "m" { format { word 8; } }
+               field F { op x() { encode { word[0] = 1; } cost { size 0; } } }"#,
+        );
+        assert_eq!(e.kind(), ErrorKind::Semantic);
+    }
+
+    #[test]
+    fn share_hints_resolve() {
+        let m = machine(
+            r#"
+            machine "m" { format { word 8; } }
+            field A { op x() { encode { word[7] = 1; } } op nop() { encode { word[7] = 0; } } }
+            archinfo { share bus: A.x, A.nop; cycle_ns 10; }
+            "#,
+        );
+        assert_eq!(m.share_hints.len(), 1);
+        assert_eq!(m.cycle_ns_hint, Some(10.0));
+    }
+}

@@ -1,0 +1,354 @@
+//! Operation signatures (Figure 3 of the paper).
+//!
+//! A signature is an image of the instruction word with one symbol per
+//! bit: a *don't-care* (the operation's assembly function does not set
+//! the bit), a constant `0`/`1`, or a *parameter symbol* — the bit is a
+//! function of (one bit of) a single parameter's encoded value.
+//!
+//! The paper's **Axiom 1** — every parameter symbol is a function of a
+//! single parameter only — holds by construction here because the ISDL
+//! dialect restricts bitfield right-hand sides to
+//! `const | param | param[h:l]`. It makes the assembly function
+//! symbolically reversible: the disassembler (Figure 4) matches the
+//! constant part of each signature against the instruction word and
+//! reads parameter values straight out of the parameter-symbol bits,
+//! and the HGEN decode logic (§4.2) turns the constant part into a
+//! two-level decode equation.
+
+use crate::error::{ErrorKind, IsdlError, Pos};
+use crate::model::{BitAssign, BitRhs};
+use bitv::BitVector;
+
+/// One bit of a signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SigBit {
+    /// The assembly function does not set this bit.
+    DontCare,
+    /// The bit is the given constant.
+    Const(bool),
+    /// The bit equals bit `bit` of parameter `param`'s encoded value.
+    Param {
+        /// Parameter index within the operation.
+        param: usize,
+        /// Bit of that parameter's encoded value.
+        bit: u32,
+    },
+}
+
+/// The signature of one operation or non-terminal option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    bits: Vec<SigBit>,
+}
+
+impl Signature {
+    /// Builds the signature of an encoding over `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an assignment is out of range, two
+    /// assignments overlap, or a constant's width does not match its
+    /// bit range.
+    pub fn from_encoding(assigns: &[BitAssign], width: u32) -> Result<Self, IsdlError> {
+        let mut bits = vec![SigBit::DontCare; width as usize];
+        for a in assigns {
+            if a.hi < a.lo || a.hi >= width {
+                return Err(IsdlError::new(
+                    ErrorKind::Encoding,
+                    Pos::unknown(),
+                    format!("bitfield range {}:{} out of range for width {width}", a.hi, a.lo),
+                ));
+            }
+            let span = a.hi - a.lo + 1;
+            for off in 0..span {
+                let pos = (a.lo + off) as usize;
+                if bits[pos] != SigBit::DontCare {
+                    return Err(IsdlError::new(
+                        ErrorKind::Encoding,
+                        Pos::unknown(),
+                        format!("instruction bit {pos} assigned twice"),
+                    ));
+                }
+                bits[pos] = match &a.rhs {
+                    BitRhs::Const(c) => {
+                        if c.width() != span {
+                            return Err(IsdlError::new(
+                                ErrorKind::Width,
+                                Pos::unknown(),
+                                format!(
+                                    "constant width {} does not match bit range {}:{}",
+                                    c.width(),
+                                    a.hi,
+                                    a.lo
+                                ),
+                            ));
+                        }
+                        SigBit::Const(c.bit(off))
+                    }
+                    BitRhs::Param { index, hi, lo } => {
+                        if hi < lo || hi - lo + 1 != span {
+                            return Err(IsdlError::new(
+                                ErrorKind::Width,
+                                Pos::unknown(),
+                                format!(
+                                    "parameter slice {hi}:{lo} does not match bit range {}:{}",
+                                    a.hi, a.lo
+                                ),
+                            ));
+                        }
+                        SigBit::Param { param: *index, bit: lo + off }
+                    }
+                };
+            }
+        }
+        Ok(Self { bits })
+    }
+
+    /// The signature width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// The symbol at bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bit(&self, i: u32) -> SigBit {
+        self.bits[i as usize]
+    }
+
+    /// Iterates over `(bit_index, symbol)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, SigBit)> + '_ {
+        self.bits.iter().enumerate().map(|(i, &b)| (i as u32, b))
+    }
+
+    /// The constant part as `(mask, value)`: `mask` has a 1 wherever
+    /// the signature has a constant, and `value` holds those constants.
+    #[must_use]
+    pub fn const_mask_value(&self) -> (BitVector, BitVector) {
+        let w = self.width();
+        let mut mask = BitVector::zero(w);
+        let mut value = BitVector::zero(w);
+        for (i, b) in self.iter() {
+            if let SigBit::Const(c) = b {
+                mask = mask.with_bit(i, true);
+                value = value.with_bit(i, c);
+            }
+        }
+        (mask, value)
+    }
+
+    /// Whether `word` matches the constant part of this signature.
+    /// Only the low `self.width()` bits of `word` are examined; `word`
+    /// must be at least as wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is narrower than the signature.
+    #[must_use]
+    pub fn matches(&self, word: &BitVector) -> bool {
+        assert!(word.width() >= self.width(), "word narrower than signature");
+        self.iter().all(|(i, b)| match b {
+            SigBit::Const(c) => word.bit(i) == c,
+            _ => true,
+        })
+    }
+
+    /// Reverses the encoding of parameter `param`: reads its value
+    /// (of `enc_width` bits) out of the parameter-symbol bits of `word`.
+    /// Parameter bits never placed in the word read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is narrower than the signature.
+    #[must_use]
+    pub fn extract_param(&self, word: &BitVector, param: usize, enc_width: u32) -> BitVector {
+        assert!(word.width() >= self.width(), "word narrower than signature");
+        let mut out = BitVector::zero(enc_width);
+        for (i, b) in self.iter() {
+            if let SigBit::Param { param: p, bit } = b {
+                if p == param && bit < enc_width && word.bit(i) {
+                    out = out.with_bit(bit, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Encodes: applies constants and parameter values onto `word`
+    /// (which must be at least as wide as the signature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is narrower than the signature or a parameter
+    /// value is missing / too narrow for a referenced bit.
+    #[must_use]
+    pub fn apply(&self, word: &BitVector, params: &[BitVector]) -> BitVector {
+        assert!(word.width() >= self.width(), "word narrower than signature");
+        let mut out = word.clone();
+        for (i, b) in self.iter() {
+            match b {
+                SigBit::DontCare => {}
+                SigBit::Const(c) => out = out.with_bit(i, c),
+                SigBit::Param { param, bit } => {
+                    let v = &params[param];
+                    out = out.with_bit(i, bit < v.width() && v.bit(bit));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether two signatures are *distinguishable*: some bit is a
+    /// constant in both and the constants differ. The disassembler's
+    /// unique-match guarantee (and the field-level decodability check)
+    /// relies on every same-field pair being distinguishable.
+    #[must_use]
+    pub fn distinguishable_from(&self, other: &Self) -> bool {
+        let n = self.width().min(other.width());
+        (0..n).any(|i| match (self.bit(i), other.bit(i)) {
+            (SigBit::Const(a), SigBit::Const(b)) => a != b,
+            _ => false,
+        })
+    }
+
+    /// The set of bit positions this signature assigns (constant or
+    /// parameter), as a mask.
+    #[must_use]
+    pub fn assigned_mask(&self) -> BitVector {
+        let mut m = BitVector::zero(self.width());
+        for (i, b) in self.iter() {
+            if b != SigBit::DontCare {
+                m = m.with_bit(i, true);
+            }
+        }
+        m
+    }
+
+    /// The decode-equation literals (§4.2): `(bit, polarity)` pairs —
+    /// the two-level AND that recognises this operation. `polarity`
+    /// true means the plain bit, false the complemented bit.
+    #[must_use]
+    pub fn decode_literals(&self) -> Vec<(u32, bool)> {
+        self.iter()
+            .filter_map(|(i, b)| match b {
+                SigBit::Const(c) => Some((i, c)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BitAssign, BitRhs};
+
+    fn const_assign(hi: u32, lo: u32, v: u64) -> BitAssign {
+        BitAssign { hi, lo, rhs: BitRhs::Const(BitVector::from_u64(v, hi - lo + 1)) }
+    }
+
+    fn param_assign(hi: u32, lo: u32, index: usize) -> BitAssign {
+        BitAssign { hi, lo, rhs: BitRhs::Param { index, hi: hi - lo, lo: 0 } }
+    }
+
+    /// The `op2` example from Figure 3: constants in the top bits,
+    /// a parameter in the low byte.
+    fn fig3_like() -> Signature {
+        Signature::from_encoding(
+            &[const_assign(9, 5, 0b10110), param_assign(4, 0, 0)],
+            10,
+        )
+        .expect("valid encoding")
+    }
+
+    #[test]
+    fn constants_and_params_placed() {
+        let s = fig3_like();
+        assert_eq!(s.bit(9), SigBit::Const(true));
+        assert_eq!(s.bit(8), SigBit::Const(false));
+        assert_eq!(s.bit(0), SigBit::Param { param: 0, bit: 0 });
+        assert_eq!(s.bit(4), SigBit::Param { param: 0, bit: 4 });
+    }
+
+    #[test]
+    fn match_and_extract() {
+        let s = fig3_like();
+        let word = BitVector::from_u64(0b10110_10101, 10);
+        assert!(s.matches(&word));
+        assert_eq!(s.extract_param(&word, 0, 5), BitVector::from_u64(0b10101, 5));
+        let bad = BitVector::from_u64(0b10111_10101, 10);
+        assert!(!s.matches(&bad));
+    }
+
+    #[test]
+    fn apply_is_inverse_of_extract() {
+        let s = fig3_like();
+        let p = BitVector::from_u64(0b01101, 5);
+        let word = s.apply(&BitVector::zero(10), std::slice::from_ref(&p));
+        assert!(s.matches(&word));
+        assert_eq!(s.extract_param(&word, 0, 5), p);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let r = Signature::from_encoding(&[const_assign(3, 0, 5), const_assign(2, 1, 1)], 8);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Signature::from_encoding(&[const_assign(8, 0, 0)], 8).is_err());
+    }
+
+    #[test]
+    fn const_width_mismatch_rejected() {
+        let bad = BitAssign { hi: 3, lo: 0, rhs: BitRhs::Const(BitVector::from_u64(1, 2)) };
+        assert!(Signature::from_encoding(&[bad], 8).is_err());
+    }
+
+    #[test]
+    fn distinguishable() {
+        let a = Signature::from_encoding(&[const_assign(3, 0, 0b0001)], 4).expect("ok");
+        let b = Signature::from_encoding(&[const_assign(3, 0, 0b0010)], 4).expect("ok");
+        assert!(a.distinguishable_from(&b));
+        let c = Signature::from_encoding(&[param_assign(3, 0, 0)], 4).expect("ok");
+        assert!(!a.distinguishable_from(&c));
+    }
+
+    #[test]
+    fn mask_value_and_literals() {
+        let s = fig3_like();
+        let (mask, value) = s.const_mask_value();
+        assert_eq!(mask, BitVector::from_u64(0b11111_00000, 10));
+        assert_eq!(value, BitVector::from_u64(0b10110_00000, 10));
+        let lits = s.decode_literals();
+        assert_eq!(lits.len(), 5);
+        assert!(lits.contains(&(9, true)));
+        assert!(lits.contains(&(8, false)));
+    }
+
+    #[test]
+    fn assigned_mask_covers_params_too() {
+        let s = fig3_like();
+        assert_eq!(s.assigned_mask(), BitVector::all_ones(10));
+        let partial =
+            Signature::from_encoding(&[const_assign(9, 8, 0b01)], 10).expect("ok");
+        assert_eq!(partial.assigned_mask(), BitVector::from_u64(0b11_0000_0000, 10));
+    }
+
+    #[test]
+    fn param_slice_placement() {
+        // word[7:4] = p[11:8] — upper nibble of a 12-bit parameter.
+        let a = BitAssign { hi: 7, lo: 4, rhs: BitRhs::Param { index: 0, hi: 11, lo: 8 } };
+        let s = Signature::from_encoding(&[a], 8).expect("ok");
+        assert_eq!(s.bit(4), SigBit::Param { param: 0, bit: 8 });
+        assert_eq!(s.bit(7), SigBit::Param { param: 0, bit: 11 });
+        let p = BitVector::from_u64(0xA00, 12);
+        let word = s.apply(&BitVector::zero(8), &[p]);
+        assert_eq!(word.slice(7, 4).to_u64_lossy(), 0xA);
+    }
+}

@@ -1,0 +1,254 @@
+//! Systematic negative coverage of the ISDL front-end: every
+//! diagnostic class has at least one test proving the rule fires, with
+//! the position or message a user would need.
+
+use isdl::error::ErrorKind;
+
+fn load_err(src: &str) -> isdl::IsdlError {
+    isdl::load(src).expect_err("source must be rejected")
+}
+
+/// Minimal valid scaffolding to splice fragments into.
+fn with_field(field_body: &str) -> String {
+    format!(
+        r#"machine "t" {{ format {{ word 16; }} }}
+           storage {{ register A 16; imem IM 16 x 16; pc PC 4; dmem DM 16 x 8; regfile RF 16 x 4; }}
+           tokens {{ token REG reg("R", 4); token U4 imm(4, unsigned); }}
+           field F {{ {field_body} op nop() {{ encode {{ word[15:12] = 0b0000; }} }} }}"#
+    )
+}
+
+// ---- lexical ----
+
+#[test]
+fn stray_character_reports_position() {
+    let e = load_err("machine \"m\" { format { word 8; } }\n  ` junk");
+    assert_eq!(e.kind(), ErrorKind::Lex);
+    assert_eq!(e.pos().line, 2);
+}
+
+#[test]
+fn bad_sized_literal() {
+    let e = load_err(&with_field("op x() { encode { word[7:0] = 8'q12; } }"));
+    assert_eq!(e.kind(), ErrorKind::Lex);
+}
+
+// ---- syntactic ----
+
+#[test]
+fn missing_semicolon() {
+    let e = load_err(r#"machine "m" { format { word 8 } }"#);
+    assert_eq!(e.kind(), ErrorKind::Syntax);
+}
+
+#[test]
+fn unknown_section() {
+    let e = load_err("pipeline { }");
+    assert_eq!(e.kind(), ErrorKind::Syntax);
+    assert!(e.message().contains("section"));
+}
+
+#[test]
+fn unknown_operation_part() {
+    let e = load_err(&with_field("op x() { behavior { } }"));
+    assert_eq!(e.kind(), ErrorKind::Syntax);
+    assert!(e.message().contains("operation part"));
+}
+
+// ---- name resolution ----
+
+#[test]
+fn undefined_storage_in_rtl() {
+    let e = load_err(&with_field(
+        "op x() { encode { word[15:12] = 0b0001; } action { GHOST <- A; } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Semantic);
+    assert!(e.message().contains("GHOST"));
+}
+
+#[test]
+fn undefined_token_type() {
+    let e = load_err(&with_field("op x(p: NOPE) { encode { word[15:12] = 0b0001; } }"));
+    assert_eq!(e.kind(), ErrorKind::Undefined);
+}
+
+#[test]
+fn undefined_param_in_encode() {
+    let e = load_err(&with_field("op x() { encode { word[15:12] = q; } }"));
+    assert_eq!(e.kind(), ErrorKind::Undefined);
+}
+
+// ---- widths ----
+
+#[test]
+fn assignment_width_mismatch() {
+    let e = load_err(&with_field(
+        "op x(p: U4) { encode { word[15:12] = 0b0001; word[3:0] = p; } action { A <- p; } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Width);
+}
+
+#[test]
+fn slice_out_of_range_in_rtl() {
+    let e = load_err(&with_field(
+        "op x() { encode { word[15:12] = 0b0001; } action { A <- (A)[16:0]; } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Width);
+}
+
+#[test]
+fn unsized_literal_without_context() {
+    // A bare integer in a slice position has no width to adopt.
+    let e = load_err(&with_field(
+        "op x() { encode { word[15:12] = 0b0001; } action { A <- (3)[1:0]; } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Width);
+    assert!(e.message().contains("sized literal"));
+}
+
+#[test]
+fn trunc_cannot_widen() {
+    let e = load_err(&with_field(
+        "op x() { encode { word[15:12] = 0b0001; } action { A <- trunc(A, 20); } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Width);
+}
+
+// ---- encoding / Axiom 1 ----
+
+#[test]
+fn overlapping_bit_assignments() {
+    let e = load_err(&with_field(
+        "op x() { encode { word[15:12] = 0b0001; word[13:10] = 0b0000; } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Encoding);
+    assert!(e.message().contains("twice"));
+}
+
+#[test]
+fn parameter_bits_must_all_be_encoded() {
+    let e = load_err(&with_field(
+        "op x(p: U4) { encode { word[15:12] = 0b0001; word[1:0] = p[1:0]; } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Encoding);
+    assert!(e.message().contains("never encoded"));
+}
+
+#[test]
+fn parameter_bit_encoded_twice() {
+    let e = load_err(&with_field(
+        "op x(p: U4) { encode { word[15:12] = 0b0001; word[3:0] = p; word[7:4] = p; } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Encoding);
+}
+
+// ---- decodability ----
+
+#[test]
+fn indistinguishable_ops_rejected() {
+    let e = load_err(&with_field(
+        "op x(p: U4) { encode { word[15:12] = 0b0001; word[3:0] = p; } }
+         op y(q: U4) { encode { word[15:12] = 0b0001; word[3:0] = q; } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Decode);
+}
+
+#[test]
+fn single_bit_difference_is_decodable() {
+    let src = with_field(
+        "op x() { encode { word[15:12] = 0b0001; } }
+         op y() { encode { word[15:12] = 0b0011; } }",
+    );
+    assert!(isdl::load(&src).is_ok(), "one differing constant bit suffices");
+}
+
+// ---- structural ----
+
+#[test]
+fn register_with_depth_rejected() {
+    let e = load_err(
+        r#"machine "m" { format { word 8; } }
+           storage { register A 8 x 4; }
+           field F { op nop() { encode { word[0] = 1; } } }"#,
+    );
+    assert_eq!(e.kind(), ErrorKind::Semantic);
+}
+
+#[test]
+fn memory_without_depth_rejected() {
+    let e = load_err(
+        r#"machine "m" { format { word 8; } }
+           storage { dmem DM 8; }
+           field F { op nop() { encode { word[0] = 1; } } }"#,
+    );
+    assert_eq!(e.kind(), ErrorKind::Semantic);
+    assert!(e.message().contains("depth"));
+}
+
+#[test]
+fn empty_field_rejected() {
+    let e = load_err(
+        r#"machine "m" { format { word 8; } }
+           field F { }"#,
+    );
+    assert_eq!(e.kind(), ErrorKind::Semantic);
+}
+
+#[test]
+fn no_fields_rejected() {
+    let e = load_err(r#"machine "m" { format { word 8; } } storage { register A 8; }"#);
+    assert_eq!(e.kind(), ErrorKind::Semantic);
+}
+
+#[test]
+fn alias_index_out_of_range() {
+    let e = load_err(
+        r#"machine "m" { format { word 8; } }
+           storage { regfile RF 8 x 4; alias SP = RF[4]; }
+           field F { op nop() { encode { word[0] = 1; } } }"#,
+    );
+    assert_eq!(e.kind(), ErrorKind::Semantic);
+    assert!(e.message().contains("out of range"));
+}
+
+#[test]
+fn nonterminal_cycle_impossible() {
+    // Forward references between non-terminals are rejected, which is
+    // what rules out recursive non-terminals.
+    let e = load_err(
+        r#"machine "m" { format { word 8; } }
+           nonterminals {
+               nonterminal A width 2 {
+                   option viaB(x: B) { encode { val[1:0] = x; } }
+               }
+               nonterminal B width 2 {
+                   option viaA(x: A) { encode { val[1:0] = x; } }
+               }
+           }
+           field F { op nop() { encode { word[0] = 1; } } }"#,
+    );
+    assert_eq!(e.kind(), ErrorKind::Undefined);
+}
+
+#[test]
+fn token_param_not_assignable() {
+    let e = load_err(&with_field(
+        "op x(p: U4) { encode { word[15:12] = 0b0001; word[3:0] = p; } action { p <- 4'd1; } }",
+    ));
+    assert_eq!(e.kind(), ErrorKind::Semantic);
+    assert!(e.message().contains("token"));
+}
+
+#[test]
+fn error_positions_point_into_the_source() {
+    let src = r#"machine "m" { format { word 8; } }
+storage { register A 8; }
+field F {
+    op x() {
+        encode { word[9:0] = 10'd0; }
+    }
+}"#;
+    let e = load_err(src);
+    assert_eq!(e.kind(), ErrorKind::Encoding);
+    assert_eq!(e.pos().line, 5, "points at the offending encode line");
+}

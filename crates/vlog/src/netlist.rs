@@ -1,0 +1,599 @@
+//! Elaboration of a [`VModule`] into a word-level netlist.
+//!
+//! Nets get ids, continuous assigns become combinational nodes with
+//! explicit fan-in/fan-out, and the clocked block becomes the
+//! sequential update program. The event-driven simulator in
+//! [`crate::sim`] runs over this structure; the technology model in
+//! [`crate::tech`] costs it.
+
+use crate::ast::{LValue, VExpr, VModule, VStmt};
+use crate::VlogError;
+use bitv::BitVector;
+use std::collections::HashMap;
+
+/// Identifier of a scalar net (wire, reg, or port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+/// Identifier of a memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemId(pub usize);
+
+/// A net in the elaborated design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Declared name.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Whether it is clocked state.
+    pub is_reg: bool,
+    /// Whether it is a module input (driven by the testbench).
+    pub is_input: bool,
+}
+
+/// A memory in the elaborated design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mem {
+    /// Declared name.
+    pub name: String,
+    /// Cell width in bits.
+    pub width: u32,
+    /// Number of cells.
+    pub depth: u64,
+}
+
+/// One combinational node (a continuous assignment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombNode {
+    /// Destination net.
+    pub target: NetId,
+    /// Destination bit range.
+    pub hi: u32,
+    /// Destination low bit.
+    pub lo: u32,
+    /// The expression.
+    pub expr: VExpr,
+    /// Nets this node reads.
+    pub reads: Vec<NetId>,
+    /// Memories this node reads.
+    pub reads_mem: Vec<MemId>,
+}
+
+/// The elaborated netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    /// All nets.
+    pub nets: Vec<Net>,
+    /// All memories.
+    pub mems: Vec<Mem>,
+    /// Combinational nodes in declaration order.
+    pub comb: Vec<CombNode>,
+    /// The sequential program (the clocked block).
+    pub ff: Vec<VStmt>,
+    /// `fanout[n]` = comb node indices reading net `n`.
+    pub fanout: Vec<Vec<usize>>,
+    /// `mem_fanout[m]` = comb node indices reading memory `m`.
+    pub mem_fanout: Vec<Vec<usize>>,
+    names: HashMap<String, NetId>,
+    mem_names: HashMap<String, MemId>,
+}
+
+impl Netlist {
+    /// Elaborates a module.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VlogError`] for undeclared nets, width
+    /// inconsistencies, or conflicting drivers.
+    pub fn elaborate(module: &VModule) -> Result<Self, VlogError> {
+        let mut nets = Vec::new();
+        let mut mems = Vec::new();
+        let mut names = HashMap::new();
+        let mut mem_names = HashMap::new();
+
+        for p in &module.ports {
+            names.insert(p.name.clone(), NetId(nets.len()));
+            nets.push(Net {
+                name: p.name.clone(),
+                width: p.width,
+                is_reg: false,
+                is_input: p.dir == crate::ast::PortDir::Input,
+            });
+        }
+        for n in &module.nets {
+            if names.contains_key(&n.name) || mem_names.contains_key(&n.name) {
+                return Err(VlogError::new(format!("net `{}` declared twice", n.name)));
+            }
+            match n.depth {
+                Some(depth) => {
+                    mem_names.insert(n.name.clone(), MemId(mems.len()));
+                    mems.push(Mem { name: n.name.clone(), width: n.width, depth });
+                }
+                None => {
+                    names.insert(n.name.clone(), NetId(nets.len()));
+                    nets.push(Net {
+                        name: n.name.clone(),
+                        width: n.width,
+                        is_reg: n.is_reg,
+                        is_input: false,
+                    });
+                }
+            }
+        }
+
+        let ctx = Ctx { nets: &nets, mems: &mems, names: &names, mem_names: &mem_names };
+        let mut comb = Vec::new();
+        let mut driven: Vec<Vec<bool>> = nets.iter().map(|n| vec![false; n.width as usize]).collect();
+        for (lhs, rhs) in &module.assigns {
+            let (target, hi, lo) = ctx.resolve_lvalue_net(lhs)?;
+            let expr_w = ctx.expr_width(rhs)?;
+            if expr_w != hi - lo + 1 {
+                return Err(VlogError::new(format!(
+                    "assign to `{}`: destination is {} bits, expression is {expr_w}",
+                    lhs.name(),
+                    hi - lo + 1
+                )));
+            }
+            if nets[target.0].is_input {
+                return Err(VlogError::new(format!("cannot drive input `{}`", lhs.name())));
+            }
+            for b in lo..=hi {
+                let slot = &mut driven[target.0][b as usize];
+                if *slot {
+                    return Err(VlogError::new(format!(
+                        "bit {b} of `{}` has two drivers",
+                        lhs.name()
+                    )));
+                }
+                *slot = true;
+            }
+            let mut reads = Vec::new();
+            let mut reads_mem = Vec::new();
+            ctx.collect_reads(rhs, &mut reads, &mut reads_mem)?;
+            reads.sort_unstable();
+            reads.dedup();
+            reads_mem.sort_unstable();
+            reads_mem.dedup();
+            comb.push(CombNode { target, hi, lo, expr: rhs.clone(), reads, reads_mem });
+        }
+
+        // Validate the sequential block (width checks + name resolution).
+        for st in &module.ff {
+            ctx.check_stmt(st)?;
+        }
+
+        let mut fanout = vec![Vec::new(); nets.len()];
+        let mut mem_fanout = vec![Vec::new(); mems.len()];
+        for (i, node) in comb.iter().enumerate() {
+            for &r in &node.reads {
+                fanout[r.0].push(i);
+            }
+            for &m in &node.reads_mem {
+                mem_fanout[m.0].push(i);
+            }
+        }
+
+        Ok(Self {
+            nets,
+            mems,
+            comb,
+            ff: module.ff.clone(),
+            fanout,
+            mem_fanout,
+            names,
+            mem_names,
+        })
+    }
+
+    /// Looks up a net by name.
+    #[must_use]
+    pub fn net_id(&self, name: &str) -> Option<NetId> {
+        self.names.get(name).copied()
+    }
+
+    /// Looks up a memory by name.
+    #[must_use]
+    pub fn mem_id(&self, name: &str) -> Option<MemId> {
+        self.mem_names.get(name).copied()
+    }
+}
+
+struct Ctx<'a> {
+    nets: &'a [Net],
+    mems: &'a [Mem],
+    names: &'a HashMap<String, NetId>,
+    mem_names: &'a HashMap<String, MemId>,
+}
+
+impl Ctx<'_> {
+    fn net(&self, name: &str) -> Result<NetId, VlogError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| VlogError::new(format!("net `{name}` is not declared")))
+    }
+
+    fn resolve_lvalue_net(&self, lv: &LValue) -> Result<(NetId, u32, u32), VlogError> {
+        match lv {
+            LValue::Net(n) => {
+                let id = self.net(n)?;
+                let w = self.nets[id.0].width;
+                Ok((id, w - 1, 0))
+            }
+            LValue::Slice(n, hi, lo) => {
+                let id = self.net(n)?;
+                let w = self.nets[id.0].width;
+                if hi < lo || *hi >= w {
+                    return Err(VlogError::new(format!("slice {hi}:{lo} out of range for `{n}`")));
+                }
+                Ok((id, *hi, *lo))
+            }
+            LValue::Index(n, _) => Err(VlogError::new(format!(
+                "memory `{n}` can only be written inside the clocked block"
+            ))),
+        }
+    }
+
+    /// Computes an expression's width, validating operand widths.
+    fn expr_width(&self, e: &VExpr) -> Result<u32, VlogError> {
+        use crate::ast::{VBinOp, VUnOp};
+        match e {
+            VExpr::Net(n) => {
+                if let Some(id) = self.names.get(n) {
+                    Ok(self.nets[id.0].width)
+                } else {
+                    Err(VlogError::new(format!("net `{n}` is not declared")))
+                }
+            }
+            VExpr::Const(c) => Ok(c.width()),
+            VExpr::Index(m, a) => {
+                let id = self
+                    .mem_names
+                    .get(m)
+                    .ok_or_else(|| VlogError::new(format!("memory `{m}` is not declared")))?;
+                let _ = self.expr_width(a)?;
+                Ok(self.mems[id.0].width)
+            }
+            VExpr::Slice(n, hi, lo) => {
+                let id = self.net(n)?;
+                let w = self.nets[id.0].width;
+                if hi < lo || *hi >= w {
+                    return Err(VlogError::new(format!("slice {hi}:{lo} out of range for `{n}`")));
+                }
+                Ok(hi - lo + 1)
+            }
+            VExpr::Unary(op, a) => {
+                let w = self.expr_width(a)?;
+                Ok(match op {
+                    VUnOp::RedOr | VUnOp::LNot => 1,
+                    VUnOp::Not | VUnOp::Neg => w,
+                })
+            }
+            VExpr::Binary(op, a, b) => {
+                let wa = self.expr_width(a)?;
+                let wb = self.expr_width(b)?;
+                match op {
+                    VBinOp::Shl | VBinOp::Shr | VBinOp::AShr => Ok(wa),
+                    _ => {
+                        if wa != wb {
+                            return Err(VlogError::new(format!(
+                                "operand widths differ ({wa} vs {wb}) for `{}`",
+                                op.symbol()
+                            )));
+                        }
+                        if op.is_comparison() {
+                            Ok(1)
+                        } else {
+                            Ok(wa)
+                        }
+                    }
+                }
+            }
+            VExpr::Cond(c, t, f) => {
+                let _ = self.expr_width(c)?;
+                let wt = self.expr_width(t)?;
+                let wf = self.expr_width(f)?;
+                if wt != wf {
+                    return Err(VlogError::new(format!(
+                        "conditional arms have different widths ({wt} vs {wf})"
+                    )));
+                }
+                Ok(wt)
+            }
+            VExpr::Concat(parts) => {
+                let mut w = 0;
+                for p in parts {
+                    w += self.expr_width(p)?;
+                }
+                Ok(w)
+            }
+            VExpr::Zext(a, w) => Ok(self.expr_width(a)? + w),
+            VExpr::Sext(a, from, to) => {
+                let w = self.expr_width(a)?;
+                if w != *from || to < from {
+                    return Err(VlogError::new("inconsistent sign-extension widths"));
+                }
+                Ok(*to)
+            }
+            VExpr::Trunc(a, w) => {
+                let aw = self.expr_width(a)?;
+                if *w > aw {
+                    return Err(VlogError::new("truncation wider than operand"));
+                }
+                Ok(*w)
+            }
+        }
+    }
+
+    fn collect_reads(
+        &self,
+        e: &VExpr,
+        nets: &mut Vec<NetId>,
+        mems: &mut Vec<MemId>,
+    ) -> Result<(), VlogError> {
+        match e {
+            VExpr::Net(n) | VExpr::Slice(n, _, _) => {
+                nets.push(self.net(n)?);
+                Ok(())
+            }
+            VExpr::Const(_) => Ok(()),
+            VExpr::Index(m, a) => {
+                let id = self
+                    .mem_names
+                    .get(m)
+                    .ok_or_else(|| VlogError::new(format!("memory `{m}` is not declared")))?;
+                mems.push(*id);
+                self.collect_reads(a, nets, mems)
+            }
+            VExpr::Unary(_, a)
+            | VExpr::Zext(a, _)
+            | VExpr::Sext(a, _, _)
+            | VExpr::Trunc(a, _) => self.collect_reads(a, nets, mems),
+            VExpr::Binary(_, a, b) => {
+                self.collect_reads(a, nets, mems)?;
+                self.collect_reads(b, nets, mems)
+            }
+            VExpr::Cond(c, t, f) => {
+                self.collect_reads(c, nets, mems)?;
+                self.collect_reads(t, nets, mems)?;
+                self.collect_reads(f, nets, mems)
+            }
+            VExpr::Concat(parts) => {
+                for p in parts {
+                    self.collect_reads(p, nets, mems)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_stmt(&self, st: &VStmt) -> Result<(), VlogError> {
+        match st {
+            VStmt::NonBlocking { lhs, rhs } => {
+                let dest_w = match lhs {
+                    LValue::Net(n) => {
+                        let id = self.net(n)?;
+                        if !self.nets[id.0].is_reg {
+                            return Err(VlogError::new(format!(
+                                "clocked assignment to non-reg `{n}`"
+                            )));
+                        }
+                        self.nets[id.0].width
+                    }
+                    LValue::Slice(n, hi, lo) => {
+                        let id = self.net(n)?;
+                        if !self.nets[id.0].is_reg {
+                            return Err(VlogError::new(format!(
+                                "clocked assignment to non-reg `{n}`"
+                            )));
+                        }
+                        let w = self.nets[id.0].width;
+                        if hi < lo || *hi >= w {
+                            return Err(VlogError::new(format!(
+                                "slice {hi}:{lo} out of range for `{n}`"
+                            )));
+                        }
+                        hi - lo + 1
+                    }
+                    LValue::Index(m, a) => {
+                        let id = self
+                            .mem_names
+                            .get(m)
+                            .ok_or_else(|| VlogError::new(format!("memory `{m}` is not declared")))?;
+                        let _ = self.expr_width(a)?;
+                        self.mems[id.0].width
+                    }
+                };
+                let w = self.expr_width(rhs)?;
+                if w != dest_w {
+                    return Err(VlogError::new(format!(
+                        "clocked assignment to `{}`: {dest_w} bits vs {w}",
+                        lhs.name()
+                    )));
+                }
+                Ok(())
+            }
+            VStmt::If { cond, then_body, else_body } => {
+                let _ = self.expr_width(cond)?;
+                for s in then_body.iter().chain(else_body) {
+                    self.check_stmt(s)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Evaluates an expression against net values and memories.
+///
+/// Division by zero follows the bit-true convention used across the
+/// suite: quotient all-ones, remainder = dividend.
+#[must_use]
+pub fn eval_expr(
+    e: &VExpr,
+    netlist: &Netlist,
+    values: &[BitVector],
+    mems: &[Vec<BitVector>],
+) -> BitVector {
+    use crate::ast::{VBinOp, VUnOp};
+    match e {
+        VExpr::Net(n) => values[netlist.net_id(n).expect("validated net").0].clone(),
+        VExpr::Const(c) => c.clone(),
+        VExpr::Index(m, a) => {
+            let mid = netlist.mem_id(m).expect("validated memory");
+            let addr = eval_expr(a, netlist, values, mems).to_u64_lossy();
+            let depth = netlist.mems[mid.0].depth;
+            mems[mid.0][(addr % depth) as usize].clone()
+        }
+        VExpr::Slice(n, hi, lo) => {
+            values[netlist.net_id(n).expect("validated net").0].slice(*hi, *lo)
+        }
+        VExpr::Unary(op, a) => {
+            let v = eval_expr(a, netlist, values, mems);
+            match op {
+                VUnOp::Not => v.not(),
+                VUnOp::Neg => v.wrapping_neg(),
+                VUnOp::RedOr => BitVector::from_bool(!v.is_zero()),
+                VUnOp::LNot => BitVector::from_bool(v.is_zero()),
+            }
+        }
+        VExpr::Binary(op, a, b) => {
+            let x = eval_expr(a, netlist, values, mems);
+            let y = eval_expr(b, netlist, values, mems);
+            let amount = || u32::try_from(y.to_u64_lossy().min(u64::from(u32::MAX))).expect("clamped");
+            match op {
+                VBinOp::Add => x.wrapping_add(&y),
+                VBinOp::Sub => x.wrapping_sub(&y),
+                VBinOp::Mul => x.wrapping_mul(&y),
+                VBinOp::Div => x.unsigned_div(&y),
+                VBinOp::Mod => x.unsigned_rem(&y),
+                VBinOp::SDiv => x.signed_div(&y),
+                VBinOp::SRem => x.signed_rem(&y),
+                VBinOp::And => x.and(&y),
+                VBinOp::Or => x.or(&y),
+                VBinOp::Xor => x.xor(&y),
+                VBinOp::Shl => x.shl(amount()),
+                VBinOp::Shr => x.lshr(amount()),
+                VBinOp::AShr => x.ashr(amount()),
+                VBinOp::Eq => BitVector::from_bool(x == y),
+                VBinOp::Ne => BitVector::from_bool(x != y),
+                VBinOp::Lt => BitVector::from_bool(x.cmp_unsigned(&y).is_lt()),
+                VBinOp::Le => BitVector::from_bool(x.cmp_unsigned(&y).is_le()),
+                VBinOp::SLt => BitVector::from_bool(x.cmp_signed(&y).is_lt()),
+                VBinOp::SLe => BitVector::from_bool(x.cmp_signed(&y).is_le()),
+            }
+        }
+        VExpr::Cond(c, t, f) => {
+            if eval_expr(c, netlist, values, mems).is_zero() {
+                eval_expr(f, netlist, values, mems)
+            } else {
+                eval_expr(t, netlist, values, mems)
+            }
+        }
+        VExpr::Concat(parts) => {
+            let mut it = parts.iter();
+            let mut acc = eval_expr(it.next().expect("non-empty concat"), netlist, values, mems);
+            for p in it {
+                acc = acc.concat(&eval_expr(p, netlist, values, mems));
+            }
+            acc
+        }
+        VExpr::Zext(a, w) => {
+            let v = eval_expr(a, netlist, values, mems);
+            let total = v.width() + w;
+            v.zext(total)
+        }
+        VExpr::Sext(a, _, to) => eval_expr(a, netlist, values, mems).sext(*to),
+        VExpr::Trunc(a, w) => eval_expr(a, netlist, values, mems).trunc(*w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    #[test]
+    fn elaborate_counter() {
+        let mut m = VModule::new("c");
+        m.add_reg("count", 4);
+        m.add_output("out", 4);
+        m.assign(LValue::net("out"), VExpr::net("count"));
+        m.always_ff(vec![VStmt::NonBlocking {
+            lhs: LValue::net("count"),
+            rhs: VExpr::binary(VBinOp::Add, VExpr::net("count"), VExpr::const_u64(1, 4)),
+        }]);
+        let nl = Netlist::elaborate(&m).expect("elaborates");
+        assert_eq!(nl.nets.len(), 2);
+        assert_eq!(nl.comb.len(), 1);
+        let count = nl.net_id("count").expect("count");
+        assert_eq!(nl.fanout[count.0], vec![0]);
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let mut m = VModule::new("m");
+        m.add_wire("w", 4);
+        m.assign(LValue::net("w"), VExpr::const_u64(1, 4));
+        m.assign(LValue::Slice("w".into(), 1, 0), VExpr::const_u64(1, 2));
+        assert!(Netlist::elaborate(&m).is_err());
+    }
+
+    #[test]
+    fn disjoint_slice_drivers_allowed() {
+        let mut m = VModule::new("m");
+        m.add_wire("w", 4);
+        m.assign(LValue::Slice("w".into(), 3, 2), VExpr::const_u64(1, 2));
+        m.assign(LValue::Slice("w".into(), 1, 0), VExpr::const_u64(2, 2));
+        assert!(Netlist::elaborate(&m).is_ok());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut m = VModule::new("m");
+        m.add_wire("w", 4);
+        m.assign(LValue::net("w"), VExpr::const_u64(1, 8));
+        assert!(Netlist::elaborate(&m).is_err());
+    }
+
+    #[test]
+    fn undeclared_net_rejected() {
+        let mut m = VModule::new("m");
+        m.add_wire("w", 4);
+        m.assign(LValue::net("w"), VExpr::net("ghost"));
+        assert!(Netlist::elaborate(&m).is_err());
+    }
+
+    #[test]
+    fn driving_input_rejected() {
+        let mut m = VModule::new("m");
+        m.add_input("i", 4);
+        m.assign(LValue::net("i"), VExpr::const_u64(0, 4));
+        assert!(Netlist::elaborate(&m).is_err());
+    }
+
+    #[test]
+    fn clocked_write_to_wire_rejected() {
+        let mut m = VModule::new("m");
+        m.add_wire("w", 4);
+        m.always_ff(vec![VStmt::NonBlocking {
+            lhs: LValue::net("w"),
+            rhs: VExpr::const_u64(0, 4),
+        }]);
+        assert!(Netlist::elaborate(&m).is_err());
+    }
+
+    #[test]
+    fn memory_read_tracks_fanout() {
+        let mut m = VModule::new("m");
+        m.add_memory("ram", 8, 16);
+        m.add_wire("addr", 4);
+        m.add_wire("q", 8);
+        m.assign(LValue::net("addr"), VExpr::const_u64(3, 4));
+        m.assign(LValue::net("q"), VExpr::Index("ram".into(), Box::new(VExpr::net("addr"))));
+        let nl = Netlist::elaborate(&m).expect("elaborates");
+        let ram = nl.mem_id("ram").expect("ram");
+        assert_eq!(nl.mem_fanout[ram.0], vec![1]);
+    }
+}

@@ -1,0 +1,433 @@
+//! Technology cost model and static timing — the Synopsys / LSI 10K
+//! stand-in behind Table 2 of the paper.
+//!
+//! Every word-level operator in a module is mapped to gate-equivalent
+//! area and a propagation delay drawn from an LSI-10K-flavoured
+//! library (old 1.0 µm-class gate arrays: ~1 ns per gate level, ~3
+//! grid cells per gate equivalent). Static timing then computes the
+//! longest register-to-register path, giving the achievable cycle
+//! length; area and a simple dynamic-power proxy complete the report.
+//!
+//! The constants are fixed, documented approximations — absolute
+//! numbers will not match a real silicon compiler, but *relative*
+//! comparisons (SPAM vs SPAM2, sharing on vs off) behave the way the
+//! paper's flow does, which is what architecture exploration needs.
+
+use crate::ast::{LValue, VBinOp, VExpr, VModule, VStmt, VUnOp};
+use crate::netlist::Netlist;
+use crate::VlogError;
+use std::collections::HashMap;
+
+/// Grid cells per gate equivalent (LSI 10K-style gate array).
+const CELLS_PER_GE: f64 = 3.0;
+/// Delay of one basic gate level, ns.
+const GATE_NS: f64 = 1.0;
+/// Flip-flop clock-to-Q delay, ns.
+const CLK_Q_NS: f64 = 1.2;
+/// Flip-flop setup time, ns.
+const SETUP_NS: f64 = 0.8;
+/// Gate equivalents per flip-flop bit.
+const FF_GE: f64 = 6.0;
+/// Gate equivalents per RAM bit (denser than random logic).
+const RAM_BIT_GE: f64 = 1.2;
+/// Dynamic power coefficient, mW per grid cell per GHz.
+const POWER_MW_PER_CELL_GHZ: f64 = 0.006;
+
+fn log2c(v: u64) -> f64 {
+    (v.max(2) as f64).log2().ceil()
+}
+
+/// Synthesis-style report for one module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechReport {
+    /// Total die size estimate in grid cells.
+    pub area_cells: f64,
+    /// Area by category (combinational, registers, memories).
+    pub area_breakdown: HashMap<String, f64>,
+    /// Longest register-to-register combinational path, ns.
+    pub critical_path_ns: f64,
+    /// Achievable cycle length (critical path + setup), ns.
+    pub cycle_ns: f64,
+    /// Total state bits in flip-flops.
+    pub ff_bits: u64,
+    /// Total memory bits.
+    pub mem_bits: u64,
+    /// Dynamic power estimate at the maximum frequency, mW.
+    pub power_mw: f64,
+}
+
+/// Runs area, timing and power analysis over a module.
+///
+/// # Errors
+///
+/// Fails if the module does not elaborate or timing does not converge
+/// (combinational loop).
+pub fn analyze(module: &VModule) -> Result<TechReport, VlogError> {
+    let netlist = Netlist::elaborate(module)?;
+
+    // ---- area ----
+    let mut comb_ge = 0.0;
+    for node in &netlist.comb {
+        comb_ge += expr_area_ge(&node.expr, &netlist);
+    }
+    let mut ff_ge = 0.0;
+    let mut ff_bits = 0u64;
+    for n in &netlist.nets {
+        if n.is_reg {
+            ff_bits += u64::from(n.width);
+            ff_ge += f64::from(n.width) * FF_GE;
+        }
+    }
+    for st in &netlist.ff {
+        comb_ge += stmt_area_ge(st, &netlist);
+    }
+    let mut mem_ge = 0.0;
+    let mut mem_bits = 0u64;
+    for m in &netlist.mems {
+        let bits = u64::from(m.width) * m.depth;
+        mem_bits += bits;
+        mem_ge += bits as f64 * RAM_BIT_GE + m.depth as f64 * 0.2;
+    }
+    let mut area_breakdown = HashMap::new();
+    area_breakdown.insert("combinational".to_owned(), comb_ge * CELLS_PER_GE);
+    area_breakdown.insert("registers".to_owned(), ff_ge * CELLS_PER_GE);
+    area_breakdown.insert("memories".to_owned(), mem_ge * CELLS_PER_GE);
+    let area_cells = (comb_ge + ff_ge + mem_ge) * CELLS_PER_GE;
+
+    // ---- timing ----
+    // Arrival-time relaxation over the combinational graph.
+    let mut arrivals: Vec<f64> = netlist
+        .nets
+        .iter()
+        .map(|n| if n.is_reg { CLK_Q_NS } else { 0.0 })
+        .collect();
+    let node_count = netlist.comb.len();
+    let mut changed = true;
+    let mut sweeps = 0usize;
+    while changed {
+        changed = false;
+        sweeps += 1;
+        if sweeps > node_count + 2 {
+            return Err(VlogError::new("timing analysis did not converge (combinational loop?)"));
+        }
+        for node in &netlist.comb {
+            let t = expr_delay_ns(&node.expr, &netlist, &arrivals);
+            if t > arrivals[node.target.0] + 1e-12 {
+                arrivals[node.target.0] = t;
+                changed = true;
+            }
+        }
+    }
+    // Paths end at flip-flop / memory-write inputs and module outputs.
+    let mut worst: f64 = 0.0;
+    for st in &netlist.ff {
+        worst = worst.max(stmt_delay_ns(st, &netlist, &arrivals, 0.0));
+    }
+    for n in &netlist.nets {
+        if !n.is_reg && !n.is_input {
+            if let Some(id) = netlist.net_id(&n.name) {
+                worst = worst.max(arrivals[id.0]);
+            }
+        }
+    }
+    let critical_path_ns = worst;
+    let cycle_ns = critical_path_ns + SETUP_NS;
+    let ghz = if cycle_ns > 0.0 { 1.0 / cycle_ns } else { 0.0 };
+    let power_mw = area_cells * ghz * POWER_MW_PER_CELL_GHZ;
+
+    Ok(TechReport {
+        area_cells,
+        area_breakdown,
+        critical_path_ns,
+        cycle_ns,
+        ff_bits,
+        mem_bits,
+        power_mw,
+    })
+}
+
+/// Gate-equivalent area of one expression tree.
+fn expr_area_ge(e: &VExpr, nl: &Netlist) -> f64 {
+    let w = |x: &VExpr| expr_width(x, nl);
+    match e {
+        VExpr::Net(_) | VExpr::Const(_) | VExpr::Slice(_, _, _) => 0.0,
+        VExpr::Index(m, a) => {
+            // Each read-port instance costs sense/mux wiring plus an
+            // address decoder — ports dominate multi-ported register
+            // files, which is why sharing them matters.
+            let (width, depth) = nl
+                .mem_id(m)
+                .map(|id| (f64::from(nl.mems[id.0].width), nl.mems[id.0].depth))
+                .unwrap_or((1.0, 2));
+            expr_area_ge(a, nl) + width * 2.0 + log2c(depth) * depth as f64 * 0.05
+        }
+        VExpr::Unary(op, a) => {
+            let aw = f64::from(w(a));
+            expr_area_ge(a, nl)
+                + match op {
+                    VUnOp::Not => aw,
+                    VUnOp::Neg => aw * 5.0,
+                    VUnOp::RedOr => aw,
+                    VUnOp::LNot => aw + 1.0,
+                }
+        }
+        VExpr::Binary(op, a, b) => {
+            let aw = f64::from(w(a));
+            expr_area_ge(a, nl)
+                + expr_area_ge(b, nl)
+                + match op {
+                    VBinOp::Add | VBinOp::Sub => aw * 5.0,
+                    VBinOp::Mul => aw * aw * 4.0,
+                    VBinOp::Div | VBinOp::Mod | VBinOp::SDiv | VBinOp::SRem => aw * aw * 6.0,
+                    VBinOp::And | VBinOp::Or | VBinOp::Xor => aw,
+                    VBinOp::Shl | VBinOp::Shr | VBinOp::AShr => {
+                        if matches!(b.as_ref(), VExpr::Const(_)) {
+                            0.0 // constant shift is wiring
+                        } else {
+                            aw * log2c(u64::from(w(a))) * 1.8
+                        }
+                    }
+                    VBinOp::Eq | VBinOp::Ne => aw * 1.3,
+                    VBinOp::Lt | VBinOp::Le | VBinOp::SLt | VBinOp::SLe => aw * 5.0,
+                }
+        }
+        VExpr::Cond(c, t, f) => {
+            let tw = f64::from(w(t));
+            expr_area_ge(c, nl) + expr_area_ge(t, nl) + expr_area_ge(f, nl) + tw * 1.8
+        }
+        VExpr::Concat(parts) => parts.iter().map(|p| expr_area_ge(p, nl)).sum(),
+        VExpr::Zext(a, _) | VExpr::Sext(a, _, _) | VExpr::Trunc(a, _) => expr_area_ge(a, nl),
+    }
+}
+
+fn stmt_area_ge(st: &VStmt, nl: &Netlist) -> f64 {
+    match st {
+        VStmt::NonBlocking { lhs, rhs } => {
+            // A memory write port costs like a read port.
+            let addr = match lhs {
+                LValue::Index(m, a) => {
+                    let (width, depth) = nl
+                        .mem_id(m)
+                        .map(|id| (f64::from(nl.mems[id.0].width), nl.mems[id.0].depth))
+                        .unwrap_or((1.0, 2));
+                    expr_area_ge(a, nl) + width * 2.0 + log2c(depth) * depth as f64 * 0.05
+                }
+                _ => 0.0,
+            };
+            addr + expr_area_ge(rhs, nl)
+        }
+        VStmt::If { cond, then_body, else_body } => {
+            // The condition gates write enables; each guarded
+            // destination costs one enable mux per bit, approximated by
+            // the bodies' own expression areas plus the condition once.
+            expr_area_ge(cond, nl)
+                + then_body.iter().map(|s| stmt_area_ge(s, nl)).sum::<f64>()
+                + else_body.iter().map(|s| stmt_area_ge(s, nl)).sum::<f64>()
+        }
+    }
+}
+
+/// Propagation delay of an expression given leaf arrival times.
+fn expr_delay_ns(e: &VExpr, nl: &Netlist, arrivals: &[f64]) -> f64 {
+    let w = |x: &VExpr| u64::from(expr_width(x, nl));
+    match e {
+        VExpr::Net(n) | VExpr::Slice(n, _, _) => {
+            nl.net_id(n).map_or(0.0, |id| arrivals[id.0])
+        }
+        VExpr::Const(_) => 0.0,
+        VExpr::Index(m, a) => {
+            let mid = nl.mem_id(m).expect("validated memory");
+            let depth = nl.mems[mid.0].depth;
+            let addr_t = expr_delay_ns(a, nl, arrivals).max(CLK_Q_NS);
+            addr_t + 3.0 * GATE_NS + 0.2 * log2c(depth)
+        }
+        VExpr::Unary(op, a) => {
+            let at = expr_delay_ns(a, nl, arrivals);
+            at + match op {
+                VUnOp::Not => GATE_NS,
+                VUnOp::Neg => (2.0 + 2.0 * log2c(w(a))) * GATE_NS,
+                VUnOp::RedOr | VUnOp::LNot => log2c(w(a)) * GATE_NS,
+            }
+        }
+        VExpr::Binary(op, a, b) => {
+            let t = expr_delay_ns(a, nl, arrivals).max(expr_delay_ns(b, nl, arrivals));
+            let aw = w(a);
+            t + match op {
+                // Carry-lookahead style adders.
+                VBinOp::Add | VBinOp::Sub => (2.0 + 2.0 * log2c(aw)) * GATE_NS,
+                VBinOp::Mul => (4.0 * log2c(aw) + 6.0) * GATE_NS,
+                VBinOp::Div | VBinOp::Mod | VBinOp::SDiv | VBinOp::SRem => {
+                    3.0 * aw as f64 * GATE_NS
+                }
+                VBinOp::And | VBinOp::Or | VBinOp::Xor => GATE_NS,
+                VBinOp::Shl | VBinOp::Shr | VBinOp::AShr => {
+                    if matches!(b.as_ref(), VExpr::Const(_)) {
+                        0.0
+                    } else {
+                        log2c(aw) * 1.2 * GATE_NS
+                    }
+                }
+                VBinOp::Eq | VBinOp::Ne => (1.0 + log2c(aw)) * GATE_NS,
+                VBinOp::Lt | VBinOp::Le | VBinOp::SLt | VBinOp::SLe => {
+                    (2.0 + 2.0 * log2c(aw)) * GATE_NS
+                }
+            }
+        }
+        VExpr::Cond(c, t, f) => {
+            let ct = expr_delay_ns(c, nl, arrivals);
+            let tt = expr_delay_ns(t, nl, arrivals);
+            let ft = expr_delay_ns(f, nl, arrivals);
+            ct.max(tt).max(ft) + 1.2 * GATE_NS
+        }
+        VExpr::Concat(parts) => parts
+            .iter()
+            .map(|p| expr_delay_ns(p, nl, arrivals))
+            .fold(0.0, f64::max),
+        VExpr::Zext(a, _) | VExpr::Sext(a, _, _) | VExpr::Trunc(a, _) => {
+            expr_delay_ns(a, nl, arrivals)
+        }
+    }
+}
+
+fn stmt_delay_ns(st: &VStmt, nl: &Netlist, arrivals: &[f64], guard_t: f64) -> f64 {
+    match st {
+        VStmt::NonBlocking { lhs, rhs } => {
+            let addr_t = match lhs {
+                LValue::Index(_, a) => expr_delay_ns(a, nl, arrivals),
+                _ => 0.0,
+            };
+            expr_delay_ns(rhs, nl, arrivals).max(addr_t).max(guard_t)
+        }
+        VStmt::If { cond, then_body, else_body } => {
+            let g = guard_t.max(expr_delay_ns(cond, nl, arrivals) + GATE_NS);
+            then_body
+                .iter()
+                .chain(else_body)
+                .map(|s| stmt_delay_ns(s, nl, arrivals, g))
+                .fold(g, f64::max)
+        }
+    }
+}
+
+/// Width of an expression (the module is assumed validated, so the
+/// recursion mirrors the elaboration rules).
+fn expr_width(e: &VExpr, nl: &Netlist) -> u32 {
+    match e {
+        VExpr::Net(n) => nl.net_id(n).map_or(1, |id| nl.nets[id.0].width),
+        VExpr::Const(c) => c.width(),
+        VExpr::Index(m, _) => nl.mem_id(m).map_or(1, |id| nl.mems[id.0].width),
+        VExpr::Slice(_, hi, lo) => hi - lo + 1,
+        VExpr::Unary(op, a) => match op {
+            VUnOp::RedOr | VUnOp::LNot => 1,
+            _ => expr_width(a, nl),
+        },
+        VExpr::Binary(op, a, _) => {
+            if op.is_comparison() {
+                1
+            } else {
+                expr_width(a, nl)
+            }
+        }
+        VExpr::Cond(_, t, _) => expr_width(t, nl),
+        VExpr::Concat(parts) => parts.iter().map(|p| expr_width(p, nl)).sum(),
+        VExpr::Zext(a, w) => expr_width(a, nl) + w,
+        VExpr::Sext(_, _, to) => *to,
+        VExpr::Trunc(_, w) => *w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn adder(width: u32) -> VModule {
+        let mut m = VModule::new("adder");
+        m.add_input("a", width);
+        m.add_input("b", width);
+        m.add_reg("sum", width);
+        m.always_ff(vec![VStmt::NonBlocking {
+            lhs: LValue::net("sum"),
+            rhs: VExpr::binary(VBinOp::Add, VExpr::net("a"), VExpr::net("b")),
+        }]);
+        m
+    }
+
+    #[test]
+    fn adder_report_is_sane() {
+        let r = analyze(&adder(16)).expect("analyzes");
+        assert!(r.area_cells > 0.0);
+        assert_eq!(r.ff_bits, 16);
+        assert_eq!(r.mem_bits, 0);
+        assert!(r.cycle_ns > r.critical_path_ns);
+        assert!(r.power_mw > 0.0);
+    }
+
+    #[test]
+    fn wider_adders_cost_more_area() {
+        let a8 = analyze(&adder(8)).expect("analyzes");
+        let a32 = analyze(&adder(32)).expect("analyzes");
+        assert!(a32.area_cells > a8.area_cells);
+        assert!(a32.cycle_ns >= a8.cycle_ns, "log-depth adders grow slowly");
+    }
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        let mut m = VModule::new("mul");
+        m.add_input("a", 16);
+        m.add_input("b", 16);
+        m.add_reg("p", 16);
+        m.always_ff(vec![VStmt::NonBlocking {
+            lhs: LValue::net("p"),
+            rhs: VExpr::binary(VBinOp::Mul, VExpr::net("a"), VExpr::net("b")),
+        }]);
+        let mul = analyze(&m).expect("analyzes");
+        let add = analyze(&adder(16)).expect("analyzes");
+        assert!(mul.area_cells > 4.0 * add.area_cells);
+        assert!(mul.critical_path_ns > add.critical_path_ns);
+    }
+
+    #[test]
+    fn chained_logic_lengthens_critical_path() {
+        let mut m = VModule::new("chain");
+        m.add_input("a", 8);
+        m.add_wire("x", 8);
+        m.add_wire("y", 8);
+        m.add_reg("r", 8);
+        m.assign(LValue::net("x"), VExpr::binary(VBinOp::Add, VExpr::net("a"), VExpr::const_u64(1, 8)));
+        m.assign(LValue::net("y"), VExpr::binary(VBinOp::Add, VExpr::net("x"), VExpr::net("a")));
+        m.always_ff(vec![VStmt::NonBlocking { lhs: LValue::net("r"), rhs: VExpr::net("y") }]);
+        let two = analyze(&m).expect("analyzes");
+        let one = analyze(&adder(8)).expect("analyzes");
+        assert!(two.critical_path_ns > one.critical_path_ns);
+    }
+
+    #[test]
+    fn memory_bits_counted() {
+        let mut m = VModule::new("ram");
+        m.add_memory("ram", 16, 256);
+        m.add_input("addr", 8);
+        m.add_wire("q", 16);
+        m.assign(LValue::net("q"), VExpr::Index("ram".into(), Box::new(VExpr::net("addr"))));
+        let r = analyze(&m).expect("analyzes");
+        assert_eq!(r.mem_bits, 4096);
+        assert!(r.area_breakdown["memories"] > 0.0);
+    }
+
+    #[test]
+    fn constant_shift_is_free() {
+        let build = |dynamic: bool| {
+            let mut m = VModule::new("sh");
+            m.add_input("a", 16);
+            m.add_input("s", 16);
+            m.add_wire("q", 16);
+            let amount = if dynamic { VExpr::net("s") } else { VExpr::const_u64(3, 16) };
+            m.assign(LValue::net("q"), VExpr::binary(VBinOp::Shl, VExpr::net("a"), amount));
+            analyze(&m).expect("analyzes")
+        };
+        let fixed = build(false);
+        let dynamic = build(true);
+        assert!(dynamic.area_cells > fixed.area_cells);
+        assert!(dynamic.critical_path_ns > fixed.critical_path_ns);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based test: evaluating a random expression tree through
+//! the elaborated netlist must match direct `BitVector` computation —
+//! the netlist simulator and the bit-true reference semantics may
+//! never drift apart.
+
+use bitv::BitVector;
+use proptest::prelude::*;
+use vlog::ast::{LValue, VBinOp, VExpr, VModule, VUnOp};
+use vlog::sim::NetlistSim;
+
+/// A recipe for one expression node over two 8-bit inputs.
+#[derive(Debug, Clone)]
+enum Node {
+    A,
+    B,
+    Const(u8),
+    Bin(VBinOp, Box<Node>, Box<Node>),
+    Un(VUnOp, Box<Node>),
+    Cond(Box<Node>, Box<Node>, Box<Node>),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        Just(Node::A),
+        Just(Node::B),
+        any::<u8>().prop_map(Node::Const),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        let bin_ops = prop_oneof![
+            Just(VBinOp::Add),
+            Just(VBinOp::Sub),
+            Just(VBinOp::Mul),
+            Just(VBinOp::Div),
+            Just(VBinOp::Mod),
+            Just(VBinOp::SDiv),
+            Just(VBinOp::SRem),
+            Just(VBinOp::And),
+            Just(VBinOp::Or),
+            Just(VBinOp::Xor),
+            Just(VBinOp::Shl),
+            Just(VBinOp::Shr),
+            Just(VBinOp::AShr),
+        ];
+        let un_ops = prop_oneof![Just(VUnOp::Not), Just(VUnOp::Neg)];
+        prop_oneof![
+            (bin_ops, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Node::Bin(op, Box::new(a), Box::new(b))),
+            (un_ops, inner.clone()).prop_map(|(op, a)| Node::Un(op, Box::new(a))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| Node::Cond(Box::new(c), Box::new(t), Box::new(f))),
+        ]
+    })
+}
+
+fn to_vexpr(n: &Node) -> VExpr {
+    match n {
+        Node::A => VExpr::net("a"),
+        Node::B => VExpr::net("b"),
+        Node::Const(c) => VExpr::const_u64(u64::from(*c), 8),
+        Node::Bin(op, x, y) => VExpr::binary(*op, to_vexpr(x), to_vexpr(y)),
+        Node::Un(op, x) => VExpr::unary(*op, to_vexpr(x)),
+        Node::Cond(c, t, f) => VExpr::cond(
+            VExpr::unary(VUnOp::RedOr, to_vexpr(c)),
+            to_vexpr(t),
+            to_vexpr(f),
+        ),
+    }
+}
+
+/// Direct reference evaluation with `BitVector` semantics.
+fn reference(n: &Node, a: &BitVector, b: &BitVector) -> BitVector {
+    match n {
+        Node::A => a.clone(),
+        Node::B => b.clone(),
+        Node::Const(c) => BitVector::from_u64(u64::from(*c), 8),
+        Node::Bin(op, x, y) => {
+            let l = reference(x, a, b);
+            let r = reference(y, a, b);
+            let amount =
+                || u32::try_from(r.to_u64_lossy().min(u64::from(u32::MAX))).expect("clamped");
+            match op {
+                VBinOp::Add => l.wrapping_add(&r),
+                VBinOp::Sub => l.wrapping_sub(&r),
+                VBinOp::Mul => l.wrapping_mul(&r),
+                VBinOp::Div => l.unsigned_div(&r),
+                VBinOp::Mod => l.unsigned_rem(&r),
+                VBinOp::SDiv => l.signed_div(&r),
+                VBinOp::SRem => l.signed_rem(&r),
+                VBinOp::And => l.and(&r),
+                VBinOp::Or => l.or(&r),
+                VBinOp::Xor => l.xor(&r),
+                VBinOp::Shl => l.shl(amount()),
+                VBinOp::Shr => l.lshr(amount()),
+                VBinOp::AShr => l.ashr(amount()),
+                _ => unreachable!("strategy emits arithmetic ops only"),
+            }
+        }
+        Node::Un(op, x) => {
+            let v = reference(x, a, b);
+            match op {
+                VUnOp::Not => v.not(),
+                VUnOp::Neg => v.wrapping_neg(),
+                _ => unreachable!("strategy emits ~ and - only"),
+            }
+        }
+        Node::Cond(c, t, f) => {
+            if reference(c, a, b).is_zero() {
+                reference(f, a, b)
+            } else {
+                reference(t, a, b)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn netlist_evaluation_matches_bitvector_reference(
+        n in node_strategy(),
+        a in any::<u8>(),
+        b in any::<u8>(),
+    ) {
+        let mut m = VModule::new("m");
+        m.add_input("a", 8);
+        m.add_input("b", 8);
+        m.add_wire("y", 8);
+        m.assign(LValue::net("y"), to_vexpr(&n));
+        let mut sim = NetlistSim::elaborate(&m).expect("random trees elaborate");
+        let av = BitVector::from_u64(u64::from(a), 8);
+        let bv = BitVector::from_u64(u64::from(b), 8);
+        sim.poke("a", av.clone()).expect("pokes");
+        sim.poke("b", bv.clone()).expect("pokes");
+        let expect = reference(&n, &av, &bv);
+        prop_assert_eq!(sim.peek("y"), &expect, "tree: {:?}", n);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for assembly and disassembly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while assembling source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line (0 if not line-specific).
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl AsmError {
+    /// Creates an error at the given line.
+    #[must_use]
+    pub fn new(line: u32, msg: impl Into<String>) -> Self {
+        Self { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.msg)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Error produced while disassembling a binary word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisasmError {
+    /// No operation signature of some field matched the word — an
+    /// illegal instruction (Figure 4's `ILLEGAL INSTRUCTION` outcome).
+    IllegalInstruction {
+        /// The field whose match failed.
+        field: String,
+        /// Word address of the instruction.
+        addr: u64,
+    },
+    /// The word stream ended before a multi-word operation completed.
+    Truncated {
+        /// Word address of the instruction.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for DisasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IllegalInstruction { field, addr } => {
+                write!(f, "illegal instruction at word {addr:#x}: no operation of field `{field}` matches")
+            }
+            Self::Truncated { addr } => {
+                write!(f, "truncated instruction at word {addr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for DisasmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asm_error_display() {
+        assert!(AsmError::new(3, "bad operand").to_string().contains("line 3"));
+        assert!(!AsmError::new(0, "global").to_string().contains("line"));
+    }
+
+    #[test]
+    fn disasm_error_display() {
+        let e = DisasmError::IllegalInstruction { field: "ALU".into(), addr: 16 };
+        assert!(e.to_string().contains("0x10"));
+        assert!(e.to_string().contains("ALU"));
+    }
+}

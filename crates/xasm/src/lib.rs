@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Retargetable assembler and disassembler generated from ISDL.
+//!
+//! The paper's flow (Figure 1) feeds application code through a
+//! retargetable assembler into the XSIM simulator, and the simulator
+//! itself contains a built-in disassembler that reverses the assembly
+//! function *off-line* at program-load time (§3.3.2). Both directions
+//! are driven entirely by the ISDL description:
+//!
+//! * [`Assembler`] parses a VLIW assembly dialect, resolves labels,
+//!   checks the description's constraints on every instruction, and
+//!   encodes operations through their bitfield assignments.
+//! * [`Disassembler`] implements the signature-matching algorithm of
+//!   Figure 4: it matches the constant part of each operation signature
+//!   against the instruction word (unique by the decodability checks),
+//!   then symbolically reverses the parameter encodings, recursing
+//!   through non-terminals.
+//!
+//! # Assembly dialect
+//!
+//! ```text
+//! ; comment                 -- `;`, `//` and `#` all start comments
+//! loop:                     -- labels
+//!     add R1, R2, reg(R3) | mv R4, R5   -- one op per field, `|`-separated
+//!     li  R1, 0x2A                      -- omitted fields take their `nop`
+//!     jz  loop                          -- labels as immediate operands
+//! .org 0x10                 -- set the location counter (word address)
+//! .word 0xDEADBEEF          -- raw data word
+//! ```
+//!
+//! Non-terminal operands are written `option(args…)`, e.g. `reg(R3)` or
+//! `ind(R2)` for an addressing-mode non-terminal.
+//!
+//! # Examples
+//!
+//! ```
+//! use xasm::Assembler;
+//!
+//! let machine = isdl::load(isdl::samples::TOY)?;
+//! let program = Assembler::new(&machine).assemble(
+//!     "start: li R1, 5\n       add R2, R1, reg(R1) | mv R3, R1\n",
+//! )?;
+//! assert_eq!(program.words.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod assemble;
+mod disasm;
+mod error;
+
+pub use assemble::{Assembler, Program};
+pub use disasm::{DecodedInstr, DecodedOp, Disassembler, Operand};
+pub use error::{AsmError, DisasmError};

@@ -1,0 +1,117 @@
+//! Property-based round-trip: for random operand values, assembling an
+//! operation and disassembling the resulting word must recover exactly
+//! the operation and operands (the reversibility the paper's Axiom 1
+//! guarantees), and the formatted text must re-assemble to the same
+//! word.
+
+use bitv::BitVector;
+use isdl::samples::{SPAM, TOY};
+use proptest::prelude::*;
+use xasm::{Assembler, Disassembler};
+
+/// Builds a random TOY instruction line from operand choices.
+fn toy_line(op: usize, regs: [u8; 3], imm: u8, mode: bool, target: u16) -> String {
+    let (d, a, b) = (regs[0] % 8, regs[1] % 8, regs[2] % 8);
+    let src = if mode { format!("ind(R{b})") } else { format!("reg(R{b})") };
+    match op % 8 {
+        0 => format!("add R{d}, R{a}, {src}"),
+        1 => format!("sub R{d}, R{a}, {src}"),
+        2 => format!("and R{d}, R{a}, {src}"),
+        3 => format!("xor R{d}, R{a}, {src}"),
+        4 => format!("li R{d}, {imm}"),
+        5 => format!("st {imm}, R{a}"),
+        6 => format!("jmp {}", target % 1024),
+        _ => format!("mac R{a}, R{b}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn toy_assemble_disassemble_format_reassemble(
+        op in 0usize..8,
+        regs in proptest::array::uniform3(0u8..8),
+        imm in 0u8..=255,
+        mode in any::<bool>(),
+        target in 0u16..1024,
+        parallel_mv in any::<bool>(),
+        mv_regs in proptest::array::uniform2(0u8..8),
+    ) {
+        let machine = isdl::load(TOY).expect("loads");
+        let asm = Assembler::new(&machine);
+        let d = Disassembler::new(&machine);
+
+        let mut line = toy_line(op, regs, imm, mode, target);
+        if parallel_mv {
+            line.push_str(&format!(" | mv R{}, R{}", mv_regs[0], mv_regs[1]));
+        }
+        let program = asm.assemble(&line).expect("assembles");
+        prop_assert_eq!(program.words.len(), 1);
+
+        // Decode and re-format.
+        let instr = d.decode(&program.words, 0).expect("decodes");
+        let text = d.format_instr(&instr);
+
+        // The formatted text re-assembles to the identical word.
+        let again = asm.assemble(&text).expect("formatted text assembles");
+        prop_assert_eq!(&again.words[0], &program.words[0], "line `{}` -> `{}`", line, text);
+    }
+
+    #[test]
+    fn spam_signature_apply_extract_roundtrip(
+        field in 0usize..7,
+        opi in 0usize..12,
+        raw in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let machine = isdl::load(SPAM).expect("loads");
+        let field = field % machine.fields.len();
+        let opi = opi % machine.fields[field].ops.len();
+        let op = &machine.fields[field].ops[opi];
+        let d = Disassembler::new(&machine);
+        let r = isdl::model::OpRef { field: isdl::model::FieldId(field), op: opi };
+        let sig = d.signature(r);
+
+        // Random parameter values of the right widths.
+        let params: Vec<BitVector> = op
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let w = machine.param_encoding_width(p.ty);
+                BitVector::from_u64(raw[i % raw.len()], w)
+            })
+            .collect();
+        let word = sig.apply(&BitVector::zero(sig.width()), &params);
+        prop_assert!(sig.matches(&word), "own encoding must match");
+        for (i, p) in op.params.iter().enumerate() {
+            let w = machine.param_encoding_width(p.ty);
+            prop_assert_eq!(
+                sig.extract_param(&word, i, w),
+                params[i].clone(),
+                "parameter {} of {}.{}",
+                i,
+                machine.fields[field].name,
+                op.name
+            );
+        }
+    }
+
+    #[test]
+    fn random_words_never_panic_the_disassembler(
+        words in proptest::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let machine = isdl::load(TOY).expect("loads");
+        let d = Disassembler::new(&machine);
+        let bvs: Vec<BitVector> =
+            words.iter().map(|&w| BitVector::from_u64(w, 32)).collect();
+        // Any bit pattern either decodes or reports IllegalInstruction;
+        // it must never panic.
+        if let Ok(instr) = d.decode(&bvs, 0) {
+            // Whatever decoded must re-encode onto the same word
+            // (over the assigned bits) via the assembler path.
+            let text = d.format_instr(&instr);
+            let _ = Assembler::new(&machine).assemble(&text);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Architecture exploration by iterative improvement — the paper's
+//! Figure 1 loop, end to end.
+//!
+//! Starting from the full SPAM 4-way VLIW, the explorer evaluates the
+//! DSP workload (dot product + FIR + vector update), derives
+//! improvement mutations from the utilization statistics, and iterates
+//! until no candidate improves the runtime/area/power objective.
+//!
+//! ```sh
+//! cargo run --release --example explore_dsp
+//! ```
+
+use archex::explore::Explorer;
+use archex::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let start = isdl::load(isdl::samples::SPAM)?;
+    let kernels = vec![
+        workloads::dot_product(6),
+        workloads::fir(3, 10),
+        workloads::vector_update(5),
+    ];
+    println!(
+        "exploring from `{}` ({} ops / {} fields) over {} kernels...\n",
+        start.name,
+        start.fields.iter().map(|f| f.ops.len()).sum::<usize>(),
+        start.fields.len(),
+        kernels.len(),
+    );
+
+    let explorer = Explorer { max_steps: 12, ..Explorer::default() };
+    let trace = explorer.run(&start, &kernels)?;
+
+    println!("{:<28} {:>10} {:>9} {:>12} {:>9} {:>8}", "step", "cycles", "ns/cycle", "runtime us", "cells", "score");
+    for step in &trace.steps {
+        println!(
+            "{:<28} {:>10} {:>9.1} {:>12.2} {:>9} {:>8.3}",
+            step.action,
+            step.metrics.cycles,
+            step.metrics.cycle_ns,
+            step.metrics.runtime_us,
+            step.metrics.area_cells as u64,
+            step.score,
+        );
+    }
+    let first = trace.steps.first().expect("initial step");
+    let last = trace.steps.last().expect("final step");
+    println!(
+        "\n{} candidates evaluated; area {:.1}% of the start, runtime {:.1}%",
+        trace.candidates_evaluated,
+        100.0 * last.metrics.area_cells / first.metrics.area_cells,
+        100.0 * last.metrics.runtime_us / first.metrics.runtime_us,
+    );
+    println!(
+        "final machine: {} ops / {} fields / {} constraints",
+        trace.machine.fields.iter().map(|f| f.ops.len()).sum::<usize>(),
+        trace.machine.fields.len(),
+        trace.machine.constraints.len(),
+    );
+    Ok(())
+}

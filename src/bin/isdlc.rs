@@ -1,0 +1,253 @@
+//! `isdlc` — the command-line driver for the ISDL tool chain.
+//!
+//! ```text
+//! isdlc check   <machine.isdl>                      validate and summarize
+//! isdlc print   <machine.isdl>                      pretty-print the resolved description
+//! isdlc asm     <machine.isdl> <prog.asm>           assemble; hex words to stdout
+//! isdlc disasm  <machine.isdl> <prog.asm>           assemble then disassemble (listing)
+//! isdlc run     <machine.isdl> <prog.asm> [cycles]  simulate; prints stats + final state
+//! isdlc batch   <machine.isdl> <prog.asm> <script>  run a simulator batch script
+//! isdlc verilog <machine.isdl> [--no-share] [--naive-decode]
+//! isdlc report  <machine.isdl> [--no-share] [--naive-decode]
+//! isdlc wave    <machine.isdl> <prog.asm> [cycles]  VCD waveform of the HW model to stdout
+//! isdlc hex     <machine.isdl> <prog.asm>           $readmemh program image to stdout
+//! isdlc tb      <machine.isdl> [cycles]             Verilog test bench to stdout
+//! ```
+
+use gensim::{cli, Xsim};
+use hgen::{synthesize, DecodeStyle, HgenOptions, ShareOptions};
+use std::process::ExitCode;
+use xasm::Assembler;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("isdlc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let flags: Vec<&str> = args.iter().skip(1).filter(|a| a.starts_with("--")).map(String::as_str).collect();
+    let pos: Vec<&String> = args.iter().skip(1).filter(|a| !a.starts_with("--")).collect();
+
+    let load = |i: usize| -> Result<isdl::Machine, String> {
+        let path = pos.get(i).ok_or_else(usage)?;
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        isdl::load(&src).map_err(|e| format!("{path}: {e}"))
+    };
+    let read_file = |i: usize| -> Result<String, String> {
+        let path = pos.get(i).ok_or_else(usage)?;
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let hgen_options = || HgenOptions {
+        decode: if flags.contains(&"--naive-decode") {
+            DecodeStyle::NaiveComparator
+        } else {
+            DecodeStyle::TwoLevel
+        },
+        share: if flags.contains(&"--no-share") {
+            ShareOptions { enabled: false, ..ShareOptions::default() }
+        } else {
+            ShareOptions::default()
+        },
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            let m = load(0)?;
+            println!("machine `{}`: word {} bits", m.name, m.word_width);
+            println!(
+                "  {} storages, {} tokens, {} non-terminals",
+                m.storages.len(),
+                m.tokens.len(),
+                m.nonterminals.len()
+            );
+            for f in &m.fields {
+                println!("  field {}: {} operations", f.name, f.ops.len());
+            }
+            println!("  {} constraints, {} share hints", m.constraints.len(), m.share_hints.len());
+            let lints = isdl::lint::lint(&m);
+            for l in &lints {
+                println!("  warning: {l}");
+            }
+            if lints.is_empty() {
+                println!("  no lints");
+            }
+            Ok(())
+        }
+        "print" => {
+            let m = load(0)?;
+            print!("{}", isdl::printer::print(&m));
+            Ok(())
+        }
+        "asm" => {
+            let m = load(0)?;
+            let src = read_file(1)?;
+            let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
+            for (a, w) in p.words.iter().enumerate() {
+                println!("{a:04x}: {w:x}");
+            }
+            Ok(())
+        }
+        "disasm" => {
+            let m = load(0)?;
+            let src = read_file(1)?;
+            let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
+            let d = xasm::Disassembler::new(&m);
+            let mut a = 0u64;
+            while (a as usize) < p.words.len() {
+                let window = &p.words[a as usize..(a as usize + d.max_size() as usize).min(p.words.len())];
+                match d.decode(window, a) {
+                    Ok(i) => {
+                        println!("{a:04x}: {}", d.format_instr(&i));
+                        a += u64::from(i.size);
+                    }
+                    Err(_) => {
+                        println!("{a:04x}: .word 0x{:x}", p.words[a as usize]);
+                        a += 1;
+                    }
+                }
+            }
+            Ok(())
+        }
+        "run" => {
+            let m = load(0)?;
+            let src = read_file(1)?;
+            let cycles: u64 = pos.get(2).map_or(Ok(1_000_000), |c| {
+                c.parse().map_err(|_| format!("bad cycle budget `{c}`"))
+            })?;
+            let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
+            let mut sim = Xsim::generate(&m).map_err(|e| e.to_string())?;
+            sim.load_program(&p);
+            let stop = sim.run(cycles);
+            let stats = sim.stats();
+            println!(
+                "stopped: {stop} after {} instructions, {} cycles ({} stalls)",
+                stats.instructions, stats.cycles, stats.stall_cycles
+            );
+            for (fi, f) in m.fields.iter().enumerate() {
+                println!("  field {}: {:.1}% utilized", f.name, 100.0 * stats.field_utilization(fi));
+            }
+            for (si, s) in m.storages.iter().enumerate() {
+                use isdl::model::StorageKind::*;
+                if matches!(s.kind, InstructionMemory) {
+                    continue;
+                }
+                if s.kind.is_addressed() {
+                    // Print only non-zero cells to keep output readable.
+                    let nz: Vec<String> = (0..s.cells())
+                        .filter_map(|a| {
+                            let v = sim.state().read(isdl::rtl::StorageId(si), a);
+                            (!v.is_zero()).then(|| format!("[{a}]={v:x}"))
+                        })
+                        .collect();
+                    if !nz.is_empty() {
+                        println!("  {}: {}", s.name, nz.join(" "));
+                    }
+                } else {
+                    let v = sim.state().read(isdl::rtl::StorageId(si), 0);
+                    println!("  {} = {v}", s.name);
+                }
+            }
+            Ok(())
+        }
+        "batch" => {
+            let m = load(0)?;
+            let src = read_file(1)?;
+            let script = read_file(2)?;
+            let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
+            let mut sim = Xsim::generate(&m).map_err(|e| e.to_string())?;
+            sim.load_program(&p);
+            print!("{}", cli::run_batch(&mut sim, &script));
+            Ok(())
+        }
+        "wave" => {
+            let m = load(0)?;
+            let src = read_file(1)?;
+            let cycles: u64 = pos.get(2).map_or(Ok(64), |c| {
+                c.parse().map_err(|_| format!("bad cycle budget `{c}`"))
+            })?;
+            let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
+            let r = synthesize(&m, hgen_options()).map_err(|e| e.to_string())?;
+            let mut sim =
+                vlog::sim::NetlistSim::elaborate(&r.module).map_err(|e| e.to_string())?;
+            let imem = m
+                .storage(m.imem.ok_or("machine has no instruction memory")?)
+                .name
+                .clone();
+            for (a, w) in p.words.iter().enumerate() {
+                sim.poke_memory(&imem, a as u64, w.clone()).map_err(|e| e.to_string())?;
+            }
+            sim.start_vcd(Box::new(std::io::stdout())).map_err(|e| e.to_string())?;
+            sim.clock(cycles).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "hex" => {
+            let m = load(0)?;
+            let src = read_file(1)?;
+            let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
+            print!("{}", p.to_hex());
+            Ok(())
+        }
+        "tb" => {
+            let m = load(0)?;
+            let cycles: u64 = pos.get(1).map_or(Ok(1_000), |c| {
+                c.parse().map_err(|_| format!("bad cycle budget `{c}`"))
+            })?;
+            let name: String = m
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                .collect();
+            let tb = hgen::emit_testbench(
+                &m,
+                &name,
+                &hgen::TestbenchOptions { cycles, ..hgen::TestbenchOptions::default() },
+            );
+            print!("{tb}");
+            Ok(())
+        }
+        "verilog" => {
+            let m = load(0)?;
+            let r = synthesize(&m, hgen_options()).map_err(|e| e.to_string())?;
+            print!("{}", r.verilog);
+            Ok(())
+        }
+        "report" => {
+            let m = load(0)?;
+            let r = synthesize(&m, hgen_options()).map_err(|e| e.to_string())?;
+            println!("machine `{}`:", m.name);
+            println!("  cycle length     {:.1} ns", r.report.cycle_ns);
+            println!("  critical path    {:.1} ns", r.report.critical_path_ns);
+            println!("  die size         {} grid cells", r.report.area_cells as u64);
+            for (k, v) in {
+                let mut v: Vec<_> = r.report.area_breakdown.iter().collect();
+                v.sort_by(|a, b| a.0.cmp(b.0));
+                v
+            } {
+                println!("    {k:<14} {} cells", *v as u64);
+            }
+            println!("  state            {} ff bits + {} memory bits", r.report.ff_bits, r.report.mem_bits);
+            println!("  power            {:.1} mW at fmax", r.report.power_mw);
+            println!("  verilog          {} lines", r.lines_of_verilog);
+            println!("  datapath         {} nodes -> {} units ({} saved by sharing)",
+                r.stats.nodes, r.stats.units, r.stats.units_saved);
+            println!("  synthesis time   {:.3} s", r.synthesis_time_s);
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn usage() -> String {
+    "usage: isdlc <check|print|asm|disasm|run|batch|verilog|report|wave|hex|tb> \
+     <machine.isdl> [args] [--no-share] [--naive-decode]"
+        .to_owned()
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 2 of the paper: HGEN hardware-synthesis
+//! statistics (cycle length, lines of Verilog, die size, synthesis
+//! time) for the SPAM and SPAM2 processors.
+//!
+//! ```sh
+//! cargo run --release --bin table2
+//! ```
+
+fn main() {
+    let rows = bench::measure_table2();
+    print!("{}", bench::format_table2(&rows));
+    println!();
+    println!("shape check (paper's relationships): SPAM > SPAM2 in area and lines of");
+    println!("Verilog, comparable cycle lengths, synthesis time well under a minute.");
+}

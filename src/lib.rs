@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the ISDL architecture-exploration suite.
+//!
+//! Re-exports every workspace crate so the examples and integration
+//! tests can use one import root.
+
+pub use archex;
+pub use bitv;
+pub use gensim;
+pub use hgen;
+pub use isdl;
+pub use vlog;
+pub use xasm;
