@@ -43,8 +43,8 @@ fn bench_cores(c: &mut Criterion) {
             b.iter(|| run_cycles(&mut sim, &spam_prog, 5_000));
         });
 
-        let mut sim =
-            Xsim::generate_with(&toy, XsimOptions { core, offline_decode: true }).expect("generates");
+        let mut sim = Xsim::generate_with(&toy, XsimOptions { core, offline_decode: true })
+            .expect("generates");
         sim.load_program(&toy_prog);
         group.bench_function(format!("toy_dense_5k_cycles/{name}"), |b| {
             b.iter(|| run_cycles(&mut sim, &toy_prog, 5_000));

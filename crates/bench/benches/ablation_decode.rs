@@ -8,10 +8,9 @@ use hgen::{synthesize, DecodeStyle, HgenOptions};
 fn bench_decode(c: &mut Criterion) {
     let spam = spam_machine();
     let mut group = c.benchmark_group("ablation_decode");
-    for (name, style) in [
-        ("two_level", DecodeStyle::TwoLevel),
-        ("naive_comparator", DecodeStyle::NaiveComparator),
-    ] {
+    for (name, style) in
+        [("two_level", DecodeStyle::TwoLevel), ("naive_comparator", DecodeStyle::NaiveComparator)]
+    {
         group.bench_function(format!("synthesize_spam/{name}"), |b| {
             b.iter(|| {
                 synthesize(&spam, HgenOptions { decode: style, ..HgenOptions::default() })
@@ -23,10 +22,9 @@ fn bench_decode(c: &mut Criterion) {
 
     eprintln!("\nAblation B: decode logic style (SPAM)");
     eprintln!("{:<20} {:>12} {:>12}", "style", "cells", "cycle ns");
-    for (name, style) in [
-        ("two-level", DecodeStyle::TwoLevel),
-        ("naive comparator", DecodeStyle::NaiveComparator),
-    ] {
+    for (name, style) in
+        [("two-level", DecodeStyle::TwoLevel), ("naive comparator", DecodeStyle::NaiveComparator)]
+    {
         let r = synthesize(&spam, HgenOptions { decode: style, ..HgenOptions::default() })
             .expect("synthesizes");
         eprintln!("{:<20} {:>12.0} {:>12.1}", name, r.report.area_cells, r.report.cycle_ns);

@@ -2,40 +2,42 @@
 //! improvement versus a beam search over the same mutation space.
 //! Reports final objective and evaluation cost per strategy.
 
-use archex::explore::{Explorer, Strategy};
-use archex::workloads;
+use archex::Strategy;
+use bench::run_exploration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_explore(c: &mut Criterion) {
     let start = isdl::load(isdl::samples::TOY).expect("loads");
-    let kernels = vec![workloads::dot_product(4), workloads::vector_update(3)];
 
     let mut group = c.benchmark_group("ablation_explore");
     group.sample_size(10);
-    for (name, strategy) in [
-        ("greedy", Strategy::Greedy),
-        ("beam3", Strategy::Beam { width: 3 }),
+    for (name, strategy, threads) in [
+        ("greedy", Strategy::Greedy, 1),
+        ("beam3", Strategy::Beam { width: 3 }, 1),
+        ("greedy-mt", Strategy::Greedy, 0),
+        ("beam3-mt", Strategy::Beam { width: 3 }, 0),
     ] {
-        let explorer = Explorer { max_steps: 6, strategy, ..Explorer::default() };
         group.bench_function(name, |b| {
-            b.iter(|| explorer.run(&start, &kernels).expect("explores"));
+            b.iter(|| run_exploration(&start, strategy, threads));
         });
     }
     group.finish();
 
     eprintln!("\nAblation E: exploration strategy (TOY, dot+vecupd)");
-    eprintln!("{:<10} {:>12} {:>12} {:>10}", "strategy", "final score", "runtime us", "evals");
-    for (name, strategy) in [
-        ("greedy", Strategy::Greedy),
-        ("beam3", Strategy::Beam { width: 3 }),
-    ] {
-        let explorer = Explorer { max_steps: 6, strategy, ..Explorer::default() };
-        let t = explorer.run(&start, &kernels).expect("explores");
+    eprintln!(
+        "{:<10} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "strategy", "final score", "runtime us", "evals", "cached", "skipped"
+    );
+    for (name, strategy) in [("greedy", Strategy::Greedy), ("beam3", Strategy::Beam { width: 3 })] {
+        let t = run_exploration(&start, strategy, 0);
         let last = t.steps.last().expect("steps");
         eprintln!(
-            "{:<10} {:>12.4} {:>12.2} {:>10}",
-            name, last.score, last.metrics.runtime_us, t.candidates_evaluated
+            "{:<10} {:>12.4} {:>12.2} {:>8} {:>8} {:>8}",
+            name, last.score, last.metrics.runtime_us, t.evaluated, t.cache_hits, t.skipped_errors
         );
+        if let Some(e) = &t.first_error {
+            eprintln!("           first skip: {e}");
+        }
     }
 }
 

@@ -34,7 +34,10 @@ fn bench_sharing(c: &mut Criterion) {
     group.finish();
 
     eprintln!("\nAblation A: resource sharing (die size, grid cells)");
-    eprintln!("{:<30} {:>12} {:>12} {:>8} {:>8}", "configuration", "SPAM", "SPAM2", "units", "saved");
+    eprintln!(
+        "{:<30} {:>12} {:>12} {:>8} {:>8}",
+        "configuration", "SPAM", "SPAM2", "units", "saved"
+    );
     for (name, share) in configs() {
         let spam = synthesize(&spam_machine(), HgenOptions { share, ..HgenOptions::default() })
             .expect("synthesizes");

@@ -8,7 +8,7 @@
 //! binaries in the umbrella crate all build on these helpers so that
 //! every experiment runs the exact same workload.
 
-use archex::{compile, workloads, Kernel};
+use archex::{compile, workloads, Explorer, Kernel, Strategy, Trace};
 use bitv::BitVector;
 use gensim::{StopReason, Xsim, XsimOptions};
 use hgen::{synthesize, HgenOptions, HgenResult};
@@ -39,9 +39,7 @@ pub fn spam2_machine() -> Machine {
 pub fn fir_program(machine: &Machine) -> Program {
     let kernel: Kernel = workloads::fir(4, 12);
     let compiled = compile(machine, &kernel).expect("kernel compiles for fixture");
-    Assembler::new(machine)
-        .assemble(&compiled.asm)
-        .expect("generated assembly is valid")
+    Assembler::new(machine).assemble(&compiled.asm).expect("generated assembly is valid")
 }
 
 /// A ready-to-run XSIM instance with the FIR program loaded.
@@ -87,24 +85,41 @@ pub fn hardware_with_fir(machine: &Machine) -> (HgenResult, NetlistSim) {
     let program = fir_program(machine);
     let hw = synthesize(machine, HgenOptions::default()).expect("synthesizes");
     let mut sim = NetlistSim::elaborate(&hw.module).expect("elaborates");
-    let imem = machine
-        .storage(machine.imem.expect("imem"))
-        .name
-        .clone();
+    let imem = machine.storage(machine.imem.expect("imem")).name.clone();
     for (a, w) in program.words.iter().enumerate() {
         sim.poke_memory(&imem, a as u64, w.clone()).expect("pokes");
     }
-    if let Some(dm) = machine
-        .storages
-        .iter()
-        .find(|s| s.kind == isdl::model::StorageKind::DataMemory)
+    if let Some(dm) =
+        machine.storages.iter().find(|s| s.kind == isdl::model::StorageKind::DataMemory)
     {
         for &(addr, v) in &program.data {
-            sim.poke_memory(&dm.name, addr, BitVector::from_i64(v, dm.width))
-                .expect("pokes");
+            sim.poke_memory(&dm.name, addr, BitVector::from_i64(v, dm.width)).expect("pokes");
         }
     }
     (hw, sim)
+}
+
+/// The DSP workload every exploration benchmark and ablation runs:
+/// dot product plus vector update, sized to finish quickly.
+#[must_use]
+pub fn explore_kernels() -> Vec<Kernel> {
+    vec![workloads::dot_product(4), workloads::vector_update(3)]
+}
+
+/// Runs the Figure 1 exploration loop on `machine` with the shared
+/// benchmark workload, using `threads` frontier workers (`0` = one per
+/// core). The trace is identical at every thread count — the engine
+/// reduces results serially in proposal order — so thread count is
+/// purely a wall-clock knob here.
+///
+/// # Panics
+///
+/// Panics if the starting machine does not evaluate (fixtures always
+/// do).
+#[must_use]
+pub fn run_exploration(machine: &Machine, strategy: Strategy, threads: usize) -> Trace {
+    let explorer = Explorer { max_steps: 6, strategy, threads, ..Explorer::default() };
+    explorer.run(machine, &explore_kernels()).expect("fixture machines evaluate")
 }
 
 /// Measures simulation speed in cycles per second.
@@ -142,7 +157,11 @@ pub fn measure_table1(xsim_cycles: u64, hw_cycles: u64) -> Vec<Table1Row> {
     let hw_speed = cycles_per_second(hw_cycles, t0.elapsed());
 
     vec![
-        Table1Row { model: "XSIM (ILS) Simulator", speed: ils_speed, speedup: ils_speed / hw_speed },
+        Table1Row {
+            model: "XSIM (ILS) Simulator",
+            speed: ils_speed,
+            speedup: ils_speed / hw_speed,
+        },
         Table1Row { model: "Synthesizable Verilog", speed: hw_speed, speedup: 1.0 },
     ]
 }
@@ -183,9 +202,8 @@ pub fn measure_table2() -> Vec<Table2Row> {
 /// Renders Table 1 in the paper's layout.
 #[must_use]
 pub fn format_table1(rows: &[Table1Row]) -> String {
-    let mut s = String::from(
-        "Table 1: Simulation Speeds for XSIM vs Hardware Model (SPAM, FIR kernel)\n",
-    );
+    let mut s =
+        String::from("Table 1: Simulation Speeds for XSIM vs Hardware Model (SPAM, FIR kernel)\n");
     s.push_str(&format!("{:<24} {:>20} {:>9}\n", "Model", "Speed (cycles/sec)", "Speedup"));
     for r in rows {
         s.push_str(&format!("{:<24} {:>20.0} {:>9.1}\n", r.model, r.speed, r.speedup));
@@ -240,6 +258,16 @@ mod tests {
         assert!(rows[0].lines_of_verilog > rows[1].lines_of_verilog);
         let rendered = format_table2(&rows);
         assert!(rendered.contains("SPAM2"));
+    }
+
+    #[test]
+    fn exploration_helper_improves_toy() {
+        let start = isdl::load(isdl::samples::TOY).expect("loads");
+        let trace = run_exploration(&start, Strategy::Greedy, 1);
+        assert!(trace.steps.len() > 1, "found at least one improvement");
+        assert!(trace.evaluated > 0);
+        let parallel = run_exploration(&start, Strategy::Greedy, 4);
+        assert!(trace.semantic_eq(&parallel), "thread count cannot change the result");
     }
 
     #[test]

@@ -149,10 +149,7 @@ impl BitVector {
         }
         // Fast path: both fit in u64.
         if let (Some(a), Some(b)) = (self.to_u64(), rhs.to_u64()) {
-            return (
-                Self::from_u64(a / b, self.width),
-                Self::from_u64(a % b, self.width),
-            );
+            return (Self::from_u64(a / b, self.width), Self::from_u64(a % b, self.width));
         }
         let mut quot = Self::zero(self.width);
         let mut rem = Self::zero(self.width);

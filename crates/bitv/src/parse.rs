@@ -48,9 +48,7 @@ impl FromStr for BitVector {
             Some('d' | 'D') => 10,
             Some('o' | 'O') => 8,
             other => {
-                return Err(ParseBitVectorError::new(format!(
-                    "unknown base specifier {other:?}"
-                )))
+                return Err(ParseBitVectorError::new(format!("unknown base specifier {other:?}")))
             }
         };
         let digits: String = chars.filter(|&c| c != '_').collect();
@@ -70,18 +68,15 @@ impl FromStr for BitVector {
                 let d = c
                     .to_digit(10)
                     .ok_or_else(|| ParseBitVectorError::new(format!("bad digit {c:?}")))?;
-                acc = acc
-                    .wrapping_mul(&ten)
-                    .wrapping_add(&BitVector::from_u64(u64::from(d), width));
+                acc =
+                    acc.wrapping_mul(&ten).wrapping_add(&BitVector::from_u64(u64::from(d), width));
             }
         } else {
             for c in digits.chars() {
                 let d = c
                     .to_digit(base)
                     .ok_or_else(|| ParseBitVectorError::new(format!("bad digit {c:?}")))?;
-                acc = acc
-                    .shl(bits_per_digit)
-                    .or(&BitVector::from_u64(u64::from(d), width));
+                acc = acc.shl(bits_per_digit).or(&BitVector::from_u64(u64::from(d), width));
             }
         }
         Ok(acc)

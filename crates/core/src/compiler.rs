@@ -14,8 +14,8 @@
 //! Kernels are emitted fully unrolled, which keeps the abstraction
 //! honest across machines with different branching idioms.
 
-use isdl::model::{Machine, OpRef, Operation, ParamType, TokenKind};
 use isdl::model::StorageKind;
+use isdl::model::{Machine, OpRef, Operation, ParamType, TokenKind};
 use isdl::rtl::{BinOp, RExpr, RExprKind, RLvalue, RStmt};
 use std::collections::HashMap;
 use std::fmt;
@@ -226,9 +226,8 @@ impl Capabilities {
                 // d <- imm (possibly extended)?
                 if let Some(vp) = match_imm_value(rhs) {
                     if self.load_imm.is_none() {
-                        self.load_imm =
-                            shape_for(op, &[(dp, ArgRole::Dest), (vp, ArgRole::Value)])
-                                .map(|s| (r, s));
+                        self.load_imm = shape_for(op, &[(dp, ArgRole::Dest), (vp, ArgRole::Value)])
+                            .map(|s| (r, s));
                     }
                     return;
                 }
@@ -246,26 +245,27 @@ impl Capabilities {
                     let wrap_b = nt_reg_option(machine, op, bp);
                     let shape = shape_for(
                         op,
-                        &[(dp, ArgRole::Dest), (ap, ArgRole::SrcA(wrap_a)), (bp, ArgRole::SrcB(wrap_b))],
+                        &[
+                            (dp, ArgRole::Dest),
+                            (ap, ArgRole::SrcA(wrap_a)),
+                            (bp, ArgRole::SrcB(wrap_b)),
+                        ],
                     );
                     match kind {
-                        BinOp::Add
-                            if self.add.is_none() => {
-                                self.add = shape.map(|s| (r, s));
-                            }
-                        BinOp::Sub
-                            if self.sub.is_none() => {
-                                self.sub = shape.map(|s| (r, s));
-                            }
+                        BinOp::Add if self.add.is_none() => {
+                            self.add = shape.map(|s| (r, s));
+                        }
+                        BinOp::Sub if self.sub.is_none() => {
+                            self.sub = shape.map(|s| (r, s));
+                        }
                         _ => {}
                     }
                     return;
                 }
                 // d <- ACC?
-                if is_acc_read(machine, rhs) && op.params.len() == 1
-                    && self.read_acc.is_none() {
-                        self.read_acc = shape_for(op, &[(dp, ArgRole::Dest)]).map(|s| (r, s));
-                    }
+                if is_acc_read(machine, rhs) && op.params.len() == 1 && self.read_acc.is_none() {
+                    self.read_acc = shape_for(op, &[(dp, ArgRole::Dest)]).map(|s| (r, s));
+                }
             }
             Some(Dest::Mem(vp)) => {
                 // DM[addr] <- RF[s]?
@@ -348,10 +348,9 @@ fn writes_pc(machine: &Machine, op: &Operation) -> bool {
             RStmt::Assign { lv, .. } => lv
                 .root_storage()
                 .is_some_and(|sid| machine.storage(sid).kind == StorageKind::ProgramCounter),
-            RStmt::If { then_body, else_body, .. } => then_body
-                .iter()
-                .chain(else_body)
-                .any(|s| stmt_writes_pc(machine, s)),
+            RStmt::If { then_body, else_body, .. } => {
+                then_body.iter().chain(else_body).any(|s| stmt_writes_pc(machine, s))
+            }
         }
     }
     op.action.iter().any(|s| stmt_writes_pc(machine, s))
@@ -469,15 +468,14 @@ fn nt_reg_option(machine: &Machine, op: &Operation, p: usize) -> Option<String> 
             let ntd = &machine.nonterminals[nt.0];
             ntd.options
                 .iter()
-                .find(|o|
-
+                .find(|o| {
                     matches!(
                         o.value.as_ref().map(|v| &v.kind),
                         Some(RExprKind::StorageIndexed(sid, idx))
                             if machine.storage(*sid).kind == StorageKind::RegisterFile
                                 && matches!(idx.kind, RExprKind::Param(0))
                     ) && o.params.len() == 1
-                )
+                })
                 .map(|o| o.name.clone())
         }
     }
@@ -530,10 +528,8 @@ pub fn compile(machine: &Machine, kernel: &Kernel) -> Result<Compiled, CompileEr
     for aop in &kernel.ops {
         match aop {
             AOp::LoadImm { d, v } => {
-                let (r, shape) = caps
-                    .load_imm
-                    .as_ref()
-                    .ok_or(CompileError::MissingCapability("load-imm"))?;
+                let (r, shape) =
+                    caps.load_imm.as_ref().ok_or(CompileError::MissingCapability("load-imm"))?;
                 let d = alloc(*d, &mut regs)?;
                 lines.push(render(machine, *r, shape, &caps, Some(d), None, None, Some(*v)));
             }
@@ -550,38 +546,30 @@ pub fn compile(machine: &Machine, kernel: &Kernel) -> Result<Compiled, CompileEr
                 lines.push(render(machine, *r, shape, &caps, None, Some(s), None, Some(*addr)));
             }
             AOp::Add { d, a, b } => {
-                let (r, shape) =
-                    caps.add.as_ref().ok_or(CompileError::MissingCapability("add"))?;
+                let (r, shape) = caps.add.as_ref().ok_or(CompileError::MissingCapability("add"))?;
                 let (a, b) = (alloc(*a, &mut regs)?, alloc(*b, &mut regs)?);
                 let d = alloc(*d, &mut regs)?;
                 lines.push(render(machine, *r, shape, &caps, Some(d), Some(a), Some(b), None));
             }
             AOp::Sub { d, a, b } => {
-                let (r, shape) =
-                    caps.sub.as_ref().ok_or(CompileError::MissingCapability("sub"))?;
+                let (r, shape) = caps.sub.as_ref().ok_or(CompileError::MissingCapability("sub"))?;
                 let (a, b) = (alloc(*a, &mut regs)?, alloc(*b, &mut regs)?);
                 let d = alloc(*d, &mut regs)?;
                 lines.push(render(machine, *r, shape, &caps, Some(d), Some(a), Some(b), None));
             }
             AOp::ClearAcc => {
-                let r = caps
-                    .clear_acc
-                    .ok_or(CompileError::MissingCapability("clear-acc"))?;
+                let r = caps.clear_acc.ok_or(CompileError::MissingCapability("clear-acc"))?;
                 lines.push(machine.op_name(r));
             }
             AOp::MulAcc { a, b } => {
-                let (r, shape) = caps
-                    .mul_acc
-                    .as_ref()
-                    .ok_or(CompileError::MissingCapability("mul-acc"))?;
+                let (r, shape) =
+                    caps.mul_acc.as_ref().ok_or(CompileError::MissingCapability("mul-acc"))?;
                 let (a, b) = (alloc(*a, &mut regs)?, alloc(*b, &mut regs)?);
                 lines.push(render(machine, *r, shape, &caps, None, Some(a), Some(b), None));
             }
             AOp::ReadAcc { d } => {
-                let (r, shape) = caps
-                    .read_acc
-                    .as_ref()
-                    .ok_or(CompileError::MissingCapability("read-acc"))?;
+                let (r, shape) =
+                    caps.read_acc.as_ref().ok_or(CompileError::MissingCapability("read-acc"))?;
                 let d = alloc(*d, &mut regs)?;
                 lines.push(render(machine, *r, shape, &caps, Some(d), None, None, None));
             }
@@ -656,7 +644,9 @@ mod tests {
         let m = toy();
         let caps = Capabilities::discover(&m).expect("discovers");
         let summary = caps.summary();
-        for need in ["load-imm", "load", "store", "add", "sub", "clear-acc", "mul-acc", "read-acc", "jump"] {
+        for need in
+            ["load-imm", "load", "store", "add", "sub", "clear-acc", "mul-acc", "read-acc", "jump"]
+        {
             assert!(summary.contains(&need), "toy should support {need}: {summary:?}");
         }
     }
@@ -706,7 +696,11 @@ mod tests {
             data: vec![],
         };
         let compiled = compile(&m, &kernel).expect("compiles");
-        assert!(compiled.asm.contains("reg(R"), "toy add's third operand is an NT:\n{}", compiled.asm);
+        assert!(
+            compiled.asm.contains("reg(R"),
+            "toy add's third operand is an NT:\n{}",
+            compiled.asm
+        );
         let program = xasm::Assembler::new(&m).assemble(&compiled.asm).expect("assembles");
         let mut sim = gensim::Xsim::generate(&m).expect("generates");
         sim.load_program(&program);
@@ -731,11 +725,7 @@ mod tests {
             "#,
         )
         .expect("loads");
-        let kernel = Kernel {
-            name: "mac".into(),
-            ops: vec![AOp::ClearAcc],
-            data: vec![],
-        };
+        let kernel = Kernel { name: "mac".into(), ops: vec![AOp::ClearAcc], data: vec![] };
         let e = compile(&m, &kernel).expect_err("should fail");
         assert_eq!(e, CompileError::MissingCapability("clear-acc"));
     }
@@ -743,9 +733,7 @@ mod tests {
     #[test]
     fn out_of_registers_detected() {
         let m = toy(); // 8 registers
-        let ops: Vec<AOp> = (0..9)
-            .map(|i| AOp::LoadImm { d: VReg(i), v: u64::from(i) })
-            .collect();
+        let ops: Vec<AOp> = (0..9).map(|i| AOp::LoadImm { d: VReg(i), v: u64::from(i) }).collect();
         let kernel = Kernel { name: "many".into(), ops, data: vec![] };
         assert_eq!(compile(&m, &kernel).expect_err("too many"), CompileError::OutOfRegisters);
     }

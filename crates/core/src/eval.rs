@@ -8,7 +8,7 @@
 //! size and power come from the technology report — exactly the
 //! "Evaluation Statistics & Measurements" box of the paper's Figure 1.
 
-use crate::compiler::{compile, Compiled, CompileError, Kernel};
+use crate::compiler::{compile, CompileError, Compiled, Kernel};
 use gensim::{Stats, StopReason, Xsim};
 use hgen::{synthesize, HgenOptions};
 use isdl::model::{NtId, OpRef};
@@ -38,6 +38,23 @@ pub struct Metrics {
     pub lines_of_verilog: usize,
     /// HGEN wall-clock time, seconds.
     pub synthesis_time_s: f64,
+}
+
+impl Metrics {
+    /// Equality over everything the candidate machine determines,
+    /// ignoring `synthesis_time_s` — wall-clock time differs between
+    /// two otherwise identical runs.
+    #[must_use]
+    pub fn semantic_eq(&self, other: &Self) -> bool {
+        self.cycles == other.cycles
+            && self.instructions == other.instructions
+            && self.stall_cycles == other.stall_cycles
+            && self.cycle_ns == other.cycle_ns
+            && self.runtime_us == other.runtime_us
+            && self.area_cells == other.area_cells
+            && self.power_mw == other.power_mw
+            && self.lines_of_verilog == other.lines_of_verilog
+    }
 }
 
 impl fmt::Display for Metrics {
@@ -158,11 +175,9 @@ pub fn evaluate(
     for kernel in kernels {
         let compiled =
             compile(machine, kernel).map_err(|e| EvalError::Compile(kernel.name.clone(), e))?;
-        let program = assembler
-            .assemble(&compiled.asm)
-            .map_err(|e| EvalError::Assemble(e.to_string()))?;
-        let mut sim =
-            Xsim::generate(machine).map_err(|e| EvalError::Gensim(e.to_string()))?;
+        let program =
+            assembler.assemble(&compiled.asm).map_err(|e| EvalError::Assemble(e.to_string()))?;
+        let mut sim = Xsim::generate(machine).map_err(|e| EvalError::Gensim(e.to_string()))?;
         sim.load_program(&program);
         match sim.run(10_000_000) {
             StopReason::Halted => {}

@@ -22,6 +22,10 @@ use crate::compiler::Kernel;
 use crate::eval::{evaluate, EvalError, Evaluation, Metrics};
 use hgen::HgenOptions;
 use isdl::model::{Constraint, FieldId, Machine, NtId, OpRef};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Relative weights of the objective (log-space weighted sum, lower is
 /// better).
@@ -224,6 +228,17 @@ pub struct Step {
     pub score: f64,
 }
 
+impl Step {
+    /// Equality over the deterministic content of the step (action,
+    /// score, and [`Metrics::semantic_eq`]).
+    #[must_use]
+    pub fn semantic_eq(&self, other: &Self) -> bool {
+        self.action == other.action
+            && self.score == other.score
+            && self.metrics.semantic_eq(&other.metrics)
+    }
+}
+
 /// The exploration result.
 #[derive(Debug, Clone)]
 pub struct Trace {
@@ -231,8 +246,123 @@ pub struct Trace {
     pub steps: Vec<Step>,
     /// The best machine found.
     pub machine: Machine,
-    /// Total candidates evaluated (accepted + rejected).
-    pub candidates_evaluated: usize,
+    /// Candidates evaluated from scratch (full compile → simulate →
+    /// synthesize passes, including the starting point).
+    pub evaluated: usize,
+    /// Candidates whose evaluation was reused from the cache — a
+    /// structurally identical machine had already been measured, either
+    /// in an earlier round or by another parent in the same frontier.
+    pub cache_hits: usize,
+    /// Candidates whose evaluation failed and were skipped. A large
+    /// value relative to [`Trace::candidates_evaluated`] means "no
+    /// improving mutation" may really be "every mutation breaks the
+    /// toolchain" — check [`Trace::first_error`].
+    pub skipped_errors: usize,
+    /// The first evaluation error encountered, as
+    /// `"<mutation>: <error>"` (`None` when every candidate evaluated).
+    pub first_error: Option<String>,
+}
+
+impl Trace {
+    /// Total candidates considered: fresh evaluations plus cache hits.
+    #[must_use]
+    pub fn candidates_evaluated(&self) -> usize {
+        self.evaluated + self.cache_hits
+    }
+
+    /// Equality over everything deterministic in the trace: steps
+    /// (modulo wall-clock synthesis time), the final machine, and all
+    /// counters. Two runs of the same exploration — at *any* thread
+    /// count — must compare equal under this.
+    #[must_use]
+    pub fn semantic_eq(&self, other: &Self) -> bool {
+        self.steps.len() == other.steps.len()
+            && self.steps.iter().zip(&other.steps).all(|(a, b)| a.semantic_eq(b))
+            && self.machine == other.machine
+            && self.evaluated == other.evaluated
+            && self.cache_hits == other.cache_hits
+            && self.skipped_errors == other.skipped_errors
+            && self.first_error == other.first_error
+    }
+}
+
+/// A concurrency-safe memo of candidate evaluations.
+///
+/// Keys are the machine's canonical printed ISDL text
+/// ([`isdl::printer::print`]), whose round trip is exact — two machines
+/// share a key if and only if they are structurally equal, so a hit
+/// can never alias two different candidates (unlike a bare 64-bit
+/// hash). The cache may be shared across [`Explorer::run_cached`]
+/// calls to memoize evaluations across whole explorations.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    entries: Mutex<HashMap<String, Result<Evaluation, EvalError>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical cache key for `machine`.
+    #[must_use]
+    pub fn key(machine: &Machine) -> String {
+        isdl::printer::print(machine)
+    }
+
+    /// A 64-bit structural hash of `machine` (a digest of [`Self::key`];
+    /// useful for logging and frontier diagnostics).
+    #[must_use]
+    pub fn structural_hash(machine: &Machine) -> u64 {
+        let mut h = std::hash::DefaultHasher::new();
+        Self::key(machine).hash(&mut h);
+        h.finish()
+    }
+
+    /// Looks up a previously stored outcome, counting a hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Result<Evaluation, EvalError>> {
+        let found = self.entries.lock().expect("cache lock never poisoned").get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores the outcome of evaluating the machine with key `key`.
+    pub fn insert(&self, key: String, outcome: Result<Evaluation, EvalError>) {
+        self.entries.lock().expect("cache lock never poisoned").insert(key, outcome);
+    }
+
+    /// Number of stored outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock never poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found a stored outcome.
+    #[must_use]
+    pub fn hit_count(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    #[must_use]
+    pub fn miss_count(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
 }
 
 /// How the candidate space is searched.
@@ -261,6 +391,11 @@ pub struct Explorer {
     pub max_steps: usize,
     /// Search strategy.
     pub strategy: Strategy,
+    /// Worker threads evaluating the mutation frontier; `0` means one
+    /// per available core. The result is bit-identical at every
+    /// setting — workers only fill result slots, and the reduction
+    /// runs serially in proposal order.
+    pub threads: usize,
 }
 
 impl Default for Explorer {
@@ -270,62 +405,264 @@ impl Default for Explorer {
             hgen: HgenOptions::default(),
             max_steps: 16,
             strategy: Strategy::Greedy,
+            threads: 0,
         }
     }
 }
 
+/// The per-candidate outcomes of one frontier evaluation.
+struct FrontierEval {
+    /// One outcome per input candidate, in input order.
+    outcomes: Vec<Result<Evaluation, EvalError>>,
+    /// Whether each candidate is the first occurrence of its structure
+    /// within this frontier (`false` marks within-frontier duplicates).
+    first_occurrence: Vec<bool>,
+    /// Candidates evaluated from scratch (≤ number of unique keys).
+    fresh: usize,
+}
+
+/// Running totals folded into the final [`Trace`].
+#[derive(Default)]
+struct Counters {
+    evaluated: usize,
+    cache_hits: usize,
+    skipped_errors: usize,
+    first_error: Option<String>,
+}
+
+impl Counters {
+    /// Records a skipped candidate, keeping the first error message.
+    fn skip(&mut self, action: &str, error: &EvalError) {
+        self.skipped_errors += 1;
+        if self.first_error.is_none() {
+            self.first_error = Some(format!("{action}: {error}"));
+        }
+    }
+}
+
+/// The toolchain types a frontier worker touches, pinned as thread-safe.
+/// Everything sent into `std::thread::scope` below is either one of
+/// these or a std synchronization primitive; a non-`Send` field added
+/// to any of them (an `Rc`, say) fails compilation here, not at the
+/// far end of a scoped-spawn type error.
+#[allow(dead_code)]
+fn assert_worker_types_thread_safe() {
+    fn ok<T: Send + Sync>() {}
+    ok::<Machine>();
+    ok::<Kernel>();
+    ok::<HgenOptions>();
+    ok::<Evaluation>();
+    ok::<EvalError>();
+    ok::<Explorer>();
+    ok::<EvalCache>();
+}
+
 impl Explorer {
-    /// Runs exploration from `start` over `kernels`.
+    /// Runs exploration from `start` over `kernels` with a fresh
+    /// evaluation cache.
     ///
     /// # Errors
     ///
-    /// Fails only if the *starting* candidate cannot be evaluated;
-    /// infeasible neighbours are skipped silently.
+    /// Fails only if the *starting* candidate cannot be evaluated.
+    /// Neighbours whose evaluation fails are skipped, counted in
+    /// [`Trace::skipped_errors`], and reported via
+    /// [`Trace::first_error`].
     pub fn run(&self, start: &Machine, kernels: &[Kernel]) -> Result<Trace, EvalError> {
+        self.run_cached(start, kernels, &EvalCache::new())
+    }
+
+    /// Runs exploration reusing `cache` — candidates structurally
+    /// identical to anything already in the cache (from this run or a
+    /// previous one) are never re-evaluated.
+    ///
+    /// # Errors
+    ///
+    /// As [`Explorer::run`].
+    pub fn run_cached(
+        &self,
+        start: &Machine,
+        kernels: &[Kernel],
+        cache: &EvalCache,
+    ) -> Result<Trace, EvalError> {
         match self.strategy {
-            Strategy::Greedy => self.run_greedy(start, kernels),
-            Strategy::Beam { width } => self.run_beam(start, kernels, width.max(1)),
+            Strategy::Greedy => self.run_greedy(start, kernels, cache),
+            Strategy::Beam { width } => self.run_beam(start, kernels, width.max(1), cache),
         }
     }
 
-    fn run_greedy(&self, start: &Machine, kernels: &[Kernel]) -> Result<Trace, EvalError> {
+    /// Resolves the worker count for a frontier of `work` candidates.
+    fn worker_count(&self, work: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        };
+        configured.clamp(1, work.max(1))
+    }
+
+    /// Evaluates a frontier of candidates: deduplicates structurally
+    /// identical machines, reuses cached outcomes, and fans the
+    /// remaining fresh evaluations out over [`Explorer::threads`]
+    /// scoped workers fed from a shared index. Results are committed to
+    /// the cache and returned in input order, so downstream reductions
+    /// see the same outcomes regardless of worker scheduling.
+    fn eval_frontier(
+        &self,
+        cache: &EvalCache,
+        kernels: &[Kernel],
+        candidates: &[Machine],
+    ) -> FrontierEval {
+        let keys: Vec<String> = candidates.iter().map(EvalCache::key).collect();
+
+        // Unique structures in first-occurrence order. `slot_for[i]`
+        // maps candidate `i` to its representative slot.
+        let mut slot_of_key: HashMap<&str, usize> = HashMap::new();
+        let mut slot_candidate: Vec<usize> = Vec::new();
+        let mut slot_for: Vec<usize> = Vec::with_capacity(candidates.len());
+        let mut first_occurrence = Vec::with_capacity(candidates.len());
+        for (i, key) in keys.iter().enumerate() {
+            let next = slot_candidate.len();
+            let slot = *slot_of_key.entry(key.as_str()).or_insert(next);
+            if slot == next {
+                slot_candidate.push(i);
+            }
+            first_occurrence.push(slot == next);
+            slot_for.push(slot);
+        }
+
+        // Resolve each unique structure from the cache; the rest go to
+        // the worker pool.
+        let mut slot_outcome: Vec<Option<Result<Evaluation, EvalError>>> =
+            Vec::with_capacity(slot_candidate.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for (slot, &ci) in slot_candidate.iter().enumerate() {
+            match cache.get(&keys[ci]) {
+                Some(outcome) => slot_outcome.push(Some(outcome)),
+                None => {
+                    slot_outcome.push(None);
+                    pending.push(slot);
+                }
+            }
+        }
+
+        let fresh = pending.len();
+        if fresh > 0 {
+            let results: Vec<Mutex<Option<Result<Evaluation, EvalError>>>> =
+                (0..fresh).map(|_| Mutex::new(None)).collect();
+            let workers = self.worker_count(fresh);
+            if workers == 1 {
+                // Inline fast path: no spawn overhead, clean backtraces.
+                for (j, &slot) in pending.iter().enumerate() {
+                    let machine = &candidates[slot_candidate[slot]];
+                    *results[j].lock().expect("result lock never poisoned") =
+                        Some(evaluate(machine, kernels, self.hgen));
+                }
+            } else {
+                let cursor = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let j = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&slot) = pending.get(j) else { break };
+                            let machine = &candidates[slot_candidate[slot]];
+                            let outcome = evaluate(machine, kernels, self.hgen);
+                            *results[j].lock().expect("result lock never poisoned") = Some(outcome);
+                        });
+                    }
+                });
+            }
+            // Commit in deterministic (proposal) order after the
+            // barrier, so cache contents never depend on scheduling.
+            for (j, &slot) in pending.iter().enumerate() {
+                let outcome = results[j]
+                    .lock()
+                    .expect("result lock never poisoned")
+                    .take()
+                    .expect("every pending slot was evaluated");
+                cache.insert(keys[slot_candidate[slot]].clone(), outcome.clone());
+                slot_outcome[slot] = Some(outcome);
+            }
+        }
+
+        let outcomes = slot_for
+            .iter()
+            .map(|&slot| slot_outcome[slot].clone().expect("all slots resolved"))
+            .collect();
+        FrontierEval { outcomes, first_occurrence, fresh }
+    }
+
+    /// Evaluates a single machine through the cache, updating counters.
+    fn eval_one(
+        &self,
+        cache: &EvalCache,
+        kernels: &[Kernel],
+        machine: &Machine,
+        counters: &mut Counters,
+    ) -> Result<Evaluation, EvalError> {
+        let fe = self.eval_frontier(cache, kernels, std::slice::from_ref(machine));
+        counters.evaluated += fe.fresh;
+        counters.cache_hits += 1 - fe.fresh;
+        fe.outcomes.into_iter().next().expect("one candidate, one outcome")
+    }
+
+    fn run_greedy(
+        &self,
+        start: &Machine,
+        kernels: &[Kernel],
+        cache: &EvalCache,
+    ) -> Result<Trace, EvalError> {
+        let mut counters = Counters::default();
         let mut current = start.clone();
-        let mut current_eval = evaluate(&current, kernels, self.hgen)?;
+        let mut current_eval = self.eval_one(cache, kernels, &current, &mut counters)?;
         let mut score = self.objective.score(&current_eval.metrics);
         let mut steps = vec![Step {
             action: "initial".to_owned(),
             metrics: current_eval.metrics.clone(),
             score,
         }];
-        let mut evaluated = 1;
 
         for _ in 0..self.max_steps {
-            let mutations = self.propose(&current, &current_eval);
-            let mut best: Option<(Mutation, Machine, Evaluation, f64)> = None;
-            for m in mutations {
-                let Some(candidate) = apply_mutation(&current, &m) else {
-                    continue;
-                };
-                let Ok(ev) = evaluate(&candidate, kernels, self.hgen) else {
-                    continue;
-                };
-                evaluated += 1;
-                let s = self.objective.score(&ev.metrics);
-                if s < score - 1e-9 && best.as_ref().is_none_or(|(_, _, _, bs)| s < *bs) {
-                    best = Some((m, candidate, ev, s));
+            let (actions, machines): (Vec<String>, Vec<Machine>) = self
+                .propose(&current, &current_eval)
+                .into_iter()
+                .filter_map(|m| apply_mutation(&current, &m).map(|c| (m.to_string(), c)))
+                .unzip();
+            let fe = self.eval_frontier(cache, kernels, &machines);
+            counters.evaluated += fe.fresh;
+            counters.cache_hits += machines.len() - fe.fresh;
+
+            // Serial reduction in proposal order: the earliest
+            // strictly-best improvement wins, exactly as in a serial
+            // scan.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, outcome) in fe.outcomes.iter().enumerate() {
+                match outcome {
+                    Ok(ev) => {
+                        let s = self.objective.score(&ev.metrics);
+                        if s < score - 1e-9 && best.is_none_or(|(_, bs)| s < bs) {
+                            best = Some((i, s));
+                        }
+                    }
+                    Err(e) => counters.skip(&actions[i], e),
                 }
             }
-            match best {
-                Some((m, machine, ev, s)) => {
-                    steps.push(Step { action: m.to_string(), metrics: ev.metrics.clone(), score: s });
-                    current = machine;
-                    current_eval = ev;
-                    score = s;
-                }
-                None => break,
-            }
+            let Some((i, s)) = best else { break };
+            let Ok(ev) = fe.outcomes.into_iter().nth(i).expect("index in range") else {
+                unreachable!("best candidate came from an Ok outcome");
+            };
+            steps.push(Step { action: actions[i].clone(), metrics: ev.metrics.clone(), score: s });
+            current = machines.into_iter().nth(i).expect("index in range");
+            current_eval = ev;
+            score = s;
         }
-        Ok(Trace { steps, machine: current, candidates_evaluated: evaluated })
+        Ok(Trace {
+            steps,
+            machine: current,
+            evaluated: counters.evaluated,
+            cache_hits: counters.cache_hits,
+            skipped_errors: counters.skipped_errors,
+            first_error: counters.first_error,
+        })
     }
 
     fn run_beam(
@@ -333,32 +670,45 @@ impl Explorer {
         start: &Machine,
         kernels: &[Kernel],
         width: usize,
+        cache: &EvalCache,
     ) -> Result<Trace, EvalError> {
-        let initial_eval = evaluate(start, kernels, self.hgen)?;
+        let mut counters = Counters::default();
+        let initial_eval = self.eval_one(cache, kernels, start, &mut counters)?;
         let initial_score = self.objective.score(&initial_eval.metrics);
         let mut steps = vec![Step {
             action: "initial".to_owned(),
             metrics: initial_eval.metrics.clone(),
             score: initial_score,
         }];
-        let mut evaluated = 1usize;
         // (machine, eval, score, action that produced it)
         let mut beam = vec![(start.clone(), initial_eval, initial_score, String::new())];
         let mut best = 0usize; // index into beam of the overall best
 
         for _ in 0..self.max_steps {
+            let (actions, machines): (Vec<String>, Vec<Machine>) = beam
+                .iter()
+                .flat_map(|(machine, ev, _, _)| {
+                    self.propose(machine, ev)
+                        .into_iter()
+                        .filter_map(|m| apply_mutation(machine, &m).map(|c| (m.to_string(), c)))
+                })
+                .unzip();
+            let fe = self.eval_frontier(cache, kernels, &machines);
+            counters.evaluated += fe.fresh;
+            counters.cache_hits += machines.len() - fe.fresh;
+
+            // Keep the first occurrence of every structure: different
+            // parents frequently reach the same machine, and clones
+            // would waste beam slots on one lineage.
             let mut frontier: Vec<(Machine, Evaluation, f64, String)> = Vec::new();
-            for (machine, ev, _, _) in &beam {
-                for m in self.propose(machine, ev) {
-                    let Some(candidate) = apply_mutation(machine, &m) else {
-                        continue;
-                    };
-                    let Ok(cev) = evaluate(&candidate, kernels, self.hgen) else {
-                        continue;
-                    };
-                    evaluated += 1;
-                    let s = self.objective.score(&cev.metrics);
-                    frontier.push((candidate, cev, s, m.to_string()));
+            for (i, (action, machine)) in actions.into_iter().zip(machines).enumerate() {
+                match &fe.outcomes[i] {
+                    Ok(ev) if fe.first_occurrence[i] => {
+                        let s = self.objective.score(&ev.metrics);
+                        frontier.push((machine, ev.clone(), s, action));
+                    }
+                    Ok(_) => {} // within-frontier duplicate, deduped
+                    Err(e) => counters.skip(&action, e),
                 }
             }
             if frontier.is_empty() {
@@ -381,7 +731,14 @@ impl Explorer {
             }
         }
         let (machine, _, _, _) = beam.swap_remove(best);
-        Ok(Trace { steps, machine, candidates_evaluated: evaluated })
+        Ok(Trace {
+            steps,
+            machine,
+            evaluated: counters.evaluated,
+            cache_hits: counters.cache_hits,
+            skipped_errors: counters.skipped_errors,
+            first_error: counters.first_error,
+        })
     }
 
     /// Proposes mutations guided by the utilization statistics.
@@ -444,7 +801,10 @@ impl Explorer {
             .filter(|(r, &n)| n > 0 && machine.fields[r.field.0].nop != Some(r.op))
             .map(|(&r, &n)| (r, n))
             .collect();
-        used.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        // Tie-break equal counts by `OpRef` order — `HashMap` iteration
+        // order must never leak into the proposal list, or two
+        // identically-configured runs could diverge.
+        used.sort_by_key(|&(r, n)| (std::cmp::Reverse(n), r));
         used.truncate(6);
         for (i, &(a, _)) in used.iter().enumerate() {
             for &(b, _) in &used[i + 1..] {
@@ -526,7 +886,101 @@ mod tests {
         );
         // The improved machine still computes the right answer (the
         // evaluator re-ran the workload at every step).
-        assert!(trace.candidates_evaluated > trace.steps.len());
+        assert!(trace.candidates_evaluated() > trace.steps.len());
+    }
+
+    #[test]
+    fn eval_cache_counts_hits_and_misses() {
+        let m = toy();
+        let kernels = vec![workloads::dot_product(2)];
+        let cache = EvalCache::new();
+        let key = EvalCache::key(&m);
+        assert!(cache.get(&key).is_none(), "empty cache misses");
+        assert_eq!(cache.miss_count(), 1);
+        let outcome = evaluate(&m, &kernels, HgenOptions::default());
+        cache.insert(key.clone(), outcome);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key).is_some(), "stored outcome is returned");
+        assert_eq!(cache.hit_count(), 1);
+        assert_eq!(cache.miss_count(), 1);
+        // Structurally identical machines share one key.
+        assert_eq!(EvalCache::key(&m.clone()), key);
+        assert_eq!(EvalCache::structural_hash(&m.clone()), EvalCache::structural_hash(&m));
+    }
+
+    #[test]
+    fn cached_run_never_reevaluates_known_machines() {
+        let kernels = vec![workloads::dot_product(2)];
+        let explorer = Explorer { max_steps: 4, ..Explorer::default() };
+        let cache = EvalCache::new();
+        let first = explorer.run_cached(&toy(), &kernels, &cache).expect("explores");
+        assert!(first.evaluated > 0);
+        let second = explorer.run_cached(&toy(), &kernels, &cache).expect("explores");
+        assert_eq!(second.evaluated, 0, "every candidate was already cached");
+        assert_eq!(second.cache_hits, second.candidates_evaluated());
+        // Counters differ (that is the point), but the search itself
+        // must be unchanged: same steps, same final machine.
+        assert_eq!(first.steps.len(), second.steps.len());
+        assert!(
+            first.steps.iter().zip(&second.steps).all(|(a, b)| a.semantic_eq(b)),
+            "cache reuse preserves the steps"
+        );
+        assert_eq!(first.machine, second.machine, "cache reuse preserves the result");
+    }
+
+    #[test]
+    fn poisoned_cache_entries_are_counted_and_reported() {
+        let kernels = vec![workloads::dot_product(2)];
+        let explorer = Explorer { max_steps: 4, ..Explorer::default() };
+        // Find the machine the first greedy step would move to, then
+        // poison its cache entry so the run must skip it.
+        let clean = explorer.run(&toy(), &kernels).expect("explores");
+        assert!(clean.steps.len() > 1, "need at least one improvement step");
+        assert_eq!(clean.skipped_errors, 0);
+        assert!(clean.first_error.is_none());
+
+        let cache = EvalCache::new();
+        let poisoned_action = clean.steps[1].action.clone();
+        let step1 = clean
+            .steps
+            .get(1)
+            .map(|_| {
+                // Re-derive the machine after the first accepted step by
+                // replaying the first mutation choice through the engine:
+                // run with max_steps = 1 and take the resulting machine.
+                Explorer { max_steps: 1, ..explorer.clone() }
+                    .run(&toy(), &kernels)
+                    .expect("explores")
+                    .machine
+            })
+            .expect("step exists");
+        cache
+            .insert(EvalCache::key(&step1), Err(EvalError::Synthesis("injected fault".to_owned())));
+        let trace = explorer.run_cached(&toy(), &kernels, &cache).expect("explores");
+        assert!(trace.skipped_errors > 0, "poisoned candidate was counted");
+        let first = trace.first_error.as_deref().expect("first error recorded");
+        assert!(
+            first.contains("injected fault") && first.starts_with(&poisoned_action),
+            "error names the mutation and cause: {first}"
+        );
+    }
+
+    #[test]
+    fn single_candidate_frontier_uses_one_eval() {
+        let kernels = vec![workloads::dot_product(2)];
+        let explorer = Explorer::default();
+        let cache = EvalCache::new();
+        let m = toy();
+        let fe = explorer.eval_frontier(&cache, &kernels, std::slice::from_ref(&m));
+        assert_eq!(fe.fresh, 1);
+        assert_eq!(fe.outcomes.len(), 1);
+        assert!(fe.first_occurrence[0]);
+        // Duplicate input: one fresh eval for two candidates.
+        let cache = EvalCache::new();
+        let fe = explorer.eval_frontier(&cache, &kernels, &[m.clone(), m]);
+        assert_eq!(fe.fresh, 1);
+        assert_eq!(fe.outcomes.len(), 2);
+        assert_eq!(fe.first_occurrence, vec![true, false]);
     }
 }
 
@@ -546,10 +1000,7 @@ mod nt_option_tests {
         let explorer = Explorer { max_steps: 10, ..Explorer::default() };
         let trace = explorer.run(&start, &kernels).expect("explores");
         assert!(
-            trace
-                .steps
-                .iter()
-                .any(|s| s.action.contains("remove option")),
+            trace.steps.iter().any(|s| s.action.contains("remove option")),
             "steps: {:?}",
             trace.steps.iter().map(|s| s.action.clone()).collect::<Vec<_>>()
         );
@@ -580,19 +1031,36 @@ mod beam_tests {
         let greedy = Explorer { max_steps: 4, ..Explorer::default() }
             .run(&start, &kernels)
             .expect("greedy explores");
-        let beam = Explorer {
-            max_steps: 4,
-            strategy: Strategy::Beam { width: 3 },
-            ..Explorer::default()
-        }
-        .run(&start, &kernels)
-        .expect("beam explores");
+        let beam =
+            Explorer { max_steps: 4, strategy: Strategy::Beam { width: 3 }, ..Explorer::default() }
+                .run(&start, &kernels)
+                .expect("beam explores");
         let g = greedy.steps.last().expect("steps").score;
         let b = beam.steps.last().expect("steps").score;
         assert!(b <= g + 1e-9, "beam ({b}) must not lose to greedy ({g})");
         assert!(
-            beam.candidates_evaluated >= greedy.candidates_evaluated,
+            beam.candidates_evaluated() >= greedy.candidates_evaluated(),
             "the wider search costs more evaluations"
+        );
+    }
+
+    #[test]
+    fn beam_frontier_dedup_turns_duplicates_into_cache_hits() {
+        let start = isdl::load(isdl::samples::TOY).expect("loads");
+        let kernels = vec![workloads::dot_product(2)];
+        let beam =
+            Explorer { max_steps: 4, strategy: Strategy::Beam { width: 3 }, ..Explorer::default() }
+                .run(&start, &kernels)
+                .expect("beam explores");
+        // Sibling beam entries propose overlapping mutations, so the
+        // deduplicated frontier must evaluate strictly fewer machines
+        // than the raw candidate count.
+        assert!(beam.cache_hits > 0, "duplicate candidates hit the cache");
+        assert!(
+            beam.evaluated < beam.candidates_evaluated(),
+            "dedup reduced fresh evaluations: {} of {}",
+            beam.evaluated,
+            beam.candidates_evaluated()
         );
     }
 }

@@ -40,4 +40,6 @@ pub mod workloads;
 
 pub use compiler::{compile, AOp, Capabilities, CompileError, Compiled, Kernel, VReg};
 pub use eval::{evaluate, EvalError, Evaluation, Metrics};
-pub use explore::{apply_mutation, Explorer, Mutation, Objective, Step, Trace};
+pub use explore::{
+    apply_mutation, EvalCache, Explorer, Mutation, Objective, Step, Strategy, Trace,
+};

@@ -1,0 +1,82 @@
+//! Determinism of the parallel exploration engine: the trace must be
+//! bit-identical (up to wall-clock synthesis time) at every thread
+//! count, for every strategy. The frontier is deduplicated and cached
+//! before work is spawned, and the reduction runs serially in proposal
+//! order, so worker scheduling can never leak into the result.
+
+use archex::{workloads, EvalCache, Explorer, Strategy};
+
+fn toy() -> isdl::Machine {
+    isdl::load(isdl::samples::TOY).expect("TOY fixture loads")
+}
+
+fn explorer(strategy: Strategy, threads: usize) -> Explorer {
+    Explorer { max_steps: 6, strategy, threads, ..Explorer::default() }
+}
+
+#[test]
+fn parallel_greedy_trace_matches_serial() {
+    let kernels = vec![workloads::dot_product(3)];
+    let serial = explorer(Strategy::Greedy, 1).run(&toy(), &kernels).expect("explores");
+    let parallel = explorer(Strategy::Greedy, 4).run(&toy(), &kernels).expect("explores");
+    assert!(serial.steps.len() > 1, "the run actually improved something");
+    assert!(
+        serial.semantic_eq(&parallel),
+        "greedy trace depends on thread count:\n  serial   {:?}\n  parallel {:?}",
+        serial.steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+        parallel.steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn parallel_beam_trace_matches_serial() {
+    let kernels = vec![workloads::dot_product(3)];
+    let strategy = Strategy::Beam { width: 3 };
+    let serial = explorer(strategy, 1).run(&toy(), &kernels).expect("explores");
+    let parallel = explorer(strategy, 4).run(&toy(), &kernels).expect("explores");
+    assert!(
+        serial.semantic_eq(&parallel),
+        "beam trace depends on thread count:\n  serial   {:?}\n  parallel {:?}",
+        serial.steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+        parallel.steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn serial_runs_are_deterministic() {
+    // Two identically configured runs must agree with *themselves*
+    // before thread-count comparisons mean anything — this guards the
+    // proposal ordering against hash-map iteration order.
+    let kernels = vec![workloads::dot_product(3)];
+    for strategy in [Strategy::Greedy, Strategy::Beam { width: 3 }] {
+        let a = explorer(strategy, 1).run(&toy(), &kernels).expect("explores");
+        let b = explorer(strategy, 1).run(&toy(), &kernels).expect("explores");
+        assert!(a.semantic_eq(&b), "{strategy:?} differs between identical runs");
+    }
+}
+
+#[test]
+fn beam_run_hits_the_cache() {
+    // Sibling beam entries propose overlapping mutations; the memoized
+    // frontier must convert those duplicates into cache hits.
+    let kernels = vec![workloads::dot_product(3)];
+    let trace = explorer(Strategy::Beam { width: 3 }, 2).run(&toy(), &kernels).expect("explores");
+    assert!(trace.cache_hits > 0, "beam search re-proposed nothing?");
+    assert!(trace.evaluated < trace.candidates_evaluated());
+    assert_eq!(trace.skipped_errors, 0, "TOY neighbours all evaluate");
+    assert!(trace.first_error.is_none());
+}
+
+#[test]
+fn shared_cache_carries_across_runs() {
+    let kernels = vec![workloads::dot_product(3)];
+    let cache = EvalCache::new();
+    let e = explorer(Strategy::Greedy, 2);
+    let first = e.run_cached(&toy(), &kernels, &cache).expect("explores");
+    let warm = e.run_cached(&toy(), &kernels, &cache).expect("explores");
+    assert!(first.evaluated > 0);
+    assert_eq!(warm.evaluated, 0, "second run re-evaluated a cached machine");
+    assert_eq!(warm.cache_hits, first.candidates_evaluated());
+    assert_eq!(first.machine, warm.machine);
+    assert!(cache.hit_count() >= warm.cache_hits);
+}

@@ -64,21 +64,77 @@ type Reg = u16;
 
 #[derive(Debug, Clone)]
 enum BOp {
-    Const { dst: Reg, val: u64 },
-    ReadParam { dst: Reg, slot: u16 },
-    ReadSt { dst: Reg, sid: StorageId },
-    ReadIdx { dst: Reg, sid: StorageId, idx: Reg, depth: u64 },
-    Bin { op: BinOp, w: u32, dst: Reg, a: Reg, b: Reg },
-    Un { op: UnOp, w: u32, dst: Reg, a: Reg },
-    Slice { dst: Reg, src: Reg, hi: u32, lo: u32 },
-    Sext { dst: Reg, src: Reg, from_w: u32, to_w: u32 },
+    Const {
+        dst: Reg,
+        val: u64,
+    },
+    ReadParam {
+        dst: Reg,
+        slot: u16,
+    },
+    ReadSt {
+        dst: Reg,
+        sid: StorageId,
+    },
+    ReadIdx {
+        dst: Reg,
+        sid: StorageId,
+        idx: Reg,
+        depth: u64,
+    },
+    Bin {
+        op: BinOp,
+        w: u32,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Un {
+        op: UnOp,
+        w: u32,
+        dst: Reg,
+        a: Reg,
+    },
+    Slice {
+        dst: Reg,
+        src: Reg,
+        hi: u32,
+        lo: u32,
+    },
+    Sext {
+        dst: Reg,
+        src: Reg,
+        from_w: u32,
+        to_w: u32,
+    },
     /// Zext and trunc are pure masks on u64 lanes.
-    Mask { dst: Reg, src: Reg, w: u32 },
+    Mask {
+        dst: Reg,
+        src: Reg,
+        w: u32,
+    },
     /// `dst = (a << b_width) | b` — lowered concat.
-    Cat { dst: Reg, a: Reg, b: Reg, b_width: u32 },
-    JmpIfZero { cond: Reg, target: usize },
-    Jmp { target: usize },
-    Write { sid: StorageId, idx: Option<Reg>, depth: u64, hi: u32, lo: u32, src: Reg },
+    Cat {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        b_width: u32,
+    },
+    JmpIfZero {
+        cond: Reg,
+        target: usize,
+    },
+    Jmp {
+        target: usize,
+    },
+    Write {
+        sid: StorageId,
+        idx: Option<Reg>,
+        depth: u64,
+        hi: u32,
+        lo: u32,
+        src: Reg,
+    },
 }
 
 impl Cache {
@@ -194,11 +250,9 @@ fn build_slots(bindings: &[Binding], next: &mut u16) -> Vec<PSlot> {
                 *next += 1;
                 s
             }
-            Binding::Nt { nt, option, args } => PSlot::Nt {
-                nt: *nt,
-                option: *option,
-                args: build_slots(args, next),
-            },
+            Binding::Nt { nt, option, args } => {
+                PSlot::Nt { nt: *nt, option: *option, args: build_slots(args, next) }
+            }
         })
         .collect()
 }
@@ -314,10 +368,8 @@ impl Compiler<'_> {
                 // `&mut self` borrow, so the option outlives the call.
                 let machine = self.machine;
                 let opt = &machine.nonterminals[*nt].options[*option];
-                let inner = opt
-                    .value_lvalue
-                    .as_ref()
-                    .expect("sema checked the option is assignable");
+                let inner =
+                    opt.value_lvalue.as_ref().expect("sema checked the option is assignable");
                 let args = args.clone();
                 self.compile_lvalue(inner, &args)
             }
@@ -390,12 +442,9 @@ impl Compiler<'_> {
                 // Comparisons need the operand width, not the 1-bit
                 // result width.
                 let w = match b {
-                    BinOp::Eq
-                    | BinOp::Ne
-                    | BinOp::Ult
-                    | BinOp::Ule
-                    | BinOp::Slt
-                    | BinOp::Sle => x.width,
+                    BinOp::Eq | BinOp::Ne | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle => {
+                        x.width
+                    }
                     _ => e.width,
                 };
                 self.code.push(BOp::Bin { op: *b, w, dst, a, b: bb });
@@ -424,12 +473,9 @@ impl Compiler<'_> {
                 let src = self.compile_expr(inner, slots)?;
                 let dst = self.fresh();
                 match kind {
-                    ExtKind::Sext => self.code.push(BOp::Sext {
-                        dst,
-                        src,
-                        from_w: inner.width,
-                        to_w: e.width,
-                    }),
+                    ExtKind::Sext => {
+                        self.code.push(BOp::Sext { dst, src, from_w: inner.width, to_w: e.width })
+                    }
                     ExtKind::Zext | ExtKind::Trunc => {
                         self.code.push(BOp::Mask { dst, src, w: e.width.min(inner.width) })
                     }
@@ -651,13 +697,21 @@ mod tests {
         for w in [1u32, 5, 8, 16, 31, 32, 63, 64] {
             // Operands must fit the lane width, as they do in real
             // execution (every producer masks its result).
-            let samples: Vec<u64> =
-                vec![0, 1 & mask(w), 2 & mask(w), 3 & mask(w), mask(w), mask(w) >> 1, 0xAB & mask(w)];
+            let samples: Vec<u64> = vec![
+                0,
+                1 & mask(w),
+                2 & mask(w),
+                3 & mask(w),
+                mask(w),
+                mask(w) >> 1,
+                0xAB & mask(w),
+            ];
             for &a in &samples {
                 for &b in &samples {
-                    for op in [Add, Sub, Mul, UDiv, URem, SDiv, SRem, And, Or, Xor, Eq, Ne, Ult,
-                        Ule, Slt, Sle, LAnd, LOr]
-                    {
+                    for op in [
+                        Add, Sub, Mul, UDiv, URem, SDiv, SRem, And, Or, Xor, Eq, Ne, Ult, Ule, Slt,
+                        Sle, LAnd, LOr,
+                    ] {
                         let x = BitVector::from_u64(a, w);
                         let y = BitVector::from_u64(b, w);
                         let expect = crate::exec::eval_binop(op, &x, &y).to_u64_lossy();

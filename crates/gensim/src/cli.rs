@@ -136,11 +136,8 @@ pub fn run_command(sim: &mut Xsim<'_>, line: &str, out: &mut String) -> bool {
         "events" => {
             for e in sim.state_mut().take_events() {
                 let name = &sim.machine().storages[e.storage.0].name;
-                let _ = writeln!(
-                    out,
-                    "cycle {}: {name}[{}] {} -> {}",
-                    e.cycle, e.index, e.old, e.new
-                );
+                let _ =
+                    writeln!(out, "cycle {}: {name}[{}] {} -> {}", e.cycle, e.index, e.old, e.new);
             }
             true
         }
@@ -149,10 +146,7 @@ pub fn run_command(sim: &mut Xsim<'_>, line: &str, out: &mut String) -> bool {
             true
         }
         "disasm" => {
-            let addr = args
-                .first()
-                .and_then(|a| parse_num(a))
-                .unwrap_or_else(|| sim.pc());
+            let addr = args.first().and_then(|a| parse_num(a)).unwrap_or_else(|| sim.pc());
             match sim.disassemble_at(addr) {
                 Some(text) => {
                     let _ = writeln!(out, "{addr:#x}: {text}");
@@ -205,11 +199,7 @@ fn dispatch_attached_commands(sim: &mut Xsim<'_>, out: &mut String) {
     for e in &events {
         let monitor = &sim.state().monitors()[e.monitor];
         let name = &sim.machine().storages[e.storage.0].name;
-        let _ = writeln!(
-            out,
-            "cycle {}: {name}[{}] {} -> {}",
-            e.cycle, e.index, e.old, e.new
-        );
+        let _ = writeln!(out, "cycle {}: {name}[{}] {} -> {}", e.cycle, e.index, e.old, e.new);
         if let Some(c) = &monitor.command {
             commands.push(c.clone());
         }
@@ -263,7 +253,8 @@ mod tests {
 
     #[test]
     fn batch_session() {
-        let (machine, asm) = sim_with("ldi 7\naddm ten\nsta 0\nhalt\n.data\n.org 20\nten: .word 10\n");
+        let (machine, asm) =
+            sim_with("ldi 7\naddm ten\nsta 0\nhalt\n.data\n.org 20\nten: .word 10\n");
         let program = Assembler::new(&machine).assemble(&asm).expect("assembles");
         let mut sim = Xsim::generate(&machine).expect("generates");
         sim.load_program(&program);

@@ -185,10 +185,8 @@ fn resolve_lvalue<V: StateView>(
                 unreachable!("sema only allows non-terminal parameters as destinations")
             };
             let opt = &machine.nonterminals[*nt].options[*option];
-            let inner = opt
-                .value_lvalue
-                .as_ref()
-                .expect("sema checked destination options are assignable");
+            let inner =
+                opt.value_lvalue.as_ref().expect("sema checked destination options are assignable");
             let sub = Frame { op: opt, bindings: args };
             resolve_lvalue(machine, inner, sub, view)
         }
@@ -310,9 +308,7 @@ mod tests {
     /// Decodes a word and executes field `fi`'s action.
     fn run_action(s: &mut Setup, word: u64, fi: usize) -> Vec<StagedWrite> {
         let d = Disassembler::new(&s.machine);
-        let instr = d
-            .decode(&[BitVector::from_u64(word, 32)], 0)
-            .expect("decodes");
+        let instr = d.decode(&[BitVector::from_u64(word, 32)], 0).expect("decodes");
         let dop = &instr.ops[fi];
         let op = s.machine.op(dop.op);
         let bindings: Vec<Binding> = dop.args.iter().map(binding_from_operand).collect();
@@ -391,9 +387,7 @@ mod tests {
         // recomputing the subtraction against cycle-start state.
         let word = (0b00010u64 << 27) | (2 << 24) | (1 << 21) | (0b0001 << 17);
         let d = Disassembler::new(&s.machine);
-        let instr = d
-            .decode(&[BitVector::from_u64(word, 32)], 0)
-            .expect("decodes");
+        let instr = d.decode(&[BitVector::from_u64(word, 32)], 0).expect("decodes");
         let dop = &instr.ops[0];
         let op = s.machine.op(dop.op);
         let bindings: Vec<Binding> = dop.args.iter().map(binding_from_operand).collect();
@@ -429,10 +423,7 @@ mod tests {
         assert_eq!(eval_binop(BinOp::Add, &a, &b).to_u64_lossy(), 0x01);
         assert_eq!(eval_binop(BinOp::Ult, &b, &a).to_u64_lossy(), 1);
         assert_eq!(eval_binop(BinOp::Slt, &a, &b).to_u64_lossy(), 1); // 0xF0 is negative
-        assert_eq!(
-            eval_binop(BinOp::Shl, &b, &BitVector::from_u64(200, 8)).to_u64_lossy(),
-            0
-        );
+        assert_eq!(eval_binop(BinOp::Shl, &b, &BitVector::from_u64(200, 8)).to_u64_lossy(), 0);
         assert_eq!(eval_binop(BinOp::LAnd, &a, &BitVector::zero(8)).to_u64_lossy(), 0);
         assert_eq!(eval_binop(BinOp::LOr, &a, &BitVector::zero(8)).to_u64_lossy(), 1);
     }

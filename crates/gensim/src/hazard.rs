@@ -13,9 +13,9 @@
 
 use crate::exec::Binding;
 use crate::sched::DecodedEntry;
-use std::rc::Rc;
 use isdl::model::{Machine, Operation, StorageKind};
 use isdl::rtl::{RExpr, RExprKind, RLvalue, RStmt, StorageId};
+use std::rc::Rc;
 
 /// A state cell touched by an operation: a specific cell when the index
 /// is statically known, or the whole storage otherwise.
@@ -63,10 +63,7 @@ pub(crate) fn compute_static_stalls(
     let mut field_use: Vec<Option<(u64, u32, u32)>> = vec![None; machine.fields.len()];
     let mut pos: u64 = 0;
 
-    let entries = decoded
-        .iter()
-        .enumerate()
-        .filter_map(|(a, e)| e.as_ref().map(|e| (a as u64, e)));
+    let entries = decoded.iter().enumerate().filter_map(|(a, e)| e.as_ref().map(|e| (a as u64, e)));
     for (addr, entry) in entries {
         let mut stall: u32 = 0;
         // Gather this instruction's accesses across all fields.
@@ -183,8 +180,7 @@ fn collect_lvalue(
         RLvalue::StorageIndexed(id, idx) => {
             collect_expr_reads(machine, idx, op, bindings, out);
             if hazard_relevant(machine, *id) {
-                let index = const_eval(idx, bindings)
-                    .map(|v| v % machine.storage(*id).cells());
+                let index = const_eval(idx, bindings).map(|v| v % machine.storage(*id).cells());
                 out.writes.push(Cell { storage: *id, index });
             }
         }
@@ -217,8 +213,7 @@ fn collect_expr_reads(
         RExprKind::StorageIndexed(id, idx) => {
             collect_expr_reads(machine, idx, op, bindings, out);
             if hazard_relevant(machine, *id) {
-                let index = const_eval(idx, bindings)
-                    .map(|v| v % machine.storage(*id).cells());
+                let index = const_eval(idx, bindings).map(|v| v % machine.storage(*id).cells());
                 out.reads.push(Cell { storage: *id, index });
             }
         }

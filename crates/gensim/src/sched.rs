@@ -336,8 +336,7 @@ impl<'m> Xsim<'m> {
         {
             let width = st.width;
             for &(addr, v) in &program.data {
-                self.state
-                    .poke(StorageId(dm), addr, BitVector::from_i64(v, width));
+                self.state.poke(StorageId(dm), addr, BitVector::from_i64(v, width));
             }
         }
         self.set_pc(program.entry);
@@ -407,21 +406,11 @@ impl<'m> Xsim<'m> {
     }
 
     fn build_entry(&mut self, instr: DecodedInstr) -> DecodedEntry {
-        let bindings: Vec<Vec<Binding>> = instr
-            .ops
-            .iter()
-            .map(|d| d.args.iter().map(binding_from_operand).collect())
-            .collect();
-        let cycle_cost = instr
-            .ops
-            .iter()
-            .map(|d| self.machine.op(d.op).costs.cycle)
-            .max()
-            .unwrap_or(1);
-        let halts = instr
-            .ops
-            .iter()
-            .any(|d| self.machine.op(d.op).name == "halt");
+        let bindings: Vec<Vec<Binding>> =
+            instr.ops.iter().map(|d| d.args.iter().map(binding_from_operand).collect()).collect();
+        let cycle_cost =
+            instr.ops.iter().map(|d| self.machine.op(d.op).costs.cycle).max().unwrap_or(1);
+        let halts = instr.ops.iter().any(|d| self.machine.op(d.op).name == "halt");
         let plans = if self.options.core == CoreKind::Bytecode {
             instr
                 .ops
@@ -430,9 +419,8 @@ impl<'m> Xsim<'m> {
                 .map(|(d, b)| {
                     let op = self.machine.op(d.op);
                     let action = self.bytecode.prepare(self.machine, d.op, Phase::Action, b);
-                    let side_effects = (!op.side_effects.is_empty()).then(|| {
-                        self.bytecode.prepare(self.machine, d.op, Phase::SideEffects, b)
-                    });
+                    let side_effects = (!op.side_effects.is_empty())
+                        .then(|| self.bytecode.prepare(self.machine, d.op, Phase::SideEffects, b));
                     Plan {
                         action,
                         side_effects,
@@ -597,8 +585,14 @@ impl<'m> Xsim<'m> {
             if w.storage == self.pc_id {
                 pc_written = true;
             }
-            self.state
-                .stage_write(w.storage, w.index, w.hi, w.lo, w.value, t + u64::from(w.latency));
+            self.state.stage_write(
+                w.storage,
+                w.index,
+                w.hi,
+                w.lo,
+                w.value,
+                t + u64::from(w.latency),
+            );
         }
         self.action_buf = action_writes;
         self.se_buf = se_writes;
@@ -695,9 +689,8 @@ mod tests {
         let stop = sim.run(100_000);
         assert_eq!(stop, StopReason::Halted, "program should halt");
         let dm = m.storage_by_name("DM").expect("DM").0;
-        let dump: Vec<u64> = (0..sim.state().depth(dm))
-            .map(|i| sim.state().read_u64(dm, i))
-            .collect();
+        let dump: Vec<u64> =
+            (0..sim.state().depth(dm)).map(|i| sim.state().read_u64(dm, i)).collect();
         let stats = sim.stats().clone();
         (m, stats, dump)
     }
@@ -835,12 +828,11 @@ E: jmp E
             "#,
         )
         .expect("loads");
-        let p = Assembler::new(&m)
-            .assemble("seta\nst reg(R2)\nst mem(R0)\nhalt\n")
-            .expect("assembles");
+        let p =
+            Assembler::new(&m).assemble("seta\nst reg(R2)\nst mem(R0)\nhalt\n").expect("assembles");
         for core in [CoreKind::Tree, CoreKind::Bytecode] {
-            let mut sim =
-                Xsim::generate_with(&m, XsimOptions { core, offline_decode: true }).expect("generates");
+            let mut sim = Xsim::generate_with(&m, XsimOptions { core, offline_decode: true })
+                .expect("generates");
             sim.load_program(&p);
             assert_eq!(sim.run(100), StopReason::Halted);
             let rf = m.storage_by_name("RF").expect("RF").0;
@@ -892,7 +884,8 @@ E: jmp E
     #[test]
     fn cycle_limit() {
         let m = acc16();
-        let p = Assembler::new(&m).assemble("loop: jmp loop2\nloop2: jmp loop\n").expect("assembles");
+        let p =
+            Assembler::new(&m).assemble("loop: jmp loop2\nloop2: jmp loop\n").expect("assembles");
         let mut sim = Xsim::generate(&m).expect("generates");
         sim.load_program(&p);
         assert_eq!(sim.run(50), StopReason::CycleLimit);

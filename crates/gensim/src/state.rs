@@ -277,11 +277,7 @@ impl State {
 /// Finds the storage id of the first storage with the given kind.
 #[must_use]
 pub fn find_storage(machine: &Machine, kind: StorageKind) -> Option<StorageId> {
-    machine
-        .storages
-        .iter()
-        .position(|s| s.kind == kind)
-        .map(StorageId)
+    machine.storages.iter().position(|s| s.kind == kind).map(StorageId)
 }
 
 #[cfg(test)]

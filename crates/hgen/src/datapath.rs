@@ -19,8 +19,8 @@ use crate::decode::{DecodePlan, DecodeStyle};
 use crate::share::{NodeOwner, ShareClass, ShareNode};
 use bitv::BitVector;
 use isdl::model::{Machine, NtId, OpRef, Operation, ParamType, StorageKind};
-use isdl::sema::ceil_log2;
 use isdl::rtl::{BinOp, ExtKind, RExpr, RExprKind, RLvalue, RStmt, StorageId, UnOp};
+use isdl::sema::ceil_log2;
 use vlog::ast::{VBinOp, VExpr, VUnOp};
 
 /// A shareable datapath node with its wiring.
@@ -222,19 +222,15 @@ impl<'m> DatapathBuilder<'m> {
             RStmt::If { cond, then_body, else_body } => {
                 let c = self.lower_expr(cond, ctx);
                 let c = self.as_net(c, 1);
-                let then_guard =
-                    VExpr::binary(VBinOp::And, ctx.guard.clone(), c.clone());
+                let then_guard = VExpr::binary(VBinOp::And, ctx.guard.clone(), c.clone());
                 let mut then_ctx = ctx.clone();
                 then_ctx.guard = then_guard;
                 for s in then_body {
                     self.lower_stmt(s, &then_ctx);
                 }
                 if !else_body.is_empty() {
-                    let else_guard = VExpr::binary(
-                        VBinOp::And,
-                        ctx.guard.clone(),
-                        VExpr::unary(VUnOp::Not, c),
-                    );
+                    let else_guard =
+                        VExpr::binary(VBinOp::And, ctx.guard.clone(), VExpr::unary(VUnOp::Not, c));
                     let mut else_ctx = ctx.clone();
                     else_ctx.guard = else_guard;
                     for s in else_body {
@@ -272,7 +268,10 @@ impl<'m> DatapathBuilder<'m> {
                     key,
                     ctx,
                     &mut |b, opt_ctx| {
-                        let inner = opt_ctx.op.value_lvalue.clone()
+                        let inner = opt_ctx
+                            .op
+                            .value_lvalue
+                            .clone()
                             .expect("sema checked assignable options");
                         b.lower_write(&inner, value.clone(), width, opt_ctx);
                         VExpr::const_u64(0, 1) // unused for writes
@@ -351,8 +350,7 @@ impl<'m> DatapathBuilder<'m> {
                     key,
                     ctx,
                     &mut |b, opt_ctx| {
-                        let value =
-                            opt_ctx.op.value.clone().expect("sema checked value exists");
+                        let value = opt_ctx.op.value.clone().expect("sema checked value exists");
                         b.lower_expr(&value, opt_ctx)
                     },
                 ),
@@ -425,8 +423,16 @@ impl<'m> DatapathBuilder<'m> {
         }
         let vop = map_binop(op);
         let shareable = match vop {
-            VBinOp::Add | VBinOp::Sub | VBinOp::Mul | VBinOp::Div | VBinOp::Mod
-            | VBinOp::SDiv | VBinOp::SRem | VBinOp::Lt | VBinOp::Le | VBinOp::SLt
+            VBinOp::Add
+            | VBinOp::Sub
+            | VBinOp::Mul
+            | VBinOp::Div
+            | VBinOp::Mod
+            | VBinOp::SDiv
+            | VBinOp::SRem
+            | VBinOp::Lt
+            | VBinOp::Le
+            | VBinOp::SLt
             | VBinOp::SLe => true,
             VBinOp::Shl | VBinOp::Shr | VBinOp::AShr => {
                 // Constant shifts are wiring; only barrel shifters count.
@@ -513,9 +519,7 @@ impl<'m> DatapathBuilder<'m> {
         let ntd = &self.machine.nonterminals[nt.0];
         let mut arms: Vec<(VExpr, VExpr)> = Vec::new();
         for (oi, opt) in ntd.options.iter().enumerate() {
-            let line =
-                self.plan
-                    .nt_option_line(nt, oi, &self.instr_net, positions, self.style);
+            let line = self.plan.nt_option_line(nt, oi, &self.instr_net, positions, self.style);
             let line = self.as_net(line, 1);
             let guard = VExpr::binary(VBinOp::And, ctx.guard.clone(), line.clone());
             let mut options_here = options_above.to_vec();
@@ -529,11 +533,13 @@ impl<'m> DatapathBuilder<'m> {
                     leaf_path.push(ai);
                     match p.ty {
                         ParamType::Token(_) => {
-                            let pos = self.plan.leaf_positions(ctx.op_ref, &leaf_path, &options_here);
+                            let pos =
+                                self.plan.leaf_positions(ctx.op_ref, &leaf_path, &options_here);
                             ParamBind::Token(self.plan.param_value_expr(&self.instr_net, &pos))
                         }
                         ParamType::NonTerminal(inner_nt) => {
-                            let pos = self.plan.leaf_positions(ctx.op_ref, &leaf_path, &options_here);
+                            let pos =
+                                self.plan.leaf_positions(ctx.op_ref, &leaf_path, &options_here);
                             ParamBind::Nt {
                                 nt: inner_nt,
                                 positions: pos,
@@ -547,14 +553,8 @@ impl<'m> DatapathBuilder<'m> {
                 .collect();
             let mut nt_context = ctx.nt_context.clone();
             nt_context.push((key, oi));
-            let opt_ctx = Ctx {
-                op_ref: ctx.op_ref,
-                op: opt,
-                binds,
-                guard,
-                nt_context,
-                latency: ctx.latency,
-            };
+            let opt_ctx =
+                Ctx { op_ref: ctx.op_ref, op: opt, binds, guard, nt_context, latency: ctx.latency };
             let value = per_option(self, &opt_ctx);
             arms.push((line, value));
         }
@@ -611,9 +611,10 @@ pub fn storage_reads(machine: &Machine, op: &Operation) -> Vec<StorageId> {
 fn collect_reads(machine: &Machine, e: &RExpr, out: &mut Vec<StorageId>) {
     match &e.kind {
         RExprKind::Storage(sid) | RExprKind::StorageIndexed(sid, _)
-            if hazard_relevant(machine, *sid) => {
-                out.push(*sid);
-            }
+            if hazard_relevant(machine, *sid) =>
+        {
+            out.push(*sid);
+        }
         RExprKind::Param(_) => {
             // Non-terminal values may read storages; the caller unions
             // over options via `nt_storage_reads`.
@@ -694,11 +695,7 @@ fn hazard_relevant(machine: &Machine, sid: StorageId) -> bool {
 /// A convenience: the maximum write-back latency in the machine.
 #[must_use]
 pub fn max_latency(machine: &Machine) -> u32 {
-    machine
-        .all_ops()
-        .map(|(_, o)| o.timing.latency)
-        .max()
-        .unwrap_or(1)
+    machine.all_ops().map(|(_, o)| o.timing.latency).max().unwrap_or(1)
 }
 
 /// Unused import keeper for BitVector-based constants in tests.
@@ -725,33 +722,18 @@ mod tests {
     fn toy_extracts_adders_and_ports() {
         let (m, dp) = build_toy();
         // Adders: add, sub(+Z sides), mac's add, etc.
-        let adders = dp
-            .nodes
-            .iter()
-            .filter(|n| n.share.class == ShareClass::AddSub)
-            .count();
+        let adders = dp.nodes.iter().filter(|n| n.share.class == ShareClass::AddSub).count();
         assert!(adders >= 4, "several adder/subtractor instances, got {adders}");
-        let muls = dp
-            .nodes
-            .iter()
-            .filter(|n| n.share.class == ShareClass::Bin(VBinOp::Mul))
-            .count();
+        let muls =
+            dp.nodes.iter().filter(|n| n.share.class == ShareClass::Bin(VBinOp::Mul)).count();
         assert_eq!(muls, 1, "one multiplier (mac)");
         // Memory reads: DM ports from ld and the `ind` option.
         let dm = m.storage_by_name("DM").expect("DM").0;
-        let dm_reads = dp
-            .nodes
-            .iter()
-            .filter(|n| n.share.class == ShareClass::MemRead(dm))
-            .count();
+        let dm_reads = dp.nodes.iter().filter(|n| n.share.class == ShareClass::MemRead(dm)).count();
         assert!(dm_reads >= 2, "ld and the ind addressing mode read DM");
         // Register-file reads are ports too.
         let rf = m.storage_by_name("RF").expect("RF").0;
-        let rf_reads = dp
-            .nodes
-            .iter()
-            .filter(|n| n.share.class == ShareClass::MemRead(rf))
-            .count();
+        let rf_reads = dp.nodes.iter().filter(|n| n.share.class == ShareClass::MemRead(rf)).count();
         assert!(rf_reads > 5, "register file is read everywhere");
     }
 
@@ -771,11 +753,7 @@ mod tests {
     fn nt_options_produce_exclusive_owners() {
         let (_, dp) = build_toy();
         // The SRC non-terminal's DM read carries an option context.
-        let with_ctx = dp
-            .nodes
-            .iter()
-            .filter(|n| !n.share.owner.nt_context.is_empty())
-            .count();
+        let with_ctx = dp.nodes.iter().filter(|n| !n.share.owner.nt_context.is_empty()).count();
         assert!(with_ctx > 0, "option-scoped nodes exist");
     }
 

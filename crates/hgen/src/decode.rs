@@ -73,7 +73,9 @@ impl<'m> DecodePlan<'m> {
             .map(|nt| {
                 nt.options
                     .iter()
-                    .map(|o| Signature::from_encoding(&o.encode, nt.width).expect("validated machine"))
+                    .map(|o| {
+                        Signature::from_encoding(&o.encode, nt.width).expect("validated machine")
+                    })
                     .collect()
             })
             .collect();
@@ -352,7 +354,6 @@ mod tests {
         assert_eq!(pos[7], Some(23));
         let e = plan.param_value_expr("instr", &pos);
         assert_eq!(expr_text(&e), "instr[23:16]");
-
     }
 
     #[test]
@@ -401,14 +402,8 @@ mod tests {
         m.add_wire("y", 64);
         m.assign(LValue::net("y"), e.clone());
         let text = m.to_verilog();
-        let line = text
-            .lines()
-            .find(|l| l.contains("assign y ="))
-            .expect("assign emitted");
-        line.trim()
-            .trim_start_matches("assign y = ")
-            .trim_end_matches(';')
-            .to_owned()
+        let line = text.lines().find(|l| l.contains("assign y =")).expect("assign emitted");
+        line.trim().trim_start_matches("assign y = ").trim_end_matches(';').to_owned()
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! The generated module is self-contained: clock in, `pc_out` out; the
 //! test bench drives memories directly through the netlist simulator.
 
-use crate::datapath::{max_latency, storage_reads_with_nts, storage_writes_with_nts, Datapath, DpNode, WriteReq};
+use crate::datapath::{
+    max_latency, storage_reads_with_nts, storage_writes_with_nts, Datapath, DpNode, WriteReq,
+};
 use crate::decode::{DecodePlan, DecodeStyle};
 use crate::share::{plan as share_plan, ShareClass, ShareNode, ShareOptions, SharePlan};
 use isdl::model::{Machine, OpRef};
@@ -77,7 +79,11 @@ pub fn emit(
         let addr = if k == 0 {
             VExpr::net(pc_name.clone())
         } else {
-            VExpr::binary(VBinOp::Add, VExpr::net(pc_name.clone()), VExpr::const_u64(u64::from(k), pc_w))
+            VExpr::binary(
+                VBinOp::Add,
+                VExpr::net(pc_name.clone()),
+                VExpr::const_u64(u64::from(k), pc_w),
+            )
         };
         fetch_parts.push(VExpr::Index(imem_name.clone(), Box::new(addr)));
     }
@@ -144,11 +150,8 @@ pub fn emit(
             stall_terms.push(VExpr::binary(VBinOp::And, touching, busy_nz));
             // Issue condition: a late writer decoded and not stalled.
             let issue = or_tree(writers.iter().map(|r| VExpr::net(dec_name(*r))).collect());
-            let issue = VExpr::binary(
-                VBinOp::And,
-                issue,
-                VExpr::unary(VUnOp::Not, VExpr::net("stall")),
-            );
+            let issue =
+                VExpr::binary(VBinOp::And, issue, VExpr::unary(VUnOp::Not, VExpr::net("stall")));
             let dec = VExpr::cond(
                 VExpr::unary(VUnOp::RedOr, VExpr::net(busy.clone())),
                 VExpr::binary(VBinOp::Sub, VExpr::net(busy.clone()), VExpr::const_u64(1, ctr_w)),
@@ -215,10 +218,8 @@ pub fn emit(
 }
 
 fn sanitize(name: &str) -> String {
-    let s: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let s: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
     if s.is_empty() {
         "machine".to_owned()
     } else {
@@ -264,10 +265,8 @@ impl UnitEmitter<'_, '_> {
         let b_name = if first.b.is_some() {
             let name = format!("u{u}_b");
             self.m.add_wire(&name, in_w);
-            let mut b_mux = nodes[*group.last().expect("non-empty")]
-                .b
-                .clone()
-                .expect("class-consistent group");
+            let mut b_mux =
+                nodes[*group.last().expect("non-empty")].b.clone().expect("class-consistent group");
             for &i in group.iter().rev().skip(1) {
                 b_mux = VExpr::cond(
                     nodes[i].guard.clone(),
@@ -305,11 +304,9 @@ impl UnitEmitter<'_, '_> {
                     )
                 }
             }
-            ShareClass::Bin(op) => VExpr::binary(
-                op,
-                VExpr::net(a_name),
-                VExpr::net(b_name.expect("binary unit")),
-            ),
+            ShareClass::Bin(op) => {
+                VExpr::binary(op, VExpr::net(a_name), VExpr::net(b_name.expect("binary unit")))
+            }
             ShareClass::MemRead(sid) => {
                 let mem = self.machine.storage(sid).name.clone();
                 VExpr::Index(mem, Box::new(VExpr::net(a_name)))
@@ -471,11 +468,7 @@ impl WritebackEmitter<'_, '_> {
             let mut data_mux = self.full_width_value(&st.name, last.addr.clone(), st.width, last);
             for r in members.iter().rev().skip(1) {
                 let g = self.effective_guard(r);
-                addr_mux = VExpr::cond(
-                    g.clone(),
-                    r.addr.clone().expect("addressed"),
-                    addr_mux,
-                );
+                addr_mux = VExpr::cond(g.clone(), r.addr.clone().expect("addressed"), addr_mux);
                 data_mux = VExpr::cond(
                     g,
                     self.full_width_value(&st.name, r.addr.clone(), st.width, r),
@@ -528,8 +521,10 @@ impl WritebackEmitter<'_, '_> {
                 let name = format!("rmw_{}_{}", target, self.dly);
                 self.dly += 1;
                 self.m.add_wire(&name, width);
-                self.m
-                    .assign(LValue::net(name.clone()), VExpr::Index(target.to_owned(), Box::new(a)));
+                self.m.assign(
+                    LValue::net(name.clone()),
+                    VExpr::Index(target.to_owned(), Box::new(a)),
+                );
                 name
             }
         };

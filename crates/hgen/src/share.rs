@@ -61,12 +61,9 @@ impl NodeOwner {
     }
 
     fn exclusive_within_op(&self, other: &Self) -> bool {
-        self.nt_context.iter().any(|(k, o)| {
-            other
-                .nt_context
-                .iter()
-                .any(|(k2, o2)| k == k2 && o != o2)
-        })
+        self.nt_context
+            .iter()
+            .any(|(k, o)| other.nt_context.iter().any(|(k2, o2)| k == k2 && o != o2))
     }
 }
 
@@ -176,10 +173,7 @@ fn compatible(machine: &Machine, a: &ShareNode, b: &ShareNode, opts: ShareOption
 
 /// Whether an `archinfo` share hint names both operations.
 fn hinted_together(machine: &Machine, a: OpRef, b: OpRef) -> bool {
-    machine
-        .share_hints
-        .iter()
-        .any(|h| h.ops.contains(&a) && h.ops.contains(&b))
+    machine.share_hints.iter().any(|h| h.ops.contains(&a) && h.ops.contains(&b))
 }
 
 /// Whether the constraints prove operations `a` and `b` can never be
@@ -203,10 +197,7 @@ pub fn constraints_exclude(machine: &Machine, a: OpRef, b: OpRef) -> bool {
     }
     mentioned.sort_unstable();
     mentioned.dedup();
-    let combos: u64 = mentioned
-        .iter()
-        .map(|&f| machine.fields[f].ops.len() as u64)
-        .product();
+    let combos: u64 = mentioned.iter().map(|&f| machine.fields[f].ops.len() as u64).product();
     if combos > 65_536 {
         return false; // too large to prove; assume co-occurrence possible
     }
@@ -318,12 +309,7 @@ fn clique_cover(n: usize, cliques: Vec<Vec<usize>>, matrix: &[Vec<bool>]) -> Vec
         // subset of a clique is a clique).
         let best = remaining
             .iter()
-            .map(|c| {
-                c.iter()
-                    .copied()
-                    .filter(|&v| !covered[v])
-                    .collect::<Vec<_>>()
-            })
+            .map(|c| c.iter().copied().filter(|&v| !covered[v]).collect::<Vec<_>>())
             .max_by_key(Vec::len)
             .unwrap_or_default();
         if best.is_empty() {
@@ -379,10 +365,7 @@ mod tests {
     #[test]
     fn same_op_nodes_do_not_share() {
         let m = toy();
-        let nodes = vec![
-            node(ShareClass::AddSub, 16, 0, 0),
-            node(ShareClass::AddSub, 16, 0, 0),
-        ];
+        let nodes = vec![node(ShareClass::AddSub, 16, 0, 0), node(ShareClass::AddSub, 16, 0, 0)];
         let p = plan(&m, &nodes, ShareOptions::default());
         assert_eq!(p.unit_count(), 2);
     }

@@ -60,9 +60,9 @@ pub struct SpannedTok {
 
 /// All multi-character punctuation, longest first so maximal munch works.
 const PUNCTS: &[&str] = &[
-    "<->", "<-", "<=s", "<s", ">=s", ">>>", "<<", ">>", ">s", "==", "!=", "<=", ">=", "&&", "||", "/s",
-    "%s", "{", "}", "(", ")", "[", "]", ";", ",", ":", "=", "<", ">", "+", "-", "*", "/", "%",
-    "&", "|", "^", "~", "!", ".", "?", "@",
+    "<->", "<-", "<=s", "<s", ">=s", ">>>", "<<", ">>", ">s", "==", "!=", "<=", ">=", "&&", "||",
+    "/s", "%s", "{", "}", "(", ")", "[", "]", ";", ",", ":", "=", "<", ">", "+", "-", "*", "/",
+    "%", "&", "|", "^", "~", "!", ".", "?", "@",
 ];
 
 /// Tokenizes `src` completely.
@@ -200,17 +200,13 @@ impl<'a> Lexer<'a> {
         // Sized literal: digits followed by a tick.
         if self.peek() == Some(b'\'') {
             self.bump(); // tick
-            // base char + digits/underscores
-            while self
-                .peek()
-                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
-            {
+                         // base char + digits/underscores
+            while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
                 self.bump();
             }
             let text = std::str::from_utf8(&self.src[start..self.i]).expect("ASCII");
-            let bv: BitVector = text
-                .parse()
-                .map_err(|e| self.err(format!("bad sized literal `{text}`: {e}")))?;
+            let bv: BitVector =
+                text.parse().map_err(|e| self.err(format!("bad sized literal `{text}`: {e}")))?;
             return Ok(Tok::Sized(bv));
         }
         // 0x / 0b / 0o prefixes.
@@ -226,10 +222,7 @@ impl<'a> Lexer<'a> {
                 if let Some(radix) = radix {
                     self.bump();
                     let dstart = self.i;
-                    while self
-                        .peek()
-                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
-                    {
+                    while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
                         self.bump();
                     }
                     let digits: String = std::str::from_utf8(&self.src[dstart..self.i])
@@ -247,10 +240,7 @@ impl<'a> Lexer<'a> {
             }
         }
         // Plain decimal (allow underscores in the tail).
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_digit() || c == b'_')
-        {
+        while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
             self.bump();
         }
         let digits: String = std::str::from_utf8(&self.src[start..self.i])
@@ -258,9 +248,7 @@ impl<'a> Lexer<'a> {
             .chars()
             .filter(|&c| c != '_')
             .collect();
-        let v: u64 = digits
-            .parse()
-            .map_err(|e| self.err(format!("bad integer literal: {e}")))?;
+        let v: u64 = digits.parse().map_err(|e| self.err(format!("bad integer literal: {e}")))?;
         Ok(Tok::Int(v))
     }
 
@@ -275,14 +263,10 @@ impl<'a> Lexer<'a> {
                     Some(b'"') => s.push('"'),
                     Some(b'\\') => s.push('\\'),
                     Some(b'n') => s.push('\n'),
-                    other => {
-                        return Err(self.err(format!("unsupported string escape {other:?}")))
-                    }
+                    other => return Err(self.err(format!("unsupported string escape {other:?}"))),
                 },
                 Some(c) => s.push(c as char),
-                None => {
-                    return Err(IsdlError::new(ErrorKind::Lex, start, "unterminated string"))
-                }
+                None => return Err(IsdlError::new(ErrorKind::Lex, start, "unterminated string")),
             }
         }
     }
@@ -358,12 +342,7 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             toks("a // line\n b /* block\n still */ c"),
-            vec![
-                Tok::Ident("a".into()),
-                Tok::Ident("b".into()),
-                Tok::Ident("c".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
         );
     }
 

@@ -50,10 +50,9 @@ impl fmt::Display for Lint {
             Self::UnusedNonTerminal { name } => {
                 write!(f, "non-terminal `{name}` is never used")
             }
-            Self::FieldWithoutNop { name } => write!(
-                f,
-                "field `{name}` has no `nop`: the assembler cannot default it"
-            ),
+            Self::FieldWithoutNop { name } => {
+                write!(f, "field `{name}` has no `nop`: the assembler cannot default it")
+            }
             Self::UnusedStorage { name } => {
                 write!(f, "storage `{name}` is never read or written")
             }
@@ -183,11 +182,7 @@ mod tests {
 
     #[test]
     fn clean_fixtures_have_no_lints() {
-        for src in [
-            crate::samples::TOY,
-            crate::samples::SPAM,
-            crate::samples::SPAM2,
-        ] {
+        for src in [crate::samples::TOY, crate::samples::SPAM, crate::samples::SPAM2] {
             let m = crate::load(src).expect("loads");
             let lints = lint(&m);
             assert!(lints.is_empty(), "unexpected lints: {lints:?}");
@@ -234,14 +229,8 @@ mod tests {
         .expect("loads");
         let lints = lint(&m);
         assert!(lints.contains(&Lint::UnusedToken { name: "DEAD".into() }), "{lints:?}");
-        assert!(
-            lints.contains(&Lint::UnusedNonTerminal { name: "ORPHAN".into() }),
-            "{lints:?}"
-        );
-        assert!(
-            lints.contains(&Lint::FieldWithoutNop { name: "NONOP".into() }),
-            "{lints:?}"
-        );
+        assert!(lints.contains(&Lint::UnusedNonTerminal { name: "ORPHAN".into() }), "{lints:?}");
+        assert!(lints.contains(&Lint::FieldWithoutNop { name: "NONOP".into() }), "{lints:?}");
         assert!(lints.contains(&Lint::UnusedStorage { name: "GHOST".into() }), "{lints:?}");
         assert!(
             lints.contains(&Lint::EffectlessOperation { name: "NONOP.idle".into() }),

@@ -310,9 +310,9 @@ impl Constraint {
     #[must_use]
     pub fn check(&self, selected: &[usize]) -> bool {
         match self {
-            Self::Forbid(ops) => !ops
-                .iter()
-                .all(|r| selected.get(r.field.0).is_some_and(|&o| o == r.op)),
+            Self::Forbid(ops) => {
+                !ops.iter().all(|r| selected.get(r.field.0).is_some_and(|&o| o == r.op))
+            }
             Self::Assert(e) => e.eval(selected),
         }
     }
@@ -392,11 +392,7 @@ impl Machine {
     /// Looks up an operation by `field` and `op` name.
     #[must_use]
     pub fn op_by_name(&self, field: &str, op: &str) -> Option<OpRef> {
-        let (fi, f) = self
-            .fields
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.name == field)?;
+        let (fi, f) = self.fields.iter().enumerate().find(|(_, f)| f.name == field)?;
         let oi = f.ops.iter().position(|o| o.name == op)?;
         Some(OpRef { field: FieldId(fi), op: oi })
     }
@@ -428,21 +424,13 @@ impl Machine {
     /// fields — the number of words a fetch may need.
     #[must_use]
     pub fn max_op_size(&self) -> u32 {
-        self.fields
-            .iter()
-            .flat_map(|f| f.ops.iter())
-            .map(|o| o.costs.size)
-            .max()
-            .unwrap_or(1)
+        self.fields.iter().flat_map(|f| f.ops.iter()).map(|o| o.costs.size).max().unwrap_or(1)
     }
 
     /// Iterates over all `(OpRef, &Operation)` pairs in field order.
     pub fn all_ops(&self) -> impl Iterator<Item = (OpRef, &Operation)> {
         self.fields.iter().enumerate().flat_map(|(fi, f)| {
-            f.ops
-                .iter()
-                .enumerate()
-                .map(move |(oi, o)| (OpRef { field: FieldId(fi), op: oi }, o))
+            f.ops.iter().enumerate().map(move |(oi, o)| (OpRef { field: FieldId(fi), op: oi }, o))
         })
     }
 
@@ -450,9 +438,7 @@ impl Machine {
     /// constraint; returns the first violated constraint's index.
     #[must_use]
     pub fn check_constraints(&self, selected: &[usize]) -> Option<usize> {
-        self.constraints
-            .iter()
-            .position(|c| !c.check(selected))
+        self.constraints.iter().position(|c| !c.check(selected))
     }
 }
 

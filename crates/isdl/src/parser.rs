@@ -218,7 +218,8 @@ impl Parser {
                     let a = self.int()?;
                     if self.eat_if_punct(":") {
                         let b = self.int_u32()?;
-                        range = Some((u32::try_from(a).map_err(|_| self.err("range too large"))?, b));
+                        range =
+                            Some((u32::try_from(a).map_err(|_| self.err("range too large"))?, b));
                     } else {
                         index = Some(a);
                     }
@@ -285,9 +286,8 @@ impl Parser {
                         "signed" => true,
                         "unsigned" => false,
                         other => {
-                            return Err(self.err(format!(
-                                "expected `signed` or `unsigned`, found `{other}`"
-                            )))
+                            return Err(self
+                                .err(format!("expected `signed` or `unsigned`, found `{other}`")))
                         }
                     };
                     self.eat_punct(")")?;
@@ -303,9 +303,9 @@ impl Parser {
                     TokenKindAst::Enum { names }
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "expected token kind (reg/imm/enum), found `{other}`"
-                    )))
+                    return Err(
+                        self.err(format!("expected token kind (reg/imm/enum), found `{other}`"))
+                    )
                 }
             };
             self.eat_punct(";")?;
@@ -517,10 +517,9 @@ impl Parser {
                 self.eat_punct(";")?;
                 d.constraints.push(ConstraintDef::Assert { expr, pos });
             } else {
-                return Err(self.err(format!(
-                    "expected `forbid` or `assert`, found {}",
-                    self.peek()
-                )));
+                return Err(
+                    self.err(format!("expected `forbid` or `assert`, found {}", self.peek()))
+                );
             }
         }
         Ok(())
@@ -600,10 +599,9 @@ impl Parser {
                 d.archinfo.cycle_ns = Some(v);
                 self.eat_punct(";")?;
             } else {
-                return Err(self.err(format!(
-                    "expected `share` or `cycle_ns`, found {}",
-                    self.peek()
-                )));
+                return Err(
+                    self.err(format!("expected `share` or `cycle_ns`, found {}", self.peek()))
+                );
             }
         }
         Ok(())
@@ -915,7 +913,9 @@ mod tests {
 
     #[test]
     fn alias_with_index_and_range() {
-        let d = parse_desc("storage { regfile RF 32 x 16; alias SP = RF[15]; alias SPL = RF[15][15:0]; }");
+        let d = parse_desc(
+            "storage { regfile RF 32 x 16; alias SP = RF[15]; alias SPL = RF[15][15:0]; }",
+        );
         assert_eq!(d.aliases[0].index, Some(15));
         assert_eq!(d.aliases[0].range, None);
         assert_eq!(d.aliases[1].index, Some(15));
@@ -929,10 +929,7 @@ mod tests {
                         token CC enum("eq", "ne", "lt"); }"#,
         );
         assert_eq!(d.tokens.len(), 3);
-        assert_eq!(
-            d.tokens[0].kind,
-            TokenKindAst::Register { prefix: "R".into(), count: 16 }
-        );
+        assert_eq!(d.tokens[0].kind, TokenKindAst::Register { prefix: "R".into(), count: 16 });
         assert_eq!(d.tokens[1].kind, TokenKindAst::Immediate { width: 8, signed: true });
     }
 
@@ -987,9 +984,7 @@ mod tests {
 
     #[test]
     fn constraints_section() {
-        let d = parse_desc(
-            "constraints { forbid MOVE.mv2, MEM.load; assert !(A.x & B.y) | C.z; }",
-        );
+        let d = parse_desc("constraints { forbid MOVE.mv2, MEM.load; assert !(A.x & B.y) | C.z; }");
         assert_eq!(d.constraints.len(), 2);
         match &d.constraints[1] {
             ConstraintDef::Assert { expr, .. } => {
@@ -1044,10 +1039,7 @@ mod tests {
 
     #[test]
     fn expr_ext_and_concat() {
-        assert!(matches!(
-            parse_one_expr("sext(a, 16)"),
-            Expr::Ext(ExtKind::Sext, _, 16)
-        ));
+        assert!(matches!(parse_one_expr("sext(a, 16)"), Expr::Ext(ExtKind::Sext, _, 16)));
         assert!(matches!(parse_one_expr("concat(a, b, c)"), Expr::Concat(v) if v.len() == 3));
     }
 
@@ -1073,18 +1065,9 @@ mod tests {
 
     #[test]
     fn signed_ops_parse() {
-        assert!(matches!(
-            parse_one_expr("a <s b"),
-            Expr::Binary(BinOp::Slt, _, _)
-        ));
-        assert!(matches!(
-            parse_one_expr("a /s b"),
-            Expr::Binary(BinOp::SDiv, _, _)
-        ));
-        assert!(matches!(
-            parse_one_expr("a >s b"),
-            Expr::Binary(BinOp::Slt, _, _)
-        ));
+        assert!(matches!(parse_one_expr("a <s b"), Expr::Binary(BinOp::Slt, _, _)));
+        assert!(matches!(parse_one_expr("a /s b"), Expr::Binary(BinOp::SDiv, _, _)));
+        assert!(matches!(parse_one_expr("a >s b"), Expr::Binary(BinOp::Slt, _, _)));
     }
 
     #[test]
@@ -1093,14 +1076,8 @@ mod tests {
             .expect("lexes")
             .parse_description()
             .is_err());
-        assert!(Parser::new("storage { weird X 8; }")
-            .expect("lexes")
-            .parse_description()
-            .is_err());
-        assert!(Parser::new("field F { op x(] }")
-            .expect("lexes")
-            .parse_description()
-            .is_err());
+        assert!(Parser::new("storage { weird X 8; }").expect("lexes").parse_description().is_err());
+        assert!(Parser::new("field F { op x(] }").expect("lexes").parse_description().is_err());
     }
 
     #[test]
@@ -1112,9 +1089,6 @@ mod tests {
         assert_eq!(enc[0].hi, 5);
         assert_eq!(enc[0].lo, 5);
         assert_eq!(enc[1].rhs, BitRhsDef::Const(BitVector::from_u64(0b1010, 4)));
-        assert_eq!(
-            enc[2].rhs,
-            BitRhsDef::ParamSlice { name: "p".into(), hi: 3, lo: 3 }
-        );
+        assert_eq!(enc[2].rhs, BitRhsDef::ParamSlice { name: "p".into(), hi: 3, lo: 3 });
     }
 }

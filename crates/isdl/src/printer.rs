@@ -21,7 +21,11 @@ use std::fmt::Write as _;
 pub fn print(machine: &Machine) -> String {
     let mut out = String::new();
     let p = Printer { m: machine };
-    let _ = write!(out, "machine \"{}\" {{ format {{ word {}; }} }}\n\n", machine.name, machine.word_width);
+    let _ = write!(
+        out,
+        "machine \"{}\" {{ format {{ word {}; }} }}\n\n",
+        machine.name, machine.word_width
+    );
 
     // storage
     out.push_str("storage {\n");
@@ -61,11 +65,8 @@ pub fn print(machine: &Machine) -> String {
                     let _ = writeln!(out, "    token {} imm({}, {sgn});", t.name, t.width);
                 }
                 TokenKind::Enum { names } => {
-                    let list = names
-                        .iter()
-                        .map(|n| format!("\"{n}\""))
-                        .collect::<Vec<_>>()
-                        .join(", ");
+                    let list =
+                        names.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", ");
                     let _ = writeln!(out, "    token {} enum({list});", t.name);
                 }
             }
@@ -101,11 +102,8 @@ pub fn print(machine: &Machine) -> String {
         for c in &machine.constraints {
             match c {
                 Constraint::Forbid(ops) => {
-                    let list = ops
-                        .iter()
-                        .map(|r| machine.op_name(*r))
-                        .collect::<Vec<_>>()
-                        .join(", ");
+                    let list =
+                        ops.iter().map(|r| machine.op_name(*r)).collect::<Vec<_>>().join(", ");
                     let _ = writeln!(out, "    forbid {list};");
                 }
                 Constraint::Assert(e) => {
@@ -120,12 +118,7 @@ pub fn print(machine: &Machine) -> String {
     if !machine.share_hints.is_empty() || machine.cycle_ns_hint.is_some() {
         out.push_str("archinfo {\n");
         for h in &machine.share_hints {
-            let list = h
-                .ops
-                .iter()
-                .map(|r| machine.op_name(*r))
-                .collect::<Vec<_>>()
-                .join(", ");
+            let list = h.ops.iter().map(|r| machine.op_name(*r)).collect::<Vec<_>>().join(", ");
             let _ = writeln!(out, "    share {}: {list};", h.name);
         }
         if let Some(ns) = machine.cycle_ns_hint {
@@ -324,12 +317,9 @@ impl Printer<'_> {
                 };
                 format!("({} {sym} {})", self.expr(a, o), self.expr(b, o))
             }
-            RExprKind::Cond(c, t, f) => format!(
-                "({} ? {} : {})",
-                self.expr(c, o),
-                self.expr(t, o),
-                self.expr(f, o)
-            ),
+            RExprKind::Cond(c, t, f) => {
+                format!("({} ? {} : {})", self.expr(c, o), self.expr(t, o), self.expr(f, o))
+            }
             RExprKind::Ext(kind, inner) => {
                 let f = match kind {
                     ExtKind::Zext => "zext",
@@ -339,11 +329,7 @@ impl Printer<'_> {
                 format!("{f}({}, {})", self.expr(inner, o), e.width)
             }
             RExprKind::Concat(parts) => {
-                let list = parts
-                    .iter()
-                    .map(|p| self.expr(p, o))
-                    .collect::<Vec<_>>()
-                    .join(", ");
+                let list = parts.iter().map(|p| self.expr(p, o)).collect::<Vec<_>>().join(", ");
                 format!("concat({list})")
             }
         }

@@ -200,11 +200,7 @@ mod tests {
 
     #[test]
     fn lvalue_width() {
-        let lv = RLvalue::Slice {
-            base: Box::new(RLvalue::Storage(StorageId(0))),
-            hi: 7,
-            lo: 4,
-        };
+        let lv = RLvalue::Slice { base: Box::new(RLvalue::Storage(StorageId(0))), hi: 7, lo: 4 };
         assert_eq!(lv.width_with(&|_| 32, &|_| 0), 4);
         assert_eq!(RLvalue::Storage(StorageId(0)).width_with(&|_| 32, &|_| 0), 32);
     }

@@ -173,8 +173,7 @@ impl<'a> Analyzer<'a> {
                     format!("storage `{}` of kind `{kind}` cannot have a depth", s.name),
                 ));
             }
-            self.storage_ids
-                .insert(s.name.clone(), StorageId(self.storages.len()));
+            self.storage_ids.insert(s.name.clone(), StorageId(self.storages.len()));
             self.storages.push(Storage {
                 name: s.name.clone(),
                 kind,
@@ -252,7 +251,11 @@ impl<'a> Analyzer<'a> {
             let (kind, width) = match &t.kind {
                 ast::TokenKindAst::Register { prefix, count } => {
                     if *count == 0 {
-                        return Err(err(ErrorKind::Semantic, t.pos, "register token count is zero"));
+                        return Err(err(
+                            ErrorKind::Semantic,
+                            t.pos,
+                            "register token count is zero",
+                        ));
                     }
                     (
                         TokenKind::Register { prefix: prefix.clone(), count: *count },
@@ -319,7 +322,11 @@ impl<'a> Analyzer<'a> {
                 }
                 options.push(op);
             }
-            self.check_pairwise_decodable(&options, nt.width, &format!("non-terminal `{}`", nt.name))?;
+            self.check_pairwise_decodable(
+                &options,
+                nt.width,
+                &format!("non-terminal `{}`", nt.name),
+            )?;
             self.nt_ids.insert(nt.name.clone(), NtId(self.nonterminals.len()));
             self.nonterminals.push(NonTerminal {
                 name: nt.name.clone(),
@@ -370,7 +377,11 @@ impl<'a> Analyzer<'a> {
             fields.push(Field { name: f.name.clone(), ops, nop });
         }
         if fields.is_empty() {
-            return Err(err(ErrorKind::Semantic, Pos::unknown(), "no instruction-set fields defined"));
+            return Err(err(
+                ErrorKind::Semantic,
+                Pos::unknown(),
+                "no instruction-set fields defined",
+            ));
         }
         Ok(fields)
     }
@@ -385,10 +396,8 @@ impl<'a> Analyzer<'a> {
         enc_width: u32,
         what: &str,
     ) -> Result<(), IsdlError> {
-        let sigs: Vec<Signature> = ops
-            .iter()
-            .map(|o| self.op_signature(o, enc_width))
-            .collect::<Result<_, _>>()?;
+        let sigs: Vec<Signature> =
+            ops.iter().map(|o| self.op_signature(o, enc_width)).collect::<Result<_, _>>()?;
         for i in 0..sigs.len() {
             for j in (i + 1)..sigs.len() {
                 if !sigs[i].distinguishable_from(&sigs[j]) {
@@ -497,7 +506,9 @@ impl<'a> Analyzer<'a> {
     ) -> Result<CExpr, IsdlError> {
         Ok(match e {
             ast::ConstraintExpr::Op(r) => CExpr::Op(self.resolve_op_ref(r, fields, pos)?),
-            ast::ConstraintExpr::Not(x) => CExpr::Not(Box::new(self.resolve_cexpr(x, fields, pos)?)),
+            ast::ConstraintExpr::Not(x) => {
+                CExpr::Not(Box::new(self.resolve_cexpr(x, fields, pos)?))
+            }
             ast::ConstraintExpr::And(a, b) => CExpr::And(
                 Box::new(self.resolve_cexpr(a, fields, pos)?),
                 Box::new(self.resolve_cexpr(b, fields, pos)?),
@@ -515,22 +526,17 @@ impl<'a> Analyzer<'a> {
         fields: &[Field],
         pos: Pos,
     ) -> Result<OpRef, IsdlError> {
-        let (fi, f) = fields
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.name == r.field)
-            .ok_or_else(|| err(ErrorKind::Undefined, pos, format!("field `{}` not found", r.field)))?;
-        let oi = f
-            .ops
-            .iter()
-            .position(|o| o.name == r.op)
-            .ok_or_else(|| {
-                err(
-                    ErrorKind::Undefined,
-                    pos,
-                    format!("operation `{}` not found in field `{}`", r.op, r.field),
-                )
+        let (fi, f) =
+            fields.iter().enumerate().find(|(_, f)| f.name == r.field).ok_or_else(|| {
+                err(ErrorKind::Undefined, pos, format!("field `{}` not found", r.field))
             })?;
+        let oi = f.ops.iter().position(|o| o.name == r.op).ok_or_else(|| {
+            err(
+                ErrorKind::Undefined,
+                pos,
+                format!("operation `{}` not found in field `{}`", r.op, r.field),
+            )
+        })?;
         Ok(OpRef { field: FieldId(fi), op: oi })
     }
 
@@ -600,16 +606,13 @@ impl<'a> Analyzer<'a> {
 
         // Encoding.
         let mut encode = Vec::new();
-        let mut param_cover: Vec<Vec<bool>> = params
-            .iter()
-            .map(|p| vec![false; self.param_enc_width(p.ty) as usize])
-            .collect();
+        let mut param_cover: Vec<Vec<bool>> =
+            params.iter().map(|p| vec![false; self.param_enc_width(p.ty) as usize]).collect();
         for a in &o.encode {
-            let span = a
-                .hi
-                .checked_sub(a.lo)
-                .map(|d| d + 1)
-                .ok_or_else(|| err(ErrorKind::Encoding, a.pos, "bit range high below low"))?;
+            let span =
+                a.hi.checked_sub(a.lo)
+                    .map(|d| d + 1)
+                    .ok_or_else(|| err(ErrorKind::Encoding, a.pos, "bit range high below low"))?;
             if a.hi >= enc_width {
                 return Err(err(
                     ErrorKind::Encoding,
@@ -626,7 +629,10 @@ impl<'a> Analyzer<'a> {
                         return Err(err(
                             ErrorKind::Width,
                             a.pos,
-                            format!("constant width {} does not match range width {span}", c.width()),
+                            format!(
+                                "constant width {} does not match range width {span}",
+                                c.width()
+                            ),
                         ));
                     }
                     BitRhs::Const(c.clone())
@@ -702,7 +708,10 @@ impl<'a> Analyzer<'a> {
                 return Err(err(
                     ErrorKind::Semantic,
                     o.pos,
-                    format!("operation `{}`: only non-terminal options may have a value clause", o.name),
+                    format!(
+                        "operation `{}`: only non-terminal options may have a value clause",
+                        o.name
+                    ),
                 ));
             }
             let rexpr = self.resolve_expr(v, None, &params, &scope)?;
@@ -761,10 +770,9 @@ impl<'a> Analyzer<'a> {
         match s {
             ast::Stmt::Assign { lv, rhs, pos } => {
                 let lv = self.resolve_lvalue(lv, params, scope, *pos)?;
-                let lw = lv.width_with(
-                    &|id| self.storages[id.0].width,
-                    &|i| self.param_value_width(params[i].ty).unwrap_or(0),
-                );
+                let lw = lv.width_with(&|id| self.storages[id.0].width, &|i| {
+                    self.param_value_width(params[i].ty).unwrap_or(0)
+                });
                 let rhs = self.resolve_expr(rhs, Some(lw), params, scope)?;
                 if rhs.width != lw {
                     return Err(err(
@@ -802,8 +810,7 @@ impl<'a> Analyzer<'a> {
         scope: &HashMap<String, usize>,
         pos: Pos,
     ) -> Result<RLvalue, IsdlError> {
-        self.try_resolve_lvalue(e, params, scope)
-            .map_err(|m| err(ErrorKind::Semantic, pos, m))
+        self.try_resolve_lvalue(e, params, scope).map_err(|m| err(ErrorKind::Semantic, pos, m))
     }
 
     fn try_resolve_lvalue(
@@ -818,7 +825,11 @@ impl<'a> Analyzer<'a> {
                     return match params[pi].ty {
                         ParamType::NonTerminal(n) => {
                             let nt = &self.nonterminals[n.0];
-                            if nt.options.iter().any(|o| o.value.is_some() && o.value_lvalue.is_none()) {
+                            if nt
+                                .options
+                                .iter()
+                                .any(|o| o.value.is_some() && o.value_lvalue.is_none())
+                            {
                                 Err(format!(
                                     "non-terminal `{}` has options whose value is not assignable",
                                     nt.name
@@ -837,7 +848,9 @@ impl<'a> Analyzer<'a> {
                 if let Some(&sid) = self.storage_ids.get(name) {
                     let st = &self.storages[sid.0];
                     if st.kind.is_addressed() {
-                        return Err(format!("addressed storage `{name}` needs an index to be written"));
+                        return Err(format!(
+                            "addressed storage `{name}` needs an index to be written"
+                        ));
                     }
                     return Ok(RLvalue::Storage(sid));
                 }
@@ -864,10 +877,9 @@ impl<'a> Analyzer<'a> {
             }
             ast::Expr::Slice(inner, hi, lo) => {
                 let base = self.try_resolve_lvalue(inner, params, scope)?;
-                let bw = base.width_with(
-                    &|id| self.storages[id.0].width,
-                    &|i| self.param_value_width(params[i].ty).unwrap_or(0),
-                );
+                let bw = base.width_with(&|id| self.storages[id.0].width, &|i| {
+                    self.param_value_width(params[i].ty).unwrap_or(0)
+                });
                 if hi < lo || *hi >= bw {
                     return Err(format!("slice {hi}:{lo} out of range for {bw}-bit destination"));
                 }
@@ -908,10 +920,9 @@ impl<'a> Analyzer<'a> {
             None => RExpr { kind: RExprKind::Storage(a.target), width: st.width },
         };
         match a.range {
-            Some((hi, lo)) => RExpr {
-                width: hi - lo + 1,
-                kind: RExprKind::Slice(Box::new(base), hi, lo),
-            },
+            Some((hi, lo)) => {
+                RExpr { width: hi - lo + 1, kind: RExprKind::Slice(Box::new(base), hi, lo) }
+            }
             None => base,
         }
     }
@@ -932,7 +943,9 @@ impl<'a> Analyzer<'a> {
                     err(
                         ErrorKind::Width,
                         Pos::unknown(),
-                        format!("cannot infer width of literal {v}; use a sized literal like 8'd{v}"),
+                        format!(
+                            "cannot infer width of literal {v}; use a sized literal like 8'd{v}"
+                        ),
                     )
                 })?;
                 Ok(RExpr::lit(BitVector::from_u64(*v, w)))
@@ -988,10 +1001,7 @@ impl<'a> Analyzer<'a> {
                     ));
                 };
                 let idx = self.resolve_expr(idx, Some(ceil_log2(depth)), params, scope)?;
-                Ok(RExpr {
-                    width: st.width,
-                    kind: RExprKind::StorageIndexed(sid, Box::new(idx)),
-                })
+                Ok(RExpr { width: st.width, kind: RExprKind::StorageIndexed(sid, Box::new(idx)) })
             }
             ast::Expr::Slice(inner, hi, lo) => {
                 let inner = self.resolve_expr(inner, None, params, scope)?;
@@ -1002,10 +1012,7 @@ impl<'a> Analyzer<'a> {
                         format!("slice {hi}:{lo} out of range for {}-bit value", inner.width),
                     ));
                 }
-                Ok(RExpr {
-                    width: hi - lo + 1,
-                    kind: RExprKind::Slice(Box::new(inner), *hi, *lo),
-                })
+                Ok(RExpr { width: hi - lo + 1, kind: RExprKind::Slice(Box::new(inner), *hi, *lo) })
             }
             ast::Expr::Unary(op, inner) => {
                 let (exp, rw) = match op {
@@ -1021,10 +1028,7 @@ impl<'a> Analyzer<'a> {
                 let c = self.resolve_expr(c, Some(1), params, scope)?;
                 let (t, f) = self.resolve_same_width(t, f, expected, params, scope)?;
                 let width = t.width;
-                Ok(RExpr {
-                    width,
-                    kind: RExprKind::Cond(Box::new(c), Box::new(t), Box::new(f)),
-                })
+                Ok(RExpr { width, kind: RExprKind::Cond(Box::new(c), Box::new(t), Box::new(f)) })
             }
             ast::Expr::Ext(kind, inner, w) => {
                 let inner = self.resolve_expr(inner, None, params, scope)?;
@@ -1129,11 +1133,7 @@ fn mark_cover(cover: &mut [bool], hi: u32, lo: u32, pos: Pos) -> Result<(), Isdl
     for b in lo..=hi {
         let slot = &mut cover[b as usize];
         if *slot {
-            return Err(err(
-                ErrorKind::Encoding,
-                pos,
-                format!("parameter bit {b} encoded twice"),
-            ));
+            return Err(err(ErrorKind::Encoding, pos, format!("parameter bit {b} encoded twice")));
         }
         *slot = true;
     }
@@ -1323,10 +1323,7 @@ mod tests {
             "#,
         );
         let st = &m.fields[0].ops[0];
-        assert!(matches!(
-            st.action[0],
-            RStmt::Assign { lv: RLvalue::Param(0), .. }
-        ));
+        assert!(matches!(st.action[0], RStmt::Assign { lv: RLvalue::Param(0), .. }));
         let nt = &m.nonterminals[0];
         assert!(nt.options[0].value_lvalue.is_some());
         assert!(nt.options[1].value_lvalue.is_some());

@@ -258,11 +258,8 @@ mod tests {
     /// The `op2` example from Figure 3: constants in the top bits,
     /// a parameter in the low byte.
     fn fig3_like() -> Signature {
-        Signature::from_encoding(
-            &[const_assign(9, 5, 0b10110), param_assign(4, 0, 0)],
-            10,
-        )
-        .expect("valid encoding")
+        Signature::from_encoding(&[const_assign(9, 5, 0b10110), param_assign(4, 0, 0)], 10)
+            .expect("valid encoding")
     }
 
     #[test]
@@ -335,8 +332,7 @@ mod tests {
     fn assigned_mask_covers_params_too() {
         let s = fig3_like();
         assert_eq!(s.assigned_mask(), BitVector::all_ones(10));
-        let partial =
-            Signature::from_encoding(&[const_assign(9, 8, 0b01)], 10).expect("ok");
+        let partial = Signature::from_encoding(&[const_assign(9, 8, 0b01)], 10).expect("ok");
         assert_eq!(partial.assigned_mask(), BitVector::from_u64(0b11_0000_0000, 10));
     }
 

@@ -59,9 +59,8 @@ fn unknown_operation_part() {
 
 #[test]
 fn undefined_storage_in_rtl() {
-    let e = load_err(&with_field(
-        "op x() { encode { word[15:12] = 0b0001; } action { GHOST <- A; } }",
-    ));
+    let e =
+        load_err(&with_field("op x() { encode { word[15:12] = 0b0001; } action { GHOST <- A; } }"));
     assert_eq!(e.kind(), ErrorKind::Semantic);
     assert!(e.message().contains("GHOST"));
 }
@@ -118,9 +117,8 @@ fn trunc_cannot_widen() {
 
 #[test]
 fn overlapping_bit_assignments() {
-    let e = load_err(&with_field(
-        "op x() { encode { word[15:12] = 0b0001; word[13:10] = 0b0000; } }",
-    ));
+    let e =
+        load_err(&with_field("op x() { encode { word[15:12] = 0b0001; word[13:10] = 0b0000; } }"));
     assert_eq!(e.kind(), ErrorKind::Encoding);
     assert!(e.message().contains("twice"));
 }

@@ -557,10 +557,7 @@ mod tests {
         m.add_wire("a", 8);
         m.add_wire("b", 8);
         m.add_wire("lt", 1);
-        m.assign(
-            LValue::net("lt"),
-            VExpr::binary(VBinOp::SLt, VExpr::net("a"), VExpr::net("b")),
-        );
+        m.assign(LValue::net("lt"), VExpr::binary(VBinOp::SLt, VExpr::net("a"), VExpr::net("b")));
         assert!(m.to_verilog().contains("($signed(a) < $signed(b))"));
     }
 
@@ -598,7 +595,10 @@ mod tests {
         m.add_wire("w", 8);
         m.add_memory("ram", 8, 16);
         m.add_wire("bit", 1);
-        m.assign(LValue::Slice("w".into(), 3, 0), VExpr::Index("ram".into(), Box::new(VExpr::const_u64(2, 4))));
+        m.assign(
+            LValue::Slice("w".into(), 3, 0),
+            VExpr::Index("ram".into(), Box::new(VExpr::const_u64(2, 4))),
+        );
         m.assign(LValue::net("bit"), VExpr::Slice("w".into(), 7, 7));
         let text = m.to_verilog();
         assert!(text.contains("assign w[3:0] = ram[4'h2];"));

@@ -124,7 +124,8 @@ impl Netlist {
 
         let ctx = Ctx { nets: &nets, mems: &mems, names: &names, mem_names: &mem_names };
         let mut comb = Vec::new();
-        let mut driven: Vec<Vec<bool>> = nets.iter().map(|n| vec![false; n.width as usize]).collect();
+        let mut driven: Vec<Vec<bool>> =
+            nets.iter().map(|n| vec![false; n.width as usize]).collect();
         for (lhs, rhs) in &module.assigns {
             let (target, hi, lo) = ctx.resolve_lvalue_net(lhs)?;
             let expr_w = ctx.expr_width(rhs)?;
@@ -174,16 +175,7 @@ impl Netlist {
             }
         }
 
-        Ok(Self {
-            nets,
-            mems,
-            comb,
-            ff: module.ff.clone(),
-            fanout,
-            mem_fanout,
-            names,
-            mem_names,
-        })
+        Ok(Self { nets, mems, comb, ff: module.ff.clone(), fanout, mem_fanout, names, mem_names })
     }
 
     /// Looks up a net by name.
@@ -346,10 +338,9 @@ impl Ctx<'_> {
                 mems.push(*id);
                 self.collect_reads(a, nets, mems)
             }
-            VExpr::Unary(_, a)
-            | VExpr::Zext(a, _)
-            | VExpr::Sext(a, _, _)
-            | VExpr::Trunc(a, _) => self.collect_reads(a, nets, mems),
+            VExpr::Unary(_, a) | VExpr::Zext(a, _) | VExpr::Sext(a, _, _) | VExpr::Trunc(a, _) => {
+                self.collect_reads(a, nets, mems)
+            }
             VExpr::Binary(_, a, b) => {
                 self.collect_reads(a, nets, mems)?;
                 self.collect_reads(b, nets, mems)
@@ -397,10 +388,9 @@ impl Ctx<'_> {
                         hi - lo + 1
                     }
                     LValue::Index(m, a) => {
-                        let id = self
-                            .mem_names
-                            .get(m)
-                            .ok_or_else(|| VlogError::new(format!("memory `{m}` is not declared")))?;
+                        let id = self.mem_names.get(m).ok_or_else(|| {
+                            VlogError::new(format!("memory `{m}` is not declared"))
+                        })?;
                         let _ = self.expr_width(a)?;
                         self.mems[id.0].width
                     }
@@ -461,7 +451,8 @@ pub fn eval_expr(
         VExpr::Binary(op, a, b) => {
             let x = eval_expr(a, netlist, values, mems);
             let y = eval_expr(b, netlist, values, mems);
-            let amount = || u32::try_from(y.to_u64_lossy().min(u64::from(u32::MAX))).expect("clamped");
+            let amount =
+                || u32::try_from(y.to_u64_lossy().min(u64::from(u32::MAX))).expect("clamped");
             match op {
                 VBinOp::Add => x.wrapping_add(&y),
                 VBinOp::Sub => x.wrapping_sub(&y),

@@ -89,11 +89,8 @@ impl NetlistSim {
     pub fn elaborate(module: &VModule) -> Result<Self, VlogError> {
         let netlist = Netlist::elaborate(module)?;
         let values = netlist.nets.iter().map(|n| BitVector::zero(n.width)).collect();
-        let mems = netlist
-            .mems
-            .iter()
-            .map(|m| vec![BitVector::zero(m.width); m.depth as usize])
-            .collect();
+        let mems =
+            netlist.mems.iter().map(|m| vec![BitVector::zero(m.width); m.depth as usize]).collect();
         let mut sim = Self { netlist, values, mems, events: 0, cycles: 0, vcd: None };
         sim.settle_all()?;
         Ok(sim)
@@ -159,7 +156,12 @@ impl NetlistSim {
     /// # Panics
     ///
     /// Panics if the memory does not exist or the width differs.
-    pub fn poke_memory(&mut self, name: &str, addr: u64, value: BitVector) -> Result<(), VlogError> {
+    pub fn poke_memory(
+        &mut self,
+        name: &str,
+        addr: u64,
+        value: BitVector,
+    ) -> Result<(), VlogError> {
         let id = self.netlist.mem_id(name).expect("memory exists");
         let m = &self.netlist.mems[id.0];
         assert_eq!(value.width(), m.width, "poke width mismatch");
@@ -255,11 +257,7 @@ impl NetlistSim {
         let mut changed_mems = Vec::new();
         for (id, hi, lo, v) in net_updates {
             let old = &self.values[id.0];
-            let new = if lo == 0 && hi == old.width() - 1 {
-                v
-            } else {
-                old.with_slice(hi, lo, &v)
-            };
+            let new = if lo == 0 && hi == old.width() - 1 { v } else { old.with_slice(hi, lo, &v) };
             if self.values[id.0] != new {
                 self.values[id.0] = new;
                 changed_nets.push(id);
@@ -301,8 +299,8 @@ impl NetlistSim {
                         }
                         LValue::Index(m, a) => {
                             let id = self.netlist.mem_id(m).expect("validated");
-                            let addr =
-                                eval_expr(a, &self.netlist, &self.values, &self.mems).to_u64_lossy();
+                            let addr = eval_expr(a, &self.netlist, &self.values, &self.mems)
+                                .to_u64_lossy();
                             mem_updates.push((id, addr, v));
                         }
                     }
@@ -406,10 +404,7 @@ mod tests {
         m.add_input("a", 8);
         m.add_input("b", 8);
         m.add_wire("sum", 8);
-        m.assign(
-            LValue::net("sum"),
-            VExpr::binary(VBinOp::Add, VExpr::net("a"), VExpr::net("b")),
-        );
+        m.assign(LValue::net("sum"), VExpr::binary(VBinOp::Add, VExpr::net("a"), VExpr::net("b")));
         let mut sim = NetlistSim::elaborate(&m).expect("elaborates");
         sim.poke("a", BitVector::from_u64(30, 8)).expect("pokes");
         sim.poke("b", BitVector::from_u64(12, 8)).expect("pokes");
@@ -423,8 +418,14 @@ mod tests {
         m.add_wire("x", 4);
         m.add_wire("y", 4);
         m.add_wire("z", 4);
-        m.assign(LValue::net("x"), VExpr::binary(VBinOp::Add, VExpr::net("a"), VExpr::const_u64(1, 4)));
-        m.assign(LValue::net("y"), VExpr::binary(VBinOp::Shl, VExpr::net("x"), VExpr::const_u64(1, 4)));
+        m.assign(
+            LValue::net("x"),
+            VExpr::binary(VBinOp::Add, VExpr::net("a"), VExpr::const_u64(1, 4)),
+        );
+        m.assign(
+            LValue::net("y"),
+            VExpr::binary(VBinOp::Shl, VExpr::net("x"), VExpr::const_u64(1, 4)),
+        );
         m.assign(LValue::net("z"), VExpr::unary(VUnOp::Not, VExpr::net("y")));
         let mut sim = NetlistSim::elaborate(&m).expect("elaborates");
         sim.poke("a", BitVector::from_u64(2, 4)).expect("pokes");

@@ -96,11 +96,8 @@ pub fn analyze(module: &VModule) -> Result<TechReport, VlogError> {
 
     // ---- timing ----
     // Arrival-time relaxation over the combinational graph.
-    let mut arrivals: Vec<f64> = netlist
-        .nets
-        .iter()
-        .map(|n| if n.is_reg { CLK_Q_NS } else { 0.0 })
-        .collect();
+    let mut arrivals: Vec<f64> =
+        netlist.nets.iter().map(|n| if n.is_reg { CLK_Q_NS } else { 0.0 }).collect();
     let node_count = netlist.comb.len();
     let mut changed = true;
     let mut sweeps = 0usize;
@@ -231,9 +228,7 @@ fn stmt_area_ge(st: &VStmt, nl: &Netlist) -> f64 {
 fn expr_delay_ns(e: &VExpr, nl: &Netlist, arrivals: &[f64]) -> f64 {
     let w = |x: &VExpr| u64::from(expr_width(x, nl));
     match e {
-        VExpr::Net(n) | VExpr::Slice(n, _, _) => {
-            nl.net_id(n).map_or(0.0, |id| arrivals[id.0])
-        }
+        VExpr::Net(n) | VExpr::Slice(n, _, _) => nl.net_id(n).map_or(0.0, |id| arrivals[id.0]),
         VExpr::Const(_) => 0.0,
         VExpr::Index(m, a) => {
             let mid = nl.mem_id(m).expect("validated memory");
@@ -279,10 +274,9 @@ fn expr_delay_ns(e: &VExpr, nl: &Netlist, arrivals: &[f64]) -> f64 {
             let ft = expr_delay_ns(f, nl, arrivals);
             ct.max(tt).max(ft) + 1.2 * GATE_NS
         }
-        VExpr::Concat(parts) => parts
-            .iter()
-            .map(|p| expr_delay_ns(p, nl, arrivals))
-            .fold(0.0, f64::max),
+        VExpr::Concat(parts) => {
+            parts.iter().map(|p| expr_delay_ns(p, nl, arrivals)).fold(0.0, f64::max)
+        }
         VExpr::Zext(a, _) | VExpr::Sext(a, _, _) | VExpr::Trunc(a, _) => {
             expr_delay_ns(a, nl, arrivals)
         }
@@ -394,7 +388,10 @@ mod tests {
         m.add_wire("x", 8);
         m.add_wire("y", 8);
         m.add_reg("r", 8);
-        m.assign(LValue::net("x"), VExpr::binary(VBinOp::Add, VExpr::net("a"), VExpr::const_u64(1, 8)));
+        m.assign(
+            LValue::net("x"),
+            VExpr::binary(VBinOp::Add, VExpr::net("a"), VExpr::const_u64(1, 8)),
+        );
         m.assign(LValue::net("y"), VExpr::binary(VBinOp::Add, VExpr::net("x"), VExpr::net("a")));
         m.always_ff(vec![VStmt::NonBlocking { lhs: LValue::net("r"), rhs: VExpr::net("y") }]);
         let two = analyze(&m).expect("analyzes");

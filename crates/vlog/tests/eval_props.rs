@@ -20,11 +20,7 @@ enum Node {
 }
 
 fn node_strategy() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        Just(Node::A),
-        Just(Node::B),
-        any::<u8>().prop_map(Node::Const),
-    ];
+    let leaf = prop_oneof![Just(Node::A), Just(Node::B), any::<u8>().prop_map(Node::Const),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         let bin_ops = prop_oneof![
             Just(VBinOp::Add),
@@ -43,11 +39,17 @@ fn node_strategy() -> impl Strategy<Value = Node> {
         ];
         let un_ops = prop_oneof![Just(VUnOp::Not), Just(VUnOp::Neg)];
         prop_oneof![
-            (bin_ops, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Node::Bin(op, Box::new(a), Box::new(b))),
+            (bin_ops, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Node::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             (un_ops, inner.clone()).prop_map(|(op, a)| Node::Un(op, Box::new(a))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| Node::Cond(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Node::Cond(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
         ]
     })
 }
@@ -59,11 +61,9 @@ fn to_vexpr(n: &Node) -> VExpr {
         Node::Const(c) => VExpr::const_u64(u64::from(*c), 8),
         Node::Bin(op, x, y) => VExpr::binary(*op, to_vexpr(x), to_vexpr(y)),
         Node::Un(op, x) => VExpr::unary(*op, to_vexpr(x)),
-        Node::Cond(c, t, f) => VExpr::cond(
-            VExpr::unary(VUnOp::RedOr, to_vexpr(c)),
-            to_vexpr(t),
-            to_vexpr(f),
-        ),
+        Node::Cond(c, t, f) => {
+            VExpr::cond(VExpr::unary(VUnOp::RedOr, to_vexpr(c)), to_vexpr(t), to_vexpr(f))
+        }
     }
 }
 

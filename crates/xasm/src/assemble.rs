@@ -97,7 +97,9 @@ impl<'m> Assembler<'m> {
             .map(|nt| {
                 nt.options
                     .iter()
-                    .map(|o| Signature::from_encoding(&o.encode, nt.width).expect("validated machine"))
+                    .map(|o| {
+                        Signature::from_encoding(&o.encode, nt.width).expect("validated machine")
+                    })
                     .collect()
             })
             .collect();
@@ -169,7 +171,10 @@ impl<'m> Assembler<'m> {
                 continue;
             }
             if in_data {
-                return Err(AsmError::new(line, "instructions are not allowed in the .data section"));
+                return Err(AsmError::new(
+                    line,
+                    "instructions are not allowed in the .data section",
+                ));
             }
             let (slots, size) = self.parse_instr(text, line)?;
             items.push(Item::Instr { addr: text_pc, line, text: text.to_owned(), slots, size });
@@ -184,7 +189,10 @@ impl<'m> Assembler<'m> {
             match item {
                 Item::Word { addr, line, value } => {
                     if image.insert(*addr, (value.clone(), *line)).is_some() {
-                        return Err(AsmError::new(*line, format!("address {addr:#x} written twice")));
+                        return Err(AsmError::new(
+                            *line,
+                            format!("address {addr:#x} written twice"),
+                        ));
                     }
                 }
                 Item::Instr { addr, line, text, slots, size } => {
@@ -218,7 +226,10 @@ impl<'m> Assembler<'m> {
                         let word = wide.slice(k * w + w - 1, k * w);
                         let a = addr + u64::from(k);
                         if image.insert(a, (word, *line)).is_some() {
-                            return Err(AsmError::new(*line, format!("address {a:#x} written twice")));
+                            return Err(AsmError::new(
+                                *line,
+                                format!("address {a:#x} written twice"),
+                            ));
                         }
                     }
                     listing.push((*addr, text.clone()));
@@ -244,16 +255,18 @@ impl<'m> Assembler<'m> {
             if part.is_empty() {
                 return Err(AsmError::new(line, "empty operation slot"));
             }
-            let (head, rest) = part
-                .split_once(char::is_whitespace)
-                .map_or((part, ""), |(h, r)| (h, r));
+            let (head, rest) =
+                part.split_once(char::is_whitespace).map_or((part, ""), |(h, r)| (h, r));
             let r = self.resolve_op(head, line)?;
             let args = parse_args(rest, line)?;
             let slot = &mut slots[r.field.0];
             if slot.is_some() {
                 return Err(AsmError::new(
                     line,
-                    format!("two operations given for field `{}`", self.machine.fields[r.field.0].name),
+                    format!(
+                        "two operations given for field `{}`",
+                        self.machine.fields[r.field.0].name
+                    ),
                 ));
             }
             *slot = Some((r, args));
@@ -320,11 +333,7 @@ impl<'m> Assembler<'m> {
                 ),
             ));
         }
-        op.params
-            .iter()
-            .zip(args)
-            .map(|(p, a)| self.bind_one(p.ty, a, labels, line))
-            .collect()
+        op.params.iter().zip(args).map(|(p, a)| self.bind_one(p.ty, a, labels, line)).collect()
     }
 
     fn bind_one(
@@ -344,7 +353,10 @@ impl<'m> Assembler<'m> {
                             .and_then(|d| d.parse::<u64>().ok())
                             .filter(|&i| i < *count)
                             .ok_or_else(|| {
-                                AsmError::new(line, format!("`{s}` is not a valid {prefix}-register"))
+                                AsmError::new(
+                                    line,
+                                    format!("`{s}` is not a valid {prefix}-register"),
+                                )
                             })?;
                         Ok(BitVector::from_u64(idx, tok.width))
                     }
@@ -397,16 +409,9 @@ impl<'m> Assembler<'m> {
         line: u32,
     ) -> Result<BitVector, AsmError> {
         let nt = &self.machine.nonterminals[n.0];
-        let oi = nt
-            .options
-            .iter()
-            .position(|o| o.name == option_name)
-            .ok_or_else(|| {
-                AsmError::new(
-                    line,
-                    format!("non-terminal `{}` has no option `{option_name}`", nt.name),
-                )
-            })?;
+        let oi = nt.options.iter().position(|o| o.name == option_name).ok_or_else(|| {
+            AsmError::new(line, format!("non-terminal `{}` has no option `{option_name}`", nt.name))
+        })?;
         let option = &nt.options[oi];
         let params = self.bind_args(option, args, labels, line)?;
         let sig = &self.nt_sigs[n.0][oi];
@@ -456,9 +461,7 @@ fn split_label(text: &str) -> Option<(&str, &str)> {
     let (head, rest) = text.split_at(colon);
     let head = head.trim();
     if !head.is_empty()
-        && head
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && head.chars().next().is_some_and(|c| !c.is_ascii_digit())
     {
         Some((head, &rest[1..]))
@@ -492,10 +495,7 @@ fn parse_args(rest: &str, line: u32) -> Result<Vec<Arg>, AsmError> {
     if rest.is_empty() {
         return Ok(Vec::new());
     }
-    split_top(rest, ',')
-        .into_iter()
-        .map(|a| parse_arg(a.trim(), line))
-        .collect()
+    split_top(rest, ',').into_iter().map(|a| parse_arg(a.trim(), line)).collect()
 }
 
 fn parse_arg(text: &str, line: u32) -> Result<Arg, AsmError> {
@@ -514,10 +514,7 @@ fn parse_arg(text: &str, line: u32) -> Result<Arg, AsmError> {
         }
         return Err(AsmError::new(line, format!("unbalanced parentheses in `{text}`")));
     }
-    if text
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_')
-    {
+    if text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Ok(Arg::Sym(text.to_owned()));
     }
     Err(AsmError::new(line, format!("cannot parse operand `{text}`")))
@@ -562,9 +559,7 @@ mod tests {
     #[test]
     fn assemble_parallel_ops() {
         let m = toy();
-        let p = Assembler::new(&m)
-            .assemble("add R2, R1, reg(R3) | mv R4, R5")
-            .expect("assembles");
+        let p = Assembler::new(&m).assemble("add R2, R1, reg(R3) | mv R4, R5").expect("assembles");
         let expect = (0b00001u64 << 27)
             | (2 << 24)
             | (1 << 21)
@@ -591,9 +586,7 @@ mod tests {
     #[test]
     fn org_and_word_directives() {
         let m = toy();
-        let p = Assembler::new(&m)
-            .assemble(".org 4\n.word 0xDEAD\nnop\n")
-            .expect("assembles");
+        let p = Assembler::new(&m).assemble(".org 4\n.word 0xDEAD\nnop\n").expect("assembles");
         assert_eq!(p.words.len(), 6);
         assert_eq!(p.words[4].to_u64_lossy(), 0xDEAD);
         assert!(p.words[0].is_zero());
@@ -624,18 +617,14 @@ mod tests {
     #[test]
     fn duplicate_label_rejected() {
         let m = toy();
-        let e = Assembler::new(&m)
-            .assemble("a: nop\na: nop")
-            .expect_err("dup label");
+        let e = Assembler::new(&m).assemble("a: nop\na: nop").expect_err("dup label");
         assert!(e.msg.contains("defined twice"));
     }
 
     #[test]
     fn two_ops_same_field_rejected() {
         let m = toy();
-        let e = Assembler::new(&m)
-            .assemble("li R1, 1 | li R2, 2")
-            .expect_err("two ALU ops");
+        let e = Assembler::new(&m).assemble("li R1, 1 | li R2, 2").expect_err("two ALU ops");
         assert!(e.msg.contains("field"));
     }
 
@@ -751,9 +740,7 @@ mod hex_tests {
     #[test]
     fn hex_round_trip() {
         let m = isdl::load(ACC16).expect("loads");
-        let p = Assembler::new(&m)
-            .assemble("ldi 7\naddm 1\nsta 0\nhalt\n")
-            .expect("assembles");
+        let p = Assembler::new(&m).assemble("ldi 7\naddm 1\nsta 0\nhalt\n").expect("assembles");
         let hex = p.to_hex();
         let words = Program::words_from_hex(&hex, m.word_width).expect("parses");
         assert_eq!(words, p.words);

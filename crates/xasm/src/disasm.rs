@@ -177,10 +177,7 @@ impl<'m> Disassembler<'m> {
             size = size.max(op.costs.size);
             let sig = &self.field_sigs[fi][oi];
             let args = self.decode_args(op, sig, &wide);
-            ops.push(DecodedOp {
-                op: OpRef { field: isdl::model::FieldId(fi), op: oi },
-                args,
-            });
+            ops.push(DecodedOp { op: OpRef { field: isdl::model::FieldId(fi), op: oi }, args });
         }
         if size as usize > words.len() {
             return Err(DisasmError::Truncated { addr });
@@ -307,8 +304,7 @@ mod tests {
 
     fn decode_one(machine: &Machine, word: u64) -> DecodedInstr {
         let d = Disassembler::new(machine);
-        d.decode(&[BitVector::from_u64(word, machine.word_width)], 0)
-            .expect("decodes")
+        d.decode(&[BitVector::from_u64(word, machine.word_width)], 0).expect("decodes")
     }
 
     #[test]
@@ -349,7 +345,9 @@ mod tests {
         // ALU opcode 11111 is undefined.
         let word = BitVector::from_u64(0b11111u64 << 27, 32);
         let e = d.decode(&[word], 4).expect_err("illegal");
-        assert!(matches!(e, DisasmError::IllegalInstruction { ref field, addr: 4 } if field == "ALU"));
+        assert!(
+            matches!(e, DisasmError::IllegalInstruction { ref field, addr: 4 } if field == "ALU")
+        );
     }
 
     #[test]
@@ -357,9 +355,7 @@ mod tests {
         let m = isdl::load(TOY).expect("loads");
         let d = Disassembler::new(&m);
         let word = (0b00101u64 << 27) | (4 << 24) | (0x2A << 16); // li R4, 42
-        let i = d
-            .decode(&[BitVector::from_u64(word, 32)], 0)
-            .expect("decodes");
+        let i = d.decode(&[BitVector::from_u64(word, 32)], 0).expect("decodes");
         assert_eq!(d.format_instr(&i), "li R4, 42");
     }
 
@@ -375,9 +371,7 @@ mod tests {
             | (0b001 << 13)
             | (4 << 10)
             | (5 << 7);
-        let i = d
-            .decode(&[BitVector::from_u64(word, 32)], 0)
-            .expect("decodes");
+        let i = d.decode(&[BitVector::from_u64(word, 32)], 0).expect("decodes");
         assert_eq!(d.format_instr(&i), "add R2, R1, reg(R3) | mv R4, R5");
     }
 

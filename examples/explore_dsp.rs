@@ -15,11 +15,8 @@ use archex::workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = isdl::load(isdl::samples::SPAM)?;
-    let kernels = vec![
-        workloads::dot_product(6),
-        workloads::fir(3, 10),
-        workloads::vector_update(5),
-    ];
+    let kernels =
+        vec![workloads::dot_product(6), workloads::fir(3, 10), workloads::vector_update(5)];
     println!(
         "exploring from `{}` ({} ops / {} fields) over {} kernels...\n",
         start.name,
@@ -31,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let explorer = Explorer { max_steps: 12, ..Explorer::default() };
     let trace = explorer.run(&start, &kernels)?;
 
-    println!("{:<28} {:>10} {:>9} {:>12} {:>9} {:>8}", "step", "cycles", "ns/cycle", "runtime us", "cells", "score");
+    println!(
+        "{:<28} {:>10} {:>9} {:>12} {:>9} {:>8}",
+        "step", "cycles", "ns/cycle", "runtime us", "cells", "score"
+    );
     for step in &trace.steps {
         println!(
             "{:<28} {:>10} {:>9.1} {:>12.2} {:>9} {:>8.3}",
@@ -46,11 +46,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let first = trace.steps.first().expect("initial step");
     let last = trace.steps.last().expect("final step");
     println!(
-        "\n{} candidates evaluated; area {:.1}% of the start, runtime {:.1}%",
-        trace.candidates_evaluated,
+        "\n{} candidates ({} evaluated, {} cache hits, {} skipped); \
+         area {:.1}% of the start, runtime {:.1}%",
+        trace.candidates_evaluated(),
+        trace.evaluated,
+        trace.cache_hits,
+        trace.skipped_errors,
         100.0 * last.metrics.area_cells / first.metrics.area_cells,
         100.0 * last.metrics.runtime_us / first.metrics.runtime_us,
     );
+    if let Some(e) = &trace.first_error {
+        println!("first skipped candidate: {e}");
+    }
     println!(
         "final machine: {} ops / {} fields / {} constraints",
         trace.machine.fields.iter().map(|f| f.ops.len()).sum::<usize>(),

@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  datapath nodes {:>4}   units after sharing {:>4}   saved {:>3}",
         shared.stats.nodes, shared.stats.units, shared.stats.units_saved
     );
-    eprintln!(
-        "  {:<24} {:>10} {:>10} {:>8}",
-        "configuration", "cells", "cycle ns", "lines"
-    );
+    eprintln!("  {:<24} {:>10} {:>10} {:>8}", "configuration", "cells", "cycle ns", "lines");
     for (name, r) in [
         ("sharing + 2-level decode", &shared),
         ("no sharing", &unshared),
@@ -41,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         eprintln!(
             "  {:<24} {:>10} {:>10.1} {:>8}",
-            name,
-            r.report.area_cells as u64,
-            r.report.cycle_ns,
-            r.lines_of_verilog
+            name, r.report.area_cells as u64, r.report.cycle_ns, r.lines_of_verilog
         );
     }
     eprintln!("  synthesis time {:.3} s", shared.synthesis_time_s);

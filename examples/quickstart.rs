@@ -12,7 +12,8 @@ use xasm::Assembler;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The machine description (a small accumulator CPU).
     let machine = isdl::load(isdl::samples::ACC16)?;
-    println!("machine `{}`: {} operations in {} field(s)",
+    println!(
+        "machine `{}`: {} operations in {} field(s)",
         machine.name,
         machine.fields.iter().map(|f| f.ops.len()).sum::<usize>(),
         machine.fields.len(),
@@ -55,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hw = synthesize(&machine, HgenOptions::default())?;
     println!(
         "hardware model: {} lines of Verilog, cycle {:.1} ns, {} grid cells, {:.1} mW",
-        hw.lines_of_verilog,
-        hw.report.cycle_ns,
-        hw.report.area_cells as u64,
-        hw.report.power_mw,
+        hw.lines_of_verilog, hw.report.cycle_ns, hw.report.area_cells as u64, hw.report.power_mw,
     );
     println!(
         "=> workload runtime {:.2} us on the implemented machine",

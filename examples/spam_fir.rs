@@ -39,11 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.instructions, stats.cycles, stats.stall_cycles
     );
     for (fi, field) in machine.fields.iter().enumerate() {
-        println!(
-            "  field {:5}: {:5.1}% utilized",
-            field.name,
-            100.0 * stats.field_utilization(fi)
-        );
+        println!("  field {:5}: {:5.1}% utilized", field.name, 100.0 * stats.field_utilization(fi));
     }
     println!("(idle fields are what the exploration loop removes — see explore_dsp)");
 

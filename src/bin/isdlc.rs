@@ -34,7 +34,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
-    let flags: Vec<&str> = args.iter().skip(1).filter(|a| a.starts_with("--")).map(String::as_str).collect();
+    let flags: Vec<&str> =
+        args.iter().skip(1).filter(|a| a.starts_with("--")).map(String::as_str).collect();
     let pos: Vec<&String> = args.iter().skip(1).filter(|a| !a.starts_with("--")).collect();
 
     let load = |i: usize| -> Result<isdl::Machine, String> {
@@ -103,7 +104,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let d = xasm::Disassembler::new(&m);
             let mut a = 0u64;
             while (a as usize) < p.words.len() {
-                let window = &p.words[a as usize..(a as usize + d.max_size() as usize).min(p.words.len())];
+                let window =
+                    &p.words[a as usize..(a as usize + d.max_size() as usize).min(p.words.len())];
                 match d.decode(window, a) {
                     Ok(i) => {
                         println!("{a:04x}: {}", d.format_instr(&i));
@@ -133,7 +135,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 stats.instructions, stats.cycles, stats.stall_cycles
             );
             for (fi, f) in m.fields.iter().enumerate() {
-                println!("  field {}: {:.1}% utilized", f.name, 100.0 * stats.field_utilization(fi));
+                println!(
+                    "  field {}: {:.1}% utilized",
+                    f.name,
+                    100.0 * stats.field_utilization(fi)
+                );
             }
             for (si, s) in m.storages.iter().enumerate() {
                 use isdl::model::StorageKind::*;
@@ -171,17 +177,13 @@ fn run(args: &[String]) -> Result<(), String> {
         "wave" => {
             let m = load(0)?;
             let src = read_file(1)?;
-            let cycles: u64 = pos.get(2).map_or(Ok(64), |c| {
-                c.parse().map_err(|_| format!("bad cycle budget `{c}`"))
-            })?;
+            let cycles: u64 = pos
+                .get(2)
+                .map_or(Ok(64), |c| c.parse().map_err(|_| format!("bad cycle budget `{c}`")))?;
             let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
             let r = synthesize(&m, hgen_options()).map_err(|e| e.to_string())?;
-            let mut sim =
-                vlog::sim::NetlistSim::elaborate(&r.module).map_err(|e| e.to_string())?;
-            let imem = m
-                .storage(m.imem.ok_or("machine has no instruction memory")?)
-                .name
-                .clone();
+            let mut sim = vlog::sim::NetlistSim::elaborate(&r.module).map_err(|e| e.to_string())?;
+            let imem = m.storage(m.imem.ok_or("machine has no instruction memory")?).name.clone();
             for (a, w) in p.words.iter().enumerate() {
                 sim.poke_memory(&imem, a as u64, w.clone()).map_err(|e| e.to_string())?;
             }
@@ -198,9 +200,9 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "tb" => {
             let m = load(0)?;
-            let cycles: u64 = pos.get(1).map_or(Ok(1_000), |c| {
-                c.parse().map_err(|_| format!("bad cycle budget `{c}`"))
-            })?;
+            let cycles: u64 = pos
+                .get(1)
+                .map_or(Ok(1_000), |c| c.parse().map_err(|_| format!("bad cycle budget `{c}`")))?;
             let name: String = m
                 .name
                 .chars()
@@ -234,11 +236,16 @@ fn run(args: &[String]) -> Result<(), String> {
             } {
                 println!("    {k:<14} {} cells", *v as u64);
             }
-            println!("  state            {} ff bits + {} memory bits", r.report.ff_bits, r.report.mem_bits);
+            println!(
+                "  state            {} ff bits + {} memory bits",
+                r.report.ff_bits, r.report.mem_bits
+            );
             println!("  power            {:.1} mW at fmax", r.report.power_mw);
             println!("  verilog          {} lines", r.lines_of_verilog);
-            println!("  datapath         {} nodes -> {} units ({} saved by sharing)",
-                r.stats.nodes, r.stats.units, r.stats.units_saved);
+            println!(
+                "  datapath         {} nodes -> {} units ({} saved by sharing)",
+                r.stats.nodes, r.stats.units, r.stats.units_saved
+            );
             println!("  synthesis time   {:.3} s", r.synthesis_time_s);
             Ok(())
         }

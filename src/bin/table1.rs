@@ -11,9 +11,7 @@ fn main() {
     let rows = bench::measure_table1(4_000_000, 60_000);
     print!("{}", bench::format_table1(&rows));
     println!();
-    println!(
-        "paper (Sun Ultra 30/300, Cadence Verilog-XL): 69,102 vs 879 cycles/sec, 78.6x;"
-    );
+    println!("paper (Sun Ultra 30/300, Cadence Verilog-XL): 69,102 vs 879 cycles/sec, 78.6x;");
     println!(
         "shape check: the ILS wins by {:.0}x here — same order of magnitude, same conclusion.",
         rows[0].speedup

@@ -43,15 +43,10 @@ fn exploration_never_breaks_the_workload() {
     let trace = explorer.run(&start, &kernels).expect("explores");
 
     let compiled = archex::compile(&trace.machine, &kernels[0]).expect("still compiles");
-    let program = xasm::Assembler::new(&trace.machine)
-        .assemble(&compiled.asm)
-        .expect("assembles");
+    let program = xasm::Assembler::new(&trace.machine).assemble(&compiled.asm).expect("assembles");
     let mut sim = gensim::Xsim::generate(&trace.machine).expect("generates");
     sim.load_program(&program);
     assert_eq!(sim.run(100_000), gensim::StopReason::Halted);
     let dm = trace.machine.storage_by_name("DM").expect("DM").0;
-    assert_eq!(
-        sim.state().read_u64(dm, 2 * n),
-        workloads::dot_product_expected(n),
-    );
+    assert_eq!(sim.state().read_u64(dm, 2 * n), workloads::dot_product_expected(n),);
 }

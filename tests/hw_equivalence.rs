@@ -20,23 +20,24 @@ fn run_xsim<'m>(machine: &'m Machine, program: &Program) -> Xsim<'m> {
 }
 
 /// Runs `program` on the generated hardware for `edges` clock cycles.
-fn run_hardware(machine: &Machine, program: &Program, options: HgenOptions, edges: u64) -> NetlistSim {
+fn run_hardware(
+    machine: &Machine,
+    program: &Program,
+    options: HgenOptions,
+    edges: u64,
+) -> NetlistSim {
     let result = synthesize(machine, options).expect("synthesizes");
     let mut sim = NetlistSim::elaborate(&result.module).expect("elaborates");
     let imem = machine.storage(machine.imem.expect("imem")).name.clone();
     let w = machine.word_width;
     for (a, word) in program.words.iter().enumerate() {
-        sim.poke_memory(&imem, a as u64, word.trunc(w).zext(w))
-            .expect("pokes");
+        sim.poke_memory(&imem, a as u64, word.trunc(w).zext(w)).expect("pokes");
     }
-    if let Some(dm) = machine
-        .storages
-        .iter()
-        .find(|s| s.kind == isdl::model::StorageKind::DataMemory)
+    if let Some(dm) =
+        machine.storages.iter().find(|s| s.kind == isdl::model::StorageKind::DataMemory)
     {
         for &(addr, v) in &program.data {
-            sim.poke_memory(&dm.name, addr, BitVector::from_i64(v, dm.width))
-                .expect("pokes");
+            sim.poke_memory(&dm.name, addr, BitVector::from_i64(v, dm.width)).expect("pokes");
         }
     }
     sim.clock(edges).expect("clocks");

@@ -5,10 +5,7 @@ use std::io::Write as _;
 use std::process::Command;
 
 fn isdlc(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_isdlc"))
-        .args(args)
-        .output()
-        .expect("isdlc runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_isdlc")).args(args).output().expect("isdlc runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -46,10 +43,8 @@ fn print_round_trips_through_check() {
 
 #[test]
 fn asm_run_and_disasm() {
-    let asm = write_temp(
-        "sum.asm",
-        "start: ldi 2\n addm ten\n sta 0\n halt\n.data\nten: .word 40\n",
-    );
+    let asm =
+        write_temp("sum.asm", "start: ldi 2\n addm ten\n sta 0\n halt\n.data\nten: .word 40\n");
     let machine = write_temp("acc16.isdl", isdl::samples::ACC16);
     let m = machine.to_str().expect("utf8 path");
     let a = asm.to_str().expect("utf8 path");
@@ -124,12 +119,8 @@ fn errors_are_reported() {
 fn wave_emits_vcd() {
     let asm = write_temp("w.asm", "ldi 3\nshl1\nend: jmp end\n");
     let machine = write_temp("acc16w.isdl", isdl::samples::ACC16);
-    let (stdout, _, ok) = isdlc(&[
-        "wave",
-        machine.to_str().expect("utf8"),
-        asm.to_str().expect("utf8"),
-        "8",
-    ]);
+    let (stdout, _, ok) =
+        isdlc(&["wave", machine.to_str().expect("utf8"), asm.to_str().expect("utf8"), "8"]);
     assert!(ok);
     assert!(stdout.contains("$timescale 1ns $end"), "{stdout}");
     assert!(stdout.contains("$var wire 16"), "{stdout}");

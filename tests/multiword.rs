@@ -167,9 +167,7 @@ fn wide_immediates_round_trip_all_bits() {
     let m = isdl::load(WIDE).expect("loads");
     let asm = Assembler::new(&m);
     for v in [0u64, 1, 0x8000, 0xFFFF, 0xA5A5] {
-        let p = asm
-            .assemble(&format!("limm R3, {v}\nhalt\n"))
-            .expect("assembles");
+        let p = asm.assemble(&format!("limm R3, {v}\nhalt\n")).expect("assembles");
         let mut sim = Xsim::generate(&m).expect("generates");
         sim.load_program(&p);
         assert_eq!(sim.run(100), StopReason::Halted);

@@ -108,25 +108,16 @@ end:   jmp end
     for (a, w) in p.words.iter().enumerate() {
         hsim.poke_memory("IM", a as u64, w.clone()).expect("pokes");
     }
-    hsim.poke_memory("DM", 6, bitv::BitVector::from_u64(1000, 32))
-        .expect("pokes");
+    hsim.poke_memory("DM", 6, bitv::BitVector::from_u64(1000, 32)).expect("pokes");
     hsim.clock(4 * xsim.stats().cycles + 16).expect("clocks");
 
     let rf = m.storage_by_name("RF").expect("RF").0;
     let dm = m.storage_by_name("DM").expect("DM").0;
     for r in 0..16u64 {
-        assert_eq!(
-            xsim.state().read(rf, r),
-            hsim.peek_memory("RF", r),
-            "RF[{r}] differs"
-        );
+        assert_eq!(xsim.state().read(rf, r), hsim.peek_memory("RF", r), "RF[{r}] differs");
     }
     for a in [50u64, 51] {
-        assert_eq!(
-            xsim.state().read(dm, a),
-            hsim.peek_memory("DM", a),
-            "DM[{a}] differs"
-        );
+        assert_eq!(xsim.state().read(dm, a), hsim.peek_memory("DM", a), "DM[{a}] differs");
     }
     assert_eq!(
         xsim.state().read(m.storage_by_name("ACC").expect("ACC").0, 0),

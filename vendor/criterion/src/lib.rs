@@ -1,0 +1,187 @@
+//! An offline, vendored drop-in for the subset of the
+//! [criterion](https://crates.io/crates/criterion) API this
+//! workspace's benches use.
+//!
+//! The workspace must build with **no network access** (see
+//! `DESIGN.md`), so the registry dependency was replaced by this shim.
+//! It keeps the `criterion_group!`/`criterion_main!` entry points and
+//! the `benchmark_group`/`bench_function`/`iter` call surface, but the
+//! statistics are deliberately simple: each benchmark is warmed up,
+//! then timed over as many iterations as fit a fixed budget, and the
+//! mean per-iteration time is printed. There are no saved baselines,
+//! confidence intervals, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How measured work scales, for per-unit reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured closure processes this many bytes per iteration.
+    Bytes(u64),
+    /// The measured closure processes this many items per iteration.
+    Elements(u64),
+}
+
+/// The top-level harness handle (one per bench binary).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n## {name}");
+        BenchmarkGroup { _parent: self, name, sample_size: 20, throughput: None }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        let mean = b.mean();
+        let rate = match (self.throughput, mean) {
+            (Some(Throughput::Bytes(n)), m) if m > Duration::ZERO => {
+                format!("  ({:.1} MiB/s)", n as f64 / m.as_secs_f64() / (1024.0 * 1024.0))
+            }
+            (Some(Throughput::Elements(n)), m) if m > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / m.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "{}/{id}: {} per iter over {} samples{rate}",
+            self.name,
+            format_duration(mean),
+            b.samples.len(),
+        );
+        self
+    }
+
+    /// Ends the group (a report boundary in real criterion).
+    pub fn finish(self) {}
+}
+
+/// Times one closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`: one untimed warm-up call, then up to
+    /// `sample_size` timed samples within a fixed wall-clock budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f());
+        let budget = Duration::from_millis(500);
+        let started = Instant::now();
+        self.samples.clear();
+        while self.samples.len() < self.sample_size
+            && (self.samples.is_empty() || started.elapsed() < budget)
+        {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.samples.iter().sum();
+        total / u32::try_from(self.samples.len()).unwrap_or(u32::MAX)
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+/// Declares a function running a list of benchmark functions, each of
+/// which takes `&mut Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; this shim has
+            // no CLI and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-smoke");
+        group.sample_size(5).throughput(Throughput::Elements(100));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls >= 5, "warm-up plus samples ran the closure: {calls}");
+    }
+
+    #[test]
+    fn durations_format_in_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,327 @@
+//! An offline, vendored drop-in for the subset of the
+//! [proptest](https://crates.io/crates/proptest) API this workspace
+//! uses.
+//!
+//! The workspace must build and test with **no network access** (see
+//! `DESIGN.md`), so the registry dependency was replaced by this shim:
+//! the same macros and combinators, backed by a deterministic
+//! SplitMix64 stream seeded per test. Differences from upstream:
+//!
+//! * **no shrinking** — a failure reports the case index and base
+//!   seed, which reproduce the inputs exactly;
+//! * only the combinators the suites use are provided (integer ranges,
+//!   tuples, `Just`, `any`, `prop_map`, `prop_oneof!`,
+//!   `prop_recursive`, `prop_compose!`, `collection::vec`,
+//!   `array::uniform*`);
+//! * `ProptestConfig` carries only `cases` (env override:
+//!   `PROPTEST_CASES`; stream override: `PROPTEST_SEED`).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive-exclusive length domain for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self { min: exact, max_exclusive: exact + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            Self { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length lies in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Strategies for fixed-size arrays.
+pub mod array {
+    use crate::strategy::Strategy;
+
+    macro_rules! uniform {
+        ($($name:ident => $n:literal),+) => {
+            $(
+            /// An array of
+            #[doc = stringify!($n)]
+            /// independent draws from `element`.
+            pub fn $name<S: Strategy>(
+                element: S,
+            ) -> impl Strategy<Value = [S::Value; $n]> {
+                crate::strategy::from_fn(move |rng| {
+                    std::array::from_fn(|_| element.new_value(rng))
+                })
+            }
+            )+
+        };
+    }
+    uniform!(uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4);
+}
+
+/// The glob import the property suites start from.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]`
+/// header followed by `#[test] fn name(pattern in strategy, ..) { .. }`
+/// items. Each body runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_property_test(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::new_value(&($strat), __rng);
+                        )+
+                        (|| -> $crate::test_runner::TestCaseResult {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Defines a named function returning a composite strategy. Supports
+/// the one- and two-argument-list forms of upstream `prop_compose!`
+/// (the second list may reference values bound by the first).
+#[macro_export]
+macro_rules! prop_compose {
+    ( $(#[$meta:meta])* $vis:vis fn $name:ident $params:tt
+      ( $( $arg1:pat in $strat1:expr ),+ $(,)? )
+      ( $( $arg2:pat in $strat2:expr ),+ $(,)? )
+      -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name $params -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::from_fn(move |__rng| {
+                $(let $arg1 = $crate::strategy::Strategy::new_value(&($strat1), __rng);)+
+                $(let $arg2 = $crate::strategy::Strategy::new_value(&($strat2), __rng);)+
+                $body
+            })
+        }
+    };
+    ( $(#[$meta:meta])* $vis:vis fn $name:ident $params:tt
+      ( $( $arg1:pat in $strat1:expr ),+ $(,)? )
+      -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name $params -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::from_fn(move |__rng| {
+                $(let $arg1 = $crate::strategy::Strategy::new_value(&($strat1), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// A uniform choice between alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails only the surrounding property case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails only the surrounding property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`: {}", __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but fails only the surrounding property case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?} != {:?}`", __l, __r);
+    }};
+}
+
+/// Discards the current case (generating a replacement) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = Strategy::new_value(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::new_value(&(1u8..=255), &mut rng);
+            assert!(w >= 1);
+            let full = Strategy::new_value(&(0u128..=u128::MAX), &mut rng);
+            let _ = full; // any value is in range; just must not panic
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..200 {
+            let v = Strategy::new_value(&crate::collection::vec(0u8..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let exact = Strategy::new_value(&crate::collection::vec(any::<u16>(), 8), &mut rng);
+            assert_eq!(exact.len(), 8);
+        }
+    }
+
+    prop_compose! {
+        /// A pair `(n, m)` with `m < n`.
+        fn ordered_pair()(n in 1u32..100)(n in Just(n), m in 0u32..=u32::MAX) -> (u32, u32) {
+            (n, m % n)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_pipeline_works(
+            (n, m) in ordered_pair(),
+            flag in any::<bool>(),
+            bytes in crate::collection::vec(any::<u8>(), 1..4),
+            pair in crate::array::uniform2(0u8..8),
+        ) {
+            prop_assume!(n >= 1);
+            prop_assert!(m < n, "m={} n={}", m, n);
+            prop_assert!(!bytes.is_empty() && bytes.len() < 4);
+            prop_assert!(pair[0] < 8 && pair[1] < 8);
+            prop_assert_eq!(flag as u8 + (!flag) as u8, 1);
+        }
+
+        #[test]
+        fn oneof_and_recursive_generate(
+            v in prop_oneof![Just(1u8), Just(2u8), 3u8..9].prop_recursive(
+                2, 8, 2, |inner| (inner.clone(), inner).prop_map(|(a, b)| a.max(b)),
+            ),
+        ) {
+            prop_assert!((1..9).contains(&v));
+        }
+    }
+}

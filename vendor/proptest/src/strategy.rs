@@ -1,0 +1,275 @@
+//! Value-generation strategies: the `Strategy` trait and the
+//! combinators the workspace's property suites use.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just
+/// a deterministic function of the RNG stream, which keeps the shim
+/// tiny while preserving the generation API.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f(value)` for every generated `value`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy. The result is cheaply cloneable.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| s.new_value(rng))
+    }
+
+    /// Builds recursive values: `self` generates the leaves, and
+    /// `recurse` wraps an inner strategy into branch nodes, nested at
+    /// most `depth` levels. `desired_size` and `expected_branch_size`
+    /// are accepted for API compatibility but unused — depth alone
+    /// bounds the tree.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(current).boxed();
+            let fallback = leaf.clone();
+            current = BoxedStrategy::from_fn(move |rng| {
+                // One case in four bottoms out early, so generated
+                // trees have a mix of depths below the cap.
+                if rng.next_u64() % 4 == 0 {
+                    fallback.new_value(rng)
+                } else {
+                    branch.new_value(rng)
+                }
+            });
+        }
+        current
+    }
+}
+
+/// A cloneable type-erased strategy.
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a sampling function.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Self { sample: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self { sample: Rc::clone(&self.sample) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the same value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy built from a plain sampling closure (used by
+/// `prop_compose!`).
+pub struct FnStrategy<F>(F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Wraps a sampling closure into a strategy.
+pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+    FnStrategy(f)
+}
+
+/// A uniform choice between type-erased alternatives (what
+/// `prop_oneof!` builds).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Self { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self { options: self.options.clone() }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for the whole domain of `A`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u128() as $t
+            }
+        })+
+    };
+}
+arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {
+        $(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (rng.next_u128() % span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start() as u128, *self.end() as u128);
+                assert!(s <= e, "empty range strategy");
+                // `e - s + 1` wraps to 0 only for the full 128-bit
+                // domain, where the raw draw is already uniform.
+                let span = (e - s).wrapping_add(1);
+                let v = if span == 0 { rng.next_u128() } else { s + rng.next_u128() % span };
+                v as $t
+            }
+        }
+        )+
+    };
+}
+range_strategy!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! tuple_strategy {
+    ($(($s:ident, $idx:tt)),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!((A, 0));
+tuple_strategy!((A, 0), (B, 1));
+tuple_strategy!((A, 0), (B, 1), (C, 2));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6), (H, 7));

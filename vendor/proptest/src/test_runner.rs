@@ -1,0 +1,155 @@
+//! The case driver: a deterministic RNG, the run configuration, and
+//! the per-case error type the assertion macros return.
+
+use std::fmt;
+
+/// A small, fast, deterministic generator (SplitMix64). Every test
+/// case gets a stream derived from the test's name and the case index,
+/// so failures reproduce exactly across runs and machines.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded directly with `seed`.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 128 uniformly random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+}
+
+/// How many cases to run (the subset of upstream proptest's
+/// configuration that this vendored shim honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, like upstream; override with `PROPTEST_CASES`.
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// Why one generated case did not pass.
+pub enum TestCaseError {
+    /// An assertion failed — the whole property fails.
+    Fail(String),
+    /// A `prop_assume!` precondition rejected the inputs — the case is
+    /// discarded and replaced, not counted as a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    /// A rejected (discarded) case with the given reason.
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+impl fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "case failed: {m}"),
+            Self::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// What one generated case returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a over the test path — a stable per-test base seed.
+fn seed_for(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(v) = std::env::var("PROPTEST_SEED") {
+        if let Ok(extra) = v.parse::<u64>() {
+            h ^= extra;
+        }
+    }
+    h
+}
+
+/// Runs `property` until `config.cases` cases pass, panicking on the
+/// first failure with the case index and base seed (set `PROPTEST_SEED`
+/// to vary the stream). Rejected cases are replaced, up to a cap.
+///
+/// # Panics
+///
+/// Panics if any generated case fails, or if rejections exhaust the
+/// replacement budget before enough cases pass.
+pub fn run_property_test<F>(config: &ProptestConfig, name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = seed_for(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = u64::from(config.cases).saturating_mul(8).max(1024);
+    let mut case: u64 = 0;
+    while passed < config.cases {
+        let mut rng =
+            TestRng::from_seed(base.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        match property(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property `{name}`: too many rejected cases \
+                     ({rejected} rejections for {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {case} \
+                     (base seed {base:#018x}):\n{msg}"
+                );
+            }
+        }
+        case += 1;
+    }
+}
