@@ -1,9 +1,14 @@
 //! Ablation E: exploration strategy — the paper's greedy iterative
 //! improvement versus a beam search over the same mutation space.
-//! Reports final objective and evaluation cost per strategy.
+//! Reports final objective and evaluation cost per strategy, plus the
+//! observability overhead check: the instrumented and uninstrumented
+//! engines must run at the same speed (docs/OBSERVABILITY.md's
+//! "no measurable slowdown when disabled" guarantee — and the
+//! enabled-path cost itself is one clock pair per multi-millisecond
+//! evaluation, so both rows should coincide).
 
-use archex::Strategy;
-use bench::run_exploration;
+use archex::{Explorer, Strategy};
+use bench::{explore_kernels, run_exploration};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_explore(c: &mut Criterion) {
@@ -19,6 +24,20 @@ fn bench_explore(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| run_exploration(&start, strategy, threads));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_obs_overhead");
+    group.sample_size(10);
+    let kernels = explore_kernels();
+    for (name, instrument) in [("instrumented", true), ("uninstrumented", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                Explorer { max_steps: 6, threads: 1, instrument, ..Explorer::default() }
+                    .run(&start, &kernels)
+                    .expect("fixture machines evaluate")
+            });
         });
     }
     group.finish();

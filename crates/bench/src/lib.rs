@@ -8,6 +8,12 @@
 //! binaries in the umbrella crate all build on these helpers so that
 //! every experiment runs the exact same workload.
 
+pub mod report;
+
+pub use report::{
+    bench_json, entries_from_explore_json, entries_from_stats_json, BenchEntry, BENCH_SCHEMA,
+};
+
 use archex::{compile, workloads, Explorer, Kernel, Strategy, Trace};
 use bitv::BitVector;
 use gensim::{StopReason, Xsim, XsimOptions};

@@ -1,0 +1,171 @@
+//! `BENCH_*.json` entry extraction from the observability reports.
+//!
+//! The harness binaries write flat benchmark records — one
+//! `{name, value, unit}` triple per measured quantity — that trend
+//! dashboards can ingest without knowing the richer source schemas.
+//! This module converts the simulator's `xsim-stats/1` report and the
+//! explorer's `archex-explore/1` trace into those entries and renders
+//! the versioned `bench/1` payload.
+
+use obs::Json;
+
+/// Schema identifier emitted by [`bench_json`].
+pub const BENCH_SCHEMA: &str = "bench/1";
+
+/// One flat benchmark record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Dotted metric name, e.g. `acc16.cycles`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit, e.g. `cycles`, `ratio`, `us`.
+    pub unit: &'static str,
+}
+
+impl BenchEntry {
+    fn new(name: String, value: f64, unit: &'static str) -> Self {
+        Self { name, value, unit }
+    }
+}
+
+/// Checks the schema string of a parsed report against what the
+/// extractor understands.
+fn check_schema(json: &Json, expected: &str) -> Result<(), String> {
+    match json.get_str("schema") {
+        Some(s) if s == expected => Ok(()),
+        Some(s) => Err(format!("unsupported schema `{s}` (expected `{expected}`)")),
+        None => Err(format!("missing `schema` key (expected `{expected}`)")),
+    }
+}
+
+/// Extracts benchmark entries from an `xsim-stats/1` report
+/// ([`gensim::stats_json`] output): the cycle/instruction/stall
+/// totals, the IPC, and one utilization entry per field, all prefixed
+/// with the machine name.
+///
+/// # Errors
+///
+/// Fails when `text` is not valid JSON or its `schema` key is not
+/// `xsim-stats/1`.
+pub fn entries_from_stats_json(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let json = Json::parse(text)?;
+    check_schema(&json, gensim::STATS_SCHEMA)?;
+    let machine = json.get_str("machine").unwrap_or("unknown");
+    let num = |key: &str| json.get_f64(key).ok_or_else(|| format!("missing numeric `{key}` key"));
+    let mut out = vec![
+        BenchEntry::new(format!("{machine}.cycles"), num("cycles")?, "cycles"),
+        BenchEntry::new(format!("{machine}.instructions"), num("instructions")?, "instructions"),
+        BenchEntry::new(format!("{machine}.stall_cycles"), num("stall_cycles")?, "cycles"),
+        BenchEntry::new(format!("{machine}.ipc"), num("ipc")?, "ratio"),
+    ];
+    if let Some(Json::Arr(fields)) = json.get("fields") {
+        for field in fields {
+            let (Some(name), Some(util)) = (field.get_str("name"), field.get_f64("utilization"))
+            else {
+                return Err("malformed field entry".to_owned());
+            };
+            out.push(BenchEntry::new(format!("{machine}.field.{name}.utilization"), util, "ratio"));
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts benchmark entries from an `archex-explore/1` trace
+/// ([`archex::explore::Trace::to_json`] output): candidate counts,
+/// accepted steps, the final objective score, and the evaluation
+/// latency/wall-time measurements.
+///
+/// # Errors
+///
+/// Fails when `text` is not valid JSON or its `schema` key is not
+/// `archex-explore/1`.
+pub fn entries_from_explore_json(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let json = Json::parse(text)?;
+    check_schema(&json, archex::EXPLORE_SCHEMA)?;
+    let machine = json.get_str("machine").unwrap_or("unknown");
+    let num = |key: &str| json.get_f64(key).ok_or_else(|| format!("missing numeric `{key}` key"));
+    let mut out = vec![
+        BenchEntry::new(format!("{machine}.explore.evaluated"), num("evaluated")?, "candidates"),
+        BenchEntry::new(format!("{machine}.explore.cache_hits"), num("cache_hits")?, "candidates"),
+    ];
+    if let Some(Json::Arr(steps)) = json.get("steps") {
+        out.push(BenchEntry::new(format!("{machine}.explore.steps"), steps.len() as f64, "steps"));
+        if let Some(score) = steps.last().and_then(|s| s.get_f64("score")) {
+            out.push(BenchEntry::new(format!("{machine}.explore.final_score"), score, "score"));
+        }
+    }
+    if let Some(obs) = json.get("obs") {
+        if let Some(mean) = obs.get("eval_latency_us").and_then(|s| s.get_f64("mean")) {
+            out.push(BenchEntry::new(format!("{machine}.explore.eval_latency_mean"), mean, "us"));
+        }
+        if let Some(wall) = obs.get_f64("wall_s") {
+            out.push(BenchEntry::new(format!("{machine}.explore.wall"), wall, "s"));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders entries as the `bench/1` JSON payload written to
+/// `BENCH_*.json` files.
+#[must_use]
+pub fn bench_json(entries: &[BenchEntry]) -> String {
+    let arr: Vec<Json> = entries
+        .iter()
+        .map(|e| {
+            Json::obj().with("name", e.name.as_str()).with("value", e.value).with("unit", e.unit)
+        })
+        .collect();
+    Json::obj().with("schema", BENCH_SCHEMA).with("entries", Json::Arr(arr)).to_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_report_round_trips() {
+        let machine = isdl::load(isdl::samples::ACC16).expect("loads");
+        let program = xasm::Assembler::new(&machine)
+            .assemble("ldi 7\naddm ten\nsta 0\nhalt\n.data\n.org 20\nten: .word 10\n")
+            .expect("assembles");
+        let mut sim = gensim::Xsim::generate(&machine).expect("generates");
+        sim.load_program(&program);
+        assert_eq!(sim.run(1_000), gensim::StopReason::Halted);
+        let text = gensim::stats_json(&sim).to_pretty();
+        let entries = entries_from_stats_json(&text).expect("extracts");
+        let by_name = |n: &str| {
+            entries.iter().find(|e| e.name == n).unwrap_or_else(|| panic!("entry {n}")).value
+        };
+        assert_eq!(by_name("acc16.cycles"), 4.0);
+        assert_eq!(by_name("acc16.instructions"), 4.0);
+        assert_eq!(by_name("acc16.ipc"), 1.0);
+        assert_eq!(by_name("acc16.field.MAIN.utilization"), 1.0);
+        let payload = bench_json(&entries);
+        let parsed = obs::Json::parse(&payload).expect("bench payload parses");
+        assert_eq!(parsed.get_str("schema"), Some(BENCH_SCHEMA));
+    }
+
+    #[test]
+    fn explore_trace_round_trips() {
+        let start = isdl::load(isdl::samples::TOY).expect("loads");
+        let trace = crate::run_exploration(&start, archex::Strategy::Greedy, 1);
+        let text = trace.to_json().to_pretty();
+        let entries = entries_from_explore_json(&text).expect("extracts");
+        let by_name = |n: &str| {
+            entries.iter().find(|e| e.name == n).unwrap_or_else(|| panic!("entry {n}")).value
+        };
+        assert_eq!(by_name("toy.explore.evaluated"), trace.evaluated as f64);
+        assert_eq!(by_name("toy.explore.steps"), trace.steps.len() as f64);
+        assert!(by_name("toy.explore.wall") > 0.0, "instrumented run records wall time");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let err = entries_from_stats_json(r#"{"schema":"xsim-stats/9"}"#).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        assert!(entries_from_stats_json("not json").is_err());
+        let err = entries_from_explore_json(r#"{"cycles":1}"#).unwrap_err();
+        assert!(err.contains("missing `schema`"), "{err}");
+    }
+}

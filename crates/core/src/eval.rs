@@ -55,6 +55,22 @@ impl Metrics {
             && self.power_mw == other.power_mw
             && self.lines_of_verilog == other.lines_of_verilog
     }
+
+    /// The metrics as a JSON object (field names match the struct;
+    /// used inside the `archex-explore/1` schema).
+    #[must_use]
+    pub fn to_json(&self) -> obs::Json {
+        obs::Json::obj()
+            .with("cycles", self.cycles)
+            .with("instructions", self.instructions)
+            .with("stall_cycles", self.stall_cycles)
+            .with("cycle_ns", self.cycle_ns)
+            .with("runtime_us", self.runtime_us)
+            .with("area_cells", self.area_cells)
+            .with("power_mw", self.power_mw)
+            .with("lines_of_verilog", self.lines_of_verilog)
+            .with("synthesis_time_s", self.synthesis_time_s)
+    }
 }
 
 impl fmt::Display for Metrics {

@@ -22,10 +22,12 @@ use crate::compiler::Kernel;
 use crate::eval::{evaluate, EvalError, Evaluation, Metrics};
 use hgen::HgenOptions;
 use isdl::model::{Constraint, FieldId, Machine, NtId, OpRef};
+use obs::{Histogram, Json, Registry, Summary};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Relative weights of the objective (log-space weighted sum, lower is
 /// better).
@@ -239,6 +241,90 @@ impl Step {
     }
 }
 
+/// Deterministic accounting for one frontier round: how many
+/// candidates were proposed, how many distinct structures they folded
+/// to, and how the distinct ones were resolved.
+///
+/// Identical across thread counts — only proposal order, never worker
+/// scheduling, feeds these numbers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrontierRound {
+    /// Candidates proposed (after structurally impossible mutations
+    /// were filtered out).
+    pub proposed: usize,
+    /// Distinct structures among them (first occurrences).
+    pub unique: usize,
+    /// Distinct structures evaluated from scratch this round.
+    pub fresh: usize,
+    /// Proposed candidates resolved from the cache, including
+    /// within-frontier duplicates (`proposed - fresh`).
+    pub cache_hits: usize,
+}
+
+/// Observability embedded in every [`Trace`] (see
+/// `docs/OBSERVABILITY.md`, `archex-explore/1`).
+///
+/// The frontier rounds are deterministic; the latency summaries,
+/// per-thread utilization, and wall time are measurements and vary
+/// run to run. With [`Explorer::instrument`] off, the timing
+/// summaries and wall time stay zeroed and no clock is ever read on
+/// the evaluation path; the rounds and per-thread eval counts are
+/// always recorded (one relaxed atomic add per multi-millisecond
+/// evaluation).
+#[derive(Debug, Clone, Default)]
+pub struct ExploreObs {
+    /// One entry per frontier evaluated, in round order (the initial
+    /// candidate's evaluation is not a round).
+    pub rounds: Vec<FrontierRound>,
+    /// Latency of each from-scratch candidate evaluation
+    /// (compile → simulate → synthesize), µs.
+    pub eval_latency_us: Summary,
+    /// Latency of cache lookups that found a stored outcome, µs.
+    pub cache_hit_lookup_us: Summary,
+    /// Latency of cache lookups that missed, µs.
+    pub cache_miss_lookup_us: Summary,
+    /// Fresh evaluations performed by each worker slot; sums to
+    /// [`Trace::evaluated`]. Length is the resolved worker-pool size.
+    pub thread_evals: Vec<u64>,
+    /// Wall-clock time of the whole run, seconds.
+    pub wall_s: f64,
+}
+
+impl ExploreObs {
+    /// Total proposed candidates across all rounds.
+    #[must_use]
+    pub fn proposed(&self) -> usize {
+        self.rounds.iter().map(|r| r.proposed).sum()
+    }
+
+    /// The observability block as JSON (the `obs` object of
+    /// `archex-explore/1`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let rounds: Vec<Json> = self
+            .rounds
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("proposed", r.proposed)
+                    .with("unique", r.unique)
+                    .with("fresh", r.fresh)
+                    .with("cache_hits", r.cache_hits)
+            })
+            .collect();
+        Json::obj()
+            .with("rounds", Json::Arr(rounds))
+            .with("eval_latency_us", self.eval_latency_us.to_json())
+            .with("cache_hit_lookup_us", self.cache_hit_lookup_us.to_json())
+            .with("cache_miss_lookup_us", self.cache_miss_lookup_us.to_json())
+            .with(
+                "thread_evals",
+                Json::Arr(self.thread_evals.iter().map(|&n| Json::from(n)).collect()),
+            )
+            .with("wall_s", self.wall_s)
+    }
+}
+
 /// The exploration result.
 #[derive(Debug, Clone)]
 pub struct Trace {
@@ -261,7 +347,14 @@ pub struct Trace {
     /// The first evaluation error encountered, as
     /// `"<mutation>: <error>"` (`None` when every candidate evaluated).
     pub first_error: Option<String>,
+    /// Observability: per-round frontier accounting, evaluation and
+    /// cache-lookup latency summaries, per-thread utilization.
+    pub obs: ExploreObs,
 }
+
+/// Schema identifier emitted by [`Trace::to_json`]. Bump the suffix on
+/// breaking changes.
+pub const EXPLORE_SCHEMA: &str = "archex-explore/1";
 
 impl Trace {
     /// Total candidates considered: fresh evaluations plus cache hits.
@@ -283,6 +376,34 @@ impl Trace {
             && self.cache_hits == other.cache_hits
             && self.skipped_errors == other.skipped_errors
             && self.first_error == other.first_error
+            && self.obs.rounds == other.obs.rounds
+    }
+
+    /// The trace as a schema-versioned JSON object (`archex-explore/1`,
+    /// reference-documented in `docs/OBSERVABILITY.md`): the accepted
+    /// steps with their metrics, the run counters, and the
+    /// observability block from [`Trace::obs`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let steps: Vec<Json> = self
+            .steps
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .with("action", s.action.as_str())
+                    .with("score", s.score)
+                    .with("metrics", s.metrics.to_json())
+            })
+            .collect();
+        Json::obj()
+            .with("schema", EXPLORE_SCHEMA)
+            .with("machine", self.machine.name.as_str())
+            .with("steps", Json::Arr(steps))
+            .with("evaluated", self.evaluated)
+            .with("cache_hits", self.cache_hits)
+            .with("skipped_errors", self.skipped_errors)
+            .with("first_error", self.first_error.as_deref().map_or(Json::Null, Json::from))
+            .with("obs", self.obs.to_json())
     }
 }
 
@@ -396,6 +517,11 @@ pub struct Explorer {
     /// setting — workers only fill result slots, and the reduction
     /// runs serially in proposal order.
     pub threads: usize,
+    /// Collect timing instrumentation ([`ExploreObs`] latency
+    /// summaries and wall time). When `false` no clock is read on the
+    /// evaluation path and the timing fields of [`Trace::obs`] stay
+    /// zeroed; the deterministic round counters are always recorded.
+    pub instrument: bool,
 }
 
 impl Default for Explorer {
@@ -406,6 +532,7 @@ impl Default for Explorer {
             max_steps: 16,
             strategy: Strategy::Greedy,
             threads: 0,
+            instrument: true,
         }
     }
 }
@@ -419,6 +546,89 @@ struct FrontierEval {
     first_occurrence: Vec<bool>,
     /// Candidates evaluated from scratch (≤ number of unique keys).
     fresh: usize,
+}
+
+impl FrontierEval {
+    /// The [`FrontierRound`] accounting record for this evaluation.
+    fn round(&self) -> FrontierRound {
+        FrontierRound {
+            proposed: self.outcomes.len(),
+            unique: self.first_occurrence.iter().filter(|&&b| b).count(),
+            fresh: self.fresh,
+            cache_hits: self.outcomes.len() - self.fresh,
+        }
+    }
+}
+
+/// Live instrumentation for one exploration run; folded into
+/// [`ExploreObs`] at the end.
+struct RunObs {
+    registry: Registry,
+    eval_us: Arc<Histogram>,
+    hit_us: Arc<Histogram>,
+    miss_us: Arc<Histogram>,
+    /// Fresh evaluations per worker slot (slot 0 doubles as the inline
+    /// single-worker path).
+    thread_evals: Vec<AtomicU64>,
+    started: Instant,
+}
+
+impl RunObs {
+    fn new(explorer: &Explorer) -> Self {
+        let registry = if explorer.instrument { Registry::new() } else { Registry::disabled() };
+        // The pool size an unbounded frontier would get; smaller
+        // frontiers use a prefix of the slots.
+        let pool = explorer.worker_count(usize::MAX);
+        Self {
+            eval_us: registry.histogram("explore.eval_latency_us"),
+            hit_us: registry.histogram("explore.cache_hit_lookup_us"),
+            miss_us: registry.histogram("explore.cache_miss_lookup_us"),
+            thread_evals: (0..pool).map(|_| AtomicU64::new(0)).collect(),
+            registry,
+            started: Instant::now(),
+        }
+    }
+
+    /// A timed cache lookup, credited to the hit or miss histogram.
+    fn lookup(&self, cache: &EvalCache, key: &str) -> Option<Result<Evaluation, EvalError>> {
+        let t0 = self.registry.enabled().then(Instant::now);
+        let outcome = cache.get(key);
+        if let Some(t0) = t0 {
+            let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            if outcome.is_some() { &self.hit_us } else { &self.miss_us }.record(us);
+        }
+        outcome
+    }
+
+    /// A timed fresh evaluation on worker slot `worker`.
+    fn eval(
+        &self,
+        worker: usize,
+        machine: &Machine,
+        kernels: &[Kernel],
+        hgen: HgenOptions,
+    ) -> Result<Evaluation, EvalError> {
+        let span = self.eval_us.span();
+        let outcome = evaluate(machine, kernels, hgen);
+        drop(span);
+        self.thread_evals[worker].fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    fn finish(&self, rounds: Vec<FrontierRound>) -> ExploreObs {
+        ExploreObs {
+            rounds,
+            eval_latency_us: self.eval_us.summary(),
+            cache_hit_lookup_us: self.hit_us.summary(),
+            cache_miss_lookup_us: self.miss_us.summary(),
+            thread_evals: self.thread_evals.iter().map(|n| n.load(Ordering::Relaxed)).collect(),
+            wall_s: if self.registry.enabled() {
+                self.started.elapsed().as_secs_f64()
+            } else {
+                0.0
+            },
+        }
+    }
 }
 
 /// Running totals folded into the final [`Trace`].
@@ -455,6 +665,7 @@ fn assert_worker_types_thread_safe() {
     ok::<EvalError>();
     ok::<Explorer>();
     ok::<EvalCache>();
+    ok::<RunObs>();
 }
 
 impl Explorer {
@@ -511,6 +722,7 @@ impl Explorer {
         cache: &EvalCache,
         kernels: &[Kernel],
         candidates: &[Machine],
+        robs: &RunObs,
     ) -> FrontierEval {
         let keys: Vec<String> = candidates.iter().map(EvalCache::key).collect();
 
@@ -536,7 +748,7 @@ impl Explorer {
             Vec::with_capacity(slot_candidate.len());
         let mut pending: Vec<usize> = Vec::new();
         for (slot, &ci) in slot_candidate.iter().enumerate() {
-            match cache.get(&keys[ci]) {
+            match robs.lookup(cache, &keys[ci]) {
                 Some(outcome) => slot_outcome.push(Some(outcome)),
                 None => {
                     slot_outcome.push(None);
@@ -555,17 +767,19 @@ impl Explorer {
                 for (j, &slot) in pending.iter().enumerate() {
                     let machine = &candidates[slot_candidate[slot]];
                     *results[j].lock().expect("result lock never poisoned") =
-                        Some(evaluate(machine, kernels, self.hgen));
+                        Some(robs.eval(0, machine, kernels, self.hgen));
                 }
             } else {
                 let cursor = AtomicUsize::new(0);
                 std::thread::scope(|scope| {
-                    for _ in 0..workers {
-                        scope.spawn(|| loop {
+                    let (cursor, pending, slot_candidate, results) =
+                        (&cursor, &pending, &slot_candidate, &results);
+                    for wi in 0..workers {
+                        scope.spawn(move || loop {
                             let j = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&slot) = pending.get(j) else { break };
                             let machine = &candidates[slot_candidate[slot]];
-                            let outcome = evaluate(machine, kernels, self.hgen);
+                            let outcome = robs.eval(wi, machine, kernels, self.hgen);
                             *results[j].lock().expect("result lock never poisoned") = Some(outcome);
                         });
                     }
@@ -598,8 +812,9 @@ impl Explorer {
         kernels: &[Kernel],
         machine: &Machine,
         counters: &mut Counters,
+        robs: &RunObs,
     ) -> Result<Evaluation, EvalError> {
-        let fe = self.eval_frontier(cache, kernels, std::slice::from_ref(machine));
+        let fe = self.eval_frontier(cache, kernels, std::slice::from_ref(machine), robs);
         counters.evaluated += fe.fresh;
         counters.cache_hits += 1 - fe.fresh;
         fe.outcomes.into_iter().next().expect("one candidate, one outcome")
@@ -612,8 +827,10 @@ impl Explorer {
         cache: &EvalCache,
     ) -> Result<Trace, EvalError> {
         let mut counters = Counters::default();
+        let robs = RunObs::new(self);
+        let mut rounds = Vec::new();
         let mut current = start.clone();
-        let mut current_eval = self.eval_one(cache, kernels, &current, &mut counters)?;
+        let mut current_eval = self.eval_one(cache, kernels, &current, &mut counters, &robs)?;
         let mut score = self.objective.score(&current_eval.metrics);
         let mut steps = vec![Step {
             action: "initial".to_owned(),
@@ -627,9 +844,10 @@ impl Explorer {
                 .into_iter()
                 .filter_map(|m| apply_mutation(&current, &m).map(|c| (m.to_string(), c)))
                 .unzip();
-            let fe = self.eval_frontier(cache, kernels, &machines);
+            let fe = self.eval_frontier(cache, kernels, &machines, &robs);
             counters.evaluated += fe.fresh;
             counters.cache_hits += machines.len() - fe.fresh;
+            rounds.push(fe.round());
 
             // Serial reduction in proposal order: the earliest
             // strictly-best improvement wins, exactly as in a serial
@@ -662,6 +880,7 @@ impl Explorer {
             cache_hits: counters.cache_hits,
             skipped_errors: counters.skipped_errors,
             first_error: counters.first_error,
+            obs: robs.finish(rounds),
         })
     }
 
@@ -673,7 +892,9 @@ impl Explorer {
         cache: &EvalCache,
     ) -> Result<Trace, EvalError> {
         let mut counters = Counters::default();
-        let initial_eval = self.eval_one(cache, kernels, start, &mut counters)?;
+        let robs = RunObs::new(self);
+        let mut rounds = Vec::new();
+        let initial_eval = self.eval_one(cache, kernels, start, &mut counters, &robs)?;
         let initial_score = self.objective.score(&initial_eval.metrics);
         let mut steps = vec![Step {
             action: "initial".to_owned(),
@@ -693,9 +914,10 @@ impl Explorer {
                         .filter_map(|m| apply_mutation(machine, &m).map(|c| (m.to_string(), c)))
                 })
                 .unzip();
-            let fe = self.eval_frontier(cache, kernels, &machines);
+            let fe = self.eval_frontier(cache, kernels, &machines, &robs);
             counters.evaluated += fe.fresh;
             counters.cache_hits += machines.len() - fe.fresh;
+            rounds.push(fe.round());
 
             // Keep the first occurrence of every structure: different
             // parents frequently reach the same machine, and clones
@@ -738,6 +960,7 @@ impl Explorer {
             cache_hits: counters.cache_hits,
             skipped_errors: counters.skipped_errors,
             first_error: counters.first_error,
+            obs: robs.finish(rounds),
         })
     }
 
@@ -969,18 +1192,21 @@ mod tests {
     fn single_candidate_frontier_uses_one_eval() {
         let kernels = vec![workloads::dot_product(2)];
         let explorer = Explorer::default();
+        let robs = RunObs::new(&explorer);
         let cache = EvalCache::new();
         let m = toy();
-        let fe = explorer.eval_frontier(&cache, &kernels, std::slice::from_ref(&m));
+        let fe = explorer.eval_frontier(&cache, &kernels, std::slice::from_ref(&m), &robs);
         assert_eq!(fe.fresh, 1);
         assert_eq!(fe.outcomes.len(), 1);
         assert!(fe.first_occurrence[0]);
         // Duplicate input: one fresh eval for two candidates.
         let cache = EvalCache::new();
-        let fe = explorer.eval_frontier(&cache, &kernels, &[m.clone(), m]);
+        let fe = explorer.eval_frontier(&cache, &kernels, &[m.clone(), m], &robs);
         assert_eq!(fe.fresh, 1);
         assert_eq!(fe.outcomes.len(), 2);
         assert_eq!(fe.first_occurrence, vec![true, false]);
+        let round = fe.round();
+        assert_eq!(round, FrontierRound { proposed: 2, unique: 1, fresh: 1, cache_hits: 1 });
     }
 }
 

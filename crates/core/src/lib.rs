@@ -41,5 +41,6 @@ pub mod workloads;
 pub use compiler::{compile, AOp, Capabilities, CompileError, Compiled, Kernel, VReg};
 pub use eval::{evaluate, EvalError, Evaluation, Metrics};
 pub use explore::{
-    apply_mutation, EvalCache, Explorer, Mutation, Objective, Step, Strategy, Trace,
+    apply_mutation, EvalCache, ExploreObs, Explorer, FrontierRound, Mutation, Objective, Step,
+    Strategy, Trace, EXPLORE_SCHEMA,
 };

@@ -68,6 +68,84 @@ fn beam_run_hits_the_cache() {
 }
 
 #[test]
+fn observability_counters_are_thread_count_invariant() {
+    // The embedded observability must not undermine determinism: the
+    // per-round frontier accounting (proposed / unique / fresh / cache
+    // hits) is part of `semantic_eq` and must be byte-identical at any
+    // thread count. Only the timing summaries may differ.
+    let kernels = vec![workloads::dot_product(3)];
+    for strategy in [Strategy::Greedy, Strategy::Beam { width: 3 }] {
+        let serial = explorer(strategy, 1).run(&toy(), &kernels).expect("explores");
+        let parallel = explorer(strategy, 4).run(&toy(), &kernels).expect("explores");
+        assert!(!serial.obs.rounds.is_empty(), "rounds were recorded");
+        assert_eq!(
+            serial.obs.rounds, parallel.obs.rounds,
+            "{strategy:?} frontier accounting depends on thread count"
+        );
+        for trace in [&serial, &parallel] {
+            let evaluated: usize = trace.obs.rounds.iter().map(|r| r.fresh).sum::<usize>() + 1; // the initial candidate is evaluated outside the rounds
+            assert_eq!(evaluated, trace.evaluated, "round fresh counts sum to `evaluated`");
+            let hits: usize = trace.obs.rounds.iter().map(|r| r.cache_hits).sum();
+            assert_eq!(hits, trace.cache_hits, "round hit counts sum to `cache_hits`");
+            for r in &trace.obs.rounds {
+                assert!(r.unique <= r.proposed);
+                assert!(r.fresh <= r.unique);
+                assert_eq!(r.cache_hits, r.proposed - r.fresh);
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_evals_sum_to_evaluated() {
+    let kernels = vec![workloads::dot_product(3)];
+    for threads in [1, 4] {
+        let trace = explorer(Strategy::Greedy, threads).run(&toy(), &kernels).expect("explores");
+        let total: u64 = trace.obs.thread_evals.iter().sum();
+        assert_eq!(total as usize, trace.evaluated, "threads={threads}");
+        assert_eq!(trace.obs.thread_evals.len(), threads);
+        // The instrumented run measured every fresh evaluation.
+        assert_eq!(trace.obs.eval_latency_us.count as usize, trace.evaluated);
+        assert!(trace.obs.wall_s > 0.0);
+    }
+}
+
+#[test]
+fn uninstrumented_run_is_semantically_identical() {
+    let kernels = vec![workloads::dot_product(3)];
+    let on = explorer(Strategy::Greedy, 2).run(&toy(), &kernels).expect("explores");
+    let off = Explorer { instrument: false, ..explorer(Strategy::Greedy, 2) }
+        .run(&toy(), &kernels)
+        .expect("explores");
+    assert!(on.semantic_eq(&off), "instrumentation changed the search");
+    assert_eq!(off.obs.eval_latency_us.count, 0, "no timing collected when disabled");
+    assert_eq!(off.obs.wall_s, 0.0);
+    let total: u64 = off.obs.thread_evals.iter().sum();
+    assert_eq!(total as usize, off.evaluated, "eval counts stay on when timing is off");
+}
+
+#[test]
+fn trace_json_is_schema_valid() {
+    let kernels = vec![workloads::dot_product(3)];
+    let trace = explorer(Strategy::Greedy, 2).run(&toy(), &kernels).expect("explores");
+    let text = trace.to_json().to_pretty();
+    let parsed = obs::Json::parse(&text).expect("trace JSON parses");
+    assert_eq!(parsed.get_str("schema"), Some(archex::EXPLORE_SCHEMA));
+    assert_eq!(parsed.get_u64("evaluated"), Some(trace.evaluated as u64));
+    let rounds = parsed
+        .get("obs")
+        .and_then(|o| o.get("rounds"))
+        .and_then(|r| r.as_arr())
+        .expect("obs.rounds present");
+    assert_eq!(rounds.len(), trace.obs.rounds.len());
+    assert_eq!(
+        rounds[0].get_u64("proposed"),
+        Some(trace.obs.rounds[0].proposed as u64),
+        "round JSON mirrors the struct"
+    );
+}
+
+#[test]
 fn shared_cache_carries_across_runs() {
     let kernels = vec![workloads::dot_product(3)];
     let cache = EvalCache::new();

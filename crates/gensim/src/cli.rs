@@ -17,6 +17,7 @@
 //! | `pc` | print the program counter |
 //! | `disasm <addr>` | disassemble one instruction |
 //! | `stats` | print cycle/instruction/stall counters |
+//! | `stats-json` | print the `xsim-stats/1` JSON report (see `docs/OBSERVABILITY.md`) |
 //! | `echo <text>` | print `text` (batch-file niceties) |
 //! | `reset` | reset state and statistics |
 
@@ -172,6 +173,10 @@ pub fn run_command(sim: &mut Xsim<'_>, line: &str, out: &mut String) -> bool {
                     100.0 * s.field_utilization(fi)
                 );
             }
+            true
+        }
+        "stats-json" => {
+            let _ = write!(out, "{}", crate::report::stats_json(sim).to_pretty());
             true
         }
         "echo" => {

@@ -48,8 +48,12 @@ mod bytecode;
 pub mod cli;
 pub mod exec;
 mod hazard;
+pub mod report;
 pub mod sched;
 pub mod state;
 
-pub use sched::{CoreKind, GensimError, Stats, StopReason, Xsim, XsimOptions};
+pub use report::{stats_json, trace_json, STATS_SCHEMA, TRACE_SCHEMA};
+pub use sched::{
+    CoreKind, EventTrace, GensimError, Stats, StopReason, TraceEvent, TraceWrite, Xsim, XsimOptions,
+};
 pub use state::{Monitor, MonitorEvent, State};

@@ -1,0 +1,113 @@
+//! Versioned JSON reports from a running simulator: execution
+//! statistics (`xsim-stats/1`) and the event trace (`xsim-trace/1`).
+//!
+//! The schemas are reference-documented in `docs/OBSERVABILITY.md`;
+//! `EXPERIMENTS.md` shows how to regenerate the paper-style cycle/IPC
+//! tables from these files, and `crates/bench` turns them into
+//! `BENCH_*.json` entries. The schema string is the compatibility
+//! contract: consumers must check it and reject major versions they
+//! do not know.
+
+use crate::sched::Xsim;
+use obs::Json;
+
+/// Schema identifier emitted by [`stats_json`]. Bump the suffix on
+/// breaking changes.
+pub const STATS_SCHEMA: &str = "xsim-stats/1";
+
+/// Schema identifier emitted by [`trace_json`].
+pub const TRACE_SCHEMA: &str = "xsim-trace/1";
+
+/// The simulator's execution statistics as a schema-versioned JSON
+/// object: totals (`cycles`, `instructions`, `stall_cycles`, `ipc`)
+/// plus one entry per field with its busy count, utilization, and
+/// per-opcode retire counts.
+///
+/// Invariants consumers may rely on (tested):
+/// * per field, the `retired` counts sum to `instructions` (every
+///   executed instruction selects exactly one operation per field,
+///   nops included);
+/// * `ipc == instructions / cycles`;
+/// * `stall_cycles <= cycles`.
+#[must_use]
+pub fn stats_json(sim: &Xsim<'_>) -> Json {
+    let stats = sim.stats();
+    let machine = sim.machine();
+    let fields: Vec<Json> = machine
+        .fields
+        .iter()
+        .zip(sim.op_count_table())
+        .enumerate()
+        .map(|(fi, (field, counts))| {
+            let ops: Vec<Json> = field
+                .ops
+                .iter()
+                .zip(counts)
+                .map(|(op, &retired)| {
+                    Json::obj().with("name", op.name.as_str()).with("retired", retired)
+                })
+                .collect();
+            Json::obj()
+                .with("name", field.name.as_str())
+                .with("busy", stats.field_busy.get(fi).copied().unwrap_or(0))
+                .with("utilization", stats.field_utilization(fi))
+                .with("ops", Json::Arr(ops))
+        })
+        .collect();
+    Json::obj()
+        .with("schema", STATS_SCHEMA)
+        .with("machine", machine.name.as_str())
+        .with("cycles", stats.cycles)
+        .with("instructions", stats.instructions)
+        .with("stall_cycles", stats.stall_cycles)
+        .with("ipc", stats.ipc())
+        .with("fields", Json::Arr(fields))
+}
+
+/// The recorded event trace as a schema-versioned JSON object, or an
+/// empty trace object if event tracing was never enabled
+/// ([`Xsim::enable_event_trace`]).
+///
+/// Each event carries the execution cycle, the pc, the selected
+/// operation names in field order, and the staged writes as
+/// `storage`/`index`/`value` triples (`value` is the Verilog-style
+/// bit-true literal, e.g. `16'h002a`).
+#[must_use]
+pub fn trace_json(sim: &Xsim<'_>) -> Json {
+    let machine = sim.machine();
+    let (capacity, dropped, events): (usize, u64, Vec<Json>) = match sim.event_trace() {
+        None => (0, 0, Vec::new()),
+        Some(trace) => (
+            trace.capacity(),
+            trace.dropped(),
+            trace
+                .events()
+                .map(|e| {
+                    let ops: Vec<Json> =
+                        e.ops.iter().map(|r| Json::from(machine.op(*r).name.as_str())).collect();
+                    let writes: Vec<Json> = e
+                        .writes
+                        .iter()
+                        .map(|w| {
+                            Json::obj()
+                                .with("storage", machine.storage(w.storage).name.as_str())
+                                .with("index", w.index)
+                                .with("value", w.value.to_string())
+                        })
+                        .collect();
+                    Json::obj()
+                        .with("cycle", e.cycle)
+                        .with("pc", e.pc)
+                        .with("ops", Json::Arr(ops))
+                        .with("writes", Json::Arr(writes))
+                })
+                .collect(),
+        ),
+    };
+    Json::obj()
+        .with("schema", TRACE_SCHEMA)
+        .with("machine", machine.name.as_str())
+        .with("capacity", capacity)
+        .with("dropped", dropped)
+        .with("events", Json::Arr(events))
+}

@@ -37,7 +37,7 @@ use crate::state::State;
 use bitv::BitVector;
 use isdl::model::{Machine, OpRef};
 use isdl::rtl::StorageId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::io::Write;
 use std::rc::Rc;
@@ -145,6 +145,106 @@ impl Stats {
             self.field_busy.get(f).copied().unwrap_or(0) as f64 / self.instructions as f64
         }
     }
+
+    /// Instructions retired per cycle (0 when nothing ran). Stall
+    /// cycles are included in the denominator, so IPC degrades exactly
+    /// as hazards accumulate.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// One architectural write captured by the event trace (committed to
+/// state `latency` cycles after the event's cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceWrite {
+    /// Target storage.
+    pub storage: StorageId,
+    /// Cell index (0 for non-addressed storage).
+    pub index: u64,
+    /// The staged value, bit-true at the storage's width.
+    pub value: BitVector,
+}
+
+/// One executed instruction captured by the event trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the instruction executed (stalls already
+    /// charged).
+    pub cycle: u64,
+    /// Its address.
+    pub pc: u64,
+    /// The operation selected in each field, in field order.
+    pub ops: Vec<OpRef>,
+    /// Register/memory writes staged by the instruction, in commit
+    /// order (action writes, then side-effect writes).
+    pub writes: Vec<TraceWrite>,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s (§3.2's execution traces,
+/// upgraded from bare addresses to full retire records).
+///
+/// When full, the oldest event is evicted and counted in
+/// [`EventTrace::dropped`] — a long run keeps the *tail* of the
+/// execution, which is where crashes and divergences live. Recording
+/// costs nothing when disabled: the simulator holds `Option<EventTrace>`
+/// and the hot loop checks one discriminant.
+#[derive(Debug, Clone, Default)]
+pub struct EventTrace {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// An empty trace bounded at `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { capacity, events: VecDeque::with_capacity(capacity), dropped: 0 }
+    }
+
+    /// Maximum retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(&mut self, e: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
 }
 
 /// A prepared execution plan for one field slot of an instruction:
@@ -196,6 +296,7 @@ pub struct Xsim<'m> {
     stats: Stats,
     breakpoints: HashSet<u64>,
     trace: Option<Box<dyn Write + Send>>,
+    events: Option<EventTrace>,
     halted: bool,
 }
 
@@ -245,6 +346,7 @@ impl<'m> Xsim<'m> {
             stats: Stats { field_busy: vec![0; machine.fields.len()], ..Stats::default() },
             breakpoints: HashSet::new(),
             trace: None,
+            events: None,
             halted: false,
         })
     }
@@ -319,6 +421,32 @@ impl<'m> Xsim<'m> {
     /// Stops tracing and returns the sink.
     pub fn take_trace(&mut self) -> Option<Box<dyn Write + Send>> {
         self.trace.take()
+    }
+
+    /// Starts recording a bounded event trace: every executed
+    /// instruction's cycle, pc, selected operations, and staged
+    /// register/memory writes, in a ring buffer of `capacity` events
+    /// (oldest evicted first). Replaces any previous event trace.
+    pub fn enable_event_trace(&mut self, capacity: usize) {
+        self.events = Some(EventTrace::new(capacity));
+    }
+
+    /// The event trace recorded so far, if enabled.
+    #[must_use]
+    pub fn event_trace(&self) -> Option<&EventTrace> {
+        self.events.as_ref()
+    }
+
+    /// Stops event tracing and returns the recorded trace.
+    pub fn take_event_trace(&mut self) -> Option<EventTrace> {
+        self.events.take()
+    }
+
+    /// Flat per-(field, op) execution counts, indexed `[field][op]` —
+    /// the raw table behind [`Xsim::op_counts`], used by the stats
+    /// report.
+    pub(crate) fn op_count_table(&self) -> &[Vec<u64>] {
+        &self.op_counts
     }
 
     /// Loads an assembled program: writes its words into instruction
@@ -581,9 +709,18 @@ impl<'m> Xsim<'m> {
             }
         }
         let mut pc_written = false;
+        let mut traced_writes = Vec::new();
+        let tracing = self.events.is_some();
         for w in action_writes.drain(..).chain(se_writes.drain(..)) {
             if w.storage == self.pc_id {
                 pc_written = true;
+            }
+            if tracing {
+                traced_writes.push(TraceWrite {
+                    storage: w.storage,
+                    index: w.index,
+                    value: w.value.clone(),
+                });
             }
             self.state.stage_write(
                 w.storage,
@@ -596,6 +733,14 @@ impl<'m> Xsim<'m> {
         }
         self.action_buf = action_writes;
         self.se_buf = se_writes;
+        if let Some(events) = &mut self.events {
+            events.push(TraceEvent {
+                cycle: t,
+                pc,
+                ops: entry.instr.ops.iter().map(|d| d.op).collect(),
+                writes: traced_writes,
+            });
+        }
 
         // Bookkeeping (flat counters; folded into Stats lazily).
         for (fi, d) in entry.instr.ops.iter().enumerate() {
@@ -655,6 +800,9 @@ impl<'m> Xsim<'m> {
         self.stats = Stats { field_busy: vec![0; self.machine.fields.len()], ..Stats::default() };
         for f in &mut self.op_counts {
             f.iter_mut().for_each(|n| *n = 0);
+        }
+        if let Some(events) = &mut self.events {
+            *events = EventTrace::new(events.capacity());
         }
         self.halted = false;
     }

@@ -1,0 +1,120 @@
+//! The `xsim-stats/1` and `xsim-trace/1` report invariants, on both a
+//! single-field machine (acc16) and the TOY VLIW: per-field retire
+//! counts sum to instructions retired, IPC is the cycles/instructions
+//! quotient, the event ring buffer keeps the execution tail, and the
+//! emitted JSON round-trips through the parser with the documented
+//! schema strings.
+
+use gensim::{stats_json, trace_json, Xsim, STATS_SCHEMA, TRACE_SCHEMA};
+use xasm::Assembler;
+
+const ACC16_PROG: &str = "ldi 7\naddm ten\nsta 0\nhalt\n.data\n.org 20\nten: .word 10\n";
+
+fn run_to_halt<'m>(machine: &'m isdl::Machine, asm: &str, trace: Option<usize>) -> Xsim<'m> {
+    let program = Assembler::new(machine).assemble(asm).expect("assembles");
+    let mut sim = Xsim::generate(machine).expect("generates");
+    sim.load_program(&program);
+    if let Some(capacity) = trace {
+        sim.enable_event_trace(capacity);
+    }
+    assert_eq!(sim.run(10_000), gensim::StopReason::Halted);
+    sim
+}
+
+/// Every executed instruction selects exactly one operation per field
+/// (nops included), so each field's retire counts must sum to the
+/// instruction total — the core invariant consumers of the stats
+/// report rely on.
+#[test]
+fn per_field_retire_counts_sum_to_instructions() {
+    let acc16 = isdl::load(isdl::samples::ACC16).expect("loads");
+    let toy = isdl::load(isdl::samples::TOY).expect("loads");
+    // TOY has no halt op; a self-jump halts the scheduler.
+    let toy_prog =
+        "li R1, 5\nli R2, 6 | mv R4, R1\nadd R3, R1, reg(R2)\nst 0, R3\ndone: jmp done\n";
+    for (machine, asm) in [(&acc16, ACC16_PROG), (&toy, toy_prog)] {
+        let sim = run_to_halt(machine, asm, None);
+        let json = stats_json(&sim);
+        let instructions = json.get_u64("instructions").expect("instructions");
+        assert!(instructions > 0);
+        let fields = json.get("fields").and_then(|f| f.as_arr()).expect("fields");
+        assert_eq!(fields.len(), machine.fields.len());
+        for field in fields {
+            let ops = field.get("ops").and_then(|o| o.as_arr()).expect("ops");
+            let retired: u64 = ops.iter().map(|o| o.get_u64("retired").expect("retired")).sum();
+            assert_eq!(
+                retired,
+                instructions,
+                "field {} of {}",
+                field.get_str("name").unwrap_or("?"),
+                machine.name
+            );
+        }
+    }
+}
+
+#[test]
+fn stats_json_round_trips_with_schema() {
+    let machine = isdl::load(isdl::samples::ACC16).expect("loads");
+    let sim = run_to_halt(&machine, ACC16_PROG, None);
+    let text = stats_json(&sim).to_pretty();
+    let parsed = obs::Json::parse(&text).expect("parses");
+    assert_eq!(parsed.get_str("schema"), Some(STATS_SCHEMA));
+    assert_eq!(parsed.get_str("machine"), Some("acc16"));
+    let cycles = parsed.get_u64("cycles").expect("cycles");
+    let instructions = parsed.get_u64("instructions").expect("instructions");
+    let ipc = parsed.get_f64("ipc").expect("ipc");
+    assert_eq!(cycles, 4);
+    assert_eq!(instructions, 4);
+    assert!((ipc - instructions as f64 / cycles as f64).abs() < 1e-12);
+    assert!(parsed.get_u64("stall_cycles").expect("stalls") <= cycles);
+}
+
+#[test]
+fn event_trace_records_writes_and_keeps_the_tail() {
+    let machine = isdl::load(isdl::samples::ACC16).expect("loads");
+    // Ample capacity: every event retained, nothing dropped.
+    let sim = run_to_halt(&machine, ACC16_PROG, Some(64));
+    let trace = sim.event_trace().expect("enabled");
+    assert_eq!(trace.len(), 4);
+    assert_eq!(trace.dropped(), 0);
+    let first = trace.events().next().expect("first event");
+    assert_eq!(first.cycle, 0);
+    assert!(!first.writes.is_empty(), "ldi writes ACC");
+
+    // Capacity 2: the ring evicts the oldest events and counts them;
+    // the surviving events are the last two of the run.
+    let sim = run_to_halt(&machine, ACC16_PROG, Some(2));
+    let trace = sim.event_trace().expect("enabled");
+    assert_eq!(trace.len(), 2);
+    assert_eq!(trace.dropped(), 2);
+    let cycles: Vec<u64> = trace.events().map(|e| e.cycle).collect();
+    assert_eq!(cycles, vec![2, 3], "the tail survives, not the head");
+}
+
+#[test]
+fn trace_json_round_trips_with_schema() {
+    let machine = isdl::load(isdl::samples::ACC16).expect("loads");
+    let sim = run_to_halt(&machine, ACC16_PROG, Some(8));
+    let text = trace_json(&sim).to_pretty();
+    let parsed = obs::Json::parse(&text).expect("parses");
+    assert_eq!(parsed.get_str("schema"), Some(TRACE_SCHEMA));
+    assert_eq!(parsed.get_u64("capacity"), Some(8));
+    assert_eq!(parsed.get_u64("dropped"), Some(0));
+    let events = parsed.get("events").and_then(|e| e.as_arr()).expect("events");
+    assert_eq!(events.len(), 4);
+    let ops = events[0].get("ops").and_then(|o| o.as_arr()).expect("ops");
+    assert_eq!(ops[0].as_str(), Some("ldi"));
+    let writes = events[0].get("writes").and_then(|w| w.as_arr()).expect("writes");
+    assert_eq!(writes[0].get_str("storage"), Some("ACC"));
+    assert_eq!(writes[0].get_str("value"), Some("16'h0007"));
+}
+
+#[test]
+fn disabled_trace_emits_empty_report() {
+    let machine = isdl::load(isdl::samples::ACC16).expect("loads");
+    let sim = run_to_halt(&machine, ACC16_PROG, None);
+    let json = trace_json(&sim);
+    assert_eq!(json.get_u64("capacity"), Some(0));
+    assert_eq!(json.get("events").and_then(|e| e.as_arr()).map(<[_]>::len), Some(0));
+}

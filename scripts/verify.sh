@@ -6,6 +6,7 @@
 # Usage:
 #   scripts/verify.sh          # tier-1: fmt + clippy + build + tests
 #   scripts/verify.sh --slow   # additionally run the property suites
+#   scripts/verify.sh --doc    # only the rustdoc pass (warnings fatal)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +14,12 @@ run() {
     echo "==> $*"
     "$@"
 }
+
+if [[ "${1:-}" == "--doc" ]]; then
+    RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
+    echo "verify: OK"
+    exit 0
+fi
 
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings

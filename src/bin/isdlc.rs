@@ -3,6 +3,7 @@
 //! ```text
 //! isdlc check   <machine.isdl>                      validate and summarize
 //! isdlc print   <machine.isdl>                      pretty-print the resolved description
+//! isdlc sample  <toy|acc16|spam|spam2>              print an embedded sample description
 //! isdlc asm     <machine.isdl> <prog.asm>           assemble; hex words to stdout
 //! isdlc disasm  <machine.isdl> <prog.asm>           assemble then disassemble (listing)
 //! isdlc run     <machine.isdl> <prog.asm> [cycles]  simulate; prints stats + final state
@@ -86,6 +87,18 @@ fn run(args: &[String]) -> Result<(), String> {
         "print" => {
             let m = load(0)?;
             print!("{}", isdl::printer::print(&m));
+            Ok(())
+        }
+        "sample" => {
+            let name = pos.first().ok_or_else(usage)?;
+            let src = match name.as_str() {
+                "toy" => isdl::samples::TOY,
+                "acc16" => isdl::samples::ACC16,
+                "spam" => isdl::samples::SPAM,
+                "spam2" => isdl::samples::SPAM2,
+                other => return Err(format!("unknown sample `{other}` (toy|acc16|spam|spam2)")),
+            };
+            print!("{src}");
             Ok(())
         }
         "asm" => {
@@ -254,7 +267,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: isdlc <check|print|asm|disasm|run|batch|verilog|report|wave|hex|tb> \
+    "usage: isdlc <check|print|sample|asm|disasm|run|batch|verilog|report|wave|hex|tb> \
      <machine.isdl> [args] [--no-share] [--naive-decode]"
         .to_owned()
 }

@@ -1,0 +1,160 @@
+//! `xsim` — standalone simulator driver with machine-readable reports.
+//!
+//! Loads an ISDL machine description, generates its XSIM simulator,
+//! assembles and runs a program, and emits the versioned JSON reports
+//! documented in `docs/OBSERVABILITY.md`:
+//!
+//! ```text
+//! xsim <machine.isdl> <prog.asm> [options]
+//!   --cycles N            cycle budget (default 1000000)
+//!   --stats <path|->      write the `xsim-stats/1` JSON report
+//!   --trace <path|->      write the `xsim-trace/1` JSON event trace
+//!   --trace-capacity N    event ring-buffer capacity (default 4096)
+//!   --core tree|bytecode  processing-core implementation (default bytecode)
+//!   --no-offline-decode   re-decode at every fetch (§3.3.2 ablation)
+//! ```
+//!
+//! `-` writes a report to stdout (the human-readable summary then moves
+//! to stderr so the JSON stream stays parseable). On top of the library
+//! schema, the CLI adds a `stop` key (the stop reason) and a
+//! `timing_us` object with per-phase wall times to the stats report.
+
+use gensim::{stats_json, trace_json, CoreKind, Xsim, XsimOptions};
+use obs::{Json, Registry};
+use std::process::ExitCode;
+use xasm::Assembler;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xsim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut cycles: u64 = 1_000_000;
+    let mut stats_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_capacity: usize = 4096;
+    let mut options = XsimOptions::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cycles" => {
+                let v = value(&mut it, "--cycles")?;
+                cycles = v.parse().map_err(|_| format!("bad cycle budget `{v}`"))?;
+            }
+            "--stats" => stats_out = Some(value(&mut it, "--stats")?.to_owned()),
+            "--trace" => trace_out = Some(value(&mut it, "--trace")?.to_owned()),
+            "--trace-capacity" => {
+                let v = value(&mut it, "--trace-capacity")?;
+                trace_capacity = v.parse().map_err(|_| format!("bad capacity `{v}`"))?;
+            }
+            "--core" => {
+                options.core = match value(&mut it, "--core")? {
+                    "tree" => CoreKind::Tree,
+                    "bytecode" => CoreKind::Bytecode,
+                    other => return Err(format!("unknown core `{other}` (tree|bytecode)")),
+                };
+            }
+            "--no-offline-decode" => options.offline_decode = false,
+            f if f.starts_with("--") => return Err(format!("unknown flag `{f}`\n{}", usage())),
+            p => pos.push(p),
+        }
+    }
+    let [machine_path, prog_path] = pos[..] else {
+        return Err(usage());
+    };
+
+    // Phase timers, recorded through the metrics registry so the CLI
+    // exercises the same instrumentation path as the library users.
+    let registry = Registry::new();
+    let t_load = registry.histogram("load_us");
+    let t_assemble = registry.histogram("assemble_us");
+    let t_generate = registry.histogram("generate_us");
+    let t_run = registry.histogram("run_us");
+
+    let machine = {
+        let _span = t_load.span();
+        let src = std::fs::read_to_string(machine_path)
+            .map_err(|e| format!("cannot read {machine_path}: {e}"))?;
+        isdl::load(&src).map_err(|e| format!("{machine_path}: {e}"))?
+    };
+    let program = {
+        let _span = t_assemble.span();
+        let src = std::fs::read_to_string(prog_path)
+            .map_err(|e| format!("cannot read {prog_path}: {e}"))?;
+        Assembler::new(&machine).assemble(&src).map_err(|e| format!("{prog_path}: {e}"))?
+    };
+    let mut sim = {
+        let _span = t_generate.span();
+        let mut sim = Xsim::generate_with(&machine, options).map_err(|e| e.to_string())?;
+        sim.load_program(&program);
+        sim
+    };
+    if trace_out.is_some() {
+        sim.enable_event_trace(trace_capacity);
+    }
+    let stop = {
+        let _span = t_run.span();
+        sim.run(cycles)
+    };
+
+    if let Some(path) = &stats_out {
+        let mut stats = stats_json(&sim);
+        stats.insert("stop", stop.to_string());
+        let timing = Json::obj()
+            .with("load", t_load.summary().sum)
+            .with("assemble", t_assemble.summary().sum)
+            .with("generate", t_generate.summary().sum)
+            .with("run", t_run.summary().sum);
+        stats.insert("timing_us", timing);
+        write_report(path, &stats)?;
+    }
+    if let Some(path) = &trace_out {
+        write_report(path, &trace_json(&sim))?;
+    }
+
+    // Keep stdout clean for piped JSON.
+    let json_on_stdout = [&stats_out, &trace_out].iter().any(|o| o.as_deref() == Some("-"));
+    let stats = sim.stats();
+    let summary = format!(
+        "stopped: {stop} after {} instructions, {} cycles ({} stalls), ipc {:.3}",
+        stats.instructions,
+        stats.cycles,
+        stats.stall_cycles,
+        stats.ipc()
+    );
+    if json_on_stdout {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+    Ok(())
+}
+
+fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+    it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn write_report(path: &str, json: &Json) -> Result<(), String> {
+    let text = json.to_pretty();
+    if path == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+fn usage() -> String {
+    "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--stats <path|->] \
+     [--trace <path|->] [--trace-capacity N] [--core tree|bytecode] [--no-offline-decode]"
+        .to_owned()
+}

@@ -1,0 +1,129 @@
+//! End-to-end tests for the `xsim` binary: run a fixture program and
+//! validate the emitted `xsim-stats/1` / `xsim-trace/1` JSON against
+//! the invariants documented in `docs/OBSERVABILITY.md`.
+
+use obs::Json;
+use std::io::Write as _;
+use std::process::Command;
+
+fn xsim(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xsim")).args(args).output().expect("xsim runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("xsim-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+const PROG: &str = "ldi 7\naddm ten\nsta 0\nhalt\n.data\n.org 20\nten: .word 10\n";
+
+fn fixture_paths() -> (String, String) {
+    let machine = write_temp("acc16.isdl", isdl::samples::ACC16);
+    let prog = write_temp("prog.asm", PROG);
+    (machine.to_str().expect("utf8 path").to_owned(), prog.to_str().expect("utf8 path").to_owned())
+}
+
+#[test]
+fn stats_report_matches_documented_invariants() {
+    let (machine, prog) = fixture_paths();
+    let (stdout, stderr, ok) = xsim(&[&machine, &prog, "--stats", "-"]);
+    assert!(ok, "stderr: {stderr}");
+    let json = Json::parse(&stdout).expect("stdout is pure JSON");
+    assert_eq!(json.get_str("schema"), Some(gensim::STATS_SCHEMA));
+    assert_eq!(json.get_str("machine"), Some("acc16"));
+    assert_eq!(json.get_str("stop"), Some("halted"));
+
+    let cycles = json.get_u64("cycles").expect("cycles");
+    let instructions = json.get_u64("instructions").expect("instructions");
+    let ipc = json.get_f64("ipc").expect("ipc");
+    assert_eq!(cycles, 4);
+    assert!((ipc - instructions as f64 / cycles as f64).abs() < 1e-12);
+
+    // Per-field retire counts sum to instructions retired.
+    for field in json.get("fields").and_then(|f| f.as_arr()).expect("fields") {
+        let retired: u64 = field
+            .get("ops")
+            .and_then(|o| o.as_arr())
+            .expect("ops")
+            .iter()
+            .map(|o| o.get_u64("retired").expect("retired"))
+            .sum();
+        assert_eq!(retired, instructions);
+    }
+
+    // The CLI's phase timers ride along.
+    let timing = json.get("timing_us").expect("timing_us");
+    for phase in ["load", "assemble", "generate", "run"] {
+        assert!(timing.get_f64(phase).is_some(), "timing_us.{phase} present");
+    }
+
+    // The human summary moved to stderr to keep stdout parseable.
+    assert!(stderr.contains("stopped: halted"), "stderr: {stderr}");
+}
+
+#[test]
+fn trace_report_is_written_to_file() {
+    let (machine, prog) = fixture_paths();
+    let out = write_temp("trace_out.json", "");
+    let out_path = out.to_str().expect("utf8 path");
+    let (stdout, stderr, ok) =
+        xsim(&[&machine, &prog, "--trace", out_path, "--trace-capacity", "2"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("stopped: halted"), "summary on stdout: {stdout}");
+
+    let text = std::fs::read_to_string(out).expect("trace file written");
+    let json = Json::parse(&text).expect("trace parses");
+    assert_eq!(json.get_str("schema"), Some(gensim::TRACE_SCHEMA));
+    assert_eq!(json.get_u64("capacity"), Some(2));
+    assert_eq!(json.get_u64("dropped"), Some(2), "4 events through a 2-deep ring");
+    let events = json.get("events").and_then(|e| e.as_arr()).expect("events");
+    assert_eq!(events.len(), 2);
+    assert_eq!(
+        events[1].get("ops").and_then(|o| o.as_arr()).expect("ops")[0].as_str(),
+        Some("halt"),
+        "the tail of the run survives"
+    );
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, stderr, ok) = xsim(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (machine, prog) = fixture_paths();
+    let (_, stderr, ok) = xsim(&[&machine, &prog, "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    let (_, stderr, ok) = xsim(&[&machine, &prog, "--core", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown core"), "{stderr}");
+}
+
+#[test]
+fn core_choice_does_not_change_the_stats() {
+    let (machine, prog) = fixture_paths();
+    let run = |extra: &[&str]| {
+        let mut args = vec![machine.as_str(), prog.as_str(), "--stats", "-"];
+        args.extend_from_slice(extra);
+        let (stdout, stderr, ok) = xsim(&args);
+        assert!(ok, "stderr: {stderr}");
+        let mut json = Json::parse(&stdout).expect("parses");
+        // Timing differs run to run; compare everything else.
+        json.insert("timing_us", Json::Null);
+        json.to_string()
+    };
+    let bytecode = run(&[]);
+    let tree = run(&["--core", "tree"]);
+    let no_offline = run(&["--no-offline-decode"]);
+    assert_eq!(bytecode, tree, "tree and bytecode cores agree");
+    assert_eq!(bytecode, no_offline, "decode strategy cannot change the counters");
+}
