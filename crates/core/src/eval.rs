@@ -9,13 +9,84 @@
 //! "Evaluation Statistics & Measurements" box of the paper's Figure 1.
 
 use crate::compiler::{compile, CompileError, Compiled, Kernel};
+use crate::fault::FaultPlan;
 use gensim::{Stats, StopReason, Xsim};
 use hgen::{synthesize, HgenOptions};
 use isdl::model::{NtId, OpRef};
 use isdl::Machine;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::Once;
 use xasm::{Assembler, Disassembler, Operand};
+
+/// A stage of the evaluation pipeline (the boxes of the paper's
+/// Figure 1 loop) — used to attribute panics and to address
+/// fault-injection points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Retargetable code generation.
+    Compile,
+    /// Assembling the generated source.
+    Assemble,
+    /// Simulator generation (GENSIM).
+    Gensim,
+    /// Running the kernel on XSIM.
+    Simulate,
+    /// Hardware synthesis (HGEN).
+    Synthesize,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Compile, Stage::Assemble, Stage::Gensim, Stage::Simulate, Stage::Synthesize];
+
+    /// The stable lower-case name (used in journals and messages).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Compile => "compile",
+            Self::Assemble => "assemble",
+            Self::Gensim => "gensim",
+            Self::Simulate => "simulate",
+            Self::Synthesize => "synthesize",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which simulation budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetKind {
+    /// The cycle budget.
+    Cycles,
+    /// The retired-instruction fuel budget.
+    Instructions,
+}
+
+/// Per-kernel simulation budgets: a candidate whose simulator spins
+/// (a low-IPC machine, a miscompiled loop) is cut off and reported as
+/// [`EvalError::BudgetExhausted`] instead of hanging the exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimBudget {
+    /// Maximum cycles per kernel run.
+    pub max_cycles: u64,
+    /// Maximum retired instructions per kernel run (fuel).
+    pub max_instructions: u64,
+}
+
+impl Default for SimBudget {
+    fn default() -> Self {
+        Self { max_cycles: 10_000_000, max_instructions: u64::MAX }
+    }
+}
 
 /// The merged measurements for one candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,7 +176,11 @@ pub struct KernelRun {
 
 /// Counts non-terminal option occurrences in an assembled program.
 fn count_nt_options(machine: &Machine, program: &xasm::Program) -> HashMap<(NtId, usize), u64> {
-    let d = Disassembler::new(machine);
+    // An undecodable machine yields no counts (the mutation that feeds
+    // on them simply proposes nothing).
+    let Ok(d) = Disassembler::try_new(machine) else {
+        return HashMap::new();
+    };
     let mut out = HashMap::new();
     let mut addr = 0u64;
     while (addr as usize) < program.words.len() {
@@ -151,12 +226,48 @@ pub enum EvalError {
     Compile(String, CompileError),
     /// Generated assembly failed to assemble (an internal error).
     Assemble(String),
-    /// The simulation did not halt within the cycle budget.
+    /// The simulation stopped abnormally (illegal instruction, PC out
+    /// of range, execution fault).
     SimulationDiverged(String),
-    /// Simulator generation failed (missing PC / instruction memory).
+    /// Simulator generation failed (missing PC / instruction memory /
+    /// inconsistent encodings).
     Gensim(String),
     /// Hardware synthesis failed.
     Synthesis(String),
+    /// A stage of the toolchain panicked; the panic was contained and
+    /// the candidate skipped. *Transient*: never cached, because a
+    /// panic may be environmental (e.g. a debug assertion tripped by a
+    /// build-mode difference) rather than a property of the machine.
+    ToolchainPanic {
+        /// The pipeline stage that panicked.
+        stage: Stage,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A kernel run exhausted its [`SimBudget`]. *Transient*: a bigger
+    /// budget might pass, so the outcome is not cached.
+    BudgetExhausted {
+        /// The kernel that ran out.
+        kernel: String,
+        /// Which budget ran out.
+        kind: BudgetKind,
+    },
+    /// An error replayed from a journal, preserved as its rendered
+    /// message (the structured form is not serialized).
+    Journaled(String),
+}
+
+impl EvalError {
+    /// Whether this failure is *transient* — possibly an artifact of
+    /// the run (budget too small, environmental panic) rather than a
+    /// property of the candidate machine. Transient errors are never
+    /// persisted in the [`crate::EvalCache`] or a journal, so a later
+    /// run (or a retry with a bigger budget) re-evaluates the
+    /// candidate.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::ToolchainPanic { .. } | Self::BudgetExhausted { .. })
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -167,13 +278,68 @@ impl fmt::Display for EvalError {
             Self::SimulationDiverged(k) => write!(f, "kernel `{k}` did not halt"),
             Self::Gensim(e) => write!(f, "simulator generation failed: {e}"),
             Self::Synthesis(e) => write!(f, "hardware synthesis failed: {e}"),
+            Self::ToolchainPanic { stage, message } => {
+                write!(f, "toolchain panicked during {stage}: {message}")
+            }
+            Self::BudgetExhausted { kernel, kind: BudgetKind::Cycles } => {
+                write!(f, "kernel `{kernel}` exhausted its cycle budget")
+            }
+            Self::BudgetExhausted { kernel, kind: BudgetKind::Instructions } => {
+                write!(f, "kernel `{kernel}` exhausted its instruction fuel")
+            }
+            Self::Journaled(m) => f.write_str(m),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
 
-/// Evaluates `machine` on the given kernels.
+thread_local! {
+    /// The pipeline stage the current thread is executing, for panic
+    /// attribution.
+    static CURRENT_STAGE: Cell<Option<Stage>> = const { Cell::new(None) };
+    /// Whether panics on this thread are being contained (suppresses
+    /// the default hook's stderr backtrace spam).
+    static CONTAINED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Chains a panic hook that stays silent while a panic is being
+/// contained on the panicking thread, and defers to the previous hook
+/// otherwise. Installed once per process.
+fn install_contained_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CONTAINED.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Marks entry into `stage` (for panic attribution) and triggers a
+/// matching injected fault, if any.
+fn enter_stage(stage: Stage, fault: Option<&FaultPlan>, kernel: &str) -> Result<(), EvalError> {
+    CURRENT_STAGE.with(|c| c.set(Some(stage)));
+    match fault {
+        Some(f) if f.stage == stage => f.trigger(kernel),
+        _ => Ok(()),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Evaluates `machine` on the given kernels with the default
+/// [`SimBudget`] and no fault injection.
 ///
 /// # Errors
 ///
@@ -184,19 +350,85 @@ pub fn evaluate(
     kernels: &[Kernel],
     hgen_options: HgenOptions,
 ) -> Result<Evaluation, EvalError> {
+    evaluate_with(machine, kernels, hgen_options, SimBudget::default(), None)
+}
+
+/// Evaluates `machine` with panic containment: any panic inside the
+/// compile→assemble→simulate→synthesize pipeline is caught and
+/// reported as [`EvalError::ToolchainPanic`] naming the stage, so a
+/// single broken candidate cannot take down an exploration run.
+///
+/// # Errors
+///
+/// See [`EvalError`].
+pub fn evaluate_contained(
+    machine: &Machine,
+    kernels: &[Kernel],
+    hgen_options: HgenOptions,
+    budget: SimBudget,
+    fault: Option<&FaultPlan>,
+) -> Result<Evaluation, EvalError> {
+    install_contained_panic_hook();
+    CONTAINED.with(|c| c.set(true));
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        evaluate_with(machine, kernels, hgen_options, budget, fault)
+    }));
+    CONTAINED.with(|c| c.set(false));
+    let stage = CURRENT_STAGE.with(Cell::take);
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => Err(EvalError::ToolchainPanic {
+            stage: stage.unwrap_or(Stage::Compile),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Evaluates `machine` on the given kernels under an explicit
+/// [`SimBudget`], optionally triggering an injected fault (see
+/// [`FaultPlan`]). Panics are *not* contained here — use
+/// [`evaluate_contained`] for that.
+///
+/// # Errors
+///
+/// See [`EvalError`]; exploration treats any error as "candidate
+/// infeasible".
+pub fn evaluate_with(
+    machine: &Machine,
+    kernels: &[Kernel],
+    hgen_options: HgenOptions,
+    budget: SimBudget,
+    fault: Option<&FaultPlan>,
+) -> Result<Evaluation, EvalError> {
     let assembler = Assembler::new(machine);
     let mut total = Stats::default();
     let mut kernel_stats = Vec::new();
     let mut compiled_all = Vec::new();
     for kernel in kernels {
+        enter_stage(Stage::Compile, fault, &kernel.name)?;
         let compiled =
             compile(machine, kernel).map_err(|e| EvalError::Compile(kernel.name.clone(), e))?;
+        enter_stage(Stage::Assemble, fault, &kernel.name)?;
         let program =
             assembler.assemble(&compiled.asm).map_err(|e| EvalError::Assemble(e.to_string()))?;
+        enter_stage(Stage::Gensim, fault, &kernel.name)?;
         let mut sim = Xsim::generate(machine).map_err(|e| EvalError::Gensim(e.to_string()))?;
         sim.load_program(&program);
-        match sim.run(10_000_000) {
+        enter_stage(Stage::Simulate, fault, &kernel.name)?;
+        match sim.run_fuel(budget.max_cycles, budget.max_instructions) {
             StopReason::Halted => {}
+            StopReason::CycleLimit => {
+                return Err(EvalError::BudgetExhausted {
+                    kernel: kernel.name.clone(),
+                    kind: BudgetKind::Cycles,
+                });
+            }
+            StopReason::FuelExhausted => {
+                return Err(EvalError::BudgetExhausted {
+                    kernel: kernel.name.clone(),
+                    kind: BudgetKind::Instructions,
+                });
+            }
             _ => return Err(EvalError::SimulationDiverged(kernel.name.clone())),
         }
         let stats = sim.stats().clone();
@@ -218,6 +450,7 @@ pub fn evaluate(
         compiled_all.push(compiled);
     }
 
+    enter_stage(Stage::Synthesize, fault, kernels.first().map_or("", |k| k.name.as_str()))?;
     let hw = synthesize(machine, hgen_options).map_err(|e| EvalError::Synthesis(e.to_string()))?;
     let runtime_us = total.cycles as f64 * hw.report.cycle_ns / 1_000.0;
     Ok(Evaluation {
@@ -262,5 +495,29 @@ mod tests {
         let e = evaluate(&m, &[workloads::dot_product(2)], HgenOptions::default())
             .expect_err("should fail");
         assert!(matches!(e, EvalError::Compile(_, _)));
+    }
+
+    #[test]
+    fn starved_budgets_report_which_limit_tripped() {
+        let m = isdl::load(isdl::samples::TOY).expect("loads");
+        let kernels = vec![workloads::dot_product(4)];
+        let hgen = HgenOptions::default();
+        let starved = SimBudget { max_instructions: 3, ..SimBudget::default() };
+        let e = evaluate_with(&m, &kernels, hgen, starved, None).expect_err("fuel starved");
+        assert!(
+            matches!(&e, EvalError::BudgetExhausted { kind: BudgetKind::Instructions, .. }),
+            "got {e}"
+        );
+        assert!(e.is_transient());
+        let starved = SimBudget { max_cycles: 3, ..SimBudget::default() };
+        let e = evaluate_with(&m, &kernels, hgen, starved, None).expect_err("cycle starved");
+        assert!(
+            matches!(&e, EvalError::BudgetExhausted { kind: BudgetKind::Cycles, .. }),
+            "got {e}"
+        );
+        // A generous budget changes nothing about the result.
+        let ev = evaluate_with(&m, &kernels, hgen, SimBudget::default(), None)
+            .expect("default budget is ample");
+        assert!(ev.metrics.cycles > 10);
     }
 }

@@ -19,7 +19,9 @@
 //!   performance cost (§4.1.2's rule-4 refinement in action).
 
 use crate::compiler::Kernel;
-use crate::eval::{evaluate, EvalError, Evaluation, Metrics};
+use crate::eval::{evaluate_contained, EvalError, Evaluation, Metrics, SimBudget};
+use crate::fault::FaultPlan;
+use crate::journal::{JournalError, JournalWriter, Replay};
 use hgen::HgenOptions;
 use isdl::model::{Constraint, FieldId, Machine, NtId, OpRef};
 use obs::{Histogram, Json, Registry, Summary};
@@ -522,6 +524,15 @@ pub struct Explorer {
     /// evaluation path and the timing fields of [`Trace::obs`] stay
     /// zeroed; the deterministic round counters are always recorded.
     pub instrument: bool,
+    /// Fuel budget applied to every kernel simulation (see
+    /// [`SimBudget`]); candidates that exhaust it are skipped with
+    /// [`EvalError::BudgetExhausted`] instead of hanging the run.
+    pub budget: SimBudget,
+    /// An armed fault for robustness tests (see [`FaultPlan`]): fires
+    /// at the plan's fresh-evaluation sequence number. Sequence numbers
+    /// are assigned in proposal order, so the same evaluation faults at
+    /// every thread count. `None` in production.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Explorer {
@@ -533,6 +544,8 @@ impl Default for Explorer {
             strategy: Strategy::Greedy,
             threads: 0,
             instrument: true,
+            budget: SimBudget::default(),
+            fault_plan: None,
         }
     }
 }
@@ -546,6 +559,10 @@ struct FrontierEval {
     first_occurrence: Vec<bool>,
     /// Candidates evaluated from scratch (≤ number of unique keys).
     fresh: usize,
+    /// The cache entries this evaluation committed, in proposal order —
+    /// fresh outcomes minus transient errors. This is exactly what a
+    /// journal round must record to make resume bit-identical.
+    committed: crate::journal::JournalEntries,
 }
 
 impl FrontierEval {
@@ -570,6 +587,10 @@ struct RunObs {
     /// Fresh evaluations per worker slot (slot 0 doubles as the inline
     /// single-worker path).
     thread_evals: Vec<AtomicU64>,
+    /// Fresh-evaluation sequence numbers, assigned in proposal order
+    /// before workers start — the trigger clock for
+    /// [`Explorer::fault_plan`].
+    seq: AtomicUsize,
     started: Instant,
 }
 
@@ -584,6 +605,7 @@ impl RunObs {
             hit_us: registry.histogram("explore.cache_hit_lookup_us"),
             miss_us: registry.histogram("explore.cache_miss_lookup_us"),
             thread_evals: (0..pool).map(|_| AtomicU64::new(0)).collect(),
+            seq: AtomicUsize::new(0),
             registry,
             started: Instant::now(),
         }
@@ -600,16 +622,21 @@ impl RunObs {
         outcome
     }
 
-    /// A timed fresh evaluation on worker slot `worker`.
+    /// A timed, panic-contained fresh evaluation on worker slot
+    /// `worker`. `seq` is the evaluation's proposal-order sequence
+    /// number; the explorer's armed fault (if any) fires when it
+    /// matches.
     fn eval(
         &self,
         worker: usize,
+        seq: usize,
         machine: &Machine,
         kernels: &[Kernel],
-        hgen: HgenOptions,
+        explorer: &Explorer,
     ) -> Result<Evaluation, EvalError> {
+        let fault = explorer.fault_plan.as_ref().filter(|f| f.nth == seq);
         let span = self.eval_us.span();
-        let outcome = evaluate(machine, kernels, hgen);
+        let outcome = evaluate_contained(machine, kernels, explorer.hgen, explorer.budget, fault);
         drop(span);
         self.thread_evals[worker].fetch_add(1, Ordering::Relaxed);
         outcome
@@ -631,13 +658,14 @@ impl RunObs {
     }
 }
 
-/// Running totals folded into the final [`Trace`].
+/// Running totals folded into the final [`Trace`] (and journaled
+/// cumulatively each round, so resume restores them exactly).
 #[derive(Default)]
-struct Counters {
-    evaluated: usize,
-    cache_hits: usize,
-    skipped_errors: usize,
-    first_error: Option<String>,
+pub(crate) struct Counters {
+    pub(crate) evaluated: usize,
+    pub(crate) cache_hits: usize,
+    pub(crate) skipped_errors: usize,
+    pub(crate) first_error: Option<String>,
 }
 
 impl Counters {
@@ -648,6 +676,18 @@ impl Counters {
             self.first_error = Some(format!("{action}: {error}"));
         }
     }
+}
+
+/// Everything the greedy round loop carries between rounds — built
+/// fresh by [`Explorer::greedy_run`], or reconstructed from a journal
+/// by [`Explorer::resume`].
+struct GreedyState {
+    current: Machine,
+    current_eval: Evaluation,
+    score: f64,
+    steps: Vec<Step>,
+    rounds: Vec<FrontierRound>,
+    counters: Counters,
 }
 
 /// The toolchain types a frontier worker touches, pinned as thread-safe.
@@ -666,6 +706,8 @@ fn assert_worker_types_thread_safe() {
     ok::<Explorer>();
     ok::<EvalCache>();
     ok::<RunObs>();
+    ok::<FaultPlan>();
+    ok::<SimBudget>();
 }
 
 impl Explorer {
@@ -758,7 +800,13 @@ impl Explorer {
         }
 
         let fresh = pending.len();
+        let mut committed = Vec::new();
         if fresh > 0 {
+            // Sequence numbers for this batch are claimed up front and
+            // assigned by proposal index (`pending` is in
+            // first-occurrence order), not by scheduling order — an
+            // armed fault hits the same candidate at any thread count.
+            let base = robs.seq.fetch_add(fresh, Ordering::Relaxed);
             let results: Vec<Mutex<Option<Result<Evaluation, EvalError>>>> =
                 (0..fresh).map(|_| Mutex::new(None)).collect();
             let workers = self.worker_count(fresh);
@@ -767,7 +815,7 @@ impl Explorer {
                 for (j, &slot) in pending.iter().enumerate() {
                     let machine = &candidates[slot_candidate[slot]];
                     *results[j].lock().expect("result lock never poisoned") =
-                        Some(robs.eval(0, machine, kernels, self.hgen));
+                        Some(robs.eval(0, base + j, machine, kernels, self));
                 }
             } else {
                 let cursor = AtomicUsize::new(0);
@@ -779,7 +827,7 @@ impl Explorer {
                             let j = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&slot) = pending.get(j) else { break };
                             let machine = &candidates[slot_candidate[slot]];
-                            let outcome = robs.eval(wi, machine, kernels, self.hgen);
+                            let outcome = robs.eval(wi, base + j, machine, kernels, self);
                             *results[j].lock().expect("result lock never poisoned") = Some(outcome);
                         });
                     }
@@ -787,13 +835,21 @@ impl Explorer {
             }
             // Commit in deterministic (proposal) order after the
             // barrier, so cache contents never depend on scheduling.
+            // Transient failures (contained panics, exhausted budgets)
+            // are never cached: they describe this attempt, not the
+            // candidate, and a poisoned entry would outlive the fault.
             for (j, &slot) in pending.iter().enumerate() {
                 let outcome = results[j]
                     .lock()
                     .expect("result lock never poisoned")
                     .take()
                     .expect("every pending slot was evaluated");
-                cache.insert(keys[slot_candidate[slot]].clone(), outcome.clone());
+                let permanent = outcome.as_ref().map_or_else(|e| !e.is_transient(), |_| true);
+                if permanent {
+                    let key = keys[slot_candidate[slot]].clone();
+                    cache.insert(key.clone(), outcome.clone());
+                    committed.push((key, outcome.clone()));
+                }
                 slot_outcome[slot] = Some(outcome);
             }
         }
@@ -802,7 +858,7 @@ impl Explorer {
             .iter()
             .map(|&slot| slot_outcome[slot].clone().expect("all slots resolved"))
             .collect();
-        FrontierEval { outcomes, first_occurrence, fresh }
+        FrontierEval { outcomes, first_occurrence, fresh, committed }
     }
 
     /// Evaluates a single machine through the cache, updating counters.
@@ -826,62 +882,221 @@ impl Explorer {
         kernels: &[Kernel],
         cache: &EvalCache,
     ) -> Result<Trace, EvalError> {
-        let mut counters = Counters::default();
-        let robs = RunObs::new(self);
-        let mut rounds = Vec::new();
-        let mut current = start.clone();
-        let mut current_eval = self.eval_one(cache, kernels, &current, &mut counters, &robs)?;
-        let mut score = self.objective.score(&current_eval.metrics);
-        let mut steps = vec![Step {
-            action: "initial".to_owned(),
-            metrics: current_eval.metrics.clone(),
-            score,
-        }];
+        self.greedy_run(start, kernels, cache, None).map_err(|e| match e {
+            JournalError::Eval(e) => e,
+            // Unreachable without a journal sink, but keep the message.
+            other => EvalError::Journaled(other.to_string()),
+        })
+    }
 
-        for _ in 0..self.max_steps {
+    /// Runs a greedy exploration exactly like [`Explorer::run_cached`],
+    /// additionally streaming an `archex-journal/1` checkpoint journal
+    /// to `sink` — one JSON line per completed round (see
+    /// `docs/ROBUSTNESS.md`). A run killed at any point leaves a
+    /// journal from which [`Explorer::resume`] continues bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Eval`] if the starting candidate cannot be
+    /// evaluated, [`JournalError::Io`] if writing a journal line fails,
+    /// [`JournalError::Unsupported`] for beam search.
+    pub fn run_journaled(
+        &self,
+        start: &Machine,
+        kernels: &[Kernel],
+        cache: &EvalCache,
+        sink: &mut dyn std::io::Write,
+    ) -> Result<Trace, JournalError> {
+        match self.strategy {
+            Strategy::Greedy => {
+                let mut writer = JournalWriter::new(sink);
+                self.greedy_run(start, kernels, cache, Some(&mut writer))
+            }
+            Strategy::Beam { .. } => {
+                Err(JournalError::Unsupported("journaling supports the greedy strategy only"))
+            }
+        }
+    }
+
+    /// Resumes an exploration from a journal written by
+    /// [`Explorer::run_journaled`]: validates the journal against this
+    /// explorer and `start`, preloads `cache` with every journaled
+    /// evaluation, restores the accepted steps and run counters, and
+    /// continues from the last completed round. The resulting
+    /// [`Trace`] is [`Trace::semantic_eq`] to the one the uninterrupted
+    /// run would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Parse`] / [`JournalError::Mismatch`] when the
+    /// journal is malformed or belongs to a different run,
+    /// [`JournalError::Unsupported`] for beam search.
+    pub fn resume(
+        &self,
+        start: &Machine,
+        kernels: &[Kernel],
+        cache: &EvalCache,
+        journal: &str,
+    ) -> Result<Trace, JournalError> {
+        if !matches!(self.strategy, Strategy::Greedy) {
+            return Err(JournalError::Unsupported("resume supports the greedy strategy only"));
+        }
+        let replay = Replay::parse(journal, self, start)?;
+        for (key, outcome) in &replay.entries {
+            cache.insert(key.clone(), outcome.clone());
+        }
+        let robs = RunObs::new(self);
+        if replay.finished || replay.rounds.len() >= self.max_steps {
+            return Ok(Trace {
+                steps: replay.steps,
+                machine: replay.current,
+                evaluated: replay.evaluated,
+                cache_hits: replay.cache_hits,
+                skipped_errors: replay.skipped_errors,
+                first_error: replay.first_error,
+                obs: robs.finish(replay.rounds),
+            });
+        }
+        let current_eval = match cache.get(&EvalCache::key(&replay.current)) {
+            Some(Ok(ev)) => ev,
+            _ => {
+                return Err(JournalError::Mismatch(
+                    "journal's current machine has no cached evaluation".to_owned(),
+                ))
+            }
+        };
+        let remaining = self.max_steps - replay.rounds.len();
+        let state = GreedyState {
+            score: replay.steps.last().map_or(f64::INFINITY, |s| s.score),
+            current: replay.current,
+            current_eval,
+            steps: replay.steps,
+            rounds: replay.rounds,
+            counters: Counters {
+                evaluated: replay.evaluated,
+                cache_hits: replay.cache_hits,
+                skipped_errors: replay.skipped_errors,
+                first_error: replay.first_error,
+            },
+        };
+        // The resumed tail is not re-journaled: the journal already
+        // records the prefix, and the caller still holds it.
+        self.greedy_loop(state, kernels, cache, &robs, remaining, None)
+    }
+
+    /// The full greedy run: initial evaluation (journaled as the `init`
+    /// event), then [`Explorer::greedy_loop`].
+    fn greedy_run(
+        &self,
+        start: &Machine,
+        kernels: &[Kernel],
+        cache: &EvalCache,
+        mut journal: Option<&mut JournalWriter>,
+    ) -> Result<Trace, JournalError> {
+        let robs = RunObs::new(self);
+        let mut counters = Counters::default();
+        if let Some(j) = journal.as_deref_mut() {
+            j.header(self, start)?;
+        }
+        let fe = self.eval_frontier(cache, kernels, std::slice::from_ref(start), &robs);
+        counters.evaluated += fe.fresh;
+        counters.cache_hits += 1 - fe.fresh;
+        let FrontierEval { outcomes, committed, .. } = fe;
+        let current_eval = outcomes.into_iter().next().expect("one candidate, one outcome")?;
+        let score = self.objective.score(&current_eval.metrics);
+        let initial =
+            Step { action: "initial".to_owned(), metrics: current_eval.metrics.clone(), score };
+        if let Some(j) = journal.as_deref_mut() {
+            j.init(&counters, &committed, &initial)?;
+        }
+        let state = GreedyState {
+            current: start.clone(),
+            current_eval,
+            score,
+            steps: vec![initial],
+            rounds: Vec::new(),
+            counters,
+        };
+        self.greedy_loop(state, kernels, cache, &robs, self.max_steps, journal)
+    }
+
+    /// The greedy round loop, shared by fresh and resumed runs.
+    fn greedy_loop(
+        &self,
+        mut st: GreedyState,
+        kernels: &[Kernel],
+        cache: &EvalCache,
+        robs: &RunObs,
+        remaining: usize,
+        mut journal: Option<&mut JournalWriter>,
+    ) -> Result<Trace, JournalError> {
+        for _ in 0..remaining {
             let (actions, machines): (Vec<String>, Vec<Machine>) = self
-                .propose(&current, &current_eval)
+                .propose(&st.current, &st.current_eval)
                 .into_iter()
-                .filter_map(|m| apply_mutation(&current, &m).map(|c| (m.to_string(), c)))
+                .filter_map(|m| apply_mutation(&st.current, &m).map(|c| (m.to_string(), c)))
                 .unzip();
-            let fe = self.eval_frontier(cache, kernels, &machines, &robs);
-            counters.evaluated += fe.fresh;
-            counters.cache_hits += machines.len() - fe.fresh;
-            rounds.push(fe.round());
+            let fe = self.eval_frontier(cache, kernels, &machines, robs);
+            st.counters.evaluated += fe.fresh;
+            st.counters.cache_hits += machines.len() - fe.fresh;
+            st.rounds.push(fe.round());
+            let FrontierEval { outcomes, committed, .. } = fe;
 
             // Serial reduction in proposal order: the earliest
             // strictly-best improvement wins, exactly as in a serial
             // scan.
             let mut best: Option<(usize, f64)> = None;
-            for (i, outcome) in fe.outcomes.iter().enumerate() {
+            for (i, outcome) in outcomes.iter().enumerate() {
                 match outcome {
                     Ok(ev) => {
                         let s = self.objective.score(&ev.metrics);
-                        if s < score - 1e-9 && best.is_none_or(|(_, bs)| s < bs) {
+                        if s < st.score - 1e-9 && best.is_none_or(|(_, bs)| s < bs) {
                             best = Some((i, s));
                         }
                     }
-                    Err(e) => counters.skip(&actions[i], e),
+                    Err(e) => st.counters.skip(&actions[i], e),
                 }
             }
-            let Some((i, s)) = best else { break };
-            let Ok(ev) = fe.outcomes.into_iter().nth(i).expect("index in range") else {
+            let Some((i, s)) = best else {
+                if let Some(j) = journal.as_deref_mut() {
+                    let round = st.rounds.last().expect("round just pushed");
+                    j.round(round, &st.counters, &committed, None)?;
+                    j.done()?;
+                }
+                return Ok(Self::greedy_trace(st, robs));
+            };
+            let Ok(ev) = outcomes.into_iter().nth(i).expect("index in range") else {
                 unreachable!("best candidate came from an Ok outcome");
             };
-            steps.push(Step { action: actions[i].clone(), metrics: ev.metrics.clone(), score: s });
-            current = machines.into_iter().nth(i).expect("index in range");
-            current_eval = ev;
-            score = s;
+            let step = Step { action: actions[i].clone(), metrics: ev.metrics.clone(), score: s };
+            let machine = machines.into_iter().nth(i).expect("index in range");
+            // The round line lands only after the round fully resolved —
+            // a kill before this point simply loses the round.
+            if let Some(j) = journal.as_deref_mut() {
+                let round = st.rounds.last().expect("round just pushed");
+                j.round(round, &st.counters, &committed, Some((&step, &machine)))?;
+            }
+            st.steps.push(step);
+            st.current = machine;
+            st.current_eval = ev;
+            st.score = s;
         }
-        Ok(Trace {
-            steps,
-            machine: current,
-            evaluated: counters.evaluated,
-            cache_hits: counters.cache_hits,
-            skipped_errors: counters.skipped_errors,
-            first_error: counters.first_error,
-            obs: robs.finish(rounds),
-        })
+        if let Some(j) = journal {
+            j.done()?;
+        }
+        Ok(Self::greedy_trace(st, robs))
+    }
+
+    fn greedy_trace(st: GreedyState, robs: &RunObs) -> Trace {
+        Trace {
+            steps: st.steps,
+            machine: st.current,
+            evaluated: st.counters.evaluated,
+            cache_hits: st.counters.cache_hits,
+            skipped_errors: st.counters.skipped_errors,
+            first_error: st.counters.first_error,
+            obs: robs.finish(st.rounds),
+        }
     }
 
     fn run_beam(
@@ -1044,6 +1259,7 @@ impl Explorer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::evaluate;
     use crate::workloads;
 
     fn toy() -> Machine {

@@ -1,0 +1,113 @@
+//! Deterministic fault injection for exploration robustness tests.
+//!
+//! A [`FaultPlan`] arms exactly one fault: at the `nth` *fresh*
+//! evaluation of a run (cache hits don't count; fresh evaluations are
+//! numbered in proposal order, so the numbering is identical at every
+//! thread count), when the pipeline enters the named [`Stage`], the
+//! fault fires — a real `panic!`, a synthetic divergence, or an
+//! arbitrary [`EvalError`]. Tests use this to prove the explorer
+//! degrades gracefully under every fault class without patching the
+//! toolchain itself.
+
+use crate::eval::{EvalError, Stage};
+use std::fmt;
+
+/// What an armed fault does when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// A genuine `panic!` — exercises the `catch_unwind` containment.
+    Panic,
+    /// A synthetic [`EvalError::SimulationDiverged`] for the current
+    /// kernel.
+    Diverge,
+    /// An arbitrary synthetic error.
+    Error(EvalError),
+}
+
+/// A single armed fault: fires at the `nth` fresh evaluation of a run,
+/// on entry to `stage`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The pipeline stage the fault fires in.
+    pub stage: Stage,
+    /// Zero-based fresh-evaluation sequence number (proposal order).
+    pub nth: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// A panic at the `nth` fresh evaluation, inside `stage`.
+    #[must_use]
+    pub fn panic_at(stage: Stage, nth: usize) -> Self {
+        Self { stage, nth, kind: FaultKind::Panic }
+    }
+
+    /// A simulated divergence at the `nth` fresh evaluation.
+    #[must_use]
+    pub fn diverge_at(nth: usize) -> Self {
+        Self { stage: Stage::Simulate, nth, kind: FaultKind::Diverge }
+    }
+
+    /// A synthetic error at the `nth` fresh evaluation, inside `stage`.
+    #[must_use]
+    pub fn error_at(stage: Stage, nth: usize, error: EvalError) -> Self {
+        Self { stage, nth, kind: FaultKind::Error(error) }
+    }
+
+    /// Fires the fault. `kernel` names the kernel being processed (for
+    /// the synthetic divergence message).
+    ///
+    /// # Errors
+    ///
+    /// Always returns the armed error for [`FaultKind::Diverge`] /
+    /// [`FaultKind::Error`].
+    ///
+    /// # Panics
+    ///
+    /// Always panics for [`FaultKind::Panic`] — that is the point.
+    pub(crate) fn trigger(&self, kernel: &str) -> Result<(), EvalError> {
+        match &self.kind {
+            FaultKind::Panic => panic!("injected fault at stage {}", self.stage),
+            FaultKind::Diverge => Err(EvalError::SimulationDiverged(kernel.to_string())),
+            FaultKind::Error(e) => Err(e.clone()),
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.kind {
+            FaultKind::Panic => "panic".to_string(),
+            FaultKind::Diverge => "diverge".to_string(),
+            FaultKind::Error(e) => format!("error `{e}`"),
+        };
+        write!(f, "{kind} at evaluation #{} in {}", self.nth, self.stage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_returns_the_armed_error() {
+        let plan = FaultPlan::error_at(Stage::Synthesize, 0, EvalError::Synthesis("boom".into()));
+        assert_eq!(plan.trigger("k"), Err(EvalError::Synthesis("boom".into())));
+        let plan = FaultPlan::diverge_at(2);
+        assert_eq!(plan.trigger("fir"), Err(EvalError::SimulationDiverged("fir".into())));
+    }
+
+    #[test]
+    fn trigger_panics_for_panic_kind() {
+        let plan = FaultPlan::panic_at(Stage::Simulate, 0);
+        let r = std::panic::catch_unwind(|| plan.trigger("k"));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let plan = FaultPlan::panic_at(Stage::Gensim, 3);
+        assert_eq!(plan.to_string(), "panic at evaluation #3 in gensim");
+    }
+}

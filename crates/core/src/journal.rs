@@ -1,0 +1,529 @@
+//! Append-only exploration journals (`archex-journal/1`) and their
+//! replay — crash-safe checkpoint/resume for the Figure 1 loop.
+//!
+//! [`crate::Explorer::run_journaled`] streams one JSON line per
+//! completed unit of work to a caller-supplied sink:
+//!
+//! 1. a **header** identifying the schema, the starting machine (by
+//!    structural hash), and the explorer configuration;
+//! 2. an **`init`** event with the initial candidate's accepted step
+//!    and any cache entry it created;
+//! 3. one **`round`** event per completed frontier round, carrying the
+//!    round's [`crate::FrontierRound`] accounting, the cumulative run
+//!    counters, every cache entry committed during the round (key =
+//!    canonical ISDL text, outcome = full evaluation or rendered
+//!    error), and the accepted step with the full ISDL text of the
+//!    machine it moved to (`null` when no candidate improved);
+//! 4. a final **`done`** event.
+//!
+//! Every event is a single line written after its round completed, so
+//! a run killed at any point leaves a journal whose complete lines
+//! describe only finished work; a partial trailing line (the kill
+//! landed mid-write) is ignored by the parser.
+//! [`crate::Explorer::resume`] replays the journal — preloading the
+//! evaluation cache, restoring steps, rounds, and counters — and
+//! continues the run, producing a final [`crate::Trace`] that is
+//! `semantic_eq` to the uninterrupted run's.
+//!
+//! Transient errors ([`EvalError::is_transient`]) are never journaled,
+//! mirroring the cache policy: a resumed run re-evaluates them.
+
+use crate::eval::{EvalError, Evaluation, KernelRun, Metrics};
+use crate::explore::{Counters, EvalCache, Explorer, FrontierRound, Objective, Step, Strategy};
+use gensim::Stats;
+use isdl::model::{FieldId, NtId, OpRef};
+use isdl::Machine;
+use obs::Json;
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+
+/// Schema identifier of the journal line format. Bump the suffix on
+/// breaking changes.
+pub const JOURNAL_SCHEMA: &str = "archex-journal/1";
+
+/// Why journaling or resuming failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalError {
+    /// The requested operation is not available for this configuration
+    /// (journaling currently supports [`Strategy::Greedy`] only).
+    Unsupported(&'static str),
+    /// Writing a journal line failed.
+    Io(String),
+    /// A complete journal line failed to parse (1-based line number).
+    Parse {
+        /// 1-based line number within the journal.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The journal does not belong to this explorer configuration and
+    /// starting machine.
+    Mismatch(String),
+    /// The (possibly resumed) run itself failed on its starting
+    /// candidate.
+    Eval(EvalError),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unsupported(m) => write!(f, "journaling unsupported: {m}"),
+            Self::Io(m) => write!(f, "journal write failed: {m}"),
+            Self::Parse { line, message } => {
+                write!(f, "journal line {line} does not parse: {message}")
+            }
+            Self::Mismatch(m) => write!(f, "journal does not match this run: {m}"),
+            Self::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<EvalError> for JournalError {
+    fn from(e: EvalError) -> Self {
+        Self::Eval(e)
+    }
+}
+
+/// The structural-hash spelling used in headers (hex, not JSON
+/// numbers — a 64-bit hash does not fit `f64` exactly).
+fn start_hash(machine: &Machine) -> String {
+    format!("{:016x}", EvalCache::structural_hash(machine))
+}
+
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Greedy => "greedy",
+        Strategy::Beam { .. } => "beam",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+fn stats_to_json(s: &Stats) -> Json {
+    Json::obj()
+        .with("cycles", s.cycles)
+        .with("instructions", s.instructions)
+        .with("stall_cycles", s.stall_cycles)
+        .with("field_busy", s.field_busy.iter().map(|&n| Json::from(n)).collect::<Json>())
+}
+
+fn kernel_run_to_json(k: &KernelRun) -> Json {
+    let mut op_counts: Vec<(OpRef, u64)> = k.op_counts.iter().map(|(&r, &n)| (r, n)).collect();
+    op_counts.sort_unstable();
+    let mut nt_counts: Vec<((NtId, usize), u64)> =
+        k.nt_option_counts.iter().map(|(&r, &n)| (r, n)).collect();
+    nt_counts.sort_unstable();
+    Json::obj()
+        .with("name", k.name.as_str())
+        .with("stats", stats_to_json(&k.stats))
+        .with(
+            "op_counts",
+            op_counts
+                .into_iter()
+                .map(|(r, n)| {
+                    Json::Arr(vec![Json::from(r.field.0), Json::from(r.op), Json::from(n)])
+                })
+                .collect::<Json>(),
+        )
+        .with(
+            "nt_options",
+            nt_counts
+                .into_iter()
+                .map(|((nt, o), n)| Json::Arr(vec![Json::from(nt.0), Json::from(o), Json::from(n)]))
+                .collect::<Json>(),
+        )
+}
+
+/// An [`Evaluation`] as JSON. The compiled listings are not
+/// serialized — nothing downstream of the explorer reads them — and
+/// come back empty from [`evaluation_from_json`].
+fn evaluation_to_json(ev: &Evaluation) -> Json {
+    Json::obj()
+        .with("metrics", ev.metrics.to_json())
+        .with("kernels", ev.kernel_stats.iter().map(kernel_run_to_json).collect::<Json>())
+}
+
+/// Cache entries committed during one journaled unit of work:
+/// key = canonical ISDL text, outcome = evaluation or permanent error.
+pub(crate) type JournalEntries = Vec<(String, Result<Evaluation, EvalError>)>;
+
+fn outcome_to_json(key: &str, outcome: &Result<Evaluation, EvalError>) -> Json {
+    let j = Json::obj().with("key", key);
+    match outcome {
+        Ok(ev) => j.with("ok", evaluation_to_json(ev)),
+        Err(e) => j.with("err", e.to_string()),
+    }
+}
+
+fn entries_to_json(entries: &JournalEntries) -> Json {
+    entries.iter().map(|(k, o)| outcome_to_json(k, o)).collect()
+}
+
+fn step_to_json(step: &Step) -> Json {
+    Json::obj()
+        .with("action", step.action.as_str())
+        .with("score", step.score)
+        .with("metrics", step.metrics.to_json())
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Streams journal events to a sink, one JSON line each.
+pub(crate) struct JournalWriter<'a> {
+    sink: &'a mut dyn io::Write,
+}
+
+impl<'a> JournalWriter<'a> {
+    pub(crate) fn new(sink: &'a mut dyn io::Write) -> Self {
+        Self { sink }
+    }
+
+    fn write(&mut self, j: &Json) -> Result<(), JournalError> {
+        writeln!(self.sink, "{j}").map_err(|e| JournalError::Io(e.to_string()))
+    }
+
+    pub(crate) fn header(
+        &mut self,
+        explorer: &Explorer,
+        start: &Machine,
+    ) -> Result<(), JournalError> {
+        let j = Json::obj()
+            .with("schema", JOURNAL_SCHEMA)
+            .with("machine", start.name.as_str())
+            .with("strategy", strategy_name(explorer.strategy))
+            .with("max_steps", explorer.max_steps)
+            .with(
+                "objective",
+                Json::obj()
+                    .with("runtime", explorer.objective.runtime)
+                    .with("area", explorer.objective.area)
+                    .with("power", explorer.objective.power),
+            )
+            .with("start", start_hash(start));
+        self.write(&j)
+    }
+
+    pub(crate) fn init(
+        &mut self,
+        counters: &Counters,
+        entries: &JournalEntries,
+        step: &Step,
+    ) -> Result<(), JournalError> {
+        let j = Json::obj()
+            .with("event", "init")
+            .with("evaluated", counters.evaluated)
+            .with("cache_hits", counters.cache_hits)
+            .with("entries", entries_to_json(entries))
+            .with("step", step_to_json(step));
+        self.write(&j)
+    }
+
+    pub(crate) fn round(
+        &mut self,
+        round: &FrontierRound,
+        counters: &Counters,
+        entries: &JournalEntries,
+        accepted: Option<(&Step, &Machine)>,
+    ) -> Result<(), JournalError> {
+        let j = Json::obj()
+            .with("event", "round")
+            .with(
+                "round",
+                Json::obj()
+                    .with("proposed", round.proposed)
+                    .with("unique", round.unique)
+                    .with("fresh", round.fresh)
+                    .with("cache_hits", round.cache_hits),
+            )
+            .with("evaluated", counters.evaluated)
+            .with("cache_hits", counters.cache_hits)
+            .with("skipped", counters.skipped_errors)
+            .with("first_error", counters.first_error.as_deref().map_or(Json::Null, Json::from))
+            .with("entries", entries_to_json(entries))
+            .with(
+                "accepted",
+                accepted.map_or(Json::Null, |(step, machine)| {
+                    step_to_json(step).with("machine", isdl::printer::print(machine))
+                }),
+            );
+        self.write(&j)
+    }
+
+    pub(crate) fn done(&mut self) -> Result<(), JournalError> {
+        self.write(&Json::obj().with("event", "done"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+/// The state reconstructed from a journal: everything
+/// [`crate::Explorer::resume`] needs to continue (or finish) the run.
+pub(crate) struct Replay {
+    pub steps: Vec<Step>,
+    pub rounds: Vec<FrontierRound>,
+    pub evaluated: usize,
+    pub cache_hits: usize,
+    pub skipped_errors: usize,
+    pub first_error: Option<String>,
+    /// Cache entries to preload, in journal order.
+    pub entries: JournalEntries,
+    /// The machine the run had moved to.
+    pub current: Machine,
+    /// Whether the journaled run had already finished (a `done` event,
+    /// a round that accepted nothing, or `max_steps` rounds).
+    pub finished: bool,
+}
+
+fn get_usize(j: &Json, key: &str) -> Result<usize, String> {
+    j.get_u64(key).map(|n| n as usize).ok_or_else(|| format!("missing number `{key}`"))
+}
+
+fn metrics_from_json(j: &Json) -> Result<Metrics, String> {
+    let u = |k: &str| j.get_u64(k).ok_or_else(|| format!("missing metric `{k}`"));
+    let f = |k: &str| j.get_f64(k).ok_or_else(|| format!("missing metric `{k}`"));
+    Ok(Metrics {
+        cycles: u("cycles")?,
+        instructions: u("instructions")?,
+        stall_cycles: u("stall_cycles")?,
+        cycle_ns: f("cycle_ns")?,
+        runtime_us: f("runtime_us")?,
+        area_cells: f("area_cells")?,
+        power_mw: f("power_mw")?,
+        lines_of_verilog: u("lines_of_verilog")? as usize,
+        synthesis_time_s: f("synthesis_time_s")?,
+    })
+}
+
+fn stats_from_json(j: &Json) -> Result<Stats, String> {
+    let u = |k: &str| j.get_u64(k).ok_or_else(|| format!("missing stat `{k}`"));
+    let busy = j
+        .get("field_busy")
+        .and_then(Json::as_arr)
+        .ok_or("missing `field_busy`")?
+        .iter()
+        .map(|v| v.as_u64().ok_or("non-numeric field_busy entry".to_string()))
+        .collect::<Result<Vec<u64>, String>>()?;
+    Ok(Stats {
+        cycles: u("cycles")?,
+        instructions: u("instructions")?,
+        stall_cycles: u("stall_cycles")?,
+        field_busy: busy,
+    })
+}
+
+fn triples(j: &Json, key: &str) -> Result<Vec<(u64, u64, u64)>, String> {
+    j.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array `{key}`"))?
+        .iter()
+        .map(|t| {
+            let t = t.as_arr().filter(|t| t.len() == 3).ok_or("malformed count triple")?;
+            Ok((
+                t[0].as_u64().ok_or("non-numeric triple")?,
+                t[1].as_u64().ok_or("non-numeric triple")?,
+                t[2].as_u64().ok_or("non-numeric triple")?,
+            ))
+        })
+        .collect()
+}
+
+fn kernel_run_from_json(j: &Json) -> Result<KernelRun, String> {
+    let name = j.get_str("name").ok_or("missing kernel `name`")?.to_owned();
+    let stats = stats_from_json(j.get("stats").ok_or("missing kernel `stats`")?)?;
+    let op_counts: HashMap<OpRef, u64> = triples(j, "op_counts")?
+        .into_iter()
+        .map(|(f, o, n)| (OpRef { field: FieldId(f as usize), op: o as usize }, n))
+        .collect();
+    let nt_option_counts: HashMap<(NtId, usize), u64> = triples(j, "nt_options")?
+        .into_iter()
+        .map(|(nt, o, n)| ((NtId(nt as usize), o as usize), n))
+        .collect();
+    Ok(KernelRun { name, stats, op_counts, nt_option_counts })
+}
+
+fn evaluation_from_json(j: &Json) -> Result<Evaluation, String> {
+    let metrics = metrics_from_json(j.get("metrics").ok_or("missing `metrics`")?)?;
+    let kernel_stats = j
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .ok_or("missing `kernels`")?
+        .iter()
+        .map(kernel_run_from_json)
+        .collect::<Result<Vec<KernelRun>, String>>()?;
+    Ok(Evaluation { metrics, kernel_stats, compiled: Vec::new() })
+}
+
+fn entries_from_json(j: &Json) -> Result<JournalEntries, String> {
+    j.get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing `entries`")?
+        .iter()
+        .map(|e| {
+            let key = e.get_str("key").ok_or("entry missing `key`")?.to_owned();
+            let outcome = if let Some(ok) = e.get("ok") {
+                Ok(evaluation_from_json(ok)?)
+            } else {
+                let msg = e.get_str("err").ok_or("entry has neither `ok` nor `err`")?;
+                Err(EvalError::Journaled(msg.to_owned()))
+            };
+            Ok((key, outcome))
+        })
+        .collect()
+}
+
+fn step_from_json(j: &Json) -> Result<Step, String> {
+    Ok(Step {
+        action: j.get_str("action").ok_or("step missing `action`")?.to_owned(),
+        score: j.get_f64("score").ok_or("step missing `score`")?,
+        metrics: metrics_from_json(j.get("metrics").ok_or("step missing `metrics`")?)?,
+    })
+}
+
+fn check_header(header: &Json, explorer: &Explorer, start: &Machine) -> Result<(), String> {
+    let schema = header.get_str("schema").ok_or("missing `schema`")?;
+    if schema != JOURNAL_SCHEMA {
+        return Err(format!("schema `{schema}`, expected `{JOURNAL_SCHEMA}`"));
+    }
+    let strategy = header.get_str("strategy").ok_or("missing `strategy`")?;
+    if strategy != strategy_name(explorer.strategy) {
+        return Err(format!(
+            "journal was written by a `{strategy}` run, this explorer is `{}`",
+            strategy_name(explorer.strategy)
+        ));
+    }
+    let steps = get_usize(header, "max_steps")?;
+    if steps != explorer.max_steps {
+        return Err(format!("journal max_steps {steps} != explorer {}", explorer.max_steps));
+    }
+    let obj = header.get("objective").ok_or("missing `objective`")?;
+    let journaled = Objective {
+        runtime: obj.get_f64("runtime").ok_or("missing objective weight")?,
+        area: obj.get_f64("area").ok_or("missing objective weight")?,
+        power: obj.get_f64("power").ok_or("missing objective weight")?,
+    };
+    if journaled != explorer.objective {
+        return Err("objective weights differ".to_owned());
+    }
+    let hash = header.get_str("start").ok_or("missing `start` hash")?;
+    if hash != start_hash(start) {
+        return Err("starting machine differs from the journaled run's".to_owned());
+    }
+    Ok(())
+}
+
+impl Replay {
+    /// Parses and validates `journal` against the explorer
+    /// configuration and starting machine. A partial trailing line is
+    /// ignored (the writing run was killed mid-write); any other
+    /// malformed line is an error.
+    pub(crate) fn parse(
+        journal: &str,
+        explorer: &Explorer,
+        start: &Machine,
+    ) -> Result<Self, JournalError> {
+        let lines: Vec<(usize, &str)> = journal
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l))
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        let mut events = Vec::with_capacity(lines.len());
+        for (idx, (line_no, text)) in lines.iter().enumerate() {
+            match Json::parse(text) {
+                Ok(j) => events.push((*line_no, j)),
+                // The final line may be a torn write from a kill;
+                // everything before it must be intact.
+                Err(_) if idx + 1 == lines.len() => {}
+                Err(message) => return Err(JournalError::Parse { line: *line_no, message }),
+            }
+        }
+        let mut it = events.into_iter();
+        let Some((header_line, header)) = it.next() else {
+            return Err(JournalError::Mismatch("journal is empty".to_owned()));
+        };
+        check_header(&header, explorer, start).map_err(|message| {
+            if header.get_str("schema").is_some() {
+                JournalError::Mismatch(message)
+            } else {
+                JournalError::Parse { line: header_line, message }
+            }
+        })?;
+
+        let mut replay = Replay {
+            steps: Vec::new(),
+            rounds: Vec::new(),
+            evaluated: 0,
+            cache_hits: 0,
+            skipped_errors: 0,
+            first_error: None,
+            entries: Vec::new(),
+            current: start.clone(),
+            finished: false,
+        };
+        for (line, j) in it {
+            let fail = |message: String| JournalError::Parse { line, message };
+            match j.get_str("event") {
+                Some("init") => {
+                    replay.evaluated = get_usize(&j, "evaluated").map_err(fail)?;
+                    replay.cache_hits = get_usize(&j, "cache_hits").map_err(fail)?;
+                    replay.entries.extend(entries_from_json(&j).map_err(fail)?);
+                    replay.steps.push(
+                        step_from_json(
+                            j.get("step").ok_or("missing `step`".to_owned()).map_err(fail)?,
+                        )
+                        .map_err(fail)?,
+                    );
+                }
+                Some("round") => {
+                    let r = j.get("round").ok_or("missing `round`".to_owned()).map_err(fail)?;
+                    replay.rounds.push(FrontierRound {
+                        proposed: get_usize(r, "proposed").map_err(fail)?,
+                        unique: get_usize(r, "unique").map_err(fail)?,
+                        fresh: get_usize(r, "fresh").map_err(fail)?,
+                        cache_hits: get_usize(r, "cache_hits").map_err(fail)?,
+                    });
+                    replay.evaluated = get_usize(&j, "evaluated").map_err(fail)?;
+                    replay.cache_hits = get_usize(&j, "cache_hits").map_err(fail)?;
+                    replay.skipped_errors = get_usize(&j, "skipped").map_err(fail)?;
+                    replay.first_error = j.get_str("first_error").map(str::to_owned);
+                    replay.entries.extend(entries_from_json(&j).map_err(fail)?);
+                    match j.get("accepted") {
+                        Some(Json::Null) => replay.finished = true,
+                        Some(acc) => {
+                            replay.steps.push(step_from_json(acc).map_err(fail)?);
+                            let text = acc
+                                .get_str("machine")
+                                .ok_or("accepted step missing `machine`".to_owned())
+                                .map_err(fail)?;
+                            replay.current = isdl::load(text).map_err(|e| {
+                                fail(format!("accepted machine does not load: {e}"))
+                            })?;
+                        }
+                        None => return Err(fail("missing `accepted`".to_owned())),
+                    }
+                }
+                Some("done") => replay.finished = true,
+                Some(other) => return Err(fail(format!("unknown event `{other}`"))),
+                None => return Err(fail("event line without `event`".to_owned())),
+            }
+        }
+        if replay.steps.is_empty() {
+            return Err(JournalError::Mismatch(
+                "journal records no initial evaluation; nothing to resume".to_owned(),
+            ));
+        }
+        if replay.rounds.len() >= explorer.max_steps {
+            replay.finished = true;
+        }
+        Ok(replay)
+    }
+}

@@ -36,11 +36,18 @@
 pub mod compiler;
 pub mod eval;
 pub mod explore;
+pub mod fault;
+pub mod journal;
 pub mod workloads;
 
 pub use compiler::{compile, AOp, Capabilities, CompileError, Compiled, Kernel, VReg};
-pub use eval::{evaluate, EvalError, Evaluation, Metrics};
+pub use eval::{
+    evaluate, evaluate_contained, evaluate_with, BudgetKind, EvalError, Evaluation, Metrics,
+    SimBudget, Stage,
+};
 pub use explore::{
     apply_mutation, EvalCache, ExploreObs, Explorer, FrontierRound, Mutation, Objective, Step,
     Strategy, Trace, EXPLORE_SCHEMA,
 };
+pub use fault::{FaultKind, FaultPlan};
+pub use journal::{JournalError, JOURNAL_SCHEMA};

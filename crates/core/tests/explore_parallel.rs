@@ -4,7 +4,7 @@
 //! before work is spawned, and the reduction runs serially in proposal
 //! order, so worker scheduling can never leak into the result.
 
-use archex::{workloads, EvalCache, Explorer, Strategy};
+use archex::{workloads, EvalCache, Explorer, FaultPlan, Stage, Strategy};
 
 fn toy() -> isdl::Machine {
     isdl::load(isdl::samples::TOY).expect("TOY fixture loads")
@@ -143,6 +143,34 @@ fn trace_json_is_schema_valid() {
         Some(trace.obs.rounds[0].proposed as u64),
         "round JSON mirrors the struct"
     );
+}
+
+#[test]
+fn skip_counters_are_exact_and_thread_count_invariant_under_faults() {
+    // An injected mid-run panic must produce *exactly* one skip, the
+    // same `first_error` string, and identical round accounting at
+    // every thread count — error handling is part of the determinism
+    // contract, not an exception to it.
+    let kernels = vec![workloads::dot_product(3)];
+    let fault = FaultPlan::panic_at(Stage::Simulate, 3);
+    let traces: Vec<_> = [1, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            Explorer { fault_plan: Some(fault.clone()), ..explorer(Strategy::Greedy, threads) }
+                .run(&toy(), &kernels)
+                .expect("faulted run completes")
+        })
+        .collect();
+    for t in &traces {
+        assert_eq!(t.skipped_errors, 1, "exactly the armed evaluation was skipped");
+        let first = t.first_error.as_deref().expect("first error recorded");
+        assert!(first.contains("toolchain panic"), "skip is attributed: {first}");
+    }
+    for t in &traces[1..] {
+        assert!(traces[0].semantic_eq(t), "faulted trace depends on thread count");
+        assert_eq!(traces[0].first_error, t.first_error);
+        assert_eq!(traces[0].obs.rounds, t.obs.rounds);
+    }
 }
 
 #[test]

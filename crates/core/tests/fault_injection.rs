@@ -1,0 +1,156 @@
+//! Fault containment in the exploration loop: an injected toolchain
+//! failure — a genuine panic, a simulated divergence, or a synthetic
+//! error — must never abort the run or perturb its determinism. The
+//! faulted candidate is skipped and counted; everything else proceeds
+//! exactly as in a clean run, at every thread count.
+
+use archex::{
+    evaluate_contained, workloads, EvalCache, EvalError, Explorer, FaultPlan, SimBudget, Stage,
+};
+use hgen::HgenOptions;
+
+fn toy() -> isdl::Machine {
+    isdl::load(isdl::samples::TOY).expect("TOY fixture loads")
+}
+
+fn explorer(threads: usize, fault: Option<FaultPlan>) -> Explorer {
+    Explorer { max_steps: 6, threads, fault_plan: fault, ..Explorer::default() }
+}
+
+#[test]
+fn contained_panic_becomes_an_error_naming_the_stage() {
+    let kernels = vec![workloads::dot_product(2)];
+    for stage in Stage::ALL {
+        let fault = FaultPlan::panic_at(stage, 0);
+        let err = evaluate_contained(
+            &toy(),
+            &kernels,
+            HgenOptions::default(),
+            SimBudget::default(),
+            Some(&fault),
+        )
+        .expect_err("the armed panic fired");
+        match err {
+            EvalError::ToolchainPanic { stage: s, message } => {
+                assert_eq!(s, stage, "panic attributed to the stage it fired in");
+                assert!(message.contains("injected fault"), "payload preserved: {message}");
+            }
+            other => panic!("expected ToolchainPanic, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn panic_mid_pipeline_completes_the_run() {
+    let kernels = vec![workloads::dot_product(2)];
+    let clean = explorer(1, None).run(&toy(), &kernels).expect("clean run explores");
+    assert_eq!(clean.skipped_errors, 0);
+    assert!(clean.evaluated > 3, "need enough evaluations to fault one mid-run");
+
+    // Fault a fresh evaluation in the middle of the run (not the
+    // initial one — that is the only fatal position).
+    let fault = FaultPlan::panic_at(Stage::Simulate, 2);
+    let trace = explorer(1, Some(fault)).run(&toy(), &kernels).expect("faulted run completes");
+    assert_eq!(trace.skipped_errors, 1, "exactly the armed evaluation was skipped");
+    let first = trace.first_error.as_deref().expect("first error recorded");
+    assert!(
+        first.contains("toolchain panic") && first.contains("simulate"),
+        "error names the fault class and stage: {first}"
+    );
+    // The run still made progress and evaluated everything else.
+    assert!(trace.steps.len() > 1, "exploration survived the panic");
+}
+
+#[test]
+fn faulted_trace_is_thread_count_invariant() {
+    let kernels = vec![workloads::dot_product(2)];
+    for kind in [
+        FaultPlan::panic_at(Stage::Gensim, 2),
+        FaultPlan::diverge_at(2),
+        FaultPlan::error_at(Stage::Synthesize, 2, EvalError::Synthesis("injected".to_owned())),
+    ] {
+        let traces: Vec<_> = [1, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                explorer(threads, Some(kind.clone()))
+                    .run(&toy(), &kernels)
+                    .expect("faulted run completes")
+            })
+            .collect();
+        for t in &traces[1..] {
+            assert!(
+                traces[0].semantic_eq(t),
+                "fault `{kind}` perturbs the trace across thread counts:\n  1T {:?} (skipped {}, {:?})\n  nT {:?} (skipped {}, {:?})",
+                traces[0].steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+                traces[0].skipped_errors,
+                traces[0].first_error,
+                t.steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+                t.skipped_errors,
+                t.first_error,
+            );
+        }
+        assert!(traces[0].skipped_errors >= 1, "fault `{kind}` fired");
+    }
+}
+
+#[test]
+fn fault_at_the_initial_evaluation_is_the_run_error() {
+    let kernels = vec![workloads::dot_product(2)];
+    let fault = FaultPlan::panic_at(Stage::Compile, 0);
+    let err = explorer(1, Some(fault)).run(&toy(), &kernels).expect_err("initial eval faulted");
+    assert!(matches!(err, EvalError::ToolchainPanic { stage: Stage::Compile, .. }), "got {err}");
+}
+
+#[test]
+fn transient_errors_are_not_cached_but_permanent_ones_are() {
+    let kernels = vec![workloads::dot_product(2)];
+
+    // A contained panic is transient: the faulted candidate must not
+    // leave a poisoned cache entry, so a re-run over the same cache
+    // (with the fault disarmed) re-evaluates it and converges to the
+    // clean result.
+    let clean = explorer(2, None).run(&toy(), &kernels).expect("clean run");
+    let cache = EvalCache::new();
+    let fault = FaultPlan::panic_at(Stage::Simulate, 2);
+    let faulted =
+        explorer(2, Some(fault)).run_cached(&toy(), &kernels, &cache).expect("faulted run");
+    assert_eq!(faulted.skipped_errors, 1);
+    let retry = explorer(2, None).run_cached(&toy(), &kernels, &cache).expect("retry");
+    assert_eq!(retry.skipped_errors, 0, "no poisoned entry survived the fault");
+    assert!(retry.evaluated >= 1, "the faulted candidate was re-evaluated");
+    assert_eq!(retry.machine, clean.machine, "retry converges to the clean result");
+    assert!(
+        retry.steps.iter().zip(&clean.steps).all(|(a, b)| a.semantic_eq(b))
+            && retry.steps.len() == clean.steps.len(),
+        "retry takes the clean run's path"
+    );
+
+    // A synthetic *permanent* error is cached: the retry sees the
+    // stored error (a cache hit, not a fresh evaluation) and skips the
+    // candidate again.
+    let cache = EvalCache::new();
+    let fault =
+        FaultPlan::error_at(Stage::Synthesize, 2, EvalError::Synthesis("injected".to_owned()));
+    let faulted =
+        explorer(2, Some(fault)).run_cached(&toy(), &kernels, &cache).expect("faulted run");
+    assert_eq!(faulted.skipped_errors, 1);
+    let retry = explorer(2, None).run_cached(&toy(), &kernels, &cache).expect("retry");
+    assert_eq!(retry.evaluated, 0, "every candidate, including the error, was cached");
+    assert_eq!(retry.skipped_errors, faulted.skipped_errors, "the stored error is replayed");
+    assert_eq!(retry.first_error, faulted.first_error);
+}
+
+#[test]
+fn budget_exhaustion_is_transient_and_reported() {
+    let kernels = vec![workloads::dot_product(2)];
+    // Starve every simulation of fuel: the initial evaluation itself
+    // exhausts the budget and the run reports it.
+    let starved = Explorer {
+        max_steps: 2,
+        budget: SimBudget { max_instructions: 1, ..SimBudget::default() },
+        ..Explorer::default()
+    };
+    let err = starved.run(&toy(), &kernels).expect_err("starved run fails fast");
+    assert!(matches!(err, EvalError::BudgetExhausted { .. }), "got {err}");
+    assert!(err.is_transient(), "budget exhaustion must never be cached");
+}

@@ -1,0 +1,133 @@
+//! Journaled checkpoint/resume: a greedy run streams an
+//! `archex-journal/1` line per completed round; killing the run after
+//! any prefix of those lines and resuming from the journal must
+//! reproduce the uninterrupted run's trace exactly (`semantic_eq`),
+//! including every counter.
+
+use archex::{workloads, EvalCache, Explorer, JournalError, Strategy, JOURNAL_SCHEMA};
+
+fn toy() -> isdl::Machine {
+    isdl::load(isdl::samples::TOY).expect("TOY fixture loads")
+}
+
+fn explorer() -> Explorer {
+    Explorer { max_steps: 6, threads: 2, ..Explorer::default() }
+}
+
+/// Runs journaled and returns (trace, journal text).
+fn journaled_run(e: &Explorer) -> (archex::Trace, String) {
+    let kernels = vec![workloads::dot_product(3)];
+    let mut sink = Vec::new();
+    let trace = e
+        .run_journaled(&toy(), &kernels, &EvalCache::new(), &mut sink)
+        .expect("journaled run completes");
+    (trace, String::from_utf8(sink).expect("journal is UTF-8"))
+}
+
+#[test]
+fn journaled_run_matches_plain_run_and_emits_schema() {
+    let e = explorer();
+    let kernels = vec![workloads::dot_product(3)];
+    let plain = e.run(&toy(), &kernels).expect("plain run");
+    let (trace, journal) = journaled_run(&e);
+    assert!(plain.semantic_eq(&trace), "journaling changed the search");
+
+    let lines: Vec<&str> = journal.lines().collect();
+    assert!(lines.len() >= 3, "header, init, and done at minimum");
+    let header = obs::Json::parse(lines[0]).expect("header parses");
+    assert_eq!(header.get_str("schema"), Some(JOURNAL_SCHEMA));
+    assert_eq!(header.get_str("strategy"), Some("greedy"));
+    let last = obs::Json::parse(lines[lines.len() - 1]).expect("last line parses");
+    assert_eq!(last.get_str("event"), Some("done"), "completed run ends with `done`");
+    // Every line is valid single-line JSON (the kill-atomicity unit).
+    for l in &lines {
+        obs::Json::parse(l).expect("every journal line parses on its own");
+    }
+}
+
+#[test]
+fn resume_after_kill_reproduces_the_uninterrupted_trace() {
+    let e = explorer();
+    let kernels = vec![workloads::dot_product(3)];
+    let (full, journal) = journaled_run(&e);
+    let lines: Vec<&str> = journal.lines().collect();
+
+    // Kill after every possible prefix that contains at least the
+    // header and the init event.
+    for k in 2..=lines.len() {
+        let partial = lines[..k].join("\n");
+        let resumed = e
+            .resume(&toy(), &kernels, &EvalCache::new(), &partial)
+            .unwrap_or_else(|err| panic!("resume from {k} lines failed: {err}"));
+        assert!(
+            full.semantic_eq(&resumed),
+            "resume from {k}/{} journal lines diverges:\n  full    {:?} (evaluated {}, hits {})\n  resumed {:?} (evaluated {}, hits {})",
+            lines.len(),
+            full.steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+            full.evaluated,
+            full.cache_hits,
+            resumed.steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+            resumed.evaluated,
+            resumed.cache_hits,
+        );
+    }
+}
+
+#[test]
+fn resume_tolerates_a_torn_final_line() {
+    let e = explorer();
+    let kernels = vec![workloads::dot_product(3)];
+    let (full, journal) = journaled_run(&e);
+    let lines: Vec<&str> = journal.lines().collect();
+    assert!(lines.len() > 3, "need a round line to tear");
+
+    // A kill mid-write leaves a truncated final line; the parser must
+    // discard it wholesale and resume from the previous event.
+    let torn_line = &lines[3][..lines[3].len() / 2];
+    let torn = [&lines[..3].join("\n"), "\n", torn_line].concat();
+    let resumed =
+        e.resume(&toy(), &kernels, &EvalCache::new(), &torn).expect("torn journal still resumes");
+    assert!(full.semantic_eq(&resumed), "torn final line perturbed the resumed trace");
+}
+
+#[test]
+fn resume_rejects_a_mismatched_journal() {
+    let e = explorer();
+    let kernels = vec![workloads::dot_product(3)];
+    let (_, journal) = journaled_run(&e);
+
+    // Different explorer configuration.
+    let other = Explorer { max_steps: 9, ..explorer() };
+    let err = other.resume(&toy(), &kernels, &EvalCache::new(), &journal).expect_err("mismatch");
+    assert!(matches!(err, JournalError::Mismatch(_)), "got {err}");
+
+    // Different starting machine.
+    let acc16 = isdl::load(isdl::samples::ACC16).expect("loads");
+    let err = e.resume(&acc16, &kernels, &EvalCache::new(), &journal).expect_err("mismatch");
+    assert!(matches!(err, JournalError::Mismatch(_)), "got {err}");
+
+    // Corrupt interior line: an error, not silent truncation.
+    let mut lines: Vec<String> = journal.lines().map(str::to_owned).collect();
+    lines[1] = "{not json".to_owned();
+    let err = e
+        .resume(&toy(), &kernels, &EvalCache::new(), &lines.join("\n"))
+        .expect_err("corrupt interior line");
+    assert!(matches!(err, JournalError::Parse { line: 2, .. }), "got {err}");
+
+    // Empty journal.
+    let err = e.resume(&toy(), &kernels, &EvalCache::new(), "").expect_err("empty journal");
+    assert!(matches!(err, JournalError::Mismatch(_)), "got {err}");
+}
+
+#[test]
+fn beam_journaling_is_rejected_loudly() {
+    let e = Explorer { strategy: Strategy::Beam { width: 3 }, ..explorer() };
+    let kernels = vec![workloads::dot_product(3)];
+    let err = e
+        .run_journaled(&toy(), &kernels, &EvalCache::new(), &mut Vec::new())
+        .expect_err("beam journaling unsupported");
+    assert!(matches!(err, JournalError::Unsupported(_)), "got {err}");
+    let err =
+        e.resume(&toy(), &kernels, &EvalCache::new(), "").expect_err("beam resume unsupported");
+    assert!(matches!(err, JournalError::Unsupported(_)), "got {err}");
+}

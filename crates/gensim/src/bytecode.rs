@@ -170,7 +170,8 @@ pub(crate) fn flatten_params(bindings: &[Binding]) -> Vec<u64> {
 
 /// Executes a prepared phase. `regs` is caller-owned scratch reused
 /// across invocations (sized on demand). The tree-walking fallback for
-/// wide RTL uses `op`/`bindings`.
+/// wide RTL uses `op`/`bindings` and can surface its [`ExecError`]
+/// diagnostics; the compiled path is infallible by construction.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_compiled(
     compiled: &Compiled,
@@ -184,7 +185,7 @@ pub(crate) fn exec_compiled(
     latency: u32,
     out: &mut Vec<StagedWrite>,
     regs: &mut Vec<u64>,
-) {
+) -> Result<(), exec::ExecError> {
     match compiled {
         Compiled::Wide => {
             let stmts = match phase {
@@ -193,16 +194,17 @@ pub(crate) fn exec_compiled(
             };
             let frame = Frame { op, bindings };
             if overlay.is_empty() {
-                exec::exec_stmts(machine, stmts, frame, state, latency, out);
+                exec::exec_stmts(machine, stmts, frame, state, latency, out)?;
             } else {
                 let view = OverlayView::new(state, overlay);
-                exec::exec_stmts(machine, stmts, frame, &view, latency, out);
+                exec::exec_stmts(machine, stmts, frame, &view, latency, out)?;
             }
         }
         Compiled::Code(p) => {
             run(p, params, state, overlay, latency, out, regs);
         }
     }
+    Ok(())
 }
 
 /// Flattened non-terminal option choices (the compile key).

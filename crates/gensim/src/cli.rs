@@ -8,7 +8,7 @@
 //! | command | effect |
 //! |---------|--------|
 //! | `step [n]` | execute `n` (default 1) instructions |
-//! | `run [cycles]` | run until a stop condition (default budget 1M cycles) |
+//! | `run [cycles] [fuel]` | run until a stop condition (default budget 1M cycles; `fuel` caps retired instructions, default unlimited) |
 //! | `break <addr>` / `unbreak <addr>` | manage breakpoints |
 //! | `x <storage>[idx]` | examine state |
 //! | `set <storage>[idx] <value>` | modify state |
@@ -52,7 +52,8 @@ pub fn run_command(sim: &mut Xsim<'_>, line: &str, out: &mut String) -> bool {
         }
         "run" => {
             let budget: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
-            let stop = sim.run(budget);
+            let fuel: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(u64::MAX);
+            let stop = sim.run_fuel(budget, fuel);
             let _ = writeln!(out, "stopped: {stop} (cycle {})", sim.stats().cycles);
             dispatch_attached_commands(sim, out);
             true

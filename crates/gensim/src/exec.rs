@@ -9,11 +9,79 @@
 //! Execution of one operation produces a list of [`StagedWrite`]s; the
 //! scheduler merges the per-phase lists, implements the
 //! read-before-write discipline and the latency-delayed commit.
+//!
+//! Execution is *fallible*: a malformed frame (an operand whose shape
+//! does not match its parameter, a missing binding, an option without
+//! the clause a context requires) surfaces as an [`ExecError`]
+//! diagnostic instead of aborting the process — the scheduler turns it
+//! into a stop reason, and the exploration layer into a skipped
+//! candidate.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use bitv::BitVector;
 use isdl::model::{Machine, Operation};
 use isdl::rtl::{BinOp, ExtKind, RExpr, RExprKind, RLvalue, RStmt, StorageId, UnOp};
 use xasm::Operand;
+
+/// A runtime fault while executing RTL: the frame handed to the
+/// executor does not fit the operation. Sema-validated machines and
+/// disassembler-produced bindings never trigger these; hand-built
+/// frames (or a buggy generator) produce a diagnostic instead of an
+/// abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Parameter `param` of `op` has no binding in the frame.
+    MissingBinding {
+        /// Operation name.
+        op: String,
+        /// Parameter index.
+        param: usize,
+    },
+    /// The binding for `param` of `op` has the wrong shape (a token
+    /// where a non-terminal was required, or vice versa).
+    OperandShape {
+        /// Operation name.
+        op: String,
+        /// Parameter index.
+        param: usize,
+    },
+    /// A non-terminal option used as an assignment destination has no
+    /// assignable `value` l-value.
+    NotAssignable {
+        /// Option name.
+        option: String,
+    },
+    /// A non-terminal option read as a value has no `value` clause.
+    NoValue {
+        /// Option name.
+        option: String,
+    },
+    /// A concatenation with no parts.
+    EmptyConcat,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingBinding { op, param } => {
+                write!(f, "operation `{op}` has no binding for parameter #{param}")
+            }
+            Self::OperandShape { op, param } => {
+                write!(f, "operand #{param} of `{op}` does not match the parameter shape")
+            }
+            Self::NotAssignable { option } => {
+                write!(f, "non-terminal option `{option}` is not assignable")
+            }
+            Self::NoValue { option } => {
+                write!(f, "non-terminal option `{option}` has no value clause")
+            }
+            Self::EmptyConcat => write!(f, "empty concatenation"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// A runtime operand binding for one parameter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +191,11 @@ pub struct Frame<'a> {
 ///
 /// Reads go through `view`; writes do not become visible within the
 /// same phase (read-before-write).
+///
+/// # Errors
+/// Returns an [`ExecError`] when a binding does not fit the operation
+/// (out of `out` may hold a prefix of the staged writes; callers
+/// discard it on error).
 pub fn exec_stmts<V: StateView>(
     machine: &Machine,
     stmts: &[RStmt],
@@ -130,10 +203,11 @@ pub fn exec_stmts<V: StateView>(
     view: &V,
     latency: u32,
     out: &mut Vec<StagedWrite>,
-) {
+) -> Result<(), ExecError> {
     for s in stmts {
-        exec_stmt(machine, s, frame, view, latency, out);
+        exec_stmt(machine, s, frame, view, latency, out)?;
     }
+    Ok(())
 }
 
 fn exec_stmt<V: StateView>(
@@ -143,20 +217,28 @@ fn exec_stmt<V: StateView>(
     view: &V,
     latency: u32,
     out: &mut Vec<StagedWrite>,
-) {
+) -> Result<(), ExecError> {
     match s {
         RStmt::Assign { lv, rhs } => {
-            let value = eval(machine, rhs, frame, view);
-            let (storage, index, hi, lo) = resolve_lvalue(machine, lv, frame, view);
+            let value = eval(machine, rhs, frame, view)?;
+            let (storage, index, hi, lo) = resolve_lvalue(machine, lv, frame, view)?;
             debug_assert_eq!(value.width(), hi - lo + 1, "sema guarantees assignment widths");
             out.push(StagedWrite { storage, index, hi, lo, value, latency });
         }
         RStmt::If { cond, then_body, else_body } => {
-            let c = eval(machine, cond, frame, view);
+            let c = eval(machine, cond, frame, view)?;
             let body = if c.is_zero() { else_body } else { then_body };
-            exec_stmts(machine, body, frame, view, latency, out);
+            exec_stmts(machine, body, frame, view, latency, out)?;
         }
     }
+    Ok(())
+}
+
+fn frame_binding<'a>(frame: Frame<'a>, p: usize) -> Result<&'a Binding, ExecError> {
+    frame
+        .bindings
+        .get(p)
+        .ok_or_else(|| ExecError::MissingBinding { op: frame.op.name.clone(), param: p })
 }
 
 /// Resolves an l-value to `(storage, cell index, hi, lo)`.
@@ -165,28 +247,30 @@ fn resolve_lvalue<V: StateView>(
     lv: &RLvalue,
     frame: Frame<'_>,
     view: &V,
-) -> (StorageId, u64, u32, u32) {
+) -> Result<(StorageId, u64, u32, u32), ExecError> {
     match lv {
         RLvalue::Storage(id) => {
             let w = machine.storage(*id).width;
-            (*id, 0, w - 1, 0)
+            Ok((*id, 0, w - 1, 0))
         }
         RLvalue::StorageIndexed(id, idx) => {
-            let i = eval(machine, idx, frame, view).to_u64_lossy();
+            let i = eval(machine, idx, frame, view)?.to_u64_lossy();
             let w = machine.storage(*id).width;
-            (*id, i, w - 1, 0)
+            Ok((*id, i, w - 1, 0))
         }
         RLvalue::Slice { base, hi, lo } => {
-            let (id, idx, _bhi, blo) = resolve_lvalue(machine, base, frame, view);
-            (id, idx, blo + hi, blo + lo)
+            let (id, idx, _bhi, blo) = resolve_lvalue(machine, base, frame, view)?;
+            Ok((id, idx, blo + hi, blo + lo))
         }
         RLvalue::Param(p) => {
-            let Binding::Nt { option, nt, args } = &frame.bindings[*p] else {
-                unreachable!("sema only allows non-terminal parameters as destinations")
+            let Binding::Nt { option, nt, args } = frame_binding(frame, *p)? else {
+                return Err(ExecError::OperandShape { op: frame.op.name.clone(), param: *p });
             };
             let opt = &machine.nonterminals[*nt].options[*option];
-            let inner =
-                opt.value_lvalue.as_ref().expect("sema checked destination options are assignable");
+            let inner = opt
+                .value_lvalue
+                .as_ref()
+                .ok_or_else(|| ExecError::NotAssignable { option: opt.name.clone() })?;
             let sub = Frame { op: opt, bindings: args };
             resolve_lvalue(machine, inner, sub, view)
         }
@@ -194,27 +278,38 @@ fn resolve_lvalue<V: StateView>(
 }
 
 /// Evaluates an expression to a bit-true value.
-#[must_use]
-pub fn eval<V: StateView>(machine: &Machine, e: &RExpr, frame: Frame<'_>, view: &V) -> BitVector {
-    match &e.kind {
+///
+/// # Errors
+/// Returns an [`ExecError`] when a parameter binding is missing or has
+/// the wrong shape, or an option lacks a required `value` clause.
+pub fn eval<V: StateView>(
+    machine: &Machine,
+    e: &RExpr,
+    frame: Frame<'_>,
+    view: &V,
+) -> Result<BitVector, ExecError> {
+    Ok(match &e.kind {
         RExprKind::Lit(v) => v.clone(),
         RExprKind::Storage(id) => view.read_cell(*id, 0),
         RExprKind::StorageIndexed(id, idx) => {
-            let i = eval(machine, idx, frame, view).to_u64_lossy();
+            let i = eval(machine, idx, frame, view)?.to_u64_lossy();
             view.read_cell(*id, i)
         }
-        RExprKind::Param(p) => match &frame.bindings[*p] {
+        RExprKind::Param(p) => match frame_binding(frame, *p)? {
             Binding::Token(v) => v.clone(),
             Binding::Nt { option, nt, args } => {
                 let opt = &machine.nonterminals[*nt].options[*option];
-                let value = opt.value.as_ref().expect("sema checked value exists");
+                let value = opt
+                    .value
+                    .as_ref()
+                    .ok_or_else(|| ExecError::NoValue { option: opt.name.clone() })?;
                 let sub = Frame { op: opt, bindings: args };
-                eval(machine, value, sub, view)
+                eval(machine, value, sub, view)?
             }
         },
-        RExprKind::Slice(inner, hi, lo) => eval(machine, inner, frame, view).slice(*hi, *lo),
+        RExprKind::Slice(inner, hi, lo) => eval(machine, inner, frame, view)?.slice(*hi, *lo),
         RExprKind::Unary(op, inner) => {
-            let v = eval(machine, inner, frame, view);
+            let v = eval(machine, inner, frame, view)?;
             match op {
                 UnOp::Neg => v.wrapping_neg(),
                 UnOp::Not => v.not(),
@@ -222,19 +317,19 @@ pub fn eval<V: StateView>(machine: &Machine, e: &RExpr, frame: Frame<'_>, view: 
             }
         }
         RExprKind::Binary(op, a, b) => {
-            let x = eval(machine, a, frame, view);
-            let y = eval(machine, b, frame, view);
+            let x = eval(machine, a, frame, view)?;
+            let y = eval(machine, b, frame, view)?;
             eval_binop(*op, &x, &y)
         }
         RExprKind::Cond(c, t, f) => {
-            if eval(machine, c, frame, view).is_zero() {
-                eval(machine, f, frame, view)
+            if eval(machine, c, frame, view)?.is_zero() {
+                eval(machine, f, frame, view)?
             } else {
-                eval(machine, t, frame, view)
+                eval(machine, t, frame, view)?
             }
         }
         RExprKind::Ext(kind, inner) => {
-            let v = eval(machine, inner, frame, view);
+            let v = eval(machine, inner, frame, view)?;
             match kind {
                 ExtKind::Zext => v.zext(e.width),
                 ExtKind::Sext => v.sext(e.width),
@@ -243,14 +338,14 @@ pub fn eval<V: StateView>(machine: &Machine, e: &RExpr, frame: Frame<'_>, view: 
         }
         RExprKind::Concat(parts) => {
             let mut it = parts.iter();
-            let first = it.next().expect("concat has at least one part");
-            let mut acc = eval(machine, first, frame, view);
+            let first = it.next().ok_or(ExecError::EmptyConcat)?;
+            let mut acc = eval(machine, first, frame, view)?;
             for p in it {
-                acc = acc.concat(&eval(machine, p, frame, view));
+                acc = acc.concat(&eval(machine, p, frame, view)?);
             }
             acc
         }
-    }
+    })
 }
 
 /// Applies a binary RTL operator to two values of equal width
@@ -289,6 +384,8 @@ fn shift_amount(b: &BitVector) -> u32 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::state::State;
     use isdl::samples::TOY;
@@ -314,7 +411,8 @@ mod tests {
         let bindings: Vec<Binding> = dop.args.iter().map(binding_from_operand).collect();
         let frame = Frame { op, bindings: &bindings };
         let mut out = Vec::new();
-        exec_stmts(&s.machine, &op.action, frame, &s.state, op.timing.latency, &mut out);
+        exec_stmts(&s.machine, &op.action, frame, &s.state, op.timing.latency, &mut out)
+            .expect("executes");
         out
     }
 
@@ -393,7 +491,8 @@ mod tests {
         let bindings: Vec<Binding> = dop.args.iter().map(binding_from_operand).collect();
         let frame = Frame { op, bindings: &bindings };
         let mut se_writes = Vec::new();
-        exec_stmts(&s.machine, &op.side_effects, frame, &s.state, 1, &mut se_writes);
+        exec_stmts(&s.machine, &op.side_effects, frame, &s.state, 1, &mut se_writes)
+            .expect("executes");
         let z = s.machine.storage_by_name("Z").expect("Z").0;
         assert_eq!(se_writes.len(), 1);
         assert_eq!(se_writes[0].storage, z);
@@ -414,6 +513,23 @@ mod tests {
         }];
         let view = OverlayView::new(&s.state, &writes);
         assert_eq!(view.read_cell(acc, 0).to_u64_lossy(), 0x00CD);
+    }
+
+    #[test]
+    fn malformed_frame_is_a_diagnostic_not_a_panic() {
+        let s = setup();
+        let d = Disassembler::new(&s.machine);
+        let word = (0b00001u64 << 27) | (2 << 24) | (1 << 21) | (0b0011 << 17);
+        let instr = d.decode(&[BitVector::from_u64(word, 32)], 0).expect("decodes");
+        let op = s.machine.op(instr.ops[0].op);
+        // An empty frame: the first parameter reference must surface as
+        // a diagnostic, not an index panic.
+        let frame = Frame { op, bindings: &[] };
+        let mut out = Vec::new();
+        let err = exec_stmts(&s.machine, &op.action, frame, &s.state, 1, &mut out)
+            .expect_err("missing bindings");
+        assert!(matches!(err, ExecError::MissingBinding { .. }), "got {err}");
+        assert!(err.to_string().contains("no binding"));
     }
 
     #[test]

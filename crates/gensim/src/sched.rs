@@ -81,10 +81,21 @@ pub enum StopReason {
     Breakpoint(u64),
     /// The cycle budget was exhausted.
     CycleLimit,
+    /// The retired-instruction fuel budget was exhausted.
+    FuelExhausted,
     /// No operation signature matched the fetched word(s).
     IllegalInstruction(u64),
     /// The PC left instruction memory.
     PcOutOfRange(u64),
+    /// RTL execution faulted at `addr` (malformed operand bindings —
+    /// see [`crate::exec::ExecError`]). The instruction's writes are
+    /// discarded; nothing commits.
+    ExecFault {
+        /// Address of the faulting instruction.
+        addr: u64,
+        /// The rendered [`crate::exec::ExecError`] diagnostic.
+        message: String,
+    },
 }
 
 impl fmt::Display for StopReason {
@@ -93,8 +104,12 @@ impl fmt::Display for StopReason {
             Self::Halted => write!(f, "halted"),
             Self::Breakpoint(a) => write!(f, "breakpoint at {a:#x}"),
             Self::CycleLimit => write!(f, "cycle limit reached"),
+            Self::FuelExhausted => write!(f, "instruction fuel exhausted"),
             Self::IllegalInstruction(a) => write!(f, "illegal instruction at {a:#x}"),
             Self::PcOutOfRange(a) => write!(f, "PC out of range at {a:#x}"),
+            Self::ExecFault { addr, message } => {
+                write!(f, "execution fault at {addr:#x}: {message}")
+            }
         }
     }
 }
@@ -106,6 +121,9 @@ pub enum GensimError {
     MissingPc,
     /// The machine declares no instruction memory.
     MissingImem,
+    /// The decoder could not be built from the machine's encodings
+    /// (inconsistent signature widths — see `xasm::DisasmError`).
+    Decoder(String),
 }
 
 impl fmt::Display for GensimError {
@@ -113,6 +131,7 @@ impl fmt::Display for GensimError {
         match self {
             Self::MissingPc => write!(f, "machine has no program-counter storage"),
             Self::MissingImem => write!(f, "machine has no instruction memory"),
+            Self::Decoder(m) => write!(f, "cannot build decoder: {m}"),
         }
     }
 }
@@ -330,9 +349,11 @@ impl<'m> Xsim<'m> {
         let pc_id = machine.pc.ok_or(GensimError::MissingPc)?;
         let imem_id = machine.imem.ok_or(GensimError::MissingImem)?;
         let depth = machine.storage(imem_id).cells() as usize;
+        let disasm =
+            Disassembler::try_new(machine).map_err(|e| GensimError::Decoder(e.to_string()))?;
         Ok(Self {
             machine,
-            disasm: Disassembler::new(machine),
+            disasm,
             options,
             state: State::new(machine),
             pc_id,
@@ -564,9 +585,20 @@ impl<'m> Xsim<'m> {
     }
 
     /// Runs until a stop condition, executing at most `max_cycles`
-    /// additional cycles.
+    /// additional cycles (no instruction fuel limit).
     pub fn run(&mut self, max_cycles: u64) -> StopReason {
+        self.run_fuel(max_cycles, u64::MAX)
+    }
+
+    /// Runs until a stop condition, executing at most `max_cycles`
+    /// additional cycles and retiring at most `max_instructions`
+    /// additional instructions — the *fuel budget* that keeps a
+    /// looping kernel from spinning forever (a low-IPC machine can
+    /// burn a large cycle budget very slowly; fuel bounds work done,
+    /// not time charged).
+    pub fn run_fuel(&mut self, max_cycles: u64, max_instructions: u64) -> StopReason {
         let budget_end = self.stats.cycles.saturating_add(max_cycles);
+        let fuel_end = self.stats.instructions.saturating_add(max_instructions);
         let mut first = true;
         loop {
             if self.halted {
@@ -574,6 +606,9 @@ impl<'m> Xsim<'m> {
             }
             if self.stats.cycles >= budget_end {
                 return StopReason::CycleLimit;
+            }
+            if self.stats.instructions >= fuel_end {
+                return StopReason::FuelExhausted;
             }
             if !self.breakpoints.is_empty() {
                 let pc = self.pc();
@@ -631,14 +666,17 @@ impl<'m> Xsim<'m> {
             self.decoded.iter_mut().for_each(|e| *e = None);
         }
 
-        // 3-5. Execute both phases and stage writes.
+        // 3-5. Execute both phases and stage writes. An ExecError in
+        // either phase discards the instruction's writes and surfaces
+        // as a stop reason — nothing half-commits.
+        let mut fault: Option<crate::exec::ExecError> = None;
         let mut action_writes = std::mem::take(&mut self.action_buf);
         action_writes.clear();
         match self.options.core {
             CoreKind::Bytecode => {
                 for (i, plan) in entry.plans.iter().enumerate() {
                     let d = &entry.instr.ops[i];
-                    bytecode::exec_compiled(
+                    if let Err(e) = bytecode::exec_compiled(
                         &plan.action,
                         self.machine,
                         self.machine.op(d.op),
@@ -650,63 +688,84 @@ impl<'m> Xsim<'m> {
                         plan.latency,
                         &mut action_writes,
                         &mut self.scratch_regs,
-                    );
+                    ) {
+                        fault = Some(e);
+                        break;
+                    }
                 }
             }
             CoreKind::Tree => {
                 for (d, b) in entry.instr.ops.iter().zip(&entry.bindings) {
                     let op = self.machine.op(d.op);
                     let frame = Frame { op, bindings: b };
-                    exec_stmts(
+                    if let Err(e) = exec_stmts(
                         self.machine,
                         &op.action,
                         frame,
                         &self.state,
                         op.timing.latency,
                         &mut action_writes,
-                    );
+                    ) {
+                        fault = Some(e);
+                        break;
+                    }
                 }
             }
         }
         let mut se_writes = std::mem::take(&mut self.se_buf);
         se_writes.clear();
-        match self.options.core {
-            CoreKind::Bytecode => {
-                for (i, plan) in entry.plans.iter().enumerate() {
-                    let Some(side) = &plan.side_effects else { continue };
-                    let d = &entry.instr.ops[i];
-                    bytecode::exec_compiled(
-                        side,
-                        self.machine,
-                        self.machine.op(d.op),
-                        Phase::SideEffects,
-                        &entry.bindings[i],
-                        &plan.params,
-                        &self.state,
-                        &[],
-                        plan.latency,
-                        &mut se_writes,
-                        &mut self.scratch_regs,
-                    );
-                }
-            }
-            CoreKind::Tree => {
-                for (d, b) in entry.instr.ops.iter().zip(&entry.bindings) {
-                    let op = self.machine.op(d.op);
-                    if op.side_effects.is_empty() {
-                        continue;
+        if fault.is_none() {
+            match self.options.core {
+                CoreKind::Bytecode => {
+                    for (i, plan) in entry.plans.iter().enumerate() {
+                        let Some(side) = &plan.side_effects else { continue };
+                        let d = &entry.instr.ops[i];
+                        if let Err(e) = bytecode::exec_compiled(
+                            side,
+                            self.machine,
+                            self.machine.op(d.op),
+                            Phase::SideEffects,
+                            &entry.bindings[i],
+                            &plan.params,
+                            &self.state,
+                            &[],
+                            plan.latency,
+                            &mut se_writes,
+                            &mut self.scratch_regs,
+                        ) {
+                            fault = Some(e);
+                            break;
+                        }
                     }
-                    let frame = Frame { op, bindings: b };
-                    exec_stmts(
-                        self.machine,
-                        &op.side_effects,
-                        frame,
-                        &self.state,
-                        op.timing.latency,
-                        &mut se_writes,
-                    );
+                }
+                CoreKind::Tree => {
+                    for (d, b) in entry.instr.ops.iter().zip(&entry.bindings) {
+                        let op = self.machine.op(d.op);
+                        if op.side_effects.is_empty() {
+                            continue;
+                        }
+                        let frame = Frame { op, bindings: b };
+                        if let Err(e) = exec_stmts(
+                            self.machine,
+                            &op.side_effects,
+                            frame,
+                            &self.state,
+                            op.timing.latency,
+                            &mut se_writes,
+                        ) {
+                            fault = Some(e);
+                            break;
+                        }
+                    }
                 }
             }
+        }
+        if let Some(e) = fault {
+            action_writes.clear();
+            se_writes.clear();
+            self.action_buf = action_writes;
+            self.se_buf = se_writes;
+            return Some(StopReason::ExecFault { addr: pc, message: e.to_string() });
         }
         let mut pc_written = false;
         let mut traced_writes = Vec::new();
@@ -1038,6 +1097,20 @@ E: jmp E
         sim.load_program(&p);
         assert_eq!(sim.run(50), StopReason::CycleLimit);
         assert!(sim.stats().cycles >= 50);
+    }
+
+    #[test]
+    fn fuel_budget_stops_a_looping_kernel() {
+        let m = acc16();
+        let p =
+            Assembler::new(&m).assemble("loop: jmp loop2\nloop2: jmp loop\n").expect("assembles");
+        let mut sim = Xsim::generate(&m).expect("generates");
+        sim.load_program(&p);
+        assert_eq!(sim.run_fuel(u64::MAX, 25), StopReason::FuelExhausted);
+        assert_eq!(sim.stats().instructions, 25, "fuel bounds retired instructions exactly");
+        // Refuelling resumes where the run stopped.
+        assert_eq!(sim.run_fuel(u64::MAX, 5), StopReason::FuelExhausted);
+        assert_eq!(sim.stats().instructions, 30);
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //!    only);
 //! 3. recurses into non-terminal parameters using the extracted return
 //!    value as the sub-word to match options against.
+//!
+//! Decoding is total: any input either produces a [`DecodedInstr`] or a
+//! [`DisasmError`] diagnostic — arbitrary binary never panics.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::error::DisasmError;
 use bitv::BitVector;
@@ -86,36 +91,51 @@ impl<'m> Disassembler<'m> {
     /// # Panics
     ///
     /// Panics if the machine's encodings are internally inconsistent;
-    /// machines produced by [`isdl::load`] never are.
+    /// machines produced by [`isdl::load`] never are. Use
+    /// [`Disassembler::try_new`] when the machine comes from an
+    /// untrusted generator.
     #[must_use]
     pub fn new(machine: &'m Machine) -> Self {
-        let field_sigs = machine
-            .fields
-            .iter()
-            .map(|f| {
-                f.ops
-                    .iter()
-                    .map(|o| {
-                        Signature::from_encoding(&o.encode, o.costs.size * machine.word_width)
-                            .expect("validated machine has consistent encodings")
-                    })
-                    .collect()
-            })
-            .collect();
-        let nt_sigs = machine
-            .nonterminals
-            .iter()
-            .map(|nt| {
-                nt.options
-                    .iter()
-                    .map(|o| {
-                        Signature::from_encoding(&o.encode, nt.width)
-                            .expect("validated machine has consistent encodings")
-                    })
-                    .collect()
-            })
-            .collect();
-        Self { machine, field_sigs, nt_sigs, max_size: machine.max_op_size() }
+        match Self::try_new(machine) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the disassembler for `machine`, reporting inconsistent
+    /// encodings as a diagnostic instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`DisasmError::InconsistentEncoding`] naming the operation or
+    /// option whose signature could not be derived.
+    pub fn try_new(machine: &'m Machine) -> Result<Self, DisasmError> {
+        let mut field_sigs = Vec::with_capacity(machine.fields.len());
+        for f in &machine.fields {
+            let mut sigs = Vec::with_capacity(f.ops.len());
+            for o in &f.ops {
+                let sig = Signature::from_encoding(&o.encode, o.costs.size * machine.word_width)
+                    .map_err(|e| DisasmError::InconsistentEncoding {
+                        context: format!("{}.{}: {e}", f.name, o.name),
+                    })?;
+                sigs.push(sig);
+            }
+            field_sigs.push(sigs);
+        }
+        let mut nt_sigs = Vec::with_capacity(machine.nonterminals.len());
+        for nt in &machine.nonterminals {
+            let mut sigs = Vec::with_capacity(nt.options.len());
+            for o in &nt.options {
+                let sig = Signature::from_encoding(&o.encode, nt.width).map_err(|e| {
+                    DisasmError::InconsistentEncoding {
+                        context: format!("{}.{}: {e}", nt.name, o.name),
+                    }
+                })?;
+                sigs.push(sig);
+            }
+            nt_sigs.push(sigs);
+        }
+        Ok(Self { machine, field_sigs, nt_sigs, max_size: machine.max_op_size() })
     }
 
     /// The machine this disassembler was generated from.
@@ -176,7 +196,7 @@ impl<'m> Disassembler<'m> {
             let op = &field.ops[oi];
             size = size.max(op.costs.size);
             let sig = &self.field_sigs[fi][oi];
-            let args = self.decode_args(op, sig, &wide);
+            let args = self.decode_args(op, sig, &wide, addr)?;
             ops.push(DecodedOp { op: OpRef { field: isdl::model::FieldId(fi), op: oi }, args });
         }
         if size as usize > words.len() {
@@ -185,37 +205,39 @@ impl<'m> Disassembler<'m> {
         Ok(DecodedInstr { ops, size })
     }
 
-    fn decode_args(&self, op: &Operation, sig: &Signature, word: &BitVector) -> Vec<Operand> {
-        op.params
-            .iter()
-            .enumerate()
-            .map(|(pi, p)| {
-                let enc_w = self.machine.param_encoding_width(p.ty);
-                let raw = sig.extract_param(word, pi, enc_w);
-                match p.ty {
-                    ParamType::Token(_) => Operand::Token(raw),
-                    ParamType::NonTerminal(n) => self.decode_nt(n, &raw),
-                }
-            })
-            .collect()
+    fn decode_args(
+        &self,
+        op: &Operation,
+        sig: &Signature,
+        word: &BitVector,
+        addr: u64,
+    ) -> Result<Vec<Operand>, DisasmError> {
+        let mut args = Vec::with_capacity(op.params.len());
+        for (pi, p) in op.params.iter().enumerate() {
+            let enc_w = self.machine.param_encoding_width(p.ty);
+            let raw = sig.extract_param(word, pi, enc_w);
+            args.push(match p.ty {
+                ParamType::Token(_) => Operand::Token(raw),
+                ParamType::NonTerminal(n) => self.decode_nt(n, &raw, addr)?,
+            });
+        }
+        Ok(args)
     }
 
-    fn decode_nt(&self, nt_id: NtId, sub: &BitVector) -> Operand {
+    fn decode_nt(&self, nt_id: NtId, sub: &BitVector, addr: u64) -> Result<Operand, DisasmError> {
         let nt = &self.machine.nonterminals[nt_id.0];
         for (oi, sig) in self.nt_sigs[nt_id.0].iter().enumerate() {
             if sig.matches(sub) {
                 let option = &nt.options[oi];
-                let args = self.decode_args(option, sig, sub);
-                return Operand::NonTerminal { nt: nt_id, option: oi, args };
+                let args = self.decode_args(option, sig, sub, addr)?;
+                return Ok(Operand::NonTerminal { nt: nt_id, option: oi, args });
             }
         }
-        // A validated machine's options cover all generated encodings;
-        // arbitrary binary may still miss. Report as option usize::MAX
-        // would be unhelpful — fall back to the first option with raw
-        // bits; the simulator treats an unmatched NT as illegal via the
-        // field-level check, so this path is unreachable for decodable
-        // programs. Encode as a token operand so callers can inspect.
-        Operand::Token(sub.clone())
+        // A validated machine's options cover all generated encodings,
+        // but arbitrary binary (or a buggy generator) may still miss.
+        // Formerly this fell back to a raw token operand, which blew up
+        // later inside RTL execution; surface it at decode time instead.
+        Err(DisasmError::UndecodableOperand { nt: nt.name.clone(), addr })
     }
 
     /// Formats a decoded instruction back into assembly text, using the
@@ -299,6 +321,8 @@ impl<'m> Disassembler<'m> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use isdl::samples::TOY;
 

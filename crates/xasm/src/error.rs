@@ -48,6 +48,22 @@ pub enum DisasmError {
         /// Word address of the instruction.
         addr: u64,
     },
+    /// A non-terminal operand's extracted bits matched none of the
+    /// non-terminal's options — the operation matched, but its operand
+    /// sub-word is not a valid encoding.
+    UndecodableOperand {
+        /// The non-terminal whose options all failed to match.
+        nt: String,
+        /// Word address of the instruction.
+        addr: u64,
+    },
+    /// The machine's encodings are internally inconsistent: a
+    /// signature could not be derived for an operation or option.
+    /// Machines produced by `isdl::load` never trigger this.
+    InconsistentEncoding {
+        /// Which operation or option failed (`field.op` / `nt.option`).
+        context: String,
+    },
 }
 
 impl fmt::Display for DisasmError {
@@ -58,6 +74,12 @@ impl fmt::Display for DisasmError {
             }
             Self::Truncated { addr } => {
                 write!(f, "truncated instruction at word {addr:#x}")
+            }
+            Self::UndecodableOperand { nt, addr } => {
+                write!(f, "undecodable operand at word {addr:#x}: no option of non-terminal `{nt}` matches")
+            }
+            Self::InconsistentEncoding { context } => {
+                write!(f, "inconsistent encoding for `{context}`: no signature derivable")
             }
         }
     }

@@ -25,6 +25,12 @@ run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q
+# Robustness gates (see docs/ROBUSTNESS.md): fault containment and
+# journaled checkpoint/resume must stay deterministic. Both suites run
+# inside `cargo test -q` above too; naming them here keeps the gate
+# explicit and the failure output focused.
+run cargo test -q -p archex --test fault_injection
+run cargo test -q -p archex --test journal_resume
 
 if [[ "${1:-}" == "--slow" ]]; then
     # required-features gating means a plain `cargo test` never sees

@@ -6,7 +6,7 @@
 //! isdlc sample  <toy|acc16|spam|spam2>              print an embedded sample description
 //! isdlc asm     <machine.isdl> <prog.asm>           assemble; hex words to stdout
 //! isdlc disasm  <machine.isdl> <prog.asm>           assemble then disassemble (listing)
-//! isdlc run     <machine.isdl> <prog.asm> [cycles]  simulate; prints stats + final state
+//! isdlc run     <machine.isdl> <prog.asm> [cycles] [--fuel=N]  simulate; prints stats + final state
 //! isdlc batch   <machine.isdl> <prog.asm> <script>  run a simulator batch script
 //! isdlc verilog <machine.isdl> [--no-share] [--naive-decode]
 //! isdlc report  <machine.isdl> [--no-share] [--naive-decode]
@@ -138,10 +138,14 @@ fn run(args: &[String]) -> Result<(), String> {
             let cycles: u64 = pos.get(2).map_or(Ok(1_000_000), |c| {
                 c.parse().map_err(|_| format!("bad cycle budget `{c}`"))
             })?;
+            let fuel: u64 =
+                flags.iter().find_map(|f| f.strip_prefix("--fuel=")).map_or(Ok(u64::MAX), |v| {
+                    v.parse().map_err(|_| format!("bad instruction budget `{v}`"))
+                })?;
             let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
             let mut sim = Xsim::generate(&m).map_err(|e| e.to_string())?;
             sim.load_program(&p);
-            let stop = sim.run(cycles);
+            let stop = sim.run_fuel(cycles, fuel);
             let stats = sim.stats();
             println!(
                 "stopped: {stop} after {} instructions, {} cycles ({} stalls)",
@@ -268,6 +272,6 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: isdlc <check|print|sample|asm|disasm|run|batch|verilog|report|wave|hex|tb> \
-     <machine.isdl> [args] [--no-share] [--naive-decode]"
+     <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N]"
         .to_owned()
 }

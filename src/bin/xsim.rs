@@ -7,6 +7,9 @@
 //! ```text
 //! xsim <machine.isdl> <prog.asm> [options]
 //!   --cycles N            cycle budget (default 1000000)
+//!   --max-cycles N        alias for --cycles
+//!   --fuel N              instruction budget (default unlimited); a
+//!                         looping program stops with `fuel exhausted`
 //!   --stats <path|->      write the `xsim-stats/1` JSON report
 //!   --trace <path|->      write the `xsim-trace/1` JSON event trace
 //!   --trace-capacity N    event ring-buffer capacity (default 4096)
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let mut pos: Vec<&str> = Vec::new();
     let mut cycles: u64 = 1_000_000;
+    let mut fuel: u64 = u64::MAX;
     let mut stats_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_capacity: usize = 4096;
@@ -46,9 +50,13 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--cycles" => {
-                let v = value(&mut it, "--cycles")?;
+            "--cycles" | "--max-cycles" => {
+                let v = value(&mut it, a)?;
                 cycles = v.parse().map_err(|_| format!("bad cycle budget `{v}`"))?;
+            }
+            "--fuel" => {
+                let v = value(&mut it, "--fuel")?;
+                fuel = v.parse().map_err(|_| format!("bad instruction budget `{v}`"))?;
             }
             "--stats" => stats_out = Some(value(&mut it, "--stats")?.to_owned()),
             "--trace" => trace_out = Some(value(&mut it, "--trace")?.to_owned()),
@@ -103,7 +111,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     let stop = {
         let _span = t_run.span();
-        sim.run(cycles)
+        sim.run_fuel(cycles, fuel)
     };
 
     if let Some(path) = &stats_out {
@@ -154,7 +162,7 @@ fn write_report(path: &str, json: &Json) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--stats <path|->] \
+    "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--fuel N] [--stats <path|->] \
      [--trace <path|->] [--trace-capacity N] [--core tree|bytecode] [--no-offline-decode]"
         .to_owned()
 }

@@ -95,6 +95,31 @@ fn trace_report_is_written_to_file() {
 }
 
 #[test]
+fn fuel_budget_terminates_a_looping_program() {
+    // A program that never halts must still terminate under a fuel
+    // budget, reporting exactly how far it got.
+    let machine = write_temp("acc16.isdl", isdl::samples::ACC16);
+    let machine = machine.to_str().expect("utf8 path");
+    // A single self-jump is the `end: jmp end` halt idiom; two jumps
+    // ping-ponging is a genuine infinite loop.
+    let prog = write_temp("spin.asm", "spin: jmp spin2\nspin2: jmp spin\n");
+    let prog = prog.to_str().expect("utf8 path");
+
+    let (stdout, stderr, ok) = xsim(&[machine, prog, "--fuel", "25", "--stats", "-"]);
+    assert!(ok, "stderr: {stderr}");
+    let json = Json::parse(&stdout).expect("stats parse");
+    assert_eq!(json.get_str("stop"), Some("instruction fuel exhausted"));
+    assert_eq!(json.get_u64("instructions"), Some(25), "exactly the budgeted instructions ran");
+
+    // `--max-cycles` is an alias for `--cycles` and bounds time charged
+    // rather than work done.
+    let (stdout, stderr, ok) = xsim(&[machine, prog, "--max-cycles", "10", "--stats", "-"]);
+    assert!(ok, "stderr: {stderr}");
+    let json = Json::parse(&stdout).expect("stats parse");
+    assert_eq!(json.get_str("stop"), Some("cycle limit reached"));
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let (_, stderr, ok) = xsim(&[]);
     assert!(!ok);
