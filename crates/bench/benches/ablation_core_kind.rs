@@ -38,12 +38,12 @@ fn bench_cores(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_core_kind");
     group.throughput(Throughput::Elements(5_000));
     for (name, core) in [("tree", CoreKind::Tree), ("bytecode", CoreKind::Bytecode)] {
-        let mut sim = xsim_with_fir(&spam, XsimOptions { core, offline_decode: true });
+        let mut sim = xsim_with_fir(&spam, XsimOptions { core, ..XsimOptions::default() });
         group.bench_function(format!("spam_fir_5k_cycles/{name}"), |b| {
             b.iter(|| run_cycles(&mut sim, &spam_prog, 5_000));
         });
 
-        let mut sim = Xsim::generate_with(&toy, XsimOptions { core, offline_decode: true })
+        let mut sim = Xsim::generate_with(&toy, XsimOptions { core, ..XsimOptions::default() })
             .expect("generates");
         sim.load_program(&toy_prog);
         group.bench_function(format!("toy_dense_5k_cycles/{name}"), |b| {

@@ -14,7 +14,11 @@ fn bench_offline(c: &mut Criterion) {
     for (name, offline) in [("offline", true), ("per_fetch", false)] {
         let mut sim = xsim_with_fir(
             &machine,
-            XsimOptions { core: CoreKind::Bytecode, offline_decode: offline },
+            XsimOptions {
+                core: CoreKind::Bytecode,
+                offline_decode: offline,
+                ..XsimOptions::default()
+            },
         );
         group.bench_function(format!("xsim_5k_cycles/{name}"), |b| {
             b.iter(|| run_cycles(&mut sim, &program, 5_000));

@@ -1,0 +1,61 @@
+//! Ablation E: the RTL middle-end ([`isdl::opt`]). Simulation speed at
+//! each `OptLevel` on two workloads — the SPAM FIR (compiler-shaped
+//! VLIW code that is already mostly clean) and a dense WIDEMUL program
+//! whose wide multiplies only reach the fast u64 bytecode lane after
+//! width narrowing. The gap between `opt0` and `opt2` on WIDEMUL is
+//! the narrowing win; SPAM bounds the cost on code with little to
+//! optimize.
+
+use bench::{fir_program, run_cycles, spam_machine, xsim_with_fir};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gensim::{Xsim, XsimOptions};
+use isdl::opt::OptLevel;
+use xasm::Assembler;
+
+/// Straight-line WIDEMUL code where every instruction does arithmetic
+/// that the middle-end can narrow, fold, or share; ends in `halt` so
+/// `run_cycles` restarts it for an endless supply of work.
+fn dense_widemul_program(machine: &isdl::Machine) -> xasm::Program {
+    let mut src = String::new();
+    for i in 0..200u32 {
+        let line = match i % 5 {
+            0 => format!("lia {}\n", i % 256),
+            1 => format!("lib {}\n", (i * 7) % 256),
+            2 => "wmul\n".to_owned(),
+            3 => "sqs\n".to_owned(),
+            _ => "redund\n".to_owned(),
+        };
+        src.push_str(&line);
+    }
+    src.push_str("halt\n");
+    Assembler::new(machine).assemble(&src).expect("assembles")
+}
+
+fn bench_opt_levels(c: &mut Criterion) {
+    let spam = spam_machine();
+    let spam_prog = fir_program(&spam);
+    let widemul = isdl::load(isdl::samples::WIDEMUL).expect("loads");
+    let widemul_prog = dense_widemul_program(&widemul);
+
+    let mut group = c.benchmark_group("ablation_rtl_opt");
+    group.throughput(Throughput::Elements(5_000));
+    for (name, opt) in
+        [("opt0", OptLevel::None), ("opt1", OptLevel::Basic), ("opt2", OptLevel::Aggressive)]
+    {
+        let mut sim = xsim_with_fir(&spam, XsimOptions { opt, ..XsimOptions::default() });
+        group.bench_function(format!("spam_fir_5k_cycles/{name}"), |b| {
+            b.iter(|| run_cycles(&mut sim, &spam_prog, 5_000));
+        });
+
+        let mut sim = Xsim::generate_with(&widemul, XsimOptions { opt, ..XsimOptions::default() })
+            .expect("generates");
+        sim.load_program(&widemul_prog);
+        group.bench_function(format!("widemul_dense_5k_cycles/{name}"), |b| {
+            b.iter(|| run_cycles(&mut sim, &widemul_prog, 5_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_levels);
+criterion_main!(benches);

@@ -41,8 +41,9 @@ fn check_schema(json: &Json, expected: &str) -> Result<(), String> {
 
 /// Extracts benchmark entries from an `xsim-stats/1` report
 /// ([`gensim::stats_json`] output): the cycle/instruction/stall
-/// totals, the IPC, and one utilization entry per field, all prefixed
-/// with the machine name.
+/// totals, the IPC, one utilization entry per field, and — when the
+/// report carries the middle-end's `opt` block — the node-elimination
+/// and wide-fallback counts, all prefixed with the machine name.
 ///
 /// # Errors
 ///
@@ -66,6 +67,16 @@ pub fn entries_from_stats_json(text: &str) -> Result<Vec<BenchEntry>, String> {
                 return Err("malformed field entry".to_owned());
             };
             out.push(BenchEntry::new(format!("{machine}.field.{name}.utilization"), util, "ratio"));
+        }
+    }
+    if let Some(opt) = json.get("opt") {
+        for key in ["nodes_before", "nodes_after", "nodes_eliminated", "narrowed", "cse_hits"] {
+            if let Some(v) = opt.get_f64(key) {
+                out.push(BenchEntry::new(format!("{machine}.opt.{key}"), v, "nodes"));
+            }
+        }
+        if let Some(v) = opt.get_f64("wide_fallbacks") {
+            out.push(BenchEntry::new(format!("{machine}.opt.wide_fallbacks"), v, "plans"));
         }
     }
     Ok(out)
@@ -141,6 +152,11 @@ mod tests {
         assert_eq!(by_name("acc16.instructions"), 4.0);
         assert_eq!(by_name("acc16.ipc"), 1.0);
         assert_eq!(by_name("acc16.field.MAIN.utilization"), 1.0);
+        assert_eq!(by_name("acc16.opt.wide_fallbacks"), 0.0);
+        assert_eq!(
+            by_name("acc16.opt.nodes_eliminated"),
+            by_name("acc16.opt.nodes_before") - by_name("acc16.opt.nodes_after"),
+        );
         let payload = bench_json(&entries);
         let parsed = obs::Json::parse(&payload).expect("bench payload parses");
         assert_eq!(parsed.get_str("schema"), Some(BENCH_SCHEMA));

@@ -351,6 +351,7 @@ fn writes_pc(machine: &Machine, op: &Operation) -> bool {
             RStmt::If { then_body, else_body, .. } => {
                 then_body.iter().chain(else_body).any(|s| stmt_writes_pc(machine, s))
             }
+            RStmt::Let { .. } => false,
         }
     }
     op.action.iter().any(|s| stmt_writes_pc(machine, s))

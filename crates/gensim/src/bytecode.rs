@@ -14,14 +14,21 @@ use crate::exec::{self, Binding, Frame, OverlayView, StagedWrite};
 use crate::state::State;
 use bitv::BitVector;
 use isdl::model::{Machine, OpRef};
+use isdl::opt::{OptLevel, OptStats};
 use isdl::rtl::{BinOp, ExtKind, RExpr, RExprKind, RLvalue, RStmt, StorageId, UnOp};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-/// Cache of compiled operation phases.
+/// Cache of compiled operation phases, plus the per-(operation, phase)
+/// optimized RTL both cores consume. Optimization is independent of
+/// the non-terminal option path (parameters are opaque to the
+/// middle-end), so optimized statements are cached at (op, phase)
+/// granularity and shared by every option-path compilation and by the
+/// tree-walking core.
 #[derive(Debug, Default)]
 pub(crate) struct Cache {
     map: HashMap<Key, Rc<Compiled>>,
+    opt: HashMap<(OpRef, Phase), Rc<Vec<RStmt>>>,
 }
 
 #[derive(Debug, PartialEq, Eq, Hash, Clone)]
@@ -50,8 +57,10 @@ enum PSlot {
 pub(crate) enum Compiled {
     /// Flat bytecode over u64 lanes.
     Code(Program),
-    /// RTL too wide for u64 lanes — interpret the tree instead.
-    Wide,
+    /// RTL too wide for u64 lanes — interpret the tree instead. The
+    /// carried statements are the *optimized* RTL, so the fallback
+    /// path benefits from the middle-end too.
+    Wide(Rc<Vec<RStmt>>),
 }
 
 #[derive(Debug)]
@@ -142,6 +151,36 @@ impl Cache {
         Self::default()
     }
 
+    /// Looks up (or computes) the optimized RTL for one phase of
+    /// `op_ref`. Middle-end statistics accumulate into `stats` on the
+    /// first (and only) optimization of each phase.
+    pub(crate) fn optimized(
+        &mut self,
+        machine: &Machine,
+        op_ref: OpRef,
+        phase: Phase,
+        level: OptLevel,
+        stats: &mut OptStats,
+    ) -> Rc<Vec<RStmt>> {
+        if let Some(s) = self.opt.get(&(op_ref, phase)) {
+            return Rc::clone(s);
+        }
+        let op = machine.op(op_ref);
+        let raw = match phase {
+            Phase::Action => &op.action,
+            Phase::SideEffects => &op.side_effects,
+        };
+        let stmts = if level == OptLevel::None {
+            // Skip the pipeline entirely so `--opt=0` is a true
+            // baseline (stats stay zero).
+            Rc::new(raw.clone())
+        } else {
+            Rc::new(isdl::opt::optimize_stmts(raw, level, stats))
+        };
+        self.opt.insert((op_ref, phase), Rc::clone(&stmts));
+        stmts
+    }
+
     /// Looks up (or compiles) the given phase of `op_ref` for the
     /// non-terminal option choices of `bindings`. The result is cached
     /// and shared, so per-instruction preparation is one hash lookup.
@@ -151,12 +190,15 @@ impl Cache {
         op_ref: OpRef,
         phase: Phase,
         bindings: &[Binding],
+        level: OptLevel,
+        stats: &mut OptStats,
     ) -> Rc<Compiled> {
         let key = Key { op: op_ref, phase, options: option_path(bindings) };
         if let Some(c) = self.map.get(&key) {
             return Rc::clone(c);
         }
-        let c = Rc::new(compile(machine, op_ref, phase, bindings));
+        let stmts = self.optimized(machine, op_ref, phase, level, stats);
+        let c = Rc::new(compile(machine, &stmts, bindings));
         self.map.insert(key, Rc::clone(&c));
         c
     }
@@ -170,14 +212,14 @@ pub(crate) fn flatten_params(bindings: &[Binding]) -> Vec<u64> {
 
 /// Executes a prepared phase. `regs` is caller-owned scratch reused
 /// across invocations (sized on demand). The tree-walking fallback for
-/// wide RTL uses `op`/`bindings` and can surface its [`ExecError`]
-/// diagnostics; the compiled path is infallible by construction.
+/// wide RTL runs the optimized statements carried by [`Compiled::Wide`]
+/// with `op`/`bindings` and can surface its [`ExecError`] diagnostics;
+/// the compiled path is infallible by construction.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_compiled(
     compiled: &Compiled,
     machine: &Machine,
     op: &isdl::model::Operation,
-    phase: Phase,
     bindings: &[Binding],
     params: &[u64],
     state: &State,
@@ -187,11 +229,7 @@ pub(crate) fn exec_compiled(
     regs: &mut Vec<u64>,
 ) -> Result<(), exec::ExecError> {
     match compiled {
-        Compiled::Wide => {
-            let stmts = match phase {
-                Phase::Action => &op.action,
-                Phase::SideEffects => &op.side_effects,
-            };
+        Compiled::Wide(stmts) => {
             let frame = Frame { op, bindings };
             if overlay.is_empty() {
                 exec::exec_stmts(machine, stmts, frame, state, latency, out)?;
@@ -265,23 +303,19 @@ struct Compiler<'m> {
     machine: &'m Machine,
     code: Vec<BOp>,
     next_reg: Reg,
+    /// Registers holding optimizer `Let` temporaries.
+    tmps: HashMap<usize, Reg>,
 }
 
 struct WideRtl;
 
-fn compile(machine: &Machine, op_ref: OpRef, phase: Phase, bindings: &[Binding]) -> Compiled {
-    let op = machine.op(op_ref);
-    let stmts = match phase {
-        Phase::Action => &op.action,
-        Phase::SideEffects => &op.side_effects,
-    };
+fn compile(machine: &Machine, stmts: &Rc<Vec<RStmt>>, bindings: &[Binding]) -> Compiled {
     let mut next = 0u16;
     let slots = build_slots(bindings, &mut next);
-    let mut c = Compiler { machine, code: Vec::new(), next_reg: 0 };
-    let _ = op;
+    let mut c = Compiler { machine, code: Vec::new(), next_reg: 0, tmps: HashMap::new() };
     match c.compile_stmts(stmts, &slots) {
         Ok(()) => Compiled::Code(Program { code: c.code, n_regs: c.next_reg as usize }),
-        Err(WideRtl) => Compiled::Wide,
+        Err(WideRtl) => Compiled::Wide(Rc::clone(stmts)),
     }
 }
 
@@ -325,6 +359,11 @@ impl Compiler<'_> {
                     let end = self.code.len();
                     self.patch(jmp_at, end);
                 }
+                Ok(())
+            }
+            RStmt::Let { tmp, rhs } => {
+                let r = self.compile_expr(rhs, slots)?;
+                self.tmps.insert(*tmp, r);
                 Ok(())
             }
         }
@@ -495,6 +534,11 @@ impl Compiler<'_> {
                     acc = dst;
                 }
                 Ok(acc)
+            }
+            RExprKind::Tmp(t) => {
+                // The optimizer emits the `Let` before every use, so
+                // the register is already populated.
+                Ok(*self.tmps.get(t).expect("optimizer binds temporaries before use"))
             }
         }
     }

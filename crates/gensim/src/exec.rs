@@ -21,7 +21,7 @@
 
 use bitv::BitVector;
 use isdl::model::{Machine, Operation};
-use isdl::rtl::{BinOp, ExtKind, RExpr, RExprKind, RLvalue, RStmt, StorageId, UnOp};
+use isdl::rtl::{BinOp, RExpr, RExprKind, RLvalue, RStmt, StorageId};
 use xasm::Operand;
 
 /// A runtime fault while executing RTL: the frame handed to the
@@ -59,6 +59,13 @@ pub enum ExecError {
     },
     /// A concatenation with no parts.
     EmptyConcat,
+    /// An optimizer temporary referenced before its `Let` bound it.
+    /// Well-formed optimizer output never triggers this; it guards
+    /// hand-built statement lists.
+    UnboundTmp {
+        /// Temporary index.
+        tmp: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -77,6 +84,9 @@ impl std::fmt::Display for ExecError {
                 write!(f, "non-terminal option `{option}` has no value clause")
             }
             Self::EmptyConcat => write!(f, "empty concatenation"),
+            Self::UnboundTmp { tmp } => {
+                write!(f, "temporary t{tmp} referenced before it was bound")
+            }
         }
     }
 }
@@ -204,8 +214,11 @@ pub fn exec_stmts<V: StateView>(
     latency: u32,
     out: &mut Vec<StagedWrite>,
 ) -> Result<(), ExecError> {
+    // Environment for optimizer-introduced `Let` temporaries; empty
+    // (and never allocated) for unoptimized RTL.
+    let mut temps: Vec<Option<BitVector>> = Vec::new();
     for s in stmts {
-        exec_stmt(machine, s, frame, view, latency, out)?;
+        exec_stmt(machine, s, frame, view, latency, out, &mut temps)?;
     }
     Ok(())
 }
@@ -217,18 +230,28 @@ fn exec_stmt<V: StateView>(
     view: &V,
     latency: u32,
     out: &mut Vec<StagedWrite>,
+    temps: &mut Vec<Option<BitVector>>,
 ) -> Result<(), ExecError> {
     match s {
         RStmt::Assign { lv, rhs } => {
-            let value = eval(machine, rhs, frame, view)?;
-            let (storage, index, hi, lo) = resolve_lvalue(machine, lv, frame, view)?;
+            let value = eval_with(machine, rhs, frame, view, temps)?;
+            let (storage, index, hi, lo) = resolve_lvalue(machine, lv, frame, view, temps)?;
             debug_assert_eq!(value.width(), hi - lo + 1, "sema guarantees assignment widths");
             out.push(StagedWrite { storage, index, hi, lo, value, latency });
         }
         RStmt::If { cond, then_body, else_body } => {
-            let c = eval(machine, cond, frame, view)?;
+            let c = eval_with(machine, cond, frame, view, temps)?;
             let body = if c.is_zero() { else_body } else { then_body };
-            exec_stmts(machine, body, frame, view, latency, out)?;
+            for s in body {
+                exec_stmt(machine, s, frame, view, latency, out, temps)?;
+            }
+        }
+        RStmt::Let { tmp, rhs } => {
+            let v = eval_with(machine, rhs, frame, view, temps)?;
+            if temps.len() <= *tmp {
+                temps.resize(*tmp + 1, None);
+            }
+            temps[*tmp] = Some(v);
         }
     }
     Ok(())
@@ -247,6 +270,7 @@ fn resolve_lvalue<V: StateView>(
     lv: &RLvalue,
     frame: Frame<'_>,
     view: &V,
+    temps: &[Option<BitVector>],
 ) -> Result<(StorageId, u64, u32, u32), ExecError> {
     match lv {
         RLvalue::Storage(id) => {
@@ -254,12 +278,12 @@ fn resolve_lvalue<V: StateView>(
             Ok((*id, 0, w - 1, 0))
         }
         RLvalue::StorageIndexed(id, idx) => {
-            let i = eval(machine, idx, frame, view)?.to_u64_lossy();
+            let i = eval_with(machine, idx, frame, view, temps)?.to_u64_lossy();
             let w = machine.storage(*id).width;
             Ok((*id, i, w - 1, 0))
         }
         RLvalue::Slice { base, hi, lo } => {
-            let (id, idx, _bhi, blo) = resolve_lvalue(machine, base, frame, view)?;
+            let (id, idx, _bhi, blo) = resolve_lvalue(machine, base, frame, view, temps)?;
             Ok((id, idx, blo + hi, blo + lo))
         }
         RLvalue::Param(p) => {
@@ -272,7 +296,7 @@ fn resolve_lvalue<V: StateView>(
                 .as_ref()
                 .ok_or_else(|| ExecError::NotAssignable { option: opt.name.clone() })?;
             let sub = Frame { op: opt, bindings: args };
-            resolve_lvalue(machine, inner, sub, view)
+            resolve_lvalue(machine, inner, sub, view, temps)
         }
     }
 }
@@ -288,11 +312,23 @@ pub fn eval<V: StateView>(
     frame: Frame<'_>,
     view: &V,
 ) -> Result<BitVector, ExecError> {
+    eval_with(machine, e, frame, view, &[])
+}
+
+/// [`eval`] with an environment for optimizer temporaries; a `Tmp`
+/// reference outside any bound `Let` is [`ExecError::UnboundTmp`].
+fn eval_with<V: StateView>(
+    machine: &Machine,
+    e: &RExpr,
+    frame: Frame<'_>,
+    view: &V,
+    temps: &[Option<BitVector>],
+) -> Result<BitVector, ExecError> {
     Ok(match &e.kind {
         RExprKind::Lit(v) => v.clone(),
         RExprKind::Storage(id) => view.read_cell(*id, 0),
         RExprKind::StorageIndexed(id, idx) => {
-            let i = eval(machine, idx, frame, view)?.to_u64_lossy();
+            let i = eval_with(machine, idx, frame, view, temps)?.to_u64_lossy();
             view.read_cell(*id, i)
         }
         RExprKind::Param(p) => match frame_binding(frame, *p)? {
@@ -304,82 +340,57 @@ pub fn eval<V: StateView>(
                     .as_ref()
                     .ok_or_else(|| ExecError::NoValue { option: opt.name.clone() })?;
                 let sub = Frame { op: opt, bindings: args };
-                eval(machine, value, sub, view)?
+                // Option value expressions are never optimized, so
+                // temporaries cannot leak across the frame switch.
+                eval_with(machine, value, sub, view, temps)?
             }
         },
-        RExprKind::Slice(inner, hi, lo) => eval(machine, inner, frame, view)?.slice(*hi, *lo),
+        RExprKind::Slice(inner, hi, lo) => {
+            eval_with(machine, inner, frame, view, temps)?.slice(*hi, *lo)
+        }
         RExprKind::Unary(op, inner) => {
-            let v = eval(machine, inner, frame, view)?;
-            match op {
-                UnOp::Neg => v.wrapping_neg(),
-                UnOp::Not => v.not(),
-                UnOp::LNot => BitVector::from_bool(v.is_zero()),
-            }
+            isdl::opt::eval_unop(*op, &eval_with(machine, inner, frame, view, temps)?)
         }
         RExprKind::Binary(op, a, b) => {
-            let x = eval(machine, a, frame, view)?;
-            let y = eval(machine, b, frame, view)?;
+            let x = eval_with(machine, a, frame, view, temps)?;
+            let y = eval_with(machine, b, frame, view, temps)?;
             eval_binop(*op, &x, &y)
         }
         RExprKind::Cond(c, t, f) => {
-            if eval(machine, c, frame, view)?.is_zero() {
-                eval(machine, f, frame, view)?
+            if eval_with(machine, c, frame, view, temps)?.is_zero() {
+                eval_with(machine, f, frame, view, temps)?
             } else {
-                eval(machine, t, frame, view)?
+                eval_with(machine, t, frame, view, temps)?
             }
         }
         RExprKind::Ext(kind, inner) => {
-            let v = eval(machine, inner, frame, view)?;
-            match kind {
-                ExtKind::Zext => v.zext(e.width),
-                ExtKind::Sext => v.sext(e.width),
-                ExtKind::Trunc => v.trunc(e.width),
-            }
+            isdl::opt::eval_ext(*kind, &eval_with(machine, inner, frame, view, temps)?, e.width)
         }
         RExprKind::Concat(parts) => {
             let mut it = parts.iter();
             let first = it.next().ok_or(ExecError::EmptyConcat)?;
-            let mut acc = eval(machine, first, frame, view)?;
+            let mut acc = eval_with(machine, first, frame, view, temps)?;
             for p in it {
-                acc = acc.concat(&eval(machine, p, frame, view)?);
+                acc = acc.concat(&eval_with(machine, p, frame, view, temps)?);
             }
             acc
         }
+        RExprKind::Tmp(t) => match temps.get(*t).and_then(Option::as_ref) {
+            Some(v) => v.clone(),
+            None => return Err(ExecError::UnboundTmp { tmp: *t }),
+        },
     })
 }
 
 /// Applies a binary RTL operator to two values of equal width
 /// (except shifts, where `b` supplies only the amount).
+///
+/// Delegates to [`isdl::opt::eval_binop`] — the optimizer's constant
+/// folder and this interpreter share one definition of the operator
+/// semantics, so they cannot drift apart.
 #[must_use]
 pub fn eval_binop(op: BinOp, a: &BitVector, b: &BitVector) -> BitVector {
-    use BinOp::*;
-    match op {
-        Add => a.wrapping_add(b),
-        Sub => a.wrapping_sub(b),
-        Mul => a.wrapping_mul(b),
-        UDiv => a.unsigned_div(b),
-        URem => a.unsigned_rem(b),
-        SDiv => a.signed_div(b),
-        SRem => a.signed_rem(b),
-        And => a.and(b),
-        Or => a.or(b),
-        Xor => a.xor(b),
-        Shl => a.shl(shift_amount(b)),
-        Lshr => a.lshr(shift_amount(b)),
-        Ashr => a.ashr(shift_amount(b)),
-        Eq => BitVector::from_bool(a == b),
-        Ne => BitVector::from_bool(a != b),
-        Ult => BitVector::from_bool(a.cmp_unsigned(b).is_lt()),
-        Ule => BitVector::from_bool(a.cmp_unsigned(b).is_le()),
-        Slt => BitVector::from_bool(a.cmp_signed(b).is_lt()),
-        Sle => BitVector::from_bool(a.cmp_signed(b).is_le()),
-        LAnd => BitVector::from_bool(!a.is_zero() && !b.is_zero()),
-        LOr => BitVector::from_bool(!a.is_zero() || !b.is_zero()),
-    }
-}
-
-fn shift_amount(b: &BitVector) -> u32 {
-    b.to_u64().map_or(u32::MAX, |v| u32::try_from(v).unwrap_or(u32::MAX))
+    isdl::opt::eval_binop(op, a, b)
 }
 
 #[cfg(test)]

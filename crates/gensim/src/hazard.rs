@@ -154,6 +154,9 @@ fn collect_stmt(
                 collect_stmt(machine, s, op, bindings, out);
             }
         }
+        RStmt::Let { rhs, .. } => {
+            collect_expr_reads(machine, rhs, op, bindings, out);
+        }
     }
 }
 

@@ -52,7 +52,7 @@ pub mod report;
 pub mod sched;
 pub mod state;
 
-pub use report::{stats_json, trace_json, STATS_SCHEMA, TRACE_SCHEMA};
+pub use report::{publish_opt_counters, stats_json, trace_json, STATS_SCHEMA, TRACE_SCHEMA};
 pub use sched::{
     CoreKind, EventTrace, GensimError, Stats, StopReason, TraceEvent, TraceWrite, Xsim, XsimOptions,
 };

@@ -28,7 +28,11 @@ pub const TRACE_SCHEMA: &str = "xsim-trace/1";
 ///   executed instruction selects exactly one operation per field,
 ///   nops included);
 /// * `ipc == instructions / cycles`;
-/// * `stall_cycles <= cycles`.
+/// * `stall_cycles <= cycles`;
+/// * the `opt` object reports the RTL middle-end's work
+///   ([`isdl::opt::OptStats`]): with `opt.level == "0"` every counter
+///   is zero, and `opt.nodes_eliminated ==
+///   opt.nodes_before - opt.nodes_after`.
 #[must_use]
 pub fn stats_json(sim: &Xsim<'_>) -> Json {
     let stats = sim.stats();
@@ -54,6 +58,19 @@ pub fn stats_json(sim: &Xsim<'_>) -> Json {
                 .with("ops", Json::Arr(ops))
         })
         .collect();
+    let o = sim.opt_stats();
+    let opt = Json::obj()
+        .with("level", sim.options().opt.to_string())
+        .with("nodes_before", o.nodes_before)
+        .with("nodes_after", o.nodes_after)
+        .with("nodes_eliminated", o.nodes_eliminated())
+        .with("folded", o.folded)
+        .with("algebraic", o.algebraic)
+        .with("ext_removed", o.ext_removed)
+        .with("narrowed", o.narrowed)
+        .with("cse_hits", o.cse_hits)
+        .with("dead_writes", o.dead_writes)
+        .with("wide_fallbacks", sim.wide_fallbacks());
     Json::obj()
         .with("schema", STATS_SCHEMA)
         .with("machine", machine.name.as_str())
@@ -61,7 +78,32 @@ pub fn stats_json(sim: &Xsim<'_>) -> Json {
         .with("instructions", stats.instructions)
         .with("stall_cycles", stats.stall_cycles)
         .with("ipc", stats.ipc())
+        .with("opt", opt)
         .with("fields", Json::Arr(fields))
+}
+
+/// Publishes the middle-end counters into `registry` under
+/// `opt.*` names (`opt.nodes_eliminated`, `opt.cse_hits`, ...), so a
+/// host embedding XSIM observes optimizer work through the same
+/// [`obs::Registry`] snapshot as its other metrics. Counters are
+/// monotonic and the full totals are added each call, so publish
+/// once per simulator.
+pub fn publish_opt_counters(sim: &Xsim<'_>, registry: &obs::Registry) {
+    let o = sim.opt_stats();
+    for (name, v) in [
+        ("opt.nodes_before", o.nodes_before),
+        ("opt.nodes_after", o.nodes_after),
+        ("opt.nodes_eliminated", o.nodes_eliminated()),
+        ("opt.folded", o.folded),
+        ("opt.algebraic", o.algebraic),
+        ("opt.ext_removed", o.ext_removed),
+        ("opt.narrowed", o.narrowed),
+        ("opt.cse_hits", o.cse_hits),
+        ("opt.dead_writes", o.dead_writes),
+        ("opt.wide_fallbacks", sim.wide_fallbacks()),
+    ] {
+        registry.counter(name).add(v);
+    }
 }
 
 /// The recorded event trace as a schema-versioned JSON object, or an

@@ -63,11 +63,16 @@ pub struct XsimOptions {
     /// When false, each instruction is re-decoded at every fetch — the
     /// ablation for the paper's "off-line to improve speed" claim.
     pub offline_decode: bool,
+    /// RTL middle-end level ([`isdl::opt`]); both cores run operation
+    /// RTL through the shared optimizer before executing it. Results
+    /// are bit-identical at every level; `OptLevel::None` is the
+    /// differential baseline.
+    pub opt: isdl::opt::OptLevel,
 }
 
 impl Default for XsimOptions {
     fn default() -> Self {
-        Self { core: CoreKind::Bytecode, offline_decode: true }
+        Self { core: CoreKind::Bytecode, offline_decode: true, opt: isdl::opt::OptLevel::default() }
     }
 }
 
@@ -313,6 +318,12 @@ pub struct Xsim<'m> {
     /// `stats.op_counts` lazily by [`Xsim::stats`].
     op_counts: Vec<Vec<u64>>,
     stats: Stats,
+    /// Middle-end counters accumulated over every phase optimized for
+    /// this simulator (shared by both cores via the bytecode cache).
+    opt_stats: isdl::opt::OptStats,
+    /// Prepared plans whose RTL exceeded the u64 bytecode lanes and
+    /// fell back to tree interpretation.
+    wide_fallbacks: u64,
     breakpoints: HashSet<u64>,
     trace: Option<Box<dyn Write + Send>>,
     events: Option<EventTrace>,
@@ -365,11 +376,19 @@ impl<'m> Xsim<'m> {
             se_buf: Vec::new(),
             op_counts: machine.fields.iter().map(|f| vec![0; f.ops.len()]).collect(),
             stats: Stats { field_busy: vec![0; machine.fields.len()], ..Stats::default() },
+            opt_stats: isdl::opt::OptStats::default(),
+            wide_fallbacks: 0,
             breakpoints: HashSet::new(),
             trace: None,
             events: None,
             halted: false,
         })
+    }
+
+    /// The options this simulator was generated with.
+    #[must_use]
+    pub fn options(&self) -> &XsimOptions {
+        &self.options
     }
 
     /// The machine this simulator was generated from.
@@ -394,6 +413,21 @@ impl<'m> Xsim<'m> {
     #[must_use]
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// RTL middle-end counters accumulated so far (one entry per
+    /// optimized operation phase; see [`isdl::opt::OptStats`]).
+    #[must_use]
+    pub fn opt_stats(&self) -> &isdl::opt::OptStats {
+        &self.opt_stats
+    }
+
+    /// Number of prepared bytecode plans that fell back to tree
+    /// interpretation because a value exceeded 64 bits. Width
+    /// narrowing exists to drive this to zero.
+    #[must_use]
+    pub fn wide_fallbacks(&self) -> u64 {
+        self.wide_fallbacks
     }
 
     /// Execution count per operation — the utilization statistics the
@@ -561,23 +595,40 @@ impl<'m> Xsim<'m> {
             instr.ops.iter().map(|d| self.machine.op(d.op).costs.cycle).max().unwrap_or(1);
         let halts = instr.ops.iter().any(|d| self.machine.op(d.op).name == "halt");
         let plans = if self.options.core == CoreKind::Bytecode {
-            instr
-                .ops
-                .iter()
-                .zip(&bindings)
-                .map(|(d, b)| {
-                    let op = self.machine.op(d.op);
-                    let action = self.bytecode.prepare(self.machine, d.op, Phase::Action, b);
-                    let side_effects = (!op.side_effects.is_empty())
-                        .then(|| self.bytecode.prepare(self.machine, d.op, Phase::SideEffects, b));
-                    Plan {
-                        action,
-                        side_effects,
-                        params: bytecode::flatten_params(b),
-                        latency: op.timing.latency,
-                    }
-                })
-                .collect()
+            let mut plans = Vec::with_capacity(instr.ops.len());
+            for (d, b) in instr.ops.iter().zip(&bindings) {
+                let op = self.machine.op(d.op);
+                let action = self.bytecode.prepare(
+                    self.machine,
+                    d.op,
+                    Phase::Action,
+                    b,
+                    self.options.opt,
+                    &mut self.opt_stats,
+                );
+                let side_effects = if op.side_effects.is_empty() {
+                    None
+                } else {
+                    Some(self.bytecode.prepare(
+                        self.machine,
+                        d.op,
+                        Phase::SideEffects,
+                        b,
+                        self.options.opt,
+                        &mut self.opt_stats,
+                    ))
+                };
+                self.wide_fallbacks += u64::from(matches!(*action, bytecode::Compiled::Wide(_)));
+                self.wide_fallbacks +=
+                    u64::from(matches!(side_effects.as_deref(), Some(bytecode::Compiled::Wide(_))));
+                plans.push(Plan {
+                    action,
+                    side_effects,
+                    params: bytecode::flatten_params(b),
+                    latency: op.timing.latency,
+                });
+            }
+            plans
         } else {
             Vec::new()
         };
@@ -680,7 +731,6 @@ impl<'m> Xsim<'m> {
                         &plan.action,
                         self.machine,
                         self.machine.op(d.op),
-                        Phase::Action,
                         &entry.bindings[i],
                         &plan.params,
                         &self.state,
@@ -697,10 +747,20 @@ impl<'m> Xsim<'m> {
             CoreKind::Tree => {
                 for (d, b) in entry.instr.ops.iter().zip(&entry.bindings) {
                     let op = self.machine.op(d.op);
+                    // The tree core shares the bytecode cache's
+                    // optimized-RTL table: same (op, phase) entry, same
+                    // middle-end stats, no double optimization.
+                    let stmts = self.bytecode.optimized(
+                        self.machine,
+                        d.op,
+                        Phase::Action,
+                        self.options.opt,
+                        &mut self.opt_stats,
+                    );
                     let frame = Frame { op, bindings: b };
                     if let Err(e) = exec_stmts(
                         self.machine,
-                        &op.action,
+                        &stmts,
                         frame,
                         &self.state,
                         op.timing.latency,
@@ -724,7 +784,6 @@ impl<'m> Xsim<'m> {
                             side,
                             self.machine,
                             self.machine.op(d.op),
-                            Phase::SideEffects,
                             &entry.bindings[i],
                             &plan.params,
                             &self.state,
@@ -744,10 +803,17 @@ impl<'m> Xsim<'m> {
                         if op.side_effects.is_empty() {
                             continue;
                         }
+                        let stmts = self.bytecode.optimized(
+                            self.machine,
+                            d.op,
+                            Phase::SideEffects,
+                            self.options.opt,
+                            &mut self.opt_stats,
+                        );
                         let frame = Frame { op, bindings: b };
                         if let Err(e) = exec_stmts(
                             self.machine,
-                            &op.side_effects,
+                            &stmts,
                             frame,
                             &self.state,
                             op.timing.latency,
@@ -929,8 +995,8 @@ one:   .word 1
 
     #[test]
     fn tree_and_bytecode_cores_agree() {
-        let opts_tree = XsimOptions { core: CoreKind::Tree, offline_decode: true };
-        let opts_byte = XsimOptions { core: CoreKind::Bytecode, offline_decode: true };
+        let opts_tree = XsimOptions { core: CoreKind::Tree, ..XsimOptions::default() };
+        let opts_byte = XsimOptions { core: CoreKind::Bytecode, ..XsimOptions::default() };
         let (_, s1, d1) = run_acc16(SUM_LOOP, opts_tree);
         let (_, s2, d2) = run_acc16(SUM_LOOP, opts_byte);
         assert_eq!(d1, d2, "state must be bit-identical");
@@ -940,8 +1006,12 @@ one:   .word 1
 
     #[test]
     fn online_decode_matches_offline() {
-        let off = XsimOptions { core: CoreKind::Bytecode, offline_decode: true };
-        let on = XsimOptions { core: CoreKind::Bytecode, offline_decode: false };
+        let off = XsimOptions { core: CoreKind::Bytecode, ..XsimOptions::default() };
+        let on = XsimOptions {
+            core: CoreKind::Bytecode,
+            offline_decode: false,
+            ..XsimOptions::default()
+        };
         let (_, s1, d1) = run_acc16(SUM_LOOP, off);
         let (_, s2, d2) = run_acc16(SUM_LOOP, on);
         assert_eq!(d1, d2);
@@ -1038,7 +1108,7 @@ E: jmp E
         let p =
             Assembler::new(&m).assemble("seta\nst reg(R2)\nst mem(R0)\nhalt\n").expect("assembles");
         for core in [CoreKind::Tree, CoreKind::Bytecode] {
-            let mut sim = Xsim::generate_with(&m, XsimOptions { core, offline_decode: true })
+            let mut sim = Xsim::generate_with(&m, XsimOptions { core, ..XsimOptions::default() })
                 .expect("generates");
             sim.load_program(&p);
             assert_eq!(sim.run(100), StopReason::Halted);

@@ -49,7 +49,7 @@ proptest! {
         let run = |core: CoreKind| {
             let mut sim = Xsim::generate_with(
                 &machine,
-                XsimOptions { core, offline_decode: true },
+                XsimOptions { core, ..XsimOptions::default() },
             )
             .expect("generates");
             sim.load_program(&program);
@@ -93,7 +93,7 @@ proptest! {
         let run = |offline: bool| {
             let mut sim = Xsim::generate_with(
                 &machine,
-                XsimOptions { core: CoreKind::Bytecode, offline_decode: offline },
+                XsimOptions { core: CoreKind::Bytecode, offline_decode: offline, ..XsimOptions::default() },
             )
             .expect("generates");
             sim.load_program(&program);

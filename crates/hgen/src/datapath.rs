@@ -17,7 +17,6 @@
 
 use crate::decode::{DecodePlan, DecodeStyle};
 use crate::share::{NodeOwner, ShareClass, ShareNode};
-use bitv::BitVector;
 use isdl::model::{Machine, NtId, OpRef, Operation, ParamType, StorageKind};
 use isdl::rtl::{BinOp, ExtKind, RExpr, RExprKind, RLvalue, RStmt, StorageId, UnOp};
 use isdl::sema::ceil_log2;
@@ -82,8 +81,12 @@ pub struct Datapath {
     /// All write requests.
     pub writes: Vec<WriteReq>,
     /// Auxiliary named wires `(name, width, expr)` the lowering created
-    /// (operand materialisations for slices/sign-extensions).
+    /// (operand materialisations for slices/sign-extensions, and CSE
+    /// temporaries).
     pub aux: Vec<(String, u32, VExpr)>,
+    /// Middle-end counters from optimizing every operation phase
+    /// before lowering ([`isdl::opt`]).
+    pub opt_stats: isdl::opt::OptStats,
 }
 
 /// Lowers every operation of `machine` against a decode plan.
@@ -98,6 +101,10 @@ pub struct DatapathBuilder<'m> {
     out: Datapath,
     order: usize,
     aux_counter: usize,
+    /// RTL middle-end level applied to each phase before lowering.
+    opt: isdl::opt::OptLevel,
+    /// Lowered values of [`RStmt::Let`] temporaries, phase-scoped.
+    tmps: Vec<Option<VExpr>>,
 }
 
 /// How a parameter resolves during lowering.
@@ -144,7 +151,16 @@ impl<'m> DatapathBuilder<'m> {
             out: Datapath::default(),
             order: 0,
             aux_counter: 0,
+            opt: isdl::opt::OptLevel::default(),
+            tmps: Vec::new(),
         }
+    }
+
+    /// Sets the RTL middle-end level applied before lowering.
+    #[must_use]
+    pub fn with_opt(mut self, level: isdl::opt::OptLevel) -> Self {
+        self.opt = level;
+        self
     }
 
     /// Lowers every operation of every field. `dec_wire` maps an
@@ -166,10 +182,24 @@ impl<'m> DatapathBuilder<'m> {
             // (The overlay subtlety of the simulator does not arise in
             // hardware: side effects must not read action-written
             // state, which ISDL descriptions satisfy by recomputing.)
-            let stmts: Vec<&RStmt> = op.action.iter().chain(&op.side_effects).collect();
-            for s in stmts {
-                self.lower_stmt(s, &ctx);
+            // Each phase runs through the shared middle-end first —
+            // the same per-phase pipeline XSIM executes, so the
+            // netlist and the simulator lower identical RTL. Let
+            // temporaries are phase-scoped, hence the reset between
+            // phases.
+            let mut stats = isdl::opt::OptStats::default();
+            for raw in [&op.action, &op.side_effects] {
+                let stmts = if self.opt == isdl::opt::OptLevel::None {
+                    raw.clone() // true baseline: no work, zero stats
+                } else {
+                    isdl::opt::optimize_stmts(raw, self.opt, &mut stats)
+                };
+                self.tmps.clear();
+                for s in &stmts {
+                    self.lower_stmt(s, &ctx);
+                }
             }
+            self.out.opt_stats.merge(&stats);
         }
         self.out
     }
@@ -238,6 +268,17 @@ impl<'m> DatapathBuilder<'m> {
                     }
                 }
             }
+            RStmt::Let { tmp, rhs } => {
+                // CSE temporaries are pure and phase-scoped: lower the
+                // value once, materialise it as a named wire, and let
+                // every use reference that wire.
+                let v = self.lower_expr(rhs, ctx);
+                let v = self.as_net(v, rhs.width);
+                if self.tmps.len() <= *tmp {
+                    self.tmps.resize(*tmp + 1, None);
+                }
+                self.tmps[*tmp] = Some(v);
+            }
         }
     }
 
@@ -274,7 +315,7 @@ impl<'m> DatapathBuilder<'m> {
                             .clone()
                             .expect("sema checked assignable options");
                         b.lower_write(&inner, value.clone(), width, opt_ctx);
-                        VExpr::const_u64(0, 1) // unused for writes
+                        None // writes produce no value to mux
                     },
                 );
             }
@@ -342,18 +383,21 @@ impl<'m> DatapathBuilder<'m> {
             }
             RExprKind::Param(pi) => match ctx.binds[*pi].clone() {
                 ParamBind::Token(expr) => expr,
-                ParamBind::Nt { nt, positions, path, options_above, key } => self.expand_nt(
-                    nt,
-                    &positions,
-                    &path,
-                    &options_above,
-                    key,
-                    ctx,
-                    &mut |b, opt_ctx| {
-                        let value = opt_ctx.op.value.clone().expect("sema checked value exists");
-                        b.lower_expr(&value, opt_ctx)
-                    },
-                ),
+                ParamBind::Nt { nt, positions, path, options_above, key } => self
+                    .expand_nt(
+                        nt,
+                        &positions,
+                        &path,
+                        &options_above,
+                        key,
+                        ctx,
+                        &mut |b, opt_ctx| {
+                            let value =
+                                opt_ctx.op.value.clone().expect("sema checked value exists");
+                            Some(b.lower_expr(&value, opt_ctx))
+                        },
+                    )
+                    .expect("expression options produce values"),
             },
             RExprKind::Slice(inner, hi, lo) => {
                 let v = self.lower_expr(inner, ctx);
@@ -408,6 +452,12 @@ impl<'m> DatapathBuilder<'m> {
             RExprKind::Concat(parts) => {
                 VExpr::Concat(parts.iter().map(|p| self.lower_expr(p, ctx)).collect())
             }
+            RExprKind::Tmp(t) => self
+                .tmps
+                .get(*t)
+                .cloned()
+                .flatten()
+                .expect("optimizer binds temporaries before use"),
         }
     }
 
@@ -504,7 +554,9 @@ impl<'m> DatapathBuilder<'m> {
 
     /// Expands a non-terminal parameter: applies `per_option` for each
     /// option with a guard extended by the option's decode line, and
-    /// muxes the results (for expression use).
+    /// muxes the results. Write expansion yields no value per option
+    /// (the writes are pushed as a side effect), so the mux — and the
+    /// return value — exist only for expression use.
     #[allow(clippy::too_many_arguments)]
     fn expand_nt(
         &mut self,
@@ -514,8 +566,8 @@ impl<'m> DatapathBuilder<'m> {
         options_above: &[usize],
         key: u32,
         ctx: &Ctx<'_>,
-        per_option: &mut dyn FnMut(&mut Self, &Ctx<'_>) -> VExpr,
-    ) -> VExpr {
+        per_option: &mut dyn FnMut(&mut Self, &Ctx<'_>) -> Option<VExpr>,
+    ) -> Option<VExpr> {
         let ntd = &self.machine.nonterminals[nt.0];
         let mut arms: Vec<(VExpr, VExpr)> = Vec::new();
         for (oi, opt) in ntd.options.iter().enumerate() {
@@ -555,17 +607,18 @@ impl<'m> DatapathBuilder<'m> {
             nt_context.push((key, oi));
             let opt_ctx =
                 Ctx { op_ref: ctx.op_ref, op: opt, binds, guard, nt_context, latency: ctx.latency };
-            let value = per_option(self, &opt_ctx);
-            arms.push((line, value));
+            if let Some(value) = per_option(self, &opt_ctx) {
+                arms.push((line, value));
+            }
         }
-        // Mux the option values (meaningful only for expression use).
+        // Mux the option values; write expansion contributes none.
         let mut arms = arms.into_iter().rev();
-        let (_, last) = arms.next().expect("non-terminals have options");
+        let (_, last) = arms.next()?;
         let mut acc = last;
         for (line, value) in arms {
             acc = VExpr::cond(line, value, acc);
         }
-        acc
+        Some(acc)
     }
 }
 
@@ -662,6 +715,7 @@ fn collect_stmt_writes(machine: &Machine, s: &RStmt, op: &Operation, out: &mut V
                 collect_stmt_writes(machine, s, op, out);
             }
         }
+        RStmt::Let { .. } => {}
     }
 }
 
@@ -698,15 +752,10 @@ pub fn max_latency(machine: &Machine) -> u32 {
     machine.all_ops().map(|(_, o)| o.timing.latency).max().unwrap_or(1)
 }
 
-/// Unused import keeper for BitVector-based constants in tests.
-#[doc(hidden)]
-pub fn _bv(v: u64, w: u32) -> BitVector {
-    BitVector::from_u64(v, w)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bitv::BitVector;
     use isdl::samples::TOY;
 
     fn build_toy() -> (Machine, Datapath) {
@@ -789,5 +838,43 @@ mod tests {
     fn max_latency_toy() {
         let m = isdl::load(TOY).expect("loads");
         assert_eq!(max_latency(&m), 2);
+    }
+
+    #[test]
+    fn middle_end_runs_before_lowering() {
+        let m = isdl::load(TOY).expect("loads");
+        let m2 = Box::leak(Box::new(m));
+        let plan = Box::leak(Box::new(DecodePlan::new(m2)));
+        let dec = |r: OpRef| format!("dec_f{}_o{}", r.field.0, r.op);
+        let opt = DatapathBuilder::new(plan, "instr", DecodeStyle::TwoLevel)
+            .with_opt(isdl::opt::OptLevel::Aggressive)
+            .build(&dec);
+        let raw = DatapathBuilder::new(plan, "instr", DecodeStyle::TwoLevel)
+            .with_opt(isdl::opt::OptLevel::None)
+            .build(&dec);
+        assert!(opt.opt_stats.nodes_before > 0, "the optimizer saw the RTL");
+        assert_eq!(raw.opt_stats, isdl::opt::OptStats::default(), "level 0 reports no work");
+        assert!(
+            opt.nodes.len() <= raw.nodes.len(),
+            "optimization never adds shareable nodes: {} vs {}",
+            opt.nodes.len(),
+            raw.nodes.len()
+        );
+    }
+
+    #[test]
+    fn no_dummy_operand_reaches_the_datapath() {
+        // Write expansion used to thread a fake 1-bit zero through the
+        // option mux; the sharing pass must only ever see real
+        // operands.
+        let (_, dp) = build_toy();
+        let dummy = VExpr::Const(BitVector::from_u64(0, 1));
+        for n in &dp.nodes {
+            assert_ne!(n.a, dummy, "node operand is a placeholder");
+            assert_ne!(n.b.as_ref(), Some(&dummy), "node operand is a placeholder");
+        }
+        for w in &dp.writes {
+            assert_ne!(w.value, dummy, "write value is a placeholder");
+        }
     }
 }

@@ -37,6 +37,8 @@ pub struct EmitStats {
     pub units: usize,
     /// Units saved by sharing (nodes − units).
     pub units_saved: usize,
+    /// RTL middle-end counters from the pre-lowering optimization.
+    pub opt: isdl::opt::OptStats,
 }
 
 /// Emits the hardware model of `machine`.
@@ -50,6 +52,7 @@ pub fn emit(
     machine: &Machine,
     decode_style: DecodeStyle,
     share_opts: ShareOptions,
+    opt: isdl::opt::OptLevel,
 ) -> (VModule, EmitStats) {
     let plan = DecodePlan::new(machine);
     let mut m = VModule::new(sanitize(&machine.name));
@@ -104,7 +107,7 @@ pub fn emit(
     }
 
     // ---- datapath lowering ----
-    let builder = crate::datapath::DatapathBuilder::new(&plan, "instr", decode_style);
+    let builder = crate::datapath::DatapathBuilder::new(&plan, "instr", decode_style).with_opt(opt);
     let dp = builder.build(&|r| dec_name(r));
     for (name, width, expr) in &dp.aux {
         m.add_wire(name, *width);
@@ -173,6 +176,7 @@ pub fn emit(
         nodes: dp.nodes.len(),
         units: splan.unit_count(),
         units_saved: splan.units_saved(),
+        opt: dp.opt_stats.clone(),
     };
     let mut emitter = UnitEmitter { m: &mut m, machine, aux: 0 };
     for (u, group) in splan.groups.iter().enumerate() {
@@ -553,7 +557,12 @@ mod tests {
     #[test]
     fn toy_module_elaborates() {
         let m = isdl::load(TOY).expect("loads");
-        let (module, stats) = emit(&m, DecodeStyle::TwoLevel, ShareOptions::default());
+        let (module, stats) = emit(
+            &m,
+            DecodeStyle::TwoLevel,
+            ShareOptions::default(),
+            isdl::opt::OptLevel::default(),
+        );
         assert!(stats.nodes > 0);
         assert!(stats.units <= stats.nodes);
         let nl = Netlist::elaborate(&module);
@@ -563,7 +572,12 @@ mod tests {
     #[test]
     fn acc16_module_elaborates() {
         let m = isdl::load(ACC16).expect("loads");
-        let (module, _) = emit(&m, DecodeStyle::TwoLevel, ShareOptions::default());
+        let (module, _) = emit(
+            &m,
+            DecodeStyle::TwoLevel,
+            ShareOptions::default(),
+            isdl::opt::OptLevel::default(),
+        );
         let nl = Netlist::elaborate(&module);
         assert!(nl.is_ok(), "elaboration failed: {:?}", nl.err());
         let text = module.to_verilog();
@@ -574,11 +588,17 @@ mod tests {
     #[test]
     fn sharing_reduces_units() {
         let m = isdl::load(TOY).expect("loads");
-        let (_, with) = emit(&m, DecodeStyle::TwoLevel, ShareOptions::default());
+        let (_, with) = emit(
+            &m,
+            DecodeStyle::TwoLevel,
+            ShareOptions::default(),
+            isdl::opt::OptLevel::default(),
+        );
         let (_, without) = emit(
             &m,
             DecodeStyle::TwoLevel,
             ShareOptions { enabled: false, ..ShareOptions::default() },
+            isdl::opt::OptLevel::default(),
         );
         assert!(with.units < without.units, "{} !< {}", with.units, without.units);
         assert_eq!(without.units_saved, 0);

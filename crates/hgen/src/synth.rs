@@ -17,6 +17,10 @@ pub struct HgenOptions {
     pub decode: DecodeStyle,
     /// Resource-sharing configuration.
     pub share: ShareOptions,
+    /// RTL middle-end level applied before lowering ([`isdl::opt`]).
+    /// The generated netlist stays functionally equivalent at every
+    /// level; `OptLevel::None` is the differential baseline.
+    pub opt: isdl::opt::OptLevel,
 }
 
 /// The result of synthesizing one machine.
@@ -50,7 +54,7 @@ pub struct HgenResult {
 /// Panics if the machine has no program counter or instruction memory.
 pub fn synthesize(machine: &Machine, options: HgenOptions) -> Result<HgenResult, VlogError> {
     let start = Instant::now();
-    let (module, stats) = emit(machine, options.decode, options.share);
+    let (module, stats) = emit(machine, options.decode, options.share, options.opt);
     let verilog = module.to_verilog();
     let report = tech::analyze(&module)?;
     let synthesis_time_s = start.elapsed().as_secs_f64();

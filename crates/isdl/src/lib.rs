@@ -67,6 +67,7 @@ pub mod error;
 pub mod lexer;
 pub mod lint;
 pub mod model;
+pub mod opt;
 pub mod parser;
 pub mod printer;
 pub mod rtl;

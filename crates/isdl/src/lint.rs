@@ -173,6 +173,7 @@ fn collect_lv_storages(s: &RStmt, touched: &mut HashSet<usize>) {
                 collect_lv_storages(s, touched);
             }
         }
+        RStmt::Let { .. } => {}
     }
 }
 

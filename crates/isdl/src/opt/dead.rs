@@ -1,0 +1,101 @@
+//! Dead-write elimination.
+//!
+//! Within one phase, reads observe cycle-start state and staged
+//! writes commit in statement order with later writes winning. An
+//! unconditional write is therefore dead — removable without any
+//! observable difference in architectural state — when a later
+//! unconditional write in the same statement list targets the same
+//! destination and covers at least the same bit range. Index
+//! expressions are pure, so syntactically equal destinations are
+//! dynamically equal destinations.
+//!
+//! Writes nested under an `If` neither kill nor are killed across the
+//! scope boundary: the guard may differ between the two writes.
+
+use super::OptStats;
+use crate::rtl::{RExpr, RLvalue, RStmt, StorageId};
+
+/// Removes provably shadowed writes; recurses into `If` bodies, each
+/// of which is its own scope.
+pub(super) fn eliminate(stmts: Vec<RStmt>, st: &mut OptStats, changed: &mut bool) -> Vec<RStmt> {
+    let stmts: Vec<RStmt> = stmts
+        .into_iter()
+        .map(|s| match s {
+            RStmt::If { cond, then_body, else_body } => RStmt::If {
+                cond,
+                then_body: eliminate(then_body, st, changed),
+                else_body: eliminate(else_body, st, changed),
+            },
+            other => other,
+        })
+        .collect();
+
+    let keys: Vec<Option<WriteKey<'_>>> = stmts.iter().map(write_key).collect();
+    let mut keep = vec![true; stmts.len()];
+    for i in 0..stmts.len() {
+        let Some(ki) = &keys[i] else { continue };
+        for kj in keys.iter().skip(i + 1).flatten() {
+            if kj.covers(ki) {
+                keep[i] = false;
+                st.dead_writes += 1;
+                *changed = true;
+                break;
+            }
+        }
+    }
+    let mut keep = keep.into_iter();
+    stmts.into_iter().filter(|_| keep.next().unwrap_or(true)).collect()
+}
+
+/// Where a write lands: the destination root plus the bit range
+/// relative to it (`None` = the whole destination).
+struct WriteKey<'a> {
+    base: BaseKey<'a>,
+    range: Option<(u32, u32)>,
+}
+
+#[derive(PartialEq)]
+enum BaseKey<'a> {
+    Storage(StorageId),
+    Indexed(StorageId, &'a RExpr),
+    Param(usize),
+}
+
+impl WriteKey<'_> {
+    /// Does a write to `self` fully overwrite a write to `earlier`?
+    fn covers(&self, earlier: &WriteKey<'_>) -> bool {
+        if self.base != earlier.base {
+            return false;
+        }
+        match (&self.range, &earlier.range) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some((hi, lo)), Some((ehi, elo))) => hi >= ehi && lo <= elo,
+        }
+    }
+}
+
+fn write_key(s: &RStmt) -> Option<WriteKey<'_>> {
+    if let RStmt::Assign { lv, .. } = s {
+        lvalue_key(lv)
+    } else {
+        None
+    }
+}
+
+fn lvalue_key(lv: &RLvalue) -> Option<WriteKey<'_>> {
+    match lv {
+        RLvalue::Storage(id) => Some(WriteKey { base: BaseKey::Storage(*id), range: None }),
+        RLvalue::StorageIndexed(id, idx) => {
+            Some(WriteKey { base: BaseKey::Indexed(*id, idx), range: None })
+        }
+        RLvalue::Param(p) => Some(WriteKey { base: BaseKey::Param(*p), range: None }),
+        RLvalue::Slice { base, hi, lo } => {
+            let inner = lvalue_key(base)?;
+            // Bit positions accumulate relative to the slice chain's
+            // root, matching l-value resolution in the executor.
+            let off = inner.range.map_or(0, |(_, l)| l);
+            Some(WriteKey { base: inner.base, range: Some((off + hi, off + lo)) })
+        }
+    }
+}

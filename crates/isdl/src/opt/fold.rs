@@ -1,0 +1,448 @@
+//! Simplification: bit-true constant folding, algebraic identities,
+//! and no-op width-conversion removal.
+//!
+//! This file is also the single source of truth for RTL *evaluation
+//! semantics*: [`eval_binop`], [`eval_unop`], and [`eval_ext`] define
+//! what every operator means on [`bitv::BitVector`] values. The
+//! simulator cores delegate to these, so the folder can never drift
+//! from the interpreter.
+
+use super::{narrow, OptStats};
+use crate::ast::{BinOp, ExtKind, UnOp};
+use crate::rtl::{RExpr, RExprKind, RLvalue, RStmt};
+use bitv::BitVector;
+
+/// Applies a binary RTL operator to two values of equal width
+/// (except shifts, where `b` supplies only the amount).
+///
+/// Total on all inputs: division and remainder by zero are defined
+/// (quotient all-ones, remainder = dividend, per `bitv`), which is
+/// what licenses speculative evaluation under optimization.
+#[must_use]
+pub fn eval_binop(op: BinOp, a: &BitVector, b: &BitVector) -> BitVector {
+    use BinOp::*;
+    match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        UDiv => a.unsigned_div(b),
+        URem => a.unsigned_rem(b),
+        SDiv => a.signed_div(b),
+        SRem => a.signed_rem(b),
+        And => a.and(b),
+        Or => a.or(b),
+        Xor => a.xor(b),
+        Shl => a.shl(shift_amount(b)),
+        Lshr => a.lshr(shift_amount(b)),
+        Ashr => a.ashr(shift_amount(b)),
+        Eq => BitVector::from_bool(a == b),
+        Ne => BitVector::from_bool(a != b),
+        Ult => BitVector::from_bool(a.cmp_unsigned(b).is_lt()),
+        Ule => BitVector::from_bool(a.cmp_unsigned(b).is_le()),
+        Slt => BitVector::from_bool(a.cmp_signed(b).is_lt()),
+        Sle => BitVector::from_bool(a.cmp_signed(b).is_le()),
+        LAnd => BitVector::from_bool(!a.is_zero() && !b.is_zero()),
+        LOr => BitVector::from_bool(!a.is_zero() || !b.is_zero()),
+    }
+}
+
+/// Applies a unary RTL operator.
+#[must_use]
+pub fn eval_unop(op: UnOp, v: &BitVector) -> BitVector {
+    match op {
+        UnOp::Neg => v.wrapping_neg(),
+        UnOp::Not => v.not(),
+        UnOp::LNot => BitVector::from_bool(v.is_zero()),
+    }
+}
+
+/// Applies a width conversion to `width` bits.
+#[must_use]
+pub fn eval_ext(kind: ExtKind, v: &BitVector, width: u32) -> BitVector {
+    match kind {
+        ExtKind::Zext => v.zext(width),
+        ExtKind::Sext => v.sext(width),
+        ExtKind::Trunc => v.trunc(width),
+    }
+}
+
+fn shift_amount(b: &BitVector) -> u32 {
+    b.to_u64().map_or(u32::MAX, |v| u32::try_from(v).unwrap_or(u32::MAX))
+}
+
+/// One simplification sweep over a statement list. Sets `changed`
+/// when any rewrite fired; the driver iterates to a fixpoint.
+pub(super) fn simplify_stmts(stmts: &[RStmt], st: &mut OptStats, changed: &mut bool) -> Vec<RStmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        simplify_stmt(s, &mut out, st, changed);
+    }
+    out
+}
+
+fn simplify_stmt(s: &RStmt, out: &mut Vec<RStmt>, st: &mut OptStats, changed: &mut bool) {
+    match s {
+        RStmt::Assign { lv, rhs } => out.push(RStmt::Assign {
+            lv: simplify_lvalue(lv, st, changed),
+            rhs: simplify(rhs, st, changed),
+        }),
+        RStmt::If { cond, then_body, else_body } => {
+            let cond = simplify(cond, st, changed);
+            if let RExprKind::Lit(v) = &cond.kind {
+                // The guard is static: splice the taken arm in place.
+                st.folded += 1;
+                *changed = true;
+                let body = if v.is_zero() { else_body } else { then_body };
+                for inner in body {
+                    simplify_stmt(inner, out, st, changed);
+                }
+                return;
+            }
+            let then_body = simplify_stmts(then_body, st, changed);
+            let else_body = simplify_stmts(else_body, st, changed);
+            if then_body.is_empty() && else_body.is_empty() {
+                // Both arms are empty and the guard is pure: nothing
+                // can happen.
+                st.algebraic += 1;
+                *changed = true;
+                return;
+            }
+            out.push(RStmt::If { cond, then_body, else_body });
+        }
+        RStmt::Let { tmp, rhs } => {
+            out.push(RStmt::Let { tmp: *tmp, rhs: simplify(rhs, st, changed) });
+        }
+    }
+}
+
+fn simplify_lvalue(lv: &RLvalue, st: &mut OptStats, changed: &mut bool) -> RLvalue {
+    match lv {
+        RLvalue::StorageIndexed(id, idx) => {
+            RLvalue::StorageIndexed(*id, simplify(idx, st, changed))
+        }
+        RLvalue::Slice { base, hi, lo } => {
+            RLvalue::Slice { base: Box::new(simplify_lvalue(base, st, changed)), hi: *hi, lo: *lo }
+        }
+        RLvalue::Storage(_) | RLvalue::Param(_) => lv.clone(),
+    }
+}
+
+/// Bottom-up expression simplification.
+pub(super) fn simplify(e: &RExpr, st: &mut OptStats, changed: &mut bool) -> RExpr {
+    let w = e.width;
+    match &e.kind {
+        RExprKind::Lit(_) | RExprKind::Storage(_) | RExprKind::Param(_) | RExprKind::Tmp(_) => {
+            e.clone()
+        }
+        RExprKind::StorageIndexed(id, idx) => RExpr {
+            kind: RExprKind::StorageIndexed(*id, Box::new(simplify(idx, st, changed))),
+            width: w,
+        },
+        RExprKind::Slice(inner, hi, lo) => {
+            let inner = simplify(inner, st, changed);
+            let (hi, lo) = (*hi, *lo);
+            if let RExprKind::Lit(v) = &inner.kind {
+                st.folded += 1;
+                *changed = true;
+                return RExpr::lit(v.slice(hi, lo));
+            }
+            if lo == 0 && hi == inner.width - 1 {
+                // Full-width slice is the identity.
+                st.ext_removed += 1;
+                *changed = true;
+                return inner;
+            }
+            if let RExprKind::Slice(base, _, l2) = &inner.kind {
+                // x[h2:l2][hi:lo] = x[l2+hi : l2+lo].
+                st.algebraic += 1;
+                *changed = true;
+                return RExpr { kind: RExprKind::Slice(base.clone(), l2 + hi, l2 + lo), width: w };
+            }
+            if lo == 0 {
+                if let Some(n) = narrow::narrow(&inner, hi + 1, st) {
+                    *changed = true;
+                    return n;
+                }
+            }
+            RExpr { kind: RExprKind::Slice(Box::new(inner), hi, lo), width: w }
+        }
+        RExprKind::Unary(op, inner) => {
+            let inner = simplify(inner, st, changed);
+            if let RExprKind::Lit(v) = &inner.kind {
+                st.folded += 1;
+                *changed = true;
+                return RExpr::lit(eval_unop(*op, v));
+            }
+            if let RExprKind::Unary(op2, x) = &inner.kind {
+                let cancels = matches!((op, op2), (UnOp::Neg, UnOp::Neg) | (UnOp::Not, UnOp::Not));
+                if cancels {
+                    st.algebraic += 1;
+                    *changed = true;
+                    return (**x).clone();
+                }
+            }
+            RExpr { kind: RExprKind::Unary(*op, Box::new(inner)), width: w }
+        }
+        RExprKind::Binary(op, a, b) => {
+            let a = simplify(a, st, changed);
+            let b = simplify(b, st, changed);
+            if let (RExprKind::Lit(x), RExprKind::Lit(y)) = (&a.kind, &b.kind) {
+                let v = eval_binop(*op, x, y);
+                debug_assert_eq!(v.width(), w, "sema guarantees operator result widths");
+                if v.width() == w {
+                    st.folded += 1;
+                    *changed = true;
+                    return RExpr::lit(v);
+                }
+            }
+            if let Some(r) = algebraic(*op, &a, &b, w, st) {
+                *changed = true;
+                return r;
+            }
+            RExpr { kind: RExprKind::Binary(*op, Box::new(a), Box::new(b)), width: w }
+        }
+        RExprKind::Cond(c, t, f) => {
+            let c = simplify(c, st, changed);
+            let t = simplify(t, st, changed);
+            let f = simplify(f, st, changed);
+            if let RExprKind::Lit(v) = &c.kind {
+                st.folded += 1;
+                *changed = true;
+                return if v.is_zero() { f } else { t };
+            }
+            if t == f {
+                // Both arms equal and the guard is pure.
+                st.algebraic += 1;
+                *changed = true;
+                return t;
+            }
+            RExpr { kind: RExprKind::Cond(Box::new(c), Box::new(t), Box::new(f)), width: w }
+        }
+        RExprKind::Ext(kind, inner) => {
+            let inner = simplify(inner, st, changed);
+            if let RExprKind::Lit(v) = &inner.kind {
+                st.folded += 1;
+                *changed = true;
+                return RExpr::lit(eval_ext(*kind, v, w));
+            }
+            if inner.width == w {
+                // Converting to the width we already have.
+                st.ext_removed += 1;
+                *changed = true;
+                return inner;
+            }
+            match kind {
+                ExtKind::Trunc => {
+                    if let Some(n) = narrow::narrow(&inner, w, st) {
+                        *changed = true;
+                        return n;
+                    }
+                }
+                ExtKind::Zext | ExtKind::Sext => {
+                    if let RExprKind::Ext(k2, x) = &inner.kind {
+                        // zext∘zext and sext∘sext collapse; sext of a
+                        // zext that already widened has a zero sign
+                        // bit, so it is a zext.
+                        let collapsed = match (kind, k2) {
+                            (ExtKind::Zext, ExtKind::Zext) => Some(ExtKind::Zext),
+                            (ExtKind::Sext, ExtKind::Sext) => Some(ExtKind::Sext),
+                            (ExtKind::Sext, ExtKind::Zext) if inner.width > x.width => {
+                                Some(ExtKind::Zext)
+                            }
+                            _ => None,
+                        };
+                        if let Some(k) = collapsed {
+                            st.ext_removed += 1;
+                            *changed = true;
+                            return RExpr { kind: RExprKind::Ext(k, x.clone()), width: w };
+                        }
+                    }
+                }
+            }
+            RExpr { kind: RExprKind::Ext(*kind, Box::new(inner)), width: w }
+        }
+        RExprKind::Concat(parts) => {
+            let parts: Vec<RExpr> = parts.iter().map(|p| simplify(p, st, changed)).collect();
+            if let [only] = parts.as_slice() {
+                st.ext_removed += 1;
+                *changed = true;
+                return only.clone();
+            }
+            let all_lit =
+                !parts.is_empty() && parts.iter().all(|p| matches!(p.kind, RExprKind::Lit(_)));
+            if all_lit {
+                let mut acc: Option<BitVector> = None;
+                for p in &parts {
+                    if let RExprKind::Lit(v) = &p.kind {
+                        acc = Some(match acc {
+                            None => v.clone(),
+                            Some(hi) => hi.concat(v),
+                        });
+                    }
+                }
+                if let Some(v) = acc {
+                    st.folded += 1;
+                    *changed = true;
+                    return RExpr::lit(v);
+                }
+            }
+            RExpr { kind: RExprKind::Concat(parts), width: w }
+        }
+    }
+}
+
+/// Identity and absorption rewrites for a binary operator whose
+/// operands are already simplified. Returns `None` when nothing fires.
+fn algebraic(op: BinOp, a: &RExpr, b: &RExpr, w: u32, st: &mut OptStats) -> Option<RExpr> {
+    use BinOp::*;
+    let hit = |st: &mut OptStats, e: RExpr| {
+        st.algebraic += 1;
+        Some(e)
+    };
+    let zero = |st: &mut OptStats| {
+        st.algebraic += 1;
+        Some(RExpr::lit(BitVector::zero(w)))
+    };
+    let bit = |st: &mut OptStats, v: bool| {
+        st.algebraic += 1;
+        Some(RExpr::lit(BitVector::from_bool(v)))
+    };
+    match op {
+        Add => {
+            if is_zero_lit(b) {
+                return hit(st, a.clone());
+            }
+            if is_zero_lit(a) {
+                return hit(st, b.clone());
+            }
+        }
+        Sub => {
+            if is_zero_lit(b) {
+                return hit(st, a.clone());
+            }
+            if a == b {
+                return zero(st);
+            }
+        }
+        Mul => {
+            if is_zero_lit(a) || is_zero_lit(b) {
+                return zero(st);
+            }
+            if is_one_lit(b) {
+                return hit(st, a.clone());
+            }
+            if is_one_lit(a) {
+                return hit(st, b.clone());
+            }
+        }
+        And => {
+            if is_zero_lit(a) || is_zero_lit(b) {
+                return zero(st);
+            }
+            if is_ones_lit(b) || a == b {
+                return hit(st, a.clone());
+            }
+            if is_ones_lit(a) {
+                return hit(st, b.clone());
+            }
+        }
+        Or => {
+            if is_ones_lit(a) || is_ones_lit(b) {
+                st.algebraic += 1;
+                return Some(RExpr::lit(BitVector::all_ones(w)));
+            }
+            if is_zero_lit(b) || a == b {
+                return hit(st, a.clone());
+            }
+            if is_zero_lit(a) {
+                return hit(st, b.clone());
+            }
+        }
+        Xor => {
+            if a == b {
+                return zero(st);
+            }
+            if is_zero_lit(b) {
+                return hit(st, a.clone());
+            }
+            if is_zero_lit(a) {
+                return hit(st, b.clone());
+            }
+        }
+        Shl | Lshr => {
+            if let Some(n) = lit_u64(b) {
+                if n == 0 {
+                    return hit(st, a.clone());
+                }
+                if n >= u64::from(w) {
+                    return zero(st);
+                }
+            }
+        }
+        Ashr => {
+            if lit_u64(b) == Some(0) {
+                return hit(st, a.clone());
+            }
+        }
+        UDiv => {
+            if is_one_lit(b) {
+                return hit(st, a.clone());
+            }
+        }
+        URem => {
+            if is_one_lit(b) {
+                return zero(st);
+            }
+        }
+        Eq => {
+            if a == b {
+                return bit(st, true);
+            }
+        }
+        Ne => {
+            if a == b {
+                return bit(st, false);
+            }
+        }
+        LAnd => {
+            if is_zero_lit(a) || is_zero_lit(b) {
+                return bit(st, false);
+            }
+        }
+        LOr => {
+            if is_nonzero_lit(a) || is_nonzero_lit(b) {
+                return bit(st, true);
+            }
+        }
+        SDiv | SRem | Ult | Ule | Slt | Sle => {}
+    }
+    None
+}
+
+fn as_lit(e: &RExpr) -> Option<&BitVector> {
+    if let RExprKind::Lit(v) = &e.kind {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn is_zero_lit(e: &RExpr) -> bool {
+    as_lit(e).is_some_and(BitVector::is_zero)
+}
+
+fn is_nonzero_lit(e: &RExpr) -> bool {
+    as_lit(e).is_some_and(|v| !v.is_zero())
+}
+
+fn is_one_lit(e: &RExpr) -> bool {
+    as_lit(e).and_then(BitVector::to_u64) == Some(1)
+}
+
+fn is_ones_lit(e: &RExpr) -> bool {
+    as_lit(e).is_some_and(|v| *v == BitVector::all_ones(v.width()))
+}
+
+fn lit_u64(e: &RExpr) -> Option<u64> {
+    as_lit(e).and_then(BitVector::to_u64)
+}

@@ -1,0 +1,421 @@
+//! Optimizing RTL middle-end shared by every backend.
+//!
+//! The paper's methodology hinges on one machine description driving
+//! every generated tool; this module is the matching single *lowering*
+//! point. XSIM's tree-walking core, the bytecode compiler, and HGEN's
+//! datapath builder all feed operation RTL through [`optimize_stmts`]
+//! before consuming it, so a redundancy removed here disappears from
+//! the hot simulation loop *and* the emitted netlist at once.
+//!
+//! # Passes
+//!
+//! In order, at [`OptLevel::Basic`] and above:
+//!
+//! 1. **Simplify** ([`mod@fold`]): bit-true constant folding over
+//!    [`bitv::BitVector`], algebraic identities (`x+0`, `x&0`,
+//!    `x|ones`, shift-by-constant, conditionals with literal guards),
+//!    no-op width-conversion removal, and width narrowing — a
+//!    truncation distributes through `+ - * & | ^ << ~ neg`, so
+//!    over-wide intermediates shrink to the width actually consumed.
+//! 2. **Dead-write elimination** ([`mod@dead`]): a staged write
+//!    provably overwritten later in the same phase is dropped.
+//!    Within a phase reads see cycle-start state, so an intervening
+//!    read never observes the dropped write.
+//!
+//! Steps 1–2 repeat to a small fixpoint. At [`OptLevel::Aggressive`]
+//! a final pass runs:
+//!
+//! 3. **Common-subexpression elimination** ([`mod@cse`]): repeated
+//!    subexpressions within one phase are hoisted into
+//!    [`RStmt::Let`] temporaries referenced via [`RExprKind::Tmp`].
+//!
+//! # Invariants
+//!
+//! * Optimized and unoptimized RTL are **bit-identical** under
+//!   execution: same architectural state, same cycle count, on every
+//!   machine and program. The differential suite
+//!   (`tests/opt_differential.rs`) enforces this across the sample
+//!   machines for both XSIM cores and the HGEN netlist simulator.
+//! * RTL expressions are pure and total (division by zero is defined:
+//!   quotient all-ones, remainder = dividend), which is what makes
+//!   hoisting out of conditional arms and dropping shadowed writes
+//!   semantics-preserving.
+//! * The machine description itself is never rewritten — consumers
+//!   optimize their own view, so the canonical printed form (and with
+//!   it exploration cache keys, round-trip tests, and hazard analysis)
+//!   is untouched.
+//! * The event trace is *not* part of the invariant: eliminating a
+//!   dead write removes its `TraceWrite` event.
+
+#![deny(clippy::unwrap_used)]
+
+mod cse;
+mod dead;
+mod fold;
+mod narrow;
+
+pub use fold::{eval_binop, eval_ext, eval_unop};
+
+use crate::rtl::RStmt;
+
+/// How hard the middle-end works.
+///
+/// Parsed from `--opt=0|1|2`; the default is [`OptLevel::Aggressive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OptLevel {
+    /// Pass RTL through untouched (`--opt=0`). The differential
+    /// baseline.
+    None,
+    /// Folding, algebraic simplification, no-op-ext removal, width
+    /// narrowing, and dead-write elimination (`--opt=1`).
+    Basic,
+    /// Everything in [`OptLevel::Basic`] plus common-subexpression
+    /// elimination (`--opt=2`, the default).
+    #[default]
+    Aggressive,
+}
+
+impl OptLevel {
+    /// Parses a CLI spelling: `0`/`none`, `1`/`basic`, `2`/`full`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "0" | "none" => Some(Self::None),
+            "1" | "basic" => Some(Self::Basic),
+            "2" | "full" | "aggressive" => Some(Self::Aggressive),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = match self {
+            Self::None => 0,
+            Self::Basic => 1,
+            Self::Aggressive => 2,
+        };
+        write!(f, "{n}")
+    }
+}
+
+/// Counters describing what the pipeline did. Accumulated across
+/// every phase a consumer optimizes; exported by XSIM under the
+/// `"opt"` object of `xsim-stats/1` and surfaced by HGEN in its
+/// synthesis report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Expression nodes over all statements before optimization.
+    pub nodes_before: u64,
+    /// Expression nodes after optimization (Let right-hand sides and
+    /// `Tmp` references included).
+    pub nodes_after: u64,
+    /// Subtrees replaced by literals (constant folding, including
+    /// statically decided `If`/`Cond` guards).
+    pub folded: u64,
+    /// Algebraic identity rewrites (`x+0`, `x&x`, slice-of-slice, …).
+    pub algebraic: u64,
+    /// No-op width conversions and full-width slices removed.
+    pub ext_removed: u64,
+    /// Operators rebuilt at a smaller width by the narrowing pass.
+    pub narrowed: u64,
+    /// Evaluations saved by temp reuse: for a subexpression occurring
+    /// `n` times, `n - 1` hits.
+    pub cse_hits: u64,
+    /// Staged writes dropped because a later write in the same phase
+    /// provably overwrites them.
+    pub dead_writes: u64,
+}
+
+impl OptStats {
+    /// Net expression-node reduction.
+    #[must_use]
+    pub fn nodes_eliminated(&self) -> u64 {
+        self.nodes_before.saturating_sub(self.nodes_after)
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        self.nodes_before += other.nodes_before;
+        self.nodes_after += other.nodes_after;
+        self.folded += other.folded;
+        self.algebraic += other.algebraic;
+        self.ext_removed += other.ext_removed;
+        self.narrowed += other.narrowed;
+        self.cse_hits += other.cse_hits;
+        self.dead_writes += other.dead_writes;
+    }
+}
+
+/// Bound on the simplify/dead-write fixpoint iteration. Each pass is
+/// monotone (nodes shrink or stay), so this is a safety rail, not a
+/// tuning knob.
+const MAX_PASSES: usize = 4;
+
+/// Runs the pipeline over one phase's statement list and returns the
+/// optimized statements. `stats` is *accumulated into* (merged), so a
+/// consumer can thread one accumulator through every phase it
+/// optimizes.
+///
+/// At [`OptLevel::None`] the input is cloned untouched and only the
+/// node counters are recorded.
+#[must_use]
+pub fn optimize_stmts(stmts: &[RStmt], level: OptLevel, stats: &mut OptStats) -> Vec<RStmt> {
+    let mut local = OptStats { nodes_before: count_nodes(stmts), ..OptStats::default() };
+    let mut out: Vec<RStmt> = stmts.to_vec();
+    if level >= OptLevel::Basic {
+        for _ in 0..MAX_PASSES {
+            let mut changed = false;
+            out = fold::simplify_stmts(&out, &mut local, &mut changed);
+            out = dead::eliminate(out, &mut local, &mut changed);
+            if !changed {
+                break;
+            }
+        }
+        if level >= OptLevel::Aggressive {
+            out = cse::hoist(out, &mut local);
+        }
+    }
+    local.nodes_after = count_nodes(&out);
+    stats.merge(&local);
+    out
+}
+
+/// Counts expression nodes over a statement list (right-hand sides,
+/// conditions, and l-value index expressions).
+#[must_use]
+pub fn count_nodes(stmts: &[RStmt]) -> u64 {
+    let mut n = 0u64;
+    for s in stmts {
+        s.walk_exprs(&mut |_| n += 1);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::ast::{BinOp, ExtKind, UnOp};
+    use crate::rtl::{RExpr, RExprKind, RLvalue, StorageId};
+    use bitv::BitVector;
+
+    fn lit(v: u64, w: u32) -> RExpr {
+        RExpr::lit(BitVector::from_u64(v, w))
+    }
+
+    fn st(id: usize, w: u32) -> RExpr {
+        RExpr { kind: RExprKind::Storage(StorageId(id)), width: w }
+    }
+
+    fn bin(op: BinOp, a: RExpr, b: RExpr, w: u32) -> RExpr {
+        RExpr { kind: RExprKind::Binary(op, Box::new(a), Box::new(b)), width: w }
+    }
+
+    fn assign(id: usize, rhs: RExpr) -> RStmt {
+        RStmt::Assign { lv: RLvalue::Storage(StorageId(id)), rhs }
+    }
+
+    fn opt(stmts: &[RStmt], level: OptLevel) -> (Vec<RStmt>, OptStats) {
+        let mut s = OptStats::default();
+        let out = optimize_stmts(stmts, level, &mut s);
+        (out, s)
+    }
+
+    #[test]
+    fn folds_constants_bit_true() {
+        let e = bin(BinOp::Add, lit(0xFF, 8), lit(1, 8), 8);
+        let (out, s) = opt(&[assign(0, e)], OptLevel::Basic);
+        match &out[..] {
+            [RStmt::Assign { rhs, .. }] => {
+                assert_eq!(rhs, &lit(0, 8), "0xFF + 1 wraps at width 8");
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert!(s.folded >= 1);
+        assert!(s.nodes_eliminated() >= 2);
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let x = st(0, 16);
+        let cases = [
+            bin(BinOp::Add, x.clone(), lit(0, 16), 16),
+            bin(BinOp::Or, x.clone(), lit(0, 16), 16),
+            bin(BinOp::Xor, x.clone(), lit(0, 16), 16),
+            bin(BinOp::And, x.clone(), lit(0xFFFF, 16), 16),
+            bin(BinOp::Mul, x.clone(), lit(1, 16), 16),
+            bin(BinOp::Shl, x.clone(), lit(0, 4), 16),
+        ];
+        for c in cases {
+            let (out, _) = opt(&[assign(0, c.clone())], OptLevel::Basic);
+            match &out[..] {
+                [RStmt::Assign { rhs, .. }] => assert_eq!(rhs, &x, "identity on {c:?}"),
+                other => panic!("unexpected shape {other:?}"),
+            }
+        }
+        // Absorbing cases.
+        let zero = [
+            bin(BinOp::And, x.clone(), lit(0, 16), 16),
+            bin(BinOp::Mul, x.clone(), lit(0, 16), 16),
+            bin(BinOp::Sub, x.clone(), x.clone(), 16),
+            bin(BinOp::Xor, x.clone(), x.clone(), 16),
+            bin(BinOp::Shl, x.clone(), lit(16, 8), 16),
+        ];
+        for c in zero {
+            let (out, _) = opt(&[assign(0, c.clone())], OptLevel::Basic);
+            match &out[..] {
+                [RStmt::Assign { rhs, .. }] => assert_eq!(rhs, &lit(0, 16), "zero on {c:?}"),
+                other => panic!("unexpected shape {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn static_if_is_flattened() {
+        let body = assign(0, st(1, 8));
+        let s = RStmt::If {
+            cond: bin(BinOp::Eq, lit(3, 4), lit(3, 4), 1),
+            then_body: vec![body.clone()],
+            else_body: vec![assign(0, lit(9, 8))],
+        };
+        let (out, stats) = opt(&[s], OptLevel::Basic);
+        assert_eq!(out, vec![body]);
+        assert!(stats.folded >= 1);
+    }
+
+    #[test]
+    fn noop_ext_removed_and_exts_collapse() {
+        let x = st(0, 8);
+        let same = RExpr { kind: RExprKind::Ext(ExtKind::Zext, Box::new(x.clone())), width: 8 };
+        let (out, s) = opt(&[assign(0, same)], OptLevel::Basic);
+        match &out[..] {
+            [RStmt::Assign { rhs, .. }] => assert_eq!(rhs, &x),
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert_eq!(s.ext_removed, 1);
+
+        let zz = RExpr {
+            kind: RExprKind::Ext(
+                ExtKind::Zext,
+                Box::new(RExpr {
+                    kind: RExprKind::Ext(ExtKind::Zext, Box::new(x.clone())),
+                    width: 16,
+                }),
+            ),
+            width: 32,
+        };
+        let (out, _) = opt(&[assign(1, zz)], OptLevel::Basic);
+        match &out[..] {
+            [RStmt::Assign { rhs, .. }] => {
+                assert_eq!(
+                    rhs,
+                    &RExpr { kind: RExprKind::Ext(ExtKind::Zext, Box::new(x)), width: 32 }
+                );
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn narrowing_shrinks_a_wide_multiply() {
+        // trunc(zext(a, 128) * zext(b, 128), 16): only the low 16 bits
+        // are consumed, so the multiply must drop to width 16.
+        let a = st(0, 16);
+        let b = st(1, 16);
+        let wide =
+            |e: RExpr| RExpr { kind: RExprKind::Ext(ExtKind::Zext, Box::new(e)), width: 128 };
+        let product = bin(BinOp::Mul, wide(a.clone()), wide(b.clone()), 128);
+        let narrow = RExpr { kind: RExprKind::Ext(ExtKind::Trunc, Box::new(product)), width: 16 };
+        let (out, s) = opt(&[assign(2, narrow)], OptLevel::Basic);
+        match &out[..] {
+            [RStmt::Assign { rhs, .. }] => {
+                assert_eq!(rhs, &bin(BinOp::Mul, a, b, 16));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert!(s.narrowed >= 1);
+        let mut max_w = 0;
+        out[0].walk_exprs(&mut |e| max_w = max_w.max(e.width));
+        assert!(max_w <= 16, "no over-wide intermediate survives");
+    }
+
+    #[test]
+    fn dead_write_is_dropped_but_conditional_writes_are_kept() {
+        let dead = assign(0, lit(1, 8));
+        let live = assign(0, lit(2, 8));
+        let (out, s) = opt(&[dead, live.clone()], OptLevel::Basic);
+        assert_eq!(out, vec![live.clone()]);
+        assert_eq!(s.dead_writes, 1);
+
+        // A conditional write does not kill a preceding write.
+        let guarded =
+            RStmt::If { cond: st(1, 1), then_body: vec![assign(0, lit(2, 8))], else_body: vec![] };
+        let first = assign(0, lit(1, 8));
+        let (out, s) = opt(&[first.clone(), guarded.clone()], OptLevel::Basic);
+        assert_eq!(out, vec![first, guarded]);
+        assert_eq!(s.dead_writes, 0);
+    }
+
+    #[test]
+    fn cse_hoists_repeated_subexpressions() {
+        let sum = bin(BinOp::Add, st(0, 16), st(1, 16), 16);
+        let prog =
+            vec![assign(2, sum.clone()), assign(3, bin(BinOp::Xor, sum.clone(), st(4, 16), 16))];
+        let (out, s) = opt(&prog, OptLevel::Aggressive);
+        assert_eq!(s.cse_hits, 1);
+        match &out[..] {
+            [RStmt::Let { tmp, rhs }, RStmt::Assign { rhs: r1, .. }, RStmt::Assign { rhs: r2, .. }] =>
+            {
+                assert_eq!(rhs, &sum);
+                let t = RExpr { kind: RExprKind::Tmp(*tmp), width: 16 };
+                assert_eq!(r1, &t);
+                assert_eq!(r2, &bin(BinOp::Xor, t, st(4, 16), 16));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        // Basic level leaves the duplicates alone.
+        let (out, s) = opt(&prog, OptLevel::Basic);
+        assert_eq!(out, prog);
+        assert_eq!(s.cse_hits, 0);
+    }
+
+    #[test]
+    fn opt_level_none_is_identity() {
+        let prog = vec![assign(0, bin(BinOp::Add, lit(1, 8), lit(2, 8), 8))];
+        let (out, s) = opt(&prog, OptLevel::None);
+        assert_eq!(out, prog);
+        assert_eq!(s.nodes_eliminated(), 0);
+        assert_eq!(s.folded, 0);
+    }
+
+    #[test]
+    fn unary_fold_and_double_negation() {
+        let neg =
+            |e: RExpr, w: u32| RExpr { kind: RExprKind::Unary(UnOp::Neg, Box::new(e)), width: w };
+        let (out, _) = opt(&[assign(0, neg(lit(1, 8), 8))], OptLevel::Basic);
+        match &out[..] {
+            [RStmt::Assign { rhs, .. }] => assert_eq!(rhs, &lit(0xFF, 8)),
+            other => panic!("unexpected shape {other:?}"),
+        }
+        let x = st(0, 8);
+        let (out, s) = opt(&[assign(1, neg(neg(x.clone(), 8), 8))], OptLevel::Basic);
+        match &out[..] {
+            [RStmt::Assign { rhs, .. }] => assert_eq!(rhs, &x),
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert!(s.algebraic >= 1);
+    }
+
+    #[test]
+    fn level_parsing_and_display() {
+        assert_eq!(OptLevel::parse("0"), Some(OptLevel::None));
+        assert_eq!(OptLevel::parse("1"), Some(OptLevel::Basic));
+        assert_eq!(OptLevel::parse("2"), Some(OptLevel::Aggressive));
+        assert_eq!(OptLevel::parse("full"), Some(OptLevel::Aggressive));
+        assert_eq!(OptLevel::parse("3"), None);
+        assert_eq!(OptLevel::default(), OptLevel::Aggressive);
+        assert_eq!(OptLevel::Aggressive.to_string(), "2");
+    }
+}

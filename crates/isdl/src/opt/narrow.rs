@@ -1,0 +1,115 @@
+//! Width narrowing: push a truncation down through operators whose
+//! low `w` result bits depend only on the low `w` operand bits.
+//!
+//! The payoff is twofold: the tree core manipulates smaller values,
+//! and an operation whose widest intermediate drops to 64 bits or
+//! fewer becomes eligible for gensim's fast u64 bytecode lane instead
+//! of the `Wide` tree fallback.
+
+use super::OptStats;
+use crate::ast::{BinOp, ExtKind, UnOp};
+use crate::rtl::{RExpr, RExprKind};
+
+/// Tries to rewrite `e` (width > `w`) into an equivalent expression of
+/// width `w` equal to the low `w` bits of `e`. Returns `None` when the
+/// root operator does not distribute over truncation — the caller then
+/// keeps the explicit `Trunc`/`Slice`.
+pub(super) fn narrow(e: &RExpr, w: u32, st: &mut OptStats) -> Option<RExpr> {
+    debug_assert!(w < e.width, "narrowing must shrink");
+    match &e.kind {
+        RExprKind::Lit(v) => {
+            st.folded += 1;
+            Some(RExpr::lit(v.trunc(w)))
+        }
+        // Carries, borrows, and partial products propagate strictly
+        // upward, and bitwise ops are per-bit: the low `w` result bits
+        // of these depend only on the low `w` operand bits.
+        RExprKind::Binary(
+            op @ (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor),
+            a,
+            b,
+        ) => {
+            st.narrowed += 1;
+            Some(RExpr {
+                kind: RExprKind::Binary(
+                    *op,
+                    Box::new(narrow_or_trunc(a, w, st)),
+                    Box::new(narrow_or_trunc(b, w, st)),
+                ),
+                width: w,
+            })
+        }
+        // A left shift fills from zero: low bits of the wide shift
+        // equal the narrow shift of the truncated value (amounts past
+        // the narrow width produce zero either way). The amount
+        // operand is left alone — it is an amount, not a value.
+        RExprKind::Binary(BinOp::Shl, a, amount) => {
+            st.narrowed += 1;
+            Some(RExpr {
+                kind: RExprKind::Binary(
+                    BinOp::Shl,
+                    Box::new(narrow_or_trunc(a, w, st)),
+                    amount.clone(),
+                ),
+                width: w,
+            })
+        }
+        RExprKind::Unary(op @ (UnOp::Neg | UnOp::Not), a) => {
+            st.narrowed += 1;
+            Some(RExpr {
+                kind: RExprKind::Unary(*op, Box::new(narrow_or_trunc(a, w, st))),
+                width: w,
+            })
+        }
+        RExprKind::Ext(ExtKind::Trunc, x) => {
+            // Truncating twice: keep only the final width.
+            st.ext_removed += 1;
+            Some(narrow_or_trunc(x, w, st))
+        }
+        RExprKind::Ext(kind @ (ExtKind::Zext | ExtKind::Sext), x) => {
+            if w <= x.width {
+                // The extension bits are entirely discarded.
+                st.ext_removed += 1;
+                Some(narrow_or_trunc(x, w, st))
+            } else {
+                // Still an extension, just to a smaller width.
+                st.narrowed += 1;
+                Some(RExpr { kind: RExprKind::Ext(*kind, x.clone()), width: w })
+            }
+        }
+        RExprKind::Cond(c, t, f) => {
+            st.narrowed += 1;
+            Some(RExpr {
+                kind: RExprKind::Cond(
+                    c.clone(),
+                    Box::new(narrow_or_trunc(t, w, st)),
+                    Box::new(narrow_or_trunc(f, w, st)),
+                ),
+                width: w,
+            })
+        }
+        RExprKind::Slice(x, _, lo) => {
+            // Low `w` bits of x[hi:lo] are x[lo+w-1:lo].
+            st.narrowed += 1;
+            Some(RExpr { kind: RExprKind::Slice(x.clone(), lo + w - 1, *lo), width: w })
+        }
+        // Right shifts, division, remainder, comparisons, reads,
+        // parameters, concatenations: high operand bits can reach the
+        // low result bits (or the node is opaque) — keep the explicit
+        // truncation.
+        _ => None,
+    }
+}
+
+/// Narrows `a` to `w` bits, falling back to an explicit truncation
+/// when the structure does not distribute. Width-preserving calls
+/// return the expression unchanged.
+fn narrow_or_trunc(a: &RExpr, w: u32, st: &mut OptStats) -> RExpr {
+    if w == a.width {
+        return a.clone();
+    }
+    narrow(a, w, st).unwrap_or_else(|| RExpr {
+        kind: RExprKind::Ext(ExtKind::Trunc, Box::new(a.clone())),
+        width: w,
+    })
+}

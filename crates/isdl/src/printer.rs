@@ -254,6 +254,13 @@ impl Printer<'_> {
                     let _ = writeln!(out, "{pad}}}");
                 }
             }
+            // Optimizer-introduced temporaries never appear in machine
+            // descriptions (the optimizer runs consumer-side), so this
+            // rendering is diagnostic only, not part of the canonical
+            // parseable grammar.
+            RStmt::Let { tmp, rhs } => {
+                let _ = writeln!(out, "{pad}let t{tmp} <- {};", self.expr(rhs, o));
+            }
         }
     }
 
@@ -332,6 +339,8 @@ impl Printer<'_> {
                 let list = parts.iter().map(|p| self.expr(p, o)).collect::<Vec<_>>().join(", ");
                 format!("concat({list})")
             }
+            // Diagnostic rendering only; see the `RStmt::Let` arm.
+            RExprKind::Tmp(i) => format!("t{i}"),
         }
     }
 

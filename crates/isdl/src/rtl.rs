@@ -46,6 +46,12 @@ pub enum RExprKind {
     Ext(ExtKind, Box<RExpr>),
     /// Concatenation, first element most significant.
     Concat(Vec<RExpr>),
+    /// Reference to a temporary introduced by [`RStmt::Let`].
+    ///
+    /// Never produced by semantic analysis — only the optimizer
+    /// ([`crate::opt`]) introduces temporaries, so machine descriptions
+    /// as loaded never contain this node.
+    Tmp(usize),
 }
 
 impl RExpr {
@@ -59,7 +65,9 @@ impl RExpr {
     /// Iterates over the direct children of this expression.
     pub fn children(&self) -> Vec<&RExpr> {
         match &self.kind {
-            RExprKind::Lit(_) | RExprKind::Storage(_) | RExprKind::Param(_) => Vec::new(),
+            RExprKind::Lit(_) | RExprKind::Storage(_) | RExprKind::Param(_) | RExprKind::Tmp(_) => {
+                Vec::new()
+            }
             RExprKind::StorageIndexed(_, e)
             | RExprKind::Slice(e, _, _)
             | RExprKind::Unary(_, e)
@@ -136,6 +144,19 @@ pub enum RStmt {
         /// Statements executed when false.
         else_body: Vec<RStmt>,
     },
+    /// Binds a temporary to a value for the rest of the phase.
+    ///
+    /// Introduced only by the optimizer ([`crate::opt`]) when it hoists
+    /// a common subexpression; machine descriptions as loaded never
+    /// contain this statement. Expressions are pure, so a `Let` stages
+    /// no writes — it only names a value that later [`RExprKind::Tmp`]
+    /// nodes reference.
+    Let {
+        /// Temporary index (phase-scoped, dense from zero).
+        tmp: usize,
+        /// The bound value.
+        rhs: RExpr,
+    },
 }
 
 impl RStmt {
@@ -153,6 +174,7 @@ impl RStmt {
                     s.walk_exprs(f);
                 }
             }
+            Self::Let { rhs, .. } => rhs.walk(f),
         }
     }
 }

@@ -178,6 +178,55 @@ field MAIN {
 }
 "#;
 
+/// A 16-bit accumulator machine written the way a naive front end
+/// emits RTL: operands promoted to a 128-bit intermediate type before
+/// multiplying, common subexpressions spelled out twice, and
+/// template-residue identity arithmetic left in place. It exists to
+/// exercise the RTL middle-end ([`crate::opt`]): unoptimized, `wmul`
+/// exceeds the simulator's 64-bit bytecode lanes; width narrowing
+/// brings it back, CSE shares the repeated sum in `sqs`, and the
+/// algebraic pass deletes `redund`'s no-ops. All of it is
+/// bit-identical to the obvious hand-written forms.
+///
+/// # Examples
+///
+/// ```
+/// let m = isdl::load(isdl::samples::WIDEMUL)?;
+/// assert_eq!(m.name, "widemul");
+/// # Ok::<(), isdl::IsdlError>(())
+/// ```
+pub const WIDEMUL: &str = r#"
+machine "widemul" { format { word 16; } }
+
+storage {
+    imem IM 16 x 64;
+    dmem DM 16 x 16;
+    register A 16;
+    register B 16;
+    pc PC 6;
+}
+
+tokens {
+    token U8 imm(8, unsigned);
+    token A4 imm(4, unsigned);
+}
+
+field MAIN {
+    op lia(v: U8)  { encode { word[15:12] = 0b0001; word[7:0] = v; } action { A <- zext(v, 16); } }
+    op lib(v: U8)  { encode { word[15:12] = 0b0010; word[7:0] = v; } action { B <- zext(v, 16); } }
+    // Front-end style widening multiply: promote, multiply, truncate.
+    op wmul()      { encode { word[15:12] = 0b0011; } action { A <- trunc(zext(A, 128) * zext(B, 128), 16); } }
+    // Squared sum with the sum written out twice (no front-end CSE).
+    op sqs()       { encode { word[15:12] = 0b0100; } action { A <- (A + B) * (A + B); } }
+    // Identity arithmetic a template-based generator leaves behind.
+    op redund()    { encode { word[15:12] = 0b0101; } action { A <- ((A + 16'd0) ^ 16'd0) | (A & A); } }
+    op sta(a: A4)  { encode { word[15:12] = 0b0110; word[3:0] = a; } action { DM[a] <- A; } }
+    op lda(a: A4)  { encode { word[15:12] = 0b0111; word[3:0] = a; } action { A <- DM[a]; } }
+    op halt()      { encode { word[15:12] = 0b1111; } }
+    op nop()       { encode { word[15:12] = 0b0000; } }
+}
+"#;
+
 /// The paper's 4-way VLIW evaluation target (Table 1 and Table 2's
 /// first row): four operation fields plus three parallel move fields
 /// in a 128-bit instruction word. See `fixtures/spam.isdl`.
@@ -223,5 +272,37 @@ mod tests {
         let m = crate::load(ACC16).expect("acc16 sample loads");
         assert_eq!(m.fields[0].ops.len(), 10);
         assert!(m.pc.is_some());
+    }
+
+    #[test]
+    fn widemul_loads() {
+        let m = crate::load(WIDEMUL).expect("widemul sample loads");
+        assert_eq!(m.name, "widemul");
+        assert_eq!(m.fields.len(), 1);
+        assert_eq!(m.fields[0].ops.len(), 9);
+        assert!(m.pc.is_some());
+    }
+
+    #[test]
+    fn widemul_gives_the_middle_end_work() {
+        // The sample exists to exercise the optimizer; if a rewrite of
+        // its RTL ever makes it clean, the differential corpus loses
+        // its only machine with guaranteed eliminations.
+        let m = crate::load(WIDEMUL).expect("widemul sample loads");
+        let mut stats = crate::opt::OptStats::default();
+        for f in &m.fields {
+            for op in &f.ops {
+                for phase in [&op.action, &op.side_effects] {
+                    let _ = crate::opt::optimize_stmts(
+                        phase,
+                        crate::opt::OptLevel::default(),
+                        &mut stats,
+                    );
+                }
+            }
+        }
+        assert!(stats.nodes_eliminated() > 0, "redund/sqs must shrink: {stats:?}");
+        assert!(stats.cse_hits > 0, "sqs repeats (A + B): {stats:?}");
+        assert!(stats.narrowed > 0, "wmul's 128-bit multiply must narrow: {stats:?}");
     }
 }

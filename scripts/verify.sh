@@ -31,6 +31,11 @@ run cargo test -q
 # explicit and the failure output focused.
 run cargo test -q -p archex --test fault_injection
 run cargo test -q -p archex --test journal_resume
+# RTL middle-end gate: optimized and unoptimized execution must stay
+# bit-identical on every sample machine, for both simulator cores and
+# the generated hardware (see DESIGN.md §4a). Also inside `cargo test
+# -q` above; named here so an optimizer regression fails loudly.
+run cargo test -q --test opt_differential
 
 if [[ "${1:-}" == "--slow" ]]; then
     # required-features gating means a plain `cargo test` never sees

@@ -3,13 +3,13 @@
 //! ```text
 //! isdlc check   <machine.isdl>                      validate and summarize
 //! isdlc print   <machine.isdl>                      pretty-print the resolved description
-//! isdlc sample  <toy|acc16|spam|spam2>              print an embedded sample description
+//! isdlc sample  <toy|acc16|widemul|spam|spam2>      print an embedded sample description
 //! isdlc asm     <machine.isdl> <prog.asm>           assemble; hex words to stdout
 //! isdlc disasm  <machine.isdl> <prog.asm>           assemble then disassemble (listing)
-//! isdlc run     <machine.isdl> <prog.asm> [cycles] [--fuel=N]  simulate; prints stats + final state
+//! isdlc run     <machine.isdl> <prog.asm> [cycles] [--fuel=N] [--opt=N]  simulate; prints stats + final state
 //! isdlc batch   <machine.isdl> <prog.asm> <script>  run a simulator batch script
-//! isdlc verilog <machine.isdl> [--no-share] [--naive-decode]
-//! isdlc report  <machine.isdl> [--no-share] [--naive-decode]
+//! isdlc verilog <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
+//! isdlc report  <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
 //! isdlc wave    <machine.isdl> <prog.asm> [cycles]  VCD waveform of the HW model to stdout
 //! isdlc hex     <machine.isdl> <prog.asm>           $readmemh program image to stdout
 //! isdlc tb      <machine.isdl> [cycles]             Verilog test bench to stdout
@@ -48,17 +48,32 @@ fn run(args: &[String]) -> Result<(), String> {
         let path = pos.get(i).ok_or_else(usage)?;
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     };
-    let hgen_options = || HgenOptions {
-        decode: if flags.contains(&"--naive-decode") {
-            DecodeStyle::NaiveComparator
-        } else {
-            DecodeStyle::TwoLevel
-        },
-        share: if flags.contains(&"--no-share") {
-            ShareOptions { enabled: false, ..ShareOptions::default() }
-        } else {
-            ShareOptions::default()
-        },
+    let opt_level = || -> Result<isdl::opt::OptLevel, String> {
+        if flags.contains(&"--no-opt") {
+            return Ok(isdl::opt::OptLevel::None);
+        }
+        flags.iter().find_map(|f| f.strip_prefix("--opt=")).map_or(
+            Ok(isdl::opt::OptLevel::default()),
+            |v| {
+                isdl::opt::OptLevel::parse(v)
+                    .ok_or_else(|| format!("unknown opt level `{v}` (0|1|2)"))
+            },
+        )
+    };
+    let hgen_options = || -> Result<HgenOptions, String> {
+        Ok(HgenOptions {
+            decode: if flags.contains(&"--naive-decode") {
+                DecodeStyle::NaiveComparator
+            } else {
+                DecodeStyle::TwoLevel
+            },
+            share: if flags.contains(&"--no-share") {
+                ShareOptions { enabled: false, ..ShareOptions::default() }
+            } else {
+                ShareOptions::default()
+            },
+            opt: opt_level()?,
+        })
     };
 
     match cmd.as_str() {
@@ -96,7 +111,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 "acc16" => isdl::samples::ACC16,
                 "spam" => isdl::samples::SPAM,
                 "spam2" => isdl::samples::SPAM2,
-                other => return Err(format!("unknown sample `{other}` (toy|acc16|spam|spam2)")),
+                "widemul" => isdl::samples::WIDEMUL,
+                other => {
+                    return Err(format!("unknown sample `{other}` (toy|acc16|widemul|spam|spam2)"))
+                }
             };
             print!("{src}");
             Ok(())
@@ -143,7 +161,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     v.parse().map_err(|_| format!("bad instruction budget `{v}`"))
                 })?;
             let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
-            let mut sim = Xsim::generate(&m).map_err(|e| e.to_string())?;
+            let options = gensim::XsimOptions { opt: opt_level()?, ..Default::default() };
+            let mut sim = Xsim::generate_with(&m, options).map_err(|e| e.to_string())?;
             sim.load_program(&p);
             let stop = sim.run_fuel(cycles, fuel);
             let stats = sim.stats();
@@ -198,7 +217,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .get(2)
                 .map_or(Ok(64), |c| c.parse().map_err(|_| format!("bad cycle budget `{c}`")))?;
             let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
-            let r = synthesize(&m, hgen_options()).map_err(|e| e.to_string())?;
+            let r = synthesize(&m, hgen_options()?).map_err(|e| e.to_string())?;
             let mut sim = vlog::sim::NetlistSim::elaborate(&r.module).map_err(|e| e.to_string())?;
             let imem = m.storage(m.imem.ok_or("machine has no instruction memory")?).name.clone();
             for (a, w) in p.words.iter().enumerate() {
@@ -235,13 +254,13 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "verilog" => {
             let m = load(0)?;
-            let r = synthesize(&m, hgen_options()).map_err(|e| e.to_string())?;
+            let r = synthesize(&m, hgen_options()?).map_err(|e| e.to_string())?;
             print!("{}", r.verilog);
             Ok(())
         }
         "report" => {
             let m = load(0)?;
-            let r = synthesize(&m, hgen_options()).map_err(|e| e.to_string())?;
+            let r = synthesize(&m, hgen_options()?).map_err(|e| e.to_string())?;
             println!("machine `{}`:", m.name);
             println!("  cycle length     {:.1} ns", r.report.cycle_ns);
             println!("  critical path    {:.1} ns", r.report.critical_path_ns);
@@ -263,6 +282,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 "  datapath         {} nodes -> {} units ({} saved by sharing)",
                 r.stats.nodes, r.stats.units, r.stats.units_saved
             );
+            println!(
+                "  middle-end       {} RTL nodes -> {} ({} CSE hits, opt level {})",
+                r.stats.opt.nodes_before,
+                r.stats.opt.nodes_after,
+                r.stats.opt.cse_hits,
+                hgen_options()?.opt
+            );
             println!("  synthesis time   {:.3} s", r.synthesis_time_s);
             Ok(())
         }
@@ -272,6 +298,6 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: isdlc <check|print|sample|asm|disasm|run|batch|verilog|report|wave|hex|tb> \
-     <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N]"
+     <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N] [--opt=0|1|2] [--no-opt]"
         .to_owned()
 }

@@ -15,6 +15,8 @@
 //!   --trace-capacity N    event ring-buffer capacity (default 4096)
 //!   --core tree|bytecode  processing-core implementation (default bytecode)
 //!   --no-offline-decode   re-decode at every fetch (§3.3.2 ablation)
+//!   --opt 0|1|2           RTL middle-end level (default 2 = aggressive);
+//!                         0 disables it — the differential baseline
 //! ```
 //!
 //! `-` writes a report to stdout (the human-readable summary then moves
@@ -72,6 +74,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 };
             }
             "--no-offline-decode" => options.offline_decode = false,
+            "--opt" => {
+                let v = value(&mut it, "--opt")?;
+                options.opt = isdl::opt::OptLevel::parse(v)
+                    .ok_or_else(|| format!("unknown opt level `{v}` (0|1|2)"))?;
+            }
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`\n{}", usage())),
             p => pos.push(p),
         }
@@ -114,6 +121,7 @@ fn run(args: &[String]) -> Result<(), String> {
         sim.run_fuel(cycles, fuel)
     };
 
+    gensim::publish_opt_counters(&sim, &registry);
     if let Some(path) = &stats_out {
         let mut stats = stats_json(&sim);
         stats.insert("stop", stop.to_string());
@@ -163,6 +171,7 @@ fn write_report(path: &str, json: &Json) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--fuel N] [--stats <path|->] \
-     [--trace <path|->] [--trace-capacity N] [--core tree|bytecode] [--no-offline-decode]"
+     [--trace <path|->] [--trace-capacity N] [--core tree|bytecode] [--no-offline-decode] \
+     [--opt 0|1|2]"
         .to_owned()
 }
