@@ -8,8 +8,9 @@
 //! evaluation, so both rows should coincide).
 
 use archex::{Explorer, Strategy};
-use bench::{explore_kernels, run_exploration};
+use bench::{explore_kernels, fir_program, run_exploration, spam_machine};
 use criterion::{criterion_group, criterion_main, Criterion};
+use gensim::{StopReason, Xsim};
 
 fn bench_explore(c: &mut Criterion) {
     let start = isdl::load(isdl::samples::TOY).expect("loads");
@@ -37,6 +38,27 @@ fn bench_explore(c: &mut Criterion) {
                 Explorer { max_steps: 6, threads: 1, instrument, ..Explorer::default() }
                     .run(&start, &kernels)
                     .expect("fixture machines evaluate")
+            });
+        });
+    }
+    // The PR-2 contract extended to the cycle profiler: with profiling
+    // compiled in but *off*, the per-instruction cost is one gated
+    // branch and zero clock reads, so the plain row must match today's
+    // speed; the profiled row shows the enabled-path cost (three
+    // integer adds per retired instruction).
+    let machine = spam_machine();
+    let program = fir_program(&machine);
+    for (name, profile) in [("xsim-fir-plain", false), ("xsim-fir-profiled", true)] {
+        group.bench_function(name, |b| {
+            let mut sim = Xsim::generate(&machine).expect("generates");
+            sim.load_program(&program);
+            if profile {
+                sim.enable_profile();
+            }
+            b.iter(|| {
+                sim.restart_at(program.entry);
+                assert_eq!(sim.run(100_000), StopReason::Halted);
+                sim.stats().cycles
             });
         });
     }

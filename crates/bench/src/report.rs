@@ -79,6 +79,68 @@ pub fn entries_from_stats_json(text: &str) -> Result<Vec<BenchEntry>, String> {
             out.push(BenchEntry::new(format!("{machine}.opt.wide_fallbacks"), v, "plans"));
         }
     }
+    // The `xsim` CLI attaches its phase timings under `timing_us`
+    // (load/assemble/generate/run); the library report never carries
+    // the key, so its absence is not an error.
+    if let Some(timing) = json.get("timing_us") {
+        for key in ["load", "assemble", "generate", "run"] {
+            if let Some(v) = timing.get_f64(key) {
+                out.push(BenchEntry::new(format!("{machine}.timing.{key}_us"), v, "us"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts benchmark entries from an `xsim-profile/1` report
+/// ([`gensim::profile_json`] output): the `top` regions by cycle count
+/// (`<machine>.profile.region.<label>.cycles` / `.stall_cycles`) and
+/// the `top` stalling PCs
+/// (`<machine>.profile.pc<addr>.stall_cycles`), so a trend dashboard
+/// tracks the hot spots without ingesting the full table.
+///
+/// # Errors
+///
+/// Fails when `text` is not valid JSON or its `schema` key is not
+/// `xsim-profile/1`.
+pub fn entries_from_profile_json(text: &str, top: usize) -> Result<Vec<BenchEntry>, String> {
+    let json = Json::parse(text)?;
+    check_schema(&json, gensim::PROFILE_SCHEMA)?;
+    let machine = json.get_str("machine").unwrap_or("unknown");
+    let mut out = Vec::new();
+
+    let mut regions: Vec<&Json> =
+        json.get("regions").and_then(Json::as_arr).map(|a| a.iter().collect()).unwrap_or_default();
+    regions.sort_by_key(|r| std::cmp::Reverse(r.get_u64("cycles").unwrap_or(0)));
+    for r in regions.into_iter().take(top) {
+        let name = r.get_str("name").ok_or("malformed region row")?;
+        let cycles = r.get_f64("cycles").ok_or("malformed region row")?;
+        let stalls = r.get_f64("stall_cycles").ok_or("malformed region row")?;
+        out.push(BenchEntry::new(
+            format!("{machine}.profile.region.{name}.cycles"),
+            cycles,
+            "cycles",
+        ));
+        out.push(BenchEntry::new(
+            format!("{machine}.profile.region.{name}.stall_cycles"),
+            stalls,
+            "cycles",
+        ));
+    }
+
+    let mut pcs: Vec<&Json> =
+        json.get("pcs").and_then(Json::as_arr).map(|a| a.iter().collect()).unwrap_or_default();
+    pcs.retain(|p| p.get_u64("stall_cycles").is_some_and(|n| n > 0));
+    pcs.sort_by_key(|p| std::cmp::Reverse(p.get_u64("stall_cycles").unwrap_or(0)));
+    for p in pcs.into_iter().take(top) {
+        let pc = p.get_u64("pc").ok_or("malformed pc row")?;
+        let stalls = p.get_f64("stall_cycles").ok_or("malformed pc row")?;
+        out.push(BenchEntry::new(
+            format!("{machine}.profile.pc{pc}.stall_cycles"),
+            stalls,
+            "cycles",
+        ));
+    }
     Ok(out)
 }
 
@@ -174,6 +236,51 @@ mod tests {
         assert_eq!(by_name("toy.explore.evaluated"), trace.evaluated as f64);
         assert_eq!(by_name("toy.explore.steps"), trace.steps.len() as f64);
         assert!(by_name("toy.explore.wall") > 0.0, "instrumented run records wall time");
+    }
+
+    #[test]
+    fn cli_timing_block_is_extracted() {
+        let text = r#"{
+            "schema": "xsim-stats/1", "machine": "spam",
+            "cycles": 10, "instructions": 8, "stall_cycles": 2, "ipc": 0.8,
+            "timing_us": {"load": 120.5, "assemble": 800.0, "generate": 1500.25, "run": 90.0}
+        }"#;
+        let entries = entries_from_stats_json(text).expect("extracts");
+        let by_name =
+            |n: &str| entries.iter().find(|e| e.name == n).unwrap_or_else(|| panic!("entry {n}"));
+        assert_eq!(by_name("spam.timing.load_us").value, 120.5);
+        assert_eq!(by_name("spam.timing.assemble_us").value, 800.0);
+        assert_eq!(by_name("spam.timing.generate_us").value, 1500.25);
+        assert_eq!(by_name("spam.timing.run_us").value, 90.0);
+        assert!(entries.iter().all(|e| !e.name.contains("timing") || e.unit == "us"));
+    }
+
+    #[test]
+    fn profile_report_flattens_top_rows() {
+        let machine = crate::spam_machine();
+        let program = crate::fir_program(&machine);
+        let mut sim = gensim::Xsim::generate(&machine).expect("generates");
+        sim.load_program(&program);
+        sim.enable_profile();
+        assert_eq!(sim.run(100_000), gensim::StopReason::Halted);
+        let text = gensim::profile_json(&sim).to_pretty();
+        let entries = entries_from_profile_json(&text, 3).expect("extracts");
+        assert!(
+            entries.iter().any(|e| e.name.starts_with("spam.profile.region.")),
+            "top regions flattened: {entries:?}"
+        );
+        assert!(
+            entries.iter().filter(|e| e.name.contains(".profile.pc")).count() <= 3,
+            "top-N bound respected"
+        );
+        // Regions arrive hottest-first, so the first region entry
+        // carries the largest cycle count of all region entries.
+        let region_cycles: Vec<f64> = entries
+            .iter()
+            .filter(|e| e.name.ends_with(".cycles") && e.name.contains(".region."))
+            .map(|e| e.value)
+            .collect();
+        assert!(region_cycles.windows(2).all(|w| w[0] >= w[1]), "sorted desc: {region_cycles:?}");
     }
 
     #[test]

@@ -217,6 +217,10 @@ pub struct Evaluation {
     pub kernel_stats: Vec<KernelRun>,
     /// The compiled kernels (for inspection / listings).
     pub compiled: Vec<Compiled>,
+    /// Compact per-kernel cycle-attribution summary (top regions by
+    /// cycles, top stalled PCs with causes), or `Json::Null` when the
+    /// evaluation ran unprofiled. Excluded from every `semantic_eq`.
+    pub profile: obs::Json,
 }
 
 /// Why a candidate failed evaluation.
@@ -350,7 +354,7 @@ pub fn evaluate(
     kernels: &[Kernel],
     hgen_options: HgenOptions,
 ) -> Result<Evaluation, EvalError> {
-    evaluate_with(machine, kernels, hgen_options, SimBudget::default(), None)
+    evaluate_with(machine, kernels, hgen_options, SimBudget::default(), None, false)
 }
 
 /// Evaluates `machine` with panic containment: any panic inside the
@@ -367,11 +371,12 @@ pub fn evaluate_contained(
     hgen_options: HgenOptions,
     budget: SimBudget,
     fault: Option<&FaultPlan>,
+    profile: bool,
 ) -> Result<Evaluation, EvalError> {
     install_contained_panic_hook();
     CONTAINED.with(|c| c.set(true));
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        evaluate_with(machine, kernels, hgen_options, budget, fault)
+        evaluate_with(machine, kernels, hgen_options, budget, fault, profile)
     }));
     CONTAINED.with(|c| c.set(false));
     let stage = CURRENT_STAGE.with(Cell::take);
@@ -387,7 +392,9 @@ pub fn evaluate_contained(
 /// Evaluates `machine` on the given kernels under an explicit
 /// [`SimBudget`], optionally triggering an injected fault (see
 /// [`FaultPlan`]). Panics are *not* contained here — use
-/// [`evaluate_contained`] for that.
+/// [`evaluate_contained`] for that. When `profile` is set each
+/// kernel's simulator runs with cycle attribution enabled and the
+/// returned [`Evaluation::profile`] carries the compact summary.
 ///
 /// # Errors
 ///
@@ -399,11 +406,13 @@ pub fn evaluate_with(
     hgen_options: HgenOptions,
     budget: SimBudget,
     fault: Option<&FaultPlan>,
+    profile: bool,
 ) -> Result<Evaluation, EvalError> {
     let assembler = Assembler::new(machine);
     let mut total = Stats::default();
     let mut kernel_stats = Vec::new();
     let mut compiled_all = Vec::new();
+    let mut kernel_profiles = Vec::new();
     for kernel in kernels {
         enter_stage(Stage::Compile, fault, &kernel.name)?;
         let compiled =
@@ -414,6 +423,9 @@ pub fn evaluate_with(
         enter_stage(Stage::Gensim, fault, &kernel.name)?;
         let mut sim = Xsim::generate(machine).map_err(|e| EvalError::Gensim(e.to_string()))?;
         sim.load_program(&program);
+        if profile {
+            sim.enable_profile();
+        }
         enter_stage(Stage::Simulate, fault, &kernel.name)?;
         match sim.run_fuel(budget.max_cycles, budget.max_instructions) {
             StopReason::Halted => {}
@@ -441,6 +453,9 @@ pub fn evaluate_with(
         for (i, &b) in stats.field_busy.iter().enumerate() {
             total.field_busy[i] += b;
         }
+        if profile {
+            kernel_profiles.push((kernel.name.clone(), gensim::profile_json(&sim)));
+        }
         kernel_stats.push(KernelRun {
             name: kernel.name.clone(),
             op_counts: sim.op_counts(),
@@ -467,7 +482,57 @@ pub fn evaluate_with(
         },
         kernel_stats,
         compiled: compiled_all,
+        profile: if profile { profile_summary(&kernel_profiles) } else { obs::Json::Null },
     })
+}
+
+/// Compresses full `xsim-profile/1` documents into the per-candidate
+/// summary an exploration step carries: per kernel, the top 3 regions
+/// by cycles and the top 3 stalled PCs (with their causes). Ordering
+/// is deterministic — ties keep address order.
+fn profile_summary(kernel_profiles: &[(String, obs::Json)]) -> obs::Json {
+    use obs::Json;
+    let kernels: Vec<Json> = kernel_profiles
+        .iter()
+        .map(|(name, full)| {
+            let mut regions: Vec<&Json> =
+                full.get("regions").and_then(Json::as_arr).unwrap_or(&[]).iter().collect();
+            regions.sort_by_key(|r| std::cmp::Reverse(r.get_u64("cycles")));
+            let top_regions: Vec<Json> = regions
+                .into_iter()
+                .take(3)
+                .map(|r| {
+                    Json::obj()
+                        .with("name", r.get_str("name").unwrap_or(""))
+                        .with("cycles", r.get_u64("cycles").unwrap_or(0))
+                        .with("stall_cycles", r.get_u64("stall_cycles").unwrap_or(0))
+                })
+                .collect();
+            let mut stalled: Vec<&Json> = full
+                .get("pcs")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter(|p| p.get_u64("stall_cycles").unwrap_or(0) > 0)
+                .collect();
+            stalled.sort_by_key(|p| std::cmp::Reverse(p.get_u64("stall_cycles")));
+            let top_stall_pcs: Vec<Json> = stalled
+                .into_iter()
+                .take(3)
+                .map(|p| {
+                    Json::obj()
+                        .with("pc", p.get_u64("pc").unwrap_or(0))
+                        .with("stall_cycles", p.get_u64("stall_cycles").unwrap_or(0))
+                        .with("stall_cause", p.get("stall_cause").cloned().unwrap_or(Json::Null))
+                })
+                .collect();
+            Json::obj()
+                .with("kernel", name.as_str())
+                .with("top_regions", Json::Arr(top_regions))
+                .with("top_stall_pcs", Json::Arr(top_stall_pcs))
+        })
+        .collect();
+    Json::obj().with("kernels", Json::Arr(kernels))
 }
 
 #[cfg(test)]
@@ -503,21 +568,41 @@ mod tests {
         let kernels = vec![workloads::dot_product(4)];
         let hgen = HgenOptions::default();
         let starved = SimBudget { max_instructions: 3, ..SimBudget::default() };
-        let e = evaluate_with(&m, &kernels, hgen, starved, None).expect_err("fuel starved");
+        let e = evaluate_with(&m, &kernels, hgen, starved, None, false).expect_err("fuel starved");
         assert!(
             matches!(&e, EvalError::BudgetExhausted { kind: BudgetKind::Instructions, .. }),
             "got {e}"
         );
         assert!(e.is_transient());
         let starved = SimBudget { max_cycles: 3, ..SimBudget::default() };
-        let e = evaluate_with(&m, &kernels, hgen, starved, None).expect_err("cycle starved");
+        let e = evaluate_with(&m, &kernels, hgen, starved, None, false).expect_err("cycle starved");
         assert!(
             matches!(&e, EvalError::BudgetExhausted { kind: BudgetKind::Cycles, .. }),
             "got {e}"
         );
         // A generous budget changes nothing about the result.
-        let ev = evaluate_with(&m, &kernels, hgen, SimBudget::default(), None)
+        let ev = evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false)
             .expect("default budget is ample");
         assert!(ev.metrics.cycles > 10);
+    }
+
+    #[test]
+    fn profiled_evaluation_carries_a_summary_and_changes_nothing_else() {
+        let m = isdl::load(isdl::samples::TOY).expect("loads");
+        let kernels = vec![workloads::fir(3, 6)];
+        let hgen = HgenOptions::default();
+        let plain = evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false)
+            .expect("evaluates");
+        let profiled = evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, true)
+            .expect("evaluates profiled");
+        assert!(plain.metrics.semantic_eq(&profiled.metrics), "profiling is observational");
+        assert_eq!(plain.profile, obs::Json::Null);
+        let ks = profiled.profile.get("kernels").and_then(obs::Json::as_arr).expect("kernels");
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].get_str("kernel"), Some("fir3x6"));
+        let regions = ks[0].get("top_regions").and_then(obs::Json::as_arr).expect("regions");
+        assert!(!regions.is_empty());
+        let total: u64 = regions.iter().filter_map(|r| r.get_u64("cycles")).sum();
+        assert!(total > 0, "top regions attribute real cycles");
     }
 }

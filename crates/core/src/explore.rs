@@ -230,6 +230,12 @@ pub struct Step {
     pub metrics: Metrics,
     /// The objective score (lower is better).
     pub score: f64,
+    /// The accepted candidate's per-kernel profile summary
+    /// ([`Evaluation::profile`]): top regions and stall PCs, or
+    /// [`Json::Null`] when [`Explorer::instrument`] is off. Excluded
+    /// from [`Step::semantic_eq`] — it is diagnostic, not part of the
+    /// search result.
+    pub profile: Json,
 }
 
 impl Step {
@@ -263,6 +269,37 @@ pub struct FrontierRound {
     pub cache_hits: usize,
 }
 
+/// One wall-clock span on the exploration timeline: a frontier round
+/// or a single fresh candidate evaluation. Timestamps are microseconds
+/// from the start of the run, ready for the Chrome trace-event export
+/// ([`chrome_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Span label, e.g. `"round 3"` or `"eval #7"`.
+    pub name: String,
+    /// Event category (`"explore"` for rounds, `"eval"` for
+    /// evaluations).
+    pub cat: String,
+    /// Track the span renders on: 0 for the round loop, `1 + worker`
+    /// for evaluations.
+    pub tid: u64,
+    /// Start offset from the beginning of the run, µs.
+    pub start_us: u64,
+    /// Span duration, µs.
+    pub dur_us: u64,
+}
+
+impl SpanRec {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("cat", self.cat.as_str())
+            .with("tid", self.tid)
+            .with("ts_us", self.start_us)
+            .with("dur_us", self.dur_us)
+    }
+}
+
 /// Observability embedded in every [`Trace`] (see
 /// `docs/OBSERVABILITY.md`, `archex-explore/1`).
 ///
@@ -288,6 +325,11 @@ pub struct ExploreObs {
     /// Fresh evaluations performed by each worker slot; sums to
     /// [`Trace::evaluated`]. Length is the resolved worker-pool size.
     pub thread_evals: Vec<u64>,
+    /// Wall-clock spans of every frontier round and fresh evaluation,
+    /// sorted by start time. Empty with [`Explorer::instrument`] off.
+    /// Render with [`chrome_trace`]. Excluded from
+    /// [`Trace::semantic_eq`] — spans are measurements.
+    pub timeline: Vec<SpanRec>,
     /// Wall-clock time of the whole run, seconds.
     pub wall_s: f64,
 }
@@ -323,6 +365,7 @@ impl ExploreObs {
                 "thread_evals",
                 Json::Arr(self.thread_evals.iter().map(|&n| Json::from(n)).collect()),
             )
+            .with("timeline", self.timeline.iter().map(SpanRec::to_json).collect::<Json>())
             .with("wall_s", self.wall_s)
     }
 }
@@ -395,6 +438,7 @@ impl Trace {
                     .with("action", s.action.as_str())
                     .with("score", s.score)
                     .with("metrics", s.metrics.to_json())
+                    .with("profile", s.profile.clone())
             })
             .collect();
         Json::obj()
@@ -407,6 +451,39 @@ impl Trace {
             .with("first_error", self.first_error.as_deref().map_or(Json::Null, Json::from))
             .with("obs", self.obs.to_json())
     }
+}
+
+/// Renders a trace's recorded timeline ([`ExploreObs::timeline`]) as a
+/// Chrome trace-event document (`{"traceEvents": […]}`) loadable in
+/// `chrome://tracing` or Perfetto: one complete event per frontier
+/// round (track 0) and per fresh candidate evaluation (track
+/// `1 + worker`), plus an instant marker per accepted step.
+///
+/// Runs with [`Explorer::instrument`] off record no spans; the
+/// document then carries only the accepted-step markers at `ts` 0.
+#[must_use]
+pub fn chrome_trace(trace: &Trace) -> Json {
+    let mut ct = obs::ChromeTrace::new();
+    for s in &trace.obs.timeline {
+        ct.complete(&s.name, &s.cat, s.tid, s.start_us, s.dur_us, Json::Null);
+    }
+    // Accepted steps as instant markers: placed at the end of their
+    // round's span when one was recorded, at 0 otherwise. Step `i + 1`
+    // was accepted by round `i` ("initial" is not a round).
+    let round_end = |i: usize| {
+        trace
+            .obs
+            .timeline
+            .iter()
+            .find(|s| s.cat == "explore" && s.name == format!("round {i}"))
+            .map_or(0, |s| s.start_us + s.dur_us)
+    };
+    for (i, step) in trace.steps.iter().enumerate() {
+        let ts = if i == 0 { 0 } else { round_end(i - 1) };
+        let args = Json::obj().with("action", step.action.as_str()).with("score", step.score);
+        ct.instant("accepted", "explore", 0, ts, args);
+    }
+    ct.to_json()
 }
 
 /// A concurrency-safe memo of candidate evaluations.
@@ -591,6 +668,9 @@ struct RunObs {
     /// before workers start — the trigger clock for
     /// [`Explorer::fault_plan`].
     seq: AtomicUsize,
+    /// Wall-clock spans (rounds and evaluations), recorded only when
+    /// the registry is enabled; folded into [`ExploreObs::timeline`].
+    timeline: Mutex<Vec<SpanRec>>,
     started: Instant,
 }
 
@@ -606,9 +686,26 @@ impl RunObs {
             miss_us: registry.histogram("explore.cache_miss_lookup_us"),
             thread_evals: (0..pool).map(|_| AtomicU64::new(0)).collect(),
             seq: AtomicUsize::new(0),
+            timeline: Mutex::new(Vec::new()),
             registry,
             started: Instant::now(),
         }
+    }
+
+    /// Records a span that started at `t0` (now being its end) on the
+    /// run timeline. Callers gate on [`Registry::enabled`] so a
+    /// non-instrumented run never reaches here.
+    fn push_span(&self, name: String, cat: &str, tid: u64, t0: Instant) {
+        let start_us =
+            u64::try_from(t0.duration_since(self.started).as_micros()).unwrap_or(u64::MAX);
+        let dur_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.timeline.lock().expect("timeline lock never poisoned").push(SpanRec {
+            name,
+            cat: cat.to_owned(),
+            tid,
+            start_us,
+            dur_us,
+        });
     }
 
     /// A timed cache lookup, credited to the hit or miss histogram.
@@ -635,20 +732,35 @@ impl RunObs {
         explorer: &Explorer,
     ) -> Result<Evaluation, EvalError> {
         let fault = explorer.fault_plan.as_ref().filter(|f| f.nth == seq);
+        let t0 = self.registry.enabled().then(Instant::now);
         let span = self.eval_us.span();
-        let outcome = evaluate_contained(machine, kernels, explorer.hgen, explorer.budget, fault);
+        let outcome = evaluate_contained(
+            machine,
+            kernels,
+            explorer.hgen,
+            explorer.budget,
+            fault,
+            explorer.instrument,
+        );
         drop(span);
+        if let Some(t0) = t0 {
+            self.push_span(format!("eval #{seq}"), "eval", 1 + worker as u64, t0);
+        }
         self.thread_evals[worker].fetch_add(1, Ordering::Relaxed);
         outcome
     }
 
     fn finish(&self, rounds: Vec<FrontierRound>) -> ExploreObs {
+        let mut timeline = self.timeline.lock().expect("timeline lock never poisoned").clone();
+        // Workers push concurrently; present the spans in time order.
+        timeline.sort_by(|a, b| (a.start_us, a.tid, &a.name).cmp(&(b.start_us, b.tid, &b.name)));
         ExploreObs {
             rounds,
             eval_latency_us: self.eval_us.summary(),
             cache_hit_lookup_us: self.hit_us.summary(),
             cache_miss_lookup_us: self.miss_us.summary(),
             thread_evals: self.thread_evals.iter().map(|n| n.load(Ordering::Relaxed)).collect(),
+            timeline,
             wall_s: if self.registry.enabled() {
                 self.started.elapsed().as_secs_f64()
             } else {
@@ -1004,8 +1116,12 @@ impl Explorer {
         let FrontierEval { outcomes, committed, .. } = fe;
         let current_eval = outcomes.into_iter().next().expect("one candidate, one outcome")?;
         let score = self.objective.score(&current_eval.metrics);
-        let initial =
-            Step { action: "initial".to_owned(), metrics: current_eval.metrics.clone(), score };
+        let initial = Step {
+            action: "initial".to_owned(),
+            metrics: current_eval.metrics.clone(),
+            score,
+            profile: current_eval.profile.clone(),
+        };
         if let Some(j) = journal.as_deref_mut() {
             j.init(&counters, &committed, &initial)?;
         }
@@ -1031,12 +1147,16 @@ impl Explorer {
         mut journal: Option<&mut JournalWriter>,
     ) -> Result<Trace, JournalError> {
         for _ in 0..remaining {
+            let round_t0 = robs.registry.enabled().then(Instant::now);
             let (actions, machines): (Vec<String>, Vec<Machine>) = self
                 .propose(&st.current, &st.current_eval)
                 .into_iter()
                 .filter_map(|m| apply_mutation(&st.current, &m).map(|c| (m.to_string(), c)))
                 .unzip();
             let fe = self.eval_frontier(cache, kernels, &machines, robs);
+            if let Some(t0) = round_t0 {
+                robs.push_span(format!("round {}", st.rounds.len()), "explore", 0, t0);
+            }
             st.counters.evaluated += fe.fresh;
             st.counters.cache_hits += machines.len() - fe.fresh;
             st.rounds.push(fe.round());
@@ -1068,7 +1188,12 @@ impl Explorer {
             let Ok(ev) = outcomes.into_iter().nth(i).expect("index in range") else {
                 unreachable!("best candidate came from an Ok outcome");
             };
-            let step = Step { action: actions[i].clone(), metrics: ev.metrics.clone(), score: s };
+            let step = Step {
+                action: actions[i].clone(),
+                metrics: ev.metrics.clone(),
+                score: s,
+                profile: ev.profile.clone(),
+            };
             let machine = machines.into_iter().nth(i).expect("index in range");
             // The round line lands only after the round fully resolved —
             // a kill before this point simply loses the round.
@@ -1115,12 +1240,14 @@ impl Explorer {
             action: "initial".to_owned(),
             metrics: initial_eval.metrics.clone(),
             score: initial_score,
+            profile: initial_eval.profile.clone(),
         }];
         // (machine, eval, score, action that produced it)
         let mut beam = vec![(start.clone(), initial_eval, initial_score, String::new())];
         let mut best = 0usize; // index into beam of the overall best
 
         for _ in 0..self.max_steps {
+            let round_t0 = robs.registry.enabled().then(Instant::now);
             let (actions, machines): (Vec<String>, Vec<Machine>) = beam
                 .iter()
                 .flat_map(|(machine, ev, _, _)| {
@@ -1130,6 +1257,9 @@ impl Explorer {
                 })
                 .unzip();
             let fe = self.eval_frontier(cache, kernels, &machines, &robs);
+            if let Some(t0) = round_t0 {
+                robs.push_span(format!("round {}", rounds.len()), "explore", 0, t0);
+            }
             counters.evaluated += fe.fresh;
             counters.cache_hits += machines.len() - fe.fresh;
             rounds.push(fe.round());
@@ -1162,6 +1292,7 @@ impl Explorer {
                     action: beam[0].3.clone(),
                     metrics: beam[0].1.metrics.clone(),
                     score: round_best,
+                    profile: beam[0].1.profile.clone(),
                 });
             } else {
                 break;

@@ -146,6 +146,7 @@ fn evaluation_to_json(ev: &Evaluation) -> Json {
     Json::obj()
         .with("metrics", ev.metrics.to_json())
         .with("kernels", ev.kernel_stats.iter().map(kernel_run_to_json).collect::<Json>())
+        .with("profile", ev.profile.clone())
 }
 
 /// Cache entries committed during one journaled unit of work:
@@ -169,6 +170,7 @@ fn step_to_json(step: &Step) -> Json {
         .with("action", step.action.as_str())
         .with("score", step.score)
         .with("metrics", step.metrics.to_json())
+        .with("profile", step.profile.clone())
 }
 
 // ---------------------------------------------------------------------
@@ -359,7 +361,10 @@ fn evaluation_from_json(j: &Json) -> Result<Evaluation, String> {
         .iter()
         .map(kernel_run_from_json)
         .collect::<Result<Vec<KernelRun>, String>>()?;
-    Ok(Evaluation { metrics, kernel_stats, compiled: Vec::new() })
+    // `profile` is optional: journals written before the profiler
+    // existed simply resume without per-candidate summaries.
+    let profile = j.get("profile").cloned().unwrap_or(Json::Null);
+    Ok(Evaluation { metrics, kernel_stats, compiled: Vec::new(), profile })
 }
 
 fn entries_from_json(j: &Json) -> Result<JournalEntries, String> {
@@ -385,6 +390,7 @@ fn step_from_json(j: &Json) -> Result<Step, String> {
         action: j.get_str("action").ok_or("step missing `action`")?.to_owned(),
         score: j.get_f64("score").ok_or("step missing `score`")?,
         metrics: metrics_from_json(j.get("metrics").ok_or("step missing `metrics`")?)?,
+        profile: j.get("profile").cloned().unwrap_or(Json::Null),
     })
 }
 

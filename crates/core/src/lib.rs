@@ -46,8 +46,8 @@ pub use eval::{
     SimBudget, Stage,
 };
 pub use explore::{
-    apply_mutation, EvalCache, ExploreObs, Explorer, FrontierRound, Mutation, Objective, Step,
-    Strategy, Trace, EXPLORE_SCHEMA,
+    apply_mutation, chrome_trace, EvalCache, ExploreObs, Explorer, FrontierRound, Mutation,
+    Objective, SpanRec, Step, Strategy, Trace, EXPLORE_SCHEMA,
 };
 pub use fault::{FaultKind, FaultPlan};
 pub use journal::{JournalError, JOURNAL_SCHEMA};

@@ -28,6 +28,7 @@ fn contained_panic_becomes_an_error_naming_the_stage() {
             HgenOptions::default(),
             SimBudget::default(),
             Some(&fault),
+            false,
         )
         .expect_err("the armed panic fired");
         match err {

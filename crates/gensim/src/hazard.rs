@@ -10,20 +10,24 @@
 //! Gaps are measured in no-stall cycles along the layout order — the
 //! same approximation the paper's static scheme implies (branches are
 //! not followed).
+//!
+//! Since the profiler landed, the pass also *attributes* each stall:
+//! the returned [`StallCause`] names the storage (or functional unit)
+//! the consumer waited on and the address of the producing instruction,
+//! which the `xsim-profile/1` report surfaces per stalled PC.
 
 use crate::exec::Binding;
-use crate::sched::DecodedEntry;
+use crate::sched::{DecodedEntry, StallCause};
 use isdl::model::{Machine, Operation, StorageKind};
 use isdl::rtl::{RExpr, RExprKind, RLvalue, RStmt, StorageId};
-use std::rc::Rc;
 
 /// A state cell touched by an operation: a specific cell when the index
 /// is statically known, or the whole storage otherwise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Cell {
-    storage: StorageId,
+pub(crate) struct Cell {
+    pub(crate) storage: StorageId,
     /// `None` = dynamic index: conflicts with every cell.
-    index: Option<u64>,
+    pub(crate) index: Option<u64>,
 }
 
 impl Cell {
@@ -43,29 +47,35 @@ struct Producer {
     pos: u64,
     latency: u32,
     clamp: u32,
+    /// Address of the producing instruction (for attribution).
+    addr: u64,
 }
 
 #[derive(Debug, Default)]
-struct Access {
-    reads: Vec<Cell>,
-    writes: Vec<Cell>,
+pub(crate) struct Access {
+    pub(crate) reads: Vec<Cell>,
+    pub(crate) writes: Vec<Cell>,
 }
 
 /// Computes the static stall for every decoded instruction. Returns
-/// `(address, stall)` pairs for instructions that need one.
+/// `(address, stall, cause)` triples for instructions that need one;
+/// the cause names the storage or unit waited on and the producer PC
+/// that charged the worst (binding) stall.
 pub(crate) fn compute_static_stalls(
     machine: &Machine,
-    decoded: &[Option<Rc<DecodedEntry>>],
-) -> Vec<(u64, u32)> {
+    decoded: &[Option<DecodedEntry>],
+) -> Vec<(u64, u32, StallCause)> {
     let mut out = Vec::new();
     let mut producers: Vec<Producer> = Vec::new();
-    // Per field: (position after last non-nop use, usage, clamp).
-    let mut field_use: Vec<Option<(u64, u32, u32)>> = vec![None; machine.fields.len()];
+    // Per field: (position after last non-nop use, usage, clamp, addr).
+    let mut field_use: Vec<Option<(u64, u32, u32, u64)>> = vec![None; machine.fields.len()];
     let mut pos: u64 = 0;
 
     let entries = decoded.iter().enumerate().filter_map(|(a, e)| e.as_ref().map(|e| (a as u64, e)));
     for (addr, entry) in entries {
-        let mut stall: u32 = 0;
+        // Worst (binding) stall so far, with its cause. Ties keep the
+        // first cause found so attribution is deterministic.
+        let mut worst: Option<(u32, StallCause)> = None;
         // Gather this instruction's accesses across all fields.
         let mut access = Access::default();
         for (d, b) in entry.instr.ops.iter().zip(&entry.bindings) {
@@ -78,7 +88,13 @@ pub(crate) fn compute_static_stalls(
                     let ready = p.pos - 1 + u64::from(p.latency); // visible from this cycle
                     if ready > pos {
                         let need = u32::try_from(ready - pos).unwrap_or(u32::MAX);
-                        stall = stall.max(need.min(p.clamp));
+                        let charged = need.min(p.clamp);
+                        if worst.map_or(charged > 0, |(w, _)| charged > w) {
+                            worst = Some((
+                                charged,
+                                StallCause::Data { storage: p.cell.storage, producer_pc: p.addr },
+                            ));
+                        }
                     }
                 }
             }
@@ -89,18 +105,23 @@ pub(crate) fn compute_static_stalls(
             if Some(d.op.op) == machine.fields[fi].nop {
                 continue;
             }
-            if let Some((last_pos, usage, clamp)) = field_use[fi] {
+            if let Some((last_pos, usage, clamp, last_addr)) = field_use[fi] {
                 let free = last_pos - 1 + u64::from(usage);
                 if free > pos {
                     let need = u32::try_from(free - pos).unwrap_or(u32::MAX);
-                    stall = stall.max(need.min(clamp));
+                    let charged = need.min(clamp);
+                    if worst.map_or(charged > 0, |(w, _)| charged > w) {
+                        worst = Some((
+                            charged,
+                            StallCause::Usage { field: fi, producer_pc: last_addr },
+                        ));
+                    }
                 }
             }
-            field_use[fi] = Some((pos + 1, op.timing.usage, op.costs.stall));
-            let _ = op;
+            field_use[fi] = Some((pos + 1, op.timing.usage, op.costs.stall, addr));
         }
-        if stall > 0 {
-            out.push((addr, stall));
+        if let Some((stall, cause)) = worst {
+            out.push((addr, stall, cause));
         }
         // Record this instruction's writes as producers.
         let write_pos = pos + 1;
@@ -115,6 +136,7 @@ pub(crate) fn compute_static_stalls(
                         pos: write_pos,
                         latency: op.timing.latency,
                         clamp: op.costs.stall,
+                        addr,
                     });
                 }
                 break;
@@ -129,7 +151,12 @@ pub(crate) fn compute_static_stalls(
 
 /// Collects the cells an operation reads and writes, inlining
 /// non-terminal option values per the decoded bindings.
-fn collect_op_access(machine: &Machine, op: &Operation, bindings: &[Binding], out: &mut Access) {
+pub(crate) fn collect_op_access(
+    machine: &Machine,
+    op: &Operation,
+    bindings: &[Binding],
+    out: &mut Access,
+) {
     for s in op.action.iter().chain(&op.side_effects) {
         collect_stmt(machine, s, op, bindings, out);
     }

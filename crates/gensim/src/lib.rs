@@ -52,8 +52,12 @@ pub mod report;
 pub mod sched;
 pub mod state;
 
-pub use report::{publish_opt_counters, stats_json, trace_json, STATS_SCHEMA, TRACE_SCHEMA};
+pub use report::{
+    profile_json, publish_opt_counters, stats_json, trace_json, PROFILE_SCHEMA, STATS_SCHEMA,
+    TRACE_SCHEMA,
+};
 pub use sched::{
-    CoreKind, EventTrace, GensimError, Stats, StopReason, TraceEvent, TraceWrite, Xsim, XsimOptions,
+    CoreKind, EventTrace, GensimError, Profile, ProfileRow, StallCause, Stats, StopReason,
+    TraceEvent, TraceWrite, Xsim, XsimOptions,
 };
 pub use state::{Monitor, MonitorEvent, State};

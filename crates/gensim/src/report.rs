@@ -1,5 +1,6 @@
 //! Versioned JSON reports from a running simulator: execution
-//! statistics (`xsim-stats/1`) and the event trace (`xsim-trace/1`).
+//! statistics (`xsim-stats/1`), the event trace (`xsim-trace/1`), and
+//! the cycle-attribution profile (`xsim-profile/1`).
 //!
 //! The schemas are reference-documented in `docs/OBSERVABILITY.md`;
 //! `EXPERIMENTS.md` shows how to regenerate the paper-style cycle/IPC
@@ -8,7 +9,10 @@
 //! contract: consumers must check it and reject major versions they
 //! do not know.
 
-use crate::sched::Xsim;
+use crate::exec::binding_from_operand;
+use crate::hazard;
+use crate::sched::{ProfileRow, StallCause, TraceEvent, Xsim};
+use isdl::model::Machine;
 use obs::Json;
 
 /// Schema identifier emitted by [`stats_json`]. Bump the suffix on
@@ -17,6 +21,9 @@ pub const STATS_SCHEMA: &str = "xsim-stats/1";
 
 /// Schema identifier emitted by [`trace_json`].
 pub const TRACE_SCHEMA: &str = "xsim-trace/1";
+
+/// Schema identifier emitted by [`profile_json`].
+pub const PROFILE_SCHEMA: &str = "xsim-profile/1";
 
 /// The simulator's execution statistics as a schema-versioned JSON
 /// object: totals (`cycles`, `instructions`, `stall_cycles`, `ipc`)
@@ -122,28 +129,7 @@ pub fn trace_json(sim: &Xsim<'_>) -> Json {
         Some(trace) => (
             trace.capacity(),
             trace.dropped(),
-            trace
-                .events()
-                .map(|e| {
-                    let ops: Vec<Json> =
-                        e.ops.iter().map(|r| Json::from(machine.op(*r).name.as_str())).collect();
-                    let writes: Vec<Json> = e
-                        .writes
-                        .iter()
-                        .map(|w| {
-                            Json::obj()
-                                .with("storage", machine.storage(w.storage).name.as_str())
-                                .with("index", w.index)
-                                .with("value", w.value.to_string())
-                        })
-                        .collect();
-                    Json::obj()
-                        .with("cycle", e.cycle)
-                        .with("pc", e.pc)
-                        .with("ops", Json::Arr(ops))
-                        .with("writes", Json::Arr(writes))
-                })
-                .collect(),
+            trace.events().map(|e| event_json(machine, e)).collect(),
         ),
     };
     Json::obj()
@@ -152,4 +138,190 @@ pub fn trace_json(sim: &Xsim<'_>) -> Json {
         .with("capacity", capacity)
         .with("dropped", dropped)
         .with("events", Json::Arr(events))
+}
+
+/// Renders one retire record as the JSON object `xsim-trace/1` carries
+/// per event — also the line format of the streaming trace sink
+/// ([`Xsim::set_event_sink`]), so ring and stream consumers parse one
+/// shape.
+pub(crate) fn event_json(machine: &Machine, e: &TraceEvent) -> Json {
+    let ops: Vec<Json> = e.ops.iter().map(|r| Json::from(machine.op(*r).name.as_str())).collect();
+    let writes: Vec<Json> = e
+        .writes
+        .iter()
+        .map(|w| {
+            Json::obj()
+                .with("storage", machine.storage(w.storage).name.as_str())
+                .with("index", w.index)
+                .with("value", w.value.to_string())
+        })
+        .collect();
+    Json::obj()
+        .with("cycle", e.cycle)
+        .with("pc", e.pc)
+        .with("ops", Json::Arr(ops))
+        .with("writes", Json::Arr(writes))
+}
+
+fn cause_json(machine: &Machine, cause: StallCause) -> Json {
+    match cause {
+        StallCause::Data { storage, producer_pc } => Json::obj()
+            .with("kind", "data")
+            .with("storage", machine.storage(storage).name.as_str())
+            .with("producer_pc", producer_pc),
+        // For usage hazards the `storage` key names the occupied
+        // functional unit (field) — the "resource waited on" slot is
+        // shared so consumers can group by one key.
+        StallCause::Usage { field, producer_pc } => Json::obj()
+            .with("kind", "usage")
+            .with("storage", machine.fields[field].name.as_str())
+            .with("producer_pc", producer_pc),
+    }
+}
+
+/// The cycle-attribution profile as a schema-versioned JSON object
+/// (empty tables if profiling was never enabled —
+/// [`Xsim::enable_profile`]).
+///
+/// Three views of the same counters:
+///
+/// * `pcs` — one row per instruction address that issued (or charged
+///   fault-path stalls): `issues`, `cycles`, `stall_cycles`, the
+///   selected operation names in field order, and — when the row
+///   stalled — the `stall_cause` object naming the hazard kind, the
+///   storage (or functional unit) waited on, and the producer PC.
+/// * `regions` — the `pcs` rows aggregated by the program's
+///   code-section labels, gprof-style: each label opens a region that
+///   extends to the next label; unlabeled prefixes fall into a
+///   synthetic `(entry)` region.
+/// * `storages` — a read/write heat map: the static accesses of each
+///   executed instruction weighted by its dynamic issue count.
+///
+/// Invariants consumers may rely on, provided profiling was enabled
+/// before the first step (tested in `tests/profile_invariants.rs`):
+/// summing `cycles` over `pcs` (or `regions`) reproduces the
+/// machine-wide `cycles` exactly, likewise `stall_cycles`, and every
+/// row with `stall_cycles > 0` carries a non-null `stall_cause`.
+/// Caveat: self-modifying code drops the decode cache, so `ops` and
+/// `stall_cause` reflect the *current* memory image, not history.
+#[must_use]
+pub fn profile_json(sim: &Xsim<'_>) -> Json {
+    let machine = sim.machine();
+    let stats = sim.stats();
+    let rows: &[ProfileRow] = sim.profile().map_or(&[], |p| p.rows());
+    let active: Vec<(u64, ProfileRow)> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.issues > 0 || r.cycles > 0)
+        .map(|(pc, r)| (pc as u64, *r))
+        .collect();
+
+    // Per-op (operation, bindings) pairs for one address, from the
+    // decode cache when warm, else a fresh decode (online-decode runs
+    // never populate the cache).
+    let ops_of = |pc: u64| -> Option<(Vec<String>, Option<StallCause>, hazard::Access)> {
+        let mut access = hazard::Access::default();
+        if let Some(entry) = sim.decoded_entry(pc) {
+            let names = entry.instr.ops.iter().map(|d| machine.op(d.op).name.clone()).collect();
+            for (d, b) in entry.instr.ops.iter().zip(&entry.bindings) {
+                hazard::collect_op_access(machine, machine.op(d.op), b, &mut access);
+            }
+            Some((names, entry.stall_cause, access))
+        } else {
+            let instr = sim.decode_instr(pc)?;
+            let names = instr.ops.iter().map(|d| machine.op(d.op).name.clone()).collect();
+            for d in &instr.ops {
+                let b: Vec<_> = d.args.iter().map(binding_from_operand).collect();
+                hazard::collect_op_access(machine, machine.op(d.op), &b, &mut access);
+            }
+            Some((names, None, access))
+        }
+    };
+
+    let mut reads = vec![0u64; machine.storages.len()];
+    let mut writes = vec![0u64; machine.storages.len()];
+    let pcs: Vec<Json> = active
+        .iter()
+        .map(|&(pc, row)| {
+            let mut j = Json::obj()
+                .with("pc", pc)
+                .with("issues", row.issues)
+                .with("cycles", row.cycles)
+                .with("stall_cycles", row.stall_cycles);
+            match ops_of(pc) {
+                Some((names, cause, access)) => {
+                    j.insert("ops", names.into_iter().map(Json::from).collect::<Json>());
+                    j.insert("stall_cause", cause.map_or(Json::Null, |c| cause_json(machine, c)));
+                    for c in &access.reads {
+                        reads[c.storage.0] += row.issues;
+                    }
+                    for c in &access.writes {
+                        writes[c.storage.0] += row.issues;
+                    }
+                }
+                None => {
+                    j.insert("ops", Json::Arr(Vec::new()));
+                    j.insert("stall_cause", Json::Null);
+                }
+            }
+            j
+        })
+        .collect();
+
+    // Region table: each code label opens a region until the next;
+    // anything before the first label lands in a synthetic `(entry)`.
+    let mut bounds: Vec<(u64, &str)> = Vec::new();
+    if sim.regions().first().is_none_or(|(a, _)| *a > 0) {
+        bounds.push((0, "(entry)"));
+    }
+    for (a, name) in sim.regions() {
+        if bounds.last().is_some_and(|(b, _)| b == a) {
+            continue; // two labels on one address: first wins
+        }
+        bounds.push((*a, name.as_str()));
+    }
+    let mut agg = vec![ProfileRow::default(); bounds.len()];
+    for &(pc, row) in &active {
+        let idx = bounds.partition_point(|(a, _)| *a <= pc).saturating_sub(1);
+        agg[idx].issues += row.issues;
+        agg[idx].cycles += row.cycles;
+        agg[idx].stall_cycles += row.stall_cycles;
+    }
+    let regions: Vec<Json> = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &(start, name))| {
+            let end = bounds.get(i + 1).map_or(rows.len() as u64, |(a, _)| *a);
+            Json::obj()
+                .with("name", name)
+                .with("start", start)
+                .with("end", end)
+                .with("issues", agg[i].issues)
+                .with("cycles", agg[i].cycles)
+                .with("stall_cycles", agg[i].stall_cycles)
+        })
+        .collect();
+
+    let storages: Vec<Json> = machine
+        .storages
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| reads[i] > 0 || writes[i] > 0)
+        .map(|(i, s)| {
+            Json::obj()
+                .with("name", s.name.as_str())
+                .with("reads", reads[i])
+                .with("writes", writes[i])
+        })
+        .collect();
+
+    Json::obj()
+        .with("schema", PROFILE_SCHEMA)
+        .with("machine", machine.name.as_str())
+        .with("cycles", stats.cycles)
+        .with("instructions", stats.instructions)
+        .with("stall_cycles", stats.stall_cycles)
+        .with("pcs", Json::Arr(pcs))
+        .with("regions", Json::Arr(regions))
+        .with("storages", Json::Arr(storages))
 }

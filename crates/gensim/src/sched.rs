@@ -271,6 +271,89 @@ impl EventTrace {
     }
 }
 
+/// Why the static stall pass charged an instruction stall cycles: the
+/// binding (worst) hazard, attributed to the storage or functional unit
+/// the consumer waited on and to the producing instruction's address.
+///
+/// Ties between equal stalls keep the first cause found (data hazards
+/// before usage hazards, program order within each), so attribution is
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// The instruction read a cell whose producing write (latency > 1)
+    /// was not yet visible.
+    Data {
+        /// The storage the consumer waited on.
+        storage: StorageId,
+        /// Address of the producing instruction.
+        producer_pc: u64,
+    },
+    /// The instruction needed a functional unit (field) still occupied
+    /// by an earlier operation's `usage` window.
+    Usage {
+        /// Index of the occupied field in `machine.fields`.
+        field: usize,
+        /// Address of the occupying instruction.
+        producer_pc: u64,
+    },
+}
+
+/// Per-PC cycle attribution: how often the instruction at one address
+/// issued and how many cycles (split into stall and execute) it was
+/// charged. All counters are derived from the same simulated quantities
+/// [`Stats`] accumulates, so summing rows reproduces the machine-wide
+/// totals exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Times the instruction at this address issued.
+    pub issues: u64,
+    /// Total cycles charged here (stall + execute).
+    pub cycles: u64,
+    /// Stall cycles included in `cycles`.
+    pub stall_cycles: u64,
+}
+
+/// The cycle-attribution profile: one [`ProfileRow`] per instruction
+/// address, recorded by [`Xsim::step`] when profiling is enabled via
+/// [`Xsim::enable_profile`].
+///
+/// Recording is a handful of integer adds behind one `Option`
+/// discriminant check — when profiling is off the hot loop pays one
+/// branch and reads no clocks (the PR 2 overhead contract).
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    rows: Vec<ProfileRow>,
+}
+
+impl Profile {
+    fn new(depth: usize) -> Self {
+        Self { rows: vec![ProfileRow::default(); depth] }
+    }
+
+    /// The per-address rows, indexed by instruction address.
+    #[must_use]
+    pub fn rows(&self) -> &[ProfileRow] {
+        &self.rows
+    }
+
+    fn record(&mut self, pc: u64, stall: u32, cycle_cost: u32) {
+        if let Some(r) = self.rows.get_mut(pc as usize) {
+            r.issues += 1;
+            r.cycles += u64::from(stall) + u64::from(cycle_cost);
+            r.stall_cycles += u64::from(stall);
+        }
+    }
+
+    /// A faulting instruction charges its stall (already added to
+    /// [`Stats`]) but neither issues nor costs execute cycles.
+    fn record_stall_only(&mut self, pc: u64, stall: u32) {
+        if let Some(r) = self.rows.get_mut(pc as usize) {
+            r.cycles += u64::from(stall);
+            r.stall_cycles += u64::from(stall);
+        }
+    }
+}
+
 /// A prepared execution plan for one field slot of an instruction:
 /// compiled phases plus the flattened token operands.
 #[derive(Debug)]
@@ -292,6 +375,8 @@ pub(crate) struct DecodedEntry {
     plans: Vec<Plan>,
     pub cycle_cost: u32,
     pub stall: u32,
+    /// Why the static pass charged `stall` (None when `stall == 0`).
+    pub stall_cause: Option<StallCause>,
     /// Whether any selected operation is named `halt`.
     pub halts: bool,
 }
@@ -327,6 +412,13 @@ pub struct Xsim<'m> {
     breakpoints: HashSet<u64>,
     trace: Option<Box<dyn Write + Send>>,
     events: Option<EventTrace>,
+    /// Streaming event sink (never drops); fed alongside the ring.
+    event_sink: Option<Box<dyn obs::TraceSink>>,
+    /// Per-PC cycle attribution, when enabled.
+    profile: Option<Box<Profile>>,
+    /// Code-section labels of the loaded program, sorted by address —
+    /// the region table the profile report aggregates over.
+    regions: Vec<(u64, String)>,
     halted: bool,
 }
 
@@ -381,6 +473,9 @@ impl<'m> Xsim<'m> {
             breakpoints: HashSet::new(),
             trace: None,
             events: None,
+            event_sink: None,
+            profile: None,
+            regions: Vec::new(),
             halted: false,
         })
     }
@@ -497,6 +592,50 @@ impl<'m> Xsim<'m> {
         self.events.take()
     }
 
+    /// Streams every executed instruction's retire record (the same
+    /// JSON object `xsim-trace/1` carries per event) to `sink` as it
+    /// happens. Unlike the bounded ring, a streaming sink never drops
+    /// events. Replaces any previous sink; coexists with the ring.
+    pub fn set_event_sink(&mut self, sink: Box<dyn obs::TraceSink>) {
+        self.event_sink = Some(sink);
+    }
+
+    /// Stops streaming and returns the sink (flush it before use).
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn obs::TraceSink>> {
+        self.event_sink.take()
+    }
+
+    /// Starts recording the per-PC cycle-attribution profile (issue
+    /// counts, cycles, stall cycles per instruction address). Replaces
+    /// any previous profile. Disabled profiling costs the hot loop one
+    /// branch and zero clock reads.
+    pub fn enable_profile(&mut self) {
+        let depth = self.state.depth(self.imem_id) as usize;
+        self.profile = Some(Box::new(Profile::new(depth)));
+    }
+
+    /// The profile recorded so far, if enabled.
+    #[must_use]
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profile.as_deref()
+    }
+
+    /// Stops profiling and returns the recorded profile.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        self.profile.take().map(|p| *p)
+    }
+
+    /// Code-section labels of the loaded program (address-sorted) —
+    /// the region boundaries the profile report aggregates over.
+    pub(crate) fn regions(&self) -> &[(u64, String)] {
+        &self.regions
+    }
+
+    /// The decoded entry cached for `addr`, if any.
+    pub(crate) fn decoded_entry(&self, addr: u64) -> Option<&Rc<DecodedEntry>> {
+        self.decoded.get(addr as usize)?.as_ref()
+    }
+
     /// Flat per-(field, op) execution counts, indexed `[field][op]` —
     /// the raw table behind [`Xsim::op_counts`], used by the stats
     /// report.
@@ -522,11 +661,13 @@ impl<'m> Xsim<'m> {
                 self.state.poke(StorageId(dm), addr, BitVector::from_i64(v, width));
             }
         }
+        self.regions = program.code_labels.clone();
         self.set_pc(program.entry);
     }
 
     /// Loads raw instruction words starting at address 0.
     pub fn load_words(&mut self, words: &[BitVector]) {
+        self.regions.clear();
         let w = self.machine.word_width;
         let depth = self.state.depth(self.imem_id);
         for (a, word) in words.iter().enumerate().take(depth as usize) {
@@ -543,13 +684,20 @@ impl<'m> Xsim<'m> {
     /// Decodes every address reachable by sequential layout, then
     /// computes static stalls (illegal words — e.g. data — stay
     /// undecoded and are skipped for stall purposes).
+    ///
+    /// Entries are built unshared, annotated with their stall and its
+    /// cause, and only then wrapped in `Rc` — there is no aliased
+    /// mutation and no panicking `Rc::get_mut` path.
     fn offline_decode_pass(&mut self, len: u64) {
+        let mut plain: Vec<Option<DecodedEntry>> = Vec::with_capacity(self.decoded.len());
+        plain.resize_with(self.decoded.len(), || None);
         let mut addr = 0u64;
         while addr < len {
-            match self.decode_at(addr) {
-                Some(entry) => {
+            match self.decode_instr(addr) {
+                Some(instr) => {
+                    let entry = self.build_entry(instr);
                     let size = u64::from(entry.instr.size);
-                    self.decoded[addr as usize] = Some(entry);
+                    plain[addr as usize] = Some(entry);
                     addr += size;
                 }
                 None => {
@@ -557,16 +705,21 @@ impl<'m> Xsim<'m> {
                 }
             }
         }
-        let stalls = hazard::compute_static_stalls(self.machine, &self.decoded);
-        for (addr, stall) in stalls {
-            if let Some(e) = &mut self.decoded[addr as usize] {
-                Rc::get_mut(e).expect("entry not yet shared").stall = stall;
+        for (addr, stall, cause) in hazard::compute_static_stalls(self.machine, &plain) {
+            if let Some(e) = plain[addr as usize].as_mut() {
+                e.stall = stall;
+                e.stall_cause = Some(cause);
+            }
+        }
+        for (i, e) in plain.into_iter().enumerate() {
+            if let Some(e) = e {
+                self.decoded[i] = Some(Rc::new(e));
             }
         }
     }
 
     /// Decodes the raw instruction at `addr` (no execution plans).
-    fn decode_instr(&self, addr: u64) -> Option<DecodedInstr> {
+    pub(crate) fn decode_instr(&self, addr: u64) -> Option<DecodedInstr> {
         let depth = self.state.depth(self.imem_id);
         if addr >= depth {
             return None;
@@ -632,7 +785,7 @@ impl<'m> Xsim<'m> {
         } else {
             Vec::new()
         };
-        DecodedEntry { instr, bindings, plans, cycle_cost, stall: 0, halts }
+        DecodedEntry { instr, bindings, plans, cycle_cost, stall: 0, stall_cause: None, halts }
     }
 
     /// Runs until a stop condition, executing at most `max_cycles`
@@ -831,11 +984,16 @@ impl<'m> Xsim<'m> {
             se_writes.clear();
             self.action_buf = action_writes;
             self.se_buf = se_writes;
+            // The stall was already charged to Stats above; mirror it
+            // so per-PC sums stay exact even on the fault path.
+            if let Some(p) = &mut self.profile {
+                p.record_stall_only(pc, entry.stall);
+            }
             return Some(StopReason::ExecFault { addr: pc, message: e.to_string() });
         }
         let mut pc_written = false;
         let mut traced_writes = Vec::new();
-        let tracing = self.events.is_some();
+        let tracing = self.events.is_some() || self.event_sink.is_some();
         for w in action_writes.drain(..).chain(se_writes.drain(..)) {
             if w.storage == self.pc_id {
                 pc_written = true;
@@ -858,13 +1016,19 @@ impl<'m> Xsim<'m> {
         }
         self.action_buf = action_writes;
         self.se_buf = se_writes;
-        if let Some(events) = &mut self.events {
-            events.push(TraceEvent {
+        if tracing {
+            let event = TraceEvent {
                 cycle: t,
                 pc,
                 ops: entry.instr.ops.iter().map(|d| d.op).collect(),
                 writes: traced_writes,
-            });
+            };
+            if let Some(sink) = &mut self.event_sink {
+                sink.record(crate::report::event_json(self.machine, &event));
+            }
+            if let Some(events) = &mut self.events {
+                events.push(event);
+            }
         }
 
         // Bookkeeping (flat counters; folded into Stats lazily).
@@ -875,6 +1039,9 @@ impl<'m> Xsim<'m> {
             }
         }
         self.stats.instructions += 1;
+        if let Some(p) = &mut self.profile {
+            p.record(pc, entry.stall, entry.cycle_cost);
+        }
         if let Some(tr) = &mut self.trace {
             let _ = writeln!(tr, "{pc:#x}");
         }
@@ -928,6 +1095,9 @@ impl<'m> Xsim<'m> {
         }
         if let Some(events) = &mut self.events {
             *events = EventTrace::new(events.capacity());
+        }
+        if let Some(p) = &mut self.profile {
+            **p = Profile::new(p.rows.len());
         }
         self.halted = false;
     }

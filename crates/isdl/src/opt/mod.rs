@@ -11,13 +11,13 @@
 //!
 //! In order, at [`OptLevel::Basic`] and above:
 //!
-//! 1. **Simplify** ([`mod@fold`]): bit-true constant folding over
+//! 1. **Simplify** (`fold`): bit-true constant folding over
 //!    [`bitv::BitVector`], algebraic identities (`x+0`, `x&0`,
 //!    `x|ones`, shift-by-constant, conditionals with literal guards),
 //!    no-op width-conversion removal, and width narrowing — a
 //!    truncation distributes through `+ - * & | ^ << ~ neg`, so
 //!    over-wide intermediates shrink to the width actually consumed.
-//! 2. **Dead-write elimination** ([`mod@dead`]): a staged write
+//! 2. **Dead-write elimination** (`dead`): a staged write
 //!    provably overwritten later in the same phase is dropped.
 //!    Within a phase reads see cycle-start state, so an intervening
 //!    read never observes the dropped write.
@@ -25,9 +25,10 @@
 //! Steps 1–2 repeat to a small fixpoint. At [`OptLevel::Aggressive`]
 //! a final pass runs:
 //!
-//! 3. **Common-subexpression elimination** ([`mod@cse`]): repeated
+//! 3. **Common-subexpression elimination** (`cse`): repeated
 //!    subexpressions within one phase are hoisted into
-//!    [`RStmt::Let`] temporaries referenced via [`RExprKind::Tmp`].
+//!    [`RStmt::Let`] temporaries referenced via
+//!    [`RExprKind::Tmp`](crate::rtl::RExprKind::Tmp).
 //!
 //! # Invariants
 //!

@@ -34,8 +34,10 @@
 //! ```
 
 pub mod json;
+pub mod trace;
 
 pub use json::Json;
+pub use trace::{ChromeTrace, RingSink, StreamSink, TraceSink};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

@@ -1,0 +1,298 @@
+//! Pluggable trace sinks and a Chrome trace-event writer.
+//!
+//! A producer (the simulator's retire loop, the explorer's round loop)
+//! hands each event to a [`TraceSink`] as a [`Json`] object and never
+//! cares where it goes:
+//!
+//! * [`RingSink`] — a bounded ring that keeps the *tail* of the stream
+//!   and counts what it evicted. The default: constant memory, crash
+//!   context preserved.
+//! * [`StreamSink`] — JSON Lines to any writer; never drops an event.
+//! * [`ChromeTrace`] — not a sink but a builder for the Chrome
+//!   trace-event format (`chrome://tracing` / Perfetto): collect
+//!   complete/instant events, then serialize one `{"traceEvents":[…]}`
+//!   document.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// A destination for a stream of JSON trace events.
+///
+/// Implementations decide the retention policy; producers only call
+/// [`TraceSink::record`] per event and [`TraceSink::flush`] at the end
+/// of a run.
+pub trait TraceSink: Send {
+    /// Accepts one event.
+    fn record(&mut self, event: Json);
+
+    /// Events the sink has discarded (0 for lossless sinks).
+    fn dropped(&self) -> u64 {
+        0
+    }
+
+    /// Flushes any buffered output.
+    fn flush(&mut self) {}
+}
+
+/// A bounded ring of events: when full, the oldest event is evicted
+/// and counted. Keeps the tail of a long run in constant memory.
+#[derive(Debug, Clone, Default)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<Json>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// An empty ring bounded at `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { capacity, events: VecDeque::with_capacity(capacity), dropped: 0 }
+    }
+
+    /// Maximum retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Json> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: Json) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Streams events as JSON Lines (one compact object per line) to any
+/// writer. Never drops an event; I/O errors are counted rather than
+/// panicking mid-simulation (check [`StreamSink::write_errors`]).
+pub struct StreamSink {
+    out: Box<dyn Write + Send>,
+    written: u64,
+    write_errors: u64,
+}
+
+impl std::fmt::Debug for StreamSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSink")
+            .field("written", &self.written)
+            .field("write_errors", &self.write_errors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamSink {
+    /// A sink writing JSONL to `out`.
+    #[must_use]
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self { out, written: 0, write_errors: 0 }
+    }
+
+    /// Events successfully written.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Events lost to I/O errors.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+}
+
+impl TraceSink for StreamSink {
+    fn record(&mut self, event: Json) {
+        match writeln!(self.out, "{event}") {
+            Ok(()) => self.written += 1,
+            Err(_) => self.write_errors += 1,
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A builder for the Chrome trace-event JSON format.
+///
+/// Collect events with [`ChromeTrace::complete`] /
+/// [`ChromeTrace::instant`], then render the whole timeline with
+/// [`ChromeTrace::to_json`] and load the result in `chrome://tracing`
+/// or Perfetto. Timestamps are microseconds relative to any epoch the
+/// caller chooses (the viewers only care about relative placement).
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+}
+
+impl ChromeTrace {
+    /// An empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a complete (`ph: "X"`) event: a span named `name` in
+    /// category `cat` on track `tid`, starting at `ts_us` and lasting
+    /// `dur_us` microseconds, with free-form `args` attached.
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+        args: Json,
+    ) {
+        self.events.push(
+            Json::obj()
+                .with("name", name)
+                .with("cat", cat)
+                .with("ph", "X")
+                .with("pid", 1u64)
+                .with("tid", tid)
+                .with("ts", ts_us)
+                .with("dur", dur_us)
+                .with("args", args),
+        );
+    }
+
+    /// Adds an instant (`ph: "i"`) event at `ts_us` on track `tid`.
+    pub fn instant(&mut self, name: &str, cat: &str, tid: u64, ts_us: u64, args: Json) {
+        self.events.push(
+            Json::obj()
+                .with("name", name)
+                .with("cat", cat)
+                .with("ph", "i")
+                .with("s", "t")
+                .with("pid", 1u64)
+                .with("tid", tid)
+                .with("ts", ts_us)
+                .with("args", args),
+        );
+    }
+
+    /// Number of events collected.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the `{"traceEvents": […]}` document the viewers load.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj().with("traceEvents", self.events.iter().cloned().collect::<Json>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn ev(n: u64) -> Json {
+        Json::obj().with("n", n)
+    }
+
+    #[test]
+    fn ring_keeps_tail_and_counts_drops() {
+        let mut ring = RingSink::new(3);
+        for n in 0..10 {
+            ring.record(ev(n));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let kept: Vec<u64> = ring.events().filter_map(|e| e.get_u64("n")).collect();
+        assert_eq!(kept, [7, 8, 9], "tail survives");
+    }
+
+    #[test]
+    fn ring_capacity_floor_is_one() {
+        let mut ring = RingSink::new(0);
+        ring.record(ev(1));
+        ring.record(ev(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stream_sink_writes_jsonl_and_never_drops() {
+        let buf = SharedBuf::default();
+        let mut sink = StreamSink::new(Box::new(buf.clone()));
+        for n in 0..5 {
+            sink.record(ev(n));
+        }
+        sink.flush();
+        assert_eq!(sink.written(), 5);
+        assert_eq!(sink.dropped(), 0);
+        let text = String::from_utf8(buf.0.lock().expect("lock").clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = Json::parse(line).expect("each line is valid JSON");
+            assert_eq!(parsed.get_u64("n"), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_document_shape() {
+        let mut ct = ChromeTrace::new();
+        ct.complete("round 0", "explore", 0, 0, 1500, Json::obj().with("evals", 4u64));
+        ct.instant("accepted", "explore", 0, 1500, Json::Null);
+        let doc = ct.to_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get_str("ph"), Some("X"));
+        assert_eq!(events[0].get_u64("dur"), Some(1500));
+        assert_eq!(events[1].get_str("ph"), Some("i"));
+        // Round-trips through our own parser.
+        let text = doc.to_pretty();
+        assert_eq!(Json::parse(&text).expect("parses"), doc);
+    }
+}

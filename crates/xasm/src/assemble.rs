@@ -23,6 +23,11 @@ pub struct Program {
     pub data: Vec<(u64, i64)>,
     /// Label values (word addresses in their section).
     pub labels: HashMap<String, u64>,
+    /// Code-section labels only, sorted by address — each opens a
+    /// profiling region that extends to the next label. Data labels
+    /// are excluded because their addresses alias the code address
+    /// space (`labels` flattens both sections into one map).
+    pub code_labels: Vec<(u64, String)>,
     /// `(address, source text)` pairs for listings and debugging.
     pub listing: Vec<(u64, String)>,
     /// Entry address (the `start` label if defined, else 0).
@@ -118,6 +123,7 @@ impl<'m> Assembler<'m> {
         let mut items = Vec::new();
         let mut data: Vec<(u64, i64)> = Vec::new();
         let mut labels: HashMap<String, u64> = HashMap::new();
+        let mut code_labels: Vec<(u64, String)> = Vec::new();
         let mut text_pc: u64 = 0;
         let mut data_pc: u64 = 0;
         let mut in_data = false;
@@ -129,6 +135,9 @@ impl<'m> Assembler<'m> {
                 let here = if in_data { data_pc } else { text_pc };
                 if labels.insert(label.to_owned(), here).is_some() {
                     return Err(AsmError::new(line, format!("label `{label}` defined twice")));
+                }
+                if !in_data {
+                    code_labels.push((here, label.to_owned()));
                 }
                 text = rest.trim();
             }
@@ -243,7 +252,10 @@ impl<'m> Assembler<'m> {
             words[a as usize] = v;
         }
         let entry = labels.get("start").copied().unwrap_or(0);
-        Ok(Program { words, data, labels, listing, entry })
+        // `.org` can lay regions out of source order; sort (stably, so
+        // two labels on one address keep their source order).
+        code_labels.sort_by_key(|(a, _)| *a);
+        Ok(Program { words, data, labels, code_labels, listing, entry })
     }
 
     /// Parses one instruction line into per-field slots, inserting nop
@@ -666,6 +678,30 @@ mod tests {
         let p = Assembler::new(&m).assemble(src).expect("assembles");
         assert_eq!(p.labels["one"], 60);
         assert_eq!(p.data, vec![(60, 1)]);
+    }
+
+    #[test]
+    fn code_labels_exclude_data_and_sort_by_address() {
+        let m = isdl::load(ACC16).expect("loads");
+        // `tail` is laid out *before* `start` in source via `.org`;
+        // `one` is a data label and must not appear.
+        let src = "\
+.org 4
+tail: halt
+.org 0
+start: ldi 10
+loop: subm one
+ jnz loop
+ jmp tail
+.data
+.org 60
+one: .word 1
+";
+        let p = Assembler::new(&m).assemble(src).expect("assembles");
+        assert_eq!(
+            p.code_labels,
+            vec![(0, "start".to_owned()), (1, "loop".to_owned()), (4, "tail".to_owned())]
+        );
     }
 
     #[test]

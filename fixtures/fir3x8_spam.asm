@@ -1,0 +1,100 @@
+; Compiled 3-tap FIR on an 8-sample window for the SPAM fixture
+; (archex::workloads::fir(3, 8) through archex::compile) — the
+; benchmark kernel of Table 1 and the profiling walkthrough in
+; EXPERIMENTS.md. Regenerate by compiling the kernel with archex.
+MUL.clracc
+MEM.ld R0, 0
+MEM.ld R1, 5
+MUL.mac R0, R1
+MEM.ld R0, 1
+MEM.ld R1, 4
+MUL.mac R0, R1
+MEM.ld R0, 2
+MEM.ld R1, 3
+MUL.mac R0, R1
+MOV0.mvacc R2
+MEM.st 11, R2
+MUL.clracc
+MEM.ld R0, 0
+MEM.ld R1, 6
+MUL.mac R0, R1
+MEM.ld R0, 1
+MEM.ld R1, 5
+MUL.mac R0, R1
+MEM.ld R0, 2
+MEM.ld R1, 4
+MUL.mac R0, R1
+MOV0.mvacc R2
+MEM.st 12, R2
+MUL.clracc
+MEM.ld R0, 0
+MEM.ld R1, 7
+MUL.mac R0, R1
+MEM.ld R0, 1
+MEM.ld R1, 6
+MUL.mac R0, R1
+MEM.ld R0, 2
+MEM.ld R1, 5
+MUL.mac R0, R1
+MOV0.mvacc R2
+MEM.st 13, R2
+MUL.clracc
+MEM.ld R0, 0
+MEM.ld R1, 8
+MUL.mac R0, R1
+MEM.ld R0, 1
+MEM.ld R1, 7
+MUL.mac R0, R1
+MEM.ld R0, 2
+MEM.ld R1, 6
+MUL.mac R0, R1
+MOV0.mvacc R2
+MEM.st 14, R2
+MUL.clracc
+MEM.ld R0, 0
+MEM.ld R1, 9
+MUL.mac R0, R1
+MEM.ld R0, 1
+MEM.ld R1, 8
+MUL.mac R0, R1
+MEM.ld R0, 2
+MEM.ld R1, 7
+MUL.mac R0, R1
+MOV0.mvacc R2
+MEM.st 15, R2
+MUL.clracc
+MEM.ld R0, 0
+MEM.ld R1, 10
+MUL.mac R0, R1
+MEM.ld R0, 1
+MEM.ld R1, 9
+MUL.mac R0, R1
+MEM.ld R0, 2
+MEM.ld R1, 8
+MUL.mac R0, R1
+MOV0.mvacc R2
+MEM.st 16, R2
+__end: MEM.jmp __end
+.data
+.org 0
+.word 1
+.org 1
+.word 2
+.org 2
+.word 3
+.org 3
+.word 1
+.org 4
+.word 4
+.org 5
+.word 7
+.org 6
+.word 10
+.org 7
+.word 13
+.org 8
+.word 16
+.org 9
+.word 2
+.org 10
+.word 5

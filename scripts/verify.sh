@@ -36,6 +36,14 @@ run cargo test -q -p archex --test journal_resume
 # the generated hardware (see DESIGN.md §4a). Also inside `cargo test
 # -q` above; named here so an optimizer regression fails loudly.
 run cargo test -q --test opt_differential
+# Profiler gate (see docs/OBSERVABILITY.md, `xsim-profile/1`): the
+# per-pc and per-region tables must partition the machine-wide cycle
+# counters exactly, every stall must name its cause, and enabling the
+# profiler must be purely observational.
+run cargo test -q --test profile_invariants
+# Documentation gate: every ```json example in docs/OBSERVABILITY.md
+# must round-trip through the obs::Json RFC 8259 parser.
+run cargo test -q --test doc_schemas
 
 if [[ "${1:-}" == "--slow" ]]; then
     # required-features gating means a plain `cargo test` never sees

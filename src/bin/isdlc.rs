@@ -6,8 +6,15 @@
 //! isdlc sample  <toy|acc16|widemul|spam|spam2>      print an embedded sample description
 //! isdlc asm     <machine.isdl> <prog.asm>           assemble; hex words to stdout
 //! isdlc disasm  <machine.isdl> <prog.asm>           assemble then disassemble (listing)
-//! isdlc run     <machine.isdl> <prog.asm> [cycles] [--fuel=N] [--opt=N]  simulate; prints stats + final state
+//! isdlc run     <machine.isdl> <prog.asm> [cycles] [--fuel=N] [--opt=N] [--profile[=PATH]]
+//!                                                   simulate; prints stats + final state;
+//!                                                   --profile adds a cycle-attribution summary
+//!                                                   (=PATH writes the full xsim-profile/1 report)
 //! isdlc batch   <machine.isdl> <prog.asm> <script>  run a simulator batch script
+//! isdlc explore <machine.isdl> [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH]
+//!                                                   run the Figure 1 exploration loop on the
+//!                                                   built-in DSP workload; --chrome-trace writes
+//!                                                   the round/eval timeline for chrome://tracing
 //! isdlc verilog <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
 //! isdlc report  <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
 //! isdlc wave    <machine.isdl> <prog.asm> [cycles]  VCD waveform of the HW model to stdout
@@ -164,6 +171,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let options = gensim::XsimOptions { opt: opt_level()?, ..Default::default() };
             let mut sim = Xsim::generate_with(&m, options).map_err(|e| e.to_string())?;
             sim.load_program(&p);
+            let profiling = flags.iter().any(|f| *f == "--profile" || f.starts_with("--profile="));
+            if profiling {
+                sim.enable_profile();
+            }
             let stop = sim.run_fuel(cycles, fuel);
             let stats = sim.stats();
             println!(
@@ -197,6 +208,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     let v = sim.state().read(isdl::rtl::StorageId(si), 0);
                     println!("  {} = {v}", s.name);
                 }
+            }
+            if profiling {
+                let report = gensim::profile_json(&sim);
+                if let Some(path) = flags.iter().find_map(|f| f.strip_prefix("--profile=")) {
+                    std::fs::write(path, report.to_pretty())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                }
+                print_profile_summary(&report);
             }
             Ok(())
         }
@@ -252,6 +271,51 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{tb}");
             Ok(())
         }
+        "explore" => {
+            let m = load(0)?;
+            let num = |prefix: &str, default: usize| -> Result<usize, String> {
+                flags.iter().find_map(|f| f.strip_prefix(prefix)).map_or(Ok(default), |v| {
+                    v.parse().map_err(|_| format!("bad value `{v}` for {prefix}N"))
+                })
+            };
+            let steps = num("--steps=", 6)?;
+            let beam = num("--beam=", 0)?;
+            let threads = num("--threads=", 0)?;
+            let explorer = archex::Explorer {
+                max_steps: steps,
+                strategy: if beam > 1 {
+                    archex::Strategy::Beam { width: beam }
+                } else {
+                    archex::Strategy::Greedy
+                },
+                threads,
+                ..archex::Explorer::default()
+            };
+            let kernels =
+                vec![archex::workloads::dot_product(4), archex::workloads::vector_update(3)];
+            let trace = explorer.run(&m, &kernels).map_err(|e| e.to_string())?;
+            println!(
+                "explored `{}`: {} candidates ({} fresh, {} cached, {} skipped)",
+                m.name,
+                trace.candidates_evaluated(),
+                trace.evaluated,
+                trace.cache_hits,
+                trace.skipped_errors,
+            );
+            for s in &trace.steps {
+                println!(
+                    "  {:<28} score {:>8.4}  runtime {:>9.2} us  area {:>8.0} cells",
+                    s.action, s.score, s.metrics.runtime_us, s.metrics.area_cells
+                );
+            }
+            if let Some(path) = flags.iter().find_map(|f| f.strip_prefix("--chrome-trace=")) {
+                let doc = archex::chrome_trace(&trace);
+                std::fs::write(path, doc.to_pretty())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+            }
+            Ok(())
+        }
         "verilog" => {
             let m = load(0)?;
             let r = synthesize(&m, hgen_options()?).map_err(|e| e.to_string())?;
@@ -296,8 +360,52 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Renders the gprof-style tail of `isdlc run --profile`: cycles by
+/// region, then the hottest stalling PCs with their attributed cause.
+fn print_profile_summary(report: &obs::Json) {
+    use obs::Json;
+    let total = report.get_f64("cycles").unwrap_or(0.0).max(1.0);
+    let mut regions: Vec<&Json> = report
+        .get("regions")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().collect())
+        .unwrap_or_default();
+    regions.sort_by_key(|r| std::cmp::Reverse(r.get_u64("cycles").unwrap_or(0)));
+    println!("profile (cycles by region):");
+    for r in &regions {
+        let cycles = r.get_u64("cycles").unwrap_or(0);
+        println!(
+            "  {:<16} {:>8} cycles ({:>5.1}%)  {:>6} stalls  {:>6} issues",
+            r.get_str("name").unwrap_or("?"),
+            cycles,
+            100.0 * cycles as f64 / total,
+            r.get_u64("stall_cycles").unwrap_or(0),
+            r.get_u64("issues").unwrap_or(0),
+        );
+    }
+    let mut pcs: Vec<&Json> =
+        report.get("pcs").and_then(Json::as_arr).map(|a| a.iter().collect()).unwrap_or_default();
+    pcs.retain(|p| p.get_u64("stall_cycles").unwrap_or(0) > 0);
+    pcs.sort_by_key(|p| std::cmp::Reverse(p.get_u64("stall_cycles").unwrap_or(0)));
+    if !pcs.is_empty() {
+        println!("hottest stalls:");
+    }
+    for p in pcs.iter().take(5) {
+        let cause = p.get("stall_cause");
+        let kind = cause.and_then(|c| c.get_str("kind")).unwrap_or("?");
+        let storage = cause.and_then(|c| c.get_str("storage")).unwrap_or("?");
+        let producer = cause.and_then(|c| c.get_u64("producer_pc")).unwrap_or(0);
+        println!(
+            "  pc {:>4}: {:>6} stall cycles ({kind} hazard on {storage}, producer pc {producer})",
+            p.get_u64("pc").unwrap_or(0),
+            p.get_u64("stall_cycles").unwrap_or(0),
+        );
+    }
+}
+
 fn usage() -> String {
-    "usage: isdlc <check|print|sample|asm|disasm|run|batch|verilog|report|wave|hex|tb> \
-     <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N] [--opt=0|1|2] [--no-opt]"
+    "usage: isdlc <check|print|sample|asm|disasm|run|batch|explore|verilog|report|wave|hex|tb> \
+     <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N] [--opt=0|1|2] [--no-opt] \
+     [--profile[=PATH]] [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH]"
         .to_owned()
 }

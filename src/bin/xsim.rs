@@ -13,6 +13,13 @@
 //!   --stats <path|->      write the `xsim-stats/1` JSON report
 //!   --trace <path|->      write the `xsim-trace/1` JSON event trace
 //!   --trace-capacity N    event ring-buffer capacity (default 4096)
+//!   --trace-stream <path|->  stream events as JSON Lines while running
+//!                         (lossless: no ring, nothing is ever dropped)
+//!   --profile <path|->    enable the cycle profiler and write the
+//!                         `xsim-profile/1` report
+//!   --chrome-trace <path|->  write the CLI phase timings
+//!                         (load/assemble/generate/run) as a Chrome
+//!                         trace-event document
 //!   --core tree|bytecode  processing-core implementation (default bytecode)
 //!   --no-offline-decode   re-decode at every fetch (§3.3.2 ablation)
 //!   --opt 0|1|2           RTL middle-end level (default 2 = aggressive);
@@ -24,9 +31,10 @@
 //! schema, the CLI adds a `stop` key (the stop reason) and a
 //! `timing_us` object with per-phase wall times to the stats report.
 
-use gensim::{stats_json, trace_json, CoreKind, Xsim, XsimOptions};
-use obs::{Json, Registry};
+use gensim::{profile_json, stats_json, trace_json, CoreKind, Xsim, XsimOptions};
+use obs::{ChromeTrace, Json, Registry, StreamSink};
 use std::process::ExitCode;
+use std::time::Instant;
 use xasm::Assembler;
 
 fn main() -> ExitCode {
@@ -46,6 +54,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut fuel: u64 = u64::MAX;
     let mut stats_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut trace_stream: Option<String> = None;
+    let mut profile_out: Option<String> = None;
+    let mut chrome_out: Option<String> = None;
     let mut trace_capacity: usize = 4096;
     let mut options = XsimOptions::default();
 
@@ -62,6 +73,9 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--stats" => stats_out = Some(value(&mut it, "--stats")?.to_owned()),
             "--trace" => trace_out = Some(value(&mut it, "--trace")?.to_owned()),
+            "--trace-stream" => trace_stream = Some(value(&mut it, "--trace-stream")?.to_owned()),
+            "--profile" => profile_out = Some(value(&mut it, "--profile")?.to_owned()),
+            "--chrome-trace" => chrome_out = Some(value(&mut it, "--chrome-trace")?.to_owned()),
             "--trace-capacity" => {
                 let v = value(&mut it, "--trace-capacity")?;
                 trace_capacity = v.parse().map_err(|_| format!("bad capacity `{v}`"))?;
@@ -89,37 +103,67 @@ fn run(args: &[String]) -> Result<(), String> {
 
     // Phase timers, recorded through the metrics registry so the CLI
     // exercises the same instrumentation path as the library users.
+    // The wall-clock offsets feed the Chrome trace export.
     let registry = Registry::new();
     let t_load = registry.histogram("load_us");
     let t_assemble = registry.histogram("assemble_us");
     let t_generate = registry.histogram("generate_us");
     let t_run = registry.histogram("run_us");
+    let epoch = Instant::now();
+    let mut phases: Vec<(&str, u64, u64)> = Vec::new();
+    let us = |t: Instant| u64::try_from(t.duration_since(epoch).as_micros()).unwrap_or(u64::MAX);
 
     let machine = {
         let _span = t_load.span();
+        let p0 = us(Instant::now());
         let src = std::fs::read_to_string(machine_path)
             .map_err(|e| format!("cannot read {machine_path}: {e}"))?;
-        isdl::load(&src).map_err(|e| format!("{machine_path}: {e}"))?
+        let machine = isdl::load(&src).map_err(|e| format!("{machine_path}: {e}"))?;
+        phases.push(("load", p0, us(Instant::now()) - p0));
+        machine
     };
     let program = {
         let _span = t_assemble.span();
+        let p0 = us(Instant::now());
         let src = std::fs::read_to_string(prog_path)
             .map_err(|e| format!("cannot read {prog_path}: {e}"))?;
-        Assembler::new(&machine).assemble(&src).map_err(|e| format!("{prog_path}: {e}"))?
+        let program =
+            Assembler::new(&machine).assemble(&src).map_err(|e| format!("{prog_path}: {e}"))?;
+        phases.push(("assemble", p0, us(Instant::now()) - p0));
+        program
     };
     let mut sim = {
         let _span = t_generate.span();
+        let p0 = us(Instant::now());
         let mut sim = Xsim::generate_with(&machine, options).map_err(|e| e.to_string())?;
         sim.load_program(&program);
+        phases.push(("generate", p0, us(Instant::now()) - p0));
         sim
     };
     if trace_out.is_some() {
         sim.enable_event_trace(trace_capacity);
     }
+    if let Some(path) = &trace_stream {
+        let out: Box<dyn std::io::Write + Send> = if path == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            Box::new(std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
+        };
+        sim.set_event_sink(Box::new(StreamSink::new(out)));
+    }
+    if profile_out.is_some() {
+        sim.enable_profile();
+    }
     let stop = {
         let _span = t_run.span();
-        sim.run_fuel(cycles, fuel)
+        let p0 = us(Instant::now());
+        let stop = sim.run_fuel(cycles, fuel);
+        phases.push(("run", p0, us(Instant::now()) - p0));
+        stop
     };
+    if let Some(mut sink) = sim.take_event_sink() {
+        sink.flush();
+    }
 
     gensim::publish_opt_counters(&sim, &registry);
     if let Some(path) = &stats_out {
@@ -136,9 +180,21 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(path) = &trace_out {
         write_report(path, &trace_json(&sim))?;
     }
+    if let Some(path) = &profile_out {
+        write_report(path, &profile_json(&sim))?;
+    }
+    if let Some(path) = &chrome_out {
+        let mut ct = ChromeTrace::new();
+        for &(name, start, dur) in &phases {
+            ct.complete(name, "xsim", 0, start, dur, Json::Null);
+        }
+        write_report(path, &ct.to_json())?;
+    }
 
     // Keep stdout clean for piped JSON.
-    let json_on_stdout = [&stats_out, &trace_out].iter().any(|o| o.as_deref() == Some("-"));
+    let json_on_stdout = [&stats_out, &trace_out, &trace_stream, &profile_out, &chrome_out]
+        .iter()
+        .any(|o| o.as_deref() == Some("-"));
     let stats = sim.stats();
     let summary = format!(
         "stopped: {stop} after {} instructions, {} cycles ({} stalls), ipc {:.3}",
@@ -171,7 +227,7 @@ fn write_report(path: &str, json: &Json) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--fuel N] [--stats <path|->] \
-     [--trace <path|->] [--trace-capacity N] [--core tree|bytecode] [--no-offline-decode] \
-     [--opt 0|1|2]"
+     [--trace <path|->] [--trace-capacity N] [--trace-stream <path|->] [--profile <path|->] \
+     [--chrome-trace <path|->] [--core tree|bytecode] [--no-offline-decode] [--opt 0|1|2]"
         .to_owned()
 }

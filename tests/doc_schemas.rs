@@ -1,0 +1,45 @@
+//! Every ```json example in `docs/OBSERVABILITY.md` must be valid
+//! JSON: each fenced block is extracted and round-tripped through the
+//! `obs::Json` RFC 8259 parser, so schema documentation can never
+//! drift into pseudo-JSON (`{ ... }` placeholders and the like).
+
+use obs::Json;
+
+/// Returns the contents of every ```json fence in `text`, in order.
+fn json_fences(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut block: Option<(usize, String)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        match &mut block {
+            None if trimmed == "```json" => block = Some((lineno + 1, String::new())),
+            Some(_) if trimmed == "```" => out.push(block.take().expect("open block")),
+            Some((_, body)) => {
+                body.push_str(line);
+                body.push('\n');
+            }
+            None => {}
+        }
+    }
+    assert!(block.is_none(), "unterminated ```json fence");
+    out
+}
+
+#[test]
+fn every_documented_json_example_parses() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/OBSERVABILITY.md");
+    let text = std::fs::read_to_string(path).expect("docs/OBSERVABILITY.md readable");
+    let fences = json_fences(&text);
+    assert!(fences.len() >= 6, "expected the documented schema examples, found {}", fences.len());
+    for (line, body) in fences {
+        let parsed = Json::parse(&body)
+            .unwrap_or_else(|e| panic!("docs/OBSERVABILITY.md:{line}: invalid JSON: {e}"));
+        // Render → parse is a fixed point: the serializer emits what
+        // the parser accepts, byte for byte the second time around.
+        let rendered = parsed.to_pretty();
+        let reparsed = Json::parse(&rendered).unwrap_or_else(|e| {
+            panic!("docs/OBSERVABILITY.md:{line}: render not reparseable: {e}")
+        });
+        assert_eq!(reparsed.to_pretty(), rendered, "docs/OBSERVABILITY.md:{line}");
+    }
+}

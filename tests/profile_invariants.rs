@@ -1,0 +1,152 @@
+//! Cycle-attribution profiler invariants (`xsim-profile/1`, see
+//! docs/OBSERVABILITY.md): the per-PC table is a *partition* of the
+//! machine-wide counters — cycles and stall cycles sum exactly to the
+//! totals — every stall row names its causing storage and producer PC,
+//! and enabling the profiler changes nothing about the simulation
+//! itself.
+
+use archex::{compile, workloads};
+use gensim::{profile_json, stats_json, StopReason, Xsim};
+use obs::Json;
+use xasm::Assembler;
+
+/// The WIDEMUL exercise program from the optimizer differential suite:
+/// wide multiplies back to back, so result-latency stalls fire.
+const WIDEMUL_PROG: &str = "\
+    lia 255
+    lib 255
+    wmul
+    wmul
+    sqs
+    redund
+    sta 3
+    halt
+";
+
+fn spam_fixture() -> (isdl::Machine, String) {
+    let m = isdl::load(isdl::samples::SPAM).expect("SPAM loads");
+    let compiled = compile(&m, &workloads::fir(3, 8)).expect("FIR compiles");
+    (m, compiled.asm)
+}
+
+fn widemul_fixture() -> (isdl::Machine, String) {
+    let m = isdl::load(isdl::samples::WIDEMUL).expect("WIDEMUL loads");
+    (m, WIDEMUL_PROG.to_owned())
+}
+
+/// Runs `asm` on `machine` with the profiler enabled and returns the
+/// finished simulator.
+fn run_profiled<'m>(machine: &'m isdl::Machine, asm: &str) -> Xsim<'m> {
+    let program = Assembler::new(machine).assemble(asm).expect("assembles");
+    let mut sim = Xsim::generate(machine).expect("generates");
+    sim.load_program(&program);
+    sim.enable_profile();
+    assert_eq!(sim.run(1_000_000), StopReason::Halted);
+    sim
+}
+
+fn check_partition_invariants(sim: &Xsim<'_>) {
+    let stats = sim.stats().clone();
+    let report = profile_json(sim);
+    assert_eq!(report.get_str("schema"), Some(gensim::PROFILE_SCHEMA));
+    assert_eq!(report.get_u64("cycles"), Some(stats.cycles));
+    assert_eq!(report.get_u64("stall_cycles"), Some(stats.stall_cycles));
+
+    let pcs = report.get("pcs").and_then(Json::as_arr).expect("pcs table");
+    let sum = |key: &str| -> u64 {
+        pcs.iter().map(|r| r.get_u64(key).unwrap_or_else(|| panic!("row missing {key}"))).sum()
+    };
+    assert_eq!(sum("cycles"), stats.cycles, "per-PC cycles partition the total");
+    assert_eq!(sum("stall_cycles"), stats.stall_cycles, "per-PC stalls partition the total");
+    assert_eq!(sum("issues"), stats.instructions, "per-PC issues sum to instructions");
+
+    // Regions partition the same totals (every PC lies in exactly one
+    // region).
+    let regions = report.get("regions").and_then(Json::as_arr).expect("regions");
+    let rsum = |key: &str| -> u64 { regions.iter().filter_map(|r| r.get_u64(key)).sum() };
+    assert_eq!(rsum("cycles"), stats.cycles, "region cycles partition the total");
+    assert_eq!(rsum("stall_cycles"), stats.stall_cycles, "region stalls partition the total");
+
+    // Every stall is attributed: causing storage (or usage field) and
+    // the producer PC that charged it.
+    for row in pcs {
+        if row.get_u64("stall_cycles").unwrap_or(0) == 0 {
+            continue;
+        }
+        let cause = row.get("stall_cause").expect("stalled row carries a cause");
+        assert!(!matches!(cause, Json::Null), "stalled row cause is non-null");
+        let kind = cause.get_str("kind").expect("cause kind");
+        assert!(kind == "data" || kind == "usage", "known cause kind, got {kind}");
+        let storage = cause.get_str("storage").expect("cause names the storage");
+        assert!(!storage.is_empty());
+        assert!(cause.get_u64("producer_pc").is_some(), "cause names the producer PC");
+    }
+}
+
+#[test]
+fn spam_profile_partitions_machine_counters() {
+    let (m, asm) = spam_fixture();
+    let sim = run_profiled(&m, &asm);
+    // The stall-attribution arm is exercised for real: the MAC's
+    // result latency forces data-hazard stalls in the FIR loop.
+    assert!(sim.stats().stall_cycles > 0, "MAC latency forces stalls");
+    check_partition_invariants(&sim);
+}
+
+#[test]
+fn widemul_profile_partitions_machine_counters() {
+    let (m, asm) = widemul_fixture();
+    let sim = run_profiled(&m, &asm);
+    check_partition_invariants(&sim);
+}
+
+#[test]
+fn profiler_is_purely_observational() {
+    for (m, asm) in [spam_fixture(), widemul_fixture()] {
+        let program = Assembler::new(&m).assemble(&asm).expect("assembles");
+        let run = |profile: bool| {
+            let mut sim = Xsim::generate(&m).expect("generates");
+            sim.load_program(&program);
+            if profile {
+                sim.enable_profile();
+            }
+            assert_eq!(sim.run(1_000_000), StopReason::Halted);
+            // The full stats report covers counters, per-op retire
+            // counts, and field utilization; state reads cover the
+            // architectural outcome.
+            let state: Vec<String> = (0..m.storages.len())
+                .flat_map(|si| {
+                    let s = isdl::rtl::StorageId(si);
+                    (0..m.storages[si].cells()).map(move |a| (s, a))
+                })
+                .map(|(s, a)| format!("{:x}", sim.state().read(s, a)))
+                .collect();
+            (stats_json(&sim).to_pretty(), state)
+        };
+        let plain = run(false);
+        let profiled = run(true);
+        assert_eq!(plain.0, profiled.0, "{}: stats bit-identical", m.name);
+        assert_eq!(plain.1, profiled.1, "{}: final state bit-identical", m.name);
+    }
+}
+
+#[test]
+fn spam_regions_follow_code_labels() {
+    let (m, asm) = spam_fixture();
+    let sim = run_profiled(&m, &asm);
+    let report = profile_json(&sim);
+    let regions = report.get("regions").and_then(Json::as_arr).expect("regions");
+    let names: Vec<&str> = regions.iter().filter_map(|r| r.get_str("name")).collect();
+    // The compiled kernel carries at least its `__end` label; any
+    // unlabeled prefix is attributed to the synthetic entry region.
+    assert!(!names.is_empty());
+    for w in regions.windows(2) {
+        let (a, b) = (w[0].get_u64("start").expect("start"), w[1].get_u64("start").expect("start"));
+        assert!(a < b, "regions sorted by address");
+    }
+    // The hot region is where the cycles went: a dominant share lives
+    // in one region (the FIR loop), which is the point of the report.
+    let total: u64 = regions.iter().filter_map(|r| r.get_u64("cycles")).sum();
+    let max: u64 = regions.iter().filter_map(|r| r.get_u64("cycles")).max().unwrap_or(0);
+    assert!(max * 2 > total, "one region dominates: {names:?}");
+}

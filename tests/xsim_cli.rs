@@ -95,6 +95,50 @@ fn trace_report_is_written_to_file() {
 }
 
 #[test]
+fn ring_eviction_keeps_the_exact_tail_and_round_trips() {
+    // 12 instructions retire (ldi, ten addms, halt) through a 4-deep
+    // ring: exactly the last four events survive, the `dropped` counter
+    // accounts for every evicted one, and the same run through the
+    // streaming sink loses nothing.
+    let machine = write_temp("acc16.isdl", isdl::samples::ACC16);
+    let machine = machine.to_str().expect("utf8 path");
+    let mut src = String::from("ldi 0\n");
+    for _ in 0..10 {
+        src.push_str("addm ten\n");
+    }
+    src.push_str("halt\n.data\n.org 20\nten: .word 10\n");
+    let prog = write_temp("long.asm", &src);
+    let prog = prog.to_str().expect("utf8 path");
+
+    let (stdout, stderr, ok) = xsim(&[machine, prog, "--trace", "-", "--trace-capacity", "4"]);
+    assert!(ok, "stderr: {stderr}");
+    let json = Json::parse(&stdout).expect("trace parses");
+    assert_eq!(json.get_str("schema"), Some(gensim::TRACE_SCHEMA));
+    assert_eq!(json.get_u64("capacity"), Some(4));
+    assert_eq!(json.get_u64("dropped"), Some(8), "12 events through a 4-deep ring");
+    let events = json.get("events").and_then(Json::as_arr).expect("events");
+    let pcs: Vec<u64> = events.iter().map(|e| e.get_u64("pc").expect("pc")).collect();
+    assert_eq!(pcs, vec![8, 9, 10, 11], "exactly the tail of the run survives");
+    let cycles: Vec<u64> = events.iter().map(|e| e.get_u64("cycle").expect("cycle")).collect();
+    assert_eq!(cycles, vec![8, 9, 10, 11], "event order is preserved across eviction");
+
+    // The rendered report is a fixed point of the RFC 8259 parser.
+    let rendered = json.to_pretty();
+    let reparsed = Json::parse(&rendered).expect("report round-trips");
+    assert_eq!(reparsed.to_pretty(), rendered);
+
+    // The streaming sink is lossless: one JSON line per event, no ring.
+    let (stdout, stderr, ok) = xsim(&[machine, prog, "--trace-stream", "-"]);
+    assert!(ok, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 12, "every retired instruction is streamed");
+    for (i, line) in lines.iter().enumerate() {
+        let ev = Json::parse(line).expect("stream line parses");
+        assert_eq!(ev.get_u64("cycle"), Some(i as u64));
+    }
+}
+
+#[test]
 fn fuel_budget_terminates_a_looping_program() {
     // A program that never halts must still terminate under a fuel
     // budget, reporting exactly how far it got.
