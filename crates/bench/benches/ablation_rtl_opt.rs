@@ -5,6 +5,11 @@
 //! width narrowing. The gap between `opt0` and `opt2` on WIDEMUL is
 //! the narrowing win; SPAM bounds the cost on code with little to
 //! optimize.
+//!
+//! Each row runs twice: the default translated basic-block dispatch
+//! and an `-interp` baseline with translation disabled, so the
+//! translation tier's throughput win is measured per opt level on the
+//! same workloads.
 
 use bench::{fir_program, run_cycles, spam_machine, xsim_with_fir};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -42,17 +47,20 @@ fn bench_opt_levels(c: &mut Criterion) {
     for (name, opt) in
         [("opt0", OptLevel::None), ("opt1", OptLevel::Basic), ("opt2", OptLevel::Aggressive)]
     {
-        let mut sim = xsim_with_fir(&spam, XsimOptions { opt, ..XsimOptions::default() });
-        group.bench_function(format!("spam_fir_5k_cycles/{name}"), |b| {
-            b.iter(|| run_cycles(&mut sim, &spam_prog, 5_000));
-        });
+        for (suffix, translate) in [("", true), ("-interp", false)] {
+            let options = XsimOptions { opt, translate, ..XsimOptions::default() };
 
-        let mut sim = Xsim::generate_with(&widemul, XsimOptions { opt, ..XsimOptions::default() })
-            .expect("generates");
-        sim.load_program(&widemul_prog);
-        group.bench_function(format!("widemul_dense_5k_cycles/{name}"), |b| {
-            b.iter(|| run_cycles(&mut sim, &widemul_prog, 5_000));
-        });
+            let mut sim = xsim_with_fir(&spam, options);
+            group.bench_function(format!("spam_fir_5k_cycles/{name}{suffix}"), |b| {
+                b.iter(|| run_cycles(&mut sim, &spam_prog, 5_000));
+            });
+
+            let mut sim = Xsim::generate_with(&widemul, options).expect("generates");
+            sim.load_program(&widemul_prog);
+            group.bench_function(format!("widemul_dense_5k_cycles/{name}{suffix}"), |b| {
+                b.iter(|| run_cycles(&mut sim, &widemul_prog, 5_000));
+            });
+        }
     }
     group.finish();
 }

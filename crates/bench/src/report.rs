@@ -42,8 +42,15 @@ fn check_schema(json: &Json, expected: &str) -> Result<(), String> {
 /// Extracts benchmark entries from an `xsim-stats/1` report
 /// ([`gensim::stats_json`] output): the cycle/instruction/stall
 /// totals, the IPC, one utilization entry per field, and — when the
-/// report carries the middle-end's `opt` block — the node-elimination
-/// and wide-fallback counts, all prefixed with the machine name.
+/// report carries them — the middle-end's `opt` block and the
+/// translation tier's `translate` block, all prefixed with the
+/// machine name.
+///
+/// Tolerant by design: reports written before the `opt`, `timing_us`,
+/// or `translate` blocks existed (and even before the totals
+/// stabilized) still extract — any missing or malformed field is
+/// skipped rather than an error, so a trend dashboard can ingest an
+/// archive spanning schema history.
 ///
 /// # Errors
 ///
@@ -53,20 +60,37 @@ pub fn entries_from_stats_json(text: &str) -> Result<Vec<BenchEntry>, String> {
     let json = Json::parse(text)?;
     check_schema(&json, gensim::STATS_SCHEMA)?;
     let machine = json.get_str("machine").unwrap_or("unknown");
-    let num = |key: &str| json.get_f64(key).ok_or_else(|| format!("missing numeric `{key}` key"));
-    let mut out = vec![
-        BenchEntry::new(format!("{machine}.cycles"), num("cycles")?, "cycles"),
-        BenchEntry::new(format!("{machine}.instructions"), num("instructions")?, "instructions"),
-        BenchEntry::new(format!("{machine}.stall_cycles"), num("stall_cycles")?, "cycles"),
-        BenchEntry::new(format!("{machine}.ipc"), num("ipc")?, "ratio"),
-    ];
+    let mut out = Vec::new();
+    for (key, unit) in [
+        ("cycles", "cycles"),
+        ("instructions", "instructions"),
+        ("stall_cycles", "cycles"),
+        ("ipc", "ratio"),
+    ] {
+        if let Some(v) = json.get_f64(key) {
+            out.push(BenchEntry::new(format!("{machine}.{key}"), v, unit));
+        }
+    }
     if let Some(Json::Arr(fields)) = json.get("fields") {
         for field in fields {
             let (Some(name), Some(util)) = (field.get_str("name"), field.get_f64("utilization"))
             else {
-                return Err("malformed field entry".to_owned());
+                continue; // legacy or truncated row — skip, don't fail
             };
             out.push(BenchEntry::new(format!("{machine}.field.{name}.utilization"), util, "ratio"));
+        }
+    }
+    if let Some(t) = json.get("translate") {
+        for (key, unit) in [
+            ("blocks", "blocks"),
+            ("invalidations", "blocks"),
+            ("block_instructions", "instructions"),
+            ("interp_instructions", "instructions"),
+            ("fused_ops_removed", "ops"),
+        ] {
+            if let Some(v) = t.get_f64(key) {
+                out.push(BenchEntry::new(format!("{machine}.translate.{key}"), v, unit));
+            }
         }
     }
     if let Some(opt) = json.get("opt") {
@@ -113,9 +137,12 @@ pub fn entries_from_profile_json(text: &str, top: usize) -> Result<Vec<BenchEntr
         json.get("regions").and_then(Json::as_arr).map(|a| a.iter().collect()).unwrap_or_default();
     regions.sort_by_key(|r| std::cmp::Reverse(r.get_u64("cycles").unwrap_or(0)));
     for r in regions.into_iter().take(top) {
-        let name = r.get_str("name").ok_or("malformed region row")?;
-        let cycles = r.get_f64("cycles").ok_or("malformed region row")?;
-        let stalls = r.get_f64("stall_cycles").ok_or("malformed region row")?;
+        // Rows from older writers may lack keys — skip, don't fail.
+        let (Some(name), Some(cycles), Some(stalls)) =
+            (r.get_str("name"), r.get_f64("cycles"), r.get_f64("stall_cycles"))
+        else {
+            continue;
+        };
         out.push(BenchEntry::new(
             format!("{machine}.profile.region.{name}.cycles"),
             cycles,
@@ -133,8 +160,9 @@ pub fn entries_from_profile_json(text: &str, top: usize) -> Result<Vec<BenchEntr
     pcs.retain(|p| p.get_u64("stall_cycles").is_some_and(|n| n > 0));
     pcs.sort_by_key(|p| std::cmp::Reverse(p.get_u64("stall_cycles").unwrap_or(0)));
     for p in pcs.into_iter().take(top) {
-        let pc = p.get_u64("pc").ok_or("malformed pc row")?;
-        let stalls = p.get_f64("stall_cycles").ok_or("malformed pc row")?;
+        let (Some(pc), Some(stalls)) = (p.get_u64("pc"), p.get_f64("stall_cycles")) else {
+            continue; // legacy row — skip, don't fail
+        };
         out.push(BenchEntry::new(
             format!("{machine}.profile.pc{pc}.stall_cycles"),
             stalls,
@@ -219,6 +247,13 @@ mod tests {
             by_name("acc16.opt.nodes_eliminated"),
             by_name("acc16.opt.nodes_before") - by_name("acc16.opt.nodes_after"),
         );
+        assert!(by_name("acc16.translate.blocks") >= 1.0, "translated rows extracted");
+        assert_eq!(
+            by_name("acc16.translate.block_instructions")
+                + by_name("acc16.translate.interp_instructions"),
+            by_name("acc16.instructions"),
+            "dispatch mix partitions the retire count"
+        );
         let payload = bench_json(&entries);
         let parsed = obs::Json::parse(&payload).expect("bench payload parses");
         assert_eq!(parsed.get_str("schema"), Some(BENCH_SCHEMA));
@@ -281,6 +316,69 @@ mod tests {
             .map(|e| e.value)
             .collect();
         assert!(region_cycles.windows(2).all(|w| w[0] >= w[1]), "sorted desc: {region_cycles:?}");
+    }
+
+    /// A pre-PR-4 stats report: no `opt`, no `timing_us`, no
+    /// `translate`, no `fields`. Extraction must succeed with just the
+    /// totals.
+    #[test]
+    fn legacy_pre_opt_stats_report_is_tolerated() {
+        let text = r#"{
+            "schema": "xsim-stats/1", "machine": "spam",
+            "cycles": 10, "instructions": 8, "stall_cycles": 2, "ipc": 0.8
+        }"#;
+        let entries = entries_from_stats_json(text).expect("legacy report extracts");
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["spam.cycles", "spam.instructions", "spam.stall_cycles", "spam.ipc"],
+            "exactly the totals, nothing invented"
+        );
+    }
+
+    /// A pre-PR-5 report (opt block but no timing/translate) with a
+    /// truncated field row and a partially-populated opt block.
+    #[test]
+    fn legacy_pre_profile_stats_report_is_tolerated() {
+        let text = r#"{
+            "schema": "xsim-stats/1", "machine": "spam",
+            "cycles": 10, "instructions": 8,
+            "opt": {"level": "2", "nodes_before": 12, "nodes_after": 9},
+            "fields": [{"name": "MAIN"}, {"name": "F", "utilization": 0.5}]
+        }"#;
+        let entries = entries_from_stats_json(text).expect("legacy report extracts");
+        let by_name =
+            |n: &str| entries.iter().find(|e| e.name == n).unwrap_or_else(|| panic!("entry {n}"));
+        assert_eq!(by_name("spam.opt.nodes_before").value, 12.0);
+        assert_eq!(by_name("spam.field.F.utilization").value, 0.5);
+        assert!(
+            !entries.iter().any(|e| e.name.contains("MAIN") || e.name.contains("translate")),
+            "rows missing keys are skipped, absent blocks add nothing: {entries:?}"
+        );
+        assert!(!entries.iter().any(|e| e.name.ends_with(".ipc")), "missing totals are skipped");
+    }
+
+    /// A legacy profile report whose region/pc tables predate the
+    /// `stall_cycles` split: malformed rows skip instead of erroring.
+    #[test]
+    fn legacy_profile_rows_are_tolerated() {
+        let text = r#"{
+            "schema": "xsim-profile/1", "machine": "spam",
+            "regions": [
+                {"name": "old", "cycles": 9},
+                {"name": "new", "cycles": 7, "stall_cycles": 1}
+            ],
+            "pcs": [
+                {"pc": 3, "stall_cycles": 2},
+                {"stall_cycles": 5}
+            ]
+        }"#;
+        let entries = entries_from_profile_json(text, 8).expect("legacy profile extracts");
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"spam.profile.region.new.cycles"), "{names:?}");
+        assert!(names.contains(&"spam.profile.pc3.stall_cycles"), "{names:?}");
+        assert!(!names.iter().any(|n| n.contains("old")), "row without stall_cycles skipped");
+        assert_eq!(entries.len(), 3, "one region pair plus one pc row");
     }
 
     #[test]

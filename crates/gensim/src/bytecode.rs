@@ -65,14 +65,14 @@ pub(crate) enum Compiled {
 
 #[derive(Debug)]
 pub(crate) struct Program {
-    code: Vec<BOp>,
-    n_regs: usize,
+    pub(crate) code: Vec<BOp>,
+    pub(crate) n_regs: usize,
 }
 
-type Reg = u16;
+pub(crate) type Reg = u16;
 
 #[derive(Debug, Clone)]
-enum BOp {
+pub(crate) enum BOp {
     Const {
         dst: Reg,
         val: u64,
@@ -481,11 +481,20 @@ impl Compiler<'_> {
                 let bb = self.compile_expr(y, slots)?;
                 let dst = self.fresh();
                 // Comparisons need the operand width, not the 1-bit
-                // result width.
+                // result width. Signed div/rem likewise: sign extension
+                // must come from the operand's declared ISDL width — a
+                // node whose annotated width differs from its operands'
+                // would otherwise sign-extend from the wrong bit and
+                // corrupt negative quotients.
                 let w = match b {
-                    BinOp::Eq | BinOp::Ne | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle => {
-                        x.width
-                    }
+                    BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Ult
+                    | BinOp::Ule
+                    | BinOp::Slt
+                    | BinOp::Sle
+                    | BinOp::SDiv
+                    | BinOp::SRem => x.width,
                     _ => e.width,
                 };
                 self.code.push(BOp::Bin { op: *b, w, dst, a, b: bb });
@@ -547,7 +556,7 @@ impl Compiler<'_> {
 // ---------- execution ----------
 
 #[inline]
-fn mask(w: u32) -> u64 {
+pub(crate) fn mask(w: u32) -> u64 {
     if w >= 64 {
         u64::MAX
     } else {
@@ -556,7 +565,7 @@ fn mask(w: u32) -> u64 {
 }
 
 #[inline]
-fn sext64(v: u64, w: u32) -> i64 {
+pub(crate) fn sext64(v: u64, w: u32) -> i64 {
     if w >= 64 {
         v as i64
     } else {
@@ -650,7 +659,7 @@ fn run(
 // (quotient all-ones, remainder = dividend), not an error path, so
 // `checked_div` would obscure intent.
 #[allow(clippy::manual_checked_ops)]
-fn bin_u64(op: BinOp, w: u32, a: u64, b: u64) -> u64 {
+pub(crate) fn bin_u64(op: BinOp, w: u32, a: u64, b: u64) -> u64 {
     let m = mask(w);
     match op {
         BinOp::Add => a.wrapping_add(b) & m,
@@ -743,6 +752,8 @@ mod tests {
         for w in [1u32, 5, 8, 16, 31, 32, 63, 64] {
             // Operands must fit the lane width, as they do in real
             // execution (every producer masks its result).
+            // `(mask >> 1) + 1` is the signed minimum (MIN), so the
+            // MIN / -1 overflow convention of SDiv/SRem is covered.
             let samples: Vec<u64> = vec![
                 0,
                 1 & mask(w),
@@ -750,6 +761,7 @@ mod tests {
                 3 & mask(w),
                 mask(w),
                 mask(w) >> 1,
+                (mask(w) >> 1) + 1,
                 0xAB & mask(w),
             ];
             for &a in &samples {

@@ -187,6 +187,48 @@ fn collect_stmt(
     }
 }
 
+/// Collects every storage an operation's action or side effects may
+/// write, *unfiltered* — unlike the hazard scan above this includes the
+/// program counter and instruction memory, because the translation
+/// layer needs to know whether an instruction can redirect control or
+/// self-modify (both end a basic block). Conservative by construction:
+/// writes under an `If` count whether or not the branch is taken.
+pub(crate) fn collect_raw_writes(
+    machine: &Machine,
+    op: &Operation,
+    bindings: &[Binding],
+    out: &mut Vec<StorageId>,
+) {
+    fn lvalue(machine: &Machine, lv: &RLvalue, bindings: &[Binding], out: &mut Vec<StorageId>) {
+        match lv {
+            RLvalue::Storage(id) | RLvalue::StorageIndexed(id, _) => out.push(*id),
+            RLvalue::Slice { base, .. } => lvalue(machine, base, bindings, out),
+            RLvalue::Param(p) => {
+                if let Binding::Nt { nt, option, args } = &bindings[*p] {
+                    let opt = &machine.nonterminals[*nt].options[*option];
+                    if let Some(inner) = &opt.value_lvalue {
+                        lvalue(machine, inner, args, out);
+                    }
+                }
+            }
+        }
+    }
+    fn stmt(machine: &Machine, s: &RStmt, bindings: &[Binding], out: &mut Vec<StorageId>) {
+        match s {
+            RStmt::Assign { lv, .. } => lvalue(machine, lv, bindings, out),
+            RStmt::If { then_body, else_body, .. } => {
+                for s in then_body.iter().chain(else_body) {
+                    stmt(machine, s, bindings, out);
+                }
+            }
+            RStmt::Let { .. } => {}
+        }
+    }
+    for s in op.action.iter().chain(&op.side_effects) {
+        stmt(machine, s, bindings, out);
+    }
+}
+
 fn hazard_relevant(machine: &Machine, id: StorageId) -> bool {
     !matches!(
         machine.storage(id).kind,

@@ -51,13 +51,15 @@ mod hazard;
 pub mod report;
 pub mod sched;
 pub mod state;
+mod translate;
 
 pub use report::{
-    profile_json, publish_opt_counters, stats_json, trace_json, PROFILE_SCHEMA, STATS_SCHEMA,
-    TRACE_SCHEMA,
+    profile_json, publish_opt_counters, publish_translate_counters, stats_json, trace_json,
+    PROFILE_SCHEMA, STATS_SCHEMA, TRACE_SCHEMA,
 };
 pub use sched::{
     CoreKind, EventTrace, GensimError, Profile, ProfileRow, StallCause, Stats, StopReason,
     TraceEvent, TraceWrite, Xsim, XsimOptions,
 };
 pub use state::{Monitor, MonitorEvent, State};
+pub use translate::TranslateStats;

@@ -78,6 +78,14 @@ pub fn stats_json(sim: &Xsim<'_>) -> Json {
         .with("cse_hits", o.cse_hits)
         .with("dead_writes", o.dead_writes)
         .with("wide_fallbacks", sim.wide_fallbacks());
+    let t = sim.translate_stats();
+    let translate = Json::obj()
+        .with("enabled", t.enabled)
+        .with("blocks", t.blocks)
+        .with("invalidations", t.invalidations)
+        .with("block_instructions", t.block_instructions)
+        .with("interp_instructions", t.interp_instructions)
+        .with("fused_ops_removed", t.fused_ops_removed);
     Json::obj()
         .with("schema", STATS_SCHEMA)
         .with("machine", machine.name.as_str())
@@ -86,6 +94,7 @@ pub fn stats_json(sim: &Xsim<'_>) -> Json {
         .with("stall_cycles", stats.stall_cycles)
         .with("ipc", stats.ipc())
         .with("opt", opt)
+        .with("translate", translate)
         .with("fields", Json::Arr(fields))
 }
 
@@ -108,6 +117,26 @@ pub fn publish_opt_counters(sim: &Xsim<'_>, registry: &obs::Registry) {
         ("opt.cse_hits", o.cse_hits),
         ("opt.dead_writes", o.dead_writes),
         ("opt.wide_fallbacks", sim.wide_fallbacks()),
+    ] {
+        registry.counter(name).add(v);
+    }
+}
+
+/// Publishes the translation-tier counters into `registry` under
+/// `translate.*` names (blocks translated, precise invalidations, the
+/// fused-vs-interpreted dispatch mix, μ-ops removed by trace
+/// optimization). `translate.enabled` is published as 0/1 so gauges
+/// and counters share one numeric registry. Totals are added each
+/// call, so publish once per simulator.
+pub fn publish_translate_counters(sim: &Xsim<'_>, registry: &obs::Registry) {
+    let t = sim.translate_stats();
+    for (name, v) in [
+        ("translate.enabled", u64::from(t.enabled)),
+        ("translate.blocks", t.blocks),
+        ("translate.invalidations", t.invalidations),
+        ("translate.block_instructions", t.block_instructions),
+        ("translate.interp_instructions", t.interp_instructions),
+        ("translate.fused_ops_removed", t.fused_ops_removed),
     ] {
         registry.counter(name).add(v);
     }
@@ -202,8 +231,9 @@ fn cause_json(machine: &Machine, cause: StallCause) -> Json {
 /// summing `cycles` over `pcs` (or `regions`) reproduces the
 /// machine-wide `cycles` exactly, likewise `stall_cycles`, and every
 /// row with `stall_cycles > 0` carries a non-null `stall_cause`.
-/// Caveat: self-modifying code drops the decode cache, so `ops` and
-/// `stall_cause` reflect the *current* memory image, not history.
+/// Caveat: self-modifying code invalidates the covering decode-cache
+/// entries, so `ops` and `stall_cause` reflect the *current* memory
+/// image, not history.
 #[must_use]
 pub fn profile_json(sim: &Xsim<'_>) -> Json {
     let machine = sim.machine();

@@ -34,6 +34,7 @@ use crate::bytecode::{self, Compiled, Phase};
 use crate::exec::{binding_from_operand, exec_stmts, Binding, Frame, StagedWrite};
 use crate::hazard;
 use crate::state::State;
+use crate::translate::{Block, BlockCache, BlockInstr, Fused, TranslateStats};
 use bitv::BitVector;
 use isdl::model::{Machine, OpRef};
 use isdl::rtl::StorageId;
@@ -68,11 +69,24 @@ pub struct XsimOptions {
     /// are bit-identical at every level; `OptLevel::None` is the
     /// differential baseline.
     pub opt: isdl::opt::OptLevel,
+    /// Enable the translated basic-block tier: straight-line μ-op
+    /// traces keyed by PC, fused once at translation time and
+    /// dispatched directly (the specialized/translated simulation step
+    /// past the paper's per-instruction compiled core). Only engages
+    /// for the bytecode core with off-line decode, no breakpoints, and
+    /// a PC wide enough to address all of instruction memory; results
+    /// are bit-identical to the interpreter.
+    pub translate: bool,
 }
 
 impl Default for XsimOptions {
     fn default() -> Self {
-        Self { core: CoreKind::Bytecode, offline_decode: true, opt: isdl::opt::OptLevel::default() }
+        Self {
+            core: CoreKind::Bytecode,
+            offline_decode: true,
+            opt: isdl::opt::OptLevel::default(),
+            translate: true,
+        }
     }
 }
 
@@ -358,11 +372,11 @@ impl Profile {
 /// compiled phases plus the flattened token operands.
 #[derive(Debug)]
 pub(crate) struct Plan {
-    action: Rc<Compiled>,
+    pub(crate) action: Rc<Compiled>,
     /// `None` when the operation has no side effects.
-    side_effects: Option<Rc<Compiled>>,
-    params: Vec<u64>,
-    latency: u32,
+    pub(crate) side_effects: Option<Rc<Compiled>>,
+    pub(crate) params: Vec<u64>,
+    pub(crate) latency: u32,
 }
 
 /// One pre-decoded instruction, ready to execute.
@@ -372,7 +386,7 @@ pub(crate) struct DecodedEntry {
     pub bindings: Vec<Vec<Binding>>,
     /// Bytecode-core plans, parallel to `instr.ops` (empty for the
     /// tree core).
-    plans: Vec<Plan>,
+    pub(crate) plans: Vec<Plan>,
     pub cycle_cost: u32,
     pub stall: u32,
     /// Why the static pass charged `stall` (None when `stall == 0`).
@@ -395,6 +409,14 @@ pub struct Xsim<'m> {
     imem_id: StorageId,
     decoded: Vec<Option<Rc<DecodedEntry>>>,
     bytecode: crate::bytecode::Cache,
+    /// Translated basic-block cache (the fused dispatch tier).
+    blocks: BlockCache,
+    /// Scratch for precise invalidation: the imem cell indices written
+    /// by the commits of the current call.
+    imem_dirty: Vec<u64>,
+    /// Instructions retired through fused block dispatch (the rest
+    /// went through the interpreter).
+    block_instructions: u64,
     /// Reused scratch buffers for the hot execute loop.
     scratch_regs: Vec<u64>,
     action_buf: Vec<StagedWrite>,
@@ -463,6 +485,9 @@ impl<'m> Xsim<'m> {
             imem_id,
             decoded: vec![None; depth],
             bytecode: crate::bytecode::Cache::new(),
+            blocks: BlockCache::default(),
+            imem_dirty: Vec::new(),
+            block_instructions: 0,
             scratch_regs: Vec::new(),
             action_buf: Vec::new(),
             se_buf: Vec::new(),
@@ -523,6 +548,40 @@ impl<'m> Xsim<'m> {
     #[must_use]
     pub fn wide_fallbacks(&self) -> u64 {
         self.wide_fallbacks
+    }
+
+    /// Translation-tier statistics: whether the translated dispatch is
+    /// engaged for the current options, the block-cache counters, and
+    /// the dispatch mix (fused vs interpreted retires).
+    #[must_use]
+    pub fn translate_stats(&self) -> TranslateStats {
+        TranslateStats {
+            enabled: self.translation_active(),
+            blocks: self.blocks.blocks_translated,
+            invalidations: self.blocks.invalidations,
+            block_instructions: self.block_instructions,
+            interp_instructions: self.stats.instructions - self.block_instructions,
+            fused_ops_removed: self.blocks.fused_ops_removed,
+        }
+    }
+
+    /// Whether [`Xsim::run_fuel`] will dispatch through translated
+    /// blocks. Translation needs the bytecode core (fusion consumes
+    /// bytecode plans), off-line decode (shared static stalls), no
+    /// breakpoints (blocks retire several instructions per dispatch),
+    /// and a PC that can address every imem word (a truncating PC
+    /// falls back to the interpreter's per-step wrap semantics).
+    fn translation_active(&self) -> bool {
+        if !(self.options.translate
+            && self.options.core == CoreKind::Bytecode
+            && self.options.offline_decode
+            && self.breakpoints.is_empty())
+        {
+            return false;
+        }
+        let pc_w = self.machine.storage(self.pc_id).width;
+        let depth = self.state.depth(self.imem_id);
+        pc_w >= 64 || depth <= (1u64 << pc_w)
     }
 
     /// Execution count per operation — the utilization statistics the
@@ -674,6 +733,7 @@ impl<'m> Xsim<'m> {
             self.state.poke(self.imem_id, a as u64, word.trunc(w).zext(w));
         }
         self.decoded = vec![None; depth as usize];
+        self.blocks.clear();
         if self.options.offline_decode {
             self.offline_decode_pass(words.len() as u64);
         }
@@ -803,6 +863,9 @@ impl<'m> Xsim<'m> {
     pub fn run_fuel(&mut self, max_cycles: u64, max_instructions: u64) -> StopReason {
         let budget_end = self.stats.cycles.saturating_add(max_cycles);
         let fuel_end = self.stats.instructions.saturating_add(max_instructions);
+        if self.translation_active() {
+            return self.run_translated(budget_end, fuel_end);
+        }
         let mut first = true;
         loop {
             if self.halted {
@@ -827,6 +890,50 @@ impl<'m> Xsim<'m> {
         }
     }
 
+    /// Commits writes due at `cycle`. A committed write that landed in
+    /// instruction memory *precisely* invalidates the decoded entries
+    /// and translated blocks whose fetch window covers the written
+    /// cell — an instruction may read up to `max_size` words, so a
+    /// store to cell `i` affects decodes starting anywhere in
+    /// `[i - (max_size - 1), i]`.
+    fn commit_and_invalidate(&mut self, cycle: u64) {
+        if !self.state.has_due(cycle) {
+            return;
+        }
+        let mut dirty = std::mem::take(&mut self.imem_dirty);
+        dirty.clear();
+        self.state.commit_due_collecting(cycle, self.imem_id, &mut dirty);
+        if !dirty.is_empty() {
+            let max = u64::from(self.disasm.max_size());
+            for &i in &dirty {
+                let lo = i.saturating_sub(max - 1) as usize;
+                for e in &mut self.decoded[lo..=(i as usize)] {
+                    *e = None;
+                }
+                self.blocks.invalidate_write(i, max);
+            }
+        }
+        self.imem_dirty = dirty;
+    }
+
+    /// Fetch/decode at `pc` (off-line cache, or per-fetch decode).
+    fn fetch_entry(&mut self, pc: u64) -> Result<Rc<DecodedEntry>, StopReason> {
+        if self.options.offline_decode {
+            if let Some(e) = &self.decoded[pc as usize] {
+                return Ok(Rc::clone(e));
+            }
+            match self.decode_at(pc) {
+                Some(e) => {
+                    self.decoded[pc as usize] = Some(Rc::clone(&e));
+                    Ok(e)
+                }
+                None => Err(StopReason::IllegalInstruction(pc)),
+            }
+        } else {
+            self.decode_at(pc).ok_or(StopReason::IllegalInstruction(pc))
+        }
+    }
+
     /// Executes one instruction. Returns a stop reason if execution
     /// cannot continue.
     #[allow(clippy::missing_panics_doc)]
@@ -840,35 +947,28 @@ impl<'m> Xsim<'m> {
             return Some(StopReason::PcOutOfRange(pc));
         }
 
-        // Fetch/decode (off-line cache, or per-fetch decode).
-        let entry: Rc<DecodedEntry> = if self.options.offline_decode {
-            match &self.decoded[pc as usize] {
-                Some(e) => Rc::clone(e),
-                None => match self.decode_at(pc) {
-                    Some(e) => {
-                        self.decoded[pc as usize] = Some(Rc::clone(&e));
-                        e
-                    }
-                    None => return Some(StopReason::IllegalInstruction(pc)),
-                },
-            }
-        } else {
-            match self.decode_at(pc) {
-                Some(e) => e,
-                None => return Some(StopReason::IllegalInstruction(pc)),
-            }
-        };
+        // A store into instruction memory that became due at the end
+        // of the previous cycle must be visible to *this* fetch.
+        self.commit_and_invalidate(self.stats.cycles);
 
+        let entry = match self.fetch_entry(pc) {
+            Ok(e) => e,
+            Err(stop) => return Some(stop),
+        };
+        self.exec_entry(pc, &entry)
+    }
+
+    /// Executes one fetched instruction through the interpreter: stall
+    /// charge, due-write commit, both RTL phases, write staging,
+    /// tracing, and retirement.
+    fn exec_entry(&mut self, pc: u64, entry: &Rc<DecodedEntry>) -> Option<StopReason> {
         // 1. Charge static stalls.
         self.stats.cycles += u64::from(entry.stall);
         self.stats.stall_cycles += u64::from(entry.stall);
         let t = self.stats.cycles;
 
         // 2. Commit writes whose latency has expired.
-        if self.state.commit_due_watching(t, self.imem_id) {
-            // Self-modifying code: conservatively drop the decode cache.
-            self.decoded.iter_mut().for_each(|e| *e = None);
-        }
+        self.commit_and_invalidate(t);
 
         // 3-5. Execute both phases and stage writes. An ExecError in
         // either phase discards the instruction's writes and surfaces
@@ -1031,6 +1131,17 @@ impl<'m> Xsim<'m> {
             }
         }
 
+        self.retire_entry(pc, entry, pc_written)
+    }
+
+    /// The shared retirement tail of both dispatch tiers: bookkeeping,
+    /// profile/trace recording, time advance, and PC update.
+    fn retire_entry(
+        &mut self,
+        pc: u64,
+        entry: &DecodedEntry,
+        pc_written: bool,
+    ) -> Option<StopReason> {
         // Bookkeeping (flat counters; folded into Stats lazily).
         for (fi, d) in entry.instr.ops.iter().enumerate() {
             self.op_counts[fi][d.op.op] += 1;
@@ -1052,13 +1163,15 @@ impl<'m> Xsim<'m> {
         // 7. Advance or redirect the PC.
         if pc_written {
             // Make the branch visible now so `pc()` is coherent; its
-            // visibility cycle has been charged via the cycle cost.
-            self.state.commit_due(self.stats.cycles);
+            // visibility cycle has been charged via the cycle cost. A
+            // branch write never lands in imem, but another write
+            // committing at the same cycle may — invalidate precisely.
+            self.commit_and_invalidate(self.stats.cycles);
             if self.pc() == pc {
                 // `end: jmp end` idiom. Hardware would keep spinning
                 // here while in-flight (latency > 1) results land, so
                 // retire everything still pending.
-                self.state.commit_due(u64::MAX);
+                self.commit_and_invalidate(u64::MAX);
                 self.halted = true;
                 return Some(StopReason::Halted);
             }
@@ -1067,11 +1180,184 @@ impl<'m> Xsim<'m> {
         }
 
         if entry.halts {
-            self.state.commit_due(u64::MAX);
+            self.commit_and_invalidate(u64::MAX);
             self.halted = true;
             return Some(StopReason::Halted);
         }
         None
+    }
+
+    /// Translates the basic block starting at `start`: walks the
+    /// sequential instruction stream, fusing each instruction's plans,
+    /// until a control-flow redirect, a potential self-modifying
+    /// store, a halt, an undecodable word, or the block length cap.
+    /// Returns `None` when even the first word fails to decode.
+    fn translate_block(&mut self, start: u64) -> Option<Rc<Block>> {
+        /// Straight-line trace cap: long enough to swallow unrolled
+        /// kernels, short enough to bound mid-block budget overshoot.
+        const MAX_BLOCK_INSTRS: usize = 64;
+        let depth = self.state.depth(self.imem_id);
+        let mut instrs: Vec<BlockInstr> = Vec::new();
+        let mut raw_writes: Vec<StorageId> = Vec::new();
+        let mut addr = start;
+        let mut end = start;
+        while addr < depth && instrs.len() < MAX_BLOCK_INSTRS {
+            let Ok(entry) = self.fetch_entry(addr) else { break };
+            raw_writes.clear();
+            for (d, b) in entry.instr.ops.iter().zip(&entry.bindings) {
+                hazard::collect_raw_writes(self.machine, self.machine.op(d.op), b, &mut raw_writes);
+            }
+            // Anything that can redirect control or rewrite code ends
+            // the block (conservatively: writes under `If` count).
+            let terminator = entry.halts
+                || raw_writes.contains(&self.pc_id)
+                || raw_writes.contains(&self.imem_id);
+            let fused = crate::translate::fuse_entry(&entry, &mut self.blocks.fused_ops_removed);
+            end = addr + u64::from(entry.instr.size);
+            instrs.push(BlockInstr { pc: addr, entry, fused });
+            addr = end;
+            if terminator {
+                break;
+            }
+        }
+        if instrs.is_empty() {
+            return None;
+        }
+        let block = Rc::new(Block { start, end, instrs });
+        self.blocks.insert(Rc::clone(&block));
+        Some(block)
+    }
+
+    /// The translated dispatch loop: fetches (translating on miss) the
+    /// block at the current PC and retires its instructions back to
+    /// back, re-checking budgets, due commits, and block validity
+    /// between instructions so semantics match the interpreter
+    /// bit-for-bit.
+    fn run_translated(&mut self, budget_end: u64, fuel_end: u64) -> StopReason {
+        let depth = self.state.depth(self.imem_id);
+        'dispatch: loop {
+            if self.halted {
+                return StopReason::Halted;
+            }
+            if self.stats.cycles >= budget_end {
+                return StopReason::CycleLimit;
+            }
+            if self.stats.instructions >= fuel_end {
+                return StopReason::FuelExhausted;
+            }
+            let pc = self.pc();
+            if pc >= depth {
+                return StopReason::PcOutOfRange(pc);
+            }
+            // Same pre-fetch visibility rule as the interpreter.
+            self.commit_and_invalidate(self.stats.cycles);
+            let block = match self.blocks.get(pc) {
+                Some(b) => b,
+                None => match self.translate_block(pc) {
+                    Some(b) => b,
+                    None => return StopReason::IllegalInstruction(pc),
+                },
+            };
+            let mut generation = self.blocks.generation;
+            for (i, bi) in block.instrs.iter().enumerate() {
+                if i > 0 {
+                    // The dispatch preamble ran for the block head
+                    // only; later instructions re-check it here.
+                    if self.stats.cycles >= budget_end || self.stats.instructions >= fuel_end {
+                        continue 'dispatch;
+                    }
+                    self.commit_and_invalidate(self.stats.cycles);
+                    // `contains` is only worth asking when some block
+                    // was dropped since the last check (generation
+                    // moved).
+                    if self.blocks.generation != generation {
+                        if !self.blocks.contains(block.start) {
+                            // A latent store invalidated this very
+                            // block mid-flight: re-dispatch so the next
+                            // fetch sees the rewritten code.
+                            continue 'dispatch;
+                        }
+                        generation = self.blocks.generation;
+                    }
+                }
+                if let Some(stop) = self.exec_block_instr(bi) {
+                    return stop;
+                }
+            }
+        }
+    }
+
+    /// Retires one block instruction through the fused trace, or the
+    /// interpreter when the instruction could not be fused (wide RTL).
+    fn exec_block_instr(&mut self, bi: &BlockInstr) -> Option<StopReason> {
+        match &bi.fused {
+            Some(f) => self.exec_fused(bi.pc, &bi.entry, f),
+            None => {
+                let entry = Rc::clone(&bi.entry);
+                self.exec_entry(bi.pc, &entry)
+            }
+        }
+    }
+
+    /// The fused fast path of [`Xsim::exec_entry`]: one flat μ-op
+    /// trace replaces plan iteration, parameter reads, and per-write
+    /// latency resolution. Staging order, trace records, and
+    /// retirement are identical to the interpreter.
+    fn exec_fused(
+        &mut self,
+        pc: u64,
+        entry: &Rc<DecodedEntry>,
+        fused: &Fused,
+    ) -> Option<StopReason> {
+        self.stats.cycles += u64::from(entry.stall);
+        self.stats.stall_cycles += u64::from(entry.stall);
+        let t = self.stats.cycles;
+        self.commit_and_invalidate(t);
+
+        let mut writes = std::mem::take(&mut self.action_buf);
+        writes.clear();
+        crate::translate::run_fused(fused, &self.state, &mut writes, &mut self.scratch_regs);
+
+        let mut pc_written = false;
+        let tracing = self.events.is_some() || self.event_sink.is_some();
+        let mut traced_writes = Vec::new();
+        for w in writes.drain(..) {
+            if w.storage == self.pc_id {
+                pc_written = true;
+            }
+            if tracing {
+                traced_writes.push(TraceWrite {
+                    storage: w.storage,
+                    index: w.index,
+                    value: w.value.clone(),
+                });
+            }
+            self.state.stage_write(
+                w.storage,
+                w.index,
+                w.hi,
+                w.lo,
+                w.value,
+                t + u64::from(w.latency),
+            );
+        }
+        self.action_buf = writes;
+        if tracing {
+            let event = TraceEvent {
+                cycle: t,
+                pc,
+                ops: entry.instr.ops.iter().map(|d| d.op).collect(),
+                writes: traced_writes,
+            };
+            if let Some(sink) = &mut self.event_sink {
+                sink.record(crate::report::event_json(self.machine, &event));
+            }
+            if let Some(events) = &mut self.events {
+                events.push(event);
+            }
+        }
+        self.block_instructions += 1;
+        self.retire_entry(pc, entry, pc_written)
     }
 
     /// Clears the halted flag and jumps to `pc`, keeping the decoded
@@ -1089,6 +1375,10 @@ impl<'m> Xsim<'m> {
     /// memory contents if the run modified them.
     pub fn reset(&mut self) {
         self.state.reset();
+        // Reset wipes instruction memory, so translated blocks are
+        // stale; counters restart with the stats they feed.
+        self.blocks = BlockCache::default();
+        self.block_instructions = 0;
         self.stats = Stats { field_busy: vec![0; self.machine.fields.len()], ..Stats::default() };
         for f in &mut self.op_counts {
             f.iter_mut().for_each(|n| *n = 0);

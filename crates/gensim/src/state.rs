@@ -70,6 +70,10 @@ pub struct State {
     cells: Vec<Vec<BitVector>>,
     widths: Vec<u32>,
     pending: Vec<PendingWrite>,
+    /// Earliest `visible_at` among `pending` (`u64::MAX` when empty):
+    /// lets every commit scan early-out in O(1) on the cycles — the
+    /// majority — where nothing is due yet.
+    next_due: u64,
     monitors: Vec<Monitor>,
     events: Vec<MonitorEvent>,
 }
@@ -85,7 +89,14 @@ impl State {
             .map(|s| vec![BitVector::zero(s.width); s.cells() as usize])
             .collect();
         let widths = machine.storages.iter().map(|s| s.width).collect();
-        Self { cells, widths, pending: Vec::new(), monitors: Vec::new(), events: Vec::new() }
+        Self {
+            cells,
+            widths,
+            pending: Vec::new(),
+            next_due: u64::MAX,
+            monitors: Vec::new(),
+            events: Vec::new(),
+        }
     }
 
     /// Reads one cell.
@@ -151,7 +162,17 @@ impl State {
     ) {
         assert!(hi >= lo && hi < self.widths[storage.0], "stage range out of bounds");
         assert_eq!(value.width(), hi - lo + 1, "staged value width mismatch");
+        self.next_due = self.next_due.min(visible_at);
         self.pending.push(PendingWrite { visible_at, storage, index, hi, lo, value });
+    }
+
+    /// Whether any staged write is due at `cycle` — the O(1) guard the
+    /// dispatch loops use to skip the commit scan entirely on the
+    /// (majority of) cycles where nothing can land.
+    #[inline]
+    #[must_use]
+    pub fn has_due(&self, cycle: u64) -> bool {
+        cycle >= self.next_due
     }
 
     /// Whether any staged-but-uncommitted write targets `storage`.
@@ -168,6 +189,9 @@ impl State {
     /// later (in field order) of two conflicting writes wins.
     pub fn commit_due(&mut self, cycle: u64) -> Vec<StorageId> {
         let mut touched = Vec::new();
+        if cycle < self.next_due {
+            return touched;
+        }
         let mut i = 0;
         while i < self.pending.len() {
             if self.pending[i].visible_at <= cycle {
@@ -180,6 +204,7 @@ impl State {
                 i += 1;
             }
         }
+        self.recompute_next_due();
         touched
     }
 
@@ -187,6 +212,9 @@ impl State {
     /// path: commits due writes and reports only whether `watch` was
     /// among the touched storages.
     pub fn commit_due_watching(&mut self, cycle: u64, watch: StorageId) -> bool {
+        if cycle < self.next_due {
+            return false;
+        }
         let mut hit = false;
         let mut i = 0;
         while i < self.pending.len() {
@@ -198,12 +226,43 @@ impl State {
                 i += 1;
             }
         }
+        self.recompute_next_due();
         hit
+    }
+
+    /// Like [`Self::commit_due_watching`], but pushes the (depth-
+    /// wrapped) cell index of every committed write into `watch` onto
+    /// `dirty`, so the scheduler can invalidate decode/translation
+    /// caches *precisely* — only the entries a store can actually
+    /// affect — instead of dropping them wholesale.
+    pub fn commit_due_collecting(&mut self, cycle: u64, watch: StorageId, dirty: &mut Vec<u64>) {
+        if cycle < self.next_due {
+            return;
+        }
+        let depth = self.cells[watch.0].len() as u64;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].visible_at <= cycle {
+                let p = self.pending.remove(i);
+                self.apply(&p, cycle);
+                if p.storage == watch {
+                    dirty.push(p.index % depth);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.recompute_next_due();
+    }
+
+    fn recompute_next_due(&mut self) {
+        self.next_due = self.pending.iter().map(|p| p.visible_at).min().unwrap_or(u64::MAX);
     }
 
     /// Discards all staged writes (used by `reset`).
     pub fn clear_pending(&mut self) {
         self.pending.clear();
+        self.next_due = u64::MAX;
     }
 
     fn apply(&mut self, p: &PendingWrite, cycle: u64) {
@@ -270,6 +329,7 @@ impl State {
             }
         }
         self.pending.clear();
+        self.next_due = u64::MAX;
         self.events.clear();
     }
 }

@@ -36,6 +36,11 @@ run cargo test -q -p archex --test journal_resume
 # the generated hardware (see DESIGN.md §4a). Also inside `cargo test
 # -q` above; named here so an optimizer regression fails loudly.
 run cargo test -q --test opt_differential
+# Translation-tier gate (see DESIGN.md §4b): dispatching through
+# translated basic blocks must be bit-identical to the interpreter —
+# state, traces, profiles, cycle counts — including under
+# self-modifying code, on every sample machine and opt level.
+run cargo test -q --test translate_differential
 # Profiler gate (see docs/OBSERVABILITY.md, `xsim-profile/1`): the
 # per-pc and per-region tables must partition the machine-wide cycle
 # counters exactly, every stall must name its cause, and enabling the

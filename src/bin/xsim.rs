@@ -24,6 +24,10 @@
 //!   --no-offline-decode   re-decode at every fetch (§3.3.2 ablation)
 //!   --opt 0|1|2           RTL middle-end level (default 2 = aggressive);
 //!                         0 disables it — the differential baseline
+//!   --translate           dispatch through translated basic blocks
+//!                         (default; bit-identical to the interpreter)
+//!   --no-translate        force per-instruction interpretation — the
+//!                         translation-tier ablation baseline
 //! ```
 //!
 //! `-` writes a report to stdout (the human-readable summary then moves
@@ -88,6 +92,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 };
             }
             "--no-offline-decode" => options.offline_decode = false,
+            "--translate" => options.translate = true,
+            "--no-translate" => options.translate = false,
             "--opt" => {
                 let v = value(&mut it, "--opt")?;
                 options.opt = isdl::opt::OptLevel::parse(v)
@@ -166,6 +172,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     gensim::publish_opt_counters(&sim, &registry);
+    gensim::publish_translate_counters(&sim, &registry);
     if let Some(path) = &stats_out {
         let mut stats = stats_json(&sim);
         stats.insert("stop", stop.to_string());
@@ -228,6 +235,7 @@ fn write_report(path: &str, json: &Json) -> Result<(), String> {
 fn usage() -> String {
     "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--fuel N] [--stats <path|->] \
      [--trace <path|->] [--trace-capacity N] [--trace-stream <path|->] [--profile <path|->] \
-     [--chrome-trace <path|->] [--core tree|bytecode] [--no-offline-decode] [--opt 0|1|2]"
+     [--chrome-trace <path|->] [--core tree|bytecode] [--no-offline-decode] [--opt 0|1|2] \
+     [--translate|--no-translate]"
         .to_owned()
 }

@@ -131,6 +131,32 @@ fn profiler_is_purely_observational() {
 }
 
 #[test]
+fn unlabeled_prefix_lands_in_the_synthetic_entry_region() {
+    // The first two instructions precede any code label, so region
+    // bucketing must not fold them into the first labeled region: they
+    // belong to the synthetic `(entry)` region that spans [0, first
+    // label).
+    let m = isdl::load(isdl::samples::ACC16).expect("ACC16 loads");
+    let sim = run_profiled(&m, "ldi 3\nsta 0\nbody: lda 0\nhalt\n");
+    check_partition_invariants(&sim);
+
+    let report = profile_json(&sim);
+    let regions = report.get("regions").and_then(Json::as_arr).expect("regions");
+    let entry = regions
+        .iter()
+        .find(|r| r.get_str("name") == Some("(entry)"))
+        .expect("synthetic (entry) region present");
+    assert_eq!(entry.get_u64("start"), Some(0));
+    assert_eq!(entry.get_u64("end"), Some(2), "(entry) ends at the first label");
+    assert_eq!(entry.get_u64("issues"), Some(2), "ldi and sta are attributed to (entry)");
+    assert_eq!(entry.get_u64("cycles"), Some(2));
+    let body =
+        regions.iter().find(|r| r.get_str("name") == Some("body")).expect("labeled region present");
+    assert_eq!(body.get_u64("start"), Some(2));
+    assert_eq!(body.get_u64("issues"), Some(2), "lda and halt are attributed to body");
+}
+
+#[test]
 fn spam_regions_follow_code_labels() {
     let (m, asm) = spam_fixture();
     let sim = run_profiled(&m, &asm);
