@@ -1,0 +1,53 @@
+//! Ablation F: the compiled levelized netlist backend ([`vlog::lsim`])
+//! against the event-driven reference ([`vlog::sim`]). Both elaborate
+//! the same HGEN netlist of the SPAM machine with the FIR kernel
+//! loaded, and each row clocks the simulator for a fixed number of
+//! edges — the throughput gap is exactly what levelization (topological
+//! sweeps, 2-state u64 lanes, partition quiescence skipping) buys over
+//! 4-state event-driven evaluation. The `Levelized / Event` speedup is
+//! printed after the run; the acceptance target is ≥5×.
+
+use bench::{cycles_per_second, netlist_with_fir, spam_machine};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+use vlog::SimBackend;
+
+const EDGES: u64 = 20_000;
+
+fn bench_netlist_backends(c: &mut Criterion) {
+    let machines = [("spam", spam_machine())];
+    let mut group = c.benchmark_group("ablation_netlist");
+    group.throughput(Throughput::Elements(EDGES));
+    for (name, machine) in &machines {
+        for backend in [SimBackend::Event, SimBackend::Levelized] {
+            let (_hw, mut sim) = netlist_with_fir(machine, backend);
+            group.bench_function(format!("{name}_fir_20k_edges/{}", backend.name()), |b| {
+                b.iter(|| sim.clock(EDGES).expect("clocks"));
+            });
+        }
+    }
+    group.finish();
+
+    // A direct single-shot measurement so the speedup is visible in the
+    // run log without post-processing criterion's estimates.
+    eprintln!("\nnetlist backend throughput (single-shot, {EDGES} edges):");
+    eprintln!(
+        "{:<10} {:>16} {:>16} {:>9}",
+        "machine", "event edges/s", "levelized edges/s", "speedup"
+    );
+    for (name, machine) in &machines {
+        let rate = |backend: SimBackend| {
+            let (_hw, mut sim) = netlist_with_fir(machine, backend);
+            sim.clock(EDGES).expect("clocks"); // warm up past reset
+            let start = Instant::now();
+            sim.clock(EDGES).expect("clocks");
+            cycles_per_second(EDGES, start.elapsed())
+        };
+        let event = rate(SimBackend::Event);
+        let lev = rate(SimBackend::Levelized);
+        eprintln!("{name:<10} {event:>16.0} {lev:>16.0} {:>8.1}x", lev / event);
+    }
+}
+
+criterion_group!(benches, bench_netlist_backends);
+criterion_main!(benches);

@@ -113,6 +113,38 @@ pub fn entries_from_stats_json(text: &str) -> Result<Vec<BenchEntry>, String> {
             }
         }
     }
+    // `xsim --netlist-sim` attaches the netlist cross-check's
+    // `vlog-stats/1` block under `netlist`. Rows are keyed by backend
+    // (`<machine>.netlist.<event|levelized>.*`) so both backends can
+    // coexist in one trend archive; reports written before the block
+    // existed simply contribute nothing.
+    if let Some(nl) = json.get("netlist") {
+        let backend = nl.get_str("backend").unwrap_or("unknown");
+        for (key, unit) in
+            [("cycles", "cycles"), ("events", "events"), ("evals_per_clock", "ratio")]
+        {
+            if let Some(v) = nl.get_f64(key) {
+                out.push(BenchEntry::new(format!("{machine}.netlist.{backend}.{key}"), v, unit));
+            }
+        }
+        if let Some(lev) = nl.get("levelized") {
+            for (key, unit) in [
+                ("levels", "levels"),
+                ("partitions", "partitions"),
+                ("partitions_evaluated", "partitions"),
+                ("partitions_skipped", "partitions"),
+                ("skip_rate", "ratio"),
+            ] {
+                if let Some(v) = lev.get_f64(key) {
+                    out.push(BenchEntry::new(
+                        format!("{machine}.netlist.{backend}.{key}"),
+                        v,
+                        unit,
+                    ));
+                }
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -316,6 +348,49 @@ mod tests {
             .map(|e| e.value)
             .collect();
         assert!(region_cycles.windows(2).all(|w| w[0] >= w[1]), "sorted desc: {region_cycles:?}");
+    }
+
+    /// The netlist cross-check block lands as backend-keyed rows, and
+    /// a report without it (every report written before the levelized
+    /// backend existed) contributes no netlist rows at all.
+    #[test]
+    fn netlist_block_is_extracted_and_optional() {
+        let text = r#"{
+            "schema": "xsim-stats/1", "machine": "spam",
+            "cycles": 103, "instructions": 73, "stall_cycles": 30, "ipc": 0.7,
+            "netlist": {
+                "schema": "vlog-stats/1", "backend": "levelized",
+                "cycles": 428, "events": 58494, "evals_per_clock": 136.7,
+                "levelized": {
+                    "levels": 12, "partitions": 9,
+                    "partitions_evaluated": 561, "partitions_skipped": 3291,
+                    "skip_rate": 0.854
+                }
+            }
+        }"#;
+        let entries = entries_from_stats_json(text).expect("extracts");
+        let by_name =
+            |n: &str| entries.iter().find(|e| e.name == n).unwrap_or_else(|| panic!("entry {n}"));
+        assert_eq!(by_name("spam.netlist.levelized.cycles").value, 428.0);
+        assert_eq!(by_name("spam.netlist.levelized.events").value, 58494.0);
+        assert_eq!(by_name("spam.netlist.levelized.partitions").value, 9.0);
+        assert_eq!(by_name("spam.netlist.levelized.skip_rate").value, 0.854);
+        assert_eq!(by_name("spam.netlist.levelized.skip_rate").unit, "ratio");
+
+        // Event backend: no levelized sub-block, only the totals.
+        let text = r#"{
+            "schema": "xsim-stats/1", "machine": "spam", "cycles": 103,
+            "netlist": {"schema": "vlog-stats/1", "backend": "event",
+                        "cycles": 428, "events": 120000, "evals_per_clock": 280.4}
+        }"#;
+        let entries = entries_from_stats_json(text).expect("extracts");
+        assert!(entries.iter().any(|e| e.name == "spam.netlist.event.events"));
+        assert!(!entries.iter().any(|e| e.name.contains("partitions")));
+
+        // Legacy report: the absent block adds nothing.
+        let text = r#"{"schema": "xsim-stats/1", "machine": "spam", "cycles": 10}"#;
+        let entries = entries_from_stats_json(text).expect("legacy report extracts");
+        assert!(!entries.iter().any(|e| e.name.contains("netlist")), "{entries:?}");
     }
 
     /// A pre-PR-4 stats report: no `opt`, no `timing_us`, no

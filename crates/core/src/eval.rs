@@ -88,6 +88,23 @@ impl Default for SimBudget {
     }
 }
 
+/// Optional post-synthesis netlist cross-check: re-run every kernel on
+/// the HGEN-generated netlist and require bit-identical architectural
+/// state against the ILS — the hw_equivalence invariant, applied to
+/// every candidate an exploration evaluates instead of only the fixed
+/// test corpus. Off by default because it multiplies evaluation cost
+/// by the hardware/ILS cycle ratio; see `docs/SIMULATORS.md` for which
+/// backend to pick when turning it on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NetlistCheck {
+    /// No cross-check (the production default).
+    #[default]
+    Off,
+    /// Cross-check with the given netlist backend; a mismatch fails
+    /// the candidate with [`EvalError::NetlistMismatch`].
+    Run(vlog::SimBackend),
+}
+
 /// The merged measurements for one candidate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
@@ -221,6 +238,10 @@ pub struct Evaluation {
     /// cycles, top stalled PCs with causes), or `Json::Null` when the
     /// evaluation ran unprofiled. Excluded from every `semantic_eq`.
     pub profile: obs::Json,
+    /// Per-kernel `vlog-stats/1` blocks from the netlist cross-check,
+    /// or `Json::Null` when the check was [`NetlistCheck::Off`].
+    /// Observational, like `profile`.
+    pub netlist_stats: obs::Json,
 }
 
 /// Why a candidate failed evaluation.
@@ -256,6 +277,16 @@ pub enum EvalError {
         /// Which budget ran out.
         kind: BudgetKind,
     },
+    /// The generated netlist disagreed with the ILS on final
+    /// architectural state during a [`NetlistCheck`] run — a generator
+    /// bug, the worst kind of silent wrong answer.
+    NetlistMismatch {
+        /// The kernel whose final state diverged.
+        kernel: String,
+        /// Which storage/cell differed (or why the netlist failed to
+        /// elaborate or run).
+        message: String,
+    },
     /// An error replayed from a journal, preserved as its rendered
     /// message (the structured form is not serialized).
     Journaled(String),
@@ -290,6 +321,9 @@ impl fmt::Display for EvalError {
             }
             Self::BudgetExhausted { kernel, kind: BudgetKind::Instructions } => {
                 write!(f, "kernel `{kernel}` exhausted its instruction fuel")
+            }
+            Self::NetlistMismatch { kernel, message } => {
+                write!(f, "netlist cross-check failed on kernel `{kernel}`: {message}")
             }
             Self::Journaled(m) => f.write_str(m),
         }
@@ -354,7 +388,15 @@ pub fn evaluate(
     kernels: &[Kernel],
     hgen_options: HgenOptions,
 ) -> Result<Evaluation, EvalError> {
-    evaluate_with(machine, kernels, hgen_options, SimBudget::default(), None, false)
+    evaluate_with(
+        machine,
+        kernels,
+        hgen_options,
+        SimBudget::default(),
+        None,
+        false,
+        NetlistCheck::Off,
+    )
 }
 
 /// Evaluates `machine` with panic containment: any panic inside the
@@ -372,11 +414,12 @@ pub fn evaluate_contained(
     budget: SimBudget,
     fault: Option<&FaultPlan>,
     profile: bool,
+    netlist: NetlistCheck,
 ) -> Result<Evaluation, EvalError> {
     install_contained_panic_hook();
     CONTAINED.with(|c| c.set(true));
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        evaluate_with(machine, kernels, hgen_options, budget, fault, profile)
+        evaluate_with(machine, kernels, hgen_options, budget, fault, profile, netlist)
     }));
     CONTAINED.with(|c| c.set(false));
     let stage = CURRENT_STAGE.with(Cell::take);
@@ -394,12 +437,16 @@ pub fn evaluate_contained(
 /// [`FaultPlan`]). Panics are *not* contained here — use
 /// [`evaluate_contained`] for that. When `profile` is set each
 /// kernel's simulator runs with cycle attribution enabled and the
-/// returned [`Evaluation::profile`] carries the compact summary.
+/// returned [`Evaluation::profile`] carries the compact summary. When
+/// `netlist` is [`NetlistCheck::Run`] each kernel is replayed on the
+/// generated netlist after synthesis and the final architectural state
+/// must match the ILS bit-for-bit.
 ///
 /// # Errors
 ///
 /// See [`EvalError`]; exploration treats any error as "candidate
 /// infeasible".
+#[allow(clippy::too_many_lines)]
 pub fn evaluate_with(
     machine: &Machine,
     kernels: &[Kernel],
@@ -407,12 +454,14 @@ pub fn evaluate_with(
     budget: SimBudget,
     fault: Option<&FaultPlan>,
     profile: bool,
+    netlist: NetlistCheck,
 ) -> Result<Evaluation, EvalError> {
     let assembler = Assembler::new(machine);
     let mut total = Stats::default();
     let mut kernel_stats = Vec::new();
     let mut compiled_all = Vec::new();
     let mut kernel_profiles = Vec::new();
+    let mut check_runs: Vec<(xasm::Program, Xsim<'_>)> = Vec::new();
     for kernel in kernels {
         enter_stage(Stage::Compile, fault, &kernel.name)?;
         let compiled =
@@ -463,10 +512,24 @@ pub fn evaluate_with(
             stats,
         });
         compiled_all.push(compiled);
+        if netlist != NetlistCheck::Off {
+            check_runs.push((program, sim));
+        }
     }
 
     enter_stage(Stage::Synthesize, fault, kernels.first().map_or("", |k| k.name.as_str()))?;
     let hw = synthesize(machine, hgen_options).map_err(|e| EvalError::Synthesis(e.to_string()))?;
+    let mut netlist_stats = obs::Json::Null;
+    if let NetlistCheck::Run(backend) = netlist {
+        let mut per_kernel = Vec::new();
+        for ((program, xsim), kernel) in check_runs.iter().zip(kernels) {
+            let stats = netlist_cross_check(machine, &hw, backend, &kernel.name, program, xsim)?;
+            per_kernel.push(stats.with("kernel", kernel.name.as_str()));
+        }
+        netlist_stats = obs::Json::obj()
+            .with("backend", backend.name())
+            .with("kernels", obs::Json::Arr(per_kernel));
+    }
     let runtime_us = total.cycles as f64 * hw.report.cycle_ns / 1_000.0;
     Ok(Evaluation {
         metrics: Metrics {
@@ -483,7 +546,60 @@ pub fn evaluate_with(
         kernel_stats,
         compiled: compiled_all,
         profile: if profile { profile_summary(&kernel_profiles) } else { obs::Json::Null },
+        netlist_stats,
     })
+}
+
+/// Replays one halted kernel on the HGEN netlist with the chosen
+/// backend and compares every data-carrying storage against the ILS.
+/// Returns the netlist simulator's `vlog-stats/1` block on success.
+fn netlist_cross_check(
+    machine: &Machine,
+    hw: &hgen::HgenResult,
+    backend: vlog::SimBackend,
+    kernel: &str,
+    program: &xasm::Program,
+    xsim: &Xsim<'_>,
+) -> Result<obs::Json, EvalError> {
+    let fail = |message: String| EvalError::NetlistMismatch { kernel: kernel.to_owned(), message };
+    let mut sim = hw.simulator(backend).map_err(|e| fail(e.to_string()))?;
+    let imem = &machine.storage(machine.imem.expect("validated machines have an imem")).name;
+    let w = machine.word_width;
+    for (a, word) in program.words.iter().enumerate() {
+        sim.poke_memory(imem, a as u64, word.trunc(w).zext(w)).map_err(|e| fail(e.to_string()))?;
+    }
+    if let Some(dm) =
+        machine.storages.iter().find(|s| s.kind == isdl::model::StorageKind::DataMemory)
+    {
+        for &(addr, v) in &program.data {
+            sim.poke_memory(&dm.name, addr, bitv::BitVector::from_i64(v, dm.width))
+                .map_err(|e| fail(e.to_string()))?;
+        }
+    }
+    // The hardware stalls at most as many extra cycles as the ILS
+    // charged, and compiled kernels end in a state-neutral self-loop.
+    sim.clock(4 * xsim.stats().cycles + 16).map_err(|e| fail(e.to_string()))?;
+    for (i, s) in machine.storages.iter().enumerate() {
+        use isdl::model::StorageKind::{InstructionMemory, ProgramCounter};
+        if matches!(s.kind, ProgramCounter | InstructionMemory) {
+            continue;
+        }
+        for a in 0..s.cells() {
+            let soft = xsim.state().read(isdl::rtl::StorageId(i), a);
+            let hard = if s.kind.is_addressed() {
+                sim.peek_memory(&s.name, a).map_err(|e| fail(e.to_string()))?
+            } else {
+                sim.peek(&s.name).map_err(|e| fail(e.to_string()))?
+            };
+            if *soft != hard {
+                return Err(fail(format!(
+                    "{}[{a}]: ILS {soft}, netlist ({backend}) {hard}",
+                    s.name
+                )));
+            }
+        }
+    }
+    Ok(vlog::stats_json(&sim))
 }
 
 /// Compresses full `xsim-profile/1` documents into the per-candidate
@@ -568,22 +684,58 @@ mod tests {
         let kernels = vec![workloads::dot_product(4)];
         let hgen = HgenOptions::default();
         let starved = SimBudget { max_instructions: 3, ..SimBudget::default() };
-        let e = evaluate_with(&m, &kernels, hgen, starved, None, false).expect_err("fuel starved");
+        let e = evaluate_with(&m, &kernels, hgen, starved, None, false, NetlistCheck::Off)
+            .expect_err("fuel starved");
         assert!(
             matches!(&e, EvalError::BudgetExhausted { kind: BudgetKind::Instructions, .. }),
             "got {e}"
         );
         assert!(e.is_transient());
         let starved = SimBudget { max_cycles: 3, ..SimBudget::default() };
-        let e = evaluate_with(&m, &kernels, hgen, starved, None, false).expect_err("cycle starved");
+        let e = evaluate_with(&m, &kernels, hgen, starved, None, false, NetlistCheck::Off)
+            .expect_err("cycle starved");
         assert!(
             matches!(&e, EvalError::BudgetExhausted { kind: BudgetKind::Cycles, .. }),
             "got {e}"
         );
         // A generous budget changes nothing about the result.
-        let ev = evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false)
-            .expect("default budget is ample");
+        let ev =
+            evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false, NetlistCheck::Off)
+                .expect("default budget is ample");
         assert!(ev.metrics.cycles > 10);
+    }
+
+    #[test]
+    fn netlist_check_passes_and_carries_vlog_stats() {
+        let m = isdl::load(isdl::samples::TOY).expect("loads");
+        let kernels = vec![workloads::dot_product(3)];
+        let hgen = HgenOptions::default();
+        let plain =
+            evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false, NetlistCheck::Off)
+                .expect("evaluates");
+        for backend in [vlog::SimBackend::Event, vlog::SimBackend::Levelized] {
+            let checked = evaluate_with(
+                &m,
+                &kernels,
+                hgen,
+                SimBudget::default(),
+                None,
+                false,
+                NetlistCheck::Run(backend),
+            )
+            .expect("cross-check agrees");
+            assert!(plain.metrics.semantic_eq(&checked.metrics), "check is observational");
+            assert_eq!(checked.netlist_stats.get_str("backend"), Some(backend.name()));
+            let ks = checked
+                .netlist_stats
+                .get("kernels")
+                .and_then(obs::Json::as_arr)
+                .expect("per-kernel stats");
+            assert_eq!(ks.len(), 1);
+            assert_eq!(ks[0].get_str("schema"), Some("vlog-stats/1"));
+            assert!(ks[0].get_u64("cycles").unwrap_or(0) > 0);
+        }
+        assert_eq!(plain.netlist_stats, obs::Json::Null);
     }
 
     #[test]
@@ -591,10 +743,12 @@ mod tests {
         let m = isdl::load(isdl::samples::TOY).expect("loads");
         let kernels = vec![workloads::fir(3, 6)];
         let hgen = HgenOptions::default();
-        let plain = evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false)
-            .expect("evaluates");
-        let profiled = evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, true)
-            .expect("evaluates profiled");
+        let plain =
+            evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false, NetlistCheck::Off)
+                .expect("evaluates");
+        let profiled =
+            evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, true, NetlistCheck::Off)
+                .expect("evaluates profiled");
         assert!(plain.metrics.semantic_eq(&profiled.metrics), "profiling is observational");
         assert_eq!(plain.profile, obs::Json::Null);
         let ks = profiled.profile.get("kernels").and_then(obs::Json::as_arr).expect("kernels");

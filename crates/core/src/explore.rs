@@ -610,6 +610,11 @@ pub struct Explorer {
     /// are assigned in proposal order, so the same evaluation faults at
     /// every thread count. `None` in production.
     pub fault_plan: Option<FaultPlan>,
+    /// Post-synthesis netlist cross-check applied to every fresh
+    /// evaluation (see [`crate::eval::NetlistCheck`]). Off by default;
+    /// turning it on makes every accepted step carry proof that the
+    /// generated hardware matches the ILS bit-for-bit.
+    pub netlist_check: crate::eval::NetlistCheck,
 }
 
 impl Default for Explorer {
@@ -623,6 +628,7 @@ impl Default for Explorer {
             instrument: true,
             budget: SimBudget::default(),
             fault_plan: None,
+            netlist_check: crate::eval::NetlistCheck::default(),
         }
     }
 }
@@ -741,6 +747,7 @@ impl RunObs {
             explorer.budget,
             fault,
             explorer.instrument,
+            explorer.netlist_check,
         );
         drop(span);
         if let Some(t0) = t0 {

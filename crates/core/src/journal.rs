@@ -364,7 +364,13 @@ fn evaluation_from_json(j: &Json) -> Result<Evaluation, String> {
     // `profile` is optional: journals written before the profiler
     // existed simply resume without per-candidate summaries.
     let profile = j.get("profile").cloned().unwrap_or(Json::Null);
-    Ok(Evaluation { metrics, kernel_stats, compiled: Vec::new(), profile })
+    Ok(Evaluation {
+        metrics,
+        kernel_stats,
+        compiled: Vec::new(),
+        profile,
+        netlist_stats: Json::Null,
+    })
 }
 
 fn entries_from_json(j: &Json) -> Result<JournalEntries, String> {

@@ -43,7 +43,7 @@ pub mod workloads;
 pub use compiler::{compile, AOp, Capabilities, CompileError, Compiled, Kernel, VReg};
 pub use eval::{
     evaluate, evaluate_contained, evaluate_with, BudgetKind, EvalError, Evaluation, Metrics,
-    SimBudget, Stage,
+    NetlistCheck, SimBudget, Stage,
 };
 pub use explore::{
     apply_mutation, chrome_trace, EvalCache, ExploreObs, Explorer, FrontierRound, Mutation,

@@ -29,6 +29,7 @@ fn contained_panic_becomes_an_error_naming_the_stage() {
             SimBudget::default(),
             Some(&fault),
             false,
+            archex::NetlistCheck::Off,
         )
         .expect_err("the armed panic fired");
         match err {

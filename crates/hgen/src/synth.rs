@@ -40,6 +40,19 @@ pub struct HgenResult {
     pub synthesis_time_s: f64,
 }
 
+impl HgenResult {
+    /// Elaborates the generated module into a netlist simulator of the
+    /// chosen backend (see `docs/SIMULATORS.md` for the trade-off).
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration/levelization errors; HGEN output is
+    /// loop-free by construction, so both backends accept it.
+    pub fn simulator(&self, backend: vlog::SimBackend) -> Result<vlog::AnySim, VlogError> {
+        vlog::AnySim::elaborate(&self.module, backend)
+    }
+}
+
 /// Runs the full HGEN flow: datapath construction, resource sharing,
 /// Verilog emission, and technology analysis.
 ///
@@ -82,6 +95,18 @@ mod tests {
         assert!(r.report.cycle_ns > 0.0);
         assert!(r.synthesis_time_s >= 0.0);
         assert!(r.verilog.contains("module toy"));
+    }
+
+    #[test]
+    fn simulator_helper_serves_both_backends() {
+        let m = isdl::load(TOY).expect("loads");
+        let r = synthesize(&m, HgenOptions::default()).expect("synthesizes");
+        for backend in [vlog::SimBackend::Event, vlog::SimBackend::Levelized] {
+            let mut sim = r.simulator(backend).expect("elaborates");
+            sim.clock(8).expect("clocks");
+            assert_eq!(sim.cycles(), 8);
+            assert_eq!(sim.backend(), backend);
+        }
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Levelization of an elaborated netlist.
+//!
+//! The event-driven simulator in [`crate::sim`] pays a worklist and a
+//! change-detection comparison per node evaluation, every cycle. A
+//! levelized compiler (the GSIM approach) does that analysis once:
+//! it topologically orders the combinational nodes so a single
+//! straight-line sweep — no queue, no convergence test — produces the
+//! settled value of every net. Combinational loops, which the event
+//! simulator can only detect by exhausting a convergence budget, are
+//! rejected here *structurally* with a diagnostic naming the nets on
+//! the cycle.
+//!
+//! The pass also groups nodes into *partitions* — weakly-connected
+//! components of the combinational dependency graph — and records, for
+//! every register, input, and memory, which partitions read it. At
+//! runtime a partition whose inputs did not change since its last
+//! evaluation is quiescent and can be skipped wholesale; the dirty
+//! bits that drive this are maintained by [`crate::lsim::LevelizedSim`].
+
+use crate::ast::{LValue, VStmt};
+use crate::netlist::Netlist;
+use crate::VlogError;
+
+/// One weakly-connected component of the combinational graph.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Member comb-node indices, in topological evaluation order.
+    pub nodes: Vec<usize>,
+}
+
+/// The result of levelizing a [`Netlist`]: a loop-free evaluation
+/// order, per-node logic depths, and the partition/input structure the
+/// quiescence optimization needs.
+#[derive(Debug, Clone)]
+pub struct Levelized {
+    /// All comb-node indices in one global topological order.
+    pub order: Vec<usize>,
+    /// `level[i]` = logic depth of comb node `i` (0 = reads only
+    /// external inputs).
+    pub level: Vec<u32>,
+    /// Number of distinct levels (`max(level) + 1`; 0 with no nodes).
+    pub depth: u32,
+    /// The partitions, each with its nodes in topological order.
+    pub partitions: Vec<Partition>,
+    /// `partition_of[i]` = partition index of comb node `i`.
+    pub partition_of: Vec<usize>,
+    /// `net_feeds[n]` = partitions reading net `n` as an *external*
+    /// input (one that only pokes or the clocked block can change).
+    pub net_feeds: Vec<Vec<usize>>,
+    /// `mem_feeds[m]` = partitions reading memory `m`. All memory
+    /// reads are external: memories are written only sequentially.
+    pub mem_feeds: Vec<Vec<usize>>,
+    /// `comb_driven[n]` = net `n` has at least one continuous driver
+    /// (so the levelized simulator must refuse to poke it).
+    pub comb_driven: Vec<bool>,
+}
+
+impl Levelized {
+    /// Levelizes an elaborated netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VlogError`] if the combinational graph contains a
+    /// cycle (the diagnostic names the nets on it), or if a net is
+    /// driven both by a continuous assignment and by the clocked
+    /// block — a form the single-sweep evaluation order cannot
+    /// represent (the event-driven simulator still accepts it).
+    pub fn build(netlist: &Netlist) -> Result<Self, VlogError> {
+        let n_nodes = netlist.comb.len();
+        let n_nets = netlist.nets.len();
+
+        // Nets with continuous drivers, and their driving nodes.
+        let mut drivers: Vec<Vec<usize>> = vec![Vec::new(); n_nets];
+        for (i, node) in netlist.comb.iter().enumerate() {
+            drivers[node.target.0].push(i);
+        }
+        let comb_driven: Vec<bool> = drivers.iter().map(|d| !d.is_empty()).collect();
+
+        // A net written by the clocked block *and* continuously
+        // assigned would need its comb slice re-derived mid-sweep;
+        // reject the mix up front with a real diagnostic.
+        let mut ff_written = vec![false; n_nets];
+        collect_ff_writes(&netlist.ff, netlist, &mut ff_written);
+        for (n, net) in netlist.nets.iter().enumerate() {
+            if comb_driven[n] && ff_written[n] {
+                return Err(VlogError::new(format!(
+                    "net `{}` is driven by both a continuous assignment and the clocked \
+                     block; the levelized backend requires disjoint drivers",
+                    net.name
+                )));
+            }
+        }
+
+        // Dependency edges at net granularity: node j reads a net that
+        // node i drives => i must be evaluated before j.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+        let mut indegree = vec![0usize; n_nodes];
+        for (j, node) in netlist.comb.iter().enumerate() {
+            for &r in &node.reads {
+                for &i in &drivers[r.0] {
+                    if !succs[i].contains(&j) {
+                        succs[i].push(j);
+                        indegree[j] += 1;
+                    }
+                }
+            }
+        }
+
+        // Kahn's algorithm; smallest-index-first for a deterministic
+        // order independent of HashMap iteration anywhere upstream.
+        let mut ready: Vec<usize> = (0..n_nodes).filter(|&i| indegree[i] == 0).collect();
+        ready.sort_unstable();
+        let mut heap = std::collections::BinaryHeap::new();
+        for i in ready {
+            heap.push(std::cmp::Reverse(i));
+        }
+        let mut order = Vec::with_capacity(n_nodes);
+        let mut level = vec![0u32; n_nodes];
+        let mut remaining = indegree.clone();
+        while let Some(std::cmp::Reverse(i)) = heap.pop() {
+            order.push(i);
+            for &j in &succs[i] {
+                level[j] = level[j].max(level[i] + 1);
+                remaining[j] -= 1;
+                if remaining[j] == 0 {
+                    heap.push(std::cmp::Reverse(j));
+                }
+            }
+        }
+        if order.len() != n_nodes {
+            return Err(cycle_diagnostic(netlist, &succs, &remaining));
+        }
+        let depth = if n_nodes == 0 { 0 } else { level.iter().max().copied().unwrap_or(0) + 1 };
+
+        // Partitions: weakly-connected components over the dependency
+        // edges, plus nodes that drive disjoint slices of one net (so
+        // a net's full value is always settled by a single partition).
+        let mut uf = UnionFind::new(n_nodes);
+        for (i, s) in succs.iter().enumerate() {
+            for &j in s {
+                uf.union(i, j);
+            }
+        }
+        for d in &drivers {
+            for w in d.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        }
+        let mut partition_of = vec![usize::MAX; n_nodes];
+        let mut partitions: Vec<Partition> = Vec::new();
+        for &i in &order {
+            let root = uf.find(i);
+            let p = if partition_of[root] == usize::MAX {
+                partitions.push(Partition { nodes: Vec::new() });
+                partition_of[root] = partitions.len() - 1;
+                partitions.len() - 1
+            } else {
+                partition_of[root]
+            };
+            partitions[p].nodes.push(i);
+        }
+        // Re-index from root-representative to per-node.
+        let by_root = partition_of.clone();
+        for i in 0..n_nodes {
+            partition_of[i] = by_root[uf.find(i)];
+        }
+
+        // External inputs of each partition: nets with no continuous
+        // driver (registers, module inputs, undriven wires) and every
+        // memory read.
+        let mut net_feeds: Vec<Vec<usize>> = vec![Vec::new(); n_nets];
+        let mut mem_feeds: Vec<Vec<usize>> = vec![Vec::new(); netlist.mems.len()];
+        for (i, node) in netlist.comb.iter().enumerate() {
+            let p = partition_of[i];
+            for &r in &node.reads {
+                if !comb_driven[r.0] && !net_feeds[r.0].contains(&p) {
+                    net_feeds[r.0].push(p);
+                }
+            }
+            for &m in &node.reads_mem {
+                if !mem_feeds[m.0].contains(&p) {
+                    mem_feeds[m.0].push(p);
+                }
+            }
+        }
+
+        Ok(Self {
+            order,
+            level,
+            depth,
+            partitions,
+            partition_of,
+            net_feeds,
+            mem_feeds,
+            comb_driven,
+        })
+    }
+}
+
+/// Builds the "combinational loop" error by walking successor edges
+/// among the nodes Kahn's algorithm could not retire.
+fn cycle_diagnostic(netlist: &Netlist, succs: &[Vec<usize>], remaining: &[usize]) -> VlogError {
+    let in_cycle = |i: usize| remaining[i] > 0;
+    let start = (0..succs.len()).find(|&i| in_cycle(i)).unwrap_or(0);
+    // Follow edges within the stuck subgraph until a node repeats;
+    // the tail from its first visit is a genuine cycle.
+    let mut path = vec![start];
+    let mut seen_at = std::collections::HashMap::new();
+    seen_at.insert(start, 0usize);
+    let mut cur = start;
+    while let Some(&next) = succs[cur].iter().find(|&&j| in_cycle(j)) {
+        if let Some(&at) = seen_at.get(&next) {
+            path.push(next);
+            path.drain(..at);
+            break;
+        }
+        seen_at.insert(next, path.len());
+        path.push(next);
+        cur = next;
+    }
+    let names: Vec<&str> =
+        path.iter().map(|&i| netlist.nets[netlist.comb[i].target.0].name.as_str()).collect();
+    VlogError::new(format!("combinational loop: {}", names.join(" -> ")))
+}
+
+/// Marks every net the clocked block assigns (directly or under `if`).
+fn collect_ff_writes(stmts: &[VStmt], netlist: &Netlist, out: &mut Vec<bool>) {
+    for st in stmts {
+        match st {
+            VStmt::NonBlocking { lhs, .. } => match lhs {
+                LValue::Net(n) | LValue::Slice(n, _, _) => {
+                    if let Some(id) = netlist.net_id(n) {
+                        out[id.0] = true;
+                    }
+                }
+                LValue::Index(_, _) => {}
+            },
+            VStmt::If { then_body, else_body, .. } => {
+                collect_ff_writes(then_body, netlist, out);
+                collect_ff_writes(else_body, netlist, out);
+            }
+        }
+    }
+}
+
+/// Path-compressing union-find over node indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = i;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Smaller index wins so representative choice is stable.
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{LValue, VBinOp, VExpr, VModule, VStmt, VUnOp};
+
+    #[test]
+    fn chain_is_ordered_and_leveled() {
+        let mut m = VModule::new("m");
+        m.add_input("a", 4);
+        m.add_wire("x", 4);
+        m.add_wire("y", 4);
+        m.assign(
+            LValue::net("x"),
+            VExpr::binary(VBinOp::Add, VExpr::net("a"), VExpr::const_u64(1, 4)),
+        );
+        m.assign(LValue::net("y"), VExpr::unary(VUnOp::Not, VExpr::net("x")));
+        let nl = Netlist::elaborate(&m).expect("elaborates");
+        let lv = Levelized::build(&nl).expect("levelizes");
+        assert_eq!(lv.order, vec![0, 1]);
+        assert_eq!(lv.level, vec![0, 1]);
+        assert_eq!(lv.depth, 2);
+        assert_eq!(lv.partitions.len(), 1);
+    }
+
+    #[test]
+    fn independent_cones_get_separate_partitions() {
+        let mut m = VModule::new("m");
+        m.add_input("a", 4);
+        m.add_input("b", 4);
+        m.add_wire("x", 4);
+        m.add_wire("y", 4);
+        m.assign(LValue::net("x"), VExpr::unary(VUnOp::Not, VExpr::net("a")));
+        m.assign(LValue::net("y"), VExpr::unary(VUnOp::Not, VExpr::net("b")));
+        let nl = Netlist::elaborate(&m).expect("elaborates");
+        let lv = Levelized::build(&nl).expect("levelizes");
+        assert_eq!(lv.partitions.len(), 2);
+        let a = nl.net_id("a").expect("a");
+        assert_eq!(lv.net_feeds[a.0], vec![lv.partition_of[0]]);
+    }
+
+    #[test]
+    fn combinational_loop_named_in_diagnostic() {
+        let mut m = VModule::new("m");
+        m.add_wire("p", 1);
+        m.add_wire("q", 1);
+        m.assign(LValue::net("p"), VExpr::unary(VUnOp::Not, VExpr::net("q")));
+        m.assign(LValue::net("q"), VExpr::net("p"));
+        let nl = Netlist::elaborate(&m).expect("elaborates");
+        let err = Levelized::build(&nl).expect_err("loop must be rejected");
+        let msg = err.message();
+        assert!(msg.contains("combinational loop"), "{msg}");
+        assert!(msg.contains('p') && msg.contains('q'), "{msg}");
+    }
+
+    #[test]
+    fn mixed_comb_and_clocked_driver_rejected() {
+        let mut m = VModule::new("m");
+        m.add_reg("r", 4);
+        m.assign(LValue::Slice("r".into(), 1, 0), VExpr::const_u64(3, 2));
+        m.always_ff(vec![VStmt::NonBlocking {
+            lhs: LValue::Slice("r".into(), 3, 2),
+            rhs: VExpr::const_u64(1, 2),
+        }]);
+        let nl = Netlist::elaborate(&m).expect("elaborates");
+        let err = Levelized::build(&nl).expect_err("mixed drivers rejected");
+        assert!(err.message().contains("disjoint drivers"), "{}", err.message());
+    }
+
+    #[test]
+    fn disjoint_slice_drivers_share_a_partition() {
+        let mut m = VModule::new("m");
+        m.add_input("a", 2);
+        m.add_input("b", 2);
+        m.add_wire("w", 4);
+        m.assign(LValue::Slice("w".into(), 3, 2), VExpr::net("a"));
+        m.assign(LValue::Slice("w".into(), 1, 0), VExpr::net("b"));
+        let nl = Netlist::elaborate(&m).expect("elaborates");
+        let lv = Levelized::build(&nl).expect("levelizes");
+        assert_eq!(lv.partitions.len(), 1, "slice drivers of one net must co-reside");
+    }
+
+    #[test]
+    fn memory_reads_are_partition_inputs() {
+        let mut m = VModule::new("m");
+        m.add_memory("ram", 8, 16);
+        m.add_input("addr", 4);
+        m.add_wire("q", 8);
+        m.assign(LValue::net("q"), VExpr::Index("ram".into(), Box::new(VExpr::net("addr"))));
+        let nl = Netlist::elaborate(&m).expect("elaborates");
+        let lv = Levelized::build(&nl).expect("levelizes");
+        let ram = nl.mem_id("ram").expect("ram");
+        assert_eq!(lv.mem_feeds[ram.0].len(), 1);
+    }
+}

@@ -1,0 +1,1136 @@
+//! Compiled levelized simulation of an elaborated netlist.
+//!
+//! Where [`crate::sim::NetlistSim`] re-discovers the evaluation order
+//! every cycle with an event worklist, [`LevelizedSim`] compiles it
+//! once (the GSIM approach): the [`crate::level`] pass topologically
+//! orders the combinational nodes, and each clock edge becomes one
+//! ordered register sweep followed by straight-line re-evaluation of
+//! only the *dirty* partitions — no event queue, no convergence
+//! budget, no per-node change test.
+//!
+//! Values live in a flat dense arena: every net of 64 bits or fewer
+//! occupies one `u64` word and is evaluated with 2-state bit-parallel
+//! word operations whose masking reproduces [`bitv::BitVector`]
+//! semantics exactly; wider nets fall back to `BitVector` evaluation.
+//! The 4-state unknowns a commercial simulator would propagate
+//! collapse to 2-state zero-initialised values — the same X-init
+//! choice the event-driven simulator makes, so the two backends are
+//! bit-identical from reset onward.
+
+use crate::ast::{LValue, VExpr, VModule, VStmt, VUnOp};
+use crate::level::Levelized;
+use crate::netlist::Netlist;
+use crate::vcd::Vcd;
+use crate::VlogError;
+use bitv::BitVector;
+use std::io::Write;
+
+/// Counters describing the compiled structure and the work a run
+/// actually performed; exported as the `levelized` block of
+/// `vlog-stats/1`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Logic depth of the combinational cone (number of levels).
+    pub levels: u32,
+    /// Number of independent combinational partitions.
+    pub partitions: u64,
+    /// Combinational node evaluations performed.
+    pub node_evals: u64,
+    /// Partitions evaluated at clock edges (their inputs changed).
+    pub partitions_evaluated: u64,
+    /// Partitions skipped at clock edges (quiescent).
+    pub partitions_skipped: u64,
+}
+
+impl LevelStats {
+    /// Fraction of per-edge partition visits that were skipped.
+    #[must_use]
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.partitions_evaluated + self.partitions_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.partitions_skipped as f64 / total as f64
+        }
+    }
+}
+
+/// Where a net's value lives in the arena.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Index into the dense `u64` word arena (width <= 64).
+    Narrow(usize),
+    /// Index into the `BitVector` side arena (width > 64).
+    Wide(usize),
+}
+
+/// Backing store for one memory.
+#[derive(Debug, Clone)]
+enum MemCells {
+    Narrow { width: u32, cells: Vec<u64> },
+    Wide { width: u32, cells: Vec<BitVector> },
+}
+
+impl MemCells {
+    fn len(&self) -> usize {
+        match self {
+            Self::Narrow { cells, .. } => cells.len(),
+            Self::Wide { cells, .. } => cells.len(),
+        }
+    }
+}
+
+/// The flat dense state arena plus the slot map describing it.
+#[derive(Debug, Clone)]
+struct Arena {
+    slots: Vec<Slot>,
+    widths: Vec<u32>,
+    narrow: Vec<u64>,
+    wide: Vec<BitVector>,
+    mems: Vec<MemCells>,
+}
+
+/// A computed value on its way into the arena.
+enum Val {
+    U(u64),
+    B(BitVector),
+}
+
+impl Val {
+    fn as_u64(&self) -> u64 {
+        match self {
+            Self::U(v) => *v,
+            Self::B(b) => b.to_u64_lossy(),
+        }
+    }
+
+    fn into_bv(self, width: u32) -> BitVector {
+        match self {
+            Self::U(v) => BitVector::from_u64(v, width),
+            Self::B(b) => b,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        match self {
+            Self::U(v) => *v == 0,
+            Self::B(b) => b.is_zero(),
+        }
+    }
+}
+
+/// Mask selecting the low `w` bits.
+fn mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// Sign-extends the low `w` bits of `v` to an `i64`.
+fn sx(v: u64, w: u32) -> i64 {
+    let s = 64 - w;
+    ((v << s) as i64) >> s
+}
+
+/// A compiled 2-state expression over narrow (<= 64-bit) values.
+/// Every evaluation returns a value masked to the expression's width.
+#[derive(Debug, Clone)]
+enum NExpr {
+    Const(u64),
+    Net(usize),
+    Slice { net: usize, lo: u32, w: u32 },
+    MemRead { mem: usize, addr: Box<NExpr> },
+    Un { op: VUnOp, w: u32, a: Box<NExpr> },
+    Bin { op: crate::ast::VBinOp, w: u32, a: Box<NExpr>, b: Box<NExpr> },
+    Cond { c: Box<NExpr>, t: Box<NExpr>, f: Box<NExpr> },
+    Concat { hi: Box<NExpr>, lo: Box<NExpr>, lo_w: u32 },
+    Sext { a: Box<NExpr>, from: u32, to: u32 },
+    Trunc { a: Box<NExpr>, w: u32 },
+}
+
+impl NExpr {
+    fn eval(&self, ar: &Arena) -> u64 {
+        use crate::ast::VBinOp;
+        match self {
+            Self::Const(v) => *v,
+            Self::Net(i) => ar.narrow[*i],
+            Self::Slice { net, lo, w } => (ar.narrow[*net] >> lo) & mask(*w),
+            Self::MemRead { mem, addr } => {
+                let MemCells::Narrow { cells, .. } = &ar.mems[*mem] else {
+                    unreachable!("narrow-compiled read of wide memory")
+                };
+                let a = addr.eval(ar) % cells.len() as u64;
+                cells[a as usize]
+            }
+            Self::Un { op, w, a } => {
+                let v = a.eval(ar);
+                match op {
+                    VUnOp::Not => !v & mask(*w),
+                    VUnOp::Neg => v.wrapping_neg() & mask(*w),
+                    VUnOp::RedOr => u64::from(v != 0),
+                    VUnOp::LNot => u64::from(v == 0),
+                }
+            }
+            Self::Bin { op, w, a, b } => {
+                let x = a.eval(ar);
+                let y = b.eval(ar);
+                let w = *w;
+                let m = mask(w);
+                match op {
+                    VBinOp::Add => x.wrapping_add(y) & m,
+                    VBinOp::Sub => x.wrapping_sub(y) & m,
+                    VBinOp::Mul => x.wrapping_mul(y) & m,
+                    VBinOp::Div => x.checked_div(y).unwrap_or(m),
+                    VBinOp::Mod => x.checked_rem(y).unwrap_or(x),
+                    VBinOp::SDiv => {
+                        if y == 0 {
+                            m
+                        } else {
+                            (sx(x, w).wrapping_div(sx(y, w)) as u64) & m
+                        }
+                    }
+                    VBinOp::SRem => {
+                        if y == 0 {
+                            x
+                        } else {
+                            (sx(x, w).wrapping_rem(sx(y, w)) as u64) & m
+                        }
+                    }
+                    VBinOp::And => x & y,
+                    VBinOp::Or => x | y,
+                    VBinOp::Xor => x ^ y,
+                    VBinOp::Shl => {
+                        if y >= u64::from(w) {
+                            0
+                        } else {
+                            (x << y) & m
+                        }
+                    }
+                    VBinOp::Shr => {
+                        if y >= u64::from(w) {
+                            0
+                        } else {
+                            x >> y
+                        }
+                    }
+                    VBinOp::AShr => {
+                        if y >= u64::from(w) {
+                            if (x >> (w - 1)) & 1 == 1 {
+                                m
+                            } else {
+                                0
+                            }
+                        } else {
+                            (sx(x, w) >> y) as u64 & m
+                        }
+                    }
+                    VBinOp::Eq => u64::from(x == y),
+                    VBinOp::Ne => u64::from(x != y),
+                    VBinOp::Lt => u64::from(x < y),
+                    VBinOp::Le => u64::from(x <= y),
+                    VBinOp::SLt => u64::from(sx(x, w) < sx(y, w)),
+                    VBinOp::SLe => u64::from(sx(x, w) <= sx(y, w)),
+                }
+            }
+            Self::Cond { c, t, f } => {
+                if c.eval(ar) == 0 {
+                    f.eval(ar)
+                } else {
+                    t.eval(ar)
+                }
+            }
+            Self::Concat { hi, lo, lo_w } => (hi.eval(ar) << lo_w) | lo.eval(ar),
+            Self::Sext { a, from, to } => {
+                let v = a.eval(ar);
+                if (v >> (from - 1)) & 1 == 1 {
+                    v | (mask(*to) & !mask(*from))
+                } else {
+                    v
+                }
+            }
+            Self::Trunc { a, w } => a.eval(ar) & mask(*w),
+        }
+    }
+}
+
+/// A compiled expression over wide values: the same shape as
+/// [`VExpr`] but with names resolved to arena indices. Evaluation
+/// mirrors [`crate::netlist::eval_expr`] operation for operation.
+#[derive(Debug, Clone)]
+enum WExpr {
+    Const(BitVector),
+    Net(usize),
+    Slice { net: usize, hi: u32, lo: u32 },
+    MemRead { mem: usize, addr: Box<WExpr> },
+    Un { op: VUnOp, a: Box<WExpr> },
+    Bin { op: crate::ast::VBinOp, a: Box<WExpr>, b: Box<WExpr> },
+    Cond { c: Box<WExpr>, t: Box<WExpr>, f: Box<WExpr> },
+    Concat(Vec<WExpr>),
+    Zext { a: Box<WExpr>, add: u32 },
+    Sext { a: Box<WExpr>, to: u32 },
+    Trunc { a: Box<WExpr>, w: u32 },
+}
+
+impl WExpr {
+    fn eval(&self, ar: &Arena) -> BitVector {
+        use crate::ast::VBinOp;
+        match self {
+            Self::Const(c) => c.clone(),
+            Self::Net(i) => ar.net_value(*i),
+            Self::Slice { net, hi, lo } => ar.net_value(*net).slice(*hi, *lo),
+            Self::MemRead { mem, addr } => {
+                let a = addr.eval(ar).to_u64_lossy();
+                let depth = ar.mems[*mem].len() as u64;
+                ar.mem_value(*mem, (a % depth) as usize)
+            }
+            Self::Un { op, a } => {
+                let v = a.eval(ar);
+                match op {
+                    VUnOp::Not => v.not(),
+                    VUnOp::Neg => v.wrapping_neg(),
+                    VUnOp::RedOr => BitVector::from_bool(!v.is_zero()),
+                    VUnOp::LNot => BitVector::from_bool(v.is_zero()),
+                }
+            }
+            Self::Bin { op, a, b } => {
+                let x = a.eval(ar);
+                let y = b.eval(ar);
+                let amount =
+                    || u32::try_from(y.to_u64_lossy().min(u64::from(u32::MAX))).expect("clamped");
+                match op {
+                    VBinOp::Add => x.wrapping_add(&y),
+                    VBinOp::Sub => x.wrapping_sub(&y),
+                    VBinOp::Mul => x.wrapping_mul(&y),
+                    VBinOp::Div => x.unsigned_div(&y),
+                    VBinOp::Mod => x.unsigned_rem(&y),
+                    VBinOp::SDiv => x.signed_div(&y),
+                    VBinOp::SRem => x.signed_rem(&y),
+                    VBinOp::And => x.and(&y),
+                    VBinOp::Or => x.or(&y),
+                    VBinOp::Xor => x.xor(&y),
+                    VBinOp::Shl => x.shl(amount()),
+                    VBinOp::Shr => x.lshr(amount()),
+                    VBinOp::AShr => x.ashr(amount()),
+                    VBinOp::Eq => BitVector::from_bool(x == y),
+                    VBinOp::Ne => BitVector::from_bool(x != y),
+                    VBinOp::Lt => BitVector::from_bool(x.cmp_unsigned(&y).is_lt()),
+                    VBinOp::Le => BitVector::from_bool(x.cmp_unsigned(&y).is_le()),
+                    VBinOp::SLt => BitVector::from_bool(x.cmp_signed(&y).is_lt()),
+                    VBinOp::SLe => BitVector::from_bool(x.cmp_signed(&y).is_le()),
+                }
+            }
+            Self::Cond { c, t, f } => {
+                if c.eval(ar).is_zero() {
+                    f.eval(ar)
+                } else {
+                    t.eval(ar)
+                }
+            }
+            Self::Concat(parts) => {
+                let mut it = parts.iter();
+                let mut acc = it.next().expect("non-empty concat").eval(ar);
+                for p in it {
+                    acc = acc.concat(&p.eval(ar));
+                }
+                acc
+            }
+            Self::Zext { a, add } => {
+                let v = a.eval(ar);
+                let total = v.width() + add;
+                v.zext(total)
+            }
+            Self::Sext { a, to } => a.eval(ar).sext(*to),
+            Self::Trunc { a, w } => a.eval(ar).trunc(*w),
+        }
+    }
+}
+
+/// Either lane of the compiled expression pipeline.
+#[derive(Debug, Clone)]
+enum CExpr {
+    N(NExpr),
+    W(WExpr),
+}
+
+impl CExpr {
+    fn eval(&self, ar: &Arena) -> Val {
+        match self {
+            Self::N(n) => Val::U(n.eval(ar)),
+            Self::W(w) => Val::B(w.eval(ar)),
+        }
+    }
+}
+
+/// One compiled combinational node: evaluate `expr`, write bits
+/// `hi..=lo` of `net`.
+#[derive(Debug, Clone)]
+struct CNode {
+    net: usize,
+    hi: u32,
+    lo: u32,
+    expr: CExpr,
+}
+
+/// One compiled statement of the clocked block.
+#[derive(Debug, Clone)]
+enum CStmt {
+    NetAssign { net: usize, hi: u32, lo: u32, rhs: CExpr },
+    MemAssign { mem: usize, addr: CExpr, rhs: CExpr },
+    If { cond: CExpr, then_body: Vec<CStmt>, else_body: Vec<CStmt> },
+}
+
+/// A staged non-blocking update, computed against pre-edge values.
+enum Update {
+    Net { net: usize, hi: u32, lo: u32, val: Val },
+    Mem { mem: usize, index: usize, val: Val },
+}
+
+impl Arena {
+    /// Reconstructs the full value of net `i`.
+    fn net_value(&self, i: usize) -> BitVector {
+        match self.slots[i] {
+            Slot::Narrow(s) => BitVector::from_u64(self.narrow[s], self.widths[i]),
+            Slot::Wide(s) => self.wide[s].clone(),
+        }
+    }
+
+    fn mem_value(&self, mem: usize, index: usize) -> BitVector {
+        match &self.mems[mem] {
+            MemCells::Narrow { width, cells } => BitVector::from_u64(cells[index], *width),
+            MemCells::Wide { cells, .. } => cells[index].clone(),
+        }
+    }
+
+    /// Writes bits `hi..=lo` of net `net`; returns whether the stored
+    /// value changed.
+    fn write_net(&mut self, net: usize, hi: u32, lo: u32, val: Val) -> bool {
+        let w = self.widths[net];
+        match self.slots[net] {
+            Slot::Narrow(s) => {
+                let v = val.as_u64();
+                let new = if lo == 0 && hi == w - 1 {
+                    v
+                } else {
+                    let m = mask(hi - lo + 1) << lo;
+                    (self.narrow[s] & !m) | ((v << lo) & m)
+                };
+                let changed = self.narrow[s] != new;
+                self.narrow[s] = new;
+                changed
+            }
+            Slot::Wide(s) => {
+                let bv = val.into_bv(hi - lo + 1);
+                let new =
+                    if lo == 0 && hi == w - 1 { bv } else { self.wide[s].with_slice(hi, lo, &bv) };
+                let changed = self.wide[s] != new;
+                self.wide[s] = new;
+                changed
+            }
+        }
+    }
+
+    /// Writes one memory cell; returns whether it changed.
+    fn write_mem(&mut self, mem: usize, index: usize, val: Val) -> bool {
+        match &mut self.mems[mem] {
+            MemCells::Narrow { cells, .. } => {
+                let v = val.as_u64();
+                let changed = cells[index] != v;
+                cells[index] = v;
+                changed
+            }
+            MemCells::Wide { width, cells } => {
+                let bv = val.into_bv(*width);
+                let changed = cells[index] != bv;
+                cells[index] = bv;
+                changed
+            }
+        }
+    }
+}
+
+/// A compiled levelized simulator over an elaborated netlist.
+///
+/// Exposes the same `peek`/`poke`/`clock`/VCD surface as
+/// [`crate::sim::NetlistSim`] and is bit-identical to it on every
+/// accepted design; see [`crate::AnySim`] for backend-agnostic use.
+pub struct LevelizedSim {
+    netlist: Netlist,
+    lev: Levelized,
+    nodes: Vec<CNode>,
+    cff: Vec<CStmt>,
+    arena: Arena,
+    dirty: Vec<bool>,
+    cycles: u64,
+    stats: LevelStats,
+    vcd: Option<Vcd>,
+}
+
+impl std::fmt::Debug for LevelizedSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LevelizedSim")
+            .field("nets", &self.netlist.nets.len())
+            .field("levels", &self.stats.levels)
+            .field("partitions", &self.stats.partitions)
+            .field("cycles", &self.cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for LevelizedSim {
+    /// Clones the simulator state; an attached VCD sink is not cloned
+    /// (the copy starts without waveform dumping).
+    fn clone(&self) -> Self {
+        Self {
+            netlist: self.netlist.clone(),
+            lev: self.lev.clone(),
+            nodes: self.nodes.clone(),
+            cff: self.cff.clone(),
+            arena: self.arena.clone(),
+            dirty: self.dirty.clone(),
+            cycles: self.cycles,
+            stats: self.stats,
+            vcd: None,
+        }
+    }
+}
+
+impl LevelizedSim {
+    /// Elaborates `module`, levelizes it, compiles the evaluation
+    /// program, and settles the initial (all-zero) state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration errors; additionally rejects
+    /// combinational loops (with a diagnostic naming the nets on the
+    /// cycle) and nets driven by both a continuous assignment and the
+    /// clocked block.
+    pub fn elaborate(module: &VModule) -> Result<Self, VlogError> {
+        Self::from_netlist(Netlist::elaborate(module)?)
+    }
+
+    /// Builds the simulator from an already-elaborated netlist.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LevelizedSim::elaborate`], minus
+    /// elaboration itself.
+    pub fn from_netlist(netlist: Netlist) -> Result<Self, VlogError> {
+        let lev = Levelized::build(&netlist)?;
+
+        // Lay out the arena: one dense u64 word per narrow net, a
+        // BitVector side table for the rest.
+        let mut slots = Vec::with_capacity(netlist.nets.len());
+        let mut narrow = Vec::new();
+        let mut wide = Vec::new();
+        for n in &netlist.nets {
+            if n.width <= 64 {
+                slots.push(Slot::Narrow(narrow.len()));
+                narrow.push(0u64);
+            } else {
+                slots.push(Slot::Wide(wide.len()));
+                wide.push(BitVector::zero(n.width));
+            }
+        }
+        let widths: Vec<u32> = netlist.nets.iter().map(|n| n.width).collect();
+        let mems: Vec<MemCells> = netlist
+            .mems
+            .iter()
+            .map(|m| {
+                if m.width <= 64 {
+                    MemCells::Narrow { width: m.width, cells: vec![0u64; m.depth as usize] }
+                } else {
+                    MemCells::Wide {
+                        width: m.width,
+                        cells: vec![BitVector::zero(m.width); m.depth as usize],
+                    }
+                }
+            })
+            .collect();
+        let arena = Arena { slots, widths, narrow, wide, mems };
+
+        let c = Compiler { netlist: &netlist, arena: &arena };
+        let nodes = netlist
+            .comb
+            .iter()
+            .map(|node| {
+                Ok(CNode {
+                    net: node.target.0,
+                    hi: node.hi,
+                    lo: node.lo,
+                    expr: c.compile(&node.expr)?,
+                })
+            })
+            .collect::<Result<Vec<_>, VlogError>>()?;
+        let cff = c.compile_stmts(&netlist.ff)?;
+
+        let dirty = vec![true; lev.partitions.len()];
+        let stats = LevelStats {
+            levels: lev.depth,
+            partitions: lev.partitions.len() as u64,
+            ..LevelStats::default()
+        };
+        let mut sim = Self { netlist, lev, nodes, cff, arena, dirty, cycles: 0, stats, vcd: None };
+        sim.eval_dirty(false);
+        Ok(sim)
+    }
+
+    /// The elaborated netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The levelization this simulator was compiled from.
+    #[must_use]
+    pub fn levelized(&self) -> &Levelized {
+        &self.lev
+    }
+
+    /// Structure and work counters.
+    #[must_use]
+    pub fn stats(&self) -> LevelStats {
+        self.stats
+    }
+
+    /// Total rising edges applied.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total combinational node evaluations — comparable to
+    /// [`crate::sim::NetlistSim::events`].
+    #[must_use]
+    pub fn node_evals(&self) -> u64 {
+        self.stats.node_evals
+    }
+
+    /// Current value of a net.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VlogError`] if the net does not exist.
+    pub fn peek(&self, name: &str) -> Result<BitVector, VlogError> {
+        let id = self
+            .netlist
+            .net_id(name)
+            .ok_or_else(|| VlogError::new(format!("net `{name}` does not exist")))?;
+        Ok(self.arena.net_value(id.0))
+    }
+
+    /// Current value of one memory cell; the address wraps at the
+    /// depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VlogError`] if the memory does not exist.
+    pub fn peek_memory(&self, name: &str, addr: u64) -> Result<BitVector, VlogError> {
+        let id = self
+            .netlist
+            .mem_id(name)
+            .ok_or_else(|| VlogError::new(format!("memory `{name}` does not exist")))?;
+        let depth = self.netlist.mems[id.0].depth;
+        Ok(self.arena.mem_value(id.0, (addr % depth) as usize))
+    }
+
+    /// Forces a net value (module inputs, or registers for test setup)
+    /// and re-evaluates the partitions reading it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VlogError`] if the net does not exist, the width
+    /// differs, or the net has a continuous driver (whose re-evaluation
+    /// would immediately overwrite the poked value — poke registers
+    /// and inputs instead; the event-driven backend shares the same
+    /// restriction in spirit but does not enforce it).
+    pub fn poke(&mut self, name: &str, value: BitVector) -> Result<(), VlogError> {
+        let id = self
+            .netlist
+            .net_id(name)
+            .ok_or_else(|| VlogError::new(format!("net `{name}` does not exist")))?;
+        let w = self.netlist.nets[id.0].width;
+        if value.width() != w {
+            return Err(VlogError::new(format!(
+                "poke of `{name}`: value is {} bits, net is {w}",
+                value.width()
+            )));
+        }
+        if self.lev.comb_driven[id.0] {
+            return Err(VlogError::new(format!(
+                "cannot poke `{name}`: it has a continuous driver (levelized backend)"
+            )));
+        }
+        if self.arena.write_net(id.0, w - 1, 0, Val::B(value)) {
+            for &p in &self.lev.net_feeds[id.0] {
+                self.dirty[p] = true;
+            }
+            self.eval_dirty(false);
+        }
+        Ok(())
+    }
+
+    /// Writes one memory cell directly (program loading / test setup)
+    /// and re-evaluates the partitions reading the memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VlogError`] if the memory does not exist or the
+    /// width differs.
+    pub fn poke_memory(
+        &mut self,
+        name: &str,
+        addr: u64,
+        value: BitVector,
+    ) -> Result<(), VlogError> {
+        let id = self
+            .netlist
+            .mem_id(name)
+            .ok_or_else(|| VlogError::new(format!("memory `{name}` does not exist")))?;
+        let m = &self.netlist.mems[id.0];
+        if value.width() != m.width {
+            return Err(VlogError::new(format!(
+                "poke of `{name}`: value is {} bits, cells are {}",
+                value.width(),
+                m.width
+            )));
+        }
+        let i = (addr % m.depth) as usize;
+        if self.arena.write_mem(id.0, i, Val::B(value)) {
+            for &p in &self.lev.mem_feeds[id.0] {
+                self.dirty[p] = true;
+            }
+            self.eval_dirty(false);
+        }
+        Ok(())
+    }
+
+    /// Applies `n` rising clock edges.
+    ///
+    /// # Errors
+    ///
+    /// Never fails — loops were rejected at compile time — but keeps
+    /// the [`crate::sim::NetlistSim::clock`] signature so the two
+    /// backends are drop-in interchangeable.
+    pub fn clock(&mut self, n: u64) -> Result<(), VlogError> {
+        for _ in 0..n {
+            self.edge();
+        }
+        Ok(())
+    }
+
+    /// Starts dumping a value-change dump of every scalar net to
+    /// `sink` — the same format, identifiers, and change records as
+    /// the event-driven backend, byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn start_vcd(&mut self, sink: Box<dyn Write + Send + Sync>) -> std::io::Result<()> {
+        let values: Vec<BitVector> =
+            (0..self.netlist.nets.len()).map(|i| self.arena.net_value(i)).collect();
+        self.vcd = Some(Vcd::start(sink, &self.netlist.nets, values)?);
+        Ok(())
+    }
+
+    /// Stops VCD dumping and returns the sink.
+    pub fn stop_vcd(&mut self) -> Option<Box<dyn Write + Send + Sync>> {
+        self.vcd.take().map(Vcd::into_sink)
+    }
+
+    /// One rising clock edge: the ordered register sweep, dirty
+    /// marking, and straight-line re-evaluation of dirty partitions.
+    fn edge(&mut self) {
+        let mut updates = Vec::new();
+        exec_stmts(&self.cff, &self.arena, &mut updates);
+        for u in updates {
+            match u {
+                Update::Net { net, hi, lo, val } => {
+                    if self.arena.write_net(net, hi, lo, val) {
+                        for &p in &self.lev.net_feeds[net] {
+                            self.dirty[p] = true;
+                        }
+                    }
+                }
+                Update::Mem { mem, index, val } => {
+                    if self.arena.write_mem(mem, index, val) {
+                        for &p in &self.lev.mem_feeds[mem] {
+                            self.dirty[p] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.cycles += 1;
+        self.eval_dirty(true);
+        if let Some(vcd) = &mut self.vcd {
+            let arena = &self.arena;
+            vcd.dump_changes(self.cycles, |i| arena.net_value(i));
+        }
+    }
+
+    /// Evaluates every dirty partition in topological order and clears
+    /// its bit. `at_edge` controls whether the skip counters advance
+    /// (pokes settle too, but only edges measure quiescence).
+    fn eval_dirty(&mut self, at_edge: bool) {
+        for p in 0..self.dirty.len() {
+            if !self.dirty[p] {
+                if at_edge {
+                    self.stats.partitions_skipped += 1;
+                }
+                continue;
+            }
+            self.dirty[p] = false;
+            if at_edge {
+                self.stats.partitions_evaluated += 1;
+            }
+            for &i in &self.lev.partitions[p].nodes {
+                let node = &self.nodes[i];
+                let val = node.expr.eval(&self.arena);
+                self.arena.write_net(node.net, node.hi, node.lo, val);
+                self.stats.node_evals += 1;
+            }
+        }
+    }
+}
+
+/// Executes the compiled clocked block against pre-edge values,
+/// staging non-blocking updates in program order (last write wins on
+/// apply — Verilog semantics, identical to the event-driven backend).
+fn exec_stmts(stmts: &[CStmt], ar: &Arena, out: &mut Vec<Update>) {
+    for st in stmts {
+        match st {
+            CStmt::NetAssign { net, hi, lo, rhs } => {
+                out.push(Update::Net { net: *net, hi: *hi, lo: *lo, val: rhs.eval(ar) });
+            }
+            CStmt::MemAssign { mem, addr, rhs } => {
+                let a = addr.eval(ar).as_u64();
+                let depth = ar.mems[*mem].len() as u64;
+                out.push(Update::Mem { mem: *mem, index: (a % depth) as usize, val: rhs.eval(ar) });
+            }
+            CStmt::If { cond, then_body, else_body } => {
+                let body = if cond.eval(ar).is_zero() { else_body } else { then_body };
+                exec_stmts(body, ar, out);
+            }
+        }
+    }
+}
+
+/// Compiles validated expressions and statements into the two-lane
+/// evaluation program.
+struct Compiler<'a> {
+    netlist: &'a Netlist,
+    arena: &'a Arena,
+}
+
+impl Compiler<'_> {
+    fn compile(&self, e: &VExpr) -> Result<CExpr, VlogError> {
+        Ok(match self.narrow(e)? {
+            Some(n) => CExpr::N(n),
+            None => CExpr::W(self.wide(e)?),
+        })
+    }
+
+    /// Attempts the narrow (u64) lane; `None` means some value in the
+    /// tree is wider than 64 bits and the whole node takes the
+    /// `BitVector` lane.
+    fn narrow(&self, e: &VExpr) -> Result<Option<NExpr>, VlogError> {
+        let out = match e {
+            VExpr::Net(n) => {
+                let id = self.net(n)?;
+                match self.arena.slots[id] {
+                    Slot::Narrow(s) => Some(NExpr::Net(s)),
+                    Slot::Wide(_) => None,
+                }
+            }
+            VExpr::Const(c) => {
+                if c.width() <= 64 {
+                    Some(NExpr::Const(c.to_u64_lossy()))
+                } else {
+                    None
+                }
+            }
+            VExpr::Index(m, a) => {
+                let id = self.mem(m)?;
+                let narrow_cells = matches!(self.arena.mems[id], MemCells::Narrow { .. });
+                match (narrow_cells, self.narrow(a)?) {
+                    (true, Some(addr)) => Some(NExpr::MemRead { mem: id, addr: Box::new(addr) }),
+                    _ => None,
+                }
+            }
+            VExpr::Slice(n, hi, lo) => {
+                let id = self.net(n)?;
+                match self.arena.slots[id] {
+                    Slot::Narrow(s) => Some(NExpr::Slice { net: s, lo: *lo, w: hi - lo + 1 }),
+                    Slot::Wide(_) => None,
+                }
+            }
+            VExpr::Unary(op, a) => {
+                let wa = self.netlist.expr_width(a)?;
+                match (wa <= 64, self.narrow(a)?) {
+                    (true, Some(na)) => Some(NExpr::Un { op: *op, w: wa, a: Box::new(na) }),
+                    _ => None,
+                }
+            }
+            VExpr::Binary(op, a, b) => {
+                let wa = self.netlist.expr_width(a)?;
+                let wb = self.netlist.expr_width(b)?;
+                if wa > 64 || wb > 64 {
+                    None
+                } else {
+                    match (self.narrow(a)?, self.narrow(b)?) {
+                        (Some(na), Some(nb)) => {
+                            Some(NExpr::Bin { op: *op, w: wa, a: Box::new(na), b: Box::new(nb) })
+                        }
+                        _ => None,
+                    }
+                }
+            }
+            VExpr::Cond(c, t, f) => match (self.narrow(c)?, self.narrow(t)?, self.narrow(f)?) {
+                (Some(nc), Some(nt), Some(nf)) => {
+                    Some(NExpr::Cond { c: Box::new(nc), t: Box::new(nt), f: Box::new(nf) })
+                }
+                _ => None,
+            },
+            VExpr::Concat(parts) => {
+                if self.netlist.expr_width(e)? > 64 {
+                    None
+                } else {
+                    let mut it = parts.iter();
+                    let first = it.next().expect("non-empty concat");
+                    let mut acc = self.narrow(first)?;
+                    for p in it {
+                        let (Some(hi), Some(lo)) = (acc, self.narrow(p)?) else {
+                            acc = None;
+                            break;
+                        };
+                        let lo_w = self.netlist.expr_width(p)?;
+                        acc = Some(NExpr::Concat { hi: Box::new(hi), lo: Box::new(lo), lo_w });
+                    }
+                    acc
+                }
+            }
+            VExpr::Zext(a, add) => {
+                if self.netlist.expr_width(a)? + add > 64 {
+                    None
+                } else {
+                    // Zero-extension does not change the stored word.
+                    self.narrow(a)?
+                }
+            }
+            VExpr::Sext(a, from, to) => {
+                if *to > 64 {
+                    None
+                } else {
+                    self.narrow(a)?.map(|na| NExpr::Sext { a: Box::new(na), from: *from, to: *to })
+                }
+            }
+            VExpr::Trunc(a, w) => self.narrow(a)?.map(|na| NExpr::Trunc { a: Box::new(na), w: *w }),
+        };
+        Ok(out)
+    }
+
+    fn wide(&self, e: &VExpr) -> Result<WExpr, VlogError> {
+        Ok(match e {
+            VExpr::Net(n) => WExpr::Net(self.net(n)?),
+            VExpr::Const(c) => WExpr::Const(c.clone()),
+            VExpr::Index(m, a) => {
+                WExpr::MemRead { mem: self.mem(m)?, addr: Box::new(self.wide(a)?) }
+            }
+            VExpr::Slice(n, hi, lo) => WExpr::Slice { net: self.net(n)?, hi: *hi, lo: *lo },
+            VExpr::Unary(op, a) => WExpr::Un { op: *op, a: Box::new(self.wide(a)?) },
+            VExpr::Binary(op, a, b) => {
+                WExpr::Bin { op: *op, a: Box::new(self.wide(a)?), b: Box::new(self.wide(b)?) }
+            }
+            VExpr::Cond(c, t, f) => WExpr::Cond {
+                c: Box::new(self.wide(c)?),
+                t: Box::new(self.wide(t)?),
+                f: Box::new(self.wide(f)?),
+            },
+            VExpr::Concat(parts) => {
+                WExpr::Concat(parts.iter().map(|p| self.wide(p)).collect::<Result<Vec<_>, _>>()?)
+            }
+            VExpr::Zext(a, add) => WExpr::Zext { a: Box::new(self.wide(a)?), add: *add },
+            VExpr::Sext(a, _, to) => WExpr::Sext { a: Box::new(self.wide(a)?), to: *to },
+            VExpr::Trunc(a, w) => WExpr::Trunc { a: Box::new(self.wide(a)?), w: *w },
+        })
+    }
+
+    fn compile_stmts(&self, stmts: &[VStmt]) -> Result<Vec<CStmt>, VlogError> {
+        stmts.iter().map(|st| self.compile_stmt(st)).collect()
+    }
+
+    fn compile_stmt(&self, st: &VStmt) -> Result<CStmt, VlogError> {
+        Ok(match st {
+            VStmt::NonBlocking { lhs, rhs } => {
+                let rhs = self.compile(rhs)?;
+                match lhs {
+                    LValue::Net(n) => {
+                        let id = self.net(n)?;
+                        let w = self.arena.widths[id];
+                        CStmt::NetAssign { net: id, hi: w - 1, lo: 0, rhs }
+                    }
+                    LValue::Slice(n, hi, lo) => {
+                        CStmt::NetAssign { net: self.net(n)?, hi: *hi, lo: *lo, rhs }
+                    }
+                    LValue::Index(m, a) => {
+                        CStmt::MemAssign { mem: self.mem(m)?, addr: self.compile(a)?, rhs }
+                    }
+                }
+            }
+            VStmt::If { cond, then_body, else_body } => CStmt::If {
+                cond: self.compile(cond)?,
+                then_body: self.compile_stmts(then_body)?,
+                else_body: self.compile_stmts(else_body)?,
+            },
+        })
+    }
+
+    fn net(&self, name: &str) -> Result<usize, VlogError> {
+        self.netlist
+            .net_id(name)
+            .map(|id| id.0)
+            .ok_or_else(|| VlogError::new(format!("net `{name}` is not declared")))
+    }
+
+    fn mem(&self, name: &str) -> Result<usize, VlogError> {
+        self.netlist
+            .mem_id(name)
+            .map(|id| id.0)
+            .ok_or_else(|| VlogError::new(format!("memory `{name}` is not declared")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{VBinOp, VExpr, VModule, VStmt, VUnOp};
+
+    fn counter(width: u32) -> VModule {
+        let mut m = VModule::new("counter");
+        m.add_reg("count", width);
+        m.add_output("out", width);
+        m.assign(LValue::net("out"), VExpr::net("count"));
+        m.always_ff(vec![VStmt::NonBlocking {
+            lhs: LValue::net("count"),
+            rhs: VExpr::binary(VBinOp::Add, VExpr::net("count"), VExpr::const_u64(1, width)),
+        }]);
+        m
+    }
+
+    #[test]
+    fn counter_counts_and_wraps() {
+        let mut sim = LevelizedSim::elaborate(&counter(3)).expect("elaborates");
+        sim.clock(5).expect("clocks");
+        assert_eq!(sim.peek("count").expect("net").to_u64_lossy(), 5);
+        assert_eq!(sim.peek("out").expect("net").to_u64_lossy(), 5);
+        sim.clock(5).expect("clocks");
+        assert_eq!(sim.peek("count").expect("net").to_u64_lossy(), 2, "3-bit wrap");
+        assert_eq!(sim.cycles(), 10);
+        assert!(sim.node_evals() > 0);
+    }
+
+    #[test]
+    fn wide_counter_takes_bitvector_lane() {
+        let mut sim = LevelizedSim::elaborate(&counter(96)).expect("elaborates");
+        sim.clock(3).expect("clocks");
+        assert_eq!(sim.peek("out").expect("net").to_u64_lossy(), 3);
+        assert_eq!(sim.peek("out").expect("net").width(), 96);
+    }
+
+    #[test]
+    fn poke_of_driven_net_is_a_typed_error() {
+        let mut m = VModule::new("m");
+        m.add_input("a", 4);
+        m.add_wire("x", 4);
+        m.assign(LValue::net("x"), VExpr::unary(VUnOp::Not, VExpr::net("a")));
+        let mut sim = LevelizedSim::elaborate(&m).expect("elaborates");
+        let err = sim.poke("x", BitVector::from_u64(1, 4)).expect_err("driven");
+        assert!(err.message().contains("continuous driver"), "{}", err.message());
+    }
+
+    #[test]
+    fn quiescent_partition_is_skipped() {
+        // Two cones: one fed by a running counter, one by a register
+        // that never changes. The static cone must be skipped at every
+        // edge after the first.
+        let mut m = counter(4);
+        m.add_reg("frozen", 4);
+        m.add_wire("static_inv", 4);
+        m.assign(LValue::net("static_inv"), VExpr::unary(VUnOp::Not, VExpr::net("frozen")));
+        let mut sim = LevelizedSim::elaborate(&m).expect("elaborates");
+        sim.clock(10).expect("clocks");
+        let s = sim.stats();
+        assert_eq!(s.partitions, 2);
+        assert_eq!(s.partitions_skipped, 10, "static cone skipped every edge");
+        assert!(s.skip_rate() > 0.0);
+        assert_eq!(sim.peek("static_inv").expect("net").to_u64_lossy(), 0xF);
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let sim = LevelizedSim::elaborate(&counter(4)).expect("elaborates");
+        assert!(sim.peek("ghost").is_err());
+        assert!(sim.peek_memory("ghost", 0).is_err());
+        let mut sim = sim;
+        assert!(sim.poke("ghost", BitVector::from_u64(0, 4)).is_err());
+        assert!(sim.poke_memory("ghost", 0, BitVector::from_u64(0, 4)).is_err());
+    }
+
+    #[test]
+    fn memory_write_and_read() {
+        let mut m = VModule::new("m");
+        m.add_memory("ram", 8, 16);
+        m.add_input("we", 1);
+        m.add_input("waddr", 4);
+        m.add_input("wdata", 8);
+        m.add_input("raddr", 4);
+        m.add_wire("q", 8);
+        m.assign(LValue::net("q"), VExpr::Index("ram".into(), Box::new(VExpr::net("raddr"))));
+        m.always_ff(vec![VStmt::If {
+            cond: VExpr::net("we"),
+            then_body: vec![VStmt::NonBlocking {
+                lhs: LValue::Index("ram".into(), VExpr::net("waddr")),
+                rhs: VExpr::net("wdata"),
+            }],
+            else_body: vec![],
+        }]);
+        let mut sim = LevelizedSim::elaborate(&m).expect("elaborates");
+        sim.poke("we", BitVector::from_u64(1, 1)).expect("pokes");
+        sim.poke("waddr", BitVector::from_u64(5, 4)).expect("pokes");
+        sim.poke("wdata", BitVector::from_u64(0xAB, 8)).expect("pokes");
+        sim.clock(1).expect("clocks");
+        assert_eq!(sim.peek_memory("ram", 5).expect("mem").to_u64_lossy(), 0xAB);
+        sim.poke("raddr", BitVector::from_u64(5, 4)).expect("pokes");
+        assert_eq!(sim.peek("q").expect("net").to_u64_lossy(), 0xAB);
+    }
+
+    #[test]
+    fn nonblocking_reads_old_values() {
+        let mut m = VModule::new("m");
+        m.add_reg("a", 4);
+        m.add_reg("b", 4);
+        m.always_ff(vec![
+            VStmt::NonBlocking { lhs: LValue::net("a"), rhs: VExpr::net("b") },
+            VStmt::NonBlocking { lhs: LValue::net("b"), rhs: VExpr::net("a") },
+        ]);
+        let mut sim = LevelizedSim::elaborate(&m).expect("elaborates");
+        sim.poke("a", BitVector::from_u64(1, 4)).expect("pokes");
+        sim.poke("b", BitVector::from_u64(2, 4)).expect("pokes");
+        sim.clock(1).expect("clocks");
+        assert_eq!(sim.peek("a").expect("net").to_u64_lossy(), 2);
+        assert_eq!(sim.peek("b").expect("net").to_u64_lossy(), 1);
+    }
+
+    #[test]
+    fn combinational_loop_rejected_at_compile_time() {
+        let mut m = VModule::new("m");
+        m.add_wire("p", 1);
+        m.add_wire("q", 1);
+        m.assign(LValue::net("p"), VExpr::unary(VUnOp::Not, VExpr::net("q")));
+        m.assign(LValue::net("q"), VExpr::net("p"));
+        let err = LevelizedSim::elaborate(&m).expect_err("ring oscillator");
+        assert!(err.message().contains("combinational loop"), "{}", err.message());
+    }
+}

@@ -189,6 +189,24 @@ impl Netlist {
     pub fn mem_id(&self, name: &str) -> Option<MemId> {
         self.mem_names.get(name).copied()
     }
+
+    /// Computes an expression's width against this netlist's
+    /// declarations (the same rules elaboration enforces). Used by the
+    /// levelized compiler in [`crate::lsim`] to size its value slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VlogError`] for undeclared names or inconsistent
+    /// operand widths.
+    pub fn expr_width(&self, e: &VExpr) -> Result<u32, VlogError> {
+        let ctx = Ctx {
+            nets: &self.nets,
+            mems: &self.mems,
+            names: &self.names,
+            mem_names: &self.mem_names,
+        };
+        ctx.expr_width(e)
+    }
 }
 
 struct Ctx<'a> {

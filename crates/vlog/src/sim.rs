@@ -14,6 +14,7 @@
 
 use crate::ast::{LValue, VModule, VStmt};
 use crate::netlist::{eval_expr, MemId, NetId, Netlist};
+use crate::vcd::Vcd;
 use crate::VlogError;
 use bitv::BitVector;
 use std::collections::VecDeque;
@@ -56,29 +57,6 @@ impl Clone for NetlistSim {
     }
 }
 
-/// Value-change-dump state: the sink plus the last dumped value of
-/// every net.
-struct Vcd {
-    sink: Box<dyn Write + Send + Sync>,
-    last: Vec<BitVector>,
-}
-
-impl Vcd {
-    fn id(net: usize) -> String {
-        // Compact printable identifiers, VCD style.
-        let mut n = net;
-        let mut s = String::new();
-        loop {
-            s.push((b'!' + (n % 94) as u8) as char);
-            n /= 94;
-            if n == 0 {
-                break;
-            }
-        }
-        s
-    }
-}
-
 impl NetlistSim {
     /// Elaborates `module` and initialises all state to zero.
     ///
@@ -104,26 +82,30 @@ impl NetlistSim {
 
     /// Current value of a net.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the net does not exist.
-    #[must_use]
-    pub fn peek(&self, name: &str) -> &BitVector {
-        let id = self.netlist.net_id(name).expect("net exists");
-        &self.values[id.0]
+    /// Returns a [`VlogError`] if the net does not exist.
+    pub fn peek(&self, name: &str) -> Result<&BitVector, VlogError> {
+        let id = self
+            .netlist
+            .net_id(name)
+            .ok_or_else(|| VlogError::new(format!("net `{name}` does not exist")))?;
+        Ok(&self.values[id.0])
     }
 
-    /// Current value of one memory cell.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the memory does not exist; the address wraps at the
+    /// Current value of one memory cell; the address wraps at the
     /// depth.
-    #[must_use]
-    pub fn peek_memory(&self, name: &str, addr: u64) -> &BitVector {
-        let id = self.netlist.mem_id(name).expect("memory exists");
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VlogError`] if the memory does not exist.
+    pub fn peek_memory(&self, name: &str, addr: u64) -> Result<&BitVector, VlogError> {
+        let id = self
+            .netlist
+            .mem_id(name)
+            .ok_or_else(|| VlogError::new(format!("memory `{name}` does not exist")))?;
         let depth = self.netlist.mems[id.0].depth;
-        &self.mems[id.0][(addr % depth) as usize]
+        Ok(&self.mems[id.0][(addr % depth) as usize])
     }
 
     /// Forces a net value (module inputs, or registers for test setup)
@@ -131,14 +113,20 @@ impl NetlistSim {
     ///
     /// # Errors
     ///
-    /// Fails on a non-converging combinational loop.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the net does not exist or the width differs.
+    /// Returns a [`VlogError`] if the net does not exist or the width
+    /// differs; also fails on a non-converging combinational loop.
     pub fn poke(&mut self, name: &str, value: BitVector) -> Result<(), VlogError> {
-        let id = self.netlist.net_id(name).expect("net exists");
-        assert_eq!(value.width(), self.netlist.nets[id.0].width, "poke width mismatch");
+        let id = self
+            .netlist
+            .net_id(name)
+            .ok_or_else(|| VlogError::new(format!("net `{name}` does not exist")))?;
+        let w = self.netlist.nets[id.0].width;
+        if value.width() != w {
+            return Err(VlogError::new(format!(
+                "poke of `{name}`: value is {} bits, net is {w}",
+                value.width()
+            )));
+        }
         if self.values[id.0] != value {
             self.values[id.0] = value;
             self.settle_from(&[id], &[])?;
@@ -151,20 +139,27 @@ impl NetlistSim {
     ///
     /// # Errors
     ///
-    /// Fails on a non-converging combinational loop.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the memory does not exist or the width differs.
+    /// Returns a [`VlogError`] if the memory does not exist or the
+    /// width differs; also fails on a non-converging combinational
+    /// loop.
     pub fn poke_memory(
         &mut self,
         name: &str,
         addr: u64,
         value: BitVector,
     ) -> Result<(), VlogError> {
-        let id = self.netlist.mem_id(name).expect("memory exists");
+        let id = self
+            .netlist
+            .mem_id(name)
+            .ok_or_else(|| VlogError::new(format!("memory `{name}` does not exist")))?;
         let m = &self.netlist.mems[id.0];
-        assert_eq!(value.width(), m.width, "poke width mismatch");
+        if value.width() != m.width {
+            return Err(VlogError::new(format!(
+                "poke of `{name}`: value is {} bits, cells are {}",
+                value.width(),
+                m.width
+            )));
+        }
         let i = (addr % m.depth) as usize;
         if self.mems[id.0][i] != value {
             self.mems[id.0][i] = value;
@@ -206,41 +201,20 @@ impl NetlistSim {
     /// # Errors
     ///
     /// Propagates I/O errors from the sink.
-    pub fn start_vcd(&mut self, mut sink: Box<dyn Write + Send + Sync>) -> std::io::Result<()> {
-        writeln!(sink, "$timescale 1ns $end")?;
-        writeln!(sink, "$scope module dut $end")?;
-        for (i, n) in self.netlist.nets.iter().enumerate() {
-            writeln!(sink, "$var wire {} {} {} $end", n.width, Vcd::id(i), n.name)?;
-        }
-        writeln!(sink, "$upscope $end")?;
-        writeln!(sink, "$enddefinitions $end")?;
-        writeln!(sink, "#0")?;
-        writeln!(sink, "$dumpvars")?;
-        for (i, v) in self.values.iter().enumerate() {
-            writeln!(sink, "b{v:b} {}", Vcd::id(i))?;
-        }
-        writeln!(sink, "$end")?;
-        self.vcd = Some(Vcd { sink, last: self.values.clone() });
+    pub fn start_vcd(&mut self, sink: Box<dyn Write + Send + Sync>) -> std::io::Result<()> {
+        self.vcd = Some(Vcd::start(sink, &self.netlist.nets, self.values.clone())?);
         Ok(())
     }
 
     /// Stops VCD dumping and returns the sink.
     pub fn stop_vcd(&mut self) -> Option<Box<dyn Write + Send + Sync>> {
-        self.vcd.take().map(|v| v.sink)
+        self.vcd.take().map(Vcd::into_sink)
     }
 
     fn dump_vcd_changes(&mut self) {
-        let Some(vcd) = &mut self.vcd else { return };
-        let mut header_written = false;
-        for (i, v) in self.values.iter().enumerate() {
-            if vcd.last[i] != *v {
-                if !header_written {
-                    let _ = writeln!(vcd.sink, "#{}", self.cycles);
-                    header_written = true;
-                }
-                let _ = writeln!(vcd.sink, "b{v:b} {}", Vcd::id(i));
-                vcd.last[i] = v.clone();
-            }
+        if let Some(vcd) = &mut self.vcd {
+            let values = &self.values;
+            vcd.dump_changes(self.cycles, |i| values[i].clone());
         }
     }
 
@@ -390,10 +364,10 @@ mod tests {
     fn counter_counts_and_wraps() {
         let mut sim = NetlistSim::elaborate(&counter(3)).expect("elaborates");
         sim.clock(5).expect("clocks");
-        assert_eq!(sim.peek("count").to_u64_lossy(), 5);
-        assert_eq!(sim.peek("out").to_u64_lossy(), 5);
+        assert_eq!(sim.peek("count").expect("net").to_u64_lossy(), 5);
+        assert_eq!(sim.peek("out").expect("net").to_u64_lossy(), 5);
         sim.clock(5).expect("clocks");
-        assert_eq!(sim.peek("count").to_u64_lossy(), 2, "3-bit wrap");
+        assert_eq!(sim.peek("count").expect("net").to_u64_lossy(), 2, "3-bit wrap");
         assert_eq!(sim.cycles(), 10);
         assert!(sim.events() > 0);
     }
@@ -408,7 +382,7 @@ mod tests {
         let mut sim = NetlistSim::elaborate(&m).expect("elaborates");
         sim.poke("a", BitVector::from_u64(30, 8)).expect("pokes");
         sim.poke("b", BitVector::from_u64(12, 8)).expect("pokes");
-        assert_eq!(sim.peek("sum").to_u64_lossy(), 42);
+        assert_eq!(sim.peek("sum").expect("net").to_u64_lossy(), 42);
     }
 
     #[test]
@@ -429,7 +403,7 @@ mod tests {
         m.assign(LValue::net("z"), VExpr::unary(VUnOp::Not, VExpr::net("y")));
         let mut sim = NetlistSim::elaborate(&m).expect("elaborates");
         sim.poke("a", BitVector::from_u64(2, 4)).expect("pokes");
-        assert_eq!(sim.peek("z").to_u64_lossy(), 0b1001);
+        assert_eq!(sim.peek("z").expect("net").to_u64_lossy(), 0b1001);
     }
 
     #[test]
@@ -455,9 +429,9 @@ mod tests {
         sim.poke("waddr", BitVector::from_u64(5, 4)).expect("pokes");
         sim.poke("wdata", BitVector::from_u64(0xAB, 8)).expect("pokes");
         sim.clock(1).expect("clocks");
-        assert_eq!(sim.peek_memory("ram", 5).to_u64_lossy(), 0xAB);
+        assert_eq!(sim.peek_memory("ram", 5).expect("mem").to_u64_lossy(), 0xAB);
         sim.poke("raddr", BitVector::from_u64(5, 4)).expect("pokes");
-        assert_eq!(sim.peek("q").to_u64_lossy(), 0xAB);
+        assert_eq!(sim.peek("q").expect("net").to_u64_lossy(), 0xAB);
     }
 
     #[test]
@@ -474,8 +448,8 @@ mod tests {
         sim.poke("a", BitVector::from_u64(1, 4)).expect("pokes");
         sim.poke("b", BitVector::from_u64(2, 4)).expect("pokes");
         sim.clock(1).expect("clocks");
-        assert_eq!(sim.peek("a").to_u64_lossy(), 2);
-        assert_eq!(sim.peek("b").to_u64_lossy(), 1);
+        assert_eq!(sim.peek("a").expect("net").to_u64_lossy(), 2);
+        assert_eq!(sim.peek("b").expect("net").to_u64_lossy(), 1);
     }
 
     #[test]
@@ -496,7 +470,7 @@ mod tests {
         m.assign(LValue::net("q"), VExpr::Index("rom".into(), Box::new(VExpr::const_u64(1, 2))));
         let mut sim = NetlistSim::elaborate(&m).expect("elaborates");
         sim.poke_memory("rom", 1, BitVector::from_u64(7, 8)).expect("pokes");
-        assert_eq!(sim.peek("q").to_u64_lossy(), 7);
+        assert_eq!(sim.peek("q").expect("net").to_u64_lossy(), 7);
     }
 }
 

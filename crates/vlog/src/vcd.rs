@@ -1,0 +1,77 @@
+//! Value-change-dump output shared by both netlist simulators.
+//!
+//! One writer, one format: the event-driven [`crate::sim::NetlistSim`]
+//! and the compiled [`crate::lsim::LevelizedSim`] both dump through
+//! this module, so a waveform produced by either backend for the same
+//! stimulus is byte-identical — which the differential suite checks.
+
+use crate::netlist::Net;
+use bitv::BitVector;
+use std::io::Write;
+
+/// VCD writer state: the sink plus the last dumped value of every net.
+pub(crate) struct Vcd {
+    sink: Box<dyn Write + Send + Sync>,
+    last: Vec<BitVector>,
+}
+
+/// Compact printable VCD identifier for net `net`.
+pub(crate) fn id(net: usize) -> String {
+    let mut n = net;
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+impl Vcd {
+    /// Writes the header and initial `$dumpvars` block, capturing
+    /// `values` as the baseline for change detection.
+    pub(crate) fn start(
+        mut sink: Box<dyn Write + Send + Sync>,
+        nets: &[Net],
+        values: Vec<BitVector>,
+    ) -> std::io::Result<Self> {
+        writeln!(sink, "$timescale 1ns $end")?;
+        writeln!(sink, "$scope module dut $end")?;
+        for (i, n) in nets.iter().enumerate() {
+            writeln!(sink, "$var wire {} {} {} $end", n.width, id(i), n.name)?;
+        }
+        writeln!(sink, "$upscope $end")?;
+        writeln!(sink, "$enddefinitions $end")?;
+        writeln!(sink, "#0")?;
+        writeln!(sink, "$dumpvars")?;
+        for (i, v) in values.iter().enumerate() {
+            writeln!(sink, "b{v:b} {}", id(i))?;
+        }
+        writeln!(sink, "$end")?;
+        Ok(Self { sink, last: values })
+    }
+
+    /// Appends change records for every net whose current value (from
+    /// `value_of`) differs from the last dump, stamped at `cycle`.
+    pub(crate) fn dump_changes(&mut self, cycle: u64, value_of: impl Fn(usize) -> BitVector) {
+        let mut header_written = false;
+        for i in 0..self.last.len() {
+            let v = value_of(i);
+            if self.last[i] != v {
+                if !header_written {
+                    let _ = writeln!(self.sink, "#{cycle}");
+                    header_written = true;
+                }
+                let _ = writeln!(self.sink, "b{v:b} {}", id(i));
+                self.last[i] = v;
+            }
+        }
+    }
+
+    /// Releases the sink.
+    pub(crate) fn into_sink(self) -> Box<dyn Write + Send + Sync> {
+        self.sink
+    }
+}

@@ -133,6 +133,13 @@ proptest! {
         sim.poke("a", av.clone()).expect("pokes");
         sim.poke("b", bv.clone()).expect("pokes");
         let expect = reference(&n, &av, &bv);
-        prop_assert_eq!(sim.peek("y"), &expect, "tree: {:?}", n);
+        prop_assert_eq!(sim.peek("y").expect("net"), &expect, "tree: {:?}", n);
+
+        // The levelized backend compiles the same tree (into either the
+        // u64 fast lane or the BitVector lane) and must agree exactly.
+        let mut lsim = vlog::lsim::LevelizedSim::elaborate(&m).expect("random trees compile");
+        lsim.poke("a", av.clone()).expect("pokes");
+        lsim.poke("b", bv.clone()).expect("pokes");
+        prop_assert_eq!(lsim.peek("y").expect("net"), expect, "levelized tree: {:?}", n);
     }
 }

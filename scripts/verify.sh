@@ -41,6 +41,11 @@ run cargo test -q --test opt_differential
 # state, traces, profiles, cycle counts — including under
 # self-modifying code, on every sample machine and opt level.
 run cargo test -q --test translate_differential
+# Netlist backend gate (see docs/SIMULATORS.md): the event-driven and
+# compiled levelized netlist simulators must agree bit-for-bit with the
+# ILS on every sample machine and HGEN opt level, and their VCD
+# waveforms must be byte-identical.
+run cargo test -q --test netlist_differential
 # Profiler gate (see docs/OBSERVABILITY.md, `xsim-profile/1`): the
 # per-pc and per-region tables must partition the machine-wide cycle
 # counters exactly, every stall must name its cause, and enabling the

@@ -12,12 +12,14 @@
 //!                                                   (=PATH writes the full xsim-profile/1 report)
 //! isdlc batch   <machine.isdl> <prog.asm> <script>  run a simulator batch script
 //! isdlc explore <machine.isdl> [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH]
+//!               [--netlist-sim=event|levelized]  cross-check every evaluation on the netlist
 //!                                                   run the Figure 1 exploration loop on the
 //!                                                   built-in DSP workload; --chrome-trace writes
 //!                                                   the round/eval timeline for chrome://tracing
 //! isdlc verilog <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
 //! isdlc report  <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
-//! isdlc wave    <machine.isdl> <prog.asm> [cycles]  VCD waveform of the HW model to stdout
+//! isdlc wave    <machine.isdl> <prog.asm> [cycles] [--netlist-sim=event|levelized]
+//!                                                   VCD waveform of the HW model to stdout
 //! isdlc hex     <machine.isdl> <prog.asm>           $readmemh program image to stdout
 //! isdlc tb      <machine.isdl> [cycles]             Verilog test bench to stdout
 //! ```
@@ -81,6 +83,16 @@ fn run(args: &[String]) -> Result<(), String> {
             },
             opt: opt_level()?,
         })
+    };
+
+    let netlist_sim = || -> Result<vlog::SimBackend, String> {
+        flags.iter().find_map(|f| f.strip_prefix("--netlist-sim=")).map_or(
+            Ok(vlog::SimBackend::default()),
+            |v| {
+                vlog::SimBackend::parse(v)
+                    .ok_or_else(|| format!("unknown netlist backend `{v}` (event|levelized)"))
+            },
+        )
     };
 
     match cmd.as_str() {
@@ -237,7 +249,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_or(Ok(64), |c| c.parse().map_err(|_| format!("bad cycle budget `{c}`")))?;
             let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
             let r = synthesize(&m, hgen_options()?).map_err(|e| e.to_string())?;
-            let mut sim = vlog::sim::NetlistSim::elaborate(&r.module).map_err(|e| e.to_string())?;
+            let mut sim = r.simulator(netlist_sim()?).map_err(|e| e.to_string())?;
             let imem = m.storage(m.imem.ok_or("machine has no instruction memory")?).name.clone();
             for (a, w) in p.words.iter().enumerate() {
                 sim.poke_memory(&imem, a as u64, w.clone()).map_err(|e| e.to_string())?;
@@ -289,6 +301,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     archex::Strategy::Greedy
                 },
                 threads,
+                netlist_check: match flags.iter().find(|f| f.starts_with("--netlist-sim=")) {
+                    Some(_) => archex::NetlistCheck::Run(netlist_sim()?),
+                    None => archex::NetlistCheck::Off,
+                },
                 ..archex::Explorer::default()
             };
             let kernels =
@@ -406,6 +422,7 @@ fn print_profile_summary(report: &obs::Json) {
 fn usage() -> String {
     "usage: isdlc <check|print|sample|asm|disasm|run|batch|explore|verilog|report|wave|hex|tb> \
      <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N] [--opt=0|1|2] [--no-opt] \
-     [--profile[=PATH]] [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH]"
+     [--profile[=PATH]] [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH] \
+     [--netlist-sim=event|levelized]"
         .to_owned()
 }

@@ -28,6 +28,12 @@
 //!                         (default; bit-identical to the interpreter)
 //!   --no-translate        force per-instruction interpretation — the
 //!                         translation-tier ablation baseline
+//!   --netlist-sim event|levelized
+//!                         after the run halts, replay the program on
+//!                         the HGEN-generated netlist with the chosen
+//!                         backend and require bit-identical final
+//!                         state; adds a `netlist` block (the
+//!                         `vlog-stats/1` schema) to the stats report
 //! ```
 //!
 //! `-` writes a report to stdout (the human-readable summary then moves
@@ -35,6 +41,7 @@
 //! schema, the CLI adds a `stop` key (the stop reason) and a
 //! `timing_us` object with per-phase wall times to the stats report.
 
+use bitv::BitVector;
 use gensim::{profile_json, stats_json, trace_json, CoreKind, Xsim, XsimOptions};
 use obs::{ChromeTrace, Json, Registry, StreamSink};
 use std::process::ExitCode;
@@ -62,6 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut profile_out: Option<String> = None;
     let mut chrome_out: Option<String> = None;
     let mut trace_capacity: usize = 4096;
+    let mut netlist_check: Option<vlog::SimBackend> = None;
     let mut options = XsimOptions::default();
 
     let mut it = args.iter();
@@ -90,6 +98,13 @@ fn run(args: &[String]) -> Result<(), String> {
                     "bytecode" => CoreKind::Bytecode,
                     other => return Err(format!("unknown core `{other}` (tree|bytecode)")),
                 };
+            }
+            "--netlist-sim" => {
+                let v = value(&mut it, "--netlist-sim")?;
+                netlist_check =
+                    Some(vlog::SimBackend::parse(v).ok_or_else(|| {
+                        format!("unknown netlist backend `{v}` (event|levelized)")
+                    })?);
             }
             "--no-offline-decode" => options.offline_decode = false,
             "--translate" => options.translate = true,
@@ -173,9 +188,16 @@ fn run(args: &[String]) -> Result<(), String> {
 
     gensim::publish_opt_counters(&sim, &registry);
     gensim::publish_translate_counters(&sim, &registry);
+    let netlist_block = match netlist_check {
+        Some(backend) => Some(netlist_cross_check(&machine, &program, &sim, backend)?),
+        None => None,
+    };
     if let Some(path) = &stats_out {
         let mut stats = stats_json(&sim);
         stats.insert("stop", stop.to_string());
+        if let Some(block) = &netlist_block {
+            stats.insert("netlist", block.clone());
+        }
         let timing = Json::obj()
             .with("load", t_load.summary().sum)
             .with("assemble", t_assemble.summary().sum)
@@ -215,7 +237,72 @@ fn run(args: &[String]) -> Result<(), String> {
     } else {
         println!("{summary}");
     }
+    if let Some(block) = &netlist_block {
+        let verdict = format!(
+            "netlist ({}) agrees after {} hardware cycles",
+            block.get_str("backend").unwrap_or("?"),
+            block.get_u64("cycles").unwrap_or(0),
+        );
+        if json_on_stdout {
+            eprintln!("{verdict}");
+        } else {
+            println!("{verdict}");
+        }
+    }
     Ok(())
+}
+
+/// Replays the halted program on the HGEN netlist with the chosen
+/// backend and verifies every data-carrying storage matches the ILS
+/// bit-for-bit. Returns the netlist `vlog-stats/1` block.
+fn netlist_cross_check(
+    machine: &isdl::Machine,
+    program: &xasm::Program,
+    xsim: &Xsim<'_>,
+    backend: vlog::SimBackend,
+) -> Result<Json, String> {
+    let hw = hgen::synthesize(machine, hgen::HgenOptions::default())
+        .map_err(|e| format!("netlist check: synthesis failed: {e}"))?;
+    let mut sim = hw.simulator(backend).map_err(|e| format!("netlist check: {e}"))?;
+    let imem = &machine.storage(machine.imem.ok_or("netlist check: machine has no imem")?).name;
+    let w = machine.word_width;
+    for (a, word) in program.words.iter().enumerate() {
+        sim.poke_memory(imem, a as u64, word.trunc(w).zext(w))
+            .map_err(|e| format!("netlist check: {e}"))?;
+    }
+    if let Some(dm) =
+        machine.storages.iter().find(|s| s.kind == isdl::model::StorageKind::DataMemory)
+    {
+        for &(addr, v) in &program.data {
+            sim.poke_memory(&dm.name, addr, BitVector::from_i64(v, dm.width))
+                .map_err(|e| format!("netlist check: {e}"))?;
+        }
+    }
+    // The hardware stalls at most as many extra cycles as the ILS
+    // charged; programs assembled from compiled kernels end in a
+    // state-neutral self-loop.
+    sim.clock(4 * xsim.stats().cycles + 16).map_err(|e| format!("netlist check: {e}"))?;
+    for (i, s) in machine.storages.iter().enumerate() {
+        use isdl::model::StorageKind::{InstructionMemory, ProgramCounter};
+        if matches!(s.kind, ProgramCounter | InstructionMemory) {
+            continue;
+        }
+        for a in 0..s.cells() {
+            let soft = xsim.state().read(isdl::rtl::StorageId(i), a);
+            let hard = if s.kind.is_addressed() {
+                sim.peek_memory(&s.name, a).map_err(|e| format!("netlist check: {e}"))?
+            } else {
+                sim.peek(&s.name).map_err(|e| format!("netlist check: {e}"))?
+            };
+            if *soft != hard {
+                return Err(format!(
+                    "netlist check: {}[{a}] differs: ILS {soft}, netlist ({backend}) {hard}",
+                    s.name
+                ));
+            }
+        }
+    }
+    Ok(vlog::stats_json(&sim))
 }
 
 fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
@@ -236,6 +323,6 @@ fn usage() -> String {
     "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--fuel N] [--stats <path|->] \
      [--trace <path|->] [--trace-capacity N] [--trace-stream <path|->] [--profile <path|->] \
      [--chrome-trace <path|->] [--core tree|bytecode] [--no-offline-decode] [--opt 0|1|2] \
-     [--translate|--no-translate]"
+     [--translate|--no-translate] [--netlist-sim event|levelized]"
         .to_owned()
 }

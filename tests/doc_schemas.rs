@@ -1,9 +1,15 @@
-//! Every ```json example in `docs/OBSERVABILITY.md` must be valid
+//! Every ```json example in the schema-bearing docs must be valid
 //! JSON: each fenced block is extracted and round-tripped through the
 //! `obs::Json` RFC 8259 parser, so schema documentation can never
 //! drift into pseudo-JSON (`{ ... }` placeholders and the like).
 
 use obs::Json;
+
+/// The docs that carry ```json schema examples, with the minimum
+/// number of fences each is expected to hold — a guard against the
+/// extraction silently matching nothing after an edit.
+const DOCS: [(&str, usize); 3] =
+    [("docs/OBSERVABILITY.md", 7), ("docs/SIMULATORS.md", 1), ("docs/ROBUSTNESS.md", 0)];
 
 /// Returns the contents of every ```json fence in `text`, in order.
 fn json_fences(text: &str) -> Vec<(usize, String)> {
@@ -27,19 +33,25 @@ fn json_fences(text: &str) -> Vec<(usize, String)> {
 
 #[test]
 fn every_documented_json_example_parses() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/OBSERVABILITY.md");
-    let text = std::fs::read_to_string(path).expect("docs/OBSERVABILITY.md readable");
-    let fences = json_fences(&text);
-    assert!(fences.len() >= 6, "expected the documented schema examples, found {}", fences.len());
-    for (line, body) in fences {
-        let parsed = Json::parse(&body)
-            .unwrap_or_else(|e| panic!("docs/OBSERVABILITY.md:{line}: invalid JSON: {e}"));
-        // Render → parse is a fixed point: the serializer emits what
-        // the parser accepts, byte for byte the second time around.
-        let rendered = parsed.to_pretty();
-        let reparsed = Json::parse(&rendered).unwrap_or_else(|e| {
-            panic!("docs/OBSERVABILITY.md:{line}: render not reparseable: {e}")
-        });
-        assert_eq!(reparsed.to_pretty(), rendered, "docs/OBSERVABILITY.md:{line}");
+    for (doc, min_fences) in DOCS {
+        let path = format!("{}/{doc}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        let fences = json_fences(&text);
+        assert!(
+            fences.len() >= min_fences,
+            "{doc}: expected at least {min_fences} ```json examples, found {}",
+            fences.len()
+        );
+        for (line, body) in fences {
+            let parsed =
+                Json::parse(&body).unwrap_or_else(|e| panic!("{doc}:{line}: invalid JSON: {e}"));
+            // Render → parse is a fixed point: the serializer emits
+            // what the parser accepts, byte for byte the second time
+            // around.
+            let rendered = parsed.to_pretty();
+            let reparsed = Json::parse(&rendered)
+                .unwrap_or_else(|e| panic!("{doc}:{line}: render not reparseable: {e}"));
+            assert_eq!(reparsed.to_pretty(), rendered, "{doc}:{line}");
+        }
     }
 }

@@ -13,6 +13,7 @@ use gensim::{StopReason, Xsim};
 use hgen::{synthesize, HgenOptions};
 use proptest::prelude::*;
 use std::sync::OnceLock;
+use vlog::lsim::LevelizedSim;
 use vlog::sim::NetlistSim;
 use xasm::Assembler;
 
@@ -27,6 +28,15 @@ fn hardware() -> &'static NetlistSim {
     H.get_or_init(|| {
         let hw = synthesize(machine(), HgenOptions::default()).expect("synthesizes");
         NetlistSim::elaborate(&hw.module).expect("elaborates")
+    })
+}
+
+/// The same netlist, compiled by the levelized backend.
+fn hardware_levelized() -> &'static LevelizedSim {
+    static H: OnceLock<LevelizedSim> = OnceLock::new();
+    H.get_or_init(|| {
+        let hw = synthesize(machine(), HgenOptions::default()).expect("synthesizes");
+        LevelizedSim::elaborate(&hw.module).expect("compiles")
     })
 }
 
@@ -93,20 +103,48 @@ proptest! {
         for r in 0..8u64 {
             prop_assert_eq!(
                 xsim.state().read(rf, r),
-                hw.peek_memory("RF", r),
+                hw.peek_memory("RF", r).expect("mem"),
                 "RF[{}] differs for:\n{}", r, src
             );
         }
         for a in 0..256u64 {
             prop_assert_eq!(
                 xsim.state().read(dm, a),
-                hw.peek_memory("DM", a),
+                hw.peek_memory("DM", a).expect("mem"),
                 "DM[{}] differs for:\n{}", a, src
             );
         }
         let acc = m.storage_by_name("ACC").expect("ACC").0;
-        prop_assert_eq!(xsim.state().read(acc, 0), hw.peek("ACC"), "ACC differs for:\n{}", src);
+        prop_assert_eq!(xsim.state().read(acc, 0), hw.peek("ACC").expect("net"), "ACC differs for:\n{}", src);
         let z = m.storage_by_name("Z").expect("Z").0;
-        prop_assert_eq!(xsim.state().read(z, 0), hw.peek("Z"), "Z differs for:\n{}", src);
+        prop_assert_eq!(xsim.state().read(z, 0), hw.peek("Z").expect("net"), "Z differs for:\n{}", src);
+
+        // The levelized backend, fed the same stimulus, must land in
+        // exactly the same state as the event-driven one.
+        let mut lhw = hardware_levelized().clone();
+        for (a, w) in program.words.iter().enumerate() {
+            lhw.poke_memory("IM", a as u64, w.clone()).expect("pokes");
+        }
+        for (i, &v) in seed_mem.iter().enumerate() {
+            lhw.poke_memory("DM", i as u64, BitVector::from_u64(u64::from(v), 16))
+                .expect("pokes");
+        }
+        lhw.clock(4 * xsim.stats().cycles + 16).expect("clocks");
+        for r in 0..8u64 {
+            prop_assert_eq!(
+                hw.peek_memory("RF", r).expect("mem"),
+                &lhw.peek_memory("RF", r).expect("mem"),
+                "levelized RF[{}] differs for:\n{}", r, src
+            );
+        }
+        for a in 0..256u64 {
+            prop_assert_eq!(
+                hw.peek_memory("DM", a).expect("mem"),
+                &lhw.peek_memory("DM", a).expect("mem"),
+                "levelized DM[{}] differs for:\n{}", a, src
+            );
+        }
+        prop_assert_eq!(hw.peek("ACC").expect("net"), &lhw.peek("ACC").expect("net"), "levelized ACC differs for:\n{}", src);
+        prop_assert_eq!(hw.peek("Z").expect("net"), &lhw.peek("Z").expect("net"), "levelized Z differs for:\n{}", src);
     }
 }

@@ -8,7 +8,7 @@ use bitv::BitVector;
 use gensim::{StopReason, Xsim};
 use hgen::{synthesize, DecodeStyle, HgenOptions, ShareOptions};
 use isdl::Machine;
-use vlog::sim::NetlistSim;
+use vlog::{AnySim, SimBackend};
 use xasm::{Assembler, Program};
 
 /// Runs `program` on XSIM until it halts; returns the simulator.
@@ -19,15 +19,17 @@ fn run_xsim<'m>(machine: &'m Machine, program: &Program) -> Xsim<'m> {
     sim
 }
 
-/// Runs `program` on the generated hardware for `edges` clock cycles.
+/// Runs `program` on the generated hardware for `edges` clock cycles
+/// with the chosen netlist backend.
 fn run_hardware(
     machine: &Machine,
     program: &Program,
     options: HgenOptions,
     edges: u64,
-) -> NetlistSim {
+    backend: SimBackend,
+) -> AnySim {
     let result = synthesize(machine, options).expect("synthesizes");
-    let mut sim = NetlistSim::elaborate(&result.module).expect("elaborates");
+    let mut sim = result.simulator(backend).expect("elaborates");
     let imem = machine.storage(machine.imem.expect("imem")).name.clone();
     let w = machine.word_width;
     for (a, word) in program.words.iter().enumerate() {
@@ -45,7 +47,7 @@ fn run_hardware(
 }
 
 /// Asserts every data-carrying storage matches between the two models.
-fn assert_state_matches(machine: &Machine, xsim: &Xsim<'_>, hw: &NetlistSim) {
+fn assert_state_matches(machine: &Machine, xsim: &Xsim<'_>, hw: &AnySim) {
     for (i, s) in machine.storages.iter().enumerate() {
         use isdl::model::StorageKind::*;
         match s.kind {
@@ -53,21 +55,23 @@ fn assert_state_matches(machine: &Machine, xsim: &Xsim<'_>, hw: &NetlistSim) {
             _ if s.kind.is_addressed() => {
                 for a in 0..s.cells() {
                     let soft = xsim.state().read(isdl::rtl::StorageId(i), a);
-                    let hard = hw.peek_memory(&s.name, a);
-                    assert_eq!(soft, hard, "{}[{a}] differs", s.name);
+                    let hard = hw.peek_memory(&s.name, a).expect("mem");
+                    assert_eq!(*soft, hard, "{}[{a}] differs", s.name);
                 }
             }
             _ => {
                 let soft = xsim.state().read(isdl::rtl::StorageId(i), 0);
-                let hard = hw.peek(&s.name);
-                assert_eq!(soft, hard, "{} differs", s.name);
+                let hard = hw.peek(&s.name).expect("net");
+                assert_eq!(*soft, hard, "{} differs", s.name);
             }
         }
     }
 }
 
 /// Programs end with a self-loop so extra hardware clocks are
-/// state-neutral.
+/// state-neutral. Every program is checked against both netlist
+/// backends — the levelized compiler must preserve the event-driven
+/// semantics exactly.
 fn check_program(machine_src: &str, asm: &str, options: HgenOptions) {
     let machine = isdl::load(machine_src).expect("machine loads");
     let program = Assembler::new(&machine).assemble(asm).expect("assembles");
@@ -75,8 +79,10 @@ fn check_program(machine_src: &str, asm: &str, options: HgenOptions) {
     // Generous edge budget: the hardware stalls at most as many extra
     // cycles as the ILS charged, and the trailing self-loop is inert.
     let edges = 4 * xsim.stats().cycles + 16;
-    let hw = run_hardware(&machine, &program, options, edges);
-    assert_state_matches(&machine, &xsim, &hw);
+    for backend in [SimBackend::Event, SimBackend::Levelized] {
+        let hw = run_hardware(&machine, &program, options, edges, backend);
+        assert_state_matches(&machine, &xsim, &hw);
+    }
 }
 
 const ACC16_SUM: &str = "\
@@ -180,16 +186,19 @@ fn hardware_cycle_count_matches_ils_when_hazard_free() {
         .expect("assembles");
     let xsim = run_xsim(&machine, &program);
     let result = synthesize(&machine, HgenOptions::default()).expect("synthesizes");
-    let mut hw = NetlistSim::elaborate(&result.module).expect("elaborates");
-    for (a, word) in program.words.iter().enumerate() {
-        hw.poke_memory("IM", a as u64, word.clone()).expect("pokes");
+    for backend in [SimBackend::Event, SimBackend::Levelized] {
+        let mut hw = result.simulator(backend).expect("elaborates");
+        for (a, word) in program.words.iter().enumerate() {
+            hw.poke_memory("IM", a as u64, word.clone()).expect("pokes");
+        }
+        // Clock exactly the ILS cycle count: state must already agree
+        // (cycle-accuracy, not just eventual equivalence).
+        hw.clock(xsim.stats().cycles).expect("clocks");
+        assert_eq!(hw.peek("ACC").expect("net").to_u64_lossy(), 8, "{backend}");
+        assert_eq!(
+            hw.peek("ACC").expect("net"),
+            *xsim.state().read(machine.storage_by_name("ACC").expect("ACC").0, 0),
+            "{backend}"
+        );
     }
-    // Clock exactly the ILS cycle count: state must already agree
-    // (cycle-accuracy, not just eventual equivalence).
-    hw.clock(xsim.stats().cycles).expect("clocks");
-    assert_eq!(hw.peek("ACC").to_u64_lossy(), 8);
-    assert_eq!(
-        hw.peek("ACC"),
-        xsim.state().read(machine.storage_by_name("ACC").expect("ACC").0, 0)
-    );
 }

@@ -144,20 +144,20 @@ fn multiword_hardware_model_matches_ils() {
 
     let rf = m.storage_by_name("RF").expect("RF").0;
     for r in 0..4u64 {
-        assert_eq!(xsim.state().read(rf, r), hsim.peek_memory("RF", r), "RF[{r}]");
+        assert_eq!(xsim.state().read(rf, r), hsim.peek_memory("RF", r).expect("mem"), "RF[{r}]");
     }
     assert_eq!(
         xsim.state().read(m.storage_by_name("MODE").expect("MODE").0, 0),
-        hsim.peek("MODE"),
+        hsim.peek("MODE").expect("net"),
         "control register"
     );
     let out = m.storage_by_name("OUT").expect("OUT").0;
     for a in 0..4u64 {
-        assert_eq!(xsim.state().read(out, a), hsim.peek_memory("OUT", a), "OUT[{a}]");
+        assert_eq!(xsim.state().read(out, a), hsim.peek_memory("OUT", a).expect("mem"), "OUT[{a}]");
     }
     assert_eq!(
         xsim.state().read(m.storage_by_name("SP").expect("SP").0, 0),
-        hsim.peek("SP"),
+        hsim.peek("SP").expect("net"),
         "stack pointer"
     );
 }

@@ -213,8 +213,11 @@ fn check_hardware(machine: &Machine, asm: &str, options: HgenOptions) {
         }
         for a in 0..s.cells() {
             let soft = xsim.state().read(isdl::rtl::StorageId(i), a);
-            let hard =
-                if s.kind.is_addressed() { hw.peek_memory(&s.name, a) } else { hw.peek(&s.name) };
+            let hard = if s.kind.is_addressed() {
+                hw.peek_memory(&s.name, a).expect("mem")
+            } else {
+                hw.peek(&s.name).expect("net")
+            };
             assert_eq!(soft, hard, "{}[{a}] differs at opt={}", s.name, options.opt);
         }
     }

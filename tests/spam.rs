@@ -114,14 +114,22 @@ end:   jmp end
     let rf = m.storage_by_name("RF").expect("RF").0;
     let dm = m.storage_by_name("DM").expect("DM").0;
     for r in 0..16u64 {
-        assert_eq!(xsim.state().read(rf, r), hsim.peek_memory("RF", r), "RF[{r}] differs");
+        assert_eq!(
+            xsim.state().read(rf, r),
+            hsim.peek_memory("RF", r).expect("mem"),
+            "RF[{r}] differs"
+        );
     }
     for a in [50u64, 51] {
-        assert_eq!(xsim.state().read(dm, a), hsim.peek_memory("DM", a), "DM[{a}] differs");
+        assert_eq!(
+            xsim.state().read(dm, a),
+            hsim.peek_memory("DM", a).expect("mem"),
+            "DM[{a}] differs"
+        );
     }
     assert_eq!(
         xsim.state().read(m.storage_by_name("ACC").expect("ACC").0, 0),
-        hsim.peek("ACC"),
+        hsim.peek("ACC").expect("net"),
         "accumulator differs"
     );
 }
