@@ -222,6 +222,24 @@ pub fn entries_from_explore_json(text: &str) -> Result<Vec<BenchEntry>, String> 
         BenchEntry::new(format!("{machine}.explore.evaluated"), num("evaluated")?, "candidates"),
         BenchEntry::new(format!("{machine}.explore.cache_hits"), num("cache_hits")?, "candidates"),
     ];
+    // Supervision counters arrived with the retry runtime; traces
+    // written before it simply contribute no rows.
+    if let Some(attempts) = json.get_f64("attempts") {
+        out.push(BenchEntry::new(format!("{machine}.explore.attempts"), attempts, "attempts"));
+    }
+    if let Some(retried) = json.get_f64("retried") {
+        out.push(BenchEntry::new(format!("{machine}.explore.retried"), retried, "attempts"));
+    }
+    if let Some(Json::Obj(kinds)) = json.get("error_histogram") {
+        for (kind, n) in kinds {
+            let Some(n) = n.as_u64() else { continue }; // legacy row — skip, don't fail
+            out.push(BenchEntry::new(
+                format!("{machine}.explore.errors.{kind}"),
+                n as f64,
+                "errors",
+            ));
+        }
+    }
     if let Some(Json::Arr(steps)) = json.get("steps") {
         out.push(BenchEntry::new(format!("{machine}.explore.steps"), steps.len() as f64, "steps"));
         if let Some(score) = steps.last().and_then(|s| s.get_f64("score")) {
@@ -303,6 +321,36 @@ mod tests {
         assert_eq!(by_name("toy.explore.evaluated"), trace.evaluated as f64);
         assert_eq!(by_name("toy.explore.steps"), trace.steps.len() as f64);
         assert!(by_name("toy.explore.wall") > 0.0, "instrumented run records wall time");
+        assert_eq!(by_name("toy.explore.attempts"), trace.attempts as f64);
+        assert_eq!(by_name("toy.explore.retried"), trace.retried as f64);
+    }
+
+    #[test]
+    fn explore_error_histogram_becomes_per_kind_rows() {
+        let text = r#"{
+            "schema": "archex-explore/1", "machine": "toy",
+            "evaluated": 5, "cache_hits": 1, "attempts": 8, "retried": 3,
+            "error_histogram": {"toolchain_panic": 2, "deadline_exceeded": 1}
+        }"#;
+        let entries = entries_from_explore_json(text).expect("extracts");
+        let by_name = |n: &str| {
+            entries.iter().find(|e| e.name == n).unwrap_or_else(|| panic!("entry {n}")).value
+        };
+        assert_eq!(by_name("toy.explore.attempts"), 8.0);
+        assert_eq!(by_name("toy.explore.retried"), 3.0);
+        assert_eq!(by_name("toy.explore.errors.toolchain_panic"), 2.0);
+        assert_eq!(by_name("toy.explore.errors.deadline_exceeded"), 1.0);
+
+        // Traces written before the supervision counters still extract.
+        let legacy = r#"{
+            "schema": "archex-explore/1", "machine": "toy",
+            "evaluated": 5, "cache_hits": 1
+        }"#;
+        let entries = entries_from_explore_json(legacy).expect("legacy trace extracts");
+        assert!(
+            !entries.iter().any(|e| e.name.contains("attempts") || e.name.contains("errors.")),
+            "absent supervision counters add no rows"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::compiler::{compile, CompileError, Compiled, Kernel};
 use crate::fault::FaultPlan;
+use crate::watchdog::Deadline;
 use gensim::{Stats, StopReason, Xsim};
 use hgen::{synthesize, HgenOptions};
 use isdl::model::{NtId, OpRef};
@@ -86,6 +87,30 @@ impl Default for SimBudget {
     fn default() -> Self {
         Self { max_cycles: 10_000_000, max_instructions: u64::MAX }
     }
+}
+
+/// Everything that parameterizes one evaluation besides the machine
+/// and the kernels: synthesis options, budgets, fault injection,
+/// profiling, the netlist cross-check, and an optional armed
+/// wall-clock [`Deadline`]. Bundled so the evaluation entry points
+/// keep a fixed shape as supervision knobs accrete.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOptions<'a> {
+    /// Hardware synthesis options.
+    pub hgen: HgenOptions,
+    /// Per-kernel simulation budgets.
+    pub budget: SimBudget,
+    /// Deterministic fault injection (tests only; `None` in
+    /// production).
+    pub fault: Option<&'a FaultPlan>,
+    /// Run each kernel's simulator with cycle attribution enabled.
+    pub profile: bool,
+    /// Post-synthesis netlist cross-check.
+    pub netlist: NetlistCheck,
+    /// An armed wall-clock deadline. Checked cooperatively on entry to
+    /// every stage and on the simulator fuel path; expiry surfaces as
+    /// the transient [`EvalError::DeadlineExceeded`].
+    pub deadline: Option<Deadline>,
 }
 
 /// Optional post-synthesis netlist cross-check: re-run every kernel on
@@ -287,6 +312,18 @@ pub enum EvalError {
         /// elaborate or run).
         message: String,
     },
+    /// The evaluation's wall-clock [`Deadline`] expired. *Transient*:
+    /// elapsed wall-clock time is a property of this attempt (machine
+    /// load, scheduling), not of the candidate, so the outcome is
+    /// never cached or journaled — a retry or a later run with a
+    /// larger deadline re-evaluates the candidate.
+    DeadlineExceeded {
+        /// The stage that observed the expiry.
+        stage: Stage,
+        /// Wall-clock milliseconds elapsed when the expiry was
+        /// observed.
+        elapsed_ms: u64,
+    },
     /// An error replayed from a journal, preserved as its rendered
     /// message (the structured form is not serialized).
     Journaled(String),
@@ -301,7 +338,30 @@ impl EvalError {
     /// candidate.
     #[must_use]
     pub fn is_transient(&self) -> bool {
-        matches!(self, Self::ToolchainPanic { .. } | Self::BudgetExhausted { .. })
+        matches!(
+            self,
+            Self::ToolchainPanic { .. }
+                | Self::BudgetExhausted { .. }
+                | Self::DeadlineExceeded { .. }
+        )
+    }
+
+    /// The stable per-variant key used by `Trace::error_histogram`
+    /// (and the `archex-explore/1` / `bench/1` schemas).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::Compile(..) => "compile",
+            Self::Assemble(_) => "assemble",
+            Self::SimulationDiverged(_) => "simulation_diverged",
+            Self::Gensim(_) => "gensim",
+            Self::Synthesis(_) => "synthesis",
+            Self::ToolchainPanic { .. } => "toolchain_panic",
+            Self::BudgetExhausted { .. } => "budget_exhausted",
+            Self::NetlistMismatch { .. } => "netlist_mismatch",
+            Self::DeadlineExceeded { .. } => "deadline_exceeded",
+            Self::Journaled(_) => "journaled",
+        }
     }
 }
 
@@ -324,6 +384,9 @@ impl fmt::Display for EvalError {
             }
             Self::NetlistMismatch { kernel, message } => {
                 write!(f, "netlist cross-check failed on kernel `{kernel}`: {message}")
+            }
+            Self::DeadlineExceeded { stage, elapsed_ms } => {
+                write!(f, "wall-clock deadline exceeded during {stage} after {elapsed_ms} ms")
             }
             Self::Journaled(m) => f.write_str(m),
         }
@@ -356,11 +419,17 @@ fn install_contained_panic_hook() {
     });
 }
 
-/// Marks entry into `stage` (for panic attribution) and triggers a
-/// matching injected fault, if any.
-fn enter_stage(stage: Stage, fault: Option<&FaultPlan>, kernel: &str) -> Result<(), EvalError> {
+/// Marks entry into `stage` (for panic attribution), enforces the
+/// wall-clock deadline, and triggers a matching injected fault, if
+/// any.
+fn enter_stage(stage: Stage, opts: &EvalOptions<'_>, kernel: &str) -> Result<(), EvalError> {
     CURRENT_STAGE.with(|c| c.set(Some(stage)));
-    match fault {
+    if let Some(d) = &opts.deadline {
+        if d.expired() {
+            return Err(EvalError::DeadlineExceeded { stage, elapsed_ms: d.elapsed_ms() });
+        }
+    }
+    match opts.fault {
         Some(f) if f.stage == stage => f.trigger(kernel),
         _ => Ok(()),
     }
@@ -388,15 +457,7 @@ pub fn evaluate(
     kernels: &[Kernel],
     hgen_options: HgenOptions,
 ) -> Result<Evaluation, EvalError> {
-    evaluate_with(
-        machine,
-        kernels,
-        hgen_options,
-        SimBudget::default(),
-        None,
-        false,
-        NetlistCheck::Off,
-    )
+    evaluate_with(machine, kernels, &EvalOptions { hgen: hgen_options, ..EvalOptions::default() })
 }
 
 /// Evaluates `machine` with panic containment: any panic inside the
@@ -410,17 +471,12 @@ pub fn evaluate(
 pub fn evaluate_contained(
     machine: &Machine,
     kernels: &[Kernel],
-    hgen_options: HgenOptions,
-    budget: SimBudget,
-    fault: Option<&FaultPlan>,
-    profile: bool,
-    netlist: NetlistCheck,
+    opts: &EvalOptions<'_>,
 ) -> Result<Evaluation, EvalError> {
     install_contained_panic_hook();
     CONTAINED.with(|c| c.set(true));
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        evaluate_with(machine, kernels, hgen_options, budget, fault, profile, netlist)
-    }));
+    let outcome =
+        std::panic::catch_unwind(AssertUnwindSafe(|| evaluate_with(machine, kernels, opts)));
     CONTAINED.with(|c| c.set(false));
     let stage = CURRENT_STAGE.with(Cell::take);
     match outcome {
@@ -432,15 +488,16 @@ pub fn evaluate_contained(
     }
 }
 
-/// Evaluates `machine` on the given kernels under an explicit
-/// [`SimBudget`], optionally triggering an injected fault (see
-/// [`FaultPlan`]). Panics are *not* contained here — use
-/// [`evaluate_contained`] for that. When `profile` is set each
-/// kernel's simulator runs with cycle attribution enabled and the
-/// returned [`Evaluation::profile`] carries the compact summary. When
-/// `netlist` is [`NetlistCheck::Run`] each kernel is replayed on the
-/// generated netlist after synthesis and the final architectural state
-/// must match the ILS bit-for-bit.
+/// Evaluates `machine` on the given kernels under explicit
+/// [`EvalOptions`]: budgets, fault injection, profiling, the netlist
+/// cross-check, and an optional wall-clock deadline. Panics are *not*
+/// contained here — use [`evaluate_contained`] for that. When
+/// `opts.profile` is set each kernel's simulator runs with cycle
+/// attribution enabled and the returned [`Evaluation::profile`]
+/// carries the compact summary. When `opts.netlist` is
+/// [`NetlistCheck::Run`] each kernel is replayed on the generated
+/// netlist after synthesis and the final architectural state must
+/// match the ILS bit-for-bit.
 ///
 /// # Errors
 ///
@@ -450,12 +507,10 @@ pub fn evaluate_contained(
 pub fn evaluate_with(
     machine: &Machine,
     kernels: &[Kernel],
-    hgen_options: HgenOptions,
-    budget: SimBudget,
-    fault: Option<&FaultPlan>,
-    profile: bool,
-    netlist: NetlistCheck,
+    opts: &EvalOptions<'_>,
 ) -> Result<Evaluation, EvalError> {
+    let (hgen_options, budget, profile, netlist) =
+        (opts.hgen, opts.budget, opts.profile, opts.netlist);
     let assembler = Assembler::new(machine);
     let mut total = Stats::default();
     let mut kernel_stats = Vec::new();
@@ -463,19 +518,22 @@ pub fn evaluate_with(
     let mut kernel_profiles = Vec::new();
     let mut check_runs: Vec<(xasm::Program, Xsim<'_>)> = Vec::new();
     for kernel in kernels {
-        enter_stage(Stage::Compile, fault, &kernel.name)?;
+        enter_stage(Stage::Compile, opts, &kernel.name)?;
         let compiled =
             compile(machine, kernel).map_err(|e| EvalError::Compile(kernel.name.clone(), e))?;
-        enter_stage(Stage::Assemble, fault, &kernel.name)?;
+        enter_stage(Stage::Assemble, opts, &kernel.name)?;
         let program =
             assembler.assemble(&compiled.asm).map_err(|e| EvalError::Assemble(e.to_string()))?;
-        enter_stage(Stage::Gensim, fault, &kernel.name)?;
+        enter_stage(Stage::Gensim, opts, &kernel.name)?;
         let mut sim = Xsim::generate(machine).map_err(|e| EvalError::Gensim(e.to_string()))?;
         sim.load_program(&program);
         if profile {
             sim.enable_profile();
         }
-        enter_stage(Stage::Simulate, fault, &kernel.name)?;
+        if let Some(d) = &opts.deadline {
+            sim.set_cancel(d.flag());
+        }
+        enter_stage(Stage::Simulate, opts, &kernel.name)?;
         match sim.run_fuel(budget.max_cycles, budget.max_instructions) {
             StopReason::Halted => {}
             StopReason::CycleLimit => {
@@ -488,6 +546,12 @@ pub fn evaluate_with(
                 return Err(EvalError::BudgetExhausted {
                     kernel: kernel.name.clone(),
                     kind: BudgetKind::Instructions,
+                });
+            }
+            StopReason::Cancelled => {
+                return Err(EvalError::DeadlineExceeded {
+                    stage: Stage::Simulate,
+                    elapsed_ms: opts.deadline.as_ref().map_or(0, Deadline::elapsed_ms),
                 });
             }
             _ => return Err(EvalError::SimulationDiverged(kernel.name.clone())),
@@ -517,7 +581,7 @@ pub fn evaluate_with(
         }
     }
 
-    enter_stage(Stage::Synthesize, fault, kernels.first().map_or("", |k| k.name.as_str()))?;
+    enter_stage(Stage::Synthesize, opts, kernels.first().map_or("", |k| k.name.as_str()))?;
     let hw = synthesize(machine, hgen_options).map_err(|e| EvalError::Synthesis(e.to_string()))?;
     let mut netlist_stats = obs::Json::Null;
     if let NetlistCheck::Run(backend) = netlist {
@@ -684,24 +748,23 @@ mod tests {
         let kernels = vec![workloads::dot_product(4)];
         let hgen = HgenOptions::default();
         let starved = SimBudget { max_instructions: 3, ..SimBudget::default() };
-        let e = evaluate_with(&m, &kernels, hgen, starved, None, false, NetlistCheck::Off)
-            .expect_err("fuel starved");
+        let opts = EvalOptions { hgen, budget: starved, ..EvalOptions::default() };
+        let e = evaluate_with(&m, &kernels, &opts).expect_err("fuel starved");
         assert!(
             matches!(&e, EvalError::BudgetExhausted { kind: BudgetKind::Instructions, .. }),
             "got {e}"
         );
         assert!(e.is_transient());
         let starved = SimBudget { max_cycles: 3, ..SimBudget::default() };
-        let e = evaluate_with(&m, &kernels, hgen, starved, None, false, NetlistCheck::Off)
-            .expect_err("cycle starved");
+        let opts = EvalOptions { hgen, budget: starved, ..EvalOptions::default() };
+        let e = evaluate_with(&m, &kernels, &opts).expect_err("cycle starved");
         assert!(
             matches!(&e, EvalError::BudgetExhausted { kind: BudgetKind::Cycles, .. }),
             "got {e}"
         );
         // A generous budget changes nothing about the result.
-        let ev =
-            evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false, NetlistCheck::Off)
-                .expect("default budget is ample");
+        let ev = evaluate_with(&m, &kernels, &EvalOptions { hgen, ..EvalOptions::default() })
+            .expect("default budget is ample");
         assert!(ev.metrics.cycles > 10);
     }
 
@@ -710,18 +773,17 @@ mod tests {
         let m = isdl::load(isdl::samples::TOY).expect("loads");
         let kernels = vec![workloads::dot_product(3)];
         let hgen = HgenOptions::default();
-        let plain =
-            evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false, NetlistCheck::Off)
-                .expect("evaluates");
+        let plain = evaluate_with(&m, &kernels, &EvalOptions { hgen, ..EvalOptions::default() })
+            .expect("evaluates");
         for backend in [vlog::SimBackend::Event, vlog::SimBackend::Levelized] {
             let checked = evaluate_with(
                 &m,
                 &kernels,
-                hgen,
-                SimBudget::default(),
-                None,
-                false,
-                NetlistCheck::Run(backend),
+                &EvalOptions {
+                    hgen,
+                    netlist: NetlistCheck::Run(backend),
+                    ..EvalOptions::default()
+                },
             )
             .expect("cross-check agrees");
             assert!(plain.metrics.semantic_eq(&checked.metrics), "check is observational");
@@ -743,12 +805,14 @@ mod tests {
         let m = isdl::load(isdl::samples::TOY).expect("loads");
         let kernels = vec![workloads::fir(3, 6)];
         let hgen = HgenOptions::default();
-        let plain =
-            evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, false, NetlistCheck::Off)
-                .expect("evaluates");
-        let profiled =
-            evaluate_with(&m, &kernels, hgen, SimBudget::default(), None, true, NetlistCheck::Off)
-                .expect("evaluates profiled");
+        let plain = evaluate_with(&m, &kernels, &EvalOptions { hgen, ..EvalOptions::default() })
+            .expect("evaluates");
+        let profiled = evaluate_with(
+            &m,
+            &kernels,
+            &EvalOptions { hgen, profile: true, ..EvalOptions::default() },
+        )
+        .expect("evaluates profiled");
         assert!(plain.metrics.semantic_eq(&profiled.metrics), "profiling is observational");
         assert_eq!(plain.profile, obs::Json::Null);
         let ks = profiled.profile.get("kernels").and_then(obs::Json::as_arr).expect("kernels");

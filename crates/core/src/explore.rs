@@ -19,17 +19,18 @@
 //!   performance cost (§4.1.2's rule-4 refinement in action).
 
 use crate::compiler::Kernel;
-use crate::eval::{evaluate_contained, EvalError, Evaluation, Metrics, SimBudget};
+use crate::eval::{evaluate_contained, EvalError, EvalOptions, Evaluation, Metrics, SimBudget};
 use crate::fault::FaultPlan;
-use crate::journal::{JournalError, JournalWriter, Replay};
+use crate::journal::{strategy_name, JournalError, JournalWriter, Replay};
+use crate::watchdog::Deadline;
 use hgen::HgenOptions;
 use isdl::model::{Constraint, FieldId, Machine, NtId, OpRef};
 use obs::{Histogram, Json, Registry, Summary};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Relative weights of the objective (log-space weighted sum, lower is
 /// better).
@@ -322,8 +323,9 @@ pub struct ExploreObs {
     pub cache_hit_lookup_us: Summary,
     /// Latency of cache lookups that missed, µs.
     pub cache_miss_lookup_us: Summary,
-    /// Fresh evaluations performed by each worker slot; sums to
-    /// [`Trace::evaluated`]. Length is the resolved worker-pool size.
+    /// Fresh evaluation *attempts* performed by each worker slot,
+    /// retries included; sums to [`Trace::attempts`]. Length is the
+    /// resolved worker-pool size.
     pub thread_evals: Vec<u64>,
     /// Wall-clock spans of every frontier round and fresh evaluation,
     /// sorted by start time. Empty with [`Explorer::instrument`] off.
@@ -392,6 +394,20 @@ pub struct Trace {
     /// The first evaluation error encountered, as
     /// `"<mutation>: <error>"` (`None` when every candidate evaluated).
     pub first_error: Option<String>,
+    /// Fresh evaluation *attempts*, retries included (≥
+    /// [`Trace::evaluated`]). Excluded from [`Trace::semantic_eq`]: a
+    /// faulted-then-retried run must compare equal to a clean one.
+    pub attempts: usize,
+    /// Transient-failure retries performed under the explorer's
+    /// [`RetryPolicy`] (`attempts - evaluated`). Excluded from
+    /// [`Trace::semantic_eq`].
+    pub retried: usize,
+    /// Failed fresh evaluation attempts by error kind
+    /// ([`EvalError::kind_name`]), retried transients and
+    /// `deadline_exceeded` included. Cache-resolved error skips are not
+    /// recounted — each failure is histogrammed when it actually runs.
+    /// Excluded from [`Trace::semantic_eq`].
+    pub error_histogram: BTreeMap<String, usize>,
     /// Observability: per-round frontier accounting, evaluation and
     /// cache-lookup latency summaries, per-thread utilization.
     pub obs: ExploreObs,
@@ -410,8 +426,12 @@ impl Trace {
 
     /// Equality over everything deterministic in the trace: steps
     /// (modulo wall-clock synthesis time), the final machine, and all
-    /// counters. Two runs of the same exploration — at *any* thread
-    /// count — must compare equal under this.
+    /// search counters. Two runs of the same exploration — at *any*
+    /// thread count — must compare equal under this. The fault-exposure
+    /// counters ([`Trace::attempts`], [`Trace::retried`],
+    /// [`Trace::error_histogram`]) are excluded: they describe what the
+    /// environment did to the run, not what the search found, and a
+    /// retried run must compare equal to an undisturbed one.
     #[must_use]
     pub fn semantic_eq(&self, other: &Self) -> bool {
         self.steps.len() == other.steps.len()
@@ -441,6 +461,10 @@ impl Trace {
                     .with("profile", s.profile.clone())
             })
             .collect();
+        let mut histogram = Json::obj();
+        for (kind, n) in &self.error_histogram {
+            histogram.insert(kind, *n);
+        }
         Json::obj()
             .with("schema", EXPLORE_SCHEMA)
             .with("machine", self.machine.name.as_str())
@@ -449,6 +473,9 @@ impl Trace {
             .with("cache_hits", self.cache_hits)
             .with("skipped_errors", self.skipped_errors)
             .with("first_error", self.first_error.as_deref().map_or(Json::Null, Json::from))
+            .with("attempts", self.attempts)
+            .with("retried", self.retried)
+            .with("error_histogram", histogram)
             .with("obs", self.obs.to_json())
     }
 }
@@ -565,6 +592,29 @@ impl EvalCache {
     }
 }
 
+/// Deterministic in-run retry policy for *transient* evaluation errors
+/// (contained panics, exhausted fuel budgets, exceeded wall-clock
+/// deadlines — see [`EvalError::is_transient`]).
+///
+/// Retries are keyed to the proposal-order fresh-evaluation sequence
+/// number, never to worker scheduling, so a run with retries produces
+/// the same [`Trace`] (under [`Trace::semantic_eq`]) at every thread
+/// count: every attempt of evaluation `seq` sees the same fault-plan
+/// clock, and the per-candidate outcome is the outcome of the last
+/// attempt regardless of which worker ran it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per fresh evaluation (≥ 1; `1` disables retry).
+    /// Permanent errors are never retried.
+    pub max_attempts: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 1 }
+    }
+}
+
 /// How the candidate space is searched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
@@ -615,6 +665,21 @@ pub struct Explorer {
     /// turning it on makes every accepted step carry proof that the
     /// generated hardware matches the ILS bit-for-bit.
     pub netlist_check: crate::eval::NetlistCheck,
+    /// Retry policy for transient evaluation errors (see
+    /// [`RetryPolicy`]). The default performs no retries.
+    pub retry: RetryPolicy,
+    /// Wall-clock deadline per fresh evaluation attempt, milliseconds;
+    /// `0` disables deadlines. A candidate that exceeds it is skipped
+    /// with the transient [`EvalError::DeadlineExceeded`] — never
+    /// cached, never journaled (see [`crate::watchdog`]).
+    pub deadline_ms: u64,
+    /// Cooperative shutdown flag (armed by a signal handler in
+    /// `isdlc`). When it flips to `true`, a greedy run finishes the
+    /// in-flight round — including its journal checkpoint — and
+    /// returns early without writing the journal's `done` event, so
+    /// [`Explorer::resume`] continues bit-identically. `None` in
+    /// library use.
+    pub shutdown: Option<Arc<AtomicBool>>,
 }
 
 impl Default for Explorer {
@@ -629,6 +694,9 @@ impl Default for Explorer {
             budget: SimBudget::default(),
             fault_plan: None,
             netlist_check: crate::eval::NetlistCheck::default(),
+            retry: RetryPolicy::default(),
+            deadline_ms: 0,
+            shutdown: None,
         }
     }
 }
@@ -646,6 +714,22 @@ struct FrontierEval {
     /// fresh outcomes minus transient errors. This is exactly what a
     /// journal round must record to make resume bit-identical.
     committed: crate::journal::JournalEntries,
+    /// Fresh evaluation attempts spent (≥ `fresh`; the excess is
+    /// retries of transient failures under [`RetryPolicy`]).
+    attempts: usize,
+    /// [`EvalError::kind_name`] of every failed fresh attempt, folded
+    /// in proposal order — feeds the run's error histogram.
+    errors: Vec<&'static str>,
+}
+
+/// The resolution of one fresh candidate under the retry policy.
+struct AttemptRecord {
+    /// The last attempt's outcome — what the cache and reduction see.
+    outcome: Result<Evaluation, EvalError>,
+    /// Attempts spent (≥ 1).
+    attempts: usize,
+    /// [`EvalError::kind_name`] of every failed attempt, in order.
+    errors: Vec<&'static str>,
 }
 
 impl FrontierEval {
@@ -725,36 +809,68 @@ impl RunObs {
         outcome
     }
 
-    /// A timed, panic-contained fresh evaluation on worker slot
+    /// A timed, panic-contained fresh evaluation attempt on worker slot
     /// `worker`. `seq` is the evaluation's proposal-order sequence
-    /// number; the explorer's armed fault (if any) fires when it
-    /// matches.
+    /// number and `attempt` the zero-based retry index; the explorer's
+    /// armed fault (if any) fires when `seq` matches and `attempt` is
+    /// within the fault's [`FaultPlan::times`].
     fn eval(
         &self,
         worker: usize,
         seq: usize,
+        attempt: usize,
         machine: &Machine,
         kernels: &[Kernel],
         explorer: &Explorer,
     ) -> Result<Evaluation, EvalError> {
-        let fault = explorer.fault_plan.as_ref().filter(|f| f.nth == seq);
+        let fault = explorer.fault_plan.as_ref().filter(|f| f.nth == seq && attempt < f.times);
         let t0 = self.registry.enabled().then(Instant::now);
         let span = self.eval_us.span();
-        let outcome = evaluate_contained(
-            machine,
-            kernels,
-            explorer.hgen,
-            explorer.budget,
+        let deadline = (explorer.deadline_ms > 0)
+            .then(|| Deadline::arm(Duration::from_millis(explorer.deadline_ms)));
+        let opts = EvalOptions {
+            hgen: explorer.hgen,
+            budget: explorer.budget,
             fault,
-            explorer.instrument,
-            explorer.netlist_check,
-        );
+            profile: explorer.instrument,
+            netlist: explorer.netlist_check,
+            deadline,
+        };
+        let outcome = evaluate_contained(machine, kernels, &opts);
         drop(span);
         if let Some(t0) = t0 {
             self.push_span(format!("eval #{seq}"), "eval", 1 + worker as u64, t0);
         }
         self.thread_evals[worker].fetch_add(1, Ordering::Relaxed);
         outcome
+    }
+
+    /// Resolves one fresh candidate under the explorer's
+    /// [`RetryPolicy`]: transient failures are re-attempted up to
+    /// `max_attempts` total tries; permanent outcomes return
+    /// immediately. Every failed attempt's error kind is recorded for
+    /// the run's histogram.
+    fn eval_retry(
+        &self,
+        worker: usize,
+        seq: usize,
+        machine: &Machine,
+        kernels: &[Kernel],
+        explorer: &Explorer,
+    ) -> AttemptRecord {
+        let max = explorer.retry.max_attempts.max(1);
+        let mut errors = Vec::new();
+        for attempt in 0..max {
+            let outcome = self.eval(worker, seq, attempt, machine, kernels, explorer);
+            if let Err(e) = &outcome {
+                errors.push(e.kind_name());
+                if e.is_transient() && attempt + 1 < max {
+                    continue;
+                }
+            }
+            return AttemptRecord { outcome, attempts: attempt + 1, errors };
+        }
+        unreachable!("the loop returns on its final attempt")
     }
 
     fn finish(&self, rounds: Vec<FrontierRound>) -> ExploreObs {
@@ -785,6 +901,9 @@ pub(crate) struct Counters {
     pub(crate) cache_hits: usize,
     pub(crate) skipped_errors: usize,
     pub(crate) first_error: Option<String>,
+    pub(crate) attempts: usize,
+    pub(crate) retried: usize,
+    pub(crate) error_histogram: BTreeMap<String, usize>,
 }
 
 impl Counters {
@@ -793,6 +912,19 @@ impl Counters {
         self.skipped_errors += 1;
         if self.first_error.is_none() {
             self.first_error = Some(format!("{action}: {error}"));
+        }
+    }
+
+    /// Folds one frontier's fresh-evaluation accounting in. `proposed`
+    /// is the number of candidates handed to the frontier (everything
+    /// beyond `fresh` resolved from the cache).
+    fn absorb(&mut self, fe: &FrontierEval, proposed: usize) {
+        self.evaluated += fe.fresh;
+        self.cache_hits += proposed - fe.fresh;
+        self.attempts += fe.attempts;
+        self.retried += fe.attempts - fe.fresh;
+        for kind in &fe.errors {
+            *self.error_histogram.entry((*kind).to_owned()).or_insert(0) += 1;
         }
     }
 }
@@ -920,13 +1052,16 @@ impl Explorer {
 
         let fresh = pending.len();
         let mut committed = Vec::new();
+        let mut attempts = 0;
+        let mut errors: Vec<&'static str> = Vec::new();
         if fresh > 0 {
             // Sequence numbers for this batch are claimed up front and
             // assigned by proposal index (`pending` is in
             // first-occurrence order), not by scheduling order — an
-            // armed fault hits the same candidate at any thread count.
+            // armed fault hits the same candidate at any thread count,
+            // and so does every retry of it.
             let base = robs.seq.fetch_add(fresh, Ordering::Relaxed);
-            let results: Vec<Mutex<Option<Result<Evaluation, EvalError>>>> =
+            let results: Vec<Mutex<Option<AttemptRecord>>> =
                 (0..fresh).map(|_| Mutex::new(None)).collect();
             let workers = self.worker_count(fresh);
             if workers == 1 {
@@ -934,7 +1069,7 @@ impl Explorer {
                 for (j, &slot) in pending.iter().enumerate() {
                     let machine = &candidates[slot_candidate[slot]];
                     *results[j].lock().expect("result lock never poisoned") =
-                        Some(robs.eval(0, base + j, machine, kernels, self));
+                        Some(robs.eval_retry(0, base + j, machine, kernels, self));
                 }
             } else {
                 let cursor = AtomicUsize::new(0);
@@ -946,23 +1081,27 @@ impl Explorer {
                             let j = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&slot) = pending.get(j) else { break };
                             let machine = &candidates[slot_candidate[slot]];
-                            let outcome = robs.eval(wi, base + j, machine, kernels, self);
-                            *results[j].lock().expect("result lock never poisoned") = Some(outcome);
+                            let record = robs.eval_retry(wi, base + j, machine, kernels, self);
+                            *results[j].lock().expect("result lock never poisoned") = Some(record);
                         });
                     }
                 });
             }
             // Commit in deterministic (proposal) order after the
             // barrier, so cache contents never depend on scheduling.
-            // Transient failures (contained panics, exhausted budgets)
-            // are never cached: they describe this attempt, not the
-            // candidate, and a poisoned entry would outlive the fault.
+            // Transient failures (contained panics, exhausted budgets,
+            // exceeded deadlines) are never cached: they describe this
+            // attempt, not the candidate, and a poisoned entry would
+            // outlive the fault.
             for (j, &slot) in pending.iter().enumerate() {
-                let outcome = results[j]
+                let record = results[j]
                     .lock()
                     .expect("result lock never poisoned")
                     .take()
                     .expect("every pending slot was evaluated");
+                attempts += record.attempts;
+                errors.extend(record.errors);
+                let outcome = record.outcome;
                 let permanent = outcome.as_ref().map_or_else(|e| !e.is_transient(), |_| true);
                 if permanent {
                     let key = keys[slot_candidate[slot]].clone();
@@ -977,7 +1116,7 @@ impl Explorer {
             .iter()
             .map(|&slot| slot_outcome[slot].clone().expect("all slots resolved"))
             .collect();
-        FrontierEval { outcomes, first_occurrence, fresh, committed }
+        FrontierEval { outcomes, first_occurrence, fresh, committed, attempts, errors }
     }
 
     /// Evaluates a single machine through the cache, updating counters.
@@ -990,8 +1129,7 @@ impl Explorer {
         robs: &RunObs,
     ) -> Result<Evaluation, EvalError> {
         let fe = self.eval_frontier(cache, kernels, std::slice::from_ref(machine), robs);
-        counters.evaluated += fe.fresh;
-        counters.cache_hits += 1 - fe.fresh;
+        counters.absorb(&fe, 1);
         fe.outcomes.into_iter().next().expect("one candidate, one outcome")
     }
 
@@ -1031,9 +1169,10 @@ impl Explorer {
                 let mut writer = JournalWriter::new(sink);
                 self.greedy_run(start, kernels, cache, Some(&mut writer))
             }
-            Strategy::Beam { .. } => {
-                Err(JournalError::Unsupported("journaling supports the greedy strategy only"))
-            }
+            Strategy::Beam { .. } => Err(JournalError::Unsupported(format!(
+                "journaling is not supported for strategy `{}`; supported strategies: greedy",
+                strategy_name(&self.strategy)
+            ))),
         }
     }
 
@@ -1058,7 +1197,10 @@ impl Explorer {
         journal: &str,
     ) -> Result<Trace, JournalError> {
         if !matches!(self.strategy, Strategy::Greedy) {
-            return Err(JournalError::Unsupported("resume supports the greedy strategy only"));
+            return Err(JournalError::Unsupported(format!(
+                "resume is not supported for strategy `{}`; supported strategies: greedy",
+                strategy_name(&self.strategy)
+            )));
         }
         let replay = Replay::parse(journal, self, start)?;
         for (key, outcome) in &replay.entries {
@@ -1073,6 +1215,9 @@ impl Explorer {
                 cache_hits: replay.cache_hits,
                 skipped_errors: replay.skipped_errors,
                 first_error: replay.first_error,
+                attempts: replay.attempts,
+                retried: replay.retried,
+                error_histogram: replay.error_histogram,
                 obs: robs.finish(replay.rounds),
             });
         }
@@ -1096,11 +1241,111 @@ impl Explorer {
                 cache_hits: replay.cache_hits,
                 skipped_errors: replay.skipped_errors,
                 first_error: replay.first_error,
+                attempts: replay.attempts,
+                retried: replay.retried,
+                error_histogram: replay.error_histogram,
             },
         };
         // The resumed tail is not re-journaled: the journal already
         // records the prefix, and the caller still holds it.
         self.greedy_loop(state, kernels, cache, &robs, remaining, None)
+    }
+
+    /// Continues a journaled exploration across process restarts. When
+    /// `journal_text` holds a usable checkpoint for this explorer and
+    /// `start`, the run resumes from it; when it holds none — empty, a
+    /// torn first line, or a header-only stub from a run killed before
+    /// its first checkpoint — the run starts fresh. Either way `sink`
+    /// receives a complete, self-contained `archex-journal/2` journal
+    /// for the whole run: on resume, a header plus one `snapshot`
+    /// checkpoint of the replayed prefix, followed by the continued
+    /// rounds.
+    ///
+    /// The header and snapshot land in a single buffered
+    /// `write_all` + `flush` before any new evaluation starts, so a
+    /// sink whose first flush is atomic — a temp file renamed over the
+    /// previous journal, as `isdlc explore --journal` arranges — never
+    /// exposes a journal with less information than the one it
+    /// replaces.
+    ///
+    /// # Errors
+    ///
+    /// As [`Explorer::resume`] and [`Explorer::run_journaled`]: corrupt
+    /// or mismatched journals are never silently replaced.
+    pub fn resume_or_start_journaled(
+        &self,
+        start: &Machine,
+        kernels: &[Kernel],
+        cache: &EvalCache,
+        journal_text: &str,
+        sink: &mut dyn std::io::Write,
+    ) -> Result<Trace, JournalError> {
+        if !matches!(self.strategy, Strategy::Greedy) {
+            return Err(JournalError::Unsupported(format!(
+                "resume is not supported for strategy `{}`; supported strategies: greedy",
+                strategy_name(&self.strategy)
+            )));
+        }
+        let Some(replay) = Replay::parse_partial(journal_text, self, start)? else {
+            return self.run_journaled(start, kernels, cache, sink);
+        };
+        for (key, outcome) in &replay.entries {
+            cache.insert(key.clone(), outcome.clone());
+        }
+        let io_err = |e: std::io::Error| JournalError::Io(e.to_string());
+        let mut checkpoint: Vec<u8> = Vec::new();
+        let prefix_lines = {
+            let mut w = JournalWriter::new(&mut checkpoint);
+            w.header(self, start)?;
+            w.snapshot_replay(&replay)?;
+            w.lines_written()
+        };
+        sink.write_all(&checkpoint).map_err(io_err)?;
+        sink.flush().map_err(io_err)?;
+        let mut writer = JournalWriter::resuming(sink, prefix_lines);
+
+        let robs = RunObs::new(self);
+        if replay.finished || replay.rounds.len() >= self.max_steps {
+            writer.done()?;
+            return Ok(Trace {
+                steps: replay.steps,
+                machine: replay.current,
+                evaluated: replay.evaluated,
+                cache_hits: replay.cache_hits,
+                skipped_errors: replay.skipped_errors,
+                first_error: replay.first_error,
+                attempts: replay.attempts,
+                retried: replay.retried,
+                error_histogram: replay.error_histogram,
+                obs: robs.finish(replay.rounds),
+            });
+        }
+        let current_eval = match cache.get(&EvalCache::key(&replay.current)) {
+            Some(Ok(ev)) => ev,
+            _ => {
+                return Err(JournalError::Mismatch(
+                    "journal's current machine has no cached evaluation".to_owned(),
+                ))
+            }
+        };
+        let remaining = self.max_steps - replay.rounds.len();
+        let state = GreedyState {
+            score: replay.steps.last().map_or(f64::INFINITY, |s| s.score),
+            current: replay.current,
+            current_eval,
+            steps: replay.steps,
+            rounds: replay.rounds,
+            counters: Counters {
+                evaluated: replay.evaluated,
+                cache_hits: replay.cache_hits,
+                skipped_errors: replay.skipped_errors,
+                first_error: replay.first_error,
+                attempts: replay.attempts,
+                retried: replay.retried,
+                error_histogram: replay.error_histogram,
+            },
+        };
+        self.greedy_loop(state, kernels, cache, &robs, remaining, Some(&mut writer))
     }
 
     /// The full greedy run: initial evaluation (journaled as the `init`
@@ -1118,8 +1363,7 @@ impl Explorer {
             j.header(self, start)?;
         }
         let fe = self.eval_frontier(cache, kernels, std::slice::from_ref(start), &robs);
-        counters.evaluated += fe.fresh;
-        counters.cache_hits += 1 - fe.fresh;
+        counters.absorb(&fe, 1);
         let FrontierEval { outcomes, committed, .. } = fe;
         let current_eval = outcomes.into_iter().next().expect("one candidate, one outcome")?;
         let score = self.objective.score(&current_eval.metrics);
@@ -1154,6 +1398,13 @@ impl Explorer {
         mut journal: Option<&mut JournalWriter>,
     ) -> Result<Trace, JournalError> {
         for _ in 0..remaining {
+            // Cooperative shutdown lands only on round boundaries: the
+            // in-flight round always completes (and journals its
+            // checkpoint), and the `done` event is deliberately not
+            // written, so the journal resumes from exactly here.
+            if self.shutdown.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) {
+                return Ok(Self::greedy_trace(st, robs));
+            }
             let round_t0 = robs.registry.enabled().then(Instant::now);
             let (actions, machines): (Vec<String>, Vec<Machine>) = self
                 .propose(&st.current, &st.current_eval)
@@ -1164,8 +1415,7 @@ impl Explorer {
             if let Some(t0) = round_t0 {
                 robs.push_span(format!("round {}", st.rounds.len()), "explore", 0, t0);
             }
-            st.counters.evaluated += fe.fresh;
-            st.counters.cache_hits += machines.len() - fe.fresh;
+            st.counters.absorb(&fe, machines.len());
             st.rounds.push(fe.round());
             let FrontierEval { outcomes, committed, .. } = fe;
 
@@ -1227,6 +1477,9 @@ impl Explorer {
             cache_hits: st.counters.cache_hits,
             skipped_errors: st.counters.skipped_errors,
             first_error: st.counters.first_error,
+            attempts: st.counters.attempts,
+            retried: st.counters.retried,
+            error_histogram: st.counters.error_histogram,
             obs: robs.finish(st.rounds),
         }
     }
@@ -1267,8 +1520,7 @@ impl Explorer {
             if let Some(t0) = round_t0 {
                 robs.push_span(format!("round {}", rounds.len()), "explore", 0, t0);
             }
-            counters.evaluated += fe.fresh;
-            counters.cache_hits += machines.len() - fe.fresh;
+            counters.absorb(&fe, machines.len());
             rounds.push(fe.round());
 
             // Keep the first occurrence of every structure: different
@@ -1313,6 +1565,9 @@ impl Explorer {
             cache_hits: counters.cache_hits,
             skipped_errors: counters.skipped_errors,
             first_error: counters.first_error,
+            attempts: counters.attempts,
+            retried: counters.retried,
+            error_histogram: counters.error_histogram,
             obs: robs.finish(rounds),
         })
     }

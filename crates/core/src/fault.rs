@@ -34,25 +34,37 @@ pub struct FaultPlan {
     pub nth: usize,
     /// What happens.
     pub kind: FaultKind,
+    /// How many leading *attempts* of evaluation `nth` the fault fires
+    /// on. The default of 1 means a single retry succeeds; a value of
+    /// `usize::MAX` makes the fault permanent for that evaluation.
+    pub times: usize,
 }
 
 impl FaultPlan {
     /// A panic at the `nth` fresh evaluation, inside `stage`.
     #[must_use]
     pub fn panic_at(stage: Stage, nth: usize) -> Self {
-        Self { stage, nth, kind: FaultKind::Panic }
+        Self { stage, nth, kind: FaultKind::Panic, times: 1 }
     }
 
     /// A simulated divergence at the `nth` fresh evaluation.
     #[must_use]
     pub fn diverge_at(nth: usize) -> Self {
-        Self { stage: Stage::Simulate, nth, kind: FaultKind::Diverge }
+        Self { stage: Stage::Simulate, nth, kind: FaultKind::Diverge, times: 1 }
     }
 
     /// A synthetic error at the `nth` fresh evaluation, inside `stage`.
     #[must_use]
     pub fn error_at(stage: Stage, nth: usize, error: EvalError) -> Self {
-        Self { stage, nth, kind: FaultKind::Error(error) }
+        Self { stage, nth, kind: FaultKind::Error(error), times: 1 }
+    }
+
+    /// Makes the fault fire on the first `times` attempts of its
+    /// evaluation instead of just the first one.
+    #[must_use]
+    pub fn failing(mut self, times: usize) -> Self {
+        self.times = times;
+        self
     }
 
     /// Fires the fault. `kernel` names the kernel being processed (for

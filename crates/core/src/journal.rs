@@ -1,4 +1,4 @@
-//! Append-only exploration journals (`archex-journal/1`) and their
+//! Append-only exploration journals (`archex-journal/2`) and their
 //! replay — crash-safe checkpoint/resume for the Figure 1 loop.
 //!
 //! [`crate::Explorer::run_journaled`] streams one JSON line per
@@ -16,10 +16,34 @@
 //!    machine it moved to (`null` when no candidate improved);
 //! 4. a final **`done`** event.
 //!
-//! Every event is a single line written after its round completed, so
-//! a run killed at any point leaves a journal whose complete lines
-//! describe only finished work; a partial trailing line (the kill
-//! landed mid-write) is ignored by the parser.
+//! # Line integrity (`/2`)
+//!
+//! Since `archex-journal/2`, every line wraps its event in an
+//! integrity envelope:
+//!
+//! ```text
+//! {"seq": N, "data": {…event…}, "crc": "xxxxxxxx"}
+//! ```
+//!
+//! `seq` counts lines from 0 and `crc` is the CRC-32 (IEEE) of every
+//! byte of the line before the `, "crc"` trailer. A flipped byte
+//! *anywhere* in the file — not just a torn final line — is therefore
+//! detected and reported with its line number as
+//! [`JournalError::Corrupt`]; a duplicated or dropped line breaks the
+//! sequence the same way. Only the final line may be unparseable
+//! (a torn write from a kill): an append-only writer can tear nothing
+//! else. The writer flushes its sink after every event, so wrapping
+//! the journal file in [`SyncFile`] makes every event line an fsynced
+//! checkpoint boundary.
+//!
+//! A **`snapshot`** event (written by [`compact`]) collapses an entire
+//! journal prefix — steps, rounds, counters, cache entries, and the
+//! current machine — into one resumable line.
+//!
+//! The `/1` reader is retained: journals written before the envelope
+//! existed still parse (with only torn-final-line protection) and
+//! resume bit-identically.
+//!
 //! [`crate::Explorer::resume`] replays the journal — preloading the
 //! evaluation cache, restoring steps, rounds, and counters — and
 //! continues the run, producing a final [`crate::Trace`] that is
@@ -34,24 +58,37 @@ use gensim::Stats;
 use isdl::model::{FieldId, NtId, OpRef};
 use isdl::Machine;
 use obs::Json;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io;
 
 /// Schema identifier of the journal line format. Bump the suffix on
 /// breaking changes.
-pub const JOURNAL_SCHEMA: &str = "archex-journal/1";
+pub const JOURNAL_SCHEMA: &str = "archex-journal/2";
+
+/// The previous journal schema: bare event lines with no integrity
+/// envelope. Still accepted by the reader.
+pub const JOURNAL_SCHEMA_V1: &str = "archex-journal/1";
 
 /// Why journaling or resuming failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JournalError {
     /// The requested operation is not available for this configuration
     /// (journaling currently supports [`Strategy::Greedy`] only).
-    Unsupported(&'static str),
+    Unsupported(String),
     /// Writing a journal line failed.
     Io(String),
     /// A complete journal line failed to parse (1-based line number).
     Parse {
+        /// 1-based line number within the journal.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A journal line failed its integrity check — a CRC mismatch or a
+    /// broken sequence number. The file is corrupt at that line and
+    /// must not be resumed.
+    Corrupt {
         /// 1-based line number within the journal.
         line: usize,
         /// What was wrong.
@@ -73,6 +110,9 @@ impl fmt::Display for JournalError {
             Self::Parse { line, message } => {
                 write!(f, "journal line {line} does not parse: {message}")
             }
+            Self::Corrupt { line, message } => {
+                write!(f, "journal line {line} is corrupt: {message}")
+            }
             Self::Mismatch(m) => write!(f, "journal does not match this run: {m}"),
             Self::Eval(e) => write!(f, "{e}"),
         }
@@ -87,17 +127,49 @@ impl From<EvalError> for JournalError {
     }
 }
 
+/// A [`std::fs::File`] wrapper whose `flush` is a full
+/// [`std::fs::File::sync_all`]. The journal writer flushes its sink at
+/// every event boundary, so journaling through a `SyncFile` makes each
+/// event line durable on disk before the run continues — a kill (or
+/// power cut) immediately after a round can no longer lose it.
+pub struct SyncFile(pub std::fs::File);
+
+impl io::Write for SyncFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
 /// The structural-hash spelling used in headers (hex, not JSON
 /// numbers — a 64-bit hash does not fit `f64` exactly).
 fn start_hash(machine: &Machine) -> String {
     format!("{:016x}", EvalCache::structural_hash(machine))
 }
 
-fn strategy_name(s: Strategy) -> &'static str {
+/// The journal spelling of a strategy (also used by diagnostics).
+pub(crate) fn strategy_name(s: &Strategy) -> &'static str {
     match s {
         Strategy::Greedy => "greedy",
         Strategy::Beam { .. } => "beam",
     }
+}
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), bitwise — the journal
+/// envelope needs integrity, not speed.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 // ---------------------------------------------------------------------
@@ -173,22 +245,66 @@ fn step_to_json(step: &Step) -> Json {
         .with("profile", step.profile.clone())
 }
 
+fn round_to_json(r: &FrontierRound) -> Json {
+    Json::obj()
+        .with("proposed", r.proposed)
+        .with("unique", r.unique)
+        .with("fresh", r.fresh)
+        .with("cache_hits", r.cache_hits)
+}
+
+/// Appends the cumulative run counters to an event object.
+fn with_counters(j: Json, c: &Counters) -> Json {
+    let mut histogram = Json::obj();
+    for (kind, n) in &c.error_histogram {
+        histogram.insert(kind, *n);
+    }
+    j.with("evaluated", c.evaluated)
+        .with("cache_hits", c.cache_hits)
+        .with("skipped", c.skipped_errors)
+        .with("first_error", c.first_error.as_deref().map_or(Json::Null, Json::from))
+        .with("attempts", c.attempts)
+        .with("retried", c.retried)
+        .with("error_histogram", histogram)
+}
+
 // ---------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------
 
-/// Streams journal events to a sink, one JSON line each.
+/// Streams journal events to a sink, one enveloped JSON line each.
 pub(crate) struct JournalWriter<'a> {
     sink: &'a mut dyn io::Write,
+    /// Sequence number of the next line.
+    seq: u64,
 }
 
 impl<'a> JournalWriter<'a> {
     pub(crate) fn new(sink: &'a mut dyn io::Write) -> Self {
-        Self { sink }
+        Self { sink, seq: 0 }
     }
 
-    fn write(&mut self, j: &Json) -> Result<(), JournalError> {
-        writeln!(self.sink, "{j}").map_err(|e| JournalError::Io(e.to_string()))
+    /// A writer continuing a journal whose first `seq` lines (the
+    /// checkpoint prefix) were already written to the sink.
+    pub(crate) fn resuming(sink: &'a mut dyn io::Write, seq: u64) -> Self {
+        Self { sink, seq }
+    }
+
+    /// How many lines this writer has produced so far.
+    pub(crate) fn lines_written(&self) -> u64 {
+        self.seq
+    }
+
+    /// Writes one event inside the `/2` integrity envelope and flushes
+    /// the sink — every event is a checkpoint boundary (with
+    /// [`SyncFile`], an fsynced one).
+    fn write(&mut self, data: &Json) -> Result<(), JournalError> {
+        let prefix = format!("{{\"seq\": {}, \"data\": {data}", self.seq);
+        let crc = crc32(prefix.as_bytes());
+        writeln!(self.sink, "{prefix}, \"crc\": \"{crc:08x}\"}}")
+            .map_err(|e| JournalError::Io(e.to_string()))?;
+        self.seq += 1;
+        self.sink.flush().map_err(|e| JournalError::Io(e.to_string()))
     }
 
     pub(crate) fn header(
@@ -199,8 +315,9 @@ impl<'a> JournalWriter<'a> {
         let j = Json::obj()
             .with("schema", JOURNAL_SCHEMA)
             .with("machine", start.name.as_str())
-            .with("strategy", strategy_name(explorer.strategy))
+            .with("strategy", strategy_name(&explorer.strategy))
             .with("max_steps", explorer.max_steps)
+            .with("max_attempts", explorer.retry.max_attempts)
             .with(
                 "objective",
                 Json::obj()
@@ -218,10 +335,7 @@ impl<'a> JournalWriter<'a> {
         entries: &JournalEntries,
         step: &Step,
     ) -> Result<(), JournalError> {
-        let j = Json::obj()
-            .with("event", "init")
-            .with("evaluated", counters.evaluated)
-            .with("cache_hits", counters.cache_hits)
+        let j = with_counters(Json::obj().with("event", "init"), counters)
             .with("entries", entries_to_json(entries))
             .with("step", step_to_json(step));
         self.write(&j)
@@ -234,33 +348,92 @@ impl<'a> JournalWriter<'a> {
         entries: &JournalEntries,
         accepted: Option<(&Step, &Machine)>,
     ) -> Result<(), JournalError> {
-        let j = Json::obj()
-            .with("event", "round")
+        let j = with_counters(
+            Json::obj().with("event", "round").with("round", round_to_json(round)),
+            counters,
+        )
+        .with("entries", entries_to_json(entries))
+        .with(
+            "accepted",
+            accepted.map_or(Json::Null, |(step, machine)| {
+                step_to_json(step).with("machine", isdl::printer::print(machine))
+            }),
+        );
+        self.write(&j)
+    }
+
+    /// Writes a replayed [`Replay`] as one `snapshot` checkpoint — the
+    /// resumed-run prefix of a self-contained continuation journal.
+    pub(crate) fn snapshot_replay(&mut self, replay: &Replay) -> Result<(), JournalError> {
+        self.snapshot(&replay.to_core())
+    }
+
+    /// Writes the whole replayed state as one `snapshot` event (see
+    /// [`compact`]).
+    fn snapshot(&mut self, core: &ReplayCore) -> Result<(), JournalError> {
+        let counters = Counters {
+            evaluated: core.evaluated,
+            cache_hits: core.cache_hits,
+            skipped_errors: core.skipped_errors,
+            first_error: core.first_error.clone(),
+            attempts: core.attempts,
+            retried: core.retried,
+            error_histogram: core.error_histogram.clone(),
+        };
+        let j = with_counters(Json::obj().with("event", "snapshot"), &counters)
+            .with("steps", core.steps.iter().map(step_to_json).collect::<Json>())
+            .with("rounds", core.rounds.iter().map(round_to_json).collect::<Json>())
+            .with("entries", entries_to_json(&core.entries))
             .with(
-                "round",
-                Json::obj()
-                    .with("proposed", round.proposed)
-                    .with("unique", round.unique)
-                    .with("fresh", round.fresh)
-                    .with("cache_hits", round.cache_hits),
+                "machine",
+                core.current.as_ref().map_or(Json::Null, |m| Json::from(isdl::printer::print(m))),
             )
-            .with("evaluated", counters.evaluated)
-            .with("cache_hits", counters.cache_hits)
-            .with("skipped", counters.skipped_errors)
-            .with("first_error", counters.first_error.as_deref().map_or(Json::Null, Json::from))
-            .with("entries", entries_to_json(entries))
-            .with(
-                "accepted",
-                accepted.map_or(Json::Null, |(step, machine)| {
-                    step_to_json(step).with("machine", isdl::printer::print(machine))
-                }),
-            );
+            .with("finished", Json::Bool(core.finished));
         self.write(&j)
     }
 
     pub(crate) fn done(&mut self) -> Result<(), JournalError> {
         self.write(&Json::obj().with("event", "done"))
     }
+}
+
+/// Collapses a journal — `/1` or `/2`, finished or not — into an
+/// equivalent two-line `/2` journal: the (schema-upgraded) header plus
+/// one `snapshot` event holding the replayed steps, rounds, counters,
+/// cache entries, and current machine. Resuming the compacted journal
+/// produces the same final trace as resuming the original.
+///
+/// Exposed on the CLI as `isdlc journal compact`.
+///
+/// # Errors
+///
+/// Exactly the parse-side errors of [`crate::Explorer::resume`]
+/// (corrupt or malformed journals are never compacted), except that no
+/// explorer/start validation is performed — compaction does not need
+/// to know the run's configuration.
+pub fn compact(journal: &str) -> Result<String, JournalError> {
+    let mut events = parse_lines(journal)?.into_iter();
+    let Some((header_line, mut header)) = events.next() else {
+        return Err(JournalError::Mismatch("journal is empty".to_owned()));
+    };
+    if header.get_str("schema").is_none() {
+        return Err(JournalError::Parse {
+            line: header_line,
+            message: "missing `schema`".to_owned(),
+        });
+    }
+    let core = fold_events(events)?;
+    if core.steps.is_empty() {
+        return Err(JournalError::Mismatch(
+            "journal records no initial evaluation; nothing to compact".to_owned(),
+        ));
+    }
+    header.insert("schema", JOURNAL_SCHEMA);
+    let mut out: Vec<u8> = Vec::new();
+    let mut writer = JournalWriter::new(&mut out);
+    writer.write(&header)?;
+    writer.snapshot(&core)?;
+    Ok(String::from_utf8(out).expect("journal lines are UTF-8"))
 }
 
 // ---------------------------------------------------------------------
@@ -276,6 +449,9 @@ pub(crate) struct Replay {
     pub cache_hits: usize,
     pub skipped_errors: usize,
     pub first_error: Option<String>,
+    pub attempts: usize,
+    pub retried: usize,
+    pub error_histogram: BTreeMap<String, usize>,
     /// Cache entries to preload, in journal order.
     pub entries: JournalEntries,
     /// The machine the run had moved to.
@@ -283,6 +459,25 @@ pub(crate) struct Replay {
     /// Whether the journaled run had already finished (a `done` event,
     /// a round that accepted nothing, or `max_steps` rounds).
     pub finished: bool,
+}
+
+/// [`Replay`] before resolving against the starting machine: `current`
+/// is `None` while the run never moved off its start. This is what
+/// [`compact`] — which has no starting machine — works with.
+#[derive(Default)]
+struct ReplayCore {
+    steps: Vec<Step>,
+    rounds: Vec<FrontierRound>,
+    evaluated: usize,
+    cache_hits: usize,
+    skipped_errors: usize,
+    first_error: Option<String>,
+    attempts: usize,
+    retried: usize,
+    error_histogram: BTreeMap<String, usize>,
+    entries: JournalEntries,
+    current: Option<Machine>,
+    finished: bool,
 }
 
 fn get_usize(j: &Json, key: &str) -> Result<usize, String> {
@@ -400,21 +595,52 @@ fn step_from_json(j: &Json) -> Result<Step, String> {
     })
 }
 
+fn round_from_json(r: &Json) -> Result<FrontierRound, String> {
+    Ok(FrontierRound {
+        proposed: get_usize(r, "proposed")?,
+        unique: get_usize(r, "unique")?,
+        fresh: get_usize(r, "fresh")?,
+        cache_hits: get_usize(r, "cache_hits")?,
+    })
+}
+
+/// The `error_histogram` member, empty when absent (`/1` journals).
+fn histogram_from_json(j: &Json) -> BTreeMap<String, usize> {
+    match j.get("error_histogram") {
+        Some(Json::Obj(members)) => members
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n as usize)))
+            .collect(),
+        _ => BTreeMap::new(),
+    }
+}
+
 fn check_header(header: &Json, explorer: &Explorer, start: &Machine) -> Result<(), String> {
     let schema = header.get_str("schema").ok_or("missing `schema`")?;
-    if schema != JOURNAL_SCHEMA {
-        return Err(format!("schema `{schema}`, expected `{JOURNAL_SCHEMA}`"));
+    if schema != JOURNAL_SCHEMA && schema != JOURNAL_SCHEMA_V1 {
+        return Err(format!(
+            "schema `{schema}`, expected `{JOURNAL_SCHEMA}` (or `{JOURNAL_SCHEMA_V1}`)"
+        ));
     }
     let strategy = header.get_str("strategy").ok_or("missing `strategy`")?;
-    if strategy != strategy_name(explorer.strategy) {
+    if strategy != strategy_name(&explorer.strategy) {
         return Err(format!(
             "journal was written by a `{strategy}` run, this explorer is `{}`",
-            strategy_name(explorer.strategy)
+            strategy_name(&explorer.strategy)
         ));
     }
     let steps = get_usize(header, "max_steps")?;
     if steps != explorer.max_steps {
         return Err(format!("journal max_steps {steps} != explorer {}", explorer.max_steps));
+    }
+    // `/1` headers have no retry policy; validate only when present.
+    if let Some(a) = header.get_u64("max_attempts") {
+        if a as usize != explorer.retry.max_attempts {
+            return Err(format!(
+                "journal max_attempts {a} != explorer {}",
+                explorer.retry.max_attempts
+            ));
+        }
     }
     let obj = header.get("objective").ok_or("missing `objective`")?;
     let journaled = Objective {
@@ -432,35 +658,188 @@ fn check_header(header: &Json, explorer: &Explorer, start: &Machine) -> Result<(
     Ok(())
 }
 
+/// Splits a journal into `(line number, event)` pairs, verifying the
+/// `/2` integrity envelope when present.
+///
+/// Version dispatch is structural: a `/2` journal wraps every line in
+/// the `{"seq": …` envelope the writer emits, a `/1` journal starts
+/// with a bare header object. For `/2`, every line's CRC must match
+/// its content and the sequence numbers must count 0, 1, 2, … — any
+/// violation is [`JournalError::Corrupt`] with the line number. For
+/// both versions, an unparseable *final* line is tolerated as a torn
+/// write from a kill; anywhere else it is [`JournalError::Parse`].
+fn parse_lines(journal: &str) -> Result<Vec<(usize, Json)>, JournalError> {
+    let lines: Vec<(usize, &str)> = journal
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let v2 = lines.first().is_some_and(|(_, l)| l.starts_with("{\"seq\""));
+    let mut events = Vec::with_capacity(lines.len());
+    for (idx, (line_no, text)) in lines.iter().enumerate() {
+        let line = *line_no;
+        let j = match Json::parse(text) {
+            Ok(j) => j,
+            // The final line may be a torn write from a kill;
+            // everything before it must be intact.
+            Err(_) if idx + 1 == lines.len() => break,
+            Err(message) => return Err(JournalError::Parse { line, message }),
+        };
+        if !v2 {
+            events.push((line, j));
+            continue;
+        }
+        let corrupt = |message: String| JournalError::Corrupt { line, message };
+        let seq = j.get_u64("seq").ok_or_else(|| corrupt("envelope missing `seq`".to_owned()))?;
+        let stated =
+            j.get_str("crc").ok_or_else(|| corrupt("envelope missing `crc`".to_owned()))?;
+        let data =
+            j.get("data").cloned().ok_or_else(|| corrupt("envelope missing `data`".to_owned()))?;
+        // The CRC covers the raw bytes of the line before the
+        // `, "crc"` trailer — exactly what the writer hashed, no
+        // re-rendering involved.
+        let trailer =
+            text.rfind(", \"crc\": \"").ok_or_else(|| corrupt("missing crc trailer".to_owned()))?;
+        let computed = crc32(&text.as_bytes()[..trailer]);
+        if u32::from_str_radix(stated, 16) != Ok(computed) {
+            return Err(corrupt(format!(
+                "CRC mismatch: line says {stated}, content hashes to {computed:08x}"
+            )));
+        }
+        if seq != idx as u64 {
+            return Err(corrupt(format!("sequence broken: expected {idx}, found {seq}")));
+        }
+        events.push((line, data));
+    }
+    Ok(events)
+}
+
+/// Folds the event lines after the header into a [`ReplayCore`].
+fn fold_events(events: impl Iterator<Item = (usize, Json)>) -> Result<ReplayCore, JournalError> {
+    let mut core = ReplayCore::default();
+    for (line, j) in events {
+        let fail = |message: String| JournalError::Parse { line, message };
+        match j.get_str("event") {
+            Some("init") => {
+                core.evaluated = get_usize(&j, "evaluated").map_err(fail)?;
+                core.cache_hits = get_usize(&j, "cache_hits").map_err(fail)?;
+                core.attempts = j.get_u64("attempts").map_or(core.evaluated, |n| n as usize);
+                core.retried = j.get_u64("retried").map_or(0, |n| n as usize);
+                core.error_histogram = histogram_from_json(&j);
+                core.entries.extend(entries_from_json(&j).map_err(fail)?);
+                core.steps.push(
+                    step_from_json(j.get("step").ok_or("missing `step`".to_owned()).map_err(fail)?)
+                        .map_err(fail)?,
+                );
+            }
+            Some("round") => {
+                let r = j.get("round").ok_or("missing `round`".to_owned()).map_err(fail)?;
+                core.rounds.push(round_from_json(r).map_err(fail)?);
+                core.evaluated = get_usize(&j, "evaluated").map_err(fail)?;
+                core.cache_hits = get_usize(&j, "cache_hits").map_err(fail)?;
+                core.skipped_errors = get_usize(&j, "skipped").map_err(fail)?;
+                core.first_error = j.get_str("first_error").map(str::to_owned);
+                core.attempts = j.get_u64("attempts").map_or(core.evaluated, |n| n as usize);
+                core.retried = j.get_u64("retried").map_or(0, |n| n as usize);
+                core.error_histogram = histogram_from_json(&j);
+                core.entries.extend(entries_from_json(&j).map_err(fail)?);
+                match j.get("accepted") {
+                    Some(Json::Null) => core.finished = true,
+                    Some(acc) => {
+                        core.steps.push(step_from_json(acc).map_err(fail)?);
+                        let text = acc
+                            .get_str("machine")
+                            .ok_or("accepted step missing `machine`".to_owned())
+                            .map_err(fail)?;
+                        core.current =
+                            Some(isdl::load(text).map_err(|e| {
+                                fail(format!("accepted machine does not load: {e}"))
+                            })?);
+                    }
+                    None => return Err(fail("missing `accepted`".to_owned())),
+                }
+            }
+            Some("snapshot") => {
+                core.steps = j
+                    .get("steps")
+                    .and_then(Json::as_arr)
+                    .ok_or("snapshot missing `steps`".to_owned())
+                    .map_err(fail)?
+                    .iter()
+                    .map(step_from_json)
+                    .collect::<Result<Vec<Step>, String>>()
+                    .map_err(fail)?;
+                core.rounds = j
+                    .get("rounds")
+                    .and_then(Json::as_arr)
+                    .ok_or("snapshot missing `rounds`".to_owned())
+                    .map_err(fail)?
+                    .iter()
+                    .map(round_from_json)
+                    .collect::<Result<Vec<FrontierRound>, String>>()
+                    .map_err(fail)?;
+                core.evaluated = get_usize(&j, "evaluated").map_err(fail)?;
+                core.cache_hits = get_usize(&j, "cache_hits").map_err(fail)?;
+                core.skipped_errors = get_usize(&j, "skipped").map_err(fail)?;
+                core.first_error = j.get_str("first_error").map(str::to_owned);
+                core.attempts = j.get_u64("attempts").map_or(core.evaluated, |n| n as usize);
+                core.retried = j.get_u64("retried").map_or(0, |n| n as usize);
+                core.error_histogram = histogram_from_json(&j);
+                core.entries = entries_from_json(&j).map_err(fail)?;
+                core.current = match j.get("machine") {
+                    Some(Json::Null) | None => None,
+                    Some(Json::Str(text)) => Some(
+                        isdl::load(text)
+                            .map_err(|e| fail(format!("snapshot machine does not load: {e}")))?,
+                    ),
+                    Some(_) => {
+                        return Err(fail("snapshot `machine` is not a string".to_owned()));
+                    }
+                };
+                core.finished = matches!(j.get("finished"), Some(Json::Bool(true)));
+            }
+            Some("done") => core.finished = true,
+            Some(other) => return Err(fail(format!("unknown event `{other}`"))),
+            None => return Err(fail("event line without `event`".to_owned())),
+        }
+    }
+    Ok(core)
+}
+
 impl Replay {
     /// Parses and validates `journal` against the explorer
     /// configuration and starting machine. A partial trailing line is
     /// ignored (the writing run was killed mid-write); any other
-    /// malformed line is an error.
+    /// malformed line is an error, and in a `/2` journal any integrity
+    /// violation — anywhere — is [`JournalError::Corrupt`].
     pub(crate) fn parse(
         journal: &str,
         explorer: &Explorer,
         start: &Machine,
     ) -> Result<Self, JournalError> {
-        let lines: Vec<(usize, &str)> = journal
-            .lines()
-            .enumerate()
-            .map(|(i, l)| (i + 1, l))
-            .filter(|(_, l)| !l.trim().is_empty())
-            .collect();
-        let mut events = Vec::with_capacity(lines.len());
-        for (idx, (line_no, text)) in lines.iter().enumerate() {
-            match Json::parse(text) {
-                Ok(j) => events.push((*line_no, j)),
-                // The final line may be a torn write from a kill;
-                // everything before it must be intact.
-                Err(_) if idx + 1 == lines.len() => {}
-                Err(message) => return Err(JournalError::Parse { line: *line_no, message }),
-            }
-        }
-        let mut it = events.into_iter();
-        let Some((header_line, header)) = it.next() else {
-            return Err(JournalError::Mismatch("journal is empty".to_owned()));
+        Self::parse_partial(journal, explorer, start)?.ok_or_else(|| {
+            JournalError::Mismatch(
+                "journal records no initial evaluation; nothing to resume".to_owned(),
+            )
+        })
+    }
+
+    /// Like [`Replay::parse`], but tolerates a journal that holds no
+    /// usable checkpoint yet — empty, a torn first line, or a
+    /// header-only stub from a run killed before its `init` event —
+    /// returning `Ok(None)` so the caller can start fresh instead.
+    /// Corruption, malformed interior lines, and a header that belongs
+    /// to a *different* run remain errors: those journals must never be
+    /// silently replaced.
+    pub(crate) fn parse_partial(
+        journal: &str,
+        explorer: &Explorer,
+        start: &Machine,
+    ) -> Result<Option<Self>, JournalError> {
+        let mut events = parse_lines(journal)?.into_iter();
+        let Some((header_line, header)) = events.next() else {
+            return Ok(None);
         };
         check_header(&header, explorer, start).map_err(|message| {
             if header.get_str("schema").is_some() {
@@ -469,73 +848,45 @@ impl Replay {
                 JournalError::Parse { line: header_line, message }
             }
         })?;
-
+        let core = fold_events(events)?;
+        if core.steps.is_empty() {
+            return Ok(None);
+        }
         let mut replay = Replay {
-            steps: Vec::new(),
-            rounds: Vec::new(),
-            evaluated: 0,
-            cache_hits: 0,
-            skipped_errors: 0,
-            first_error: None,
-            entries: Vec::new(),
-            current: start.clone(),
-            finished: false,
+            steps: core.steps,
+            rounds: core.rounds,
+            evaluated: core.evaluated,
+            cache_hits: core.cache_hits,
+            skipped_errors: core.skipped_errors,
+            first_error: core.first_error,
+            attempts: core.attempts,
+            retried: core.retried,
+            error_histogram: core.error_histogram,
+            entries: core.entries,
+            current: core.current.unwrap_or_else(|| start.clone()),
+            finished: core.finished,
         };
-        for (line, j) in it {
-            let fail = |message: String| JournalError::Parse { line, message };
-            match j.get_str("event") {
-                Some("init") => {
-                    replay.evaluated = get_usize(&j, "evaluated").map_err(fail)?;
-                    replay.cache_hits = get_usize(&j, "cache_hits").map_err(fail)?;
-                    replay.entries.extend(entries_from_json(&j).map_err(fail)?);
-                    replay.steps.push(
-                        step_from_json(
-                            j.get("step").ok_or("missing `step`".to_owned()).map_err(fail)?,
-                        )
-                        .map_err(fail)?,
-                    );
-                }
-                Some("round") => {
-                    let r = j.get("round").ok_or("missing `round`".to_owned()).map_err(fail)?;
-                    replay.rounds.push(FrontierRound {
-                        proposed: get_usize(r, "proposed").map_err(fail)?,
-                        unique: get_usize(r, "unique").map_err(fail)?,
-                        fresh: get_usize(r, "fresh").map_err(fail)?,
-                        cache_hits: get_usize(r, "cache_hits").map_err(fail)?,
-                    });
-                    replay.evaluated = get_usize(&j, "evaluated").map_err(fail)?;
-                    replay.cache_hits = get_usize(&j, "cache_hits").map_err(fail)?;
-                    replay.skipped_errors = get_usize(&j, "skipped").map_err(fail)?;
-                    replay.first_error = j.get_str("first_error").map(str::to_owned);
-                    replay.entries.extend(entries_from_json(&j).map_err(fail)?);
-                    match j.get("accepted") {
-                        Some(Json::Null) => replay.finished = true,
-                        Some(acc) => {
-                            replay.steps.push(step_from_json(acc).map_err(fail)?);
-                            let text = acc
-                                .get_str("machine")
-                                .ok_or("accepted step missing `machine`".to_owned())
-                                .map_err(fail)?;
-                            replay.current = isdl::load(text).map_err(|e| {
-                                fail(format!("accepted machine does not load: {e}"))
-                            })?;
-                        }
-                        None => return Err(fail("missing `accepted`".to_owned())),
-                    }
-                }
-                Some("done") => replay.finished = true,
-                Some(other) => return Err(fail(format!("unknown event `{other}`"))),
-                None => return Err(fail("event line without `event`".to_owned())),
-            }
-        }
-        if replay.steps.is_empty() {
-            return Err(JournalError::Mismatch(
-                "journal records no initial evaluation; nothing to resume".to_owned(),
-            ));
-        }
         if replay.rounds.len() >= explorer.max_steps {
             replay.finished = true;
         }
-        Ok(replay)
+        Ok(Some(replay))
+    }
+
+    /// The snapshot-serializable view of this replay.
+    fn to_core(&self) -> ReplayCore {
+        ReplayCore {
+            steps: self.steps.clone(),
+            rounds: self.rounds.clone(),
+            evaluated: self.evaluated,
+            cache_hits: self.cache_hits,
+            skipped_errors: self.skipped_errors,
+            first_error: self.first_error.clone(),
+            attempts: self.attempts,
+            retried: self.retried,
+            error_histogram: self.error_histogram.clone(),
+            entries: self.entries.clone(),
+            current: Some(self.current.clone()),
+            finished: self.finished,
+        }
     }
 }

@@ -38,16 +38,18 @@ pub mod eval;
 pub mod explore;
 pub mod fault;
 pub mod journal;
+pub mod watchdog;
 pub mod workloads;
 
 pub use compiler::{compile, AOp, Capabilities, CompileError, Compiled, Kernel, VReg};
 pub use eval::{
-    evaluate, evaluate_contained, evaluate_with, BudgetKind, EvalError, Evaluation, Metrics,
-    NetlistCheck, SimBudget, Stage,
+    evaluate, evaluate_contained, evaluate_with, BudgetKind, EvalError, EvalOptions, Evaluation,
+    Metrics, NetlistCheck, SimBudget, Stage,
 };
 pub use explore::{
     apply_mutation, chrome_trace, EvalCache, ExploreObs, Explorer, FrontierRound, Mutation,
-    Objective, SpanRec, Step, Strategy, Trace, EXPLORE_SCHEMA,
+    Objective, RetryPolicy, SpanRec, Step, Strategy, Trace, EXPLORE_SCHEMA,
 };
 pub use fault::{FaultKind, FaultPlan};
-pub use journal::{JournalError, JOURNAL_SCHEMA};
+pub use journal::{compact, JournalError, SyncFile, JOURNAL_SCHEMA, JOURNAL_SCHEMA_V1};
+pub use watchdog::Deadline;

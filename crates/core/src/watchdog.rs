@@ -1,0 +1,170 @@
+//! Wall-clock deadlines for candidate evaluations.
+//!
+//! Fuel budgets ([`crate::SimBudget`]) bound simulated *work*, but a
+//! pathological candidate can burn unbounded wall-clock time per unit
+//! of work (a huge machine description, a degenerate netlist check) and
+//! stall a worker indefinitely. A [`Deadline`] bounds wall-clock time
+//! instead: a single process-wide watchdog thread arms a timer per
+//! evaluation and raises a shared [`AtomicBool`] when it expires. The
+//! evaluation pipeline checks the flag cooperatively — on entry to
+//! every stage and on the simulator fuel path
+//! ([`gensim::Xsim::set_cancel`]) — and surfaces expiry as the
+//! *transient* [`crate::EvalError::DeadlineExceeded`], so a slow
+//! candidate is skipped for this run but never poisoned in the cache
+//! or journal.
+//!
+//! The watchdog never interrupts anything: cancellation is entirely
+//! cooperative and lands on clean instruction/stage boundaries, which
+//! is what keeps a deadline-armed run safe to resume and re-evaluate.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A pending timer in the watchdog's heap, ordered soonest-first.
+struct Armed {
+    fire_at: Instant,
+    flag: Arc<AtomicBool>,
+}
+
+impl PartialEq for Armed {
+    fn eq(&self, other: &Self) -> bool {
+        self.fire_at == other.fire_at
+    }
+}
+impl Eq for Armed {}
+impl PartialOrd for Armed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Armed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the soonest timer
+        // on top.
+        other.fire_at.cmp(&self.fire_at)
+    }
+}
+
+/// The process-wide watchdog: one thread, a heap of pending timers.
+fn watchdog() -> &'static Sender<Armed> {
+    static TX: OnceLock<Sender<Armed>> = OnceLock::new();
+    TX.get_or_init(|| {
+        let (tx, rx) = mpsc::channel::<Armed>();
+        std::thread::Builder::new()
+            .name("archex-watchdog".into())
+            .spawn(move || {
+                let mut heap: BinaryHeap<Armed> = BinaryHeap::new();
+                loop {
+                    // Fire everything due, then sleep until the next
+                    // timer (or indefinitely when the heap is empty).
+                    let now = Instant::now();
+                    while heap.peek().is_some_and(|a| a.fire_at <= now) {
+                        let armed = heap.pop().expect("peeked");
+                        armed.flag.store(true, Ordering::Relaxed);
+                    }
+                    let wait = heap
+                        .peek()
+                        .map(|a| a.fire_at.saturating_duration_since(now))
+                        .unwrap_or(Duration::from_secs(3600));
+                    match rx.recv_timeout(wait) {
+                        Ok(armed) => heap.push(armed),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        // Every sender dropped: the process is exiting.
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+        tx
+    })
+}
+
+/// A wall-clock deadline for one evaluation, armed on the process-wide
+/// watchdog thread. Cheap to clone (the clones share the flag); cheap
+/// to drop (a timer that fires after its evaluation finished sets a
+/// flag nobody reads).
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    flag: Arc<AtomicBool>,
+    started: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    /// Arms a deadline `limit` from now. The returned handle's flag
+    /// flips to `true` once `limit` elapses.
+    #[must_use]
+    pub fn arm(limit: Duration) -> Self {
+        let flag = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        // A full channel cannot happen (unbounded); a dead watchdog
+        // thread only occurs during process teardown, where losing the
+        // timer is harmless.
+        let _ = watchdog().send(Armed { fire_at: started + limit, flag: Arc::clone(&flag) });
+        Self { flag, started, limit }
+    }
+
+    /// The shared cancellation flag, for handing to
+    /// [`gensim::Xsim::set_cancel`].
+    #[must_use]
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// Whether the deadline has fired.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds elapsed since the deadline was armed.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The configured limit.
+    #[must_use]
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes watchdog self-tests: each asserts on wall-clock
+    /// timing and a loaded machine skews a sibling's measurements.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn deadline_fires_after_its_limit() {
+        let _guard = TEST_LOCK.lock().expect("test lock");
+        let d = Deadline::arm(Duration::from_millis(30));
+        assert!(!d.expired(), "fresh deadline must not have fired");
+        let start = Instant::now();
+        while !d.expired() {
+            assert!(start.elapsed() < Duration::from_secs(5), "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(d.elapsed_ms() >= 25, "fired early: {}ms", d.elapsed_ms());
+    }
+
+    #[test]
+    fn timers_fire_independently_and_in_any_arm_order() {
+        let _guard = TEST_LOCK.lock().expect("test lock");
+        let slow = Deadline::arm(Duration::from_secs(600));
+        let fast = Deadline::arm(Duration::from_millis(20));
+        let start = Instant::now();
+        while !fast.expired() {
+            assert!(start.elapsed() < Duration::from_secs(5), "fast timer never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!slow.expired(), "10-minute timer fired within the test");
+    }
+}

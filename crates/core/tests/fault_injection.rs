@@ -5,9 +5,9 @@
 //! exactly as in a clean run, at every thread count.
 
 use archex::{
-    evaluate_contained, workloads, EvalCache, EvalError, Explorer, FaultPlan, SimBudget, Stage,
+    evaluate_contained, workloads, EvalCache, EvalError, EvalOptions, Explorer, FaultPlan,
+    SimBudget, Stage,
 };
-use hgen::HgenOptions;
 
 fn toy() -> isdl::Machine {
     isdl::load(isdl::samples::TOY).expect("TOY fixture loads")
@@ -22,16 +22,8 @@ fn contained_panic_becomes_an_error_naming_the_stage() {
     let kernels = vec![workloads::dot_product(2)];
     for stage in Stage::ALL {
         let fault = FaultPlan::panic_at(stage, 0);
-        let err = evaluate_contained(
-            &toy(),
-            &kernels,
-            HgenOptions::default(),
-            SimBudget::default(),
-            Some(&fault),
-            false,
-            archex::NetlistCheck::Off,
-        )
-        .expect_err("the armed panic fired");
+        let opts = EvalOptions { fault: Some(&fault), ..EvalOptions::default() };
+        let err = evaluate_contained(&toy(), &kernels, &opts).expect_err("the armed panic fired");
         match err {
             EvalError::ToolchainPanic { stage: s, message } => {
                 assert_eq!(s, stage, "panic attributed to the stage it fired in");

@@ -1,5 +1,5 @@
 //! Journaled checkpoint/resume: a greedy run streams an
-//! `archex-journal/1` line per completed round; killing the run after
+//! `archex-journal/2` line per completed round; killing the run after
 //! any prefix of those lines and resuming from the journal must
 //! reproduce the uninterrupted run's trace exactly (`semantic_eq`),
 //! including every counter.
@@ -34,14 +34,23 @@ fn journaled_run_matches_plain_run_and_emits_schema() {
 
     let lines: Vec<&str> = journal.lines().collect();
     assert!(lines.len() >= 3, "header, init, and done at minimum");
-    let header = obs::Json::parse(lines[0]).expect("header parses");
+    let envelope = obs::Json::parse(lines[0]).expect("header line parses");
+    assert_eq!(envelope.get_u64("seq"), Some(0), "lines are numbered from 0");
+    assert_eq!(envelope.get_str("crc").map(str::len), Some(8), "8-hex CRC trailer");
+    let header = envelope.get("data").expect("envelope carries the event");
     assert_eq!(header.get_str("schema"), Some(JOURNAL_SCHEMA));
     assert_eq!(header.get_str("strategy"), Some("greedy"));
     let last = obs::Json::parse(lines[lines.len() - 1]).expect("last line parses");
-    assert_eq!(last.get_str("event"), Some("done"), "completed run ends with `done`");
-    // Every line is valid single-line JSON (the kill-atomicity unit).
-    for l in &lines {
-        obs::Json::parse(l).expect("every journal line parses on its own");
+    assert_eq!(
+        last.get("data").and_then(|d| d.get_str("event")),
+        Some("done"),
+        "completed run ends with `done`"
+    );
+    // Every line is valid single-line JSON (the kill-atomicity unit)
+    // with a consecutive sequence number.
+    for (i, l) in lines.iter().enumerate() {
+        let envelope = obs::Json::parse(l).expect("every journal line parses on its own");
+        assert_eq!(envelope.get_u64("seq"), Some(i as u64), "line {i} sequence");
     }
 }
 
@@ -126,8 +135,16 @@ fn beam_journaling_is_rejected_loudly() {
     let err = e
         .run_journaled(&toy(), &kernels, &EvalCache::new(), &mut Vec::new())
         .expect_err("beam journaling unsupported");
-    assert!(matches!(err, JournalError::Unsupported(_)), "got {err}");
+    let JournalError::Unsupported(msg) = &err else { panic!("got {err}") };
+    assert!(
+        msg.contains("strategy `beam`") && msg.contains("supported strategies: greedy"),
+        "diagnostic names the strategy and the supported set: {msg}"
+    );
     let err =
         e.resume(&toy(), &kernels, &EvalCache::new(), "").expect_err("beam resume unsupported");
-    assert!(matches!(err, JournalError::Unsupported(_)), "got {err}");
+    let JournalError::Unsupported(msg) = &err else { panic!("got {err}") };
+    assert!(
+        msg.contains("strategy `beam`") && msg.contains("supported strategies: greedy"),
+        "diagnostic names the strategy and the supported set: {msg}"
+    );
 }

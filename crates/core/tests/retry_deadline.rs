@@ -1,0 +1,177 @@
+//! The supervised-runtime policies: deterministic retry of transient
+//! faults ([`RetryPolicy`]) and wall-clock deadlines
+//! ([`EvalError::DeadlineExceeded`]). A retried run must converge to
+//! the clean run's trace (`semantic_eq`) at every thread count, and a
+//! deadline-exceeded candidate is skipped as transient — never cached,
+//! never journaled.
+
+use archex::{
+    evaluate_contained, workloads, Deadline, EvalCache, EvalError, EvalOptions, Explorer,
+    FaultPlan, RetryPolicy, Stage,
+};
+use std::time::Duration;
+
+fn toy() -> isdl::Machine {
+    isdl::load(isdl::samples::TOY).expect("TOY fixture loads")
+}
+
+fn explorer(threads: usize) -> Explorer {
+    Explorer { max_steps: 6, threads, ..Explorer::default() }
+}
+
+#[test]
+fn retry_converges_to_the_clean_trace_at_every_thread_count() {
+    let kernels = vec![workloads::dot_product(2)];
+    let clean = explorer(1).run(&toy(), &kernels).expect("clean run");
+    assert_eq!(clean.retried, 0);
+    assert_eq!(clean.attempts, clean.evaluated);
+    assert!(clean.error_histogram.is_empty());
+
+    // The fault fires on the first two attempts of fresh evaluation
+    // #2; max_attempts = 3 leaves one clean attempt, so the candidate
+    // recovers and the search proceeds exactly as undisturbed.
+    for threads in [1, 2, 4] {
+        let e = Explorer {
+            fault_plan: Some(FaultPlan::panic_at(Stage::Simulate, 2).failing(2)),
+            retry: RetryPolicy { max_attempts: 3 },
+            ..explorer(threads)
+        };
+        let trace = e.run(&toy(), &kernels).expect("retried run completes");
+        assert!(
+            clean.semantic_eq(&trace),
+            "retry at {threads} threads diverged from the clean run:\n  clean {:?}\n  retry {:?}",
+            clean.steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+            trace.steps.iter().map(|s| &s.action).collect::<Vec<_>>(),
+        );
+        assert_eq!(trace.skipped_errors, 0, "the recovered candidate was not skipped");
+        assert_eq!(trace.retried, 2, "both faulted attempts were retried");
+        assert_eq!(trace.attempts, trace.evaluated + 2);
+        assert_eq!(trace.error_histogram.get("toolchain_panic"), Some(&2));
+    }
+}
+
+#[test]
+fn retry_exhaustion_skips_the_candidate_and_counts_every_attempt() {
+    let kernels = vec![workloads::dot_product(2)];
+    // A permanent transient: the fault fires on every attempt, so
+    // max_attempts = 3 burns three attempts and then skips.
+    let e = Explorer {
+        fault_plan: Some(FaultPlan::panic_at(Stage::Simulate, 2).failing(usize::MAX)),
+        retry: RetryPolicy { max_attempts: 3 },
+        ..explorer(2)
+    };
+    let trace = e.run(&toy(), &kernels).expect("run completes around the fault");
+    assert_eq!(trace.skipped_errors, 1, "the exhausted candidate was skipped");
+    assert_eq!(trace.retried, 2);
+    assert_eq!(trace.error_histogram.get("toolchain_panic"), Some(&3));
+
+    // The skip path is the same one a non-retrying run takes.
+    let no_retry = Explorer {
+        fault_plan: Some(FaultPlan::panic_at(Stage::Simulate, 2).failing(usize::MAX)),
+        ..explorer(2)
+    };
+    let baseline = no_retry.run(&toy(), &kernels).expect("non-retried run completes");
+    assert!(baseline.semantic_eq(&trace), "retry exhaustion changed the search outcome");
+}
+
+#[test]
+fn permanent_errors_are_never_retried() {
+    let kernels = vec![workloads::dot_product(2)];
+    let e = Explorer {
+        fault_plan: Some(
+            FaultPlan::error_at(Stage::Synthesize, 2, EvalError::Synthesis("injected".to_owned()))
+                .failing(usize::MAX),
+        ),
+        retry: RetryPolicy { max_attempts: 5 },
+        ..explorer(1)
+    };
+    let trace = e.run(&toy(), &kernels).expect("run completes around the fault");
+    assert_eq!(trace.skipped_errors, 1);
+    assert_eq!(trace.retried, 0, "a permanent error burned exactly one attempt");
+    assert_eq!(trace.error_histogram.get("synthesis"), Some(&1));
+}
+
+#[test]
+fn retry_counters_flow_into_the_explore_schema() {
+    let kernels = vec![workloads::dot_product(2)];
+    let e = Explorer {
+        fault_plan: Some(FaultPlan::panic_at(Stage::Simulate, 2).failing(2)),
+        retry: RetryPolicy { max_attempts: 3 },
+        ..explorer(1)
+    };
+    let trace = e.run(&toy(), &kernels).expect("retried run completes");
+    let j = trace.to_json();
+    assert_eq!(j.get_u64("attempts"), Some(trace.attempts as u64));
+    assert_eq!(j.get_u64("retried"), Some(2));
+    let histogram = j.get("error_histogram").expect("histogram serialized");
+    assert_eq!(histogram.get_u64("toolchain_panic"), Some(2));
+}
+
+#[test]
+fn an_expired_deadline_surfaces_as_a_transient_stage_error() {
+    let kernels = vec![workloads::dot_product(2)];
+    // Force expiry deterministically: the deadline's shared flag is
+    // exactly what the watchdog would set, without racing a timer.
+    let deadline = Deadline::arm(Duration::from_secs(600));
+    deadline.flag().store(true, std::sync::atomic::Ordering::Relaxed);
+    let opts = EvalOptions { deadline: Some(deadline), ..EvalOptions::default() };
+    let err = evaluate_contained(&toy(), &kernels, &opts).expect_err("expired deadline fails");
+    let EvalError::DeadlineExceeded { stage, .. } = err else {
+        panic!("expected DeadlineExceeded, got {err}");
+    };
+    assert_eq!(stage, Stage::Compile, "expiry is caught on entry to the first stage");
+    assert!(
+        EvalError::DeadlineExceeded { stage, elapsed_ms: 0 }.is_transient(),
+        "deadline expiry must never be cached"
+    );
+}
+
+#[test]
+fn deadline_exceeded_candidates_are_never_cached_or_journaled() {
+    let kernels = vec![workloads::dot_product(2)];
+    let fault = FaultPlan::error_at(
+        Stage::Simulate,
+        2,
+        EvalError::DeadlineExceeded { stage: Stage::Simulate, elapsed_ms: 7 },
+    );
+    let clean = explorer(2).run(&toy(), &kernels).expect("clean run");
+
+    // Not cached: a re-run over the same cache with the fault disarmed
+    // re-evaluates the candidate and converges to the clean trace.
+    let cache = EvalCache::new();
+    let e = Explorer { fault_plan: Some(fault.clone()), ..explorer(2) };
+    let faulted = e.run_cached(&toy(), &kernels, &cache).expect("deadline skip is not fatal");
+    assert_eq!(faulted.skipped_errors, 1, "the deadline-exceeded candidate was skipped");
+    assert_eq!(faulted.error_histogram.get("deadline_exceeded"), Some(&1));
+    let rerun = explorer(2).run_cached(&toy(), &kernels, &cache).expect("re-run");
+    assert_eq!(rerun.skipped_errors, 0, "no poisoned entry survived the deadline");
+    assert_eq!(rerun.machine, clean.machine, "re-run converges to the clean result");
+    assert!(
+        rerun.steps.len() == clean.steps.len()
+            && rerun.steps.iter().zip(&clean.steps).all(|(a, b)| a.semantic_eq(b)),
+        "re-run takes the clean run's path"
+    );
+
+    // Not journaled: no cache entry in the journal records a deadline
+    // outcome (the diagnostic `first_error` counter may mention it,
+    // but nothing a resume would preload).
+    let mut sink = Vec::new();
+    let e = Explorer { fault_plan: Some(fault), ..explorer(2) };
+    let trace =
+        e.run_journaled(&toy(), &kernels, &EvalCache::new(), &mut sink).expect("journaled run");
+    assert_eq!(trace.skipped_errors, 1);
+    let journal = String::from_utf8(sink).expect("journal is UTF-8");
+    for line in journal.lines() {
+        let envelope = obs::Json::parse(line).expect("journal line parses");
+        let Some(data) = envelope.get("data") else { continue };
+        let Some(entries) = data.get("entries").and_then(obs::Json::as_arr) else { continue };
+        for entry in entries {
+            assert!(
+                entry.get_str("err").is_none_or(|m| !m.contains("deadline")),
+                "transient deadline outcome leaked into the journal: {entry}"
+            );
+        }
+    }
+    let resumed = e.resume(&toy(), &kernels, &EvalCache::new(), &journal).expect("journal resumes");
+    assert!(trace.semantic_eq(&resumed), "the journal restores the faulted run's trace");
+}

@@ -115,6 +115,11 @@ pub enum StopReason {
         /// The rendered [`crate::exec::ExecError`] diagnostic.
         message: String,
     },
+    /// A cooperative cancellation flag ([`Xsim::set_cancel`]) was
+    /// raised — typically by a wall-clock deadline watchdog. The run
+    /// stops on an instruction boundary; nothing half-commits, and the
+    /// run can be resumed like any other fuel stop.
+    Cancelled,
 }
 
 impl fmt::Display for StopReason {
@@ -129,6 +134,7 @@ impl fmt::Display for StopReason {
             Self::ExecFault { addr, message } => {
                 write!(f, "execution fault at {addr:#x}: {message}")
             }
+            Self::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -441,6 +447,10 @@ pub struct Xsim<'m> {
     /// Code-section labels of the loaded program, sorted by address —
     /// the region table the profile report aggregates over.
     regions: Vec<(u64, String)>,
+    /// Cooperative cancellation flag, checked on every fuel-path
+    /// iteration (interpreter steps and translated block heads). Set
+    /// by an external watchdog; `None` costs one branch per check.
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     halted: bool,
 }
 
@@ -501,8 +511,24 @@ impl<'m> Xsim<'m> {
             event_sink: None,
             profile: None,
             regions: Vec::new(),
+            cancel: None,
             halted: false,
         })
+    }
+
+    /// Installs a cooperative cancellation flag. When some other
+    /// thread (a deadline watchdog, a signal handler) stores `true`,
+    /// the next fuel-path check returns [`StopReason::Cancelled`] on a
+    /// clean instruction boundary. Pass the same flag to many
+    /// simulators to cancel them together.
+    pub fn set_cancel(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    /// True when the installed cancellation flag (if any) is raised.
+    #[inline]
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
     }
 
     /// The options this simulator was generated with.
@@ -877,6 +903,9 @@ impl<'m> Xsim<'m> {
             if self.stats.instructions >= fuel_end {
                 return StopReason::FuelExhausted;
             }
+            if self.cancelled() {
+                return StopReason::Cancelled;
+            }
             if !self.breakpoints.is_empty() {
                 let pc = self.pc();
                 if !first && self.breakpoints.contains(&pc) {
@@ -1244,6 +1273,9 @@ impl<'m> Xsim<'m> {
             }
             if self.stats.instructions >= fuel_end {
                 return StopReason::FuelExhausted;
+            }
+            if self.cancelled() {
+                return StopReason::Cancelled;
             }
             let pc = self.pc();
             if pc >= depth {

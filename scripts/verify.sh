@@ -25,12 +25,22 @@ run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q
-# Robustness gates (see docs/ROBUSTNESS.md): fault containment and
-# journaled checkpoint/resume must stay deterministic. Both suites run
-# inside `cargo test -q` above too; naming them here keeps the gate
-# explicit and the failure output focused.
+# Robustness gates (see docs/ROBUSTNESS.md): fault containment,
+# deterministic retry/deadline supervision, and journaled
+# checkpoint/resume (including the `/1` fixture and the corruption
+# matrix) must stay deterministic. All suites run inside `cargo test
+# -q` above too; naming them here keeps the gates explicit and the
+# failure output focused.
 run cargo test -q -p archex --test fault_injection
+run cargo test -q -p archex --test retry_deadline
 run cargo test -q -p archex --test journal_resume
+run cargo test -q -p archex --test journal_formats
+# Crash-torture smoke (see docs/ROBUSTNESS.md): real `isdlc explore
+# --journal` children are SIGKILLed at seeded byte offsets and
+# resumed; the final trace must match the uninterrupted run's. The
+# full seeded sweep (kill chains, SIGINT graceful shutdown) runs under
+# --slow.
+run cargo test -q --test crash_torture
 # RTL middle-end gate: optimized and unoptimized execution must stay
 # bit-identical on every sample machine, for both simulator cores and
 # the generated hardware (see DESIGN.md §4a). Also inside `cargo test

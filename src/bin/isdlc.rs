@@ -13,9 +13,15 @@
 //! isdlc batch   <machine.isdl> <prog.asm> <script>  run a simulator batch script
 //! isdlc explore <machine.isdl> [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH]
 //!               [--netlist-sim=event|levelized]  cross-check every evaluation on the netlist
+//!               [--journal=PATH] [--deadline-ms=N] [--max-attempts=N] [--trace-out=PATH]
 //!                                                   run the Figure 1 exploration loop on the
 //!                                                   built-in DSP workload; --chrome-trace writes
-//!                                                   the round/eval timeline for chrome://tracing
+//!                                                   the round/eval timeline for chrome://tracing.
+//!                                                   --journal checkpoints every round to PATH
+//!                                                   (fsynced; an existing journal is resumed);
+//!                                                   SIGINT/SIGTERM finish the in-flight round,
+//!                                                   leave a resumable journal, and exit 75
+//! isdlc journal compact <in> <out>                  collapse a journal to header + snapshot
 //! isdlc verilog <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
 //! isdlc report  <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
 //! isdlc wave    <machine.isdl> <prog.asm> [cycles] [--netlist-sim=event|levelized]
@@ -26,12 +32,95 @@
 
 use gensim::{cli, Xsim};
 use hgen::{synthesize, DecodeStyle, HgenOptions, ShareOptions};
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 use xasm::Assembler;
+
+/// Exit code of a run interrupted by SIGINT/SIGTERM: the in-flight
+/// round was finished, the journal checkpoint is clean and resumable.
+/// (75 = EX_TEMPFAIL: "try again".)
+const EXIT_INTERRUPTED: u8 = 75;
+
+/// The shutdown flag shared between the signal handler and the
+/// explorer. Created *before* the handlers are installed, so the
+/// handler body is a plain atomic store — the only thing that is
+/// async-signal-safe.
+static SHUTDOWN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    if let Some(flag) = SHUTDOWN.get() {
+        flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers that request a cooperative
+/// shutdown, returning the flag the explorer polls at round
+/// boundaries.
+fn install_shutdown_handlers() -> Arc<AtomicBool> {
+    let flag = SHUTDOWN.get_or_init(|| Arc::new(AtomicBool::new(false))).clone();
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SIGINT = 2, SIGTERM = 15 on every unix this builds for.
+        unsafe {
+            signal(2, on_shutdown_signal);
+            signal(15, on_shutdown_signal);
+        }
+    }
+    flag
+}
+
+fn shutdown_requested() -> bool {
+    SHUTDOWN.get().is_some_and(|f| f.load(Ordering::Relaxed))
+}
+
+/// Journal sink for `explore --journal=PATH`: writes to `PATH.tmp`,
+/// fsyncs on every flush (each journal event is a durable checkpoint),
+/// and atomically renames over `PATH` at the *first* flush — which the
+/// explorer issues only once the full resume checkpoint is written. A
+/// kill at any byte offset therefore leaves either the previous
+/// journal or a strictly more informed replacement, never less.
+struct PersistFile {
+    file: std::fs::File,
+    tmp: std::path::PathBuf,
+    path: std::path::PathBuf,
+    renamed: bool,
+}
+
+impl std::io::Write for PersistFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.file.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.sync_all()?;
+        if !self.renamed {
+            std::fs::rename(&self.tmp, &self.path)?;
+            self.renamed = true;
+        }
+        Ok(())
+    }
+}
+
+/// Writes `content` to `path` durably: temp file, fsync, atomic rename.
+fn write_atomic(path: &str, content: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    let fail = |e: std::io::Error| format!("cannot write {path}: {e}");
+    let mut f = std::fs::File::create(&tmp).map_err(fail)?;
+    f.write_all(content.as_bytes()).map_err(fail)?;
+    f.sync_all().map_err(fail)?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(fail)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
+        Ok(()) if shutdown_requested() => ExitCode::from(EXIT_INTERRUPTED),
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("isdlc: {e}");
@@ -293,6 +382,9 @@ fn run(args: &[String]) -> Result<(), String> {
             let steps = num("--steps=", 6)?;
             let beam = num("--beam=", 0)?;
             let threads = num("--threads=", 0)?;
+            let deadline_ms = num("--deadline-ms=", 0)? as u64;
+            let max_attempts = num("--max-attempts=", 1)?;
+            let shutdown = install_shutdown_handlers();
             let explorer = archex::Explorer {
                 max_steps: steps,
                 strategy: if beam > 1 {
@@ -301,6 +393,9 @@ fn run(args: &[String]) -> Result<(), String> {
                     archex::Strategy::Greedy
                 },
                 threads,
+                retry: archex::RetryPolicy { max_attempts: max_attempts.max(1) },
+                deadline_ms,
+                shutdown: Some(shutdown),
                 netlist_check: match flags.iter().find(|f| f.starts_with("--netlist-sim=")) {
                     Some(_) => archex::NetlistCheck::Run(netlist_sim()?),
                     None => archex::NetlistCheck::Off,
@@ -309,7 +404,30 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             let kernels =
                 vec![archex::workloads::dot_product(4), archex::workloads::vector_update(3)];
-            let trace = explorer.run(&m, &kernels).map_err(|e| e.to_string())?;
+            let trace = if let Some(path) = flags.iter().find_map(|f| f.strip_prefix("--journal="))
+            {
+                let previous = match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                    Err(e) => return Err(format!("cannot read {path}: {e}")),
+                };
+                let tmp = format!("{path}.tmp");
+                let file =
+                    std::fs::File::create(&tmp).map_err(|e| format!("cannot create {tmp}: {e}"))?;
+                let mut sink =
+                    PersistFile { file, tmp: tmp.into(), path: path.into(), renamed: false };
+                explorer
+                    .resume_or_start_journaled(
+                        &m,
+                        &kernels,
+                        &archex::EvalCache::new(),
+                        &previous,
+                        &mut sink,
+                    )
+                    .map_err(|e| e.to_string())?
+            } else {
+                explorer.run(&m, &kernels).map_err(|e| e.to_string())?
+            };
             println!(
                 "explored `{}`: {} candidates ({} fresh, {} cached, {} skipped)",
                 m.name,
@@ -318,6 +436,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 trace.cache_hits,
                 trace.skipped_errors,
             );
+            if trace.retried > 0 {
+                println!(
+                    "  {} transient failures retried ({} attempts for {} evaluations)",
+                    trace.retried, trace.attempts, trace.evaluated
+                );
+            }
+            for (kind, n) in &trace.error_histogram {
+                println!("  errors[{kind}]: {n}");
+            }
             for s in &trace.steps {
                 println!(
                     "  {:<28} score {:>8.4}  runtime {:>9.2} us  area {:>8.0} cells",
@@ -330,6 +457,34 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
             }
+            if let Some(path) = flags.iter().find_map(|f| f.strip_prefix("--trace-out=")) {
+                write_atomic(path, &trace.to_json().to_pretty())?;
+            }
+            if shutdown_requested() {
+                eprintln!(
+                    "isdlc: interrupted after {} of {steps} rounds; \
+                     the journal checkpoint is clean — rerun to resume",
+                    trace.steps.len().saturating_sub(1)
+                );
+            }
+            Ok(())
+        }
+        "journal" => {
+            let action = pos.first().ok_or_else(usage)?;
+            if action.as_str() != "compact" {
+                return Err(format!("unknown journal action `{action}` (compact)"));
+            }
+            let input = pos.get(1).ok_or_else(usage)?;
+            let output = pos.get(2).ok_or_else(usage)?;
+            let text =
+                std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+            let compacted = archex::compact(&text).map_err(|e| e.to_string())?;
+            write_atomic(output, &compacted)?;
+            println!(
+                "compacted {input} ({} lines) to {output} ({} lines)",
+                text.lines().count(),
+                compacted.lines().count()
+            );
             Ok(())
         }
         "verilog" => {
@@ -420,9 +575,10 @@ fn print_profile_summary(report: &obs::Json) {
 }
 
 fn usage() -> String {
-    "usage: isdlc <check|print|sample|asm|disasm|run|batch|explore|verilog|report|wave|hex|tb> \
-     <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N] [--opt=0|1|2] [--no-opt] \
-     [--profile[=PATH]] [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH] \
-     [--netlist-sim=event|levelized]"
+    "usage: isdlc <check|print|sample|asm|disasm|run|batch|explore|journal|verilog|report|wave|\
+     hex|tb> <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N] [--opt=0|1|2] \
+     [--no-opt] [--profile[=PATH]] [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH] \
+     [--netlist-sim=event|levelized] [--journal=PATH] [--deadline-ms=N] [--max-attempts=N] \
+     [--trace-out=PATH]"
         .to_owned()
 }

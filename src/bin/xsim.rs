@@ -10,6 +10,9 @@
 //!   --max-cycles N        alias for --cycles
 //!   --fuel N              instruction budget (default unlimited); a
 //!                         looping program stops with `fuel exhausted`
+//!   --deadline-ms N       wall-clock deadline for the run; when it
+//!                         expires the simulator stops cooperatively on
+//!                         an instruction boundary with `cancelled`
 //!   --stats <path|->      write the `xsim-stats/1` JSON report
 //!   --trace <path|->      write the `xsim-trace/1` JSON event trace
 //!   --trace-capacity N    event ring-buffer capacity (default 4096)
@@ -63,6 +66,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut pos: Vec<&str> = Vec::new();
     let mut cycles: u64 = 1_000_000;
     let mut fuel: u64 = u64::MAX;
+    let mut deadline_ms: u64 = 0;
     let mut stats_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_stream: Option<String> = None;
@@ -82,6 +86,10 @@ fn run(args: &[String]) -> Result<(), String> {
             "--fuel" => {
                 let v = value(&mut it, "--fuel")?;
                 fuel = v.parse().map_err(|_| format!("bad instruction budget `{v}`"))?;
+            }
+            "--deadline-ms" => {
+                let v = value(&mut it, "--deadline-ms")?;
+                deadline_ms = v.parse().map_err(|_| format!("bad deadline `{v}`"))?;
             }
             "--stats" => stats_out = Some(value(&mut it, "--stats")?.to_owned()),
             "--trace" => trace_out = Some(value(&mut it, "--trace")?.to_owned()),
@@ -174,6 +182,13 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if profile_out.is_some() {
         sim.enable_profile();
+    }
+    // The deadline is armed as late as possible: it bounds the *run*,
+    // not loading or simulator generation.
+    let deadline = (deadline_ms > 0)
+        .then(|| archex::Deadline::arm(std::time::Duration::from_millis(deadline_ms)));
+    if let Some(d) = &deadline {
+        sim.set_cancel(d.flag());
     }
     let stop = {
         let _span = t_run.span();
@@ -320,7 +335,8 @@ fn write_report(path: &str, json: &Json) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--fuel N] [--stats <path|->] \
+    "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--fuel N] [--deadline-ms N] \
+     [--stats <path|->] \
      [--trace <path|->] [--trace-capacity N] [--trace-stream <path|->] [--profile <path|->] \
      [--chrome-trace <path|->] [--core tree|bytecode] [--no-offline-decode] [--opt 0|1|2] \
      [--translate|--no-translate] [--netlist-sim event|levelized]"
