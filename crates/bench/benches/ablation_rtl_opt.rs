@@ -2,9 +2,12 @@
 //! each `OptLevel` on two workloads — the SPAM FIR (compiler-shaped
 //! VLIW code that is already mostly clean) and a dense WIDEMUL program
 //! whose wide multiplies only reach the fast u64 bytecode lane after
-//! width narrowing. The gap between `opt0` and `opt2` on WIDEMUL is
-//! the narrowing win; SPAM bounds the cost on code with little to
-//! optimize.
+//! width narrowing, and whose wide divides/remainders additionally
+//! need level 3's strength reduction. The gap between `opt0` and
+//! `opt2` on WIDEMUL is the narrowing win; the gap between `opt2` and
+//! `opt3` is the pass-manager win (strength reduction + load
+//! forwarding retiring the remaining wide fallbacks); SPAM bounds the
+//! cost on code with little to optimize.
 //!
 //! Each row runs twice: the default translated basic-block dispatch
 //! and an `-interp` baseline with translation disabled, so the
@@ -18,16 +21,21 @@ use isdl::opt::OptLevel;
 use xasm::Assembler;
 
 /// Straight-line WIDEMUL code where every instruction does arithmetic
-/// that the middle-end can narrow, fold, or share; ends in `halt` so
-/// `run_cycles` restarts it for an endless supply of work.
+/// that the middle-end can narrow, fold, share, strength-reduce, or
+/// forward; ends in `halt` so `run_cycles` restarts it for an endless
+/// supply of work. The `wdiv`/`wrem`/`dsum` instructions stay on the
+/// wide fallback lane until opt3.
 fn dense_widemul_program(machine: &isdl::Machine) -> xasm::Program {
     let mut src = String::new();
     for i in 0..200u32 {
-        let line = match i % 5 {
+        let line = match i % 8 {
             0 => format!("lia {}\n", i % 256),
             1 => format!("lib {}\n", (i * 7) % 256),
             2 => "wmul\n".to_owned(),
             3 => "sqs\n".to_owned(),
+            4 => "wdiv\n".to_owned(),
+            5 => "wrem\n".to_owned(),
+            6 => format!("dsum {}\n", i % 16),
             _ => "redund\n".to_owned(),
         };
         src.push_str(&line);
@@ -44,9 +52,12 @@ fn bench_opt_levels(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_rtl_opt");
     group.throughput(Throughput::Elements(5_000));
-    for (name, opt) in
-        [("opt0", OptLevel::None), ("opt1", OptLevel::Basic), ("opt2", OptLevel::Aggressive)]
-    {
+    for (name, opt) in [
+        ("opt0", OptLevel::None),
+        ("opt1", OptLevel::Basic),
+        ("opt2", OptLevel::Aggressive),
+        ("opt3", OptLevel::Full),
+    ] {
         for (suffix, translate) in [("", true), ("-interp", false)] {
             let options = XsimOptions { opt, translate, ..XsimOptions::default() };
 

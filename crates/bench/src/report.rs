@@ -102,6 +102,32 @@ pub fn entries_from_stats_json(text: &str) -> Result<Vec<BenchEntry>, String> {
         if let Some(v) = opt.get_f64("wide_fallbacks") {
             out.push(BenchEntry::new(format!("{machine}.opt.wide_fallbacks"), v, "plans"));
         }
+        // Per-pass rows from the pass-manager's `passes` array
+        // (`<machine>.opt.<pass>.rewrites` / `.eliminated`). Reports
+        // written before the pass manager existed have no array and
+        // contribute no rows.
+        if let Some(Json::Arr(passes)) = opt.get("passes") {
+            for pass in passes {
+                let (Some(name), Some(rewrites)) = (pass.get_str("name"), pass.get_f64("rewrites"))
+                else {
+                    continue; // malformed row — skip, don't fail
+                };
+                out.push(BenchEntry::new(
+                    format!("{machine}.opt.{name}.rewrites"),
+                    rewrites,
+                    "rewrites",
+                ));
+                if let (Some(nodes_in), Some(nodes_out)) =
+                    (pass.get_f64("nodes_in"), pass.get_f64("nodes_out"))
+                {
+                    out.push(BenchEntry::new(
+                        format!("{machine}.opt.{name}.eliminated"),
+                        nodes_in - nodes_out,
+                        "nodes",
+                    ));
+                }
+            }
+        }
     }
     // The `xsim` CLI attaches its phase timings under `timing_us`
     // (load/assemble/generate/run); the library report never carries
@@ -307,6 +333,54 @@ mod tests {
         let payload = bench_json(&entries);
         let parsed = obs::Json::parse(&payload).expect("bench payload parses");
         assert_eq!(parsed.get_str("schema"), Some(BENCH_SCHEMA));
+    }
+
+    /// The pass-manager's `passes` array becomes per-pass trend rows,
+    /// and their eliminated-node deltas partition the block total —
+    /// the same invariant `xsim-stats/1` documents.
+    #[test]
+    fn per_pass_rows_extract_and_partition_the_totals() {
+        let machine = isdl::load(isdl::samples::WIDEMUL).expect("loads");
+        let program = xasm::Assembler::new(&machine)
+            .assemble("lia 255\nlib 255\nwmul\nwdiv\nwrem\ndsum 3\nsqs\nhalt\n")
+            .expect("assembles");
+        let options = gensim::XsimOptions {
+            opt: isdl::opt::OptLevel::Full,
+            ..gensim::XsimOptions::default()
+        };
+        let mut sim = gensim::Xsim::generate_with(&machine, options).expect("generates");
+        sim.load_program(&program);
+        assert_eq!(sim.run(1_000), gensim::StopReason::Halted);
+        let text = gensim::stats_json(&sim).to_pretty();
+        let entries = entries_from_stats_json(&text).expect("extracts");
+        let by_name = |n: &str| {
+            entries.iter().find(|e| e.name == n).unwrap_or_else(|| panic!("entry {n}")).value
+        };
+        let pass_delta: f64 = ["fold", "prop", "strength", "fwd", "dead", "cse", "share"]
+            .iter()
+            .map(|p| by_name(&format!("widemul.opt.{p}.eliminated")))
+            .sum();
+        assert_eq!(
+            pass_delta,
+            by_name("widemul.opt.nodes_before") - by_name("widemul.opt.nodes_after"),
+            "per-pass rows partition the pipeline total"
+        );
+        assert!(by_name("widemul.opt.strength.rewrites") > 0.0, "wdiv/wrem strength-reduce");
+        assert!(by_name("widemul.opt.fwd.rewrites") > 0.0, "dsum's repeated load forwards");
+
+        // A report whose opt block predates the pass manager (no
+        // `passes` array) contributes no per-pass rows.
+        let text = r#"{
+            "schema": "xsim-stats/1", "machine": "spam",
+            "opt": {"level": "2", "nodes_before": 12, "nodes_after": 9}
+        }"#;
+        let entries = entries_from_stats_json(text).expect("legacy report extracts");
+        assert!(
+            !entries
+                .iter()
+                .any(|e| e.name.ends_with(".rewrites") || e.name.ends_with(".eliminated")),
+            "absent passes array adds nothing: {entries:?}"
+        );
     }
 
     #[test]

@@ -267,6 +267,12 @@ pub struct Evaluation {
     /// or `Json::Null` when the check was [`NetlistCheck::Off`].
     /// Observational, like `profile`.
     pub netlist_stats: obs::Json,
+    /// The RTL middle-end's `opt` block (schedule, per-pass
+    /// sub-blocks, and counters — the `opt` object of `xsim-stats/1`)
+    /// from the first kernel's simulator. The pipeline runs once per
+    /// (operation, phase), so every kernel of a candidate reports the
+    /// same block. Observational, like `profile`.
+    pub opt: obs::Json,
 }
 
 /// Why a candidate failed evaluation.
@@ -516,6 +522,7 @@ pub fn evaluate_with(
     let mut kernel_stats = Vec::new();
     let mut compiled_all = Vec::new();
     let mut kernel_profiles = Vec::new();
+    let mut opt_block = obs::Json::Null;
     let mut check_runs: Vec<(xasm::Program, Xsim<'_>)> = Vec::new();
     for kernel in kernels {
         enter_stage(Stage::Compile, opts, &kernel.name)?;
@@ -569,6 +576,9 @@ pub fn evaluate_with(
         if profile {
             kernel_profiles.push((kernel.name.clone(), gensim::profile_json(&sim)));
         }
+        if matches!(opt_block, obs::Json::Null) {
+            opt_block = gensim::stats_json(&sim).get("opt").cloned().unwrap_or(obs::Json::Null);
+        }
         kernel_stats.push(KernelRun {
             name: kernel.name.clone(),
             op_counts: sim.op_counts(),
@@ -611,6 +621,7 @@ pub fn evaluate_with(
         compiled: compiled_all,
         profile: if profile { profile_summary(&kernel_profiles) } else { obs::Json::Null },
         netlist_stats,
+        opt: opt_block,
     })
 }
 

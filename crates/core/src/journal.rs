@@ -219,6 +219,7 @@ fn evaluation_to_json(ev: &Evaluation) -> Json {
         .with("metrics", ev.metrics.to_json())
         .with("kernels", ev.kernel_stats.iter().map(kernel_run_to_json).collect::<Json>())
         .with("profile", ev.profile.clone())
+        .with("opt", ev.opt.clone())
 }
 
 /// Cache entries committed during one journaled unit of work:
@@ -556,15 +557,18 @@ fn evaluation_from_json(j: &Json) -> Result<Evaluation, String> {
         .iter()
         .map(kernel_run_from_json)
         .collect::<Result<Vec<KernelRun>, String>>()?;
-    // `profile` is optional: journals written before the profiler
-    // existed simply resume without per-candidate summaries.
+    // `profile` and `opt` are optional: journals written before the
+    // profiler (or the pass manager) existed simply resume without
+    // those observational blocks.
     let profile = j.get("profile").cloned().unwrap_or(Json::Null);
+    let opt = j.get("opt").cloned().unwrap_or(Json::Null);
     Ok(Evaluation {
         metrics,
         kernel_stats,
         compiled: Vec::new(),
         profile,
         netlist_stats: Json::Null,
+        opt,
     })
 }
 

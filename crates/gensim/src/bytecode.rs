@@ -14,7 +14,7 @@ use crate::exec::{self, Binding, Frame, OverlayView, StagedWrite};
 use crate::state::State;
 use bitv::BitVector;
 use isdl::model::{Machine, OpRef};
-use isdl::opt::{OptLevel, OptStats};
+use isdl::opt::{OptStats, Pipeline};
 use isdl::rtl::{BinOp, ExtKind, RExpr, RExprKind, RLvalue, RStmt, StorageId, UnOp};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -159,7 +159,7 @@ impl Cache {
         machine: &Machine,
         op_ref: OpRef,
         phase: Phase,
-        level: OptLevel,
+        pipeline: &Pipeline,
         stats: &mut OptStats,
     ) -> Rc<Vec<RStmt>> {
         if let Some(s) = self.opt.get(&(op_ref, phase)) {
@@ -170,12 +170,12 @@ impl Cache {
             Phase::Action => &op.action,
             Phase::SideEffects => &op.side_effects,
         };
-        let stmts = if level == OptLevel::None {
-            // Skip the pipeline entirely so `--opt=0` is a true
-            // baseline (stats stay zero).
+        let stmts = if pipeline.is_identity() {
+            // Skip the pipeline entirely so an empty schedule
+            // (`--opt=0`) is a true baseline (stats stay zero).
             Rc::new(raw.clone())
         } else {
-            Rc::new(isdl::opt::optimize_stmts(raw, level, stats))
+            Rc::new(pipeline.run(raw, stats))
         };
         self.opt.insert((op_ref, phase), Rc::clone(&stmts));
         stmts
@@ -190,14 +190,14 @@ impl Cache {
         op_ref: OpRef,
         phase: Phase,
         bindings: &[Binding],
-        level: OptLevel,
+        pipeline: &Pipeline,
         stats: &mut OptStats,
     ) -> Rc<Compiled> {
         let key = Key { op: op_ref, phase, options: option_path(bindings) };
         if let Some(c) = self.map.get(&key) {
             return Rc::clone(c);
         }
-        let stmts = self.optimized(machine, op_ref, phase, level, stats);
+        let stmts = self.optimized(machine, op_ref, phase, pipeline, stats);
         let c = Rc::new(compile(machine, &stmts, bindings));
         self.map.insert(key, Rc::clone(&c));
         c

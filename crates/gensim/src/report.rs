@@ -39,7 +39,12 @@ pub const PROFILE_SCHEMA: &str = "xsim-profile/1";
 /// * the `opt` object reports the RTL middle-end's work
 ///   ([`isdl::opt::OptStats`]): with `opt.level == "0"` every counter
 ///   is zero, and `opt.nodes_eliminated ==
-///   opt.nodes_before - opt.nodes_after`.
+///   opt.nodes_before - opt.nodes_after`;
+/// * `opt.schedule` is the printable pass schedule that ran, and
+///   `opt.passes` holds one sub-object per pass whose signed
+///   `nodes_in - nodes_out` deltas sum exactly to
+///   `opt.nodes_before - opt.nodes_after` (the per-pass partition
+///   invariant).
 #[must_use]
 pub fn stats_json(sim: &Xsim<'_>) -> Json {
     let stats = sim.stats();
@@ -66,8 +71,21 @@ pub fn stats_json(sim: &Xsim<'_>) -> Json {
         })
         .collect();
     let o = sim.opt_stats();
+    let passes: Vec<Json> = o
+        .passes
+        .iter()
+        .map(|p| {
+            Json::obj()
+                .with("name", p.name)
+                .with("runs", p.runs)
+                .with("nodes_in", p.nodes_in)
+                .with("nodes_out", p.nodes_out)
+                .with("rewrites", p.rewrites)
+        })
+        .collect();
     let opt = Json::obj()
         .with("level", sim.options().opt.to_string())
+        .with("schedule", sim.pipeline().to_string())
         .with("nodes_before", o.nodes_before)
         .with("nodes_after", o.nodes_after)
         .with("nodes_eliminated", o.nodes_eliminated())
@@ -77,7 +95,12 @@ pub fn stats_json(sim: &Xsim<'_>) -> Json {
         .with("narrowed", o.narrowed)
         .with("cse_hits", o.cse_hits)
         .with("dead_writes", o.dead_writes)
-        .with("wide_fallbacks", sim.wide_fallbacks());
+        .with("propagated", o.propagated)
+        .with("strength_reduced", o.strength_reduced)
+        .with("loads_forwarded", o.loads_forwarded)
+        .with("decode_shared", o.decode_shared)
+        .with("wide_fallbacks", sim.wide_fallbacks())
+        .with("passes", Json::Arr(passes));
     let t = sim.translate_stats();
     let translate = Json::obj()
         .with("enabled", t.enabled)
@@ -116,6 +139,10 @@ pub fn publish_opt_counters(sim: &Xsim<'_>, registry: &obs::Registry) {
         ("opt.narrowed", o.narrowed),
         ("opt.cse_hits", o.cse_hits),
         ("opt.dead_writes", o.dead_writes),
+        ("opt.propagated", o.propagated),
+        ("opt.strength_reduced", o.strength_reduced),
+        ("opt.loads_forwarded", o.loads_forwarded),
+        ("opt.decode_shared", o.decode_shared),
         ("opt.wide_fallbacks", sim.wide_fallbacks()),
     ] {
         registry.counter(name).add(v);

@@ -69,6 +69,10 @@ pub struct XsimOptions {
     /// are bit-identical at every level; `OptLevel::None` is the
     /// differential baseline.
     pub opt: isdl::opt::OptLevel,
+    /// Explicit middle-end pass schedule (`--opt-passes=fold,dead,...`)
+    /// overriding the canonical schedule `opt` selects. `None` — the
+    /// default — runs the level's schedule.
+    pub passes: Option<isdl::opt::PassList>,
     /// Enable the translated basic-block tier: straight-line μ-op
     /// traces keyed by PC, fused once at translation time and
     /// dispatched directly (the specialized/translated simulation step
@@ -85,7 +89,21 @@ impl Default for XsimOptions {
             core: CoreKind::Bytecode,
             offline_decode: true,
             opt: isdl::opt::OptLevel::default(),
+            passes: None,
             translate: true,
+        }
+    }
+}
+
+impl XsimOptions {
+    /// The middle-end pipeline these options select: the explicit pass
+    /// schedule when one is given, otherwise the canonical schedule
+    /// for the level.
+    #[must_use]
+    pub fn pipeline(&self) -> isdl::opt::Pipeline {
+        match self.passes {
+            Some(list) => isdl::opt::Pipeline::with_passes(self.opt, list),
+            None => isdl::opt::Pipeline::for_level(self.opt),
         }
     }
 }
@@ -410,6 +428,9 @@ pub struct Xsim<'m> {
     machine: &'m Machine,
     disasm: Disassembler<'m>,
     options: XsimOptions,
+    /// The middle-end schedule both cores feed RTL through, resolved
+    /// once from the options at generation time.
+    pipeline: isdl::opt::Pipeline,
     state: State,
     pc_id: StorageId,
     imem_id: StorageId,
@@ -489,6 +510,7 @@ impl<'m> Xsim<'m> {
         Ok(Self {
             machine,
             disasm,
+            pipeline: options.pipeline(),
             options,
             state: State::new(machine),
             pc_id,
@@ -566,6 +588,13 @@ impl<'m> Xsim<'m> {
     #[must_use]
     pub fn opt_stats(&self) -> &isdl::opt::OptStats {
         &self.opt_stats
+    }
+
+    /// The resolved middle-end pipeline this simulator feeds RTL
+    /// through (level plus printable schedule).
+    #[must_use]
+    pub fn pipeline(&self) -> &isdl::opt::Pipeline {
+        &self.pipeline
     }
 
     /// Number of prepared bytecode plans that fell back to tree
@@ -842,7 +871,7 @@ impl<'m> Xsim<'m> {
                     d.op,
                     Phase::Action,
                     b,
-                    self.options.opt,
+                    &self.pipeline,
                     &mut self.opt_stats,
                 );
                 let side_effects = if op.side_effects.is_empty() {
@@ -853,7 +882,7 @@ impl<'m> Xsim<'m> {
                         d.op,
                         Phase::SideEffects,
                         b,
-                        self.options.opt,
+                        &self.pipeline,
                         &mut self.opt_stats,
                     ))
                 };
@@ -1036,7 +1065,7 @@ impl<'m> Xsim<'m> {
                         self.machine,
                         d.op,
                         Phase::Action,
-                        self.options.opt,
+                        &self.pipeline,
                         &mut self.opt_stats,
                     );
                     let frame = Frame { op, bindings: b };
@@ -1089,7 +1118,7 @@ impl<'m> Xsim<'m> {
                             self.machine,
                             d.op,
                             Phase::SideEffects,
-                            self.options.opt,
+                            &self.pipeline,
                             &mut self.opt_stats,
                         );
                         let frame = Frame { op, bindings: b };

@@ -101,8 +101,15 @@ pub struct DatapathBuilder<'m> {
     out: Datapath,
     order: usize,
     aux_counter: usize,
-    /// RTL middle-end level applied to each phase before lowering.
-    opt: isdl::opt::OptLevel,
+    /// Content-addressed index over auxiliary wires, keyed by
+    /// `(width, structural rendering)`: two `Let` temporaries (or
+    /// operand materialisations) with identical lowered expressions
+    /// share one wire, even across operations. Sound because aux wires
+    /// are pure combinational functions of the instruction word and
+    /// cycle-start state.
+    aux_index: std::collections::HashMap<(u32, String), String>,
+    /// RTL middle-end pipeline applied to each phase before lowering.
+    pipeline: isdl::opt::Pipeline,
     /// Lowered values of [`RStmt::Let`] temporaries, phase-scoped.
     tmps: Vec<Option<VExpr>>,
 }
@@ -151,15 +158,25 @@ impl<'m> DatapathBuilder<'m> {
             out: Datapath::default(),
             order: 0,
             aux_counter: 0,
-            opt: isdl::opt::OptLevel::default(),
+            aux_index: std::collections::HashMap::new(),
+            pipeline: isdl::opt::Pipeline::for_level(isdl::opt::OptLevel::default()),
             tmps: Vec::new(),
         }
     }
 
-    /// Sets the RTL middle-end level applied before lowering.
+    /// Sets the RTL middle-end level applied before lowering (the
+    /// level's canonical schedule).
     #[must_use]
     pub fn with_opt(mut self, level: isdl::opt::OptLevel) -> Self {
-        self.opt = level;
+        self.pipeline = isdl::opt::Pipeline::for_level(level);
+        self
+    }
+
+    /// Sets an explicit middle-end pipeline (level plus schedule),
+    /// e.g. one carrying a custom `--opt-passes` list.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: isdl::opt::Pipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -189,10 +206,10 @@ impl<'m> DatapathBuilder<'m> {
             // phases.
             let mut stats = isdl::opt::OptStats::default();
             for raw in [&op.action, &op.side_effects] {
-                let stmts = if self.opt == isdl::opt::OptLevel::None {
+                let stmts = if self.pipeline.is_identity() {
                     raw.clone() // true baseline: no work, zero stats
                 } else {
-                    isdl::opt::optimize_stmts(raw, self.opt, &mut stats)
+                    self.pipeline.run(raw, &mut stats)
                 };
                 self.tmps.clear();
                 for s in &stmts {
@@ -225,8 +242,13 @@ impl<'m> DatapathBuilder<'m> {
     }
 
     fn fresh_aux(&mut self, expr: VExpr, width: u32) -> String {
+        let key = (width, format!("{expr:?}"));
+        if let Some(existing) = self.aux_index.get(&key) {
+            return existing.clone();
+        }
         let name = format!("dp_t{}", self.aux_counter);
         self.aux_counter += 1;
+        self.aux_index.insert(key, name.clone());
         self.out.aux.push((name.clone(), width, expr));
         name
     }

@@ -52,7 +52,7 @@ pub fn emit(
     machine: &Machine,
     decode_style: DecodeStyle,
     share_opts: ShareOptions,
-    opt: isdl::opt::OptLevel,
+    pipeline: isdl::opt::Pipeline,
 ) -> (VModule, EmitStats) {
     let plan = DecodePlan::new(machine);
     let mut m = VModule::new(sanitize(&machine.name));
@@ -107,7 +107,8 @@ pub fn emit(
     }
 
     // ---- datapath lowering ----
-    let builder = crate::datapath::DatapathBuilder::new(&plan, "instr", decode_style).with_opt(opt);
+    let builder =
+        crate::datapath::DatapathBuilder::new(&plan, "instr", decode_style).with_pipeline(pipeline);
     let dp = builder.build(&|r| dec_name(r));
     for (name, width, expr) in &dp.aux {
         m.add_wire(name, *width);
@@ -561,7 +562,7 @@ mod tests {
             &m,
             DecodeStyle::TwoLevel,
             ShareOptions::default(),
-            isdl::opt::OptLevel::default(),
+            isdl::opt::Pipeline::for_level(isdl::opt::OptLevel::default()),
         );
         assert!(stats.nodes > 0);
         assert!(stats.units <= stats.nodes);
@@ -576,7 +577,7 @@ mod tests {
             &m,
             DecodeStyle::TwoLevel,
             ShareOptions::default(),
-            isdl::opt::OptLevel::default(),
+            isdl::opt::Pipeline::for_level(isdl::opt::OptLevel::default()),
         );
         let nl = Netlist::elaborate(&module);
         assert!(nl.is_ok(), "elaboration failed: {:?}", nl.err());
@@ -592,13 +593,13 @@ mod tests {
             &m,
             DecodeStyle::TwoLevel,
             ShareOptions::default(),
-            isdl::opt::OptLevel::default(),
+            isdl::opt::Pipeline::for_level(isdl::opt::OptLevel::default()),
         );
         let (_, without) = emit(
             &m,
             DecodeStyle::TwoLevel,
             ShareOptions { enabled: false, ..ShareOptions::default() },
-            isdl::opt::OptLevel::default(),
+            isdl::opt::Pipeline::for_level(isdl::opt::OptLevel::default()),
         );
         assert!(with.units < without.units, "{} !< {}", with.units, without.units);
         assert_eq!(without.units_saved, 0);

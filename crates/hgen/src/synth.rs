@@ -21,6 +21,21 @@ pub struct HgenOptions {
     /// The generated netlist stays functionally equivalent at every
     /// level; `OptLevel::None` is the differential baseline.
     pub opt: isdl::opt::OptLevel,
+    /// Explicit middle-end pass schedule overriding the canonical
+    /// schedule `opt` selects; `None` (the default) runs the level's
+    /// schedule.
+    pub passes: Option<isdl::opt::PassList>,
+}
+
+impl HgenOptions {
+    /// The middle-end pipeline these options select.
+    #[must_use]
+    pub fn pipeline(&self) -> isdl::opt::Pipeline {
+        match self.passes {
+            Some(list) => isdl::opt::Pipeline::with_passes(self.opt, list),
+            None => isdl::opt::Pipeline::for_level(self.opt),
+        }
+    }
 }
 
 /// The result of synthesizing one machine.
@@ -67,7 +82,7 @@ impl HgenResult {
 /// Panics if the machine has no program counter or instruction memory.
 pub fn synthesize(machine: &Machine, options: HgenOptions) -> Result<HgenResult, VlogError> {
     let start = Instant::now();
-    let (module, stats) = emit(machine, options.decode, options.share, options.opt);
+    let (module, stats) = emit(machine, options.decode, options.share, options.pipeline());
     let verilog = module.to_verilog();
     let report = tech::analyze(&module)?;
     let synthesis_time_s = start.elapsed().as_secs_f64();

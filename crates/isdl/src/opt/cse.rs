@@ -7,55 +7,17 @@
 //! [`RExprKind::Tmp`]. Hoisting may *evaluate* an expression on paths
 //! that previously skipped it; totality makes that unobservable.
 
+use super::rewrite::hoist_where;
 use super::OptStats;
-use crate::rtl::{RExpr, RExprKind, RLvalue, RStmt};
-use std::collections::HashMap;
+use crate::rtl::{RExpr, RExprKind, RStmt};
 
 /// Hoists repeated subexpressions into `Let` temporaries prepended to
 /// the statement list.
 pub(super) fn hoist(stmts: Vec<RStmt>, st: &mut OptStats) -> Vec<RStmt> {
-    let mut next_tmp = 0usize;
-    for s in &stmts {
-        if let RStmt::Let { tmp, .. } = s {
-            next_tmp = next_tmp.max(tmp + 1);
-        }
+    let (out, hoisted) = hoist_where(stmts, 2, &eligible);
+    for h in &hoisted {
+        st.cse_hits += h.occurrences - 1;
     }
-
-    // Count structural occurrences of every hoistable subexpression.
-    let mut counts: HashMap<String, (u64, RExpr)> = HashMap::new();
-    for s in &stmts {
-        s.walk_exprs(&mut |e| {
-            if eligible(e) {
-                counts
-                    .entry(format!("{e:?}"))
-                    .and_modify(|c| c.0 += 1)
-                    .or_insert_with(|| (1, e.clone()));
-            }
-        });
-    }
-    let mut candidates: Vec<(String, RExpr, u64)> =
-        counts.into_iter().filter(|(_, (n, _))| *n >= 2).map(|(k, (n, e))| (k, e, n)).collect();
-    if candidates.is_empty() {
-        return stmts;
-    }
-    // Smallest first so that a candidate's own subexpressions already
-    // have temporaries when its `Let` right-hand side is built; the
-    // key breaks ties deterministically.
-    candidates.sort_by(|a, b| (size(&a.1), &a.0).cmp(&(size(&b.1), &b.0)));
-
-    let mut tmp_of: HashMap<String, usize> = HashMap::new();
-    let mut lets: Vec<RStmt> = Vec::with_capacity(candidates.len());
-    for (key, e, n) in candidates {
-        let rhs = replace_children(&e, &tmp_of);
-        let tmp = next_tmp;
-        next_tmp += 1;
-        tmp_of.insert(key, tmp);
-        lets.push(RStmt::Let { tmp, rhs });
-        st.cse_hits += n - 1;
-    }
-
-    let mut out = lets;
-    out.extend(stmts.into_iter().map(|s| replace_stmt(s, &tmp_of)));
     out
 }
 
@@ -67,72 +29,4 @@ fn eligible(e: &RExpr) -> bool {
         e.kind,
         RExprKind::Lit(_) | RExprKind::Storage(_) | RExprKind::Param(_) | RExprKind::Tmp(_)
     )
-}
-
-fn size(e: &RExpr) -> u64 {
-    let mut n = 0u64;
-    e.walk(&mut |_| n += 1);
-    n
-}
-
-fn replace_stmt(s: RStmt, tmp_of: &HashMap<String, usize>) -> RStmt {
-    match s {
-        RStmt::Assign { lv, rhs } => {
-            RStmt::Assign { lv: replace_lvalue(lv, tmp_of), rhs: replace(&rhs, tmp_of) }
-        }
-        RStmt::If { cond, then_body, else_body } => RStmt::If {
-            cond: replace(&cond, tmp_of),
-            then_body: then_body.into_iter().map(|s| replace_stmt(s, tmp_of)).collect(),
-            else_body: else_body.into_iter().map(|s| replace_stmt(s, tmp_of)).collect(),
-        },
-        RStmt::Let { tmp, rhs } => RStmt::Let { tmp, rhs: replace(&rhs, tmp_of) },
-    }
-}
-
-fn replace_lvalue(lv: RLvalue, tmp_of: &HashMap<String, usize>) -> RLvalue {
-    match lv {
-        RLvalue::StorageIndexed(id, idx) => RLvalue::StorageIndexed(id, replace(&idx, tmp_of)),
-        RLvalue::Slice { base, hi, lo } => {
-            RLvalue::Slice { base: Box::new(replace_lvalue(*base, tmp_of)), hi, lo }
-        }
-        other @ (RLvalue::Storage(_) | RLvalue::Param(_)) => other,
-    }
-}
-
-/// Top-down replacement: an expression matching a candidate becomes
-/// its temporary; otherwise its children are rewritten.
-fn replace(e: &RExpr, tmp_of: &HashMap<String, usize>) -> RExpr {
-    if eligible(e) {
-        if let Some(&tmp) = tmp_of.get(&format!("{e:?}")) {
-            return RExpr { kind: RExprKind::Tmp(tmp), width: e.width };
-        }
-    }
-    replace_children(e, tmp_of)
-}
-
-fn replace_children(e: &RExpr, tmp_of: &HashMap<String, usize>) -> RExpr {
-    let kind = match &e.kind {
-        k @ (RExprKind::Lit(_)
-        | RExprKind::Storage(_)
-        | RExprKind::Param(_)
-        | RExprKind::Tmp(_)) => k.clone(),
-        RExprKind::StorageIndexed(id, idx) => {
-            RExprKind::StorageIndexed(*id, Box::new(replace(idx, tmp_of)))
-        }
-        RExprKind::Slice(x, hi, lo) => RExprKind::Slice(Box::new(replace(x, tmp_of)), *hi, *lo),
-        RExprKind::Unary(op, x) => RExprKind::Unary(*op, Box::new(replace(x, tmp_of))),
-        RExprKind::Binary(op, a, b) => {
-            RExprKind::Binary(*op, Box::new(replace(a, tmp_of)), Box::new(replace(b, tmp_of)))
-        }
-        RExprKind::Cond(c, t, f) => RExprKind::Cond(
-            Box::new(replace(c, tmp_of)),
-            Box::new(replace(t, tmp_of)),
-            Box::new(replace(f, tmp_of)),
-        ),
-        RExprKind::Ext(k, x) => RExprKind::Ext(*k, Box::new(replace(x, tmp_of))),
-        RExprKind::Concat(parts) => {
-            RExprKind::Concat(parts.iter().map(|p| replace(p, tmp_of)).collect())
-        }
-    };
-    RExpr { kind, width: e.width }
 }

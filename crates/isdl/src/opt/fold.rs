@@ -158,6 +158,46 @@ pub(super) fn simplify(e: &RExpr, st: &mut OptStats, changed: &mut bool) -> RExp
                 *changed = true;
                 return RExpr { kind: RExprKind::Slice(base.clone(), l2 + hi, l2 + lo), width: w };
             }
+            if let RExprKind::Ext(kind, x) = &inner.kind {
+                // Slicing through a width extension: bits below the
+                // source width come straight from the source, bits at
+                // or above it are zero (zext) — so the slice either
+                // drops the extension entirely, folds to zero, or
+                // shrinks to the surviving low part.
+                let xw = x.width;
+                match kind {
+                    ExtKind::Zext if lo >= xw => {
+                        // Entirely inside the zero-fill.
+                        st.folded += 1;
+                        *changed = true;
+                        return RExpr::lit(BitVector::zero(w));
+                    }
+                    ExtKind::Zext | ExtKind::Sext | ExtKind::Trunc if hi < xw => {
+                        // Entirely inside the source (a truncation
+                        // keeps low bits, so any slice below its width
+                        // reads the source directly).
+                        st.ext_removed += 1;
+                        *changed = true;
+                        return RExpr { kind: RExprKind::Slice(x.clone(), hi, lo), width: w };
+                    }
+                    ExtKind::Zext => {
+                        // Straddles the boundary: zext of the
+                        // surviving source bits.
+                        st.narrowed += 1;
+                        *changed = true;
+                        let part = if lo == 0 {
+                            (**x).clone()
+                        } else {
+                            RExpr { kind: RExprKind::Slice(x.clone(), xw - 1, lo), width: xw - lo }
+                        };
+                        return RExpr {
+                            kind: RExprKind::Ext(ExtKind::Zext, Box::new(part)),
+                            width: w,
+                        };
+                    }
+                    ExtKind::Sext | ExtKind::Trunc => {}
+                }
+            }
             if lo == 0 {
                 if let Some(n) = narrow::narrow(&inner, hi + 1, st) {
                     *changed = true;
@@ -443,6 +483,7 @@ fn is_ones_lit(e: &RExpr) -> bool {
     as_lit(e).is_some_and(|v| *v == BitVector::all_ones(v.width()))
 }
 
-fn lit_u64(e: &RExpr) -> Option<u64> {
+/// The value of a literal expression, when it fits in a `u64`.
+pub(super) fn lit_u64(e: &RExpr) -> Option<u64> {
     as_lit(e).and_then(BitVector::to_u64)
 }

@@ -1,0 +1,47 @@
+//! Load forwarding within one operation phase.
+//!
+//! The phase-semantics contract makes this pass both simple and
+//! hazard-free: within a phase every read observes *cycle-start*
+//! state, and writes are staged for commit at end-of-cycle (plus
+//! latency). A store therefore never feeds a same-phase load of the
+//! same location — the load still sees the old value — so classic
+//! store-to-load forwarding would be *unsound* here. What is sound,
+//! and what this pass does, is load-to-load forwarding: two
+//! structurally identical reads of an addressed storage cell
+//! (`DM[addr]`) within a phase must yield the same value, no matter
+//! what stores sit between them, so the read is performed once,
+//! hoisted into an [`RStmt::Let`], and every occurrence becomes a
+//! [`RExprKind::Tmp`](crate::rtl::RExprKind::Tmp) reference.
+//!
+//! Only indexed reads are forwarded. Plain register reads
+//! ([`RExprKind::Storage`](crate::rtl::RExprKind::Storage)) are free
+//! leaves in every backend — naming them would add indirection without
+//! removing work. Reads whose address expression already references a
+//! temporary are left alone; they are picked up on a later fixpoint
+//! iteration once the address stabilizes.
+
+use super::rewrite::hoist_where;
+use super::OptStats;
+use crate::rtl::{RExpr, RExprKind, RStmt};
+
+/// Hoists repeated indexed loads into `Let` temporaries.
+pub(super) fn forward(stmts: Vec<RStmt>, st: &mut OptStats, changed: &mut bool) -> Vec<RStmt> {
+    let (out, hoisted) = hoist_where(stmts, 2, &forwardable);
+    for h in &hoisted {
+        st.loads_forwarded += h.occurrences - 1;
+        *changed = true;
+    }
+    out
+}
+
+/// An indexed load whose address is self-contained (no temporaries),
+/// so hoisting it to the top of the phase cannot break def-before-use
+/// ordering.
+fn forwardable(e: &RExpr) -> bool {
+    if !matches!(e.kind, RExprKind::StorageIndexed(_, _)) {
+        return false;
+    }
+    let mut has_tmp = false;
+    e.walk(&mut |x| has_tmp |= matches!(x.kind, RExprKind::Tmp(_)));
+    !has_tmp
+}

@@ -2,33 +2,70 @@
 //!
 //! The paper's methodology hinges on one machine description driving
 //! every generated tool; this module is the matching single *lowering*
-//! point. XSIM's tree-walking core, the bytecode compiler, and HGEN's
-//! datapath builder all feed operation RTL through [`optimize_stmts`]
-//! before consuming it, so a redundancy removed here disappears from
-//! the hot simulation loop *and* the emitted netlist at once.
+//! point. XSIM's tree-walking core, the bytecode compiler, the
+//! translated-block tier (transitively, through the bytecode cache),
+//! and HGEN's datapath builder all feed operation RTL through one
+//! [`Pipeline`] before consuming it, so a redundancy removed here
+//! disappears from the hot simulation loop *and* the emitted netlist
+//! at once.
+//!
+//! # Pass manager
+//!
+//! The middle-end is organized as a pass manager: each [`PassKind`]
+//! names one rewrite with a stable CLI spelling, a [`Pipeline`] is an
+//! ordered [`PassList`] (derived from an [`OptLevel`] or selected
+//! explicitly via `--opt-passes=fold,prop,...`), and the driver runs
+//! the *fixpoint group* — every pass for which
+//! [`PassKind::is_fixpoint`] holds — repeatedly until a sweep changes
+//! nothing (bounded by an iteration cap and tracked by a dirty bit),
+//! then the remaining *post passes* exactly once, in schedule order.
+//! The schedule is deterministic and printable ([`Pipeline`]
+//! implements [`std::fmt::Display`]); `isdlc report` shows it next to
+//! the per-pass elimination counts.
 //!
 //! # Passes
 //!
-//! In order, at [`OptLevel::Basic`] and above:
+//! Fixpoint group:
 //!
-//! 1. **Simplify** (`fold`): bit-true constant folding over
-//!    [`bitv::BitVector`], algebraic identities (`x+0`, `x&0`,
-//!    `x|ones`, shift-by-constant, conditionals with literal guards),
-//!    no-op width-conversion removal, and width narrowing — a
-//!    truncation distributes through `+ - * & | ^ << ~ neg`, so
-//!    over-wide intermediates shrink to the width actually consumed.
-//! 2. **Dead-write elimination** (`dead`): a staged write
-//!    provably overwritten later in the same phase is dropped.
-//!    Within a phase reads see cycle-start state, so an intervening
-//!    read never observes the dropped write.
+//! * **fold** ([`PassKind::Fold`]): bit-true constant folding over
+//!   [`bitv::BitVector`], algebraic identities, no-op
+//!   width-conversion removal, and width narrowing — a truncation
+//!   distributes through `+ - * & | ^ << ~ neg` and slices through a
+//!   constant `>>`, so over-wide intermediates shrink to the width
+//!   actually consumed. (Narrowing counters are attributed to this
+//!   pass, which hosts the narrowing rewriter.)
+//! * **prop** ([`PassKind::Prop`]): copy/constant propagation through
+//!   [`RStmt::Let`] temporaries — leaf-valued bindings are inlined
+//!   into their uses and unreferenced bindings are dropped.
+//! * **strength** ([`PassKind::Strength`]): power-of-two multiply,
+//!   unsigned divide, and remainder become shifts and masks, feeding
+//!   the narrowing rules above.
+//! * **fwd** ([`PassKind::Fwd`]): load-to-load forwarding — repeated
+//!   indexed reads of the same cell collapse into one hoisted read.
+//!   (Store-to-load forwarding would be unsound here: reads observe
+//!   cycle-start state, never same-phase stores.)
+//! * **dead** ([`PassKind::Dead`]): a staged write provably
+//!   overwritten later in the same phase is dropped. Within a phase
+//!   reads see cycle-start state, so an intervening read never
+//!   observes the dropped write.
 //!
-//! Steps 1–2 repeat to a small fixpoint. At [`OptLevel::Aggressive`]
-//! a final pass runs:
+//! Post passes (run once):
 //!
-//! 3. **Common-subexpression elimination** (`cse`): repeated
-//!    subexpressions within one phase are hoisted into
-//!    [`RStmt::Let`] temporaries referenced via
-//!    [`RExprKind::Tmp`](crate::rtl::RExprKind::Tmp).
+//! * **cse** ([`PassKind::Cse`]): repeated subexpressions within one
+//!   phase are hoisted into [`RStmt::Let`] temporaries referenced via
+//!   [`RExprKind::Tmp`].
+//! * **share** ([`PassKind::Share`]): maximal parameter-only decode
+//!   subexpressions are named even at a single occurrence, so HGEN
+//!   can content-address the resulting wires across operations.
+//!
+//! # Levels
+//!
+//! | Level | Schedule |
+//! |-------|----------|
+//! | 0 `none` | *(empty — the differential baseline)* |
+//! | 1 `basic` | `fold,dead` |
+//! | 2 `aggressive` *(default)* | `fold,dead,cse` |
+//! | 3 `full` | `fold,prop,strength,fwd,dead,cse,share` |
 //!
 //! # Invariants
 //!
@@ -36,11 +73,15 @@
 //!   execution: same architectural state, same cycle count, on every
 //!   machine and program. The differential suite
 //!   (`tests/opt_differential.rs`) enforces this across the sample
-//!   machines for both XSIM cores and the HGEN netlist simulator.
+//!   machines for both XSIM cores and the HGEN netlist simulator, at
+//!   every level including 3.
 //! * RTL expressions are pure and total (division by zero is defined:
-//!   quotient all-ones, remainder = dividend), which is what makes
-//!   hoisting out of conditional arms and dropping shadowed writes
-//!   semantics-preserving.
+//!   quotient all-ones, remainder = dividend), which is what licenses
+//!   hoisting out of conditional arms and dropping shadowed writes.
+//! * Per-pass node deltas **partition** the pipeline total: summing
+//!   `nodes_in − nodes_out` (signed — a hoisting pass may grow the
+//!   node count) over [`OptStats::passes`] yields exactly
+//!   `nodes_before − nodes_after`.
 //! * The machine description itself is never rewritten — consumers
 //!   optimize their own view, so the canonical printed form (and with
 //!   it exploration cache keys, round-trip tests, and hazard analysis)
@@ -53,15 +94,21 @@
 mod cse;
 mod dead;
 mod fold;
+mod fwd;
 mod narrow;
+mod prop;
+mod rewrite;
+mod share;
+mod strength;
 
 pub use fold::{eval_binop, eval_ext, eval_unop};
 
-use crate::rtl::RStmt;
+use crate::rtl::{RExprKind, RStmt};
 
 /// How hard the middle-end works.
 ///
-/// Parsed from `--opt=0|1|2`; the default is [`OptLevel::Aggressive`].
+/// Parsed from `--opt=0|1|2|3`; the default is
+/// [`OptLevel::Aggressive`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum OptLevel {
     /// Pass RTL through untouched (`--opt=0`). The differential
@@ -74,16 +121,22 @@ pub enum OptLevel {
     /// elimination (`--opt=2`, the default).
     #[default]
     Aggressive,
+    /// The whole pipeline: [`OptLevel::Aggressive`] plus copy
+    /// propagation, strength reduction, load forwarding, and decode
+    /// sharing (`--opt=3`).
+    Full,
 }
 
 impl OptLevel {
-    /// Parses a CLI spelling: `0`/`none`, `1`/`basic`, `2`/`full`.
+    /// Parses a CLI spelling: `0`/`none`, `1`/`basic`,
+    /// `2`/`aggressive`, `3`/`full`.
     #[must_use]
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "0" | "none" => Some(Self::None),
             "1" | "basic" => Some(Self::Basic),
-            "2" | "full" | "aggressive" => Some(Self::Aggressive),
+            "2" | "aggressive" => Some(Self::Aggressive),
+            "3" | "full" => Some(Self::Full),
             _ => None,
         }
     }
@@ -95,8 +148,180 @@ impl std::fmt::Display for OptLevel {
             Self::None => 0,
             Self::Basic => 1,
             Self::Aggressive => 2,
+            Self::Full => 3,
         };
         write!(f, "{n}")
+    }
+}
+
+/// One middle-end pass, with a stable CLI spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Constant folding, algebraic identities, ext removal, width
+    /// narrowing.
+    Fold,
+    /// Copy/constant propagation through `Let` temporaries.
+    Prop,
+    /// Power-of-two multiply/divide/remainder to shift/mask.
+    Strength,
+    /// Load-to-load forwarding of repeated indexed reads.
+    Fwd,
+    /// Dead staged-write elimination.
+    Dead,
+    /// Common-subexpression elimination (post pass).
+    Cse,
+    /// Decode-subexpression naming for cross-op sharing (post pass).
+    Share,
+}
+
+impl PassKind {
+    /// All passes, in canonical schedule order.
+    pub const ALL: [Self; 7] =
+        [Self::Fold, Self::Prop, Self::Strength, Self::Fwd, Self::Dead, Self::Cse, Self::Share];
+
+    /// The CLI spelling (also the stats sub-block name).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Fold => "fold",
+            Self::Prop => "prop",
+            Self::Strength => "strength",
+            Self::Fwd => "fwd",
+            Self::Dead => "dead",
+            Self::Cse => "cse",
+            Self::Share => "share",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Whether the pass runs in the iterated fixpoint group (`true`)
+    /// or once, after the fixpoint converges (`false`). The post
+    /// passes are the hoisting passes whose output is already in
+    /// normal form — re-running them would re-name their own
+    /// temporaries.
+    #[must_use]
+    pub fn is_fixpoint(self) -> bool {
+        !matches!(self, Self::Cse | Self::Share)
+    }
+}
+
+impl std::fmt::Display for PassKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maximum number of passes in a [`PassList`].
+pub const MAX_SCHEDULE: usize = 8;
+
+/// A fixed-capacity ordered pass schedule.
+///
+/// `Copy` by design so simulator option structs
+/// (`gensim::XsimOptions`, `hgen::HgenOptions`) can embed a custom
+/// schedule without giving up their `Copy` derive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PassList {
+    passes: [Option<PassKind>; MAX_SCHEDULE],
+    len: u8,
+}
+
+impl PassList {
+    /// Builds a list from a slice; `None` if it exceeds
+    /// [`MAX_SCHEDULE`].
+    #[must_use]
+    pub fn from_slice(passes: &[PassKind]) -> Option<Self> {
+        if passes.len() > MAX_SCHEDULE {
+            return None;
+        }
+        let mut out = Self::default();
+        for (i, &p) in passes.iter().enumerate() {
+            out.passes[i] = Some(p);
+        }
+        out.len = passes.len() as u8;
+        Some(out)
+    }
+
+    /// Parses a comma-separated schedule, e.g. `fold,prop,dead`.
+    /// Rejects unknown names, the empty string, and over-long lists.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let passes: Option<Vec<PassKind>> = s.split(',').map(PassKind::parse).collect();
+        let passes = passes?;
+        if passes.is_empty() {
+            return None;
+        }
+        Self::from_slice(&passes)
+    }
+
+    /// The scheduled passes, in order.
+    #[must_use]
+    pub fn as_vec(&self) -> Vec<PassKind> {
+        self.passes[..self.len as usize].iter().map(|p| p.expect("within len")).collect()
+    }
+
+    /// Number of scheduled passes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Display for PassList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return f.write_str("(none)");
+        }
+        for (i, p) in self.as_vec().into_iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-pass statistics sub-block.
+///
+/// `nodes_in`/`nodes_out` accumulate over every run of the pass
+/// (fixpoint passes run several times); because consecutive pass runs
+/// chain — one run's output is the next run's input — the signed
+/// deltas telescope, and summing [`PassStats::nodes_delta`] over
+/// [`OptStats::passes`] yields exactly
+/// `nodes_before − nodes_after` for the whole pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStats {
+    /// Pass name ([`PassKind::name`]).
+    pub name: &'static str,
+    /// Number of times the pass ran.
+    pub runs: u64,
+    /// Expression nodes entering the pass, summed over runs.
+    pub nodes_in: u64,
+    /// Expression nodes leaving the pass, summed over runs.
+    pub nodes_out: u64,
+    /// Individual rewrites the pass performed (sum of its counter
+    /// increments in [`OptStats`]).
+    pub rewrites: u64,
+}
+
+impl PassStats {
+    /// Net node change of this pass — positive when it shrank the
+    /// program, negative when it grew it (hoisting passes may).
+    #[must_use]
+    pub fn nodes_delta(&self) -> i64 {
+        i64::try_from(self.nodes_in).unwrap_or(i64::MAX)
+            - i64::try_from(self.nodes_out).unwrap_or(i64::MAX)
     }
 }
 
@@ -126,6 +351,21 @@ pub struct OptStats {
     /// Staged writes dropped because a later write in the same phase
     /// provably overwrites them.
     pub dead_writes: u64,
+    /// Leaf bindings inlined into uses plus unused bindings dropped by
+    /// the propagation pass.
+    pub propagated: u64,
+    /// Power-of-two multiplies/divides/remainders rewritten to
+    /// shifts/masks.
+    pub strength_reduced: u64,
+    /// Repeated indexed loads collapsed: for a load occurring `n`
+    /// times, `n - 1` forwards.
+    pub loads_forwarded: u64,
+    /// Uses of decode subexpressions routed through a named, shareable
+    /// temporary.
+    pub decode_shared: u64,
+    /// Per-pass sub-blocks, in first-run order. Their signed node
+    /// deltas partition `nodes_before - nodes_after` exactly.
+    pub passes: Vec<PassStats>,
 }
 
 impl OptStats {
@@ -135,7 +375,24 @@ impl OptStats {
         self.nodes_before.saturating_sub(self.nodes_after)
     }
 
-    /// Adds `other` into `self`.
+    /// Sum of every rewrite counter — the denominator a pass run's
+    /// `rewrites` delta is carved from.
+    #[must_use]
+    pub fn rewrite_total(&self) -> u64 {
+        self.folded
+            + self.algebraic
+            + self.ext_removed
+            + self.narrowed
+            + self.cse_hits
+            + self.dead_writes
+            + self.propagated
+            + self.strength_reduced
+            + self.loads_forwarded
+            + self.decode_shared
+    }
+
+    /// Adds `other` into `self`. Per-pass sub-blocks merge by name,
+    /// preserving `self`'s order and appending passes it has not seen.
     pub fn merge(&mut self, other: &Self) {
         self.nodes_before += other.nodes_before;
         self.nodes_after += other.nodes_after;
@@ -145,40 +402,285 @@ impl OptStats {
         self.narrowed += other.narrowed;
         self.cse_hits += other.cse_hits;
         self.dead_writes += other.dead_writes;
+        self.propagated += other.propagated;
+        self.strength_reduced += other.strength_reduced;
+        self.loads_forwarded += other.loads_forwarded;
+        self.decode_shared += other.decode_shared;
+        for p in &other.passes {
+            if let Some(mine) = self.passes.iter_mut().find(|m| m.name == p.name) {
+                mine.runs += p.runs;
+                mine.nodes_in += p.nodes_in;
+                mine.nodes_out += p.nodes_out;
+                mine.rewrites += p.rewrites;
+            } else {
+                self.passes.push(p.clone());
+            }
+        }
     }
 }
 
-/// Bound on the simplify/dead-write fixpoint iteration. Each pass is
-/// monotone (nodes shrink or stay), so this is a safety rail, not a
+/// Bound on fixpoint iteration. Every fixpoint pass either converges
+/// or monotonically simplifies, so this is a safety rail, not a
 /// tuning knob.
-const MAX_PASSES: usize = 4;
+const MAX_FIXPOINT_ITERATIONS: usize = 8;
 
-/// Runs the pipeline over one phase's statement list and returns the
-/// optimized statements. `stats` is *accumulated into* (merged), so a
-/// consumer can thread one accumulator through every phase it
-/// optimizes.
-///
-/// At [`OptLevel::None`] the input is cloned untouched and only the
-/// node counters are recorded.
-#[must_use]
-pub fn optimize_stmts(stmts: &[RStmt], level: OptLevel, stats: &mut OptStats) -> Vec<RStmt> {
-    let mut local = OptStats { nodes_before: count_nodes(stmts), ..OptStats::default() };
-    let mut out: Vec<RStmt> = stmts.to_vec();
-    if level >= OptLevel::Basic {
-        for _ in 0..MAX_PASSES {
-            let mut changed = false;
-            out = fold::simplify_stmts(&out, &mut local, &mut changed);
-            out = dead::eliminate(out, &mut local, &mut changed);
-            if !changed {
-                break;
+/// An ordered, deterministic middle-end schedule bound to the level it
+/// reports as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pipeline {
+    level: OptLevel,
+    list: PassList,
+}
+
+impl Pipeline {
+    /// The canonical schedule for `level` (see the module-level table).
+    #[must_use]
+    pub fn for_level(level: OptLevel) -> Self {
+        use PassKind::*;
+        let passes: &[PassKind] = match level {
+            OptLevel::None => &[],
+            OptLevel::Basic => &[Fold, Dead],
+            OptLevel::Aggressive => &[Fold, Dead, Cse],
+            OptLevel::Full => &[Fold, Prop, Strength, Fwd, Dead, Cse, Share],
+        };
+        Self { level, list: PassList::from_slice(passes).expect("canonical schedules fit") }
+    }
+
+    /// A custom schedule (`--opt-passes=...`). `level` is retained for
+    /// reporting only; the list governs what runs.
+    #[must_use]
+    pub fn with_passes(level: OptLevel, list: PassList) -> Self {
+        Self { level, list }
+    }
+
+    /// The level this pipeline reports as.
+    #[must_use]
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+
+    /// The scheduled passes, in order.
+    #[must_use]
+    pub fn schedule(&self) -> Vec<PassKind> {
+        self.list.as_vec()
+    }
+
+    /// Whether the pipeline performs no work at all.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Runs the pipeline over one phase's statement list and returns
+    /// the optimized statements. `stats` is *accumulated into*
+    /// (merged), so a consumer can thread one accumulator through
+    /// every phase it optimizes.
+    ///
+    /// With an empty schedule the input is cloned untouched and only
+    /// the node counters are recorded.
+    #[must_use]
+    pub fn run(&self, stmts: &[RStmt], stats: &mut OptStats) -> Vec<RStmt> {
+        let mut local = OptStats { nodes_before: count_nodes(stmts), ..OptStats::default() };
+        let mut out: Vec<RStmt> = stmts.to_vec();
+        let schedule = self.list.as_vec();
+        let fixpoint: Vec<PassKind> =
+            schedule.iter().copied().filter(|p| p.is_fixpoint()).collect();
+        let post: Vec<PassKind> = schedule.iter().copied().filter(|p| !p.is_fixpoint()).collect();
+        if !fixpoint.is_empty() {
+            for _ in 0..MAX_FIXPOINT_ITERATIONS {
+                let mut changed = false;
+                for &p in &fixpoint {
+                    out = run_pass(p, out, &mut local, &mut changed);
+                }
+                if !changed {
+                    break;
+                }
             }
         }
-        if level >= OptLevel::Aggressive {
-            out = cse::hoist(out, &mut local);
+        let mut post_changed = false;
+        for &p in &post {
+            out = run_pass(p, out, &mut local, &mut post_changed);
+        }
+        local.nodes_after = count_nodes(&out);
+        debug_assert_eq!(
+            local.passes.iter().map(PassStats::nodes_delta).sum::<i64>(),
+            i64::try_from(local.nodes_before).unwrap_or(i64::MAX)
+                - i64::try_from(local.nodes_after).unwrap_or(i64::MAX),
+            "per-pass node deltas must partition the pipeline total"
+        );
+        stats.merge(&local);
+        out
+    }
+}
+
+impl std::fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.list)
+    }
+}
+
+/// Runs one pass, attributing its node delta and rewrite count to its
+/// [`PassStats`] sub-block.
+fn run_pass(
+    kind: PassKind,
+    stmts: Vec<RStmt>,
+    st: &mut OptStats,
+    changed: &mut bool,
+) -> Vec<RStmt> {
+    let nodes_in = count_nodes(&stmts);
+    let rewrites_before = st.rewrite_total();
+    let out = match kind {
+        PassKind::Fold => fold::simplify_stmts(&stmts, st, changed),
+        PassKind::Prop => prop::propagate(stmts, st, changed),
+        PassKind::Strength => strength::reduce_stmts(&stmts, st, changed),
+        PassKind::Fwd => reorder_lets(fwd::forward(stmts, st, changed)),
+        PassKind::Dead => dead::eliminate(stmts, st, changed),
+        PassKind::Cse => reorder_lets(cse::hoist(stmts, st)),
+        PassKind::Share => reorder_lets(share::name_decode_exprs(stmts, st)),
+    };
+    let nodes_out = count_nodes(&out);
+    let rewrites = st.rewrite_total() - rewrites_before;
+    if let Some(p) = st.passes.iter_mut().find(|p| p.name == kind.name()) {
+        p.runs += 1;
+        p.nodes_in += nodes_in;
+        p.nodes_out += nodes_out;
+        p.rewrites += rewrites;
+    } else {
+        st.passes.push(PassStats { name: kind.name(), runs: 1, nodes_in, nodes_out, rewrites });
+    }
+    out
+}
+
+/// Restores def-before-use order among the leading `Let` block.
+///
+/// Every hoisting pass prepends its temporaries, so after hoisting all
+/// `Let`s form a prefix of the statement list — but a newly prepended
+/// binding may reference a temporary defined *below* it (e.g. CSE
+/// naming an expression that contains a load the forwarding pass
+/// hoisted earlier). A stable topological sort of the prefix by
+/// temporary dependency fixes that; dependency cycles cannot occur
+/// because every binding references only previously existing
+/// temporaries.
+fn reorder_lets(mut stmts: Vec<RStmt>) -> Vec<RStmt> {
+    let n_lead = stmts.iter().take_while(|s| matches!(s, RStmt::Let { .. })).count();
+    if n_lead <= 1 {
+        return stmts;
+    }
+    let rest = stmts.split_off(n_lead);
+    let mut slots: Vec<Option<(usize, RStmt)>> = stmts
+        .into_iter()
+        .map(|s| match &s {
+            RStmt::Let { tmp, .. } => Some((*tmp, s)),
+            _ => None,
+        })
+        .collect();
+    let defined: std::collections::HashSet<usize> =
+        slots.iter().flatten().map(|(t, _)| *t).collect();
+    let mut emitted: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut out: Vec<RStmt> = Vec::with_capacity(n_lead + rest.len());
+    loop {
+        let mut progress = false;
+        for slot in &mut slots {
+            let ready = slot.as_ref().is_some_and(|(_, s)| {
+                let mut ok = true;
+                s.walk_exprs(&mut |e| {
+                    if let RExprKind::Tmp(t) = e.kind {
+                        ok &= !defined.contains(&t) || emitted.contains(&t);
+                    }
+                });
+                ok
+            });
+            if ready {
+                if let Some((tmp, s)) = slot.take() {
+                    emitted.insert(tmp);
+                    out.push(s);
+                    progress = true;
+                }
+            }
+        }
+        if !progress {
+            break;
         }
     }
-    local.nodes_after = count_nodes(&out);
-    stats.merge(&local);
+    // Unreachable in practice (no cycles); preserve order if it ever
+    // happens rather than dropping statements.
+    for (_, s) in slots.into_iter().flatten() {
+        out.push(s);
+    }
+    out.extend(rest);
+    out
+}
+
+/// Runs the canonical pipeline for `level` over one phase's statement
+/// list. Compatibility entry point; see [`Pipeline::run`].
+#[must_use]
+pub fn optimize_stmts(stmts: &[RStmt], level: OptLevel, stats: &mut OptStats) -> Vec<RStmt> {
+    Pipeline::for_level(level).run(stmts, stats)
+}
+
+/// What `--dump-rtl` shows for each (operation, phase) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpMode {
+    /// Only the RTL as semantic analysis produced it.
+    Before,
+    /// Only the RTL after the pipeline ran.
+    After,
+    /// Both, side by side.
+    Both,
+}
+
+impl DumpMode {
+    /// Parses the CLI spelling: `before`, `after`, or `both`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "before" => Some(Self::Before),
+            "after" => Some(Self::After),
+            "both" => Some(Self::Both),
+            _ => None,
+        }
+    }
+}
+
+/// Renders every operation's per-phase RTL in the canonical printed
+/// form, before and/or after running `pipeline` over it — the engine
+/// behind `isdlc opt --dump-rtl` and `xsim --dump-rtl`. Phases with no
+/// statements are skipped.
+#[must_use]
+pub fn dump_rtl(machine: &crate::model::Machine, pipeline: &Pipeline, mode: DumpMode) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; machine {} -- opt level {} schedule {}",
+        machine.name,
+        pipeline.level(),
+        pipeline
+    );
+    for f in &machine.fields {
+        for op in &f.ops {
+            for (phase_name, stmts) in [("action", &op.action), ("sideeffect", &op.side_effects)] {
+                if stmts.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(out, "\n{}.{} {}:", f.name, op.name, phase_name);
+                if matches!(mode, DumpMode::Before | DumpMode::Both) {
+                    let _ = writeln!(out, "  before:");
+                    for line in crate::printer::print_stmts(machine, op, stmts).lines() {
+                        let _ = writeln!(out, "    {line}");
+                    }
+                }
+                if matches!(mode, DumpMode::After | DumpMode::Both) {
+                    let mut stats = OptStats::default();
+                    let opt = pipeline.run(stmts, &mut stats);
+                    let _ = writeln!(out, "  after:");
+                    for line in crate::printer::print_stmts(machine, op, &opt).lines() {
+                        let _ = writeln!(out, "    {line}");
+                    }
+                }
+            }
+        }
+    }
     out
 }
 
@@ -210,6 +712,14 @@ mod tests {
         RExpr { kind: RExprKind::Storage(StorageId(id)), width: w }
     }
 
+    fn mem(id: usize, idx: RExpr, w: u32) -> RExpr {
+        RExpr { kind: RExprKind::StorageIndexed(StorageId(id), Box::new(idx)), width: w }
+    }
+
+    fn param(i: usize, w: u32) -> RExpr {
+        RExpr { kind: RExprKind::Param(i), width: w }
+    }
+
     fn bin(op: BinOp, a: RExpr, b: RExpr, w: u32) -> RExpr {
         RExpr { kind: RExprKind::Binary(op, Box::new(a), Box::new(b)), width: w }
     }
@@ -221,6 +731,13 @@ mod tests {
     fn opt(stmts: &[RStmt], level: OptLevel) -> (Vec<RStmt>, OptStats) {
         let mut s = OptStats::default();
         let out = optimize_stmts(stmts, level, &mut s);
+        (out, s)
+    }
+
+    fn run_passes(stmts: &[RStmt], passes: &[PassKind]) -> (Vec<RStmt>, OptStats) {
+        let mut s = OptStats::default();
+        let p = Pipeline::with_passes(OptLevel::Full, PassList::from_slice(passes).expect("fits"));
+        let out = p.run(stmts, &mut s);
         (out, s)
     }
 
@@ -343,6 +860,226 @@ mod tests {
     }
 
     #[test]
+    fn strength_reduction_then_narrowing_collapses_a_wide_division() {
+        // trunc(zext(a, 128) / 128'd16, 16): at level 3 the division
+        // becomes a constant right shift, the shift becomes a slice,
+        // and the slice of the zext collapses — nothing wider than 16
+        // bits (plus the slice source) survives, and no divider does.
+        let a = st(0, 16);
+        let wide = RExpr { kind: RExprKind::Ext(ExtKind::Zext, Box::new(a)), width: 128 };
+        let q = bin(BinOp::UDiv, wide, lit(16, 128), 128);
+        let e = RExpr { kind: RExprKind::Ext(ExtKind::Trunc, Box::new(q)), width: 16 };
+        let (out, s) = opt(&[assign(1, e.clone())], OptLevel::Full);
+        assert!(s.strength_reduced >= 1, "{s:?}");
+        let mut has_div = false;
+        let mut max_w = 0;
+        for stmt in &out {
+            stmt.walk_exprs(&mut |x| {
+                has_div |= matches!(x.kind, RExprKind::Binary(BinOp::UDiv, _, _));
+                max_w = max_w.max(x.width);
+            });
+        }
+        assert!(!has_div, "division must be strength-reduced: {out:?}");
+        assert!(max_w <= 16, "everything narrows to 16 bits: {out:?}");
+
+        // Level 2 must leave the wide division alone (it cannot narrow
+        // through a divide).
+        let (out2, s2) = opt(&[assign(1, e)], OptLevel::Aggressive);
+        assert_eq!(s2.strength_reduced, 0);
+        let mut has_wide = false;
+        for stmt in &out2 {
+            stmt.walk_exprs(&mut |x| has_wide |= x.width > 64);
+        }
+        assert!(has_wide, "level 2 keeps the wide intermediate: {out2:?}");
+    }
+
+    #[test]
+    fn strength_reduces_mul_rem_to_shift_mask() {
+        let x = st(0, 16);
+        let (out, s) = run_passes(
+            &[assign(1, bin(BinOp::Mul, x.clone(), lit(8, 16), 16))],
+            &[PassKind::Strength],
+        );
+        match &out[..] {
+            [RStmt::Assign { rhs, .. }] => {
+                assert_eq!(rhs, &bin(BinOp::Shl, x.clone(), lit(3, 16), 16));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert_eq!(s.strength_reduced, 1);
+
+        let (out, s) = run_passes(
+            &[assign(1, bin(BinOp::URem, x.clone(), lit(16, 16), 16))],
+            &[PassKind::Strength],
+        );
+        match &out[..] {
+            [RStmt::Assign { rhs, .. }] => {
+                assert_eq!(rhs, &bin(BinOp::And, x.clone(), lit(15, 16), 16));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert_eq!(s.strength_reduced, 1);
+
+        // Signed division must not reduce.
+        let (out, s) = run_passes(
+            &[assign(1, bin(BinOp::SDiv, x.clone(), lit(4, 16), 16))],
+            &[PassKind::Strength],
+        );
+        match &out[..] {
+            [RStmt::Assign { rhs, .. }] => {
+                assert_eq!(rhs, &bin(BinOp::SDiv, x, lit(4, 16), 16));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert_eq!(s.strength_reduced, 0);
+    }
+
+    #[test]
+    fn load_forwarding_collapses_repeated_loads() {
+        let load = mem(0, lit(3, 8), 16);
+        let prog = vec![
+            assign(1, bin(BinOp::Add, load.clone(), load.clone(), 16)),
+            assign(2, load.clone()),
+        ];
+        let (out, s) = run_passes(&prog, &[PassKind::Fwd]);
+        assert_eq!(s.loads_forwarded, 2, "three occurrences, one kept: {s:?}");
+        match &out[..] {
+            [RStmt::Let { tmp, rhs }, RStmt::Assign { rhs: r1, .. }, RStmt::Assign { rhs: r2, .. }] =>
+            {
+                assert_eq!(rhs, &load);
+                let t = RExpr { kind: RExprKind::Tmp(*tmp), width: 16 };
+                assert_eq!(r1, &bin(BinOp::Add, t.clone(), t.clone(), 16));
+                assert_eq!(r2, &t);
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        // A store between the loads does not block forwarding: reads
+        // observe cycle-start state.
+        let prog = vec![
+            assign(1, load.clone()),
+            RStmt::Assign { lv: RLvalue::StorageIndexed(StorageId(0), lit(3, 8)), rhs: st(2, 16) },
+            assign(3, load.clone()),
+        ];
+        let (_, s) = run_passes(&prog, &[PassKind::Fwd]);
+        assert_eq!(s.loads_forwarded, 1);
+        // A single load is left alone.
+        let (out, s) = run_passes(&[assign(1, load.clone())], &[PassKind::Fwd]);
+        assert_eq!(s.loads_forwarded, 0);
+        assert_eq!(out, vec![assign(1, load)]);
+    }
+
+    #[test]
+    fn propagation_inlines_leaf_lets_and_drops_unused() {
+        let prog = vec![
+            RStmt::Let { tmp: 0, rhs: st(4, 16) },
+            RStmt::Let { tmp: 1, rhs: bin(BinOp::Add, st(5, 16), st(6, 16), 16) },
+            assign(
+                1,
+                bin(
+                    BinOp::Xor,
+                    RExpr { kind: RExprKind::Tmp(0), width: 16 },
+                    RExpr { kind: RExprKind::Tmp(0), width: 16 },
+                    16,
+                ),
+            ),
+        ];
+        let (out, s) = run_passes(&prog, &[PassKind::Prop]);
+        // tmp0 (a leaf) inlines into both uses and its binding drops;
+        // tmp1 is unused and drops outright.
+        assert!(s.propagated >= 4, "{s:?}");
+        assert_eq!(out, vec![assign(1, bin(BinOp::Xor, st(4, 16), st(4, 16), 16))]);
+        // A non-leaf binding with uses is left alone.
+        let keep = vec![
+            RStmt::Let { tmp: 0, rhs: bin(BinOp::Add, st(5, 16), st(6, 16), 16) },
+            assign(1, RExpr { kind: RExprKind::Tmp(0), width: 16 }),
+        ];
+        let (out, s) = run_passes(&keep, &[PassKind::Prop]);
+        assert_eq!(out, keep);
+        assert_eq!(s.propagated, 0);
+    }
+
+    #[test]
+    fn share_names_decode_subexpressions() {
+        // zext(p0, 16) + ACC: the parameter-only zext is named, the
+        // storage-dependent sum is not.
+        let decode =
+            RExpr { kind: RExprKind::Ext(ExtKind::Zext, Box::new(param(0, 8))), width: 16 };
+        let prog = vec![assign(0, bin(BinOp::Add, decode.clone(), st(1, 16), 16))];
+        let (out, s) = run_passes(&prog, &[PassKind::Share]);
+        assert_eq!(s.decode_shared, 1, "{s:?}");
+        match &out[..] {
+            [RStmt::Let { tmp, rhs }, RStmt::Assign { rhs: r, .. }] => {
+                assert_eq!(rhs, &decode);
+                let t = RExpr { kind: RExprKind::Tmp(*tmp), width: 16 };
+                assert_eq!(r, &bin(BinOp::Add, t, st(1, 16), 16));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        // Maximality: only the outermost param-only expression is
+        // named, not its subexpressions.
+        let nested = bin(BinOp::Mul, bin(BinOp::Add, param(0, 8), lit(1, 8), 8), param(1, 8), 8);
+        let (out, s) = run_passes(&[assign(0, nested.clone())], &[PassKind::Share]);
+        assert_eq!(s.decode_shared, 1);
+        let lets = out.iter().filter(|s| matches!(s, RStmt::Let { .. })).count();
+        assert_eq!(lets, 1, "one maximal candidate: {out:?}");
+    }
+
+    #[test]
+    fn per_pass_stats_partition_the_total() {
+        // A phase that exercises every pass, then the telescoping
+        // invariant: signed per-pass deltas sum to the pipeline total.
+        let load = mem(0, lit(2, 8), 16);
+        let prog = vec![
+            assign(1, bin(BinOp::Add, lit(1, 16), lit(2, 16), 16)),
+            assign(2, bin(BinOp::Mul, st(3, 16), lit(8, 16), 16)),
+            assign(4, bin(BinOp::Add, load.clone(), load.clone(), 16)),
+            assign(5, bin(BinOp::Add, param(0, 16), lit(3, 16), 16)),
+            assign(5, bin(BinOp::Add, param(0, 16), lit(4, 16), 16)),
+        ];
+        let (_, s) = opt(&prog, OptLevel::Full);
+        assert!(!s.passes.is_empty());
+        let delta: i64 = s.passes.iter().map(PassStats::nodes_delta).sum();
+        assert_eq!(
+            delta,
+            i64::try_from(s.nodes_before).unwrap() - i64::try_from(s.nodes_after).unwrap(),
+            "per-pass deltas must partition the total: {s:?}"
+        );
+        assert!(s.dead_writes >= 1, "{s:?}");
+        assert!(s.strength_reduced >= 1, "{s:?}");
+        assert!(s.loads_forwarded >= 1, "{s:?}");
+        // Merging preserves the partition.
+        let mut merged = OptStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        let delta2: i64 = merged.passes.iter().map(PassStats::nodes_delta).sum();
+        assert_eq!(
+            delta2,
+            i64::try_from(merged.nodes_before).unwrap()
+                - i64::try_from(merged.nodes_after).unwrap()
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let load = mem(0, lit(2, 8), 16);
+        let prog = vec![
+            assign(1, bin(BinOp::Add, load.clone(), load.clone(), 16)),
+            assign(2, bin(BinOp::Mul, param(0, 16), param(1, 16), 16)),
+        ];
+        let (out1, s1) = opt(&prog, OptLevel::Full);
+        let (out2, s2) = opt(&prog, OptLevel::Full);
+        assert_eq!(out1, out2);
+        assert_eq!(s1, s2);
+        assert_eq!(
+            Pipeline::for_level(OptLevel::Full).to_string(),
+            "fold,prop,strength,fwd,dead,cse,share"
+        );
+        assert_eq!(Pipeline::for_level(OptLevel::Aggressive).to_string(), "fold,dead,cse");
+        assert_eq!(Pipeline::for_level(OptLevel::Basic).to_string(), "fold,dead");
+        assert_eq!(Pipeline::for_level(OptLevel::None).to_string(), "(none)");
+    }
+
+    #[test]
     fn dead_write_is_dropped_but_conditional_writes_are_kept() {
         let dead = assign(0, lit(1, 8));
         let live = assign(0, lit(2, 8));
@@ -389,6 +1126,7 @@ mod tests {
         assert_eq!(out, prog);
         assert_eq!(s.nodes_eliminated(), 0);
         assert_eq!(s.folded, 0);
+        assert!(s.passes.is_empty());
     }
 
     #[test]
@@ -414,9 +1152,58 @@ mod tests {
         assert_eq!(OptLevel::parse("0"), Some(OptLevel::None));
         assert_eq!(OptLevel::parse("1"), Some(OptLevel::Basic));
         assert_eq!(OptLevel::parse("2"), Some(OptLevel::Aggressive));
-        assert_eq!(OptLevel::parse("full"), Some(OptLevel::Aggressive));
-        assert_eq!(OptLevel::parse("3"), None);
+        assert_eq!(OptLevel::parse("aggressive"), Some(OptLevel::Aggressive));
+        assert_eq!(OptLevel::parse("3"), Some(OptLevel::Full));
+        assert_eq!(OptLevel::parse("full"), Some(OptLevel::Full));
+        assert_eq!(OptLevel::parse("4"), None);
         assert_eq!(OptLevel::default(), OptLevel::Aggressive);
         assert_eq!(OptLevel::Aggressive.to_string(), "2");
+        assert_eq!(OptLevel::Full.to_string(), "3");
+    }
+
+    #[test]
+    fn pass_list_parsing_round_trips() {
+        let list = PassList::parse("fold,prop,dead").unwrap();
+        assert_eq!(list.as_vec(), vec![PassKind::Fold, PassKind::Prop, PassKind::Dead]);
+        assert_eq!(list.to_string(), "fold,prop,dead");
+        assert_eq!(PassList::parse(""), None);
+        assert_eq!(PassList::parse("fold,bogus"), None);
+        assert_eq!(PassList::parse("fold,fold,fold,fold,fold,fold,fold,fold,fold"), None);
+        for p in PassKind::ALL {
+            assert_eq!(PassKind::parse(p.name()), Some(p), "{p} round-trips");
+        }
+    }
+
+    #[test]
+    fn dump_rtl_renders_before_and_after() {
+        let m = crate::load(crate::samples::WIDEMUL).expect("widemul loads");
+        let p = Pipeline::for_level(OptLevel::Full);
+        let both = dump_rtl(&m, &p, DumpMode::Both);
+        assert!(both.contains("MAIN.wmul action:"), "{both}");
+        assert!(both.contains("before:") && both.contains("after:"));
+        assert!(both.contains("schedule fold,prop,strength,fwd,dead,cse,share"));
+        let before = dump_rtl(&m, &p, DumpMode::Before);
+        assert!(before.contains("before:") && !before.contains("after:"));
+        let after = dump_rtl(&m, &p, DumpMode::After);
+        assert!(after.contains("after:") && !after.contains("before:"));
+        assert_eq!(DumpMode::parse("both"), Some(DumpMode::Both));
+        assert_eq!(DumpMode::parse("sideways"), None);
+    }
+
+    #[test]
+    fn reorder_lets_restores_def_before_use() {
+        let t = |i: usize, w: u32| RExpr { kind: RExprKind::Tmp(i), width: w };
+        let shuffled = vec![
+            RStmt::Let { tmp: 1, rhs: bin(BinOp::Add, t(0, 16), lit(1, 16), 16) },
+            RStmt::Let { tmp: 0, rhs: mem(0, lit(3, 8), 16) },
+            assign(1, t(1, 16)),
+        ];
+        let fixed = reorder_lets(shuffled);
+        match &fixed[..] {
+            [RStmt::Let { tmp: a, .. }, RStmt::Let { tmp: b, .. }, RStmt::Assign { .. }] => {
+                assert_eq!((*a, *b), (0, 1), "definition precedes use");
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
     }
 }

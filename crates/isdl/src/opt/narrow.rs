@@ -93,10 +93,34 @@ pub(super) fn narrow(e: &RExpr, w: u32, st: &mut OptStats) -> Option<RExpr> {
             st.narrowed += 1;
             Some(RExpr { kind: RExprKind::Slice(x.clone(), lo + w - 1, *lo), width: w })
         }
-        // Right shifts, division, remainder, comparisons, reads,
-        // parameters, concatenations: high operand bits can reach the
-        // low result bits (or the node is opaque) — keep the explicit
-        // truncation.
+        // A logical right shift by a *constant* is bit selection: the
+        // low `w` bits of `x >> c` are `x[c+w-1 : c]` (zero-filled
+        // when the range runs past the top of `x`). This is what lets
+        // a strength-reduced power-of-two division narrow all the way
+        // down; a variable shift amount stays opaque.
+        RExprKind::Binary(BinOp::Lshr, x, amount) => {
+            let c = match &amount.kind {
+                RExprKind::Lit(v) => u32::try_from(v.to_u64()?).ok()?,
+                _ => return None,
+            };
+            st.narrowed += 1;
+            if c >= x.width {
+                // Shifted entirely past the value: all zeros.
+                return Some(RExpr::lit(bitv::BitVector::zero(w)));
+            }
+            let hi = (c + w - 1).min(x.width - 1);
+            let part_w = hi - c + 1;
+            let part = RExpr { kind: RExprKind::Slice(x.clone(), hi, c), width: part_w };
+            Some(if part_w == w {
+                part
+            } else {
+                RExpr { kind: RExprKind::Ext(ExtKind::Zext, Box::new(part)), width: w }
+            })
+        }
+        // Arithmetic right shifts, division, remainder, comparisons,
+        // reads, parameters, concatenations: high operand bits can
+        // reach the low result bits (or the node is opaque) — keep the
+        // explicit truncation.
         _ => None,
     }
 }

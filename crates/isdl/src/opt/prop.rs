@@ -1,0 +1,158 @@
+//! Copy and constant propagation through `Let` temporaries.
+//!
+//! Semantic analysis never emits [`RStmt::Let`] — temporaries exist
+//! only where the optimizer (or a caller-selected pass schedule) puts
+//! them — so propagation here is the middle-end cleaning up after
+//! itself: a binding whose value is a *leaf* (literal, storage read,
+//! parameter, or another temporary) is inlined into every use, and a
+//! binding nobody references is dropped. Both are sound because
+//! expressions are pure and reads within a phase observe cycle-start
+//! state: duplicating a storage read cannot observe a different value,
+//! and dropping an unused pure binding stages no writes.
+//!
+//! Propagation is deliberately *not* performed across storage
+//! assignments — `R <- x; y <- R` must keep reading `R`'s cycle-start
+//! value, which the assignment does not change within the phase, so
+//! rewriting uses of `R` would be meaningless; rewriting them to `x`
+//! would be wrong.
+
+use super::OptStats;
+use crate::rtl::{RExpr, RExprKind, RLvalue, RStmt};
+use std::collections::{HashMap, HashSet};
+
+/// Inlines leaf-valued `Let` bindings and drops unused ones.
+pub(super) fn propagate(stmts: Vec<RStmt>, st: &mut OptStats, changed: &mut bool) -> Vec<RStmt> {
+    // Forward substitution of leaf bindings.
+    let mut env: HashMap<usize, RExpr> = HashMap::new();
+    let mut out: Vec<RStmt> = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        out.push(subst_stmt(s, &mut env, st, changed));
+    }
+
+    // Drop bindings that are never referenced; removing one can orphan
+    // another (its value may have been the only use), so iterate.
+    loop {
+        let mut used: HashSet<usize> = HashSet::new();
+        for s in &out {
+            s.walk_exprs(&mut |e| {
+                if let RExprKind::Tmp(t) = e.kind {
+                    used.insert(t);
+                }
+            });
+        }
+        let before = out.len();
+        out.retain(|s| match s {
+            RStmt::Let { tmp, .. } => {
+                let keep = used.contains(tmp);
+                if !keep {
+                    st.propagated += 1;
+                    *changed = true;
+                }
+                keep
+            }
+            _ => true,
+        });
+        if out.len() == before {
+            break;
+        }
+    }
+    out
+}
+
+/// Substitutes the environment into one statement; `Let` statements
+/// with (post-substitution) leaf values extend the environment.
+/// Bindings made inside an `If` body stay scoped to that body.
+fn subst_stmt(
+    s: RStmt,
+    env: &mut HashMap<usize, RExpr>,
+    st: &mut OptStats,
+    changed: &mut bool,
+) -> RStmt {
+    match s {
+        RStmt::Assign { lv, rhs } => RStmt::Assign {
+            lv: subst_lvalue(lv, env, st, changed),
+            rhs: subst(&rhs, env, st, changed),
+        },
+        RStmt::If { cond, then_body, else_body } => {
+            let cond = subst(&cond, env, st, changed);
+            let mut then_env = env.clone();
+            let then_body =
+                then_body.into_iter().map(|s| subst_stmt(s, &mut then_env, st, changed)).collect();
+            let mut else_env = env.clone();
+            let else_body =
+                else_body.into_iter().map(|s| subst_stmt(s, &mut else_env, st, changed)).collect();
+            RStmt::If { cond, then_body, else_body }
+        }
+        RStmt::Let { tmp, rhs } => {
+            let rhs = subst(&rhs, env, st, changed);
+            if is_leaf(&rhs) {
+                env.insert(tmp, rhs.clone());
+            }
+            RStmt::Let { tmp, rhs }
+        }
+    }
+}
+
+fn subst_lvalue(
+    lv: RLvalue,
+    env: &HashMap<usize, RExpr>,
+    st: &mut OptStats,
+    changed: &mut bool,
+) -> RLvalue {
+    match lv {
+        RLvalue::StorageIndexed(id, idx) => {
+            RLvalue::StorageIndexed(id, subst(&idx, env, st, changed))
+        }
+        RLvalue::Slice { base, hi, lo } => {
+            RLvalue::Slice { base: Box::new(subst_lvalue(*base, env, st, changed)), hi, lo }
+        }
+        other @ (RLvalue::Storage(_) | RLvalue::Param(_)) => other,
+    }
+}
+
+fn subst(e: &RExpr, env: &HashMap<usize, RExpr>, st: &mut OptStats, changed: &mut bool) -> RExpr {
+    if let RExprKind::Tmp(t) = e.kind {
+        if let Some(v) = env.get(&t) {
+            st.propagated += 1;
+            *changed = true;
+            return v.clone();
+        }
+        return e.clone();
+    }
+    let kind = match &e.kind {
+        k @ (RExprKind::Lit(_)
+        | RExprKind::Storage(_)
+        | RExprKind::Param(_)
+        | RExprKind::Tmp(_)) => k.clone(),
+        RExprKind::StorageIndexed(id, idx) => {
+            RExprKind::StorageIndexed(*id, Box::new(subst(idx, env, st, changed)))
+        }
+        RExprKind::Slice(x, hi, lo) => {
+            RExprKind::Slice(Box::new(subst(x, env, st, changed)), *hi, *lo)
+        }
+        RExprKind::Unary(op, x) => RExprKind::Unary(*op, Box::new(subst(x, env, st, changed))),
+        RExprKind::Binary(op, a, b) => RExprKind::Binary(
+            *op,
+            Box::new(subst(a, env, st, changed)),
+            Box::new(subst(b, env, st, changed)),
+        ),
+        RExprKind::Cond(c, t, f) => RExprKind::Cond(
+            Box::new(subst(c, env, st, changed)),
+            Box::new(subst(t, env, st, changed)),
+            Box::new(subst(f, env, st, changed)),
+        ),
+        RExprKind::Ext(k, x) => RExprKind::Ext(*k, Box::new(subst(x, env, st, changed))),
+        RExprKind::Concat(parts) => {
+            RExprKind::Concat(parts.iter().map(|p| subst(p, env, st, changed)).collect())
+        }
+    };
+    RExpr { kind, width: e.width }
+}
+
+/// A value free to duplicate: no work, no indirection worth naming.
+fn is_leaf(e: &RExpr) -> bool {
+    matches!(
+        e.kind,
+        RExprKind::Lit(_) | RExprKind::Storage(_) | RExprKind::Param(_) | RExprKind::Tmp(_)
+    )
+}

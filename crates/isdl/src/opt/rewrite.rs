@@ -1,0 +1,155 @@
+//! Shared subexpression-hoisting machinery.
+//!
+//! Three passes hoist expressions into [`RStmt::Let`] temporaries —
+//! CSE ([`super::cse`]), load forwarding ([`super::fwd`]) and decode
+//! sharing ([`super::share`]). They differ only in which expressions
+//! they consider and how many occurrences justify a temporary; the
+//! counting, deterministic ordering, `Let` construction, and top-down
+//! replacement live here so all three behave identically.
+
+use crate::rtl::{RExpr, RExprKind, RLvalue, RStmt};
+use std::collections::HashMap;
+
+/// One hoisted expression: its structural key, the expression, and how
+/// often it occurred.
+pub(super) struct Hoisted {
+    /// Number of structural occurrences in the input.
+    pub occurrences: u64,
+}
+
+/// Hoists every subexpression matched by `pred` that occurs at least
+/// `min_count` times into a `Let` prepended to the statement list.
+///
+/// Candidates are built smallest-first so a candidate's own
+/// subexpressions already have temporaries when its right-hand side is
+/// constructed; the structural key breaks ties, making the result
+/// deterministic. Returns the rewritten statements and one [`Hoisted`]
+/// record per new temporary (empty when nothing matched).
+pub(super) fn hoist_where(
+    stmts: Vec<RStmt>,
+    min_count: u64,
+    pred: &dyn Fn(&RExpr) -> bool,
+) -> (Vec<RStmt>, Vec<Hoisted>) {
+    let mut next_tmp = next_tmp_index(&stmts);
+
+    // Count structural occurrences of every matching subexpression.
+    let mut counts: HashMap<String, (u64, RExpr)> = HashMap::new();
+    for s in &stmts {
+        s.walk_exprs(&mut |e| {
+            if pred(e) {
+                counts
+                    .entry(format!("{e:?}"))
+                    .and_modify(|c| c.0 += 1)
+                    .or_insert_with(|| (1, e.clone()));
+            }
+        });
+    }
+    let mut candidates: Vec<(String, RExpr, u64)> = counts
+        .into_iter()
+        .filter(|(_, (n, _))| *n >= min_count)
+        .map(|(k, (n, e))| (k, e, n))
+        .collect();
+    if candidates.is_empty() {
+        return (stmts, Vec::new());
+    }
+    candidates.sort_by(|a, b| (size(&a.1), &a.0).cmp(&(size(&b.1), &b.0)));
+
+    let mut tmp_of: HashMap<String, usize> = HashMap::new();
+    let mut lets: Vec<RStmt> = Vec::with_capacity(candidates.len());
+    let mut hoisted = Vec::with_capacity(candidates.len());
+    for (key, e, n) in candidates {
+        let rhs = replace_children(&e, &tmp_of);
+        let tmp = next_tmp;
+        next_tmp += 1;
+        tmp_of.insert(key, tmp);
+        lets.push(RStmt::Let { tmp, rhs });
+        hoisted.push(Hoisted { occurrences: n });
+    }
+
+    let mut out = lets;
+    out.extend(stmts.into_iter().map(|s| replace_stmt(s, &tmp_of)));
+    (out, hoisted)
+}
+
+/// The first unused temporary index in `stmts`.
+pub(super) fn next_tmp_index(stmts: &[RStmt]) -> usize {
+    let mut next = 0usize;
+    for s in stmts {
+        if let RStmt::Let { tmp, .. } = s {
+            next = next.max(tmp + 1);
+        }
+    }
+    next
+}
+
+/// Expression-node count of one expression tree.
+pub(super) fn size(e: &RExpr) -> u64 {
+    let mut n = 0u64;
+    e.walk(&mut |_| n += 1);
+    n
+}
+
+fn replace_stmt(s: RStmt, tmp_of: &HashMap<String, usize>) -> RStmt {
+    match s {
+        RStmt::Assign { lv, rhs } => {
+            RStmt::Assign { lv: replace_lvalue(lv, tmp_of), rhs: replace(&rhs, tmp_of) }
+        }
+        RStmt::If { cond, then_body, else_body } => RStmt::If {
+            cond: replace(&cond, tmp_of),
+            then_body: then_body.into_iter().map(|s| replace_stmt(s, tmp_of)).collect(),
+            else_body: else_body.into_iter().map(|s| replace_stmt(s, tmp_of)).collect(),
+        },
+        RStmt::Let { tmp, rhs } => RStmt::Let { tmp, rhs: replace(&rhs, tmp_of) },
+    }
+}
+
+fn replace_lvalue(lv: RLvalue, tmp_of: &HashMap<String, usize>) -> RLvalue {
+    match lv {
+        RLvalue::StorageIndexed(id, idx) => RLvalue::StorageIndexed(id, replace(&idx, tmp_of)),
+        RLvalue::Slice { base, hi, lo } => {
+            RLvalue::Slice { base: Box::new(replace_lvalue(*base, tmp_of)), hi, lo }
+        }
+        other @ (RLvalue::Storage(_) | RLvalue::Param(_)) => other,
+    }
+}
+
+/// Top-down replacement: an expression matching a candidate becomes
+/// its temporary; otherwise its children are rewritten.
+fn replace(e: &RExpr, tmp_of: &HashMap<String, usize>) -> RExpr {
+    if !matches!(
+        e.kind,
+        RExprKind::Lit(_) | RExprKind::Storage(_) | RExprKind::Param(_) | RExprKind::Tmp(_)
+    ) {
+        if let Some(&tmp) = tmp_of.get(&format!("{e:?}")) {
+            return RExpr { kind: RExprKind::Tmp(tmp), width: e.width };
+        }
+    }
+    replace_children(e, tmp_of)
+}
+
+fn replace_children(e: &RExpr, tmp_of: &HashMap<String, usize>) -> RExpr {
+    let kind = match &e.kind {
+        k @ (RExprKind::Lit(_)
+        | RExprKind::Storage(_)
+        | RExprKind::Param(_)
+        | RExprKind::Tmp(_)) => k.clone(),
+        RExprKind::StorageIndexed(id, idx) => {
+            RExprKind::StorageIndexed(*id, Box::new(replace(idx, tmp_of)))
+        }
+        RExprKind::Slice(x, hi, lo) => RExprKind::Slice(Box::new(replace(x, tmp_of)), *hi, *lo),
+        RExprKind::Unary(op, x) => RExprKind::Unary(*op, Box::new(replace(x, tmp_of))),
+        RExprKind::Binary(op, a, b) => {
+            RExprKind::Binary(*op, Box::new(replace(a, tmp_of)), Box::new(replace(b, tmp_of)))
+        }
+        RExprKind::Cond(c, t, f) => RExprKind::Cond(
+            Box::new(replace(c, tmp_of)),
+            Box::new(replace(t, tmp_of)),
+            Box::new(replace(f, tmp_of)),
+        ),
+        RExprKind::Ext(k, x) => RExprKind::Ext(*k, Box::new(replace(x, tmp_of))),
+        RExprKind::Concat(parts) => {
+            RExprKind::Concat(parts.iter().map(|p| replace(p, tmp_of)).collect())
+        }
+    };
+    RExpr { kind, width: e.width }
+}

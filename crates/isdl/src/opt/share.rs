@@ -1,0 +1,103 @@
+//! Decode-subexpression naming for cross-op sharing.
+//!
+//! A *decode subexpression* computes purely over instruction-word
+//! parameters and literals — immediate extensions, scaled offsets,
+//! address arithmetic. The same shapes recur across the operations of
+//! a field because front ends template-expand them, and inside one
+//! operation phase they are loop-invariant: nothing they read can
+//! change during the cycle.
+//!
+//! This pass hoists every *maximal* such subexpression into an
+//! [`RStmt::Let`], even at a single occurrence. Within a phase that is
+//! at worst neutral (the value is computed exactly as often as
+//! before); the payoff is cross-op: HGEN lowers each `Let` to a named
+//! auxiliary wire and content-addresses those wires, so two operations
+//! whose decode computations lower to the same expression share one
+//! wire — and the logic driving it — in the generated netlist.
+//! Maximality keeps the temporary count proportional to the number of
+//! distinct computations rather than their node counts.
+
+use super::rewrite::hoist_where;
+use super::OptStats;
+use crate::rtl::{RExpr, RExprKind, RLvalue, RStmt};
+use std::collections::HashSet;
+
+/// Hoists maximal parameter-only subexpressions into `Let`
+/// temporaries.
+pub(super) fn name_decode_exprs(stmts: Vec<RStmt>, st: &mut OptStats) -> Vec<RStmt> {
+    // Collect maximal candidates: descend from each statement's root
+    // expressions and stop at the first qualifying node — anything
+    // below it is nested, not maximal.
+    let mut keys: HashSet<String> = HashSet::new();
+    for s in &stmts {
+        collect_stmt(s, &mut keys);
+    }
+    if keys.is_empty() {
+        return stmts;
+    }
+    let (out, hoisted) =
+        hoist_where(stmts, 1, &|e| eligible(e) && keys.contains(&format!("{e:?}")));
+    for h in &hoisted {
+        st.decode_shared += h.occurrences;
+    }
+    out
+}
+
+fn collect_stmt(s: &RStmt, out: &mut HashSet<String>) {
+    match s {
+        RStmt::Assign { lv, rhs } => {
+            collect_maximal(rhs, out);
+            collect_lvalue(lv, out);
+        }
+        RStmt::If { cond, then_body, else_body } => {
+            collect_maximal(cond, out);
+            for s in then_body.iter().chain(else_body) {
+                collect_stmt(s, out);
+            }
+        }
+        RStmt::Let { rhs, .. } => collect_maximal(rhs, out),
+    }
+}
+
+fn collect_lvalue(lv: &RLvalue, out: &mut HashSet<String>) {
+    match lv {
+        RLvalue::StorageIndexed(_, idx) => collect_maximal(idx, out),
+        RLvalue::Slice { base, .. } => collect_lvalue(base, out),
+        RLvalue::Storage(_) | RLvalue::Param(_) => {}
+    }
+}
+
+/// Records `e` if it qualifies (and stops — children are nested, not
+/// maximal), otherwise recurses into its children.
+fn collect_maximal(e: &RExpr, out: &mut HashSet<String>) {
+    if eligible(e) {
+        out.insert(format!("{e:?}"));
+        return;
+    }
+    for c in e.children() {
+        collect_maximal(c, out);
+    }
+}
+
+/// Performs work, reads no machine state, and depends on at least one
+/// instruction parameter.
+fn eligible(e: &RExpr) -> bool {
+    if matches!(
+        e.kind,
+        RExprKind::Lit(_)
+            | RExprKind::Storage(_)
+            | RExprKind::StorageIndexed(_, _)
+            | RExprKind::Param(_)
+            | RExprKind::Tmp(_)
+    ) {
+        return false;
+    }
+    let mut pure = true;
+    let mut has_param = false;
+    e.walk(&mut |x| match x.kind {
+        RExprKind::Storage(_) | RExprKind::StorageIndexed(_, _) | RExprKind::Tmp(_) => pure = false,
+        RExprKind::Param(_) => has_param = true,
+        _ => {}
+    });
+    pure && has_param
+}

@@ -1,0 +1,139 @@
+//! Strength reduction: power-of-two multiply, divide, and remainder
+//! become shifts and masks.
+//!
+//! The rewrites are bit-true at any width — `x * 2^k` is `x << k`,
+//! `x / 2^k` is `x >> k`, and `x % 2^k` is `x & (2^k - 1)` for
+//! *unsigned* division and remainder, which is what the RTL `/` and
+//! `%` operators denote. Signed variants round toward zero and do not
+//! reduce this way, so they are left alone.
+//!
+//! Beyond replacing hardware multipliers and dividers with wiring,
+//! this pass is the width-narrowing pass's door-opener: narrowing
+//! ([`super::narrow`]) cannot see through a division, but it *can*
+//! slice through the logical right shift this pass produces — so a
+//! front-end-style `trunc(zext(x, 128) / 128'd16, 16)` collapses all
+//! the way back into the simulator's 64-bit bytecode lane once both
+//! passes have run.
+
+use super::fold::lit_u64;
+use super::OptStats;
+use crate::rtl::{BinOp, RExpr, RExprKind, RLvalue, RStmt};
+use bitv::BitVector;
+
+/// Rewrites power-of-two multiplies, divides, and remainders across a
+/// statement list.
+pub(super) fn reduce_stmts(stmts: &[RStmt], st: &mut OptStats, changed: &mut bool) -> Vec<RStmt> {
+    stmts.iter().map(|s| reduce_stmt(s, st, changed)).collect()
+}
+
+fn reduce_stmt(s: &RStmt, st: &mut OptStats, changed: &mut bool) -> RStmt {
+    match s {
+        RStmt::Assign { lv, rhs } => {
+            RStmt::Assign { lv: reduce_lvalue(lv, st, changed), rhs: reduce(rhs, st, changed) }
+        }
+        RStmt::If { cond, then_body, else_body } => RStmt::If {
+            cond: reduce(cond, st, changed),
+            then_body: reduce_stmts(then_body, st, changed),
+            else_body: reduce_stmts(else_body, st, changed),
+        },
+        RStmt::Let { tmp, rhs } => RStmt::Let { tmp: *tmp, rhs: reduce(rhs, st, changed) },
+    }
+}
+
+fn reduce_lvalue(lv: &RLvalue, st: &mut OptStats, changed: &mut bool) -> RLvalue {
+    match lv {
+        RLvalue::StorageIndexed(id, idx) => RLvalue::StorageIndexed(*id, reduce(idx, st, changed)),
+        RLvalue::Slice { base, hi, lo } => {
+            RLvalue::Slice { base: Box::new(reduce_lvalue(base, st, changed)), hi: *hi, lo: *lo }
+        }
+        other @ (RLvalue::Storage(_) | RLvalue::Param(_)) => other.clone(),
+    }
+}
+
+/// Bottom-up rewrite of one expression tree.
+fn reduce(e: &RExpr, st: &mut OptStats, changed: &mut bool) -> RExpr {
+    let kind = match &e.kind {
+        k @ (RExprKind::Lit(_)
+        | RExprKind::Storage(_)
+        | RExprKind::Param(_)
+        | RExprKind::Tmp(_)) => k.clone(),
+        RExprKind::StorageIndexed(id, idx) => {
+            RExprKind::StorageIndexed(*id, Box::new(reduce(idx, st, changed)))
+        }
+        RExprKind::Slice(x, hi, lo) => RExprKind::Slice(Box::new(reduce(x, st, changed)), *hi, *lo),
+        RExprKind::Unary(op, x) => RExprKind::Unary(*op, Box::new(reduce(x, st, changed))),
+        RExprKind::Binary(op, a, b) => {
+            let a = reduce(a, st, changed);
+            let b = reduce(b, st, changed);
+            if let Some(k) = rewrite(*op, &a, &b, st, changed) {
+                k
+            } else {
+                RExprKind::Binary(*op, Box::new(a), Box::new(b))
+            }
+        }
+        RExprKind::Cond(c, t, f) => RExprKind::Cond(
+            Box::new(reduce(c, st, changed)),
+            Box::new(reduce(t, st, changed)),
+            Box::new(reduce(f, st, changed)),
+        ),
+        RExprKind::Ext(k, x) => RExprKind::Ext(*k, Box::new(reduce(x, st, changed))),
+        RExprKind::Concat(parts) => {
+            RExprKind::Concat(parts.iter().map(|p| reduce(p, st, changed)).collect())
+        }
+    };
+    RExpr { kind, width: e.width }
+}
+
+/// The power-of-two rewrites. `k == 0` cases (multiply or divide by
+/// one) are identities the algebraic pass already removes, so they are
+/// skipped to keep each rewrite attributable to exactly one pass.
+fn rewrite(
+    op: BinOp,
+    a: &RExpr,
+    b: &RExpr,
+    st: &mut OptStats,
+    changed: &mut bool,
+) -> Option<RExprKind> {
+    let shift = |x: &RExpr, amount_width: u32, k: u32, op: BinOp| {
+        RExprKind::Binary(
+            op,
+            Box::new(x.clone()),
+            Box::new(RExpr::lit(BitVector::from_u64(u64::from(k), amount_width))),
+        )
+    };
+    let out = match op {
+        BinOp::Mul => {
+            if let Some(k) = power_of_two(b) {
+                shift(a, b.width, k, BinOp::Shl)
+            } else if let Some(k) = power_of_two(a) {
+                shift(b, a.width, k, BinOp::Shl)
+            } else {
+                return None;
+            }
+        }
+        BinOp::UDiv => shift(a, b.width, power_of_two(b)?, BinOp::Lshr),
+        BinOp::URem => {
+            let k = power_of_two(b)?;
+            // The mask 2^k - 1 must fit the operand width; k < width
+            // always holds because 2^k itself fit as a literal.
+            if k > 63 {
+                return None;
+            }
+            RExprKind::Binary(
+                BinOp::And,
+                Box::new(a.clone()),
+                Box::new(RExpr::lit(BitVector::from_u64((1u64 << k) - 1, a.width))),
+            )
+        }
+        _ => return None,
+    };
+    st.strength_reduced += 1;
+    *changed = true;
+    Some(out)
+}
+
+/// `Some(k)` iff `e` is the literal `2^k` with `k >= 1`.
+fn power_of_two(e: &RExpr) -> Option<u32> {
+    let v = lit_u64(e)?;
+    (v.is_power_of_two() && v > 1).then(|| v.trailing_zeros())
+}

@@ -135,6 +135,23 @@ pub fn print(machine: &Machine) -> String {
     out
 }
 
+/// Renders one statement list in the same notation [`print()`] uses for
+/// `action` blocks, one statement per line, unindented.
+///
+/// This is the canonical form behind `--dump-rtl`: optimizer-introduced
+/// `let` temporaries render as `let tN <- ...;` (diagnostic notation —
+/// the parseable grammar has no `let`), everything else exactly as the
+/// round-tripping printer writes it.
+#[must_use]
+pub fn print_stmts(machine: &Machine, op: &Operation, stmts: &[RStmt]) -> String {
+    let p = Printer { m: machine };
+    let mut out = String::new();
+    for s in stmts {
+        p.stmt(&mut out, s, op, 0);
+    }
+    out
+}
+
 fn kind_kw(k: StorageKind) -> &'static str {
     match k {
         StorageKind::InstructionMemory => "imem",

@@ -185,8 +185,12 @@ field MAIN {
 /// exercise the RTL middle-end ([`crate::opt`]): unoptimized, `wmul`
 /// exceeds the simulator's 64-bit bytecode lanes; width narrowing
 /// brings it back, CSE shares the repeated sum in `sqs`, and the
-/// algebraic pass deletes `redund`'s no-ops. All of it is
-/// bit-identical to the obvious hand-written forms.
+/// algebraic pass deletes `redund`'s no-ops. `wdiv`/`wrem` divide by a
+/// power of two through the same 128-bit promotion — narrowing alone
+/// cannot rescue a division, so they stay wide until level 3's
+/// strength reduction runs; `dsum` reads the same memory cell twice
+/// for the load-forwarding pass. All of it is bit-identical to the
+/// obvious hand-written forms.
 ///
 /// # Examples
 ///
@@ -222,6 +226,16 @@ field MAIN {
     op redund()    { encode { word[15:12] = 0b0101; } action { A <- ((A + 16'd0) ^ 16'd0) | (A & A); } }
     op sta(a: A4)  { encode { word[15:12] = 0b0110; word[3:0] = a; } action { DM[a] <- A; } }
     op lda(a: A4)  { encode { word[15:12] = 0b0111; word[3:0] = a; } action { A <- DM[a]; } }
+    // Front-end style widening divide/remainder by a power of two:
+    // narrowing cannot see through a division, so at levels <= 2 these
+    // force the simulator's wide fallback; strength reduction (level 3)
+    // turns them into shifts and masks that narrow back into the u64
+    // lane.
+    op wdiv()      { encode { word[15:12] = 0b1000; } action { A <- trunc(zext(A, 128) / 128'd16, 16); } }
+    op wrem()      { encode { word[15:12] = 0b1001; } action { B <- trunc(zext(B, 128) % 128'd16, 16); } }
+    // The same indexed load spelled out twice (no front-end CSE of
+    // memory reads) -- load forwarding's showcase.
+    op dsum(a: A4) { encode { word[15:12] = 0b1010; word[3:0] = a; } action { A <- DM[a] + DM[a]; } }
     op halt()      { encode { word[15:12] = 0b1111; } }
     op nop()       { encode { word[15:12] = 0b0000; } }
 }
@@ -279,7 +293,7 @@ mod tests {
         let m = crate::load(WIDEMUL).expect("widemul sample loads");
         assert_eq!(m.name, "widemul");
         assert_eq!(m.fields.len(), 1);
-        assert_eq!(m.fields[0].ops.len(), 9);
+        assert_eq!(m.fields[0].ops.len(), 12);
         assert!(m.pc.is_some());
     }
 
@@ -304,5 +318,39 @@ mod tests {
         assert!(stats.nodes_eliminated() > 0, "redund/sqs must shrink: {stats:?}");
         assert!(stats.cse_hits > 0, "sqs repeats (A + B): {stats:?}");
         assert!(stats.narrowed > 0, "wmul's 128-bit multiply must narrow: {stats:?}");
+    }
+
+    #[test]
+    fn widemul_level3_retires_the_wide_divides() {
+        // wdiv/wrem keep a >64-bit intermediate at level 2 (narrowing
+        // cannot cross a division) and lose it at level 3 (strength
+        // reduction turns the divide into a shift the narrower can
+        // slice through). This is the sample's reason to exist for the
+        // level-3 pipeline; if it ever optimizes clean at level 2 the
+        // opt3-vs-opt2 ablation loses its subject.
+        let m = crate::load(WIDEMUL).expect("widemul sample loads");
+        let max_width = |level: crate::opt::OptLevel| {
+            let mut w = 0u32;
+            let mut stats = crate::opt::OptStats::default();
+            for f in &m.fields {
+                for op in &f.ops {
+                    if op.name != "wdiv" && op.name != "wrem" {
+                        continue;
+                    }
+                    for phase in [&op.action, &op.side_effects] {
+                        for s in crate::opt::optimize_stmts(phase, level, &mut stats) {
+                            s.walk_exprs(&mut |e| w = w.max(e.width));
+                        }
+                    }
+                }
+            }
+            (w, stats)
+        };
+        let (w2, s2) = max_width(crate::opt::OptLevel::Aggressive);
+        assert!(w2 > 64, "level 2 must leave the wide divides wide, got max width {w2}");
+        assert_eq!(s2.strength_reduced, 0);
+        let (w3, s3) = max_width(crate::opt::OptLevel::Full);
+        assert!(w3 <= 64, "level 3 must collapse wdiv/wrem into the u64 lane, got {w3}");
+        assert!(s3.strength_reduced >= 2, "both divide and remainder reduce: {s3:?}");
     }
 }

@@ -43,8 +43,11 @@ run cargo test -q -p archex --test journal_formats
 run cargo test -q --test crash_torture
 # RTL middle-end gate: optimized and unoptimized execution must stay
 # bit-identical on every sample machine, for both simulator cores and
-# the generated hardware (see DESIGN.md §4a). Also inside `cargo test
-# -q` above; named here so an optimizer regression fails loudly.
+# the generated hardware, at every pipeline level INCLUDING the
+# level-3 pass-manager schedule (fold,prop,strength,fwd,dead,cse,
+# share), whose per-pass stats must partition the pipeline totals
+# exactly (see DESIGN.md §4a). Also inside `cargo test -q` above;
+# named here so an optimizer regression fails loudly.
 run cargo test -q --test opt_differential
 # Translation-tier gate (see DESIGN.md §4b): dispatching through
 # translated basic blocks must be bit-identical to the interpreter —

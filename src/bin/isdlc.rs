@@ -3,6 +3,10 @@
 //! ```text
 //! isdlc check   <machine.isdl>                      validate and summarize
 //! isdlc print   <machine.isdl>                      pretty-print the resolved description
+//! isdlc opt     <machine.isdl> [--opt=N] [--opt-passes=LIST] [--dump-rtl=before|after|both]
+//!                                                   run the RTL middle-end and report its
+//!                                                   schedule and per-pass work; --dump-rtl
+//!                                                   prints canonical RTL per (op, phase)
 //! isdlc sample  <toy|acc16|widemul|spam|spam2>      print an embedded sample description
 //! isdlc asm     <machine.isdl> <prog.asm>           assemble; hex words to stdout
 //! isdlc disasm  <machine.isdl> <prog.asm>           assemble then disassemble (listing)
@@ -154,9 +158,26 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(isdl::opt::OptLevel::default()),
             |v| {
                 isdl::opt::OptLevel::parse(v)
-                    .ok_or_else(|| format!("unknown opt level `{v}` (0|1|2)"))
+                    .ok_or_else(|| format!("unknown opt level `{v}` (0|1|2|3)"))
             },
         )
+    };
+    let opt_passes = || -> Result<Option<isdl::opt::PassList>, String> {
+        flags.iter().find_map(|f| f.strip_prefix("--opt-passes=")).map_or(Ok(None), |v| {
+            isdl::opt::PassList::parse(v).map(Some).ok_or_else(|| {
+                format!(
+                    "bad pass list `{v}` (comma-separated subset of \
+                     fold,prop,strength,fwd,dead,cse,share)"
+                )
+            })
+        })
+    };
+    let pipeline = || -> Result<isdl::opt::Pipeline, String> {
+        let level = opt_level()?;
+        Ok(match opt_passes()? {
+            Some(list) => isdl::opt::Pipeline::with_passes(level, list),
+            None => isdl::opt::Pipeline::for_level(level),
+        })
     };
     let hgen_options = || -> Result<HgenOptions, String> {
         Ok(HgenOptions {
@@ -171,6 +192,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 ShareOptions::default()
             },
             opt: opt_level()?,
+            passes: opt_passes()?,
         })
     };
 
@@ -210,6 +232,43 @@ fn run(args: &[String]) -> Result<(), String> {
         "print" => {
             let m = load(0)?;
             print!("{}", isdl::printer::print(&m));
+            Ok(())
+        }
+        "opt" => {
+            // Run the middle-end over every operation and show its
+            // work: the schedule, per-pass eliminations, and (with
+            // --dump-rtl) the canonical-printed RTL per (op, phase).
+            let m = load(0)?;
+            let pl = pipeline()?;
+            let mut stats = isdl::opt::OptStats::default();
+            for f in &m.fields {
+                for op in &f.ops {
+                    for phase in [&op.action, &op.side_effects] {
+                        if !phase.is_empty() {
+                            let _ = pl.run(phase, &mut stats);
+                        }
+                    }
+                }
+            }
+            println!("machine `{}`: opt level {}", m.name, pl.level());
+            println!("  schedule         {pl}");
+            println!(
+                "  nodes            {} -> {} ({} eliminated)",
+                stats.nodes_before,
+                stats.nodes_after,
+                stats.nodes_eliminated()
+            );
+            for p in &stats.passes {
+                println!(
+                    "  pass {:<12} {:>3} runs  {:>5} -> {:<5} nodes  {:>4} rewrites",
+                    p.name, p.runs, p.nodes_in, p.nodes_out, p.rewrites
+                );
+            }
+            if let Some(v) = flags.iter().find_map(|f| f.strip_prefix("--dump-rtl=")) {
+                let mode = isdl::opt::DumpMode::parse(v)
+                    .ok_or_else(|| format!("unknown dump mode `{v}` (before|after|both)"))?;
+                print!("{}", isdl::opt::dump_rtl(&m, &pl, mode));
+            }
             Ok(())
         }
         "sample" => {
@@ -269,7 +328,11 @@ fn run(args: &[String]) -> Result<(), String> {
                     v.parse().map_err(|_| format!("bad instruction budget `{v}`"))
                 })?;
             let p = Assembler::new(&m).assemble(&src).map_err(|e| e.to_string())?;
-            let options = gensim::XsimOptions { opt: opt_level()?, ..Default::default() };
+            let options = gensim::XsimOptions {
+                opt: opt_level()?,
+                passes: opt_passes()?,
+                ..Default::default()
+            };
             let mut sim = Xsim::generate_with(&m, options).map_err(|e| e.to_string())?;
             sim.load_program(&p);
             let profiling = flags.iter().any(|f| *f == "--profile" || f.starts_with("--profile="));
@@ -524,6 +587,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 r.stats.opt.cse_hits,
                 hgen_options()?.opt
             );
+            println!("    schedule       {}", hgen_options()?.pipeline());
+            for p in &r.stats.opt.passes {
+                println!(
+                    "    pass {:<10} {:>3} runs  {:>5} -> {:<5} nodes  {:>4} rewrites",
+                    p.name, p.runs, p.nodes_in, p.nodes_out, p.rewrites
+                );
+            }
             println!("  synthesis time   {:.3} s", r.synthesis_time_s);
             Ok(())
         }
@@ -575,8 +645,9 @@ fn print_profile_summary(report: &obs::Json) {
 }
 
 fn usage() -> String {
-    "usage: isdlc <check|print|sample|asm|disasm|run|batch|explore|journal|verilog|report|wave|\
-     hex|tb> <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N] [--opt=0|1|2] \
+    "usage: isdlc <check|print|opt|sample|asm|disasm|run|batch|explore|journal|verilog|report|\
+     wave|hex|tb> <machine.isdl> [args] [--no-share] [--naive-decode] [--fuel=N] [--opt=0|1|2|3] \
+     [--opt-passes=fold,prop,...] [--dump-rtl=before|after|both] \
      [--no-opt] [--profile[=PATH]] [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH] \
      [--netlist-sim=event|levelized] [--journal=PATH] [--deadline-ms=N] [--max-attempts=N] \
      [--trace-out=PATH]"

@@ -25,8 +25,17 @@
 //!                         trace-event document
 //!   --core tree|bytecode  processing-core implementation (default bytecode)
 //!   --no-offline-decode   re-decode at every fetch (§3.3.2 ablation)
-//!   --opt 0|1|2           RTL middle-end level (default 2 = aggressive);
+//!   --opt 0|1|2|3         RTL middle-end level (default 2 = aggressive;
+//!                         3 = full: adds propagation, strength
+//!                         reduction, load forwarding, decode sharing);
 //!                         0 disables it — the differential baseline
+//!   --opt-passes LIST     explicit comma-separated pass schedule
+//!                         (fold,prop,strength,fwd,dead,cse,share)
+//!                         overriding the level's canonical schedule
+//!   --dump-rtl before|after|both
+//!                         print each operation's per-phase RTL in the
+//!                         canonical printed form to stderr (or stdout
+//!                         when no JSON report targets it)
 //!   --translate           dispatch through translated basic blocks
 //!                         (default; bit-identical to the interpreter)
 //!   --no-translate        force per-instruction interpretation — the
@@ -74,6 +83,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut chrome_out: Option<String> = None;
     let mut trace_capacity: usize = 4096;
     let mut netlist_check: Option<vlog::SimBackend> = None;
+    let mut dump_rtl: Option<isdl::opt::DumpMode> = None;
     let mut options = XsimOptions::default();
 
     let mut it = args.iter();
@@ -120,7 +130,23 @@ fn run(args: &[String]) -> Result<(), String> {
             "--opt" => {
                 let v = value(&mut it, "--opt")?;
                 options.opt = isdl::opt::OptLevel::parse(v)
-                    .ok_or_else(|| format!("unknown opt level `{v}` (0|1|2)"))?;
+                    .ok_or_else(|| format!("unknown opt level `{v}` (0|1|2|3)"))?;
+            }
+            "--opt-passes" => {
+                let v = value(&mut it, "--opt-passes")?;
+                options.passes = Some(isdl::opt::PassList::parse(v).ok_or_else(|| {
+                    format!(
+                        "bad pass list `{v}` (comma-separated subset of \
+                         fold,prop,strength,fwd,dead,cse,share)"
+                    )
+                })?);
+            }
+            "--dump-rtl" => {
+                let v = value(&mut it, "--dump-rtl")?;
+                dump_rtl = Some(
+                    isdl::opt::DumpMode::parse(v)
+                        .ok_or_else(|| format!("unknown dump mode `{v}` (before|after|both)"))?,
+                );
             }
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`\n{}", usage())),
             p => pos.push(p),
@@ -151,6 +177,18 @@ fn run(args: &[String]) -> Result<(), String> {
         phases.push(("load", p0, us(Instant::now()) - p0));
         machine
     };
+    if let Some(mode) = dump_rtl {
+        let dump = isdl::opt::dump_rtl(&machine, &options.pipeline(), mode);
+        // Keep stdout clean for piped JSON reports.
+        let json_on_stdout = [&stats_out, &trace_out, &trace_stream, &profile_out, &chrome_out]
+            .iter()
+            .any(|o| o.as_deref() == Some("-"));
+        if json_on_stdout {
+            eprint!("{dump}");
+        } else {
+            print!("{dump}");
+        }
+    }
     let program = {
         let _span = t_assemble.span();
         let p0 = us(Instant::now());
@@ -338,7 +376,8 @@ fn usage() -> String {
     "usage: xsim <machine.isdl> <prog.asm> [--cycles N] [--fuel N] [--deadline-ms N] \
      [--stats <path|->] \
      [--trace <path|->] [--trace-capacity N] [--trace-stream <path|->] [--profile <path|->] \
-     [--chrome-trace <path|->] [--core tree|bytecode] [--no-offline-decode] [--opt 0|1|2] \
+     [--chrome-trace <path|->] [--core tree|bytecode] [--no-offline-decode] [--opt 0|1|2|3] \
+     [--opt-passes fold,prop,...] [--dump-rtl before|after|both] \
      [--translate|--no-translate] [--netlist-sim event|levelized]"
         .to_owned()
 }

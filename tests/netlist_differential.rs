@@ -16,7 +16,8 @@ use isdl::Machine;
 use vlog::{AnySim, SimBackend};
 use xasm::{Assembler, Program};
 
-const LEVELS: [OptLevel; 3] = [OptLevel::None, OptLevel::Basic, OptLevel::Aggressive];
+const LEVELS: [OptLevel; 4] =
+    [OptLevel::None, OptLevel::Basic, OptLevel::Aggressive, OptLevel::Full];
 
 const WIDEMUL_PROG: &str = "\
     lia 255
@@ -26,6 +27,10 @@ const WIDEMUL_PROG: &str = "\
     sqs
     redund
     sta 3
+    wdiv
+    wrem
+    dsum 3
+    wdiv
     halt
 ";
 

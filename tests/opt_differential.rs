@@ -14,7 +14,8 @@ use isdl::opt::OptLevel;
 use isdl::Machine;
 use xasm::{Assembler, Program};
 
-const LEVELS: [OptLevel; 3] = [OptLevel::None, OptLevel::Basic, OptLevel::Aggressive];
+const LEVELS: [OptLevel; 4] =
+    [OptLevel::None, OptLevel::Basic, OptLevel::Aggressive, OptLevel::Full];
 
 /// Exercises every operation class of the WIDEMUL sample, including
 /// the wide multiply twice (so truncation wrap-around matters) and a
@@ -28,6 +29,22 @@ const WIDEMUL_PROG: &str = "\
     sqs
     redund
     sta 3
+    halt
+";
+
+/// Exercises the wide divide/remainder ops that stay on the wide
+/// fallback lane until level 3's strength reduction, plus the repeated
+/// indexed load that load forwarding collapses. Level 3's acceptance
+/// gate: bit-identical to level 0 with zero wide fallbacks.
+const WIDEMUL_DIV_PROG: &str = "\
+    lia 240
+    lib 77
+    wdiv
+    wrem
+    sta 5
+    dsum 5
+    wdiv
+    sta 6
     halt
 ";
 
@@ -77,6 +94,11 @@ fn corpus() -> Vec<(&'static str, Machine, String)> {
         ("toy", isdl::load(isdl::samples::TOY).expect("loads"), TOY_MIXED.to_owned()),
         ("acc16", isdl::load(isdl::samples::ACC16).expect("loads"), ACC16_SUM.to_owned()),
         ("widemul", isdl::load(isdl::samples::WIDEMUL).expect("loads"), WIDEMUL_PROG.to_owned()),
+        (
+            "widemul-div",
+            isdl::load(isdl::samples::WIDEMUL).expect("loads"),
+            WIDEMUL_DIV_PROG.to_owned(),
+        ),
         ("spam", spam, spam_asm),
         ("spam2", spam2, spam2_asm),
     ]
@@ -143,6 +165,70 @@ fn widemul_narrowing_moves_wide_ops_onto_the_u64_lane() {
     // sqs and redund — fixed by the ISA, independent of opt level.
     let a = machine.storage_by_name("A").expect("A").0;
     assert_eq!(opt.state().read_u64(a, 0), 0xf004);
+}
+
+/// Level 3's acceptance gate: the wide divides that defeat narrowing
+/// at level 2 are strength-reduced into shifts/masks at level 3 and
+/// retire onto the u64 bytecode lane, bit-identically.
+#[test]
+fn widemul_level3_retires_the_wide_divides_at_runtime() {
+    let machine = isdl::load(isdl::samples::WIDEMUL).expect("loads");
+    let program = Assembler::new(&machine).assemble(WIDEMUL_DIV_PROG).expect("assembles");
+    let run = |opt: OptLevel| {
+        let mut sim = Xsim::generate_with(&machine, XsimOptions { opt, ..XsimOptions::default() })
+            .expect("generates");
+        sim.load_program(&program);
+        assert_eq!(sim.run(1_000), StopReason::Halted);
+        sim
+    };
+    let aggressive = run(OptLevel::Aggressive);
+    let full = run(OptLevel::Full);
+    assert!(
+        aggressive.wide_fallbacks() > 0,
+        "wide divides must defeat narrowing at level 2 (the ablation baseline)"
+    );
+    assert_eq!(full.wide_fallbacks(), 0, "strength reduction must reclaim every wide divide");
+    assert!(full.opt_stats().strength_reduced >= 2, "both divides strength-reduce");
+    assert!(full.opt_stats().loads_forwarded > 0, "dsum's repeated load forwards");
+    assert_eq!(full_state(&machine, &aggressive), full_state(&machine, &full));
+}
+
+/// The per-pass stats in `xsim-stats/1` must exactly partition the
+/// pipeline totals: signed per-pass node deltas telescope to
+/// `nodes_before - nodes_after`, and the printed schedule matches the
+/// passes array.
+#[test]
+fn stats_json_per_pass_rows_partition_the_totals() {
+    let machine = isdl::load(isdl::samples::WIDEMUL).expect("loads");
+    let program = Assembler::new(&machine).assemble(WIDEMUL_PROG).expect("assembles");
+    for opt in LEVELS {
+        let mut sim = Xsim::generate_with(&machine, XsimOptions { opt, ..XsimOptions::default() })
+            .expect("generates");
+        sim.load_program(&program);
+        sim.run(1_000);
+        let j = gensim::stats_json(&sim);
+        let o = j.get("opt").expect("opt block");
+        let schedule = o.get_str("schedule").expect("schedule");
+        let passes = o.get("passes").and_then(obs::Json::as_arr).expect("passes array");
+        let names: Vec<&str> =
+            passes.iter().map(|p| p.get_str("name").expect("pass name")).collect();
+        if names.is_empty() {
+            assert_eq!(schedule, "(none)", "level {opt}: empty schedule prints (none)");
+        } else {
+            assert_eq!(schedule, names.join(","), "level {opt}: schedule matches pass order");
+        }
+        let delta: i64 = passes
+            .iter()
+            .map(|p| {
+                let nodes_in = p.get_u64("nodes_in").expect("nodes_in") as i64;
+                let nodes_out = p.get_u64("nodes_out").expect("nodes_out") as i64;
+                nodes_in - nodes_out
+            })
+            .sum();
+        let before = o.get_u64("nodes_before").expect("nodes_before") as i64;
+        let after = o.get_u64("nodes_after").expect("nodes_after") as i64;
+        assert_eq!(delta, before - after, "level {opt}: per-pass deltas partition the total");
+    }
 }
 
 #[test]
@@ -229,6 +315,7 @@ fn hgen_netlists_agree_across_opt_levels() {
         ("acc16", isdl::samples::ACC16, ACC16_SUM),
         ("widemul", isdl::samples::WIDEMUL, WIDEMUL_PROG),
         ("toy", isdl::samples::TOY, TOY_MIXED),
+        ("widemul-div", isdl::samples::WIDEMUL, WIDEMUL_DIV_PROG),
     ] {
         let machine = isdl::load(src).expect("loads");
         for opt in LEVELS {

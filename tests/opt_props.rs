@@ -7,11 +7,17 @@
 //!
 //! Two machines are covered: TOY (VLIW, hazards, addressing-mode
 //! non-terminals) and WIDEMUL (wide arithmetic that exercises the
-//! narrowing pass on every `wmul`).
+//! narrowing pass on every `wmul`, strength reduction on every
+//! `wdiv`/`wrem`, and load forwarding on every `dsum`).
+//!
+//! Beyond the full-pipeline sweep, every pass is also run in
+//! *isolation* (a single-pass `--opt-passes` schedule) against the
+//! same baseline, and the level-3 pipeline is checked for
+//! run-to-run determinism.
 
 use bitv::BitVector;
 use gensim::{CoreKind, StopReason, Xsim, XsimOptions};
-use isdl::opt::OptLevel;
+use isdl::opt::{OptLevel, PassKind, PassList, Pipeline};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 use xasm::Assembler;
@@ -45,7 +51,7 @@ fn toy_line(op: u8, d: u8, a: u8, b: u8, imm: u8, mode: bool) -> String {
 }
 
 fn widemul_line(op: u8, imm: u8) -> String {
-    match op % 8 {
+    match op % 11 {
         0 => format!("lia {imm}"),
         1 => format!("lib {imm}"),
         2 => "wmul".to_owned(),
@@ -53,6 +59,9 @@ fn widemul_line(op: u8, imm: u8) -> String {
         4 => "redund".to_owned(),
         5 => format!("sta {}", imm % 16),
         6 => format!("lda {}", imm % 16),
+        7 => "wdiv".to_owned(),
+        8 => "wrem".to_owned(),
+        9 => format!("dsum {}", imm % 16),
         _ => "nop".to_owned(),
     }
 }
@@ -85,11 +94,71 @@ fn check_all_configs(machine: &isdl::Machine, src: &str, seed_mem: &[u16]) -> Re
     if baseline.0 != StopReason::Halted {
         return Err(format!("baseline did not halt: {:?}", baseline.0));
     }
-    for opt in [OptLevel::None, OptLevel::Basic, OptLevel::Aggressive] {
+    for opt in [OptLevel::None, OptLevel::Basic, OptLevel::Aggressive, OptLevel::Full] {
         for core in [CoreKind::Bytecode, CoreKind::Tree] {
             let got = run(opt, core);
             if got != baseline {
                 return Err(format!("opt={opt} core={core:?} diverges for:\n{src}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every pass as a one-entry schedule (the `--opt-passes`
+/// mechanism) and requires bit-identical state against the
+/// unoptimized baseline: each pass must be semantics-preserving on
+/// its own, not only in its scheduled position.
+fn check_isolated_passes(
+    machine: &isdl::Machine,
+    src: &str,
+    seed_mem: &[u16],
+) -> Result<(), String> {
+    let program = Assembler::new(machine).assemble(src).map_err(|e| format!("assembles: {e}"))?;
+    let dm = machine.storage_by_name("DM").expect("DM").0;
+    let run = |passes: Option<PassList>| {
+        let opt = if passes.is_some() { OptLevel::Full } else { OptLevel::None };
+        let options = XsimOptions { opt, passes, ..XsimOptions::default() };
+        let mut sim = Xsim::generate_with(machine, options).expect("generates");
+        sim.load_program(&program);
+        for (i, &v) in seed_mem.iter().enumerate() {
+            sim.state_mut().poke(dm, i as u64, BitVector::from_u64(u64::from(v), 16));
+        }
+        let stop = sim.run(100_000);
+        (stop, sim.stats().cycles, full_state(machine, &sim))
+    };
+    let baseline = run(None);
+    if baseline.0 != StopReason::Halted {
+        return Err(format!("baseline did not halt: {:?}", baseline.0));
+    }
+    for pass in PassKind::ALL {
+        let list = PassList::from_slice(&[pass]).expect("one pass fits");
+        let got = run(Some(list));
+        if got != baseline {
+            return Err(format!("isolated pass `{pass}` diverges for:\n{src}"));
+        }
+    }
+    Ok(())
+}
+
+/// The level-3 pipeline must be a pure function of its input: two
+/// runs over the same RTL produce identical statements and identical
+/// per-pass statistics.
+fn check_pipeline_determinism(machine: &isdl::Machine) -> Result<(), String> {
+    let pipeline = Pipeline::for_level(OptLevel::Full);
+    for field in &machine.fields {
+        for op in &field.ops {
+            for phase in [&op.action, &op.side_effects] {
+                let mut s1 = isdl::opt::OptStats::default();
+                let mut s2 = isdl::opt::OptStats::default();
+                let o1 = pipeline.run(phase, &mut s1);
+                let o2 = pipeline.run(phase, &mut s2);
+                if o1 != o2 {
+                    return Err(format!("{}: nondeterministic output", op.name));
+                }
+                if format!("{s1:?}") != format!("{s2:?}") {
+                    return Err(format!("{}: nondeterministic stats", op.name));
+                }
             }
         }
     }
@@ -128,5 +197,33 @@ proptest! {
         }
         src.push_str("halt\n");
         check_all_configs(widemul(), &src, &seed_mem).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn random_widemul_programs_survive_each_pass_in_isolation(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+        seed_mem in proptest::collection::vec(any::<u16>(), 8),
+    ) {
+        let mut src = String::new();
+        for (op, imm) in &ops {
+            src.push_str(&widemul_line(*op, *imm));
+            src.push('\n');
+        }
+        src.push_str("halt\n");
+        check_isolated_passes(widemul(), &src, &seed_mem).map_err(TestCaseError::fail)?;
+    }
+}
+
+#[test]
+fn level3_pipeline_is_deterministic_on_every_sample_machine() {
+    for src in [
+        isdl::samples::TOY,
+        isdl::samples::ACC16,
+        isdl::samples::WIDEMUL,
+        isdl::samples::SPAM,
+        isdl::samples::SPAM2,
+    ] {
+        let machine = isdl::load(src).expect("loads");
+        check_pipeline_determinism(&machine).expect("deterministic");
     }
 }

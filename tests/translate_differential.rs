@@ -17,7 +17,8 @@ use isdl::Machine;
 use std::sync::{Arc, Mutex};
 use xasm::{Assembler, Program};
 
-const LEVELS: [OptLevel; 3] = [OptLevel::None, OptLevel::Basic, OptLevel::Aggressive];
+const LEVELS: [OptLevel; 4] =
+    [OptLevel::None, OptLevel::Basic, OptLevel::Aggressive, OptLevel::Full];
 
 const WIDEMUL_PROG: &str = "\
     lia 255
@@ -27,6 +28,10 @@ const WIDEMUL_PROG: &str = "\
     sqs
     redund
     sta 3
+    wdiv
+    wrem
+    dsum 3
+    wdiv
     halt
 ";
 
