@@ -41,6 +41,29 @@ fn bench_explore(c: &mut Criterion) {
             });
         });
     }
+    // Structured log + flight recorder (docs/OBSERVABILITY.md). Both
+    // rows above already pay the *default* telemetry tax: the flight
+    // recorder has no off switch (its bounded ring is noted on every
+    // stage entry, retry, and journal write), and every
+    // `obs::log::event_with` call site is live with the gate closed —
+    // one relaxed load each, so `uninstrumented` doubles as the
+    // disabled-log / flight-recorder-default baseline and must match
+    // today's speed. The `log-filtered` row then opens the gate for
+    // real: a JSONL subscriber at `info` (the `--log` default), under
+    // which every Debug-level hot-path event still short-circuits at
+    // the filter check. It must coincide with `instrumented`.
+    group.bench_function("log-filtered", |b| {
+        obs::log::init(
+            obs::LogFilter::parse("info").expect("filter parses"),
+            Box::new(std::io::sink()),
+        );
+        b.iter(|| {
+            Explorer { max_steps: 6, threads: 1, ..Explorer::default() }
+                .run(&start, &kernels)
+                .expect("fixture machines evaluate")
+        });
+        obs::log::shutdown();
+    });
     // The PR-2 contract extended to the cycle profiler: with profiling
     // compiled in but *off*, the per-instruction cost is one gated
     // branch and zero clock reads, so the plain row must match today's

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 //! Shared scaffolding for the benchmark harness that regenerates every
 //! table and figure of the paper's evaluation (see `DESIGN.md` §3 and

@@ -139,6 +139,18 @@ pub fn entries_from_stats_json(text: &str) -> Result<Vec<BenchEntry>, String> {
             }
         }
     }
+    // `xsim --log` attaches the structured-log accounting under
+    // `log` (`{events, dropped}` — see `xsim-log/1` in
+    // docs/OBSERVABILITY.md); reports written without the flag, and
+    // every report written before the log existed, have no block and
+    // contribute no rows.
+    if let Some(log) = json.get("log") {
+        for key in ["events", "dropped"] {
+            if let Some(v) = log.get_f64(key) {
+                out.push(BenchEntry::new(format!("{machine}.log.{key}"), v, "events"));
+            }
+        }
+    }
     // `xsim --netlist-sim` attaches the netlist cross-check's
     // `vlog-stats/1` block under `netlist`. Rows are keyed by backend
     // (`<machine>.netlist.<event|levelized>.*`) so both backends can
@@ -278,6 +290,15 @@ pub fn entries_from_explore_json(text: &str) -> Result<Vec<BenchEntry>, String> 
         }
         if let Some(wall) = obs.get_f64("wall_s") {
             out.push(BenchEntry::new(format!("{machine}.explore.wall"), wall, "s"));
+        }
+        // Telemetry counters from the live-progress PR: traces written
+        // before heartbeats or the flight recorder existed have
+        // neither key and contribute no rows.
+        if let Some(beats) = obs.get_f64("heartbeats") {
+            out.push(BenchEntry::new(format!("{machine}.explore.heartbeats"), beats, "beats"));
+        }
+        if let Some(dumps) = obs.get_f64("flight_dumps") {
+            out.push(BenchEntry::new(format!("{machine}.flight.dumps"), dumps, "dumps"));
         }
     }
     Ok(out)
@@ -424,6 +445,60 @@ mod tests {
         assert!(
             !entries.iter().any(|e| e.name.contains("attempts") || e.name.contains("errors.")),
             "absent supervision counters add no rows"
+        );
+    }
+
+    /// The `log` accounting block attached by `xsim --log` becomes
+    /// `<machine>.log.*` rows, and every report vintage without it —
+    /// which is every report written before the structured log
+    /// existed, plus every run without the flag — contributes none.
+    #[test]
+    fn log_block_is_extracted_and_optional() {
+        let text = r#"{
+            "schema": "xsim-stats/1", "machine": "spam",
+            "cycles": 10, "instructions": 8, "stall_cycles": 2, "ipc": 0.8,
+            "log": {"events": 14, "dropped": 3}
+        }"#;
+        let entries = entries_from_stats_json(text).expect("extracts");
+        let by_name =
+            |n: &str| entries.iter().find(|e| e.name == n).unwrap_or_else(|| panic!("entry {n}"));
+        assert_eq!(by_name("spam.log.events").value, 14.0);
+        assert_eq!(by_name("spam.log.dropped").value, 3.0);
+        assert_eq!(by_name("spam.log.events").unit, "events");
+
+        // Pre-log vintage: the absent block adds nothing.
+        let legacy = r#"{"schema": "xsim-stats/1", "machine": "spam", "cycles": 10}"#;
+        let entries = entries_from_stats_json(legacy).expect("legacy report extracts");
+        assert!(!entries.iter().any(|e| e.name.contains(".log.")), "{entries:?}");
+    }
+
+    /// The heartbeat and flight-dump counters in `trace.obs` become
+    /// trend rows; traces from before the telemetry PR (an `obs` block
+    /// with neither key) still extract, contributing none.
+    #[test]
+    fn explore_telemetry_counters_extract_with_legacy_skip() {
+        let text = r#"{
+            "schema": "archex-explore/1", "machine": "toy",
+            "evaluated": 5, "cache_hits": 1,
+            "obs": {"wall_s": 0.5, "heartbeats": 4, "flight_dumps": 2}
+        }"#;
+        let entries = entries_from_explore_json(text).expect("extracts");
+        let by_name =
+            |n: &str| entries.iter().find(|e| e.name == n).unwrap_or_else(|| panic!("entry {n}"));
+        assert_eq!(by_name("toy.explore.heartbeats").value, 4.0);
+        assert_eq!(by_name("toy.explore.heartbeats").unit, "beats");
+        assert_eq!(by_name("toy.flight.dumps").value, 2.0);
+        assert_eq!(by_name("toy.flight.dumps").unit, "dumps");
+
+        // Pre-telemetry vintage: an obs block without the counters.
+        let legacy = r#"{
+            "schema": "archex-explore/1", "machine": "toy",
+            "evaluated": 5, "cache_hits": 1, "obs": {"wall_s": 0.5}
+        }"#;
+        let entries = entries_from_explore_json(legacy).expect("legacy trace extracts");
+        assert!(
+            !entries.iter().any(|e| e.name.contains("heartbeats") || e.name.contains("flight")),
+            "absent telemetry counters add no rows: {entries:?}"
         );
     }
 
@@ -580,10 +655,10 @@ mod tests {
 
     #[test]
     fn wrong_schema_is_rejected() {
-        let err = entries_from_stats_json(r#"{"schema":"xsim-stats/9"}"#).unwrap_err();
+        let err = entries_from_stats_json(r#"{"schema":"xsim-stats/9"}"#).expect_err("rejects");
         assert!(err.contains("unsupported schema"), "{err}");
         assert!(entries_from_stats_json("not json").is_err());
-        let err = entries_from_explore_json(r#"{"cycles":1}"#).unwrap_err();
+        let err = entries_from_explore_json(r#"{"cycles":1}"#).expect_err("rejects");
         assert!(err.contains("missing `schema`"), "{err}");
     }
 }

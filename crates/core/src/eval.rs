@@ -408,30 +408,56 @@ thread_local! {
     /// Whether panics on this thread are being contained (suppresses
     /// the default hook's stderr backtrace spam).
     static CONTAINED: Cell<bool> = const { Cell::new(false) };
+    /// The flight-dump reference taken by the contained panic hook
+    /// while it still had the panic location, handed back to
+    /// [`evaluate_contained`] for the diagnostic log event. It is
+    /// deliberately *not* embedded in the error message: those messages
+    /// feed `Trace::first_error` and the journal, which must stay
+    /// byte-identical across thread counts, while dump paths and tails
+    /// are scheduling-dependent.
+    static PANIC_CAPTURE: Cell<Option<String>> = const { Cell::new(None) };
 }
 
 /// Chains a panic hook that stays silent while a panic is being
 /// contained on the panicking thread, and defers to the previous hook
-/// otherwise. Installed once per process.
+/// otherwise. Installed once per process. While containing, the hook
+/// is the one place that still sees the panic *location*, so it
+/// records the site on the flight ring and takes a dump whose tail
+/// names the stage that was executing.
 fn install_contained_panic_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if !CONTAINED.with(Cell::get) {
+            if CONTAINED.with(Cell::get) {
+                let stage = CURRENT_STAGE.with(Cell::get).map_or("?", Stage::name);
+                let location = info.location().map_or_else(String::new, ToString::to_string);
+                obs::flight::note(
+                    "eval.panic",
+                    stage,
+                    obs::Json::obj().with("location", location.as_str()),
+                );
+                PANIC_CAPTURE.with(|c| c.set(Some(obs::flight::capture("toolchain_panic"))));
+            } else {
                 prev(info);
             }
         }));
     });
 }
 
-/// Marks entry into `stage` (for panic attribution), enforces the
-/// wall-clock deadline, and triggers a matching injected fault, if
-/// any.
+/// Marks entry into `stage` (for panic attribution and the flight
+/// recorder), enforces the wall-clock deadline, and triggers a
+/// matching injected fault, if any.
 fn enter_stage(stage: Stage, opts: &EvalOptions<'_>, kernel: &str) -> Result<(), EvalError> {
     CURRENT_STAGE.with(|c| c.set(Some(stage)));
+    obs::flight::note("eval.stage", stage.name(), obs::Json::obj().with("kernel", kernel));
     if let Some(d) = &opts.deadline {
         if d.expired() {
+            // The dump is the diagnostic here — `DeadlineExceeded`
+            // carries no message, but the file (when a dump dir is
+            // configured) shows what every worker was doing when the
+            // clock ran out.
+            let _ = obs::flight::capture("deadline_exceeded");
             return Err(EvalError::DeadlineExceeded { stage, elapsed_ms: d.elapsed_ms() });
         }
     }
@@ -487,10 +513,19 @@ pub fn evaluate_contained(
     let stage = CURRENT_STAGE.with(Cell::take);
     match outcome {
         Ok(r) => r,
-        Err(payload) => Err(EvalError::ToolchainPanic {
-            stage: stage.unwrap_or(Stage::Compile),
-            message: panic_message(payload.as_ref()),
-        }),
+        Err(payload) => {
+            let stage = stage.unwrap_or(Stage::Compile);
+            let message = panic_message(payload.as_ref());
+            if let Some(note) = PANIC_CAPTURE.with(Cell::take) {
+                obs::log::event_with(obs::Level::Warn, "eval.panic", "contained", || {
+                    obs::Json::obj()
+                        .with("stage", stage.name())
+                        .with("message", message.as_str())
+                        .with("flight", note.as_str())
+                });
+            }
+            Err(EvalError::ToolchainPanic { stage, message })
+        }
     }
 }
 
@@ -556,6 +591,7 @@ pub fn evaluate_with(
                 });
             }
             StopReason::Cancelled => {
+                let _ = obs::flight::capture("deadline_exceeded");
                 return Err(EvalError::DeadlineExceeded {
                     stage: Stage::Simulate,
                     elapsed_ms: opts.deadline.as_ref().map_or(0, Deadline::elapsed_ms),
@@ -636,7 +672,21 @@ fn netlist_cross_check(
     program: &xasm::Program,
     xsim: &Xsim<'_>,
 ) -> Result<obs::Json, EvalError> {
-    let fail = |message: String| EvalError::NetlistMismatch { kernel: kernel.to_owned(), message };
+    let fail = |message: String| {
+        // A generator bug is exactly what the recorder exists for —
+        // take a dump and reference it on the log stream. The error
+        // message itself stays free of dump paths/tails: mismatch
+        // outcomes are cached and journaled, and those bytes must not
+        // depend on scheduling.
+        let note = obs::flight::capture("netlist_mismatch");
+        obs::log::event_with(obs::Level::Error, "eval.netlist", "mismatch", || {
+            obs::Json::obj()
+                .with("kernel", kernel)
+                .with("message", message.as_str())
+                .with("flight", note.as_str())
+        });
+        EvalError::NetlistMismatch { kernel: kernel.to_owned(), message }
+    };
     let mut sim = hw.simulator(backend).map_err(|e| fail(e.to_string()))?;
     let imem = &machine.storage(machine.imem.expect("validated machines have an imem")).name;
     let w = machine.word_width;

@@ -25,7 +25,7 @@ use crate::journal::{strategy_name, JournalError, JournalWriter, Replay};
 use crate::watchdog::Deadline;
 use hgen::HgenOptions;
 use isdl::model::{Constraint, FieldId, Machine, NtId, OpRef};
-use obs::{Histogram, Json, Registry, Summary};
+use obs::{Gauge, Histogram, Json, Registry, Summary};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -334,6 +334,15 @@ pub struct ExploreObs {
     pub timeline: Vec<SpanRec>,
     /// Wall-clock time of the whole run, seconds.
     pub wall_s: f64,
+    /// Heartbeats emitted to the [`Progress`] sinks; `0` when live
+    /// telemetry is off. Wall-clock-driven, so excluded from
+    /// [`Trace::semantic_eq`].
+    pub heartbeats: u64,
+    /// Flight-recorder dumps taken during the run
+    /// ([`obs::flight::capture`]): contained panics, deadline
+    /// expiries, netlist mismatches, journal corruption. Excluded from
+    /// [`Trace::semantic_eq`].
+    pub flight_dumps: u64,
 }
 
 impl ExploreObs {
@@ -369,6 +378,8 @@ impl ExploreObs {
             )
             .with("timeline", self.timeline.iter().map(SpanRec::to_json).collect::<Json>())
             .with("wall_s", self.wall_s)
+            .with("heartbeats", self.heartbeats)
+            .with("flight_dumps", self.flight_dumps)
     }
 }
 
@@ -416,6 +427,10 @@ pub struct Trace {
 /// Schema identifier emitted by [`Trace::to_json`]. Bump the suffix on
 /// breaking changes.
 pub const EXPLORE_SCHEMA: &str = "archex-explore/1";
+
+/// Schema identifier of one heartbeat line emitted to
+/// [`Progress::jsonl`]. Bump the suffix on breaking changes.
+pub const PROGRESS_SCHEMA: &str = "archex-progress/1";
 
 impl Trace {
     /// Total candidates considered: fresh evaluations plus cache hits.
@@ -630,6 +645,51 @@ pub enum Strategy {
     },
 }
 
+/// A live-progress sink: heartbeat lines are written under the mutex,
+/// so one sink may be shared between the JSONL and human streams (or
+/// with the caller's own logging).
+pub type ProgressSink = Arc<Mutex<dyn std::io::Write + Send>>;
+
+/// Live exploration telemetry: heartbeat cadence and where the beats
+/// go. A heartbeat is emitted at the first greedy round boundary after
+/// [`Progress::interval_ms`] elapses (`0` = every round) — the cadence
+/// rides the [`crate::watchdog`] timer, so no extra thread is spawned
+/// and a beat never lands mid-round. Each beat carries the round
+/// number, frontier size, evaluation/cache counters, throughput, the
+/// retry/error histogram, and an ETA; see `archex-progress/1` in
+/// `docs/OBSERVABILITY.md`.
+///
+/// Heartbeat counts are wall-clock-driven and therefore excluded from
+/// every determinism contract: [`Trace::semantic_eq`] and journal
+/// bytes never see them.
+#[derive(Clone, Default)]
+pub struct Progress {
+    /// Minimum milliseconds between heartbeats; `0` emits one per
+    /// round.
+    pub interval_ms: u64,
+    /// Receives one `archex-progress/1` JSON object per line.
+    pub jsonl: Option<ProgressSink>,
+    /// Receives a human one-liner per heartbeat (`isdlc explore
+    /// --progress` points this at stderr).
+    pub human: Option<ProgressSink>,
+    /// When set, every heartbeat atomically rewrites this file (temp +
+    /// rename) with the Prometheus text exposition of the run's
+    /// registry ([`obs::prom::render`]) — ready for the node exporter's
+    /// textfile collector.
+    pub metrics_out: Option<std::path::PathBuf>,
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Progress")
+            .field("interval_ms", &self.interval_ms)
+            .field("jsonl", &self.jsonl.is_some())
+            .field("human", &self.human.is_some())
+            .field("metrics_out", &self.metrics_out)
+            .finish()
+    }
+}
+
 /// The exploration driver.
 #[derive(Debug, Clone)]
 pub struct Explorer {
@@ -680,6 +740,11 @@ pub struct Explorer {
     /// [`Explorer::resume`] continues bit-identically. `None` in
     /// library use.
     pub shutdown: Option<Arc<AtomicBool>>,
+    /// Live heartbeat telemetry (see [`Progress`]). `None` — the
+    /// default — emits nothing and reads no extra clocks. Applies to
+    /// the greedy round loop (fresh, journaled, and resumed runs
+    /// alike); beam search currently emits no heartbeats.
+    pub progress: Option<Progress>,
 }
 
 impl Default for Explorer {
@@ -697,6 +762,7 @@ impl Default for Explorer {
             retry: RetryPolicy::default(),
             deadline_ms: 0,
             shutdown: None,
+            progress: None,
         }
     }
 }
@@ -751,6 +817,12 @@ struct RunObs {
     eval_us: Arc<Histogram>,
     hit_us: Arc<Histogram>,
     miss_us: Arc<Histogram>,
+    /// Last frontier size handed to [`Explorer::eval_frontier`].
+    frontier: Arc<Gauge>,
+    /// Outcomes stored in the evaluation cache.
+    cache_entries: Arc<Gauge>,
+    /// Worker-pool size of the most recent frontier fan-out.
+    live_workers: Arc<Gauge>,
     /// Fresh evaluations per worker slot (slot 0 doubles as the inline
     /// single-worker path).
     thread_evals: Vec<AtomicU64>,
@@ -758,6 +830,11 @@ struct RunObs {
     /// before workers start — the trigger clock for
     /// [`Explorer::fault_plan`].
     seq: AtomicUsize,
+    /// Heartbeats emitted to the [`Progress`] sinks.
+    heartbeats: AtomicU64,
+    /// Process-wide flight-dump count when the run started; the run's
+    /// own dumps are the delta at [`RunObs::finish`].
+    dumps_at_start: u64,
     /// Wall-clock spans (rounds and evaluations), recorded only when
     /// the registry is enabled; folded into [`ExploreObs::timeline`].
     timeline: Mutex<Vec<SpanRec>>,
@@ -774,8 +851,13 @@ impl RunObs {
             eval_us: registry.histogram("explore.eval_latency_us"),
             hit_us: registry.histogram("explore.cache_hit_lookup_us"),
             miss_us: registry.histogram("explore.cache_miss_lookup_us"),
+            frontier: registry.gauge("explore.frontier"),
+            cache_entries: registry.gauge("explore.cache_entries"),
+            live_workers: registry.gauge("explore.live_workers"),
             thread_evals: (0..pool).map(|_| AtomicU64::new(0)).collect(),
             seq: AtomicUsize::new(0),
+            heartbeats: AtomicU64::new(0),
+            dumps_at_start: obs::flight::dump_count(),
             timeline: Mutex::new(Vec::new()),
             registry,
             started: Instant::now(),
@@ -865,6 +947,11 @@ impl RunObs {
             if let Err(e) = &outcome {
                 errors.push(e.kind_name());
                 if e.is_transient() && attempt + 1 < max {
+                    obs::flight::note(
+                        "archex.retry",
+                        e.kind_name(),
+                        Json::obj().with("seq", seq).with("attempt", attempt + 1),
+                    );
                     continue;
                 }
             }
@@ -889,6 +976,8 @@ impl RunObs {
             } else {
                 0.0
             },
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            flight_dumps: obs::flight::dump_count().saturating_sub(self.dumps_at_start),
         }
     }
 }
@@ -939,6 +1028,24 @@ struct GreedyState {
     steps: Vec<Step>,
     rounds: Vec<FrontierRound>,
     counters: Counters,
+}
+
+/// Writes `text` to `path` atomically: the content lands in a sibling
+/// `.{name}.tmp` file first and is renamed over the target, so a
+/// concurrent scraper never observes a partially written file.
+fn write_atomic(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    let name = path.file_name().map_or_else(
+        || std::ffi::OsString::from(".metrics.tmp"),
+        |n| {
+            let mut t = std::ffi::OsString::from(".");
+            t.push(n);
+            t.push(".tmp");
+            t
+        },
+    );
+    let tmp = path.with_file_name(name);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// The toolchain types a frontier worker touches, pinned as thread-safe.
@@ -1017,6 +1124,7 @@ impl Explorer {
         candidates: &[Machine],
         robs: &RunObs,
     ) -> FrontierEval {
+        robs.frontier.set(candidates.len() as u64);
         let keys: Vec<String> = candidates.iter().map(EvalCache::key).collect();
 
         // Unique structures in first-occurrence order. `slot_for[i]`
@@ -1064,6 +1172,7 @@ impl Explorer {
             let results: Vec<Mutex<Option<AttemptRecord>>> =
                 (0..fresh).map(|_| Mutex::new(None)).collect();
             let workers = self.worker_count(fresh);
+            robs.live_workers.set(workers as u64);
             if workers == 1 {
                 // Inline fast path: no spawn overhead, clean backtraces.
                 for (j, &slot) in pending.iter().enumerate() {
@@ -1110,6 +1219,7 @@ impl Explorer {
                 }
                 slot_outcome[slot] = Some(outcome);
             }
+            robs.cache_entries.set(cache.len() as u64);
         }
 
         let outcomes = slot_for
@@ -1397,6 +1507,12 @@ impl Explorer {
         remaining: usize,
         mut journal: Option<&mut JournalWriter>,
     ) -> Result<Trace, JournalError> {
+        // Heartbeat cadence rides the shared watchdog timer: a beat
+        // becomes *due* when the deadline fires and is emitted at the
+        // next round boundary. `interval_ms == 0` beats every round.
+        let mut next_beat = self.progress.as_ref().and_then(|p| {
+            (p.interval_ms > 0).then(|| Deadline::arm(Duration::from_millis(p.interval_ms)))
+        });
         for _ in 0..remaining {
             // Cooperative shutdown lands only on round boundaries: the
             // in-flight round always completes (and journals its
@@ -1417,6 +1533,14 @@ impl Explorer {
             }
             st.counters.absorb(&fe, machines.len());
             st.rounds.push(fe.round());
+            if let Some(p) = &self.progress {
+                if next_beat.as_ref().is_none_or(Deadline::expired) {
+                    self.heartbeat(p, &st, cache, robs, machines.len());
+                    if p.interval_ms > 0 {
+                        next_beat = Some(Deadline::arm(Duration::from_millis(p.interval_ms)));
+                    }
+                }
+            }
             let FrontierEval { outcomes, committed, .. } = fe;
 
             // Serial reduction in proposal order: the earliest
@@ -1467,6 +1591,77 @@ impl Explorer {
             j.done()?;
         }
         Ok(Self::greedy_trace(st, robs))
+    }
+
+    /// Emits one progress heartbeat: an `archex-progress/1` JSONL line,
+    /// an optional human one-liner, a forwarded `archex.progress` log
+    /// event, and (if configured) an atomically rewritten Prometheus
+    /// textfile. Heartbeats are pure telemetry — they never appear in
+    /// the journal or affect [`Trace::semantic_eq`].
+    fn heartbeat(
+        &self,
+        p: &Progress,
+        st: &GreedyState,
+        cache: &EvalCache,
+        robs: &RunObs,
+        frontier: usize,
+    ) {
+        let seq = robs.heartbeats.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed_s = robs.started.elapsed().as_secs_f64();
+        let round = st.rounds.len();
+        let evaluated = st.counters.evaluated;
+        let cache_hits = st.counters.cache_hits;
+        let lookups = evaluated + cache_hits;
+        let hit_rate = if lookups > 0 { cache_hits as f64 / lookups as f64 } else { 0.0 };
+        let evals_per_s = if elapsed_s > 0.0 { evaluated as f64 / elapsed_s } else { 0.0 };
+        // Linear extrapolation over the rounds this process has seen;
+        // most runs converge early, so this is an upper bound.
+        let rounds_left = self.max_steps.saturating_sub(round);
+        let eta_s = if round > 0 { elapsed_s / round as f64 * rounds_left as f64 } else { 0.0 };
+        let mut errors = Json::obj();
+        for (kind, n) in &st.counters.error_histogram {
+            errors.insert(kind, *n);
+        }
+        let line = Json::obj()
+            .with("schema", PROGRESS_SCHEMA)
+            .with("seq", seq)
+            .with("round", round)
+            .with("max_rounds", self.max_steps)
+            .with("frontier", frontier)
+            .with("evaluated", evaluated)
+            .with("cache_hits", cache_hits)
+            .with("cache_entries", cache.len())
+            .with("hit_rate", hit_rate)
+            .with("evals_per_s", evals_per_s)
+            .with("retried", st.counters.retried)
+            .with("errors", errors)
+            .with("score", st.score)
+            .with("elapsed_s", elapsed_s)
+            .with("eta_s", eta_s);
+        if let Some(sink) = &p.jsonl {
+            if let Ok(mut w) = sink.lock() {
+                let _ = writeln!(w, "{line}");
+                let _ = w.flush();
+            }
+        }
+        if let Some(sink) = &p.human {
+            if let Ok(mut w) = sink.lock() {
+                let _ = writeln!(
+                    w,
+                    "[explore] round {round}/{max} | frontier {frontier} | {evaluated} evals \
+                     ({evals_per_s:.1}/s) | cache {hit_pct:.0}% hit | {retried} retried | \
+                     eta {eta_s:.0}s",
+                    max = self.max_steps,
+                    hit_pct = hit_rate * 100.0,
+                    retried = st.counters.retried,
+                );
+                let _ = w.flush();
+            }
+        }
+        obs::log::event_with(obs::Level::Info, "archex.progress", "heartbeat", || line);
+        if let Some(path) = &p.metrics_out {
+            let _ = write_atomic(path, &obs::prom::render(&robs.registry.snapshot()));
+        }
     }
 
     fn greedy_trace(st: GreedyState, robs: &RunObs) -> Trace {

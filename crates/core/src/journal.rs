@@ -300,6 +300,11 @@ impl<'a> JournalWriter<'a> {
     /// the sink — every event is a checkpoint boundary (with
     /// [`SyncFile`], an fsynced one).
     fn write(&mut self, data: &Json) -> Result<(), JournalError> {
+        obs::flight::note(
+            "archex.journal",
+            data.get_str("event").unwrap_or("header"),
+            Json::obj().with("seq", self.seq),
+        );
         let prefix = format!("{{\"seq\": {}, \"data\": {data}", self.seq);
         let crc = crc32(prefix.as_bytes());
         writeln!(self.sink, "{prefix}, \"crc\": \"{crc:08x}\"}}")
@@ -694,7 +699,13 @@ fn parse_lines(journal: &str) -> Result<Vec<(usize, Json)>, JournalError> {
             events.push((line, j));
             continue;
         }
-        let corrupt = |message: String| JournalError::Corrupt { line, message };
+        // Corruption is a post-mortem situation by definition — attach
+        // a flight dump so the operator sees what the process was doing
+        // when it hit the bad line.
+        let corrupt = |message: String| JournalError::Corrupt {
+            line,
+            message: format!("{message} [{}]", obs::flight::capture("journal_corrupt")),
+        };
         let seq = j.get_u64("seq").ok_or_else(|| corrupt("envelope missing `seq`".to_owned()))?;
         let stated =
             j.get_str("crc").ok_or_else(|| corrupt("envelope missing `crc`".to_owned()))?;

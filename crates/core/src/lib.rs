@@ -48,7 +48,8 @@ pub use eval::{
 };
 pub use explore::{
     apply_mutation, chrome_trace, EvalCache, ExploreObs, Explorer, FrontierRound, Mutation,
-    Objective, RetryPolicy, SpanRec, Step, Strategy, Trace, EXPLORE_SCHEMA,
+    Objective, Progress, ProgressSink, RetryPolicy, SpanRec, Step, Strategy, Trace, EXPLORE_SCHEMA,
+    PROGRESS_SCHEMA,
 };
 pub use fault::{FaultKind, FaultPlan};
 pub use journal::{compact, JournalError, SyncFile, JOURNAL_SCHEMA, JOURNAL_SCHEMA_V1};

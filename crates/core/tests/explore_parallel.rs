@@ -186,3 +186,74 @@ fn shared_cache_carries_across_runs() {
     assert_eq!(first.machine, warm.machine);
     assert!(cache.hit_count() >= warm.cache_hits);
 }
+
+#[test]
+fn progress_heartbeats_emit_jsonl_and_human_lines() {
+    use std::sync::{Arc, Mutex};
+    /// A `Write` sink whose bytes stay readable through a shared handle.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+    impl Buf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().expect("buf lock").clone()).expect("utf8")
+        }
+        fn sink(&self) -> archex::ProgressSink {
+            Arc::new(Mutex::new(self.clone()))
+        }
+    }
+    impl std::io::Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buf lock").extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let jsonl = Buf::default();
+    let human = Buf::default();
+    let dir = std::env::temp_dir().join(format!("archex-progress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("metrics.prom");
+    let progress = archex::Progress {
+        interval_ms: 0, // beat every round
+        jsonl: Some(jsonl.sink()),
+        human: Some(human.sink()),
+        metrics_out: Some(metrics.clone()),
+    };
+    let kernels = vec![workloads::dot_product(3)];
+    let trace =
+        Explorer { progress: Some(progress), instrument: true, ..explorer(Strategy::Greedy, 2) }
+            .run(&toy(), &kernels)
+            .expect("explores");
+
+    assert!(trace.obs.heartbeats > 0, "at least one beat per finished round");
+    // Heartbeats never feed the determinism contract.
+    let plain = explorer(Strategy::Greedy, 2).run(&toy(), &kernels).expect("explores");
+    assert!(trace.semantic_eq(&plain), "progress reporting changed the search");
+
+    let text = jsonl.text();
+    let lines: Vec<_> = text.lines().collect();
+    assert_eq!(lines.len() as u64, trace.obs.heartbeats, "one JSONL line per beat");
+    for (i, line) in lines.iter().enumerate() {
+        let j = obs::Json::parse(line).expect("heartbeat line parses");
+        assert_eq!(j.get_str("schema"), Some(archex::PROGRESS_SCHEMA));
+        assert_eq!(j.get_u64("seq"), Some(i as u64 + 1), "seq is 1-based and dense");
+        assert_eq!(j.get_u64("round"), Some(i as u64 + 1));
+        assert!(j.get_u64("frontier").expect("frontier") > 0);
+        assert!(j.get_f64("hit_rate").expect("hit_rate") <= 1.0);
+        assert!(j.get_f64("eta_s").is_some());
+        assert!(j.get("errors").is_some(), "error histogram object present");
+    }
+
+    let text = human.text();
+    assert_eq!(text.lines().count() as u64, trace.obs.heartbeats);
+    assert!(text.lines().all(|l| l.starts_with("[explore] round ")), "one-liner format");
+
+    // The Prometheus textfile was (re)written atomically each beat and
+    // reflects the instrumented registry.
+    let prom = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(prom.contains("obs_enabled 1"), "rendered from the live registry:\n{prom}");
+    assert!(prom.contains("explore_frontier"), "gauge exported");
+    std::fs::remove_dir_all(&dir).ok();
+}

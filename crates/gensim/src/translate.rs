@@ -184,6 +184,12 @@ impl BlockCache {
 
     pub(crate) fn insert(&mut self, block: Rc<Block>) {
         self.blocks_translated += 1;
+        obs::log::event_with(obs::Level::Debug, "gensim.translate", "block", || {
+            obs::Json::obj()
+                .with("start", block.start)
+                .with("end", block.end)
+                .with("instrs", block.instrs.len())
+        });
         self.map.insert(block.start, block);
     }
 
@@ -198,6 +204,9 @@ impl BlockCache {
         self.invalidations += dropped;
         if dropped > 0 {
             self.generation += 1;
+            obs::log::event_with(obs::Level::Debug, "gensim.translate", "invalidate", || {
+                obs::Json::obj().with("imem_index", index).with("blocks_dropped", dropped)
+            });
         }
     }
 

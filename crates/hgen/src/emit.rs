@@ -219,6 +219,13 @@ pub fn emit(
     ff.extend(busy_updates);
     m.always_ff(ff);
 
+    obs::log::event_with(obs::Level::Debug, "hgen.emit", "module", || {
+        obs::Json::obj()
+            .with("machine", machine.name.as_str())
+            .with("nodes", stats.nodes)
+            .with("units", stats.units)
+            .with("units_saved", stats.units_saved)
+    });
     (m, stats)
 }
 

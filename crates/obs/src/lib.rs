@@ -1,9 +1,12 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 //! Lightweight observability for the ISDL suite: an atomic
-//! counter / histogram / span-timer [`Registry`] with near-zero
-//! overhead when disabled, plus JSON snapshot emission (see
-//! `docs/OBSERVABILITY.md` for the full schema reference).
+//! counter / gauge / histogram / span-timer [`Registry`] with
+//! near-zero overhead when disabled, JSON snapshot emission, a
+//! structured event [`log`], an always-on [`flight`] recorder, and
+//! Prometheus exposition ([`prom`]) — see `docs/OBSERVABILITY.md`
+//! for the full schema reference.
 //!
 //! Design constraints, in order:
 //!
@@ -33,10 +36,14 @@
 //! assert_eq!(snap.get("counters").and_then(|c| c.get_u64("explore.evaluated")), Some(3));
 //! ```
 
+pub mod flight;
 pub mod json;
+pub mod log;
+pub mod prom;
 pub mod trace;
 
 pub use json::Json;
+pub use log::{Filter as LogFilter, Level};
 pub use trace::{ChromeTrace, RingSink, StreamSink, TraceSink};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -118,6 +125,51 @@ impl Counter {
 }
 
 impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A last-value metric: [`Gauge::set`] overwrites, [`Gauge::get`]
+/// reads. Gated like [`Counter`] — a disabled gate turns `set` into
+/// one relaxed load and a branch. Used for instantaneous quantities
+/// (frontier size, cache entries, live workers) where a monotone
+/// counter would be wrong.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicU64,
+    gate: Gate,
+}
+
+impl Gauge {
+    /// A standalone, always-enabled gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::gated(Gate::new(true))
+    }
+
+    /// A gauge controlled by `gate`.
+    #[must_use]
+    pub fn gated(gate: Gate) -> Self {
+        Self { value: AtomicU64::new(0), gate }
+    }
+
+    /// Sets the current value (no-op when the gate is disabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if self.gate.enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The last value set.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
     fn default() -> Self {
         Self::new()
     }
@@ -305,6 +357,7 @@ impl Drop for Span<'_> {
 pub struct Registry {
     gate: Gate,
     counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
     histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
 }
 
@@ -323,7 +376,12 @@ impl Registry {
     }
 
     fn with_gate(gate: Gate) -> Self {
-        Self { gate, counters: Mutex::new(Vec::new()), histograms: Mutex::new(Vec::new()) }
+        Self {
+            gate,
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+        }
     }
 
     /// The registry's gate (shared with every metric it created).
@@ -355,6 +413,18 @@ impl Registry {
         c
     }
 
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut list = self.gauges.lock().expect("metric list lock");
+        if let Some((_, g)) = list.iter().find(|(n, _)| n == name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::gated(self.gate.clone()));
+        list.push((name.to_owned(), Arc::clone(&g)));
+        g
+    }
+
     /// The histogram named `name`, created on first use.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
@@ -369,8 +439,9 @@ impl Registry {
 
     /// A point-in-time JSON snapshot of every metric (the
     /// `obs-snapshot/1` schema of `docs/OBSERVABILITY.md`): counters
-    /// as `name: value`, histograms as `name: summary`, both sorted by
-    /// name.
+    /// and gauges as `name: value`, histograms as `name: summary`,
+    /// all sorted by name. The `gauges` member is additive — readers
+    /// of pre-gauge snapshots see no change until a gauge exists.
     #[must_use]
     pub fn snapshot(&self) -> Json {
         let mut counters: Vec<(String, u64)> = self
@@ -381,6 +452,14 @@ impl Registry {
             .map(|(n, c)| (n.clone(), c.get()))
             .collect();
         counters.sort();
+        let mut gauges: Vec<(String, u64)> = self
+            .gauges
+            .lock()
+            .expect("metric list lock")
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        gauges.sort();
         let mut histograms: Vec<(String, Summary)> = self
             .histograms
             .lock()
@@ -393,6 +472,7 @@ impl Registry {
             .with("schema", "obs-snapshot/1")
             .with("enabled", self.enabled())
             .with("counters", Json::Obj(counters.into_iter().map(|(n, v)| (n, v.into())).collect()))
+            .with("gauges", Json::Obj(gauges.into_iter().map(|(n, v)| (n, v.into())).collect()))
             .with(
                 "histograms",
                 Json::Obj(histograms.into_iter().map(|(n, s)| (n, s.to_json())).collect()),
@@ -425,17 +505,43 @@ mod tests {
     fn disabled_gate_records_nothing() {
         let reg = Registry::disabled();
         let c = reg.counter("c");
+        let g = reg.gauge("g");
         let h = reg.histogram("h");
         c.inc();
+        g.set(9);
         h.record(5);
         h.span().finish();
         assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
         assert_eq!(h.count(), 0);
         reg.set_enabled(true);
         c.inc();
+        g.set(9);
         h.record(5);
         assert_eq!(c.get(), 1, "gate re-enables existing metrics");
+        assert_eq!(g.get(), 9);
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn gauges_hold_last_value_and_snapshot_additively() {
+        let reg = Registry::new();
+        let g = reg.gauge("explore.frontier");
+        g.set(3);
+        g.set(11);
+        assert_eq!(g.get(), 11, "last value wins");
+        assert!(Arc::ptr_eq(&g, &reg.gauge("explore.frontier")), "same name, same gauge");
+        reg.gauge("explore.cache_entries").set(2);
+        let snap = reg.snapshot();
+        let gauges = snap.get("gauges").expect("gauges block");
+        assert_eq!(gauges.get_u64("explore.frontier"), Some(11));
+        assert_eq!(gauges.get_u64("explore.cache_entries"), Some(2));
+        match gauges {
+            Json::Obj(members) => {
+                assert_eq!(members[0].0, "explore.cache_entries", "sorted by name");
+            }
+            other => panic!("gauges not an object: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Prometheus text exposition of an `obs-snapshot/1` document.
+//!
+//! [`render`] turns a [`Registry`](crate::Registry) snapshot into the
+//! Prometheus text format (version 0.0.4), suitable for the node
+//! exporter's *textfile collector*: write the output atomically to a
+//! `.prom` file (`isdlc explore --metrics-out` does temp + rename)
+//! and point the collector at it.
+//!
+//! Naming rules (documented in `docs/OBSERVABILITY.md`):
+//!
+//! * Metric names are sanitized — every character outside
+//!   `[a-zA-Z0-9_:]` becomes `_` (so `explore.eval_latency_us` →
+//!   `explore_eval_latency_us`); a leading digit gains a `_` prefix.
+//! * Counters keep their monotone meaning and gain the conventional
+//!   `_total` suffix.
+//! * Gauges are exposed under their sanitized name, unsuffixed.
+//! * Histograms are exposed as Prometheus *summaries*: `{quantile=…}`
+//!   sample lines for p50/p90/p99 plus `_sum` and `_count`, and two
+//!   extra gauges `_min` / `_max` (exact bounds the summary form has
+//!   no slot for).
+//! * Units stay in the name, as in the snapshot itself (`_us` =
+//!   microseconds, `_s` = seconds); values are emitted unscaled.
+
+use crate::json::Json;
+
+/// Sanitizes a snapshot metric name into a legal Prometheus name.
+#[must_use]
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn write_num(out: &mut String, v: &Json) {
+    use std::fmt::Write as _;
+    match v.as_f64() {
+        Some(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => {
+            let _ = write!(out, "{}", n as i64);
+        }
+        Some(n) => {
+            let _ = write!(out, "{n}");
+        }
+        None => out.push('0'),
+    }
+}
+
+fn sample(out: &mut String, name: &str, labels: &str, v: &Json) {
+    out.push_str(name);
+    out.push_str(labels);
+    out.push(' ');
+    write_num(out, v);
+    out.push('\n');
+}
+
+/// Renders an `obs-snapshot/1` document as Prometheus exposition
+/// text. Unknown or missing blocks render nothing — the output for an
+/// empty snapshot is just the `obs_enabled` gauge.
+#[must_use]
+pub fn render(snapshot: &Json) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE obs_enabled gauge\n");
+    let enabled = matches!(snapshot.get("enabled"), Some(Json::Bool(true)));
+    sample(&mut out, "obs_enabled", "", &Json::from(u64::from(enabled)));
+
+    if let Some(Json::Obj(counters)) = snapshot.get("counters") {
+        for (name, value) in counters {
+            let name = metric_name(name) + "_total";
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            sample(&mut out, &name, "", value);
+        }
+    }
+    if let Some(Json::Obj(gauges)) = snapshot.get("gauges") {
+        for (name, value) in gauges {
+            let name = metric_name(name);
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            sample(&mut out, &name, "", value);
+        }
+    }
+    if let Some(Json::Obj(histograms)) = snapshot.get("histograms") {
+        for (name, summary) in histograms {
+            let name = metric_name(name);
+            let get = |k: &str| summary.get(k).cloned().unwrap_or(Json::Num(0.0));
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            sample(&mut out, &name, "{quantile=\"0.5\"}", &get("p50"));
+            sample(&mut out, &name, "{quantile=\"0.9\"}", &get("p90"));
+            sample(&mut out, &name, "{quantile=\"0.99\"}", &get("p99"));
+            sample(&mut out, &format!("{name}_sum"), "", &get("sum"));
+            sample(&mut out, &format!("{name}_count"), "", &get("count"));
+            out.push_str(&format!("# TYPE {name}_min gauge\n"));
+            sample(&mut out, &format!("{name}_min"), "", &get("min"));
+            out.push_str(&format!("# TYPE {name}_max gauge\n"));
+            sample(&mut out, &format!("{name}_max"), "", &get("max"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(metric_name("explore.eval_latency_us"), "explore_eval_latency_us");
+        assert_eq!(metric_name("a-b c"), "a_b_c");
+        assert_eq!(metric_name("9lives"), "_9lives");
+        assert_eq!(metric_name(""), "_");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let reg = Registry::new();
+        reg.counter("explore.evaluated").add(7);
+        reg.gauge("explore.frontier").set(24);
+        reg.histogram("explore.eval_latency_us").record(100);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE obs_enabled gauge\nobs_enabled 1\n"), "{text}");
+        assert!(text.contains("# TYPE explore_evaluated_total counter\n"), "{text}");
+        assert!(text.contains("explore_evaluated_total 7\n"), "{text}");
+        assert!(text.contains("# TYPE explore_frontier gauge\n"), "{text}");
+        assert!(text.contains("explore_frontier 24\n"), "{text}");
+        assert!(text.contains("# TYPE explore_eval_latency_us summary\n"), "{text}");
+        assert!(text.contains("explore_eval_latency_us{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("explore_eval_latency_us_sum 100\n"), "{text}");
+        assert!(text.contains("explore_eval_latency_us_count 1\n"), "{text}");
+        assert!(text.contains("explore_eval_latency_us_max 100\n"), "{text}");
+        // Every non-comment line is `name[labels] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("two fields");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_only_the_enabled_gauge() {
+        let reg = Registry::disabled();
+        let text = render(&reg.snapshot());
+        assert_eq!(text, "# TYPE obs_enabled gauge\nobs_enabled 0\n");
+    }
+}

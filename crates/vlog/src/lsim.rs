@@ -714,9 +714,19 @@ impl LevelizedSim {
     /// the [`crate::sim::NetlistSim::clock`] signature so the two
     /// backends are drop-in interchangeable.
     pub fn clock(&mut self, n: u64) -> Result<(), VlogError> {
+        let (ev0, sk0) = (self.stats.partitions_evaluated, self.stats.partitions_skipped);
         for _ in 0..n {
             self.edge();
         }
+        // One summary event per clock() call, never per edge — the
+        // inner loop stays free of even the gate check.
+        obs::log::event_with(obs::Level::Debug, "vlog.lsim", "clock", || {
+            obs::Json::obj()
+                .with("edges", n)
+                .with("cycles", self.cycles)
+                .with("partitions_evaluated", self.stats.partitions_evaluated - ev0)
+                .with("partitions_skipped", self.stats.partitions_skipped - sk0)
+        });
         Ok(())
     }
 

@@ -64,6 +64,15 @@ run cargo test -q --test netlist_differential
 # counters exactly, every stall must name its cause, and enabling the
 # profiler must be purely observational.
 run cargo test -q --test profile_invariants
+# Observability gate (see docs/OBSERVABILITY.md): the flight
+# recorder's crash path must leave a parseable flight-dump/1 naming
+# the panicking stage, referenced from the structured log but never
+# from journaled error messages; heartbeats must stay pure telemetry
+# (a run with --progress produces the same trace as one without, at
+# every thread count). Both suites run inside `cargo test -q` above;
+# named here so a telemetry regression fails loudly.
+run cargo test -q -p archex --test flight_dump
+run cargo test -q -p archex --test explore_parallel
 # Documentation gate: every ```json example in docs/OBSERVABILITY.md
 # must round-trip through the obs::Json RFC 8259 parser.
 run cargo test -q --test doc_schemas

@@ -18,13 +18,29 @@
 //! isdlc explore <machine.isdl> [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH]
 //!               [--netlist-sim=event|levelized]  cross-check every evaluation on the netlist
 //!               [--journal=PATH] [--deadline-ms=N] [--max-attempts=N] [--trace-out=PATH]
+//!               [--progress[=MS]] [--progress-out=PATH] [--metrics-out=PATH]
 //!                                                   run the Figure 1 exploration loop on the
 //!                                                   built-in DSP workload; --chrome-trace writes
 //!                                                   the round/eval timeline for chrome://tracing.
 //!                                                   --journal checkpoints every round to PATH
-//!                                                   (fsynced; an existing journal is resumed);
-//!                                                   SIGINT/SIGTERM finish the in-flight round,
-//!                                                   leave a resumable journal, and exit 75
+//!                                                   (fsynced; an existing journal is resumed)
+//!                                                   and directs flight-recorder dumps to
+//!                                                   PATH.flight/; SIGINT/SIGTERM finish the
+//!                                                   in-flight round, leave a resumable journal,
+//!                                                   and exit 75. --progress prints a live
+//!                                                   heartbeat one-liner to stderr every MS
+//!                                                   milliseconds (default: every round);
+//!                                                   --progress-out streams `archex-progress/1`
+//!                                                   JSON Lines; --metrics-out atomically
+//!                                                   rewrites a Prometheus textfile per beat.
+//!                                                   --fault=STAGE:NTH (robustness testing)
+//!                                                   arms a contained panic at the NTH fresh
+//!                                                   evaluation inside STAGE
+//!                                                   (compile|assemble|gensim|simulate|synthesize)
+//!
+//! Every command also accepts `--log[=LEVEL[,TARGET=LEVEL...]]` (structured
+//! `xsim-log/1` events, default level info) and `--log-out=PATH` (default
+//! stderr).
 //! isdlc journal compact <in> <out>                  collapse a journal to header + snapshot
 //! isdlc verilog <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
 //! isdlc report  <machine.isdl> [--no-share] [--naive-decode] [--opt=N|--no-opt]
@@ -141,6 +157,28 @@ fn run(args: &[String]) -> Result<(), String> {
         args.iter().skip(1).filter(|a| a.starts_with("--")).map(String::as_str).collect();
     let pos: Vec<&String> = args.iter().skip(1).filter(|a| !a.starts_with("--")).collect();
 
+    let log_spec = flags
+        .iter()
+        .find_map(|f| f.strip_prefix("--log=").map(str::to_owned))
+        .or_else(|| flags.contains(&"--log").then(|| "info".to_owned()));
+    if let Some(spec) = &log_spec {
+        let filter = obs::LogFilter::parse(spec).map_err(|e| format!("--log: {e}"))?;
+        let sink: Box<dyn std::io::Write + Send> =
+            match flags.iter().find_map(|f| f.strip_prefix("--log-out=")) {
+                None => Box::new(std::io::stderr()),
+                Some("-") => Box::new(std::io::stdout()),
+                Some(p) => Box::new(
+                    std::fs::File::create(p).map_err(|e| format!("cannot create {p}: {e}"))?,
+                ),
+            };
+        obs::log::init(filter, sink);
+    }
+    let outcome = dispatch(cmd, &flags, &pos);
+    obs::log::shutdown();
+    outcome
+}
+
+fn dispatch(cmd: &str, flags: &[&str], pos: &[&String]) -> Result<(), String> {
     let load = |i: usize| -> Result<isdl::Machine, String> {
         let path = pos.get(i).ok_or_else(usage)?;
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -206,7 +244,7 @@ fn run(args: &[String]) -> Result<(), String> {
         )
     };
 
-    match cmd.as_str() {
+    match cmd {
         "check" => {
             let m = load(0)?;
             println!("machine `{}`: word {} bits", m.name, m.word_width);
@@ -448,6 +486,58 @@ fn run(args: &[String]) -> Result<(), String> {
             let deadline_ms = num("--deadline-ms=", 0)? as u64;
             let max_attempts = num("--max-attempts=", 1)?;
             let shutdown = install_shutdown_handlers();
+            let progress_ms = flags
+                .iter()
+                .find_map(|f| f.strip_prefix("--progress="))
+                .map(|v| v.parse::<u64>().map_err(|_| format!("bad interval `{v}`")))
+                .transpose()?
+                .or_else(|| flags.contains(&"--progress").then_some(0));
+            let fault_plan = flags
+                .iter()
+                .find_map(|f| f.strip_prefix("--fault="))
+                .map(|v| -> Result<archex::FaultPlan, String> {
+                    let (stage, nth) =
+                        v.split_once(':').ok_or_else(|| format!("bad fault `{v}` (STAGE:NTH)"))?;
+                    let stage = match stage {
+                        "compile" => archex::Stage::Compile,
+                        "assemble" => archex::Stage::Assemble,
+                        "gensim" => archex::Stage::Gensim,
+                        "simulate" => archex::Stage::Simulate,
+                        "synthesize" => archex::Stage::Synthesize,
+                        other => {
+                            return Err(format!(
+                            "unknown stage `{other}` (compile|assemble|gensim|simulate|synthesize)"
+                        ))
+                        }
+                    };
+                    let nth = nth.parse().map_err(|_| format!("bad fault index `{nth}`"))?;
+                    Ok(archex::FaultPlan::panic_at(stage, nth))
+                })
+                .transpose()?;
+            let progress_out = flags.iter().find_map(|f| f.strip_prefix("--progress-out="));
+            let metrics_out = flags.iter().find_map(|f| f.strip_prefix("--metrics-out="));
+            let progress =
+                if progress_ms.is_some() || progress_out.is_some() || metrics_out.is_some() {
+                    let jsonl: Option<archex::ProgressSink> = match progress_out {
+                        None => None,
+                        Some(p) => Some(std::sync::Arc::new(std::sync::Mutex::new(
+                            std::fs::File::create(p)
+                                .map_err(|e| format!("cannot create {p}: {e}"))?,
+                        ))),
+                    };
+                    let human: Option<archex::ProgressSink> =
+                        progress_ms.is_some().then(|| -> archex::ProgressSink {
+                            std::sync::Arc::new(std::sync::Mutex::new(std::io::stderr()))
+                        });
+                    Some(archex::Progress {
+                        interval_ms: progress_ms.unwrap_or(0),
+                        jsonl,
+                        human,
+                        metrics_out: metrics_out.map(std::path::PathBuf::from),
+                    })
+                } else {
+                    None
+                };
             let explorer = archex::Explorer {
                 max_steps: steps,
                 strategy: if beam > 1 {
@@ -463,12 +553,18 @@ fn run(args: &[String]) -> Result<(), String> {
                     Some(_) => archex::NetlistCheck::Run(netlist_sim()?),
                     None => archex::NetlistCheck::Off,
                 },
+                progress,
+                fault_plan,
                 ..archex::Explorer::default()
             };
             let kernels =
                 vec![archex::workloads::dot_product(4), archex::workloads::vector_update(3)];
             let trace = if let Some(path) = flags.iter().find_map(|f| f.strip_prefix("--journal="))
             {
+                // Post-mortem dumps (contained panics, deadline expiry,
+                // journal corruption) land next to the journal they
+                // belong to.
+                obs::flight::set_dump_dir(Some(std::path::PathBuf::from(format!("{path}.flight"))));
                 let previous = match std::fs::read_to_string(path) {
                     Ok(text) => text,
                     Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
@@ -650,6 +746,7 @@ fn usage() -> String {
      [--opt-passes=fold,prop,...] [--dump-rtl=before|after|both] \
      [--no-opt] [--profile[=PATH]] [--steps=N] [--beam=N] [--threads=N] [--chrome-trace=PATH] \
      [--netlist-sim=event|levelized] [--journal=PATH] [--deadline-ms=N] [--max-attempts=N] \
-     [--trace-out=PATH]"
+     [--trace-out=PATH] [--progress[=MS]] [--progress-out=PATH] [--metrics-out=PATH] \
+     [--fault=STAGE:NTH] [--log[=LEVEL[,TARGET=LEVEL...]]] [--log-out=PATH]"
         .to_owned()
 }

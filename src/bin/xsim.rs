@@ -46,6 +46,13 @@
 //!                         backend and require bit-identical final
 //!                         state; adds a `netlist` block (the
 //!                         `vlog-stats/1` schema) to the stats report
+//!   --log[=SPEC]          enable the structured event log; SPEC is
+//!                         `LEVEL[,TARGET=LEVEL...]` (default `info`),
+//!                         e.g. `--log=info,gensim.translate=trace`.
+//!                         Events stream as `xsim-log/1` JSON Lines
+//!                         and a `log` block {events, dropped} is
+//!                         added to the stats report
+//!   --log-out <path|->    log destination (default stderr)
 //! ```
 //!
 //! `-` writes a report to stdout (the human-readable summary then moves
@@ -84,6 +91,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut trace_capacity: usize = 4096;
     let mut netlist_check: Option<vlog::SimBackend> = None;
     let mut dump_rtl: Option<isdl::opt::DumpMode> = None;
+    let mut log_spec: Option<String> = None;
+    let mut log_out: Option<String> = None;
     let mut options = XsimOptions::default();
 
     let mut it = args.iter();
@@ -148,6 +157,9 @@ fn run(args: &[String]) -> Result<(), String> {
                         .ok_or_else(|| format!("unknown dump mode `{v}` (before|after|both)"))?,
                 );
             }
+            "--log" => log_spec = Some("info".to_owned()),
+            "--log-out" => log_out = Some(value(&mut it, "--log-out")?.to_owned()),
+            f if f.starts_with("--log=") => log_spec = Some(f["--log=".len()..].to_owned()),
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`\n{}", usage())),
             p => pos.push(p),
         }
@@ -155,6 +167,18 @@ fn run(args: &[String]) -> Result<(), String> {
     let [machine_path, prog_path] = pos[..] else {
         return Err(usage());
     };
+
+    if let Some(spec) = &log_spec {
+        let filter = obs::LogFilter::parse(spec).map_err(|e| format!("--log: {e}"))?;
+        let sink: Box<dyn std::io::Write + Send> = match log_out.as_deref() {
+            None => Box::new(std::io::stderr()),
+            Some("-") => Box::new(std::io::stdout()),
+            Some(p) => {
+                Box::new(std::fs::File::create(p).map_err(|e| format!("cannot create {p}: {e}"))?)
+            }
+        };
+        obs::log::init(filter, sink);
+    }
 
     // Phase timers, recorded through the metrics registry so the CLI
     // exercises the same instrumentation path as the library users.
@@ -239,6 +263,9 @@ fn run(args: &[String]) -> Result<(), String> {
         sink.flush();
     }
 
+    for &(name, _, dur) in &phases {
+        obs::log::event_with(obs::Level::Info, "xsim.phase", name, || Json::obj().with("us", dur));
+    }
     gensim::publish_opt_counters(&sim, &registry);
     gensim::publish_translate_counters(&sim, &registry);
     let netlist_block = match netlist_check {
@@ -257,6 +284,12 @@ fn run(args: &[String]) -> Result<(), String> {
             .with("generate", t_generate.summary().sum)
             .with("run", t_run.summary().sum);
         stats.insert("timing_us", timing);
+        if log_spec.is_some() {
+            // Flush first so the dispatcher's counters are final.
+            obs::log::flush();
+            let (events, dropped) = obs::log::stats();
+            stats.insert("log", Json::obj().with("events", events).with("dropped", dropped));
+        }
         write_report(path, &stats)?;
     }
     if let Some(path) = &trace_out {
@@ -302,6 +335,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{verdict}");
         }
     }
+    obs::log::shutdown();
     Ok(())
 }
 
@@ -378,6 +412,7 @@ fn usage() -> String {
      [--trace <path|->] [--trace-capacity N] [--trace-stream <path|->] [--profile <path|->] \
      [--chrome-trace <path|->] [--core tree|bytecode] [--no-offline-decode] [--opt 0|1|2|3] \
      [--opt-passes fold,prop,...] [--dump-rtl before|after|both] \
-     [--translate|--no-translate] [--netlist-sim event|levelized]"
+     [--translate|--no-translate] [--netlist-sim event|levelized] \
+     [--log[=LEVEL[,TARGET=LEVEL...]]] [--log-out <path|->]"
         .to_owned()
 }

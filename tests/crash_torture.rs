@@ -173,6 +173,94 @@ fn crash_torture_smoke() {
     }
 }
 
+/// A contained toolchain panic under `--journal` writes its
+/// `flight-dump/1` file next to the journal, the dump names the
+/// panicking stage, and — because dumps land via write-then-rename —
+/// every dump visible after a SIGKILL is complete and parseable. The
+/// journal itself stays resumable.
+#[test]
+fn flight_dump_names_the_stage_and_survives_sigkill() {
+    let (dir, machine) = scratch("flight");
+    let journal = dir.join("j.jsonl");
+    let trace = dir.join("t.json");
+    let flight_dir = dir.join("j.jsonl.flight");
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir_all(&flight_dir);
+    let mut args = explore_args(&machine, 2, &journal, &trace);
+    // Panic at the third fresh evaluation inside the simulator stage;
+    // one retry succeeds, so the run itself completes.
+    args.push("--fault=simulate:2".to_owned());
+    args.push("--max-attempts=2".to_owned());
+
+    // Spawn and SIGKILL as soon as the dump file exists — the crash
+    // window where a torn dump would be visible if writes weren't
+    // atomic.
+    let dump_in = |d: &Path| -> Vec<PathBuf> {
+        std::fs::read_dir(d)
+            .map(|rd| {
+                rd.filter_map(|e| {
+                    let p = e.expect("entry").path();
+                    let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                    (name.starts_with("flight-") && name.ends_with(".json")).then_some(p)
+                })
+                .collect()
+            })
+            .unwrap_or_default()
+    };
+    let mut child = isdlc()
+        .args(&args)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("isdlc spawns");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let killed = loop {
+        if !dump_in(&flight_dir).is_empty() {
+            child.kill().expect("SIGKILL delivered");
+            child.wait().expect("child reaped");
+            break true;
+        }
+        if let Some(status) = child.try_wait().expect("child polled") {
+            assert!(status.success(), "faulted child failed outright");
+            break false;
+        }
+        assert!(Instant::now() < deadline, "no flight dump ever appeared");
+        std::thread::sleep(Duration::from_micros(200));
+    };
+
+    // Whatever is visible now — post-kill or post-exit — must be a
+    // complete, well-formed flight-dump/1 naming the armed stage.
+    let dumps = dump_in(&flight_dir);
+    assert!(!dumps.is_empty(), "the contained panic left a dump");
+    for p in &dumps {
+        let doc = Json::parse(&std::fs::read_to_string(p).expect("dump readable"))
+            .expect("dump parses after SIGKILL");
+        assert_eq!(doc.get_str("schema"), Some("flight-dump/1"), "{}", p.display());
+        assert_eq!(doc.get_str("reason"), Some("toolchain_panic"));
+        let events = doc.get("events").and_then(Json::as_arr).expect("events");
+        let last = events.last().expect("tail event");
+        assert_eq!(last.get_str("target"), Some("eval.panic"));
+        assert_eq!(last.get_str("msg"), Some("simulate"), "tail names the panicking stage");
+    }
+
+    // The journal the kill interrupted resumes to a successful finish.
+    if killed {
+        let out = isdlc().args(&args).output().expect("isdlc resumes");
+        assert!(
+            out.status.success(),
+            "resume after mid-dump SIGKILL failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let resumed = Json::parse(&std::fs::read_to_string(&trace).expect("trace written"))
+            .expect("resumed trace parses");
+        assert_eq!(resumed.get_str("schema"), Some("archex-explore/1"));
+        assert!(
+            resumed.get("steps").and_then(Json::as_arr).is_some_and(|s| !s.is_empty()),
+            "resumed run produced a real trace"
+        );
+    }
+}
+
 #[test]
 fn corrupted_journal_is_rejected_with_its_line_number() {
     let (dir, machine) = scratch("corrupt");

@@ -9,7 +9,7 @@ use obs::Json;
 /// number of fences each is expected to hold — a guard against the
 /// extraction silently matching nothing after an edit.
 const DOCS: [(&str, usize); 3] =
-    [("docs/OBSERVABILITY.md", 7), ("docs/SIMULATORS.md", 1), ("docs/ROBUSTNESS.md", 0)];
+    [("docs/OBSERVABILITY.md", 11), ("docs/SIMULATORS.md", 1), ("docs/ROBUSTNESS.md", 0)];
 
 /// Returns the contents of every ```json fence in `text`, in order.
 fn json_fences(text: &str) -> Vec<(usize, String)> {
